@@ -1,0 +1,79 @@
+// Ablation beyond the paper's figures: partition-aware scheduling
+// (Sec. 6.1) vs Spark's default hybrid policy. The paper folds this
+// effect into stage combination (which *requires* partition-aware
+// placement); this harness isolates it: with the hybrid policy, every
+// iteration re-fetches the cached SetRDD/base state over the network.
+
+#include "bench/bench_util.h"
+
+namespace rasql::bench {
+namespace {
+
+void Run() {
+  PrintHeader(
+      "Ablation: partition-aware vs hybrid task scheduling",
+      "paper Sec. 6.1 (no standalone figure)");
+  PrintRow({"dataset", "query", "part-aware", "hybrid", "remote-MB"});
+
+  for (int64_t n : {int64_t{16} << 10, int64_t{64} << 10}) {
+    datagen::RmatOptions opt;
+    opt.num_vertices = n;
+    opt.edges_per_vertex = 10;
+    opt.weighted = true;
+    opt.seed = 21;
+    std::map<std::string, storage::Relation> tables;
+    tables.emplace("edge",
+                   datagen::ToEdgeRelation(datagen::GenerateRmat(opt)));
+    const std::string name = "RMAT-" + std::to_string(n >> 10) + "K";
+
+    struct QuerySpec {
+      const char* label;
+      std::string sql;
+    };
+    const QuerySpec queries[] = {
+        {"CC", kCcQuery},
+        {"SSSP", SsspQuery(0)},
+    };
+    for (const QuerySpec& q : queries) {
+      engine::EngineConfig aware = RaSqlConfig();
+      aware.dist_fixpoint.decomposed =
+          fixpoint::DistFixpointOptions::Decomposed::kOff;
+      RunTiming with = RunEngine(aware, tables, q.sql);
+
+      engine::EngineConfig hybrid = aware;
+      hybrid.cluster.partition_aware_scheduling = false;
+      // Stage combination depends on co-located state; Spark's default
+      // policy cannot keep it, so the hybrid run also loses combination
+      // (paper: "stage combination is only possible by activating the
+      // partition-aware scheduling policy").
+      hybrid.dist_fixpoint.combine_stages = false;
+
+      engine::RaSqlContext ctx(hybrid);
+      for (const auto& [tname, rel] : tables) {
+        (void)ctx.RegisterTable(tname, rel);
+      }
+      auto result = ctx.Execute(q.sql);
+      if (!result.ok()) {
+        std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+        std::abort();
+      }
+      const double hybrid_time = ctx.last_job_metrics().TotalSimTime();
+      const double remote_mb =
+          static_cast<double>(ctx.last_job_metrics().TotalRemoteBytes()) /
+          1e6;
+
+      char remote[24];
+      std::snprintf(remote, sizeof(remote), "%.1f", remote_mb);
+      PrintRow({name, q.label, Fmt(with.sim_time), Fmt(hybrid_time),
+                remote});
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rasql::bench
+
+int main() {
+  rasql::bench::Run();
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Reproduces paper Figure 5: effect of stage combination (Alg. 6 vs
+// Alg. 4/5) on CC, REACH and SSSP over RMAT graphs of increasing size.
+
+#include "bench/bench_util.h"
+
+namespace rasql::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Figure 5: Effect of Stage Combination", "paper Fig. 5");
+  PrintRow({"dataset", "query", "combined", "plain", "speedup", "stages"});
+
+  for (int64_t n : {int64_t{8} << 10, int64_t{16} << 10, int64_t{32} << 10,
+                    int64_t{64} << 10}) {
+    datagen::RmatOptions opt;
+    opt.num_vertices = n;
+    opt.edges_per_vertex = 10;
+    opt.weighted = true;
+    opt.seed = 5;
+    std::map<std::string, storage::Relation> tables;
+    tables.emplace("edge",
+                   datagen::ToEdgeRelation(datagen::GenerateRmat(opt)));
+    const std::string name = "RMAT-" + std::to_string(n >> 10) + "K";
+
+    struct QuerySpec {
+      const char* label;
+      std::string sql;
+    };
+    const QuerySpec queries[] = {
+        {"CC", kCcQuery},
+        {"REACH", ReachQuery(0)},
+        {"SSSP", SsspQuery(0)},
+    };
+    for (const QuerySpec& q : queries) {
+      engine::EngineConfig combined = RaSqlConfig();
+      combined.dist_fixpoint.decomposed =
+          fixpoint::DistFixpointOptions::Decomposed::kOff;
+      RunTiming with = RunEngine(combined, tables, q.sql);
+
+      engine::EngineConfig plain = combined;
+      plain.dist_fixpoint.combine_stages = false;
+      RunTiming without = RunEngine(plain, tables, q.sql);
+
+      char speedup[16];
+      std::snprintf(speedup, sizeof(speedup), "%.2fx",
+                    without.sim_time / with.sim_time);
+      PrintRow({name, q.label, Fmt(with.sim_time), Fmt(without.sim_time),
+                speedup,
+                std::to_string(with.stages) + " vs " +
+                    std::to_string(without.stages)});
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rasql::bench
+
+int main() {
+  rasql::bench::Run();
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Reproduces paper Figure 6: effect of decomposed-plan evaluation and
+// broadcast compression on the TC query over grids, Erdos-Renyi graphs and
+// trees (paper's Grid150/Grid250/G10K-3/G10K-2/N-40M/N-80M, scaled).
+
+#include "bench/bench_util.h"
+
+namespace rasql::bench {
+namespace {
+
+struct Dataset {
+  std::string name;
+  storage::Relation edges;
+};
+
+std::vector<Dataset> Datasets() {
+  std::vector<Dataset> out;
+  {
+    datagen::GridOptions g;
+    g.side = 25;
+    out.push_back({"Grid25", datagen::ToEdgeRelation(GenerateGrid(g))});
+    g.side = 35;
+    out.push_back({"Grid35", datagen::ToEdgeRelation(GenerateGrid(g))});
+  }
+  {
+    datagen::ErdosRenyiOptions e;
+    e.num_vertices = 1000;
+    e.edge_probability = 1e-3;
+    out.push_back({"G1K-3", datagen::ToEdgeRelation(GenerateErdosRenyi(e))});
+    e.edge_probability = 2e-3;
+    out.push_back({"G1K-2.7",
+                   datagen::ToEdgeRelation(GenerateErdosRenyi(e))});
+  }
+  {
+    datagen::TreeOptions t;
+    t.height = 8;
+    t.max_nodes = 20'000;
+    out.push_back({"N-20K", datagen::ToEdgeRelation(GenerateTree(t))});
+    t.max_nodes = 40'000;
+    t.seed = 9;
+    out.push_back({"N-40K", datagen::ToEdgeRelation(GenerateTree(t))});
+  }
+  return out;
+}
+
+void Run() {
+  PrintHeader(
+      "Figure 6: Effect of Decomposition and Broadcast Compression (TC)",
+      "paper Fig. 6");
+  PrintRow({"dataset", "no-opt", "decompose", "dec+compress", "tc-rows"},
+           16);
+
+  for (Dataset& dataset : Datasets()) {
+    std::map<std::string, storage::Relation> tables;
+    tables.emplace("edge", std::move(dataset.edges));
+
+    engine::EngineConfig no_opt = RaSqlConfig();
+    no_opt.dist_fixpoint.decomposed =
+        fixpoint::DistFixpointOptions::Decomposed::kOff;
+    RunTiming plain = RunEngine(no_opt, tables, kTcQuery);
+
+    engine::EngineConfig decomposed = RaSqlConfig();
+    decomposed.dist_fixpoint.decomposed =
+        fixpoint::DistFixpointOptions::Decomposed::kOn;
+    decomposed.dist_fixpoint.compress_broadcast = false;
+    RunTiming dec = RunEngine(decomposed, tables, kTcQuery);
+
+    decomposed.dist_fixpoint.compress_broadcast = true;
+    RunTiming dec_comp = RunEngine(decomposed, tables, kTcQuery);
+
+    PrintRow({dataset.name, Fmt(plain.sim_time), Fmt(dec.sim_time),
+              Fmt(dec_comp.sim_time), std::to_string(plain.result)},
+             16);
+  }
+}
+
+}  // namespace
+}  // namespace rasql::bench
+
+int main() {
+  rasql::bench::Run();
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Reproduces paper Figure 8: REACH/CC/SSSP across systems (RaSQL,
+// BigDatalog, GraphX, Giraph, Myria) on RMAT graphs of increasing size.
+// Expected shape: Myria fastest on the smallest graphs (low overhead) but
+// scaling poorly; GraphX slowest among the distributed systems; RaSQL and
+// Giraph closest to each other and fastest at scale.
+
+#include "bench/bench_util.h"
+
+namespace rasql::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Figure 8: System comparison on RMAT graphs",
+              "paper Fig. 8 (a)-(c)");
+
+  struct QuerySpec {
+    const char* label;
+    baselines::PregelAlgorithm algorithm;
+  };
+  const QuerySpec queries[] = {
+      {"REACH", baselines::PregelAlgorithm::kReach},
+      {"CC", baselines::PregelAlgorithm::kConnectedComponents},
+      {"SSSP", baselines::PregelAlgorithm::kSssp},
+  };
+
+  for (const QuerySpec& q : queries) {
+    std::printf("\n--- %s ---\n", q.label);
+    PrintRow({"vertices", "RaSQL", "BigDatalog", "GraphX", "Giraph",
+              "Myria"});
+    for (int64_t n : {int64_t{1} << 10, int64_t{2} << 10, int64_t{4} << 10,
+                      int64_t{8} << 10, int64_t{16} << 10,
+                      int64_t{32} << 10}) {
+      datagen::RmatOptions opt;
+      opt.num_vertices = n;
+      opt.edges_per_vertex = 10;
+      opt.weighted = true;
+      opt.seed = 8;
+      datagen::Graph graph = datagen::GenerateRmat(opt);
+      std::map<std::string, storage::Relation> tables;
+      tables.emplace("edge", datagen::ToEdgeRelation(graph));
+
+      std::string sql;
+      switch (q.algorithm) {
+        case baselines::PregelAlgorithm::kReach:
+          sql = ReachQuery(0);
+          break;
+        case baselines::PregelAlgorithm::kConnectedComponents:
+          sql = kCcQuery;
+          break;
+        case baselines::PregelAlgorithm::kSssp:
+          sql = SsspQuery(0);
+          break;
+      }
+
+      RunTiming rasql = RunEngine(RaSqlConfig(), tables, sql);
+      RunTiming bigdatalog = RunEngine(BigDatalogConfig(), tables, sql);
+      RunTiming myria = RunEngine(MyriaConfig(), tables, sql);
+      RunTiming graphx = RunPregelSystem(graph, q.algorithm,
+                                         baselines::SystemProfile::kGraphX);
+      RunTiming giraph = RunPregelSystem(graph, q.algorithm,
+                                         baselines::SystemProfile::kGiraph);
+
+      PrintRow({std::to_string(n >> 10) + "K", Fmt(rasql.sim_time),
+                Fmt(bigdatalog.sim_time), Fmt(graphx.sim_time),
+                Fmt(giraph.sim_time), Fmt(myria.sim_time)});
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rasql::bench
+
+int main() {
+  rasql::bench::Run();
+  return 0;
+}

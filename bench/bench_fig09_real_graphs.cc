@@ -1,0 +1,100 @@
+// Reproduces paper Figure 9 + Table 3: system comparison on four real-world
+// graphs. The proprietary downloads (livejournal/orkut/arabic/twitter) are
+// unavailable offline, so skew-matched RMAT stand-ins at ~1/400 scale play
+// their role (same power-law degree skew; see DESIGN.md §1). Table 3's CC
+// row adds the single-threaded COST/GAP-serial baselines and a modeled
+// GAP-parallel (measured serial work over 8 cores at 70% efficiency).
+
+#include "bench/bench_util.h"
+
+namespace rasql::bench {
+namespace {
+
+struct RealGraph {
+  std::string name;
+  datagen::Graph graph;
+};
+
+std::vector<RealGraph> Graphs() {
+  auto make = [](std::string name, int64_t vertices, int64_t degree,
+                 uint64_t seed) {
+    datagen::RmatOptions opt;
+    opt.num_vertices = vertices;
+    opt.edges_per_vertex = degree;
+    opt.weighted = true;
+    opt.seed = seed;
+    return RealGraph{std::move(name), datagen::GenerateRmat(opt)};
+  };
+  // vertex/degree shapes follow the paper's Table 1 at ~1/400 scale.
+  std::vector<RealGraph> graphs;
+  graphs.push_back(make("livejournal-sim", 12 << 10, 14, 91));
+  graphs.push_back(make("orkut-sim", 8 << 10, 38, 92));
+  graphs.push_back(make("arabic-sim", 56 << 10, 12, 93));
+  graphs.push_back(make("twitter-sim", 32 << 10, 35, 94));
+  return graphs;
+}
+
+void Run() {
+  PrintHeader("Figure 9 + Table 3: systems on real-world graph stand-ins",
+              "paper Fig. 9 / Table 3");
+
+  struct QuerySpec {
+    const char* label;
+    baselines::PregelAlgorithm algorithm;
+  };
+  const QuerySpec queries[] = {
+      {"REACH", baselines::PregelAlgorithm::kReach},
+      {"CC", baselines::PregelAlgorithm::kConnectedComponents},
+      {"SSSP", baselines::PregelAlgorithm::kSssp},
+  };
+
+  for (RealGraph& g : Graphs()) {
+    std::printf("\n--- %s: %lld vertices, %zu edges ---\n", g.name.c_str(),
+                static_cast<long long>(g.graph.num_vertices),
+                g.graph.num_edges());
+    std::map<std::string, storage::Relation> tables;
+    tables.emplace("edge", datagen::ToEdgeRelation(g.graph));
+    PrintRow({"query", "RaSQL", "BigDatalog", "GraphX", "Giraph", "Myria",
+              "GAP-serial", "GAP-par", "COST"},
+             12);
+    for (const QuerySpec& q : queries) {
+      std::string sql;
+      switch (q.algorithm) {
+        case baselines::PregelAlgorithm::kReach:
+          sql = ReachQuery(1);
+          break;
+        case baselines::PregelAlgorithm::kConnectedComponents:
+          sql = kCcQuery;
+          break;
+        case baselines::PregelAlgorithm::kSssp:
+          sql = SsspQuery(1);
+          break;
+      }
+      RunTiming rasql = RunEngine(RaSqlConfig(), tables, sql);
+      RunTiming bigdatalog = RunEngine(BigDatalogConfig(), tables, sql);
+      RunTiming myria = RunEngine(MyriaConfig(), tables, sql);
+      RunTiming graphx = RunPregelSystem(
+          g.graph, q.algorithm, baselines::SystemProfile::kGraphX, 1);
+      RunTiming giraph = RunPregelSystem(
+          g.graph, q.algorithm, baselines::SystemProfile::kGiraph, 1);
+      const double gap_serial = RunGapSerial(g.graph, q.algorithm, 1);
+      const double gap_parallel = gap_serial / kGapParallelCores;
+      // COST: same serial algorithm but reading a pre-built binary CSR —
+      // no load/convert step, modeled as the algorithm-only portion (~60%).
+      const double cost = gap_serial * 0.6;
+      PrintRow({q.label, Fmt(rasql.sim_time), Fmt(bigdatalog.sim_time),
+                Fmt(graphx.sim_time), Fmt(giraph.sim_time),
+                Fmt(myria.sim_time), Fmt(gap_serial), Fmt(gap_parallel),
+                Fmt(cost)},
+               12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rasql::bench
+
+int main() {
+  rasql::bench::Run();
+  return 0;
+}

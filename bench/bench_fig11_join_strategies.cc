@@ -1,0 +1,59 @@
+// Reproduces paper Figure 11 (Appendix D): shuffle-hash join (cached build
+// side) vs sort-merge join inside the fixpoint, on CC/REACH/SSSP.
+
+#include "bench/bench_util.h"
+
+namespace rasql::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Figure 11: Shuffle-Hash Join vs Sort-Merge Join",
+              "paper Fig. 11 (Appendix D)");
+  PrintRow({"dataset", "query", "shuffle-hash", "sort-merge", "ratio"});
+
+  for (int64_t n : {int64_t{8} << 10, int64_t{16} << 10, int64_t{32} << 10,
+                    int64_t{64} << 10}) {
+    datagen::RmatOptions opt;
+    opt.num_vertices = n;
+    opt.edges_per_vertex = 10;
+    opt.weighted = true;
+    opt.seed = 11;
+    std::map<std::string, storage::Relation> tables;
+    tables.emplace("edge",
+                   datagen::ToEdgeRelation(datagen::GenerateRmat(opt)));
+    const std::string name = "RMAT-" + std::to_string(n >> 10) + "K";
+
+    struct QuerySpec {
+      const char* label;
+      std::string sql;
+    };
+    const QuerySpec queries[] = {
+        {"CC", kCcQuery},
+        {"REACH", ReachQuery(0)},
+        {"SSSP", SsspQuery(0)},
+    };
+    for (const QuerySpec& q : queries) {
+      engine::EngineConfig hash = RaSqlConfig();
+      hash.fixpoint.join_algorithm = physical::JoinAlgorithm::kHash;
+      RunTiming shuffle_hash = RunEngine(hash, tables, q.sql);
+
+      engine::EngineConfig merge = RaSqlConfig();
+      merge.fixpoint.join_algorithm = physical::JoinAlgorithm::kSortMerge;
+      RunTiming sort_merge = RunEngine(merge, tables, q.sql);
+
+      char ratio[16];
+      std::snprintf(ratio, sizeof(ratio), "%.2fx",
+                    sort_merge.sim_time / shuffle_hash.sim_time);
+      PrintRow({name, q.label, Fmt(shuffle_hash.sim_time),
+                Fmt(sort_merge.sim_time), ratio});
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rasql::bench
+
+int main() {
+  rasql::bench::Run();
+  return 0;
+}

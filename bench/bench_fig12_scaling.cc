@@ -1,0 +1,87 @@
+// Reproduces paper Figure 12 (Appendix F): scaling the cluster from 1 to
+// 15 workers on TC and SG over synthetic graphs. The simulated makespan
+// shrinks as workers are added; the 15-worker/2-worker speedup mirrors the
+// paper's 7x (TC) / 10x (SG).
+
+#include "bench/bench_util.h"
+
+namespace rasql::bench {
+namespace {
+
+struct Workload {
+  std::string name;
+  std::string table;  // "edge" or "rel"
+  std::string sql;
+  storage::Relation data;
+};
+
+std::vector<Workload> Workloads() {
+  std::vector<Workload> out;
+  {
+    datagen::GridOptions g;
+    g.side = 45;
+    out.push_back({"TC-Grid45", "edge", kTcQuery,
+                   datagen::ToEdgeRelation(GenerateGrid(g))});
+  }
+  {
+    datagen::ErdosRenyiOptions e;
+    e.num_vertices = 2000;
+    e.edge_probability = 1e-3;
+    e.seed = 12;
+    out.push_back({"TC-G2K-3", "edge", kTcQuery,
+                   datagen::ToEdgeRelation(GenerateErdosRenyi(e))});
+  }
+  {
+    datagen::TreeOptions t;
+    t.height = 5;
+    t.min_children = 4;
+    t.max_children = 5;
+    t.max_nodes = 1000;
+    t.leaf_probability = 0.0;
+    storage::Relation rel{storage::Schema::Of(
+        {{"Parent", storage::ValueType::kInt64},
+         {"Child", storage::ValueType::kInt64}})};
+    datagen::Graph tree = datagen::GenerateTree(t);
+    for (const auto& [p, c] : tree.edges) {
+      rel.Add({storage::Value::Int(p), storage::Value::Int(c)});
+    }
+    out.push_back({"SG-Tree5", "rel", kSgQuery, std::move(rel)});
+  }
+  return out;
+}
+
+void Run() {
+  PrintHeader("Figure 12: Scaling-out cluster size (TC, SG)",
+              "paper Fig. 12 (Appendix F)");
+  PrintRow({"workload", "1w", "2w", "4w", "8w", "15w", "2w/15w"});
+
+  for (Workload& w : Workloads()) {
+    std::map<std::string, storage::Relation> tables;
+    tables.emplace(w.table, std::move(w.data));
+    std::vector<std::string> cells = {w.name};
+    double two_workers = 0;
+    double fifteen_workers = 0;
+    for (int workers : {1, 2, 4, 8, 15}) {
+      engine::EngineConfig config = RaSqlConfig();
+      config.cluster.num_workers = workers;
+      config.cluster.num_partitions = workers * 2;
+      RunTiming t = RunEngine(config, tables, w.sql);
+      cells.push_back(Fmt(t.sim_time));
+      if (workers == 2) two_workers = t.sim_time;
+      if (workers == 15) fifteen_workers = t.sim_time;
+    }
+    char speedup[16];
+    std::snprintf(speedup, sizeof(speedup), "%.1fx",
+                  two_workers / fifteen_workers);
+    cells.push_back(speedup);
+    PrintRow(cells);
+  }
+}
+
+}  // namespace
+}  // namespace rasql::bench
+
+int main() {
+  rasql::bench::Run();
+  return 0;
+}

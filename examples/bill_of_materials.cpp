@@ -1,0 +1,67 @@
+// The paper's running example (Sec. 2): Bill of Materials. Shows the
+// stratified SQL:99 query (Q1) and the equivalent RaSQL endo-max query
+// (Q2), verifies they agree (the PreM guarantee), and prints the compiled
+// plan of Q2 — the counterpart of the paper's Figure 2.
+
+#include <cstdio>
+
+#include "datagen/graph_gen.h"
+#include "engine/rasql_context.h"
+
+int main() {
+  // Generate an assembly hierarchy: a tree of parts whose leaves are
+  // basic parts with delivery days.
+  rasql::datagen::TreeOptions opt;
+  opt.height = 6;
+  opt.max_nodes = 5000;
+  rasql::datagen::Graph tree = rasql::datagen::GenerateTree(opt);
+  rasql::storage::Relation assbl;
+  rasql::storage::Relation basic;
+  rasql::datagen::ToBomRelations(tree, /*seed=*/7, &assbl, &basic);
+  std::printf("bill of materials: %zu assembly edges, %zu basic parts\n\n",
+              assbl.size(), basic.size());
+
+  rasql::engine::RaSqlContext ctx;
+  (void)ctx.RegisterTable("assbl", std::move(assbl));
+  (void)ctx.RegisterTable("basic", std::move(basic));
+
+  // Q1: the stratified SQL:99 version — recursion completes, then max.
+  const char* q1 = R"(
+      WITH recursive waitfor(Part, Days) AS
+        (SELECT Part, Days FROM basic) UNION
+        (SELECT assbl.Part, waitfor.Days FROM assbl, waitfor
+         WHERE assbl.Spart = waitfor.Part)
+      SELECT Part, max(Days) AS Days FROM waitfor GROUP BY Part)";
+
+  // Q2: the RaSQL endo-max version — max() inside the recursive head.
+  const char* q2 = R"(
+      WITH recursive waitfor(Part, max() as Days) AS
+        (SELECT Part, Days FROM basic) UNION
+        (SELECT assbl.Part, waitfor.Days FROM assbl, waitfor
+         WHERE assbl.Spart = waitfor.Part)
+      SELECT Part, Days FROM waitfor)";
+
+  auto r1 = ctx.Execute(q1);
+  const auto stratified_deltas = ctx.last_fixpoint_stats().total_delta_rows;
+  auto r2 = ctx.Execute(q2);
+  const auto rasql_deltas = ctx.last_fixpoint_stats().total_delta_rows;
+  if (!r1.ok() || !r2.ok()) {
+    std::fprintf(stderr, "query failed\n");
+    return 1;
+  }
+
+  std::printf("Q1 (stratified) rows: %zu, total delta tuples: %zu\n",
+              r1->size(), stratified_deltas);
+  std::printf("Q2 (endo-max)  rows: %zu, total delta tuples: %zu\n",
+              r2->size(), rasql_deltas);
+  std::printf("results identical (PreM): %s\n",
+              rasql::storage::SameBag(*r1, *r2) ? "yes" : "NO (bug!)");
+  std::printf(
+      "aggregate-in-recursion pruned %.1fx of the delta tuples\n\n",
+      static_cast<double>(stratified_deltas) /
+          static_cast<double>(rasql_deltas));
+
+  auto plan = ctx.Explain(q2);
+  std::printf("compiled plan of Q2 (paper Fig. 2):\n%s", plan->c_str());
+  return 0;
+}

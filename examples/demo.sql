@@ -1,0 +1,8 @@
+.load edge examples/data/edges.csv
+.tables
+WITH recursive path (Dst, min() AS Cost) AS
+  (SELECT 0, 0.0) UNION
+  (SELECT edge.Dst, path.Cost + edge.Cost
+   FROM path, edge WHERE path.Dst = edge.Src)
+SELECT Dst, Cost FROM path ORDER BY Dst;
+.stats

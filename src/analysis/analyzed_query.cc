@@ -1,0 +1,50 @@
+#include "analysis/analyzed_query.h"
+
+#include "plan/optimizer.h"
+
+namespace rasql::analysis {
+
+void AnalyzedQuery::Optimize(const plan::OptimizerOptions& options) {
+  for (RecursiveClique& clique : cliques) {
+    for (RecursiveView& view : clique.views) {
+      for (plan::PlanPtr& p : view.base_plans) {
+        p = plan::Optimize(std::move(p), options);
+      }
+      for (plan::PlanPtr& p : view.recursive_plans) {
+        p = plan::Optimize(std::move(p), options);
+      }
+    }
+  }
+  if (body) body = plan::Optimize(std::move(body), options);
+}
+
+
+std::string AnalyzedQuery::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < cliques.size(); ++i) {
+    const RecursiveClique& clique = cliques[i];
+    out += "=== Clique " + std::to_string(i) +
+           (clique.IsRecursive() ? " (recursive)" : "") + " ===\n";
+    for (const RecursiveView& view : clique.views) {
+      out += "View " + view.name + " [" + view.schema.ToString() + "]";
+      if (view.aggregate != expr::AggregateFunction::kNone) {
+        out += " agg=" +
+               std::string(expr::AggregateFunctionName(view.aggregate)) +
+               "(col#" + std::to_string(view.agg_column) + ")";
+      }
+      if (!view.semi_naive_safe) out += " [naive-only]";
+      out += "\n";
+      for (const plan::PlanPtr& p : view.base_plans) {
+        out += " Base:\n" + p->ToString(2);
+      }
+      for (const plan::PlanPtr& p : view.recursive_plans) {
+        out += " Recursive:\n" + p->ToString(2);
+      }
+    }
+  }
+  out += "=== Body ===\n";
+  out += body->ToString(0);
+  return out;
+}
+
+}  // namespace rasql::analysis

@@ -1,0 +1,73 @@
+#ifndef RASQL_ANALYSIS_ANALYZED_QUERY_H_
+#define RASQL_ANALYSIS_ANALYZED_QUERY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "expr/expr.h"
+#include "plan/logical_plan.h"
+#include "plan/optimizer.h"
+#include "storage/schema.h"
+
+namespace rasql::analysis {
+
+/// One analyzed recursive view: its typed schema, the head aggregate (the
+/// paper's `min() AS Cost` syntax, with implicit group-by over the other
+/// columns), and its compiled base / recursive branch plans.
+struct RecursiveView {
+  std::string name;  ///< canonical (lowercase) view name
+  storage::Schema schema;
+  /// Position of the aggregate head column, -1 when the head has none.
+  int agg_column = -1;
+  expr::AggregateFunction aggregate = expr::AggregateFunction::kNone;
+  /// Branches whose FROM references no same-clique view.
+  std::vector<plan::PlanPtr> base_plans;
+  /// Branches with at least one RecursiveRefNode (same-clique reference).
+  std::vector<plan::PlanPtr> recursive_plans;
+  /// False when only the naive fixpoint is guaranteed correct for this view
+  /// (e.g. a sum view whose recursive branch uses the aggregate column
+  /// non-linearly) — see DESIGN.md §4.
+  bool semi_naive_safe = true;
+};
+
+/// A strongly connected component of the CTE dependency graph — the
+/// paper's Recursive Clique (Fig. 2a). Non-recursive views appear as
+/// single-view cliques with no recursive plans and evaluate in one shot.
+struct RecursiveClique {
+  std::vector<RecursiveView> views;
+
+  bool IsRecursive() const {
+    for (const RecursiveView& v : views) {
+      if (!v.recursive_plans.empty()) return true;
+    }
+    return false;
+  }
+  const RecursiveView* FindView(const std::string& name) const {
+    for (const RecursiveView& v : views) {
+      if (v.name == name) return &v;
+    }
+    return nullptr;
+  }
+};
+
+/// A fully analyzed query: cliques in topological evaluation order followed
+/// by the final SELECT body (which references views via TableScan nodes —
+/// they are materialized by the time the body runs).
+struct AnalyzedQuery {
+  std::vector<RecursiveClique> cliques;
+  plan::PlanPtr body;
+
+  /// Runs the optimizer over every compiled plan (clique branches and the
+  /// body). Callers that execute plans directly (fixpoint evaluators,
+  /// baselines) must call this — unoptimized branch plans still contain
+  /// cross products.
+  void Optimize(const plan::OptimizerOptions& options);
+
+  /// EXPLAIN rendering: clique plans then the body plan.
+  std::string ToString() const;
+};
+
+}  // namespace rasql::analysis
+
+#endif  // RASQL_ANALYSIS_ANALYZED_QUERY_H_

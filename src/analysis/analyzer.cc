@@ -1,0 +1,807 @@
+#include "analysis/analyzer.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+#include "common/check.h"
+#include "sql/parser.h"
+
+namespace rasql::analysis {
+
+using common::Result;
+using common::Status;
+using expr::AggregateFunction;
+using expr::BinaryOp;
+using expr::ExprPtr;
+using plan::PlanPtr;
+using sql::AstExpr;
+using storage::EqualsIgnoreCase;
+using storage::Schema;
+using storage::ToLower;
+using storage::ValueType;
+
+namespace {
+
+/// Output column name for a select item.
+std::string ItemName(const sql::SelectItem& item, int index) {
+  if (!item.alias.empty()) return item.alias;
+  if (item.expr->kind == AstExpr::Kind::kColumn) return item.expr->name;
+  if (item.expr->kind == AstExpr::Kind::kAggCall) {
+    return expr::AggregateFunctionName(item.expr->agg_fn);
+  }
+  return "_c" + std::to_string(index);
+}
+
+/// Unifies a known column type with a newly observed one. kNull acts as
+/// "unknown". Returns nullopt on a hard conflict (string vs numeric).
+std::optional<ValueType> UnifyTypes(ValueType a, ValueType b) {
+  if (a == b) return a;
+  if (a == ValueType::kNull) return b;
+  if (b == ValueType::kNull) return a;
+  const bool a_num = a == ValueType::kInt64 || a == ValueType::kDouble;
+  const bool b_num = b == ValueType::kInt64 || b == ValueType::kDouble;
+  if (a_num && b_num) return ValueType::kDouble;
+  return std::nullopt;
+}
+
+/// Collects (deduplicated, in discovery order) aggregate calls in an AST.
+void CollectAggCalls(const AstExpr& ast,
+                     std::vector<const AstExpr*>* out) {
+  if (ast.kind == AstExpr::Kind::kAggCall) {
+    for (const AstExpr* existing : *out) {
+      if (AstEqual(*existing, ast)) return;
+    }
+    out->push_back(&ast);
+    return;  // nested aggregates are rejected during resolution
+  }
+  if (ast.lhs) CollectAggCalls(*ast.lhs, out);
+  if (ast.rhs) CollectAggCalls(*ast.rhs, out);
+}
+
+/// Walks an expression tree checking that every node has a known type.
+Status VerifyExprTyped(const expr::Expr& e, const std::string& context) {
+  if (e.output_type() == ValueType::kNull &&
+      e.kind() != expr::Expr::Kind::kLiteral) {
+    return Status::AnalysisError("type error in " + context + ": '" +
+                                 e.ToString() +
+                                 "' has incompatible operand types");
+  }
+  switch (e.kind()) {
+    case expr::Expr::Kind::kBinary: {
+      const auto& bin = static_cast<const expr::BinaryExpr&>(e);
+      RASQL_RETURN_IF_ERROR(VerifyExprTyped(bin.lhs(), context));
+      return VerifyExprTyped(bin.rhs(), context);
+    }
+    case expr::Expr::Kind::kNot:
+      return VerifyExprTyped(
+          static_cast<const expr::NotExpr&>(e).input(), context);
+    case expr::Expr::Kind::kNegate:
+      return VerifyExprTyped(
+          static_cast<const expr::NegateExpr&>(e).input(), context);
+    default:
+      return Status::OK();
+  }
+}
+
+/// Recursively verifies that all expressions in a plan are fully typed.
+Status VerifyPlanTyped(const plan::LogicalPlan& p) {
+  switch (p.kind()) {
+    case plan::PlanKind::kFilter:
+      RASQL_RETURN_IF_ERROR(VerifyExprTyped(
+          static_cast<const plan::FilterNode&>(p).predicate(), "WHERE"));
+      break;
+    case plan::PlanKind::kProject:
+      for (const ExprPtr& e :
+           static_cast<const plan::ProjectNode&>(p).exprs()) {
+        RASQL_RETURN_IF_ERROR(VerifyExprTyped(*e, "SELECT"));
+      }
+      break;
+    case plan::PlanKind::kAggregate: {
+      const auto& agg = static_cast<const plan::AggregateNode&>(p);
+      for (const ExprPtr& e : agg.group_exprs()) {
+        RASQL_RETURN_IF_ERROR(VerifyExprTyped(*e, "GROUP BY"));
+      }
+      for (const plan::AggregateItem& item : agg.items()) {
+        if (item.argument) {
+          RASQL_RETURN_IF_ERROR(VerifyExprTyped(*item.argument, "aggregate"));
+        }
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  for (const PlanPtr& child : p.children()) {
+    RASQL_RETURN_IF_ERROR(VerifyPlanTyped(*child));
+  }
+  return Status::OK();
+}
+
+/// Does `ast` reference column `column_name` of binding `binding_name`
+/// (qualified or unqualified)?
+bool ReferencesColumn(const AstExpr& ast, const std::string& binding_name,
+                      const std::string& column_name) {
+  if (ast.kind == AstExpr::Kind::kColumn) {
+    if (!EqualsIgnoreCase(ast.name, column_name)) return false;
+    return ast.qualifier.empty() ||
+           EqualsIgnoreCase(ast.qualifier, binding_name);
+  }
+  if (ast.lhs && ReferencesColumn(*ast.lhs, binding_name, column_name)) {
+    return true;
+  }
+  if (ast.rhs && ReferencesColumn(*ast.rhs, binding_name, column_name)) {
+    return true;
+  }
+  return false;
+}
+
+/// True when `ast` is `ref.agg_col` or `ref.agg_col * literal` /
+/// `literal * ref.agg_col` — the homogeneous-linear shapes under which
+/// propagating sum/count *increments* is exact (DESIGN.md §4).
+bool IsLinearInAggColumn(const AstExpr& ast, const std::string& binding_name,
+                         const std::string& column_name) {
+  if (ast.kind == AstExpr::Kind::kColumn) {
+    return ReferencesColumn(ast, binding_name, column_name);
+  }
+  if (ast.kind == AstExpr::Kind::kBinary && ast.op == BinaryOp::kMul) {
+    const bool lhs_is_col =
+        ast.lhs->kind == AstExpr::Kind::kColumn &&
+        ReferencesColumn(*ast.lhs, binding_name, column_name);
+    const bool rhs_is_col =
+        ast.rhs->kind == AstExpr::Kind::kColumn &&
+        ReferencesColumn(*ast.rhs, binding_name, column_name);
+    const bool lhs_is_lit = ast.lhs->kind == AstExpr::Kind::kLiteral;
+    const bool rhs_is_lit = ast.rhs->kind == AstExpr::Kind::kLiteral;
+    return (lhs_is_col && rhs_is_lit) || (lhs_is_lit && rhs_is_col);
+  }
+  return false;
+}
+
+}  // namespace
+
+bool AstEqual(const AstExpr& a, const AstExpr& b) {
+  if (a.kind != b.kind) return false;
+  switch (a.kind) {
+    case AstExpr::Kind::kColumn:
+      return EqualsIgnoreCase(a.qualifier, b.qualifier) &&
+             EqualsIgnoreCase(a.name, b.name);
+    case AstExpr::Kind::kLiteral:
+      return a.literal == b.literal && a.literal.type() == b.literal.type();
+    case AstExpr::Kind::kBinary:
+      return a.op == b.op && AstEqual(*a.lhs, *b.lhs) &&
+             AstEqual(*a.rhs, *b.rhs);
+    case AstExpr::Kind::kNot:
+    case AstExpr::Kind::kNegate:
+      return AstEqual(*a.lhs, *b.lhs);
+    case AstExpr::Kind::kAggCall:
+      if (a.agg_fn != b.agg_fn || a.distinct != b.distinct) return false;
+      if ((a.lhs == nullptr) != (b.lhs == nullptr)) return false;
+      return a.lhs == nullptr || AstEqual(*a.lhs, *b.lhs);
+    case AstExpr::Kind::kStar:
+      return true;
+  }
+  return false;
+}
+
+bool ContainsAggCall(const AstExpr& ast) {
+  if (ast.kind == AstExpr::Kind::kAggCall) return true;
+  if (ast.lhs && ContainsAggCall(*ast.lhs)) return true;
+  if (ast.rhs && ContainsAggCall(*ast.rhs)) return true;
+  return false;
+}
+
+Result<ExprPtr> Analyzer::ResolveColumn(const AstExpr& ast,
+                                        const Scope& scope) {
+  const Binding* found_binding = nullptr;
+  int found_index = -1;
+  for (const Binding& binding : scope.bindings) {
+    if (!ast.qualifier.empty() &&
+        !EqualsIgnoreCase(ast.qualifier, binding.name)) {
+      continue;
+    }
+    const int idx = binding.schema->FindColumn(ast.name);
+    if (idx < 0) continue;
+    if (found_binding != nullptr) {
+      return Status::AnalysisError("ambiguous column reference '" +
+                                   ast.ToString() + "'");
+    }
+    found_binding = &binding;
+    found_index = idx;
+  }
+  if (found_binding == nullptr) {
+    return Status::AnalysisError("unknown column '" + ast.ToString() + "'");
+  }
+  const storage::Column& col = found_binding->schema->column(found_index);
+  return expr::MakeColumnRef(found_binding->offset + found_index, col.type,
+                             col.name);
+}
+
+Result<ExprPtr> Analyzer::ResolveExpr(const AstExpr& ast, const Scope& scope) {
+  switch (ast.kind) {
+    case AstExpr::Kind::kColumn:
+      return ResolveColumn(ast, scope);
+    case AstExpr::Kind::kLiteral:
+      return expr::MakeLiteral(ast.literal);
+    case AstExpr::Kind::kBinary: {
+      RASQL_ASSIGN_OR_RETURN(ExprPtr lhs, ResolveExpr(*ast.lhs, scope));
+      RASQL_ASSIGN_OR_RETURN(ExprPtr rhs, ResolveExpr(*ast.rhs, scope));
+      return expr::MakeBinary(ast.op, std::move(lhs), std::move(rhs));
+    }
+    case AstExpr::Kind::kNot: {
+      RASQL_ASSIGN_OR_RETURN(ExprPtr input, ResolveExpr(*ast.lhs, scope));
+      return ExprPtr(std::make_unique<expr::NotExpr>(std::move(input)));
+    }
+    case AstExpr::Kind::kNegate: {
+      RASQL_ASSIGN_OR_RETURN(ExprPtr input, ResolveExpr(*ast.lhs, scope));
+      return ExprPtr(std::make_unique<expr::NegateExpr>(std::move(input)));
+    }
+    case AstExpr::Kind::kAggCall:
+      return Status::AnalysisError(
+          "aggregate '" + ast.ToString() +
+          "' is not allowed here (only in SELECT items and HAVING)");
+    case AstExpr::Kind::kStar:
+      return Status::AnalysisError("'*' is only allowed inside count(*)");
+  }
+  return Status::Internal("unhandled AST node");
+}
+
+Result<PlanPtr> Analyzer::BuildFromClause(
+    const sql::SelectStmt& select,
+    const std::map<std::string, Schema>& clique_views, Scope* scope,
+    bool* references_clique) {
+  if (select.from.empty()) {
+    // FROM-less select: a single empty row to project literals from.
+    return PlanPtr(std::make_unique<plan::ValuesNode>(
+        Schema(), std::vector<storage::Row>{storage::Row{}}));
+  }
+
+  PlanPtr plan;
+  for (const sql::TableRef& ref : select.from) {
+    const std::string binding_name = ref.BindingName();
+    for (const Binding& existing : scope->bindings) {
+      if (EqualsIgnoreCase(existing.name, binding_name)) {
+        return Status::AnalysisError("duplicate table binding '" +
+                                     binding_name + "' in FROM");
+      }
+    }
+
+    const std::string key = ToLower(ref.table_name);
+    PlanPtr scan;
+    const Schema* schema = nullptr;
+    bool is_recursive = false;
+    if (auto it = clique_views.find(key); it != clique_views.end()) {
+      schema = &it->second;
+      is_recursive = true;
+      *references_clique = true;
+      scan = std::make_unique<plan::RecursiveRefNode>(
+          key, *schema, scope->next_recursive_ordinal++);
+    } else if (auto vit = view_schemas_.find(key);
+               vit != view_schemas_.end()) {
+      schema = &vit->second;
+      scan = std::make_unique<plan::TableScanNode>(key, *schema);
+    } else if (const Schema* table = catalog_->FindTable(ref.table_name)) {
+      schema = table;
+      scan = std::make_unique<plan::TableScanNode>(key, *schema);
+    } else {
+      return Status::AnalysisError("unknown table or view '" +
+                                   ref.table_name + "'");
+    }
+
+    Binding binding;
+    binding.name = binding_name;
+    binding.offset = scope->total_columns;
+    binding.schema = schema;
+    binding.is_recursive = is_recursive;
+    scope->bindings.push_back(binding);
+    scope->total_columns += schema->num_columns();
+
+    if (!plan) {
+      plan = std::move(scan);
+    } else {
+      // Cross product; the optimizer extracts equi-join keys from WHERE.
+      plan = std::make_unique<plan::JoinNode>(std::move(plan),
+                                              std::move(scan),
+                                              std::vector<int>{},
+                                              std::vector<int>{});
+    }
+  }
+  // Scope bindings reference schemas owned by the catalog / clique map /
+  // view_schemas_, all of which outlive this call.
+  return plan;
+}
+
+Result<ExprPtr> Analyzer::ResolveAfterAggregate(
+    const AstExpr& ast, const Scope& input_scope,
+    const std::vector<const AstExpr*>& group_asts,
+    const std::vector<const AstExpr*>& agg_asts,
+    const Schema& agg_schema) {
+  // Exact structural match against a GROUP BY expression.
+  for (size_t i = 0; i < group_asts.size(); ++i) {
+    if (AstEqual(ast, *group_asts[i])) {
+      return expr::MakeColumnRef(static_cast<int>(i),
+                                 agg_schema.column(i).type,
+                                 agg_schema.column(i).name);
+    }
+  }
+  // Aggregate call match.
+  if (ast.kind == AstExpr::Kind::kAggCall) {
+    for (size_t j = 0; j < agg_asts.size(); ++j) {
+      if (AstEqual(ast, *agg_asts[j])) {
+        const int idx = static_cast<int>(group_asts.size() + j);
+        return expr::MakeColumnRef(idx, agg_schema.column(idx).type,
+                                   agg_schema.column(idx).name);
+      }
+    }
+    return Status::Internal("aggregate call was not collected");
+  }
+  // A column reference may match a group expression up to qualification
+  // (GROUP BY Part vs SELECT waitfor.Part): compare resolved positions.
+  if (ast.kind == AstExpr::Kind::kColumn) {
+    Result<ExprPtr> self = ResolveColumn(ast, input_scope);
+    if (self.ok()) {
+      const int self_index =
+          static_cast<const expr::ColumnRefExpr&>(**self).index();
+      for (size_t i = 0; i < group_asts.size(); ++i) {
+        if (group_asts[i]->kind != AstExpr::Kind::kColumn) continue;
+        Result<ExprPtr> group = ResolveColumn(*group_asts[i], input_scope);
+        if (group.ok() &&
+            static_cast<const expr::ColumnRefExpr&>(**group).index() ==
+                self_index) {
+          return expr::MakeColumnRef(static_cast<int>(i),
+                                     agg_schema.column(i).type,
+                                     agg_schema.column(i).name);
+        }
+      }
+    }
+    return Status::AnalysisError("column '" + ast.ToString() +
+                                 "' must appear in GROUP BY or inside an "
+                                 "aggregate");
+  }
+  switch (ast.kind) {
+    case AstExpr::Kind::kLiteral:
+      return expr::MakeLiteral(ast.literal);
+    case AstExpr::Kind::kBinary: {
+      RASQL_ASSIGN_OR_RETURN(
+          ExprPtr lhs, ResolveAfterAggregate(*ast.lhs, input_scope,
+                                             group_asts, agg_asts,
+                                             agg_schema));
+      RASQL_ASSIGN_OR_RETURN(
+          ExprPtr rhs, ResolveAfterAggregate(*ast.rhs, input_scope,
+                                             group_asts, agg_asts,
+                                             agg_schema));
+      return expr::MakeBinary(ast.op, std::move(lhs), std::move(rhs));
+    }
+    case AstExpr::Kind::kNot: {
+      RASQL_ASSIGN_OR_RETURN(
+          ExprPtr input, ResolveAfterAggregate(*ast.lhs, input_scope,
+                                               group_asts, agg_asts,
+                                               agg_schema));
+      return ExprPtr(std::make_unique<expr::NotExpr>(std::move(input)));
+    }
+    case AstExpr::Kind::kNegate: {
+      RASQL_ASSIGN_OR_RETURN(
+          ExprPtr input, ResolveAfterAggregate(*ast.lhs, input_scope,
+                                               group_asts, agg_asts,
+                                               agg_schema));
+      return ExprPtr(std::make_unique<expr::NegateExpr>(std::move(input)));
+    }
+    default:
+      return Status::AnalysisError("unsupported expression after GROUP BY");
+  }
+}
+
+Result<PlanPtr> Analyzer::AnalyzeSelectImpl(
+    const sql::SelectStmt& select,
+    const std::map<std::string, Schema>& clique_views,
+    bool* references_clique) {
+  Scope scope;
+  RASQL_ASSIGN_OR_RETURN(
+      PlanPtr plan,
+      BuildFromClause(select, clique_views, &scope, references_clique));
+
+  if (select.where) {
+    if (ContainsAggCall(*select.where)) {
+      return Status::AnalysisError(
+          "aggregates are not allowed in WHERE (use HAVING)");
+    }
+    RASQL_ASSIGN_OR_RETURN(ExprPtr predicate,
+                           ResolveExpr(*select.where, scope));
+    plan = std::make_unique<plan::FilterNode>(std::move(plan),
+                                              std::move(predicate));
+  }
+
+  bool has_agg = false;
+  for (const sql::SelectItem& item : select.items) {
+    has_agg |= ContainsAggCall(*item.expr);
+  }
+  if (select.having) has_agg |= ContainsAggCall(*select.having);
+
+  if (!select.group_by.empty() || has_agg) {
+    // ---- Aggregate path ----
+    std::vector<const AstExpr*> group_asts;
+    for (const sql::AstExprPtr& g : select.group_by) {
+      group_asts.push_back(g.get());
+    }
+    std::vector<const AstExpr*> agg_asts;
+    for (const sql::SelectItem& item : select.items) {
+      CollectAggCalls(*item.expr, &agg_asts);
+    }
+    if (select.having) CollectAggCalls(*select.having, &agg_asts);
+
+    std::vector<ExprPtr> group_exprs;
+    std::vector<storage::Column> agg_cols;
+    for (size_t i = 0; i < group_asts.size(); ++i) {
+      RASQL_ASSIGN_OR_RETURN(ExprPtr g, ResolveExpr(*group_asts[i], scope));
+      std::string name = group_asts[i]->kind == AstExpr::Kind::kColumn
+                             ? group_asts[i]->name
+                             : "_g" + std::to_string(i);
+      agg_cols.push_back(storage::Column{std::move(name), g->output_type()});
+      group_exprs.push_back(std::move(g));
+    }
+    std::vector<plan::AggregateItem> agg_items;
+    for (size_t j = 0; j < agg_asts.size(); ++j) {
+      const AstExpr& call = *agg_asts[j];
+      plan::AggregateItem item;
+      item.function = call.agg_fn;
+      item.distinct = call.distinct;
+      item.output_name = "_a" + std::to_string(j);
+      ValueType out_type = ValueType::kInt64;
+      if (call.lhs && call.lhs->kind != AstExpr::Kind::kStar) {
+        if (ContainsAggCall(*call.lhs)) {
+          return Status::AnalysisError("nested aggregate calls");
+        }
+        RASQL_ASSIGN_OR_RETURN(item.argument, ResolveExpr(*call.lhs, scope));
+        out_type = call.agg_fn == AggregateFunction::kCount
+                       ? ValueType::kInt64
+                       : item.argument->output_type();
+      } else if (call.agg_fn != AggregateFunction::kCount) {
+        return Status::AnalysisError(
+            std::string(expr::AggregateFunctionName(call.agg_fn)) +
+            "() needs an argument outside a recursive view head");
+      }
+      agg_cols.push_back(storage::Column{item.output_name, out_type});
+      agg_items.push_back(std::move(item));
+    }
+    Schema agg_schema{agg_cols};
+    plan = std::make_unique<plan::AggregateNode>(
+        std::move(plan), std::move(group_exprs), std::move(agg_items),
+        agg_schema);
+
+    if (select.having) {
+      RASQL_ASSIGN_OR_RETURN(
+          ExprPtr predicate,
+          ResolveAfterAggregate(*select.having, scope, group_asts, agg_asts,
+                                agg_schema));
+      plan = std::make_unique<plan::FilterNode>(std::move(plan),
+                                                std::move(predicate));
+    }
+
+    std::vector<ExprPtr> item_exprs;
+    std::vector<storage::Column> out_cols;
+    for (size_t i = 0; i < select.items.size(); ++i) {
+      RASQL_ASSIGN_OR_RETURN(
+          ExprPtr e,
+          ResolveAfterAggregate(*select.items[i].expr, scope, group_asts,
+                                agg_asts, agg_schema));
+      out_cols.push_back(storage::Column{
+          ItemName(select.items[i], static_cast<int>(i)), e->output_type()});
+      item_exprs.push_back(std::move(e));
+    }
+    plan = std::make_unique<plan::ProjectNode>(
+        std::move(plan), std::move(item_exprs), Schema(std::move(out_cols)));
+  } else {
+    // ---- Plain projection path ----
+    if (select.having) {
+      return Status::AnalysisError("HAVING requires GROUP BY or aggregates");
+    }
+    std::vector<ExprPtr> item_exprs;
+    std::vector<storage::Column> out_cols;
+    for (size_t i = 0; i < select.items.size(); ++i) {
+      RASQL_ASSIGN_OR_RETURN(ExprPtr e,
+                             ResolveExpr(*select.items[i].expr, scope));
+      out_cols.push_back(storage::Column{
+          ItemName(select.items[i], static_cast<int>(i)), e->output_type()});
+      item_exprs.push_back(std::move(e));
+    }
+    plan = std::make_unique<plan::ProjectNode>(
+        std::move(plan), std::move(item_exprs), Schema(std::move(out_cols)));
+  }
+
+  if (!select.order_by.empty()) {
+    // ORDER BY resolves against the projected output columns.
+    Scope out_scope;
+    Binding binding;
+    binding.name = "";
+    binding.offset = 0;
+    binding.schema = &plan->schema();
+    out_scope.bindings.push_back(binding);
+    out_scope.total_columns = plan->schema().num_columns();
+    std::vector<plan::SortNode::SortKey> keys;
+    for (const sql::OrderItem& item : select.order_by) {
+      plan::SortNode::SortKey key;
+      Result<ExprPtr> resolved = ResolveExpr(*item.expr, out_scope);
+      if (!resolved.ok() && item.expr->kind == AstExpr::Kind::kColumn &&
+          !item.expr->qualifier.empty()) {
+        // The projection strips table qualifiers; `ORDER BY t.col` refers
+        // to the output column `col`.
+        AstExpr bare;
+        bare.kind = AstExpr::Kind::kColumn;
+        bare.name = item.expr->name;
+        resolved = ResolveExpr(bare, out_scope);
+      }
+      if (!resolved.ok()) return resolved.status();
+      key.expr = std::move(*resolved);
+      key.ascending = item.ascending;
+      keys.push_back(std::move(key));
+    }
+    plan = std::make_unique<plan::SortNode>(std::move(plan), std::move(keys));
+  }
+  if (select.limit >= 0) {
+    plan = std::make_unique<plan::LimitNode>(std::move(plan), select.limit);
+  }
+  return plan;
+}
+
+Result<PlanPtr> Analyzer::AnalyzeSelect(const sql::SelectStmt& select) {
+  bool references_clique = false;
+  RASQL_ASSIGN_OR_RETURN(PlanPtr plan,
+                         AnalyzeSelectImpl(select, {}, &references_clique));
+  RASQL_RETURN_IF_ERROR(VerifyPlanTyped(*plan));
+  return plan;
+}
+
+Result<AnalyzedQuery> Analyzer::Analyze(const sql::Query& query) {
+  const int n = static_cast<int>(query.ctes.size());
+
+  // -- Step 1 (paper Sec. 5): recognize recursive references and group the
+  // views into cliques (SCCs of the dependency graph).
+  std::vector<std::string> names(n);
+  for (int i = 0; i < n; ++i) {
+    names[i] = ToLower(query.ctes[i].name);
+    if (catalog_->Contains(names[i])) {
+      return Status::AnalysisError("view '" + query.ctes[i].name +
+                                   "' shadows a base table");
+    }
+    for (int j = 0; j < i; ++j) {
+      if (names[i] == names[j]) {
+        return Status::AnalysisError("duplicate view name '" +
+                                     query.ctes[i].name + "'");
+      }
+    }
+  }
+  std::vector<std::set<int>> deps(n);
+  for (int i = 0; i < n; ++i) {
+    for (const sql::SelectStmtPtr& branch : query.ctes[i].branches) {
+      for (const sql::TableRef& ref : branch->from) {
+        for (int j = 0; j < n; ++j) {
+          if (EqualsIgnoreCase(ref.table_name, names[j])) deps[i].insert(j);
+        }
+      }
+    }
+  }
+
+  // Tarjan SCC; completion order = valid evaluation order (a component
+  // finishes only after everything it depends on).
+  std::vector<int> index(n, -1), lowlink(n, 0), on_stack(n, 0);
+  std::vector<int> stack;
+  std::vector<std::vector<int>> components;
+  int next_index = 0;
+  std::function<void(int)> strongconnect = [&](int v) {
+    index[v] = lowlink[v] = next_index++;
+    stack.push_back(v);
+    on_stack[v] = 1;
+    for (int w : deps[v]) {
+      if (index[w] < 0) {
+        strongconnect(w);
+        lowlink[v] = std::min(lowlink[v], lowlink[w]);
+      } else if (on_stack[w]) {
+        lowlink[v] = std::min(lowlink[v], index[w]);
+      }
+    }
+    if (lowlink[v] == index[v]) {
+      std::vector<int> component;
+      while (true) {
+        const int w = stack.back();
+        stack.pop_back();
+        on_stack[w] = 0;
+        component.push_back(w);
+        if (w == v) break;
+      }
+      std::sort(component.begin(), component.end());  // declaration order
+      components.push_back(std::move(component));
+    }
+  };
+  for (int v = 0; v < n; ++v) {
+    if (index[v] < 0) strongconnect(v);
+  }
+
+  AnalyzedQuery result;
+
+  // -- Step 2: per clique, infer schemas then compile branches.
+  for (const std::vector<int>& component : components) {
+    // Initialize head schemas with unknown types.
+    std::map<std::string, Schema> clique_schemas;
+    for (int vi : component) {
+      const sql::CteDef& cte = query.ctes[vi];
+      std::vector<storage::Column> cols;
+      int agg_count = 0;
+      for (const sql::ViewColumn& c : cte.columns) {
+        cols.push_back(storage::Column{c.name, ValueType::kNull});
+        agg_count += c.aggregate != AggregateFunction::kNone;
+      }
+      if (agg_count > 1) {
+        return Status::AnalysisError(
+            "view '" + cte.name +
+            "' declares more than one aggregate column (unsupported)");
+      }
+      clique_schemas.emplace(names[vi], Schema(std::move(cols)));
+    }
+
+    // Iterative type inference: analyzing a branch with partially known
+    // schemas yields partially typed outputs; repeat until stable. The
+    // bound n_views + 2 rounds suffices since each round resolves at least
+    // one more view in a dependency chain.
+    const int max_rounds = static_cast<int>(component.size()) + 2;
+    for (int round = 0; round < max_rounds; ++round) {
+      bool changed = false;
+      for (int vi : component) {
+        const sql::CteDef& cte = query.ctes[vi];
+        Schema& schema = clique_schemas[names[vi]];
+        for (const sql::SelectStmtPtr& branch : cte.branches) {
+          bool references_clique = false;
+          Result<PlanPtr> branch_plan =
+              AnalyzeSelectImpl(*branch, clique_schemas, &references_clique);
+          if (!branch_plan.ok()) continue;  // may resolve in a later round
+          const Schema& out = (*branch_plan)->schema();
+          if (out.num_columns() != schema.num_columns()) {
+            return Status::AnalysisError(
+                "view '" + cte.name + "' declares " +
+                std::to_string(schema.num_columns()) +
+                " columns but a branch produces " +
+                std::to_string(out.num_columns()));
+          }
+          std::vector<storage::Column> cols = schema.columns();
+          for (int c = 0; c < out.num_columns(); ++c) {
+            std::optional<ValueType> unified =
+                UnifyTypes(cols[c].type, out.column(c).type);
+            if (!unified.has_value()) {
+              return Status::AnalysisError(
+                  "view '" + cte.name + "' column '" + cols[c].name +
+                  "' has conflicting types across branches");
+            }
+            if (*unified != cols[c].type) {
+              cols[c].type = *unified;
+              changed = true;
+            }
+          }
+          schema = Schema(std::move(cols));
+        }
+      }
+      if (!changed) break;
+    }
+    for (int vi : component) {
+      const Schema& schema = clique_schemas[names[vi]];
+      for (const storage::Column& col : schema.columns()) {
+        if (col.type == ValueType::kNull) {
+          return Status::AnalysisError("could not infer type of column '" +
+                                       col.name + "' of view '" +
+                                       query.ctes[vi].name + "'");
+        }
+      }
+    }
+
+    // Final compile of every branch with complete schemas.
+    RecursiveClique clique;
+    for (int vi : component) {
+      const sql::CteDef& cte = query.ctes[vi];
+      RecursiveView view;
+      view.name = names[vi];
+      view.schema = clique_schemas[names[vi]];
+      for (size_t c = 0; c < cte.columns.size(); ++c) {
+        if (cte.columns[c].aggregate != AggregateFunction::kNone) {
+          view.agg_column = static_cast<int>(c);
+          view.aggregate = cte.columns[c].aggregate;
+        }
+      }
+      for (const sql::SelectStmtPtr& branch : cte.branches) {
+        bool references_clique = false;
+        RASQL_ASSIGN_OR_RETURN(
+            PlanPtr branch_plan,
+            AnalyzeSelectImpl(*branch, clique_schemas, &references_clique));
+        RASQL_RETURN_IF_ERROR(VerifyPlanTyped(*branch_plan));
+        if (references_clique) {
+          if (!branch->group_by.empty()) {
+            return Status::AnalysisError(
+                "explicit GROUP BY in a recursive branch of '" + cte.name +
+                "' (aggregation is implicit via the view head)");
+          }
+          for (const sql::SelectItem& item : branch->items) {
+            if (ContainsAggCall(*item.expr)) {
+              return Status::AnalysisError(
+                  "aggregate call in a recursive branch of '" + cte.name +
+                  "' (declare the aggregate in the view head instead)");
+            }
+          }
+          view.recursive_plans.push_back(std::move(branch_plan));
+        } else {
+          view.base_plans.push_back(std::move(branch_plan));
+        }
+      }
+
+      // Semi-naive safety (DESIGN.md §4): mutual recursion and non-linear
+      // use of a sum/count aggregate column require the naive fixpoint.
+      if (component.size() > 1) {
+        view.semi_naive_safe = false;
+      } else if (view.aggregate == AggregateFunction::kSum ||
+                 view.aggregate == AggregateFunction::kCount) {
+        const std::string& agg_name =
+            view.schema.column(view.agg_column).name;
+        for (const sql::SelectStmtPtr& branch : cte.branches) {
+          std::vector<std::string> self_bindings;
+          for (const sql::TableRef& ref : branch->from) {
+            if (EqualsIgnoreCase(ref.table_name, view.name)) {
+              self_bindings.push_back(ref.BindingName());
+            }
+          }
+          if (self_bindings.empty()) continue;  // base branch
+          if (self_bindings.size() > 1) {
+            view.semi_naive_safe = false;
+            break;
+          }
+          const std::string& binding = self_bindings[0];
+          bool safe = true;
+          if (branch->where &&
+              ReferencesColumn(*branch->where, binding, agg_name)) {
+            safe = false;
+          }
+          for (size_t c = 0; c < branch->items.size() && safe; ++c) {
+            const AstExpr& item = *branch->items[c].expr;
+            if (static_cast<int>(c) == view.agg_column) {
+              if (!IsLinearInAggColumn(item, binding, agg_name)) {
+                safe = false;
+              }
+            } else if (ReferencesColumn(item, binding, agg_name)) {
+              safe = false;
+            }
+          }
+          if (!safe) {
+            view.semi_naive_safe = false;
+            break;
+          }
+        }
+      }
+      clique.views.push_back(std::move(view));
+    }
+
+    // A clique containing recursive branches needs at least one base case.
+    bool has_recursive = false;
+    bool has_base = false;
+    for (const RecursiveView& v : clique.views) {
+      has_recursive |= !v.recursive_plans.empty();
+      has_base |= !v.base_plans.empty();
+    }
+    if (has_recursive && !has_base) {
+      return Status::AnalysisError(
+          "recursive clique containing '" + clique.views[0].name +
+          "' has no base case");
+    }
+
+    // Views become visible (as materialized tables) to later cliques and
+    // the body.
+    for (const RecursiveView& v : clique.views) {
+      view_schemas_[v.name] = v.schema;
+    }
+    result.cliques.push_back(std::move(clique));
+  }
+
+  // -- Body.
+  bool references_clique = false;
+  RASQL_ASSIGN_OR_RETURN(result.body,
+                         AnalyzeSelectImpl(*query.body, {},
+                                           &references_clique));
+  RASQL_RETURN_IF_ERROR(VerifyPlanTyped(*result.body));
+  return result;
+}
+
+}  // namespace rasql::analysis

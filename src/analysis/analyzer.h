@@ -1,0 +1,90 @@
+#ifndef RASQL_ANALYSIS_ANALYZER_H_
+#define RASQL_ANALYSIS_ANALYZER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzed_query.h"
+#include "analysis/catalog.h"
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace rasql::analysis {
+
+/// Semantic analysis: name resolution, typing, implicit group-by, and the
+/// paper's two-step recursive compilation (Sec. 5):
+///
+///  1. Recursive table references are recognized and become
+///     RecursiveRefNode "mark points"; CTEs are grouped into recursive
+///     cliques (SCCs of the dependency graph) in topological order.
+///  2. Each branch is compiled to a logical plan (cross products + filters
+///     + projections, or full aggregation for plain SQL selects); view
+///     schemas are inferred iteratively across the clique.
+class Analyzer {
+ public:
+  explicit Analyzer(const Catalog* catalog) : catalog_(catalog) {}
+
+  /// Analyzes a full RaSQL query (WITH views + body).
+  common::Result<AnalyzedQuery> Analyze(const sql::Query& query);
+
+  /// Analyzes a standalone SELECT (CREATE VIEW definitions). The statement
+  /// may reference only catalog tables.
+  common::Result<plan::PlanPtr> AnalyzeSelect(const sql::SelectStmt& select);
+
+ private:
+  /// Resolution scope: binding name -> (offset of its first column in the
+  /// concatenated input row, schema, is_recursive_ref flag).
+  struct Binding {
+    std::string name;
+    int offset = 0;
+    const storage::Schema* schema = nullptr;
+    bool is_recursive = false;
+  };
+  struct Scope {
+    std::vector<Binding> bindings;
+    int total_columns = 0;
+    int next_recursive_ordinal = 0;
+  };
+
+  /// View schemas visible while analyzing (earlier cliques + the clique
+  /// under inference).
+  common::Result<plan::PlanPtr> AnalyzeSelectImpl(
+      const sql::SelectStmt& select,
+      const std::map<std::string, storage::Schema>& clique_views,
+      bool* references_clique);
+
+  common::Result<plan::PlanPtr> BuildFromClause(
+      const sql::SelectStmt& select,
+      const std::map<std::string, storage::Schema>& clique_views,
+      Scope* scope, bool* references_clique);
+
+  common::Result<expr::ExprPtr> ResolveExpr(const sql::AstExpr& ast,
+                                            const Scope& scope);
+  common::Result<expr::ExprPtr> ResolveColumn(const sql::AstExpr& ast,
+                                              const Scope& scope);
+
+  /// Aggregate-path resolution of a post-GROUP BY expression: group
+  /// expressions and aggregate calls are replaced by references into the
+  /// AggregateNode's output.
+  common::Result<expr::ExprPtr> ResolveAfterAggregate(
+      const sql::AstExpr& ast, const Scope& input_scope,
+      const std::vector<const sql::AstExpr*>& group_asts,
+      const std::vector<const sql::AstExpr*>& agg_asts,
+      const storage::Schema& agg_schema);
+
+  const Catalog* catalog_;
+  /// Schemas of views materialized earlier in this query (previous cliques).
+  std::map<std::string, storage::Schema> view_schemas_;
+};
+
+/// Structural equality of AST expressions (case-insensitive identifiers);
+/// used to match GROUP BY expressions and aggregate calls.
+bool AstEqual(const sql::AstExpr& a, const sql::AstExpr& b);
+
+/// True when the AST contains an aggregate call.
+bool ContainsAggCall(const sql::AstExpr& ast);
+
+}  // namespace rasql::analysis
+
+#endif  // RASQL_ANALYSIS_ANALYZER_H_

@@ -1,0 +1,32 @@
+#include "analysis/catalog.h"
+
+namespace rasql::analysis {
+
+common::Status Catalog::RegisterTable(const std::string& name,
+                                      storage::Schema schema) {
+  const std::string key = storage::ToLower(name);
+  if (tables_.count(key) > 0) {
+    return common::Status::AlreadyExists("table '" + name +
+                                         "' already registered");
+  }
+  tables_.emplace(key, std::move(schema));
+  return common::Status::OK();
+}
+
+void Catalog::PutTable(const std::string& name, storage::Schema schema) {
+  tables_[storage::ToLower(name)] = std::move(schema);
+}
+
+const storage::Schema* Catalog::FindTable(const std::string& name) const {
+  auto it = tables_.find(storage::ToLower(name));
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, schema] : tables_) names.push_back(name);
+  return names;
+}
+
+}  // namespace rasql::analysis

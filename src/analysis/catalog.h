@@ -1,0 +1,39 @@
+#ifndef RASQL_ANALYSIS_CATALOG_H_
+#define RASQL_ANALYSIS_CATALOG_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/schema.h"
+
+namespace rasql::analysis {
+
+/// Name -> schema registry for base tables and materialized views. Names
+/// are case-insensitive (canonicalized to lowercase internally).
+class Catalog {
+ public:
+  /// Registers a table schema; fails if the name is taken.
+  common::Status RegisterTable(const std::string& name,
+                               storage::Schema schema);
+
+  /// Replaces or adds a table schema (used for materialized views).
+  void PutTable(const std::string& name, storage::Schema schema);
+
+  /// nullptr when not registered.
+  const storage::Schema* FindTable(const std::string& name) const;
+
+  bool Contains(const std::string& name) const {
+    return FindTable(name) != nullptr;
+  }
+
+  std::vector<std::string> TableNames() const;
+
+ private:
+  std::map<std::string, storage::Schema> tables_;
+};
+
+}  // namespace rasql::analysis
+
+#endif  // RASQL_ANALYSIS_CATALOG_H_

@@ -1,0 +1,319 @@
+#include "baselines/pregel/pregel.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "common/hash.h"
+
+namespace rasql::baselines {
+
+using dist::Cluster;
+using dist::TaskIo;
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// CSR adjacency for one partition: the out-edges of the vertices owned by
+/// the partition.
+struct PartitionCsr {
+  std::vector<int64_t> vertices;            // owned vertex ids
+  std::vector<int> offsets;                 // per owned vertex
+  std::vector<int64_t> targets;
+  std::vector<double> weights;              // empty when unweighted
+  std::unordered_map<int64_t, int> local;   // vertex id -> local index
+  size_t byte_size = 0;
+};
+
+int PartitionOf(int64_t vertex, int num_partitions) {
+  return static_cast<int>(common::MixHash64(static_cast<uint64_t>(vertex)) %
+                          static_cast<uint64_t>(num_partitions));
+}
+
+std::vector<PartitionCsr> BuildCsr(const datagen::Graph& graph,
+                                   int num_partitions) {
+  std::vector<PartitionCsr> parts(num_partitions);
+  for (int64_t v = 0; v < graph.num_vertices; ++v) {
+    PartitionCsr& part = parts[PartitionOf(v, num_partitions)];
+    part.local.emplace(v, static_cast<int>(part.vertices.size()));
+    part.vertices.push_back(v);
+  }
+  // Count, then fill.
+  std::vector<std::vector<int>> counts(num_partitions);
+  for (int p = 0; p < num_partitions; ++p) {
+    counts[p].assign(parts[p].vertices.size() + 1, 0);
+  }
+  for (const auto& [src, dst] : graph.edges) {
+    PartitionCsr& part = parts[PartitionOf(src, num_partitions)];
+    ++counts[PartitionOf(src, num_partitions)][part.local.at(src) + 1];
+  }
+  for (int p = 0; p < num_partitions; ++p) {
+    for (size_t i = 1; i < counts[p].size(); ++i) {
+      counts[p][i] += counts[p][i - 1];
+    }
+    parts[p].offsets = counts[p];
+    parts[p].targets.resize(counts[p].back());
+    if (graph.weighted()) parts[p].weights.resize(counts[p].back());
+  }
+  std::vector<std::vector<int>> fill(num_partitions);
+  for (int p = 0; p < num_partitions; ++p) fill[p] = parts[p].offsets;
+  for (size_t e = 0; e < graph.edges.size(); ++e) {
+    const auto& [src, dst] = graph.edges[e];
+    const int p = PartitionOf(src, num_partitions);
+    PartitionCsr& part = parts[p];
+    const int at = fill[p][part.local.at(src)]++;
+    part.targets[at] = dst;
+    if (graph.weighted()) part.weights[at] = graph.weights[e];
+  }
+  for (int p = 0; p < num_partitions; ++p) {
+    parts[p].byte_size = parts[p].vertices.size() * 16 +
+                         parts[p].targets.size() *
+                             (graph.weighted() ? 16 : 8);
+  }
+  return parts;
+}
+
+}  // namespace
+
+size_t PregelResult::NumReached() const {
+  size_t n = 0;
+  for (double v : values) n += v != kInf;
+  return n;
+}
+
+size_t PregelResult::NumDistinctValues() const {
+  std::set<double> distinct;
+  for (double v : values) {
+    if (v != kInf) distinct.insert(v);
+  }
+  return distinct.size();
+}
+
+PregelResult RunPregel(const datagen::Graph& graph,
+                       PregelAlgorithm algorithm,
+                       const PregelOptions& options, Cluster* cluster) {
+  const int P = cluster->config().num_partitions;
+  std::vector<PartitionCsr> csr = BuildCsr(graph, P);
+
+  PregelResult result;
+  result.values.assign(graph.num_vertices, kInf);
+  std::vector<bool> active(graph.num_vertices, false);
+
+  // Superstep 0: initialize.
+  switch (algorithm) {
+    case PregelAlgorithm::kReach:
+    case PregelAlgorithm::kSssp:
+      if (options.source < graph.num_vertices) {
+        result.values[options.source] = 0;
+        active[options.source] = true;
+      }
+      break;
+    case PregelAlgorithm::kConnectedComponents:
+      for (int64_t v = 0; v < graph.num_vertices; ++v) {
+        result.values[v] = static_cast<double>(v);
+        active[v] = true;
+      }
+      break;
+  }
+
+  // Outgoing messages buffered between supersteps: per destination
+  // partition, (vertex, value) pairs pre-combined by min.
+  std::vector<std::vector<std::pair<int64_t, double>>> inbox(P);
+  bool any_active = true;
+
+  const bool graphx = options.profile == SystemProfile::kGraphX;
+
+  while (any_active && result.supersteps < options.max_supersteps) {
+    ++result.supersteps;
+    std::vector<std::unordered_map<int64_t, double>> outbox(P);
+
+    cluster->RunStage(
+        (graphx ? "graphx-superstep-" : "giraph-superstep-") +
+            std::to_string(result.supersteps),
+        [&](int p) {
+          TaskIo io;
+          io.consumes_shuffle = true;
+          io.cached_state_bytes = csr[p].byte_size;
+          std::vector<size_t> bytes_out(P, 0);
+
+          // Deliver incoming messages (min-combine into vertex values).
+          for (const auto& [v, value] : inbox[p]) {
+            if (value < result.values[v]) {
+              result.values[v] = value;
+              active[v] = true;
+            }
+          }
+          inbox[p].clear();
+
+          // Compute: every active vertex sends along its out-edges.
+          const PartitionCsr& part = csr[p];
+          for (size_t i = 0; i < part.vertices.size(); ++i) {
+            const int64_t v = part.vertices[i];
+            if (!active[v]) continue;
+            active[v] = false;
+            const double value = result.values[v];
+            for (int e = part.offsets[i]; e < part.offsets[i + 1]; ++e) {
+              const int64_t target = part.targets[e];
+              double message;
+              switch (algorithm) {
+                case PregelAlgorithm::kReach:
+                  message = value + 1;  // BFS depth
+                  break;
+                case PregelAlgorithm::kSssp:
+                  message =
+                      value + (part.weights.empty() ? 1.0 : part.weights[e]);
+                  break;
+                case PregelAlgorithm::kConnectedComponents:
+                  message = value;  // label propagation
+                  break;
+              }
+              if (message >= result.values[target]) continue;  // combiner
+              const int dest = PartitionOf(target, P);
+              auto [it, inserted] = outbox[dest].emplace(target, message);
+              if (!inserted) {
+                it->second = std::min(it->second, message);
+              } else {
+                bytes_out[dest] += 16;
+              }
+            }
+          }
+          io.shuffle_out_bytes = std::move(bytes_out);
+          return io;
+        });
+
+    // GraphX profile: three more bookkeeping stages per superstep — the
+    // vertex/edge RDD joins and re-creations its Pregel implementation
+    // performs. The copies are real work; the shuffles move the vertex
+    // state around.
+    if (graphx) {
+      for (int extra = 0; extra < 3; ++extra) {
+        cluster->RunStage(
+            "graphx-bookkeeping-" + std::to_string(result.supersteps) + "-" +
+                std::to_string(extra),
+            [&](int p) {
+              TaskIo io;
+              io.consumes_shuffle = extra == 0;
+              // Re-create the vertex-attribute RDD: copy owned values.
+              std::vector<double> copy;
+              copy.reserve(csr[p].vertices.size());
+              for (int64_t v : csr[p].vertices) {
+                copy.push_back(result.values[v]);
+              }
+              // Keep the copy alive long enough to be "the new RDD".
+              io.cached_state_bytes = copy.size() * 8;
+              io.shuffle_out_bytes.assign(P, copy.size() * 8 / P);
+              return io;
+            });
+      }
+    }
+
+    // Route messages.
+    any_active = false;
+    for (int p = 0; p < P; ++p) {
+      for (const auto& [v, value] : outbox[p]) {
+        inbox[p].emplace_back(v, value);
+      }
+      if (!inbox[p].empty()) any_active = true;
+    }
+  }
+  return result;
+}
+
+PregelResult RunTreeAggregate(const datagen::Graph& graph,
+                              const std::vector<double>& initial,
+                              const TreeAggregateOptions& options,
+                              dist::Cluster* cluster) {
+  RASQL_CHECK(static_cast<int64_t>(initial.size()) == graph.num_vertices);
+  const int P = cluster->config().num_partitions;
+  std::vector<PartitionCsr> csr = BuildCsr(graph, P);
+  const bool graphx = options.profile == SystemProfile::kGraphX;
+
+  PregelResult result;
+  result.values = initial;
+  // A vertex may fire (report to its parent) once all children reported.
+  std::vector<int> pending(graph.num_vertices, 0);
+  std::vector<int64_t> parent(graph.num_vertices, -1);
+  for (const auto& [p, c] : graph.edges) {
+    ++pending[p];
+    parent[c] = p;
+  }
+  std::vector<std::vector<std::pair<int64_t, double>>> inbox(P);
+  std::vector<bool> fired(graph.num_vertices, false);
+
+  bool done = false;
+  while (!done && result.supersteps < options.max_supersteps) {
+    ++result.supersteps;
+    std::vector<std::vector<std::pair<int64_t, double>>> outbox(P);
+    bool fired_any = false;
+
+    cluster->RunStage(
+        (graphx ? "graphx-tree-" : "giraph-tree-") +
+            std::to_string(result.supersteps),
+        [&](int p) {
+          TaskIo io;
+          io.consumes_shuffle = true;
+          io.cached_state_bytes = csr[p].byte_size;
+          std::vector<size_t> bytes_out(P, 0);
+          // Deliver child reports.
+          for (const auto& [v, value] : inbox[p]) {
+            if (options.combine == TreeCombine::kSum) {
+              result.values[v] += value;
+            } else {
+              result.values[v] = std::max(result.values[v], value);
+            }
+            --pending[v];
+          }
+          inbox[p].clear();
+          // Fire ready vertices.
+          for (int64_t v : csr[p].vertices) {
+            if (fired[v] || pending[v] != 0) continue;
+            fired[v] = true;
+            fired_any = true;
+            if (parent[v] >= 0) {
+              const int dest = PartitionOf(parent[v], P);
+              outbox[dest].emplace_back(parent[v],
+                                        options.edge_factor *
+                                            result.values[v]);
+              bytes_out[dest] += 16;
+            }
+          }
+          io.shuffle_out_bytes = std::move(bytes_out);
+          return io;
+        });
+
+    if (graphx) {
+      for (int extra = 0; extra < 3; ++extra) {
+        cluster->RunStage("graphx-tree-bookkeeping-" +
+                              std::to_string(result.supersteps) + "-" +
+                              std::to_string(extra),
+                          [&](int p) {
+                            TaskIo io;
+                            io.consumes_shuffle = extra == 0;
+                            std::vector<double> copy;
+                            copy.reserve(csr[p].vertices.size());
+                            for (int64_t v : csr[p].vertices) {
+                              copy.push_back(result.values[v]);
+                            }
+                            io.cached_state_bytes = copy.size() * 8;
+                            io.shuffle_out_bytes.assign(P,
+                                                        copy.size() * 8 / P);
+                            return io;
+                          });
+      }
+    }
+
+    done = true;
+    for (int p = 0; p < P; ++p) {
+      for (const auto& [v, value] : outbox[p]) {
+        inbox[p].emplace_back(v, value);
+      }
+      if (!inbox[p].empty()) done = false;
+    }
+    if (!fired_any && done) break;
+  }
+  return result;
+}
+
+}  // namespace rasql::baselines

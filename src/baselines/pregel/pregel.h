@@ -1,0 +1,87 @@
+#ifndef RASQL_BASELINES_PREGEL_PREGEL_H_
+#define RASQL_BASELINES_PREGEL_PREGEL_H_
+
+#include <limits>
+#include <vector>
+
+#include "datagen/graph_gen.h"
+#include "dist/cluster.h"
+
+namespace rasql::baselines {
+
+/// The three library algorithms every compared system ships (paper
+/// Sec. 8.1): BFS reachability, label-propagation connected components,
+/// and single-source shortest paths. All three are min-combining
+/// vertex-centric programs.
+enum class PregelAlgorithm {
+  kReach,
+  kConnectedComponents,
+  kSssp,
+};
+
+/// Which system's execution profile to model. Both run the same real
+/// per-vertex computation; they differ in how many stages a superstep
+/// costs and whether per-superstep state is rebuilt:
+///  - kGiraph: one combined stage per superstep, in-place vertex state
+///    (plus Giraph's tuned compute path).
+///  - kGraphX: four ShuffleMap stages per superstep and vertex/edge RDD
+///    re-creation (state copied) — the inefficiencies the paper observed
+///    when digging into GraphX's plans (Sec. 8.1).
+enum class SystemProfile {
+  kGiraph,
+  kGraphX,
+};
+
+struct PregelOptions {
+  SystemProfile profile = SystemProfile::kGiraph;
+  int max_supersteps = 10000;
+  /// Source vertex for kReach / kSssp.
+  int64_t source = 0;
+};
+
+struct PregelResult {
+  /// Final vertex values: distance (kSssp), component label (kCC), or
+  /// 0/1 reached flag... kReach stores the BFS depth, unreached =
+  /// +infinity.
+  std::vector<double> values;
+  int supersteps = 0;
+
+  /// Number of vertices with a finite value (reached / labeled).
+  size_t NumReached() const;
+  /// Number of distinct finite values (for CC: component count).
+  size_t NumDistinctValues() const;
+};
+
+/// Runs a vertex-centric computation over the simulated cluster. Vertex
+/// compute is real and measured; message placement and stage scheduling
+/// follow the system profile. Metrics accumulate into `cluster->metrics()`.
+PregelResult RunPregel(const datagen::Graph& graph, PregelAlgorithm algorithm,
+                       const PregelOptions& options, dist::Cluster* cluster);
+
+/// Bottom-up tree aggregation — the vertex-centric implementation of the
+/// paper's complex-analytics queries (Sec. 8.2): Delivery (max of children),
+/// Management (sum of children), MLM (weighted sum). A vertex fires once
+/// all of its children have reported; messages carry
+/// `edge_factor * child_value`.
+enum class TreeCombine { kSum, kMax };
+
+struct TreeAggregateOptions {
+  SystemProfile profile = SystemProfile::kGiraph;
+  TreeCombine combine = TreeCombine::kSum;
+  /// Multiplier applied to a child's value as it flows to the parent
+  /// (MLM's 0.5; 1.0 otherwise).
+  double edge_factor = 1.0;
+  int max_supersteps = 10000;
+};
+
+/// `initial[v]` is vertex v's own contribution (leaf days, own sales bonus,
+/// or 1 per employee). `graph` holds parent->child edges. Returns the final
+/// per-vertex aggregate and superstep count.
+PregelResult RunTreeAggregate(const datagen::Graph& graph,
+                              const std::vector<double>& initial,
+                              const TreeAggregateOptions& options,
+                              dist::Cluster* cluster);
+
+}  // namespace rasql::baselines
+
+#endif  // RASQL_BASELINES_PREGEL_PREGEL_H_

@@ -1,0 +1,99 @@
+#include "baselines/serial/serial_graph.h"
+
+#include <deque>
+#include <limits>
+
+namespace rasql::baselines {
+
+Csr Csr::Build(const datagen::Graph& graph) {
+  Csr csr;
+  csr.num_vertices = graph.num_vertices;
+  csr.offsets.assign(graph.num_vertices + 1, 0);
+  for (const auto& [src, dst] : graph.edges) ++csr.offsets[src + 1];
+  for (int64_t v = 0; v < graph.num_vertices; ++v) {
+    csr.offsets[v + 1] += csr.offsets[v];
+  }
+  csr.targets.resize(graph.edges.size());
+  if (graph.weighted()) csr.weights.resize(graph.edges.size());
+  std::vector<int64_t> cursor = csr.offsets;
+  for (size_t e = 0; e < graph.edges.size(); ++e) {
+    const auto& [src, dst] = graph.edges[e];
+    const int64_t at = cursor[src]++;
+    csr.targets[at] = dst;
+    if (graph.weighted()) csr.weights[at] = graph.weights[e];
+  }
+  return csr;
+}
+
+std::vector<int64_t> SerialBfs(const Csr& graph, int64_t source) {
+  std::vector<int64_t> depth(graph.num_vertices, -1);
+  if (source < 0 || source >= graph.num_vertices) return depth;
+  std::deque<int64_t> queue = {source};
+  depth[source] = 0;
+  while (!queue.empty()) {
+    const int64_t v = queue.front();
+    queue.pop_front();
+    for (int64_t e = graph.offsets[v]; e < graph.offsets[v + 1]; ++e) {
+      const int64_t w = graph.targets[e];
+      if (depth[w] < 0) {
+        depth[w] = depth[v] + 1;
+        queue.push_back(w);
+      }
+    }
+  }
+  return depth;
+}
+
+std::vector<int64_t> SerialCcLabelProp(const Csr& graph) {
+  std::vector<int64_t> label(graph.num_vertices);
+  for (int64_t v = 0; v < graph.num_vertices; ++v) label[v] = v;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int64_t v = 0; v < graph.num_vertices; ++v) {
+      for (int64_t e = graph.offsets[v]; e < graph.offsets[v + 1]; ++e) {
+        const int64_t w = graph.targets[e];
+        // Undirected treatment: labels flow both ways across an edge.
+        if (label[v] < label[w]) {
+          label[w] = label[v];
+          changed = true;
+        } else if (label[w] < label[v]) {
+          label[v] = label[w];
+          changed = true;
+        }
+      }
+    }
+  }
+  return label;
+}
+
+std::vector<double> SerialSssp(const Csr& graph, int64_t source) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(graph.num_vertices, kInf);
+  if (source < 0 || source >= graph.num_vertices) return dist;
+  dist[source] = 0;
+  std::deque<int64_t> active = {source};
+  std::vector<bool> queued(graph.num_vertices, false);
+  queued[source] = true;
+  while (!active.empty()) {
+    const int64_t v = active.front();
+    active.pop_front();
+    queued[v] = false;
+    const double dv = dist[v];
+    for (int64_t e = graph.offsets[v]; e < graph.offsets[v + 1]; ++e) {
+      const int64_t w = graph.targets[e];
+      const double cand =
+          dv + (graph.weights.empty() ? 1.0 : graph.weights[e]);
+      if (cand < dist[w]) {
+        dist[w] = cand;
+        if (!queued[w]) {
+          queued[w] = true;
+          active.push_back(w);
+        }
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace rasql::baselines

@@ -1,0 +1,40 @@
+#ifndef RASQL_BASELINES_SERIAL_SERIAL_GRAPH_H_
+#define RASQL_BASELINES_SERIAL_SERIAL_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "datagen/graph_gen.h"
+
+namespace rasql::baselines {
+
+/// Compressed-sparse-row adjacency, the format the GAP benchmark suite and
+/// COST-style single-threaded baselines operate on (paper Fig. 9 /
+/// Table 3). Building it corresponds to GAP's graph-loading step.
+struct Csr {
+  int64_t num_vertices = 0;
+  std::vector<int64_t> offsets;  // size num_vertices + 1
+  std::vector<int64_t> targets;
+  std::vector<double> weights;   // empty when unweighted
+
+  static Csr Build(const datagen::Graph& graph);
+};
+
+/// Single-threaded BFS from `source`; returns per-vertex depth (-1 =
+/// unreachable). The REACH baseline.
+std::vector<int64_t> SerialBfs(const Csr& graph, int64_t source);
+
+/// Single-threaded label-propagation connected components (the algorithm
+/// the paper attributes to GAP-Serial/COST in Table 3). Treats edges as
+/// undirected by iterating until no label changes. Returns per-vertex
+/// component labels.
+std::vector<int64_t> SerialCcLabelProp(const Csr& graph);
+
+/// Single-threaded SSSP via Bellman-Ford-style rounds over active
+/// vertices (delta-stepping degenerate form). Returns per-vertex distance
+/// (+inf = unreachable).
+std::vector<double> SerialSssp(const Csr& graph, int64_t source);
+
+}  // namespace rasql::baselines
+
+#endif  // RASQL_BASELINES_SERIAL_SERIAL_GRAPH_H_

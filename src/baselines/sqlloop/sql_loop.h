@@ -1,0 +1,50 @@
+#ifndef RASQL_BASELINES_SQLLOOP_SQL_LOOP_H_
+#define RASQL_BASELINES_SQLLOOP_SQL_LOOP_H_
+
+#include <map>
+#include <string>
+
+#include "analysis/analyzed_query.h"
+#include "common/status.h"
+#include "dist/cluster.h"
+#include "storage/relation.h"
+
+namespace rasql::baselines {
+
+/// How the hand-written loop evaluates the recursion (paper Sec. 8.2:
+/// Spark-SQL-Naive and Spark-SQL-SN — "optimized Spark programs to
+/// simulate the Semi-Naive and naive recursive evaluation using a mix of
+/// Scala loops and Spark SQLs").
+enum class SqlLoopMode {
+  /// Re-join the full accumulated relation every iteration and re-aggregate
+  /// everything from scratch.
+  kNaive,
+  /// Delta-driven, but without the fixpoint operator's machinery: the
+  /// `all` relation is an immutable dataset copied every iteration, the
+  /// diff re-shuffles `all`, join hash tables are rebuilt per statement,
+  /// and no stage combination or partition-aware scheduling applies.
+  kSemiNaive,
+};
+
+struct SqlLoopStats {
+  int iterations = 0;
+  /// Simulated time spent producing the delta (join + aggregate stages) —
+  /// the solid bars of paper Fig. 10.
+  double delta_time_sec = 0;
+  /// Simulated time of the whole loop (delta + diff + union/copy stages).
+  double total_time_sec = 0;
+  bool hit_iteration_limit = false;
+};
+
+/// Runs the recursion of a single-view clique as an iterative sequence of
+/// SQL statements over the simulated cluster. Results are identical to the
+/// fixpoint operator; the cost structure is what differs.
+common::Result<storage::Relation> RunSqlLoop(
+    const analysis::RecursiveClique& clique,
+    const std::map<std::string, const storage::Relation*>& tables,
+    SqlLoopMode mode, dist::Cluster* cluster, SqlLoopStats* stats,
+    int64_t max_iterations = 1'000'000);
+
+}  // namespace rasql::baselines
+
+#endif  // RASQL_BASELINES_SQLLOOP_SQL_LOOP_H_

@@ -1,0 +1,34 @@
+#ifndef RASQL_COMMON_CHECK_H_
+#define RASQL_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rasql::common::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "%s:%d: RASQL_CHECK failed: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace rasql::common::internal
+
+/// Aborts the process when an internal invariant is violated. Used only for
+/// programmer errors; user-input errors flow through Status instead.
+#define RASQL_CHECK(cond)                                               \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::rasql::common::internal::CheckFailed(__FILE__, __LINE__, #cond); \
+    }                                                                   \
+  } while (false)
+
+#ifndef NDEBUG
+#define RASQL_DCHECK(cond) RASQL_CHECK(cond)
+#else
+#define RASQL_DCHECK(cond) \
+  do {                     \
+  } while (false)
+#endif
+
+#endif  // RASQL_COMMON_CHECK_H_

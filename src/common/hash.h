@@ -1,0 +1,36 @@
+#ifndef RASQL_COMMON_HASH_H_
+#define RASQL_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace rasql::common {
+
+/// 64-bit finalizer from SplitMix64; a strong cheap integer mixer used for
+/// hash partitioning and hash-table bucketing of integer keys.
+inline uint64_t MixHash64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Combines an existing hash with a new 64-bit value (boost-style).
+inline uint64_t HashCombine(uint64_t seed, uint64_t v) {
+  return seed ^ (MixHash64(v) + 0x9e3779b97f4a7c15ULL + (seed << 6) +
+                 (seed >> 2));
+}
+
+/// FNV-1a over bytes; used for string values.
+inline uint64_t HashBytes(std::string_view bytes) {
+  uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace rasql::common
+
+#endif  // RASQL_COMMON_HASH_H_

@@ -1,0 +1,152 @@
+#ifndef RASQL_COMMON_STATUS_H_
+#define RASQL_COMMON_STATUS_H_
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace rasql::common {
+
+/// Error categories used across the whole system. Mirrors the usual
+/// database-engine convention (RocksDB/absl): a Status is cheap to pass by
+/// value and OK statuses carry no allocation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kParseError,
+  kAnalysisError,
+  kExecutionError,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for `code` ("OK", "ParseError", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Result of an operation that can fail. We do not use C++ exceptions;
+/// every fallible public API returns `Status` or `Result<T>`.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status AnalysisError(std::string msg) {
+    return Status(StatusCode::kAnalysisError, std::move(msg));
+  }
+  static Status ExecutionError(std::string msg) {
+    return Status(StatusCode::kExecutionError, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Either a value of type T or an error Status. Modeled after
+/// absl::StatusOr<T>; access to the value of a non-OK result aborts.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value or from an error status keeps call
+  /// sites terse: `return some_value;` / `return Status::ParseError(...)`.
+  Result(T value) : value_(std::move(value)) {}          // NOLINT
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    AbortIfError();
+    return *value_;
+  }
+  T& value() & {
+    AbortIfError();
+    return *value_;
+  }
+  T&& value() && {
+    AbortIfError();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void AbortIfError() const;
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+namespace internal {
+/// Prints the status and aborts. Out-of-line so Result<T> stays light.
+[[noreturn]] void DieOnBadResultAccess(const Status& status);
+}  // namespace internal
+
+template <typename T>
+void Result<T>::AbortIfError() const {
+  if (!status_.ok()) internal::DieOnBadResultAccess(status_);
+}
+
+}  // namespace rasql::common
+
+/// Propagates a non-OK Status to the caller.
+#define RASQL_RETURN_IF_ERROR(expr)                         \
+  do {                                                      \
+    ::rasql::common::Status _rasql_status = (expr);         \
+    if (!_rasql_status.ok()) return _rasql_status;          \
+  } while (false)
+
+#define RASQL_STATUS_MACROS_CONCAT_INNER_(x, y) x##y
+#define RASQL_STATUS_MACROS_CONCAT_(x, y) \
+  RASQL_STATUS_MACROS_CONCAT_INNER_(x, y)
+
+/// Evaluates `rexpr` (a Result<T>); on error returns the Status, otherwise
+/// move-assigns the value into `lhs` (which may be a declaration).
+#define RASQL_ASSIGN_OR_RETURN(lhs, rexpr)                                  \
+  RASQL_ASSIGN_OR_RETURN_IMPL_(                                             \
+      RASQL_STATUS_MACROS_CONCAT_(_rasql_result, __LINE__), lhs, rexpr)
+
+#define RASQL_ASSIGN_OR_RETURN_IMPL_(result, lhs, rexpr) \
+  auto result = (rexpr);                                 \
+  if (!result.ok()) return result.status();              \
+  lhs = std::move(result).value()
+
+#endif  // RASQL_COMMON_STATUS_H_

@@ -1,0 +1,28 @@
+#ifndef RASQL_COMMON_TIMER_H_
+#define RASQL_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace rasql::common {
+
+/// Monotonic stopwatch used both for wall-clock reporting and for measuring
+/// per-task compute time that feeds the distributed cost model.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace rasql::common
+
+#endif  // RASQL_COMMON_TIMER_H_

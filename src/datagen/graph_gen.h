@@ -1,0 +1,96 @@
+#ifndef RASQL_DATAGEN_GRAPH_GEN_H_
+#define RASQL_DATAGEN_GRAPH_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/relation.h"
+
+namespace rasql::datagen {
+
+/// An edge list with optional weights. Vertex ids are dense in [0, n).
+struct Graph {
+  int64_t num_vertices = 0;
+  std::vector<std::pair<int64_t, int64_t>> edges;
+  std::vector<double> weights;  // empty = unweighted
+
+  bool weighted() const { return !weights.empty(); }
+  size_t num_edges() const { return edges.size(); }
+};
+
+/// RMAT generator following GTgraph [paper ref 4] with quadrant
+/// probabilities (a, b, c, 1-a-b-c). The paper's experiments use
+/// (a,b,c) = (0.45, 0.25, 0.15) and 10 directed edges per vertex with
+/// uniform integer weights in [0, 100).
+struct RmatOptions {
+  int64_t num_vertices = 1 << 14;
+  int64_t edges_per_vertex = 10;
+  double a = 0.45;
+  double b = 0.25;
+  double c = 0.15;
+  bool weighted = false;
+  double min_weight = 0.0;
+  double max_weight = 100.0;
+  uint64_t seed = 42;
+};
+Graph GenerateRmat(const RmatOptions& options);
+
+/// Erdos-Renyi G(n, p): each directed pair (u, v), u != v, is an edge with
+/// probability p. The paper's Gn-e graphs use p = 10^-e.
+struct ErdosRenyiOptions {
+  int64_t num_vertices = 10000;
+  double edge_probability = 1e-3;
+  bool weighted = false;
+  double min_weight = 0.0;
+  double max_weight = 100.0;
+  uint64_t seed = 42;
+};
+Graph GenerateErdosRenyi(const ErdosRenyiOptions& options);
+
+/// (n+1) x (n+1) grid as in the paper's Grid150/Grid250: edges go right and
+/// down, so the TC from corner to corner is large relative to input size.
+struct GridOptions {
+  int64_t side = 150;  // Grid150 = 151x151 vertices
+  bool weighted = false;
+  double min_weight = 0.0;
+  double max_weight = 100.0;
+  uint64_t seed = 42;
+};
+Graph GenerateGrid(const GridOptions& options);
+
+/// Random tree in the shape of the paper's complex-analytics datasets
+/// (Sec. 8.2): every internal node has `min_children..max_children`
+/// children, each child becomes a leaf with `leaf_probability`, and the tree
+/// is truncated at `height`. Edges point parent -> child.
+struct TreeOptions {
+  int64_t height = 10;
+  int64_t min_children = 5;
+  int64_t max_children = 10;
+  double leaf_probability = 0.4;
+  int64_t max_nodes = 2'000'000;  // hard cap so generation stays bounded
+  uint64_t seed = 42;
+};
+Graph GenerateTree(const TreeOptions& options);
+
+/// Converts a graph into the paper's base relation
+/// edge(Src:int, Dst:int[, Cost:double]).
+storage::Relation ToEdgeRelation(const Graph& graph);
+
+/// report(Emp, Mgr) relation for the Management query: child reports to
+/// parent in the tree.
+storage::Relation ToReportRelation(const Graph& tree);
+
+/// assbl(Part, SPart) + basic(Part, Days) for the Delivery/BOM query:
+/// assembly edges parent->child; leaves become basic parts with random
+/// delivery days in [1, 30].
+void ToBomRelations(const Graph& tree, uint64_t seed,
+                    storage::Relation* assbl, storage::Relation* basic);
+
+/// sponsor(M1, M2) + sales(M, P) for the MLM query: sponsor edges
+/// parent->child; every member has gross profit in [0, 1000).
+void ToMlmRelations(const Graph& tree, uint64_t seed,
+                    storage::Relation* sponsor, storage::Relation* sales);
+
+}  // namespace rasql::datagen
+
+#endif  // RASQL_DATAGEN_GRAPH_GEN_H_

@@ -1,0 +1,50 @@
+#ifndef RASQL_DIST_AGGREGATES_H_
+#define RASQL_DIST_AGGREGATES_H_
+
+#include <vector>
+
+#include "expr/expr.h"
+#include "storage/relation.h"
+#include "storage/row.h"
+
+namespace rasql::dist {
+
+/// Describes the aggregate structure of a recursive relation (paper Sec. 2:
+/// implicit group-by — every column except the aggregate is a key).
+/// `agg_column == -1` means plain set semantics (no aggregate in the head).
+struct AggSpec {
+  std::vector<int> key_columns;
+  int agg_column = -1;
+  expr::AggregateFunction function = expr::AggregateFunction::kNone;
+
+  bool has_aggregate() const {
+    return function != expr::AggregateFunction::kNone;
+  }
+
+  /// AggSpec for a relation with `num_columns` columns whose aggregate (if
+  /// any) sits at `agg_column`.
+  static AggSpec For(int num_columns, int agg_column,
+                     expr::AggregateFunction function);
+};
+
+/// Combines two aggregate contributions: min/max keep the better value;
+/// sum/count add. Used by map-side partial aggregation and SetRDD merges.
+storage::Value CombineAgg(expr::AggregateFunction function,
+                          const storage::Value& a, const storage::Value& b);
+
+/// True when `candidate` improves on `current` for min/max (strictly
+/// better). For sum/count this is never used — contributions always
+/// accumulate.
+bool ImprovesAgg(expr::AggregateFunction function,
+                 const storage::Value& current,
+                 const storage::Value& candidate);
+
+/// Map-side partial aggregation (paper Alg. 5 line 5): collapses `rows` by
+/// key, combining aggregate values; reduces shuffle volume. For set
+/// semantics this deduplicates.
+std::vector<storage::Row> PartialAggregate(std::vector<storage::Row> rows,
+                                           const AggSpec& spec);
+
+}  // namespace rasql::dist
+
+#endif  // RASQL_DIST_AGGREGATES_H_

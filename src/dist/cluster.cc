@@ -1,0 +1,138 @@
+#include "dist/cluster.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/check.h"
+#include "common/timer.h"
+
+namespace rasql::dist {
+
+double JobMetrics::TotalSimTime() const {
+  double t = broadcast_time_sec;
+  for (const StageMetrics& s : stages) t += s.sim_time_sec;
+  return t;
+}
+
+double JobMetrics::TotalComputeTime() const {
+  double t = 0;
+  for (const StageMetrics& s : stages) t += s.total_compute_sec;
+  return t;
+}
+
+size_t JobMetrics::TotalShuffleBytes() const {
+  size_t n = 0;
+  for (const StageMetrics& s : stages) n += s.shuffle_bytes;
+  return n;
+}
+
+size_t JobMetrics::TotalRemoteBytes() const {
+  size_t n = 0;
+  for (const StageMetrics& s : stages) n += s.remote_bytes;
+  return n;
+}
+
+std::string JobMetrics::Summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "stages=%d sim_time=%.3fs compute=%.3fs shuffle=%.1fMB "
+                "remote=%.1fMB broadcast=%.1fMB",
+                num_stages(), TotalSimTime(), TotalComputeTime(),
+                TotalShuffleBytes() / 1e6, TotalRemoteBytes() / 1e6,
+                broadcast_bytes / 1e6);
+  return buf;
+}
+
+int Cluster::PlaceTask(int partition, int stage_index) const {
+  if (config_.partition_aware_scheduling) {
+    return config_.OwnerOf(partition);
+  }
+  // Hybrid policy: the driver balances load over workers without regard to
+  // cached-state locality; the deterministic stage-dependent rotation
+  // reproduces Spark's behaviour of re-placing tasks differently in each
+  // stage (paper Sec. 6.1, "unnecessary remote data fetches").
+  return (partition + stage_index) % config_.num_workers;
+}
+
+const StageMetrics& Cluster::RunStage(
+    const std::string& name, const std::function<TaskIo(int)>& task) {
+  const int stage_index = stage_counter_++;
+  StageMetrics stage;
+  stage.name = name;
+  stage.num_tasks = config_.num_partitions;
+
+  std::vector<double> worker_busy(config_.num_workers, 0.0);
+  std::vector<int> producer_worker(config_.num_partitions, 0);
+  std::vector<std::vector<size_t>> shuffle_bytes(config_.num_partitions);
+  bool stage_shuffles = false;
+
+  for (int p = 0; p < config_.num_partitions; ++p) {
+    const int worker = PlaceTask(p, stage_index);
+    producer_worker[p] = worker;
+
+    common::Timer timer;
+    TaskIo io = task(p);
+    const double compute = timer.ElapsedSeconds() * config_.compute_scale;
+
+    // Remote bytes this task must pull before/while computing.
+    size_t remote = 0;
+    if (worker != config_.OwnerOf(p)) remote += io.cached_state_bytes;
+    if (io.consumes_shuffle && !last_shuffle_bytes_.empty()) {
+      // Pull this partition's slice of every producer's map output; slices
+      // produced on another worker cross the network.
+      for (size_t src = 0; src < last_shuffle_bytes_.size(); ++src) {
+        const auto& out = last_shuffle_bytes_[src];
+        if (p < static_cast<int>(out.size()) &&
+            last_shuffle_producer_worker_[src] != worker) {
+          remote += out[p];
+        }
+      }
+    }
+    if (!io.shuffle_out_bytes.empty()) {
+      stage_shuffles = true;
+      size_t out_total = 0;
+      for (size_t b : io.shuffle_out_bytes) out_total += b;
+      stage.shuffle_bytes += out_total;
+      shuffle_bytes[p] = std::move(io.shuffle_out_bytes);
+    }
+
+    const double task_time = compute + config_.per_task_overhead_sec +
+                             static_cast<double>(remote) /
+                                 config_.network_bytes_per_sec;
+    worker_busy[worker] += task_time;
+    stage.total_compute_sec += compute;
+    stage.remote_bytes += remote;
+  }
+
+  stage.max_worker_compute_sec =
+      *std::max_element(worker_busy.begin(), worker_busy.end());
+  stage.sim_time_sec =
+      config_.per_stage_overhead_sec + stage.max_worker_compute_sec;
+
+  if (stage_shuffles) {
+    last_shuffle_producer_worker_ = std::move(producer_worker);
+    last_shuffle_bytes_ = std::move(shuffle_bytes);
+  } else {
+    last_shuffle_producer_worker_.clear();
+    last_shuffle_bytes_.clear();
+  }
+
+  metrics_.stages.push_back(std::move(stage));
+  return metrics_.stages.back();
+}
+
+void Cluster::Broadcast(size_t bytes) {
+  metrics_.broadcast_bytes += bytes;
+  // The driver streams the payload to every worker (Spark's torrent
+  // broadcast amortizes this; we charge the simple star topology, which is
+  // what the paper's "broadcasting a large relation takes time" refers to).
+  metrics_.broadcast_time_sec += static_cast<double>(bytes) *
+                                 config_.num_workers /
+                                 config_.network_bytes_per_sec;
+}
+
+void Cluster::ChargeDriverCompute(double seconds) {
+  metrics_.broadcast_time_sec += seconds;
+}
+
+}  // namespace rasql::dist

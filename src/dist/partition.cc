@@ -1,0 +1,64 @@
+#include "dist/partition.h"
+
+#include "common/check.h"
+
+namespace rasql::dist {
+
+using storage::Relation;
+using storage::Row;
+
+PartitionedRelation::PartitionedRelation(storage::Schema schema,
+                                         Partitioning partitioning)
+    : schema_(std::move(schema)), partitioning_(std::move(partitioning)) {
+  RASQL_CHECK(partitioning_.num_partitions > 0);
+  partitions_.resize(partitioning_.num_partitions, Relation(schema_));
+}
+
+void PartitionedRelation::Add(Row row) {
+  const int p = partitioning_.PartitionOf(row);
+  partitions_[p].Add(std::move(row));
+}
+
+size_t PartitionedRelation::TotalRows() const {
+  size_t n = 0;
+  for (const Relation& p : partitions_) n += p.size();
+  return n;
+}
+
+size_t PartitionedRelation::TotalBytes() const {
+  size_t n = 0;
+  for (const Relation& p : partitions_) n += p.ByteSize();
+  return n;
+}
+
+Relation PartitionedRelation::Collect() const {
+  Relation out(schema_);
+  out.Reserve(TotalRows());
+  for (const Relation& p : partitions_) {
+    for (const Row& row : p.rows()) out.Add(row);
+  }
+  return out;
+}
+
+PartitionedRelation Partition(const Relation& input,
+                              std::vector<int> key_columns,
+                              int num_partitions) {
+  Partitioning spec{std::move(key_columns), num_partitions};
+  PartitionedRelation out(input.schema(), spec);
+  for (const Row& row : input.rows()) out.Add(row);
+  return out;
+}
+
+std::vector<Row> GatherShuffle(const std::vector<ShuffleWrite>& writes,
+                               int dest) {
+  std::vector<Row> out;
+  size_t total = 0;
+  for (const ShuffleWrite& w : writes) total += w.rows_per_dest[dest].size();
+  out.reserve(total);
+  for (const ShuffleWrite& w : writes) {
+    for (const Row& row : w.rows_per_dest[dest]) out.push_back(row);
+  }
+  return out;
+}
+
+}  // namespace rasql::dist

@@ -1,0 +1,89 @@
+#ifndef RASQL_DIST_PARTITION_H_
+#define RASQL_DIST_PARTITION_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/relation.h"
+#include "storage/row.h"
+
+namespace rasql::dist {
+
+/// Hash partitioning spec: which columns form the key and how many
+/// partitions exist (paper Appendix A).
+struct Partitioning {
+  std::vector<int> key_columns;
+  int num_partitions = 0;
+
+  bool valid() const { return num_partitions > 0; }
+  /// Partition id of a row under this spec.
+  int PartitionOf(const storage::Row& row) const {
+    return static_cast<int>(storage::HashRowKey(row, key_columns) %
+                            static_cast<uint64_t>(num_partitions));
+  }
+  bool operator==(const Partitioning& other) const {
+    return key_columns == other.key_columns &&
+           num_partitions == other.num_partitions;
+  }
+};
+
+/// A relation hash-partitioned across the cluster — the RDD analogue. The
+/// `partitioning` records how rows were placed so downstream operators can
+/// tell whether a shuffle is needed (co-partitioning checks in Alg. 4-6).
+class PartitionedRelation {
+ public:
+  PartitionedRelation() = default;
+  PartitionedRelation(storage::Schema schema, Partitioning partitioning);
+
+  const storage::Schema& schema() const { return schema_; }
+  const Partitioning& partitioning() const { return partitioning_; }
+  int num_partitions() const { return partitioning_.num_partitions; }
+
+  const storage::Relation& partition(int p) const { return partitions_[p]; }
+  storage::Relation* mutable_partition(int p) { return &partitions_[p]; }
+
+  /// Adds a row to the partition selected by the partitioning spec.
+  void Add(storage::Row row);
+
+  size_t TotalRows() const;
+  size_t TotalBytes() const;
+  bool Empty() const { return TotalRows() == 0; }
+
+  /// Gathers all partitions into one local relation (driver collect()).
+  storage::Relation Collect() const;
+
+ private:
+  storage::Schema schema_;
+  Partitioning partitioning_;
+  std::vector<storage::Relation> partitions_;
+};
+
+/// Hash-partitions `input` on `key_columns` into `num_partitions` pieces.
+PartitionedRelation Partition(const storage::Relation& input,
+                              std::vector<int> key_columns,
+                              int num_partitions);
+
+/// Map-side shuffle output: rows bucketed by destination partition, plus
+/// the byte counts the cost model needs.
+struct ShuffleWrite {
+  std::vector<std::vector<storage::Row>> rows_per_dest;
+  std::vector<size_t> bytes_per_dest;
+
+  explicit ShuffleWrite(int num_partitions)
+      : rows_per_dest(num_partitions), bytes_per_dest(num_partitions, 0) {}
+
+  void Add(storage::Row row, const Partitioning& partitioning) {
+    const int dest = partitioning.PartitionOf(row);
+    bytes_per_dest[dest] += storage::RowByteSize(row);
+    rows_per_dest[dest].push_back(std::move(row));
+  }
+};
+
+/// Collects the slices addressed to partition `dest` from every map task's
+/// ShuffleWrite — the reduce-side read.
+std::vector<storage::Row> GatherShuffle(
+    const std::vector<ShuffleWrite>& writes, int dest);
+
+}  // namespace rasql::dist
+
+#endif  // RASQL_DIST_PARTITION_H_

@@ -1,0 +1,76 @@
+#ifndef RASQL_DIST_SET_RDD_H_
+#define RASQL_DIST_SET_RDD_H_
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "dist/aggregates.h"
+#include "dist/partition.h"
+#include "storage/relation.h"
+
+namespace rasql::dist {
+
+/// One partition of the `all` relation held as mutable hash state — the
+/// paper's SetRDD (Sec. 6.1). Union is O(new tuples) instead of copying the
+/// whole RDD; with an aggregate, the state is a key -> best/accumulated
+/// value map implementing Alg. 5's extended set-difference/union.
+class SetRddPartition {
+ public:
+  SetRddPartition(storage::Schema schema, AggSpec spec)
+      : schema_(std::move(schema)), spec_(std::move(spec)) {}
+
+  /// Merges candidate rows into the state. Rows that change the state (new
+  /// key, improved min/max, or a sum/count increment) are appended to
+  /// `*delta` in the form that must drive the next iteration:
+  ///   - set semantics / min / max: the stored row;
+  ///   - sum / count: the *increment* (new paths discovered this round).
+  void MergeDelta(const std::vector<storage::Row>& candidates,
+                  std::vector<storage::Row>* delta);
+
+  size_t size() const {
+    return spec_.has_aggregate() ? agg_state_.size() : set_state_.size();
+  }
+  /// Approximate bytes of cached state — feeds TaskIo::cached_state_bytes.
+  size_t byte_size() const { return byte_size_; }
+
+  /// Materializes the state as a relation (final fixpoint output).
+  storage::Relation ToRelation() const;
+
+ private:
+  storage::Schema schema_;
+  AggSpec spec_;
+  std::unordered_set<storage::Row, storage::RowHash, storage::RowEq>
+      set_state_;
+  std::unordered_map<storage::Row, storage::Value, storage::RowHash,
+                     storage::RowEq>
+      agg_state_;
+  size_t byte_size_ = 0;
+};
+
+/// The partitioned `all` relation: one SetRddPartition per partition,
+/// co-partitioned with the delta on the recursive relation's key columns.
+class SetRdd {
+ public:
+  SetRdd(storage::Schema schema, AggSpec spec, Partitioning partitioning);
+
+  const Partitioning& partitioning() const { return partitioning_; }
+  int num_partitions() const { return partitioning_.num_partitions; }
+
+  SetRddPartition* partition(int p) { return &partitions_[p]; }
+  const SetRddPartition& partition(int p) const { return partitions_[p]; }
+
+  size_t TotalRows() const;
+  size_t TotalBytes() const;
+
+  /// Gathers the fixpoint result across partitions.
+  storage::Relation Collect() const;
+
+ private:
+  Partitioning partitioning_;
+  std::vector<SetRddPartition> partitions_;
+};
+
+}  // namespace rasql::dist
+
+#endif  // RASQL_DIST_SET_RDD_H_

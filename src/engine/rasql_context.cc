@@ -1,0 +1,181 @@
+#include "engine/rasql_context.h"
+
+#include "analysis/analyzer.h"
+#include "common/check.h"
+#include "sql/parser.h"
+
+namespace rasql::engine {
+
+using common::Result;
+using common::Status;
+using storage::Relation;
+using storage::ToLower;
+
+RaSqlContext::RaSqlContext(EngineConfig config)
+    : config_(std::move(config)) {}
+
+Status RaSqlContext::RegisterTable(const std::string& name,
+                                   Relation relation) {
+  RASQL_RETURN_IF_ERROR(catalog_.RegisterTable(name, relation.schema()));
+  tables_.emplace(ToLower(name), std::move(relation));
+  return Status::OK();
+}
+
+Status RaSqlContext::DropTable(const std::string& name) {
+  const std::string key = ToLower(name);
+  if (tables_.erase(key) == 0) {
+    return Status::NotFound("no table named '" + name + "'");
+  }
+  // Rebuild the catalog without the dropped entry.
+  analysis::Catalog fresh;
+  for (const auto& [table_name, rel] : tables_) {
+    fresh.PutTable(table_name, rel.schema());
+  }
+  catalog_ = std::move(fresh);
+  return Status::OK();
+}
+
+const Relation* RaSqlContext::FindTable(const std::string& name) const {
+  auto it = tables_.find(ToLower(name));
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+Result<Relation> RaSqlContext::Execute(const std::string& sql) {
+  RASQL_ASSIGN_OR_RETURN(std::vector<sql::Statement> statements,
+                         sql::Parser::ParseScript(sql));
+  if (statements.empty()) {
+    return Status::InvalidArgument("empty statement");
+  }
+  Relation last_result;
+  bool produced_result = false;
+  for (const sql::Statement& stmt : statements) {
+    if (stmt.kind == sql::Statement::Kind::kCreateView) {
+      const sql::CreateViewStmt& view = *stmt.create_view;
+      analysis::Analyzer analyzer(&catalog_);
+      RASQL_ASSIGN_OR_RETURN(plan::PlanPtr view_plan,
+                             analyzer.AnalyzeSelect(*view.definition));
+      view_plan = plan::Optimize(std::move(view_plan), config_.optimizer);
+      if (view_plan->schema().num_columns() !=
+          static_cast<int>(view.columns.size())) {
+        return Status::AnalysisError(
+            "view '" + view.name + "' declares " +
+            std::to_string(view.columns.size()) +
+            " columns but its query produces " +
+            std::to_string(view_plan->schema().num_columns()));
+      }
+      physical::ExecContext ctx;
+      for (const auto& [name, rel] : tables_) ctx.tables[name] = &rel;
+      ctx.use_codegen = config_.fixpoint.use_codegen;
+      ctx.join_algorithm = config_.fixpoint.join_algorithm;
+      RASQL_ASSIGN_OR_RETURN(Relation rel,
+                             physical::Execute(*view_plan, ctx));
+      // Rename output columns to the declared view columns.
+      std::vector<storage::Column> cols = rel.schema().columns();
+      for (size_t i = 0; i < cols.size(); ++i) {
+        cols[i].name = view.columns[i];
+      }
+      *rel.mutable_schema() = storage::Schema(std::move(cols));
+      RASQL_RETURN_IF_ERROR(RegisterTable(view.name, std::move(rel)));
+      continue;
+    }
+    RASQL_ASSIGN_OR_RETURN(last_result, ExecuteQuery(*stmt.query));
+    produced_result = true;
+  }
+  if (!produced_result) {
+    return Status::InvalidArgument(
+        "script contains no query statement (only CREATE VIEW)");
+  }
+  return last_result;
+}
+
+Result<Relation> RaSqlContext::ExecuteQuery(const sql::Query& query) {
+  last_stats_ = fixpoint::FixpointStats();
+  last_metrics_ = dist::JobMetrics();
+
+  analysis::Analyzer analyzer(&catalog_);
+  RASQL_ASSIGN_OR_RETURN(analysis::AnalyzedQuery analyzed,
+                         analyzer.Analyze(query));
+
+  analyzed.Optimize(config_.optimizer);
+
+  // Evaluate cliques in topological order, materializing views.
+  std::map<std::string, Relation> views;
+  dist::Cluster cluster(config_.cluster);
+  for (const analysis::RecursiveClique& clique : analyzed.cliques) {
+    std::map<std::string, const Relation*> bindings;
+    for (const auto& [name, rel] : tables_) bindings[name] = &rel;
+    for (const auto& [name, rel] : views) bindings[name] = &rel;
+
+    std::map<std::string, Relation> results;
+    if (config_.distributed && clique.IsRecursive() &&
+        fixpoint::EligibleForDistributed(clique)) {
+      fixpoint::DistFixpointStats dist_stats;
+      fixpoint::DistFixpointOptions dist_options = config_.dist_fixpoint;
+      dist_options.use_codegen = config_.fixpoint.use_codegen;
+      dist_options.join_algorithm = config_.fixpoint.join_algorithm;
+      dist_options.max_iterations = config_.fixpoint.max_iterations;
+      RASQL_ASSIGN_OR_RETURN(
+          results, fixpoint::EvaluateCliqueDistributed(
+                       clique, bindings, &cluster, dist_options,
+                       &dist_stats));
+      last_stats_.iterations =
+          std::max(last_stats_.iterations, dist_stats.iterations);
+      last_stats_.total_delta_rows += dist_stats.total_delta_rows;
+      last_stats_.hit_iteration_limit |= dist_stats.hit_iteration_limit;
+      last_stats_.used_semi_naive = true;
+    } else {
+      fixpoint::FixpointStats stats;
+      RASQL_ASSIGN_OR_RETURN(
+          results, fixpoint::EvaluateCliqueLocal(clique, bindings,
+                                                 config_.fixpoint, &stats));
+      last_stats_.iterations =
+          std::max(last_stats_.iterations, stats.iterations);
+      last_stats_.total_delta_rows += stats.total_delta_rows;
+      last_stats_.hit_iteration_limit |= stats.hit_iteration_limit;
+      last_stats_.used_semi_naive |= stats.used_semi_naive;
+    }
+    for (auto& [name, rel] : results) views[name] = std::move(rel);
+  }
+  last_metrics_ = cluster.metrics();
+
+  // Execute the body against base tables + materialized views.
+  physical::ExecContext ctx;
+  for (const auto& [name, rel] : tables_) ctx.tables[name] = &rel;
+  for (const auto& [name, rel] : views) ctx.tables[name] = &rel;
+  ctx.use_codegen = config_.fixpoint.use_codegen;
+  ctx.join_algorithm = config_.fixpoint.join_algorithm;
+  return physical::Execute(*analyzed.body, ctx);
+}
+
+Result<std::string> RaSqlContext::Explain(const std::string& sql) {
+  RASQL_ASSIGN_OR_RETURN(std::vector<sql::Statement> statements,
+                         sql::Parser::ParseScript(sql));
+  std::string out;
+  for (const sql::Statement& stmt : statements) {
+    if (stmt.kind == sql::Statement::Kind::kCreateView) {
+      analysis::Analyzer analyzer(&catalog_);
+      RASQL_ASSIGN_OR_RETURN(
+          plan::PlanPtr view_plan,
+          analyzer.AnalyzeSelect(*stmt.create_view->definition));
+      view_plan = plan::Optimize(std::move(view_plan), config_.optimizer);
+      out += "=== CREATE VIEW " + stmt.create_view->name + " ===\n";
+      out += view_plan->ToString(0);
+      // Later statements may reference the view; register its schema only.
+      std::vector<storage::Column> cols = view_plan->schema().columns();
+      for (size_t i = 0; i < cols.size(); ++i) {
+        cols[i].name = stmt.create_view->columns[i];
+      }
+      catalog_.PutTable(stmt.create_view->name,
+                        storage::Schema(std::move(cols)));
+      continue;
+    }
+    analysis::Analyzer analyzer(&catalog_);
+    RASQL_ASSIGN_OR_RETURN(analysis::AnalyzedQuery analyzed,
+                           analyzer.Analyze(*stmt.query));
+    analyzed.Optimize(config_.optimizer);
+    out += analyzed.ToString();
+  }
+  return out;
+}
+
+}  // namespace rasql::engine

@@ -1,0 +1,89 @@
+#ifndef RASQL_ENGINE_RASQL_CONTEXT_H_
+#define RASQL_ENGINE_RASQL_CONTEXT_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "analysis/catalog.h"
+#include "common/status.h"
+#include "dist/cluster.h"
+#include "fixpoint/distributed_fixpoint.h"
+#include "fixpoint/local_fixpoint.h"
+#include "plan/optimizer.h"
+#include "sql/ast.h"
+#include "storage/relation.h"
+
+namespace rasql::engine {
+
+/// Engine configuration: every optimization the paper evaluates is a knob
+/// here so the benches can ablate them.
+struct EngineConfig {
+  /// Local fixpoint options (mode, iteration cap, codegen, join algorithm).
+  fixpoint::FixpointOptions fixpoint;
+  plan::OptimizerOptions optimizer;
+
+  /// Run eligible recursive cliques on the simulated cluster with
+  /// distributed semi-naive evaluation. Ineligible cliques (mutual
+  /// recursion etc.) fall back to local evaluation.
+  bool distributed = false;
+  dist::ClusterConfig cluster;
+  fixpoint::DistFixpointOptions dist_fixpoint;
+};
+
+/// The RaSQL system entry point — the analogue of the paper's extended
+/// SparkSession:
+///
+///   RaSqlContext ctx;
+///   ctx.RegisterTable("edge", edges);
+///   auto result = ctx.Execute(
+///       "WITH recursive path(Dst, min() AS Cost) AS (...) ...");
+class RaSqlContext {
+ public:
+  explicit RaSqlContext(EngineConfig config = {});
+
+  /// Registers a base relation under `name` (case-insensitive).
+  common::Status RegisterTable(const std::string& name,
+                               storage::Relation relation);
+
+  /// Drops a table or materialized view.
+  common::Status DropTable(const std::string& name);
+
+  /// Returns the named table/materialized view, or nullptr.
+  const storage::Relation* FindTable(const std::string& name) const;
+
+  /// Parses and runs a `;`-separated RaSQL script. CREATE VIEW statements
+  /// materialize views into the session; the value of the last query
+  /// statement is returned.
+  common::Result<storage::Relation> Execute(const std::string& sql);
+
+  /// Returns the EXPLAIN rendering (clique plans + body physical plan)
+  /// without executing.
+  common::Result<std::string> Explain(const std::string& sql);
+
+  /// Fixpoint statistics of the most recent Execute() (iterations, delta
+  /// sizes, evaluation mode).
+  const fixpoint::FixpointStats& last_fixpoint_stats() const {
+    return last_stats_;
+  }
+
+  /// Cluster metrics of the most recent distributed Execute(); empty when
+  /// running locally.
+  const dist::JobMetrics& last_job_metrics() const { return last_metrics_; }
+
+  const EngineConfig& config() const { return config_; }
+  EngineConfig* mutable_config() { return &config_; }
+
+ private:
+  common::Result<storage::Relation> ExecuteQuery(const sql::Query& query);
+
+  EngineConfig config_;
+  analysis::Catalog catalog_;
+  std::map<std::string, storage::Relation> tables_;
+  fixpoint::FixpointStats last_stats_;
+  dist::JobMetrics last_metrics_;
+};
+
+}  // namespace rasql::engine
+
+#endif  // RASQL_ENGINE_RASQL_CONTEXT_H_

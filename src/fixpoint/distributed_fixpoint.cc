@@ -1,0 +1,761 @@
+#include "fixpoint/distributed_fixpoint.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/check.h"
+#include "common/timer.h"
+#include "dist/aggregates.h"
+#include "dist/broadcast.h"
+#include "dist/partition.h"
+#include "dist/set_rdd.h"
+
+namespace rasql::fixpoint {
+
+using analysis::RecursiveClique;
+using analysis::RecursiveView;
+using common::Result;
+using common::Status;
+using dist::AggSpec;
+using dist::Cluster;
+using dist::Partitioning;
+using dist::ShuffleWrite;
+using dist::TaskIo;
+using plan::LogicalPlan;
+using plan::PlanKind;
+using plan::RecursiveRefNode;
+using storage::Relation;
+using storage::Row;
+
+namespace {
+
+/// Structural analysis of one recursive branch plan (see DESIGN.md §4).
+struct StepShape {
+  const RecursiveRefNode* ref = nullptr;
+  /// Join keys on the delta side (positions in the view schema); empty
+  /// when the reference does not sit directly under a keyed join.
+  std::vector<int> delta_keys;
+  /// Direct join partner when it is a plain table scan (co-partitionable).
+  const plan::TableScanNode* copart_table = nullptr;
+  std::vector<int> copart_keys;
+  bool ref_is_left = true;
+  /// Simple pipeline Project(Filter?(Join(ref, scan))) — eligible for the
+  /// fused cached-hash step evaluator.
+  bool simple = false;
+  const plan::ProjectNode* project = nullptr;
+  const plan::FilterNode* filter = nullptr;
+  const plan::JoinNode* join = nullptr;
+  /// Column offset of the reference inside the pipeline's concatenated row.
+  int ref_offset = 0;
+  /// Output positions copied verbatim from the same position of the ref —
+  /// the partition-preserving columns enabling decomposed evaluation.
+  std::vector<int> passthrough;
+};
+
+/// Computes the column offset of `target` in the left-to-right leaf
+/// concatenation under `node`. Returns true when found.
+bool FindRefOffset(const LogicalPlan& node, const RecursiveRefNode* target,
+                   int* offset) {
+  switch (node.kind()) {
+    case PlanKind::kRecursiveRef:
+      if (&node == target) return true;
+      *offset += node.schema().num_columns();
+      return false;
+    case PlanKind::kJoin:
+      if (FindRefOffset(node.child(0), target, offset)) return true;
+      return FindRefOffset(node.child(1), target, offset);
+    case PlanKind::kFilter:
+      return FindRefOffset(node.child(0), target, offset);
+    default:
+      *offset += node.schema().num_columns();
+      return false;
+  }
+}
+
+StepShape AnalyzeStep(const LogicalPlan& plan) {
+  StepShape shape;
+  std::vector<const RecursiveRefNode*> refs = CollectRecursiveRefs(plan);
+  RASQL_CHECK(refs.size() == 1);
+  shape.ref = refs[0];
+
+  // Walk the pipeline: Project [Filter] <join tree>.
+  const LogicalPlan* node = &plan;
+  if (node->kind() == PlanKind::kProject) {
+    shape.project = static_cast<const plan::ProjectNode*>(node);
+    node = &node->child(0);
+  }
+  if (node->kind() == PlanKind::kFilter) {
+    shape.filter = static_cast<const plan::FilterNode*>(node);
+    node = &node->child(0);
+  }
+  const LogicalPlan* tree = node;
+
+  // Find the join whose direct child is the recursive ref.
+  std::function<const plan::JoinNode*(const LogicalPlan&)> find_parent_join =
+      [&](const LogicalPlan& n) -> const plan::JoinNode* {
+    if (n.kind() != PlanKind::kJoin) return nullptr;
+    const auto& join = static_cast<const plan::JoinNode&>(n);
+    if (&join.child(0) == shape.ref || &join.child(1) == shape.ref) {
+      return &join;
+    }
+    for (const plan::PlanPtr& child : n.children()) {
+      if (const plan::JoinNode* found = find_parent_join(*child)) {
+        return found;
+      }
+    }
+    return nullptr;
+  };
+  const plan::JoinNode* parent = find_parent_join(*tree);
+  if (parent != nullptr && !parent->is_cross()) {
+    shape.join = parent;
+    shape.ref_is_left = &parent->child(0) == shape.ref;
+    shape.delta_keys =
+        shape.ref_is_left ? parent->left_keys() : parent->right_keys();
+    const LogicalPlan& other =
+        shape.ref_is_left ? parent->child(1) : parent->child(0);
+    if (other.kind() == PlanKind::kTableScan) {
+      shape.copart_table = static_cast<const plan::TableScanNode*>(&other);
+      shape.copart_keys =
+          shape.ref_is_left ? parent->right_keys() : parent->left_keys();
+    }
+  }
+
+  // Simple fused shape: the join with the ref is the whole tree.
+  shape.simple = shape.project != nullptr && shape.join == tree &&
+                 shape.copart_table != nullptr;
+
+  int offset = 0;
+  if (FindRefOffset(*tree, shape.ref, &offset)) shape.ref_offset = offset;
+
+  if (shape.project != nullptr) {
+    const auto& exprs = shape.project->exprs();
+    for (size_t i = 0; i < exprs.size(); ++i) {
+      if (exprs[i]->kind() == expr::Expr::Kind::kColumnRef) {
+        const int g =
+            static_cast<const expr::ColumnRefExpr&>(*exprs[i]).index();
+        if (g == shape.ref_offset + static_cast<int>(i) &&
+            static_cast<int>(i) < shape.ref->schema().num_columns()) {
+          shape.passthrough.push_back(static_cast<int>(i));
+        }
+      }
+    }
+  }
+  return shape;
+}
+
+/// Evaluates one recursive branch against a delta partition, reusing
+/// per-partition cached join structures across iterations (paper App. D).
+class StepEvaluator {
+ public:
+  StepEvaluator(const LogicalPlan& plan, StepShape shape,
+                const std::map<std::string, const Relation*>& tables,
+                const DistFixpointOptions& options, int num_partitions)
+      : plan_(&plan),
+        shape_(std::move(shape)),
+        tables_(&tables),
+        options_(options) {
+    hash_cache_.resize(num_partitions);
+    sorted_cache_.resize(num_partitions);
+    if (shape_.simple) {
+      projector_ = std::make_unique<physical::ProjectionEvaluator>(
+          shape_.project->exprs(), options_.use_codegen);
+      if (shape_.filter != nullptr) {
+        predicate_ = std::make_unique<physical::PredicateEvaluator>(
+            shape_.filter->predicate(), options_.use_codegen);
+      }
+    }
+  }
+
+  /// `base_binding(table_name, partition)` returns the relation a table
+  /// scan should read in this partition (a co-partitioned slice or the
+  /// broadcast whole).
+  using BaseBinding =
+      std::function<const Relation*(const std::string&, int)>;
+
+  Result<std::vector<Row>> Eval(const Relation& delta, int partition,
+                                const BaseBinding& base_binding) {
+    if (shape_.simple && options_.join_algorithm ==
+                             physical::JoinAlgorithm::kHash) {
+      return EvalFusedHash(delta, partition, base_binding);
+    }
+    if (shape_.simple &&
+        options_.join_algorithm == physical::JoinAlgorithm::kSortMerge) {
+      return EvalSortMerge(delta, partition, base_binding);
+    }
+    return EvalGeneric(delta, partition, base_binding);
+  }
+
+ private:
+  Result<std::vector<Row>> EvalFusedHash(const Relation& delta,
+                                         int partition,
+                                         const BaseBinding& base_binding) {
+    const Relation* base =
+        base_binding(shape_.copart_table->table_name(), partition);
+    if (base == nullptr) {
+      return Status::ExecutionError("missing base binding for '" +
+                                    shape_.copart_table->table_name() + "'");
+    }
+    // Build the base-side hash table once per partition and reuse it in
+    // every iteration (the cached shuffle-hash join of App. D).
+    if (hash_cache_[partition] == nullptr) {
+      hash_cache_[partition] = std::make_unique<physical::JoinHashTable>(
+          *base, shape_.copart_keys);
+    }
+    const physical::JoinHashTable& table = *hash_cache_[partition];
+
+    std::vector<Row> out;
+    std::vector<int> matches;
+    const int ref_width = shape_.ref->schema().num_columns();
+    const int base_width = base->schema().num_columns();
+    Row combined(ref_width + base_width);
+    const int ref_at = shape_.ref_is_left ? 0 : base_width;
+    const int base_at = shape_.ref_is_left ? ref_width : 0;
+    for (const Row& d : delta.rows()) {
+      matches.clear();
+      table.Probe(d, shape_.delta_keys, &matches);
+      if (matches.empty()) continue;
+      std::copy(d.begin(), d.end(), combined.begin() + ref_at);
+      for (int m : matches) {
+        const Row& b = base->rows()[m];
+        std::copy(b.begin(), b.end(), combined.begin() + base_at);
+        if (predicate_ != nullptr && !predicate_->Eval(combined)) continue;
+        out.push_back(projector_->Eval(combined));
+      }
+    }
+    return out;
+  }
+
+  Result<std::vector<Row>> EvalSortMerge(const Relation& delta,
+                                         int partition,
+                                         const BaseBinding& base_binding) {
+    const Relation* base =
+        base_binding(shape_.copart_table->table_name(), partition);
+    if (base == nullptr) {
+      return Status::ExecutionError("missing base binding for '" +
+                                    shape_.copart_table->table_name() + "'");
+    }
+    // Sort the base side once per partition; sort the delta every
+    // iteration (this is why sort-merge loses to cached shuffle-hash in
+    // Fig. 11 while using less memory).
+    if (sorted_cache_[partition].empty() && !base->empty()) {
+      auto& order = sorted_cache_[partition];
+      order.resize(base->size());
+      for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+      std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return KeyLess(base->rows()[a], shape_.copart_keys, base->rows()[b],
+                       shape_.copart_keys);
+      });
+    }
+    std::vector<const Row*> deltas;
+    deltas.reserve(delta.size());
+    for (const Row& d : delta.rows()) deltas.push_back(&d);
+    std::sort(deltas.begin(), deltas.end(), [&](const Row* a, const Row* b) {
+      return KeyLess(*a, shape_.delta_keys, *b, shape_.delta_keys);
+    });
+
+    std::vector<Row> out;
+    const int ref_width = shape_.ref->schema().num_columns();
+    const int base_width = base->schema().num_columns();
+    Row combined(ref_width + base_width);
+    const int ref_at = shape_.ref_is_left ? 0 : base_width;
+    const int base_at = shape_.ref_is_left ? ref_width : 0;
+    const auto& order = sorted_cache_[partition];
+    size_t i = 0;
+    size_t j = 0;
+    while (i < deltas.size() && j < order.size()) {
+      const Row& d = *deltas[i];
+      const Row& b = base->rows()[order[j]];
+      if (KeyLess(d, shape_.delta_keys, b, shape_.copart_keys)) {
+        ++i;
+      } else if (KeyLess(b, shape_.copart_keys, d, shape_.delta_keys)) {
+        ++j;
+      } else {
+        size_t j_end = j;
+        while (j_end < order.size() &&
+               !KeyLess(b, shape_.copart_keys, base->rows()[order[j_end]],
+                        shape_.copart_keys) &&
+               !KeyLess(base->rows()[order[j_end]], shape_.copart_keys, b,
+                        shape_.copart_keys)) {
+          ++j_end;
+        }
+        size_t i_end = i;
+        while (i_end < deltas.size() &&
+               !KeyLess(d, shape_.delta_keys, *deltas[i_end],
+                        shape_.delta_keys) &&
+               !KeyLess(*deltas[i_end], shape_.delta_keys, d,
+                        shape_.delta_keys)) {
+          ++i_end;
+        }
+        for (size_t a = i; a < i_end; ++a) {
+          std::copy(deltas[a]->begin(), deltas[a]->end(),
+                    combined.begin() + ref_at);
+          for (size_t bb = j; bb < j_end; ++bb) {
+            const Row& br = base->rows()[order[bb]];
+            std::copy(br.begin(), br.end(), combined.begin() + base_at);
+            if (predicate_ != nullptr && !predicate_->Eval(combined)) {
+              continue;
+            }
+            out.push_back(projector_->Eval(combined));
+          }
+        }
+        i = i_end;
+        j = j_end;
+      }
+    }
+    return out;
+  }
+
+  Result<std::vector<Row>> EvalGeneric(const Relation& delta, int partition,
+                                       const BaseBinding& base_binding) {
+    physical::ExecContext ctx;
+    ctx.use_codegen = options_.use_codegen;
+    ctx.join_algorithm = options_.join_algorithm;
+    for (const auto& [name, rel] : *tables_) {
+      const Relation* bound = base_binding(name, partition);
+      ctx.tables[name] = bound != nullptr ? bound : rel;
+    }
+    ctx.recursive_resolver =
+        [&](const RecursiveRefNode&) -> const Relation* { return &delta; };
+    RASQL_ASSIGN_OR_RETURN(Relation rel, physical::Execute(*plan_, ctx));
+    return std::move(rel.mutable_rows());
+  }
+
+  static bool KeyLess(const Row& a, const std::vector<int>& ak, const Row& b,
+                      const std::vector<int>& bk) {
+    for (size_t i = 0; i < ak.size(); ++i) {
+      const int c = a[ak[i]].Compare(b[bk[i]]);
+      if (c != 0) return c < 0;
+    }
+    return false;
+  }
+
+  const LogicalPlan* plan_;
+  StepShape shape_;
+  const std::map<std::string, const Relation*>* tables_;
+  DistFixpointOptions options_;
+  std::unique_ptr<physical::ProjectionEvaluator> projector_;
+  std::unique_ptr<physical::PredicateEvaluator> predicate_;
+  std::vector<std::unique_ptr<physical::JoinHashTable>> hash_cache_;
+  std::vector<std::vector<size_t>> sorted_cache_;
+};
+
+/// Counts how many times each table is scanned by a plan.
+void CollectTableScans(const LogicalPlan& node,
+                       std::map<std::string, int>* counts) {
+  if (node.kind() == PlanKind::kTableScan) {
+    ++(*counts)[static_cast<const plan::TableScanNode&>(node).table_name()];
+  }
+  for (const plan::PlanPtr& child : node.children()) {
+    CollectTableScans(*child, counts);
+  }
+}
+
+bool IsSubset(const std::vector<int>& sub, const std::vector<int>& super) {
+  for (int x : sub) {
+    if (std::find(super.begin(), super.end(), x) == super.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool EligibleForDistributed(const RecursiveClique& clique) {
+  if (clique.views.size() != 1) return false;
+  const RecursiveView& view = clique.views[0];
+  if (view.recursive_plans.empty()) return false;
+  if (!view.semi_naive_safe) return false;
+  for (const plan::PlanPtr& p : view.recursive_plans) {
+    if (CollectRecursiveRefs(*p).size() != 1) return false;
+  }
+  return true;
+}
+
+Result<std::map<std::string, Relation>> EvaluateCliqueDistributed(
+    const RecursiveClique& clique,
+    const std::map<std::string, const Relation*>& tables, Cluster* cluster,
+    const DistFixpointOptions& options, DistFixpointStats* stats) {
+  DistFixpointStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  if (!EligibleForDistributed(clique)) {
+    return Status::ExecutionError(
+        "clique is not eligible for distributed evaluation");
+  }
+  const RecursiveView& view = clique.views[0];
+  const int P = cluster->config().num_partitions;
+  const AggSpec spec = AggSpec::For(view.schema.num_columns(),
+                                    view.agg_column, view.aggregate);
+
+  // ---- Compile: analyze every recursive branch. ----
+  std::vector<StepShape> shapes;
+  shapes.reserve(view.recursive_plans.size());
+  for (const plan::PlanPtr& p : view.recursive_plans) {
+    shapes.push_back(AnalyzeStep(*p));
+  }
+
+  // Partition key: the common delta-side join key, constrained to lie
+  // within the group-by columns for aggregate views (Alg. 4: "K: partition
+  // key for δR, δR′, B, R, also the join key").
+  std::vector<int> key;
+  bool have_common_key = !shapes.empty();
+  for (size_t i = 0; i < shapes.size(); ++i) {
+    if (shapes[i].delta_keys.empty() ||
+        (i > 0 && shapes[i].delta_keys != shapes[0].delta_keys)) {
+      have_common_key = false;
+      break;
+    }
+  }
+  bool copartition_base = false;
+  if (have_common_key &&
+      (!spec.has_aggregate() ||
+       IsSubset(shapes[0].delta_keys, spec.key_columns))) {
+    key = shapes[0].delta_keys;
+    copartition_base = true;
+  } else if (spec.has_aggregate()) {
+    key = spec.key_columns;
+  } else {
+    key.resize(view.schema.num_columns());
+    for (size_t i = 0; i < key.size(); ++i) key[i] = static_cast<int>(i);
+  }
+
+  // Decomposed-plan eligibility (Sec. 7.2): every branch must preserve a
+  // common set of delta columns through its projection.
+  std::vector<int> passthrough;
+  if (!shapes.empty()) {
+    passthrough = shapes[0].passthrough;
+    for (size_t i = 1; i < shapes.size(); ++i) {
+      std::vector<int> merged;
+      for (int c : passthrough) {
+        if (std::find(shapes[i].passthrough.begin(),
+                      shapes[i].passthrough.end(),
+                      c) != shapes[i].passthrough.end()) {
+          merged.push_back(c);
+        }
+      }
+      passthrough = std::move(merged);
+    }
+  }
+  bool decomposed =
+      options.decomposed != DistFixpointOptions::Decomposed::kOff &&
+      !passthrough.empty() &&
+      (!spec.has_aggregate() || IsSubset(passthrough, spec.key_columns));
+  if (options.decomposed == DistFixpointOptions::Decomposed::kOn &&
+      !decomposed) {
+    return Status::ExecutionError(
+        "decomposed evaluation forced but the plan does not preserve the "
+        "delta partitioning");
+  }
+  if (decomposed) {
+    key = passthrough;
+    copartition_base = false;  // base joined on a non-partition key
+  }
+  stats->used_decomposed = decomposed;
+  stats->partition_key = key;
+
+  const Partitioning partitioning{key, P};
+
+  // ---- Distribute base relations: co-partition the direct join partner,
+  // broadcast everything else (Sec. 7.2). ----
+  std::map<std::string, int> scanned;
+  for (const plan::PlanPtr& p : view.recursive_plans) {
+    CollectTableScans(*p, &scanned);
+  }
+  std::set<std::string> copart_names;
+  if (copartition_base) {
+    for (const StepShape& shape : shapes) {
+      if (shape.copart_table == nullptr) continue;
+      const std::string& name = shape.copart_table->table_name();
+      // A table scanned more than once across the recursive plans plays
+      // two roles (e.g. SG's `rel a` and `rel b`); only a single-role scan
+      // may read a co-partitioned slice — otherwise broadcast it whole.
+      if (scanned[name] == 1) copart_names.insert(name);
+    }
+  }
+  std::map<std::string, dist::PartitionedRelation> coparted;
+  for (const StepShape& shape : shapes) {
+    if (shape.copart_table == nullptr) continue;
+    const std::string& name = shape.copart_table->table_name();
+    if (!copart_names.count(name) || coparted.count(name)) continue;
+    auto it = tables.find(name);
+    if (it == tables.end()) {
+      return Status::ExecutionError("table '" + name + "' not bound");
+    }
+    // Partitioning the base costs one shuffle of its full size.
+    coparted.emplace(name,
+                     dist::Partition(*it->second, shape.copart_keys, P));
+    const size_t bytes = it->second->ByteSize();
+    cluster->RunStage("partition-base:" + name, [&](int p) {
+      TaskIo io;
+      io.shuffle_out_bytes.assign(P, bytes / (P * P));
+      return io;
+    });
+  }
+  for (const auto& [name, scan_count] : scanned) {
+    if (copart_names.count(name)) continue;
+    auto it = tables.find(name);
+    if (it == tables.end()) {
+      return Status::ExecutionError("table '" + name + "' not bound");
+    }
+    if (options.compress_broadcast) {
+      // Ship the compact encoding; workers rebuild hash tables locally.
+      cluster->Broadcast(dist::EncodeRelation(*it->second).size());
+    } else {
+      // Spark default: master builds the hash table and ships it.
+      common::Timer timer;
+      physical::JoinHashTable master_build(*it->second, {0});
+      cluster->ChargeDriverCompute(timer.ElapsedSeconds());
+      cluster->Broadcast(dist::HashedRelationSize(*it->second));
+    }
+  }
+
+  auto base_binding = [&](const std::string& name,
+                          int partition) -> const Relation* {
+    auto cit = coparted.find(name);
+    if (cit != coparted.end()) return &cit->second.partition(partition);
+    auto it = tables.find(name);
+    return it == tables.end() ? nullptr : it->second;
+  };
+
+  // ---- Step evaluators (cached hash tables / sort orders). ----
+  std::vector<StepEvaluator> steps;
+  steps.reserve(view.recursive_plans.size());
+  for (size_t i = 0; i < view.recursive_plans.size(); ++i) {
+    steps.emplace_back(*view.recursive_plans[i], shapes[i], tables, options,
+                       P);
+  }
+
+  // ---- Base case: evaluate on the driver, then scatter by K. ----
+  physical::ExecContext base_ctx;
+  base_ctx.tables = tables;
+  base_ctx.use_codegen = options.use_codegen;
+  base_ctx.join_algorithm = options.join_algorithm;
+  std::vector<Row> base_rows;
+  for (const plan::PlanPtr& p : view.base_plans) {
+    RASQL_ASSIGN_OR_RETURN(Relation rel, physical::Execute(*p, base_ctx));
+    for (Row& row : rel.mutable_rows()) base_rows.push_back(std::move(row));
+  }
+  base_rows = dist::PartialAggregate(std::move(base_rows), spec);
+
+  dist::SetRdd all(view.schema, spec, partitioning);
+  std::vector<std::vector<Row>> delta(P);
+
+  // Seed stage: input splits shuffle the base case to its partitions.
+  {
+    std::vector<std::vector<Row>> splits(P);
+    for (size_t i = 0; i < base_rows.size(); ++i) {
+      splits[i % P].push_back(std::move(base_rows[i]));
+    }
+    std::vector<ShuffleWrite> writes;
+    writes.reserve(P);
+    cluster->RunStage("seed-base-case", [&](int p) {
+      ShuffleWrite write(P);
+      for (Row& row : splits[p]) write.Add(std::move(row), partitioning);
+      TaskIo io;
+      io.shuffle_out_bytes = write.bytes_per_dest;
+      writes.push_back(std::move(write));
+      return io;
+    });
+    cluster->RunStage("merge-base-case", [&](int p) {
+      std::vector<Row> rows = dist::GatherShuffle(writes, p);
+      rows = dist::PartialAggregate(std::move(rows), spec);
+      all.partition(p)->MergeDelta(rows, &delta[p]);
+      TaskIo io;
+      io.consumes_shuffle = true;
+      return io;
+    });
+  }
+  for (const auto& d : delta) stats->total_delta_rows += d.size();
+
+  auto deltas_empty = [&]() {
+    for (const auto& d : delta) {
+      if (!d.empty()) return false;
+    }
+    return true;
+  };
+
+  auto eval_step_for_partition =
+      [&](int p, std::vector<Row>* out) -> Status {
+    Relation delta_rel(view.schema, std::move(delta[p]));
+    delta[p].clear();
+    for (StepEvaluator& step : steps) {
+      RASQL_ASSIGN_OR_RETURN(std::vector<Row> rows,
+                             step.Eval(delta_rel, p, base_binding));
+      for (Row& row : rows) out->push_back(std::move(row));
+    }
+    return Status::OK();
+  };
+
+  auto copart_state_bytes = [&](int p) {
+    size_t bytes = 0;
+    for (const auto& [name, rel] : coparted) {
+      bytes += rel.partition(p).ByteSize();
+    }
+    return bytes;
+  };
+
+  if (decomposed) {
+    // ---- Decomposed evaluation (Sec. 7.2): each partition runs its own
+    // fixpoint with no cross-partition shuffles or synchronization. One
+    // modeled stage covers the whole run; its makespan is the slowest
+    // partition's total time.
+    Status failure = Status::OK();
+    int max_iterations = 0;
+    cluster->RunStage("decomposed-fixpoint", [&](int p) {
+      TaskIo io;
+      io.cached_state_bytes = all.partition(p)->byte_size();
+      int iterations = 0;
+      while (!delta[p].empty() && failure.ok()) {
+        if (iterations >= options.max_iterations) {
+          stats->hit_iteration_limit = true;
+          break;
+        }
+        ++iterations;
+        std::vector<Row> candidates;
+        Status s = eval_step_for_partition(p, &candidates);
+        if (!s.ok()) {
+          failure = s;
+          break;
+        }
+        candidates = dist::PartialAggregate(std::move(candidates), spec);
+        all.partition(p)->MergeDelta(candidates, &delta[p]);
+        stats->total_delta_rows += delta[p].size();
+      }
+      max_iterations = std::max(max_iterations, iterations);
+      return io;
+    });
+    RASQL_RETURN_IF_ERROR(failure);
+    stats->iterations = max_iterations;
+  } else if (options.combine_stages) {
+    // ---- Optimized DSN (Alg. 6): one ShuffleMap stage per iteration.
+    // Map output of iteration i is merged and re-joined by iteration i+1
+    // on the same partition/worker.
+    std::vector<ShuffleWrite> pending;
+    {
+      // The first combined stage has no incoming shuffle (the seed stages
+      // above produced the initial delta); emit iteration 1's map output.
+      Status failure = Status::OK();
+      std::vector<ShuffleWrite> writes;
+      writes.reserve(P);
+      cluster->RunStage("iter-1", [&](int p) {
+        TaskIo io;
+        io.cached_state_bytes =
+            all.partition(p)->byte_size() + copart_state_bytes(p);
+        ShuffleWrite write(P);
+        std::vector<Row> candidates;
+        Status s = eval_step_for_partition(p, &candidates);
+        if (!s.ok()) {
+          failure = s;
+        } else {
+          candidates = dist::PartialAggregate(std::move(candidates), spec);
+          for (Row& row : candidates) write.Add(std::move(row), partitioning);
+        }
+        io.shuffle_out_bytes = write.bytes_per_dest;
+        writes.push_back(std::move(write));
+        return io;
+      });
+      RASQL_RETURN_IF_ERROR(failure);
+      pending = std::move(writes);
+      stats->iterations = 1;
+    }
+    while (true) {
+      if (stats->iterations >= options.max_iterations) {
+        stats->hit_iteration_limit = true;
+        break;
+      }
+      // Merge incoming candidates; stop when nothing new anywhere.
+      bool any_incoming = false;
+      for (const ShuffleWrite& w : pending) {
+        for (const auto& rows : w.rows_per_dest) {
+          if (!rows.empty()) any_incoming = true;
+        }
+      }
+      if (!any_incoming) break;
+      ++stats->iterations;
+
+      Status failure = Status::OK();
+      std::vector<ShuffleWrite> writes;
+      writes.reserve(P);
+      cluster->RunStage("iter-" + std::to_string(stats->iterations),
+                        [&](int p) {
+        TaskIo io;
+        io.consumes_shuffle = true;
+        io.cached_state_bytes =
+            all.partition(p)->byte_size() + copart_state_bytes(p);
+        std::vector<Row> incoming = dist::GatherShuffle(pending, p);
+        incoming = dist::PartialAggregate(std::move(incoming), spec);
+        all.partition(p)->MergeDelta(incoming, &delta[p]);
+        stats->total_delta_rows += delta[p].size();
+        ShuffleWrite write(P);
+        if (!delta[p].empty()) {
+          std::vector<Row> candidates;
+          Status s = eval_step_for_partition(p, &candidates);
+          if (!s.ok()) {
+            failure = s;
+          } else {
+            candidates =
+                dist::PartialAggregate(std::move(candidates), spec);
+            for (Row& row : candidates) {
+              write.Add(std::move(row), partitioning);
+            }
+          }
+        }
+        io.shuffle_out_bytes = write.bytes_per_dest;
+        writes.push_back(std::move(write));
+        return io;
+      });
+      RASQL_RETURN_IF_ERROR(failure);
+      pending = std::move(writes);
+    }
+  } else {
+    // ---- Plain DSN (Alg. 4/5): separate Map and Reduce stages per
+    // iteration.
+    while (!deltas_empty()) {
+      if (stats->iterations >= options.max_iterations) {
+        stats->hit_iteration_limit = true;
+        break;
+      }
+      ++stats->iterations;
+
+      Status failure = Status::OK();
+      std::vector<ShuffleWrite> writes;
+      writes.reserve(P);
+      cluster->RunStage("map-" + std::to_string(stats->iterations),
+                        [&](int p) {
+        TaskIo io;
+        io.cached_state_bytes = copart_state_bytes(p);
+        ShuffleWrite write(P);
+        std::vector<Row> candidates;
+        Status s = eval_step_for_partition(p, &candidates);
+        if (!s.ok()) {
+          failure = s;
+        } else {
+          candidates = dist::PartialAggregate(std::move(candidates), spec);
+          for (Row& row : candidates) write.Add(std::move(row), partitioning);
+        }
+        io.shuffle_out_bytes = write.bytes_per_dest;
+        writes.push_back(std::move(write));
+        return io;
+      });
+      RASQL_RETURN_IF_ERROR(failure);
+
+      cluster->RunStage("reduce-" + std::to_string(stats->iterations),
+                        [&](int p) {
+        TaskIo io;
+        io.consumes_shuffle = true;
+        io.cached_state_bytes = all.partition(p)->byte_size();
+        std::vector<Row> incoming = dist::GatherShuffle(writes, p);
+        incoming = dist::PartialAggregate(std::move(incoming), spec);
+        all.partition(p)->MergeDelta(incoming, &delta[p]);
+        stats->total_delta_rows += delta[p].size();
+        return io;
+      });
+    }
+  }
+
+  std::map<std::string, Relation> out;
+  out.emplace(view.name, all.Collect());
+  return out;
+}
+
+}  // namespace rasql::fixpoint

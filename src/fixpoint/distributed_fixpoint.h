@@ -1,0 +1,59 @@
+#ifndef RASQL_FIXPOINT_DISTRIBUTED_FIXPOINT_H_
+#define RASQL_FIXPOINT_DISTRIBUTED_FIXPOINT_H_
+
+#include <map>
+#include <string>
+
+#include "analysis/analyzed_query.h"
+#include "common/status.h"
+#include "dist/cluster.h"
+#include "fixpoint/local_fixpoint.h"
+#include "physical/executor.h"
+#include "storage/relation.h"
+
+namespace rasql::fixpoint {
+
+/// Options of the distributed semi-naive evaluator (paper Sec. 6 & 7).
+struct DistFixpointOptions {
+  /// Fuse Reduce(i) + Map(i+1) into one ShuffleMap stage per iteration
+  /// (paper Alg. 6 / Sec. 7.1). Off = the plain two-stage Alg. 4/5 loop.
+  bool combine_stages = true;
+  /// Decomposed-plan evaluation (paper Sec. 7.2): partitions iterate
+  /// independently with the base relation broadcast; applies only to plans
+  /// whose output preserves the delta partitioning (e.g. linear TC).
+  enum class Decomposed { kAuto, kOn, kOff };
+  Decomposed decomposed = Decomposed::kAuto;
+  /// Broadcast the compact encoded relation and build hash tables on the
+  /// workers, instead of shipping a master-built hash table (Sec. 7.2).
+  bool compress_broadcast = true;
+  bool use_codegen = true;
+  physical::JoinAlgorithm join_algorithm = physical::JoinAlgorithm::kHash;
+  int64_t max_iterations = 1'000'000;
+};
+
+/// Per-run statistics beyond the cluster's JobMetrics.
+struct DistFixpointStats {
+  int iterations = 0;
+  size_t total_delta_rows = 0;
+  bool hit_iteration_limit = false;
+  bool used_decomposed = false;
+  /// Partition key positions (view schema) the run settled on.
+  std::vector<int> partition_key;
+};
+
+/// True when the clique can run on the distributed evaluator: one view,
+/// semi-naive-safe, every recursive plan referencing the view exactly once.
+bool EligibleForDistributed(const analysis::RecursiveClique& clique);
+
+/// Evaluates an eligible clique to fixpoint on the simulated cluster.
+/// Cluster metrics accumulate into `cluster->metrics()`.
+common::Result<std::map<std::string, storage::Relation>>
+EvaluateCliqueDistributed(
+    const analysis::RecursiveClique& clique,
+    const std::map<std::string, const storage::Relation*>& tables,
+    dist::Cluster* cluster, const DistFixpointOptions& options,
+    DistFixpointStats* stats);
+
+}  // namespace rasql::fixpoint
+
+#endif  // RASQL_FIXPOINT_DISTRIBUTED_FIXPOINT_H_

@@ -1,0 +1,248 @@
+#include "fixpoint/local_fixpoint.h"
+
+#include "common/check.h"
+#include "dist/aggregates.h"
+#include "dist/set_rdd.h"
+
+namespace rasql::fixpoint {
+
+using analysis::RecursiveClique;
+using analysis::RecursiveView;
+using common::Result;
+using common::Status;
+using dist::AggSpec;
+using physical::ExecContext;
+using plan::LogicalPlan;
+using plan::PlanKind;
+using plan::RecursiveRefNode;
+using storage::Relation;
+using storage::Row;
+
+std::vector<const RecursiveRefNode*> CollectRecursiveRefs(
+    const LogicalPlan& node) {
+  std::vector<const RecursiveRefNode*> out;
+  if (node.kind() == PlanKind::kRecursiveRef) {
+    out.push_back(static_cast<const RecursiveRefNode*>(&node));
+  }
+  for (const plan::PlanPtr& child : node.children()) {
+    std::vector<const RecursiveRefNode*> sub = CollectRecursiveRefs(*child);
+    out.insert(out.end(), sub.begin(), sub.end());
+  }
+  return out;
+}
+
+namespace {
+
+AggSpec SpecFor(const RecursiveView& view) {
+  return AggSpec::For(view.schema.num_columns(), view.agg_column,
+                      view.aggregate);
+}
+
+/// Canonical aggregated + sorted form for state comparison.
+Relation Canonicalize(Relation rel, const AggSpec& spec) {
+  std::vector<Row> rows =
+      dist::PartialAggregate(std::move(rel.mutable_rows()), spec);
+  Relation out(rel.schema(), std::move(rows));
+  out.SortRows();
+  return out;
+}
+
+/// Semi-naive evaluation of a single-view clique (paper Alg. 3 extended
+/// with the Alg. 5 aggregate delta rules).
+Result<std::map<std::string, Relation>> EvaluateSemiNaive(
+    const RecursiveView& view,
+    const std::map<std::string, const Relation*>& tables,
+    const FixpointOptions& options, FixpointStats* stats) {
+  const AggSpec spec = SpecFor(view);
+  dist::SetRddPartition state(view.schema, spec);
+
+  ExecContext base_ctx;
+  base_ctx.tables = tables;
+  base_ctx.use_codegen = options.use_codegen;
+  base_ctx.join_algorithm = options.join_algorithm;
+
+  // Base case: evaluate, pre-aggregate, merge to form the initial delta.
+  std::vector<Row> candidates;
+  for (const plan::PlanPtr& base : view.base_plans) {
+    RASQL_ASSIGN_OR_RETURN(Relation rel, physical::Execute(*base, base_ctx));
+    for (Row& row : rel.mutable_rows()) candidates.push_back(std::move(row));
+  }
+  candidates = dist::PartialAggregate(std::move(candidates), spec);
+  std::vector<Row> delta;
+  state.MergeDelta(candidates, &delta);
+  stats->total_delta_rows += delta.size();
+
+  // Does any recursive plan reference the view more than once? If so the
+  // non-delta occurrences must see the `all` state, which we materialize
+  // per iteration.
+  bool needs_all = false;
+  std::vector<int> refs_per_plan;
+  for (const plan::PlanPtr& p : view.recursive_plans) {
+    const int n = static_cast<int>(CollectRecursiveRefs(*p).size());
+    refs_per_plan.push_back(n);
+    if (n > 1) needs_all = true;
+  }
+
+  while (!delta.empty()) {
+    if (stats->iterations >= options.max_iterations) {
+      stats->hit_iteration_limit = true;
+      break;
+    }
+    ++stats->iterations;
+
+    Relation delta_rel(view.schema, std::move(delta));
+    delta.clear();
+    Relation all_rel;
+    if (needs_all) all_rel = state.ToRelation();
+
+    candidates.clear();
+    for (size_t pi = 0; pi < view.recursive_plans.size(); ++pi) {
+      const LogicalPlan& p = *view.recursive_plans[pi];
+      // One semi-naive term per recursive reference: that reference is
+      // bound to the delta, the others to the current `all`.
+      for (int term = 0; term < refs_per_plan[pi]; ++term) {
+        ExecContext ctx = base_ctx;
+        ctx.recursive_resolver =
+            [&](const RecursiveRefNode& ref) -> const Relation* {
+          return ref.ordinal() == term ? &delta_rel : &all_rel;
+        };
+        RASQL_ASSIGN_OR_RETURN(Relation rel, physical::Execute(p, ctx));
+        for (Row& row : rel.mutable_rows()) {
+          candidates.push_back(std::move(row));
+        }
+      }
+    }
+    candidates = dist::PartialAggregate(std::move(candidates), spec);
+    state.MergeDelta(candidates, &delta);
+    stats->total_delta_rows += delta.size();
+  }
+
+  std::map<std::string, Relation> out;
+  out.emplace(view.name, state.ToRelation());
+  stats->used_semi_naive = true;
+  return out;
+}
+
+/// Naive evaluation of a (possibly mutual-recursive) clique:
+/// X_{n+1}[v] = γ_v(∪_branches T_branch(X_n)) until X stabilizes.
+Result<std::map<std::string, Relation>> EvaluateNaive(
+    const RecursiveClique& clique,
+    const std::map<std::string, const Relation*>& tables,
+    const FixpointOptions& options, FixpointStats* stats) {
+  std::map<std::string, Relation> state;
+  std::map<std::string, AggSpec> specs;
+  for (const RecursiveView& view : clique.views) {
+    state.emplace(view.name, Relation(view.schema));
+    specs.emplace(view.name, SpecFor(view));
+  }
+
+  while (true) {
+    if (stats->iterations >= options.max_iterations) {
+      stats->hit_iteration_limit = true;
+      break;
+    }
+    ++stats->iterations;
+
+    std::map<std::string, Relation> next;
+    for (const RecursiveView& view : clique.views) {
+      ExecContext ctx;
+      ctx.tables = tables;
+      ctx.use_codegen = options.use_codegen;
+      ctx.join_algorithm = options.join_algorithm;
+      ctx.recursive_resolver =
+          [&](const RecursiveRefNode& ref) -> const Relation* {
+        auto it = state.find(ref.view_name());
+        return it == state.end() ? nullptr : &it->second;
+      };
+
+      std::vector<Row> candidates;
+      for (const plan::PlanPtr& p : view.base_plans) {
+        RASQL_ASSIGN_OR_RETURN(Relation rel, physical::Execute(*p, ctx));
+        for (Row& row : rel.mutable_rows()) {
+          candidates.push_back(std::move(row));
+        }
+      }
+      for (const plan::PlanPtr& p : view.recursive_plans) {
+        RASQL_ASSIGN_OR_RETURN(Relation rel, physical::Execute(*p, ctx));
+        for (Row& row : rel.mutable_rows()) {
+          candidates.push_back(std::move(row));
+        }
+      }
+      Relation rel(view.schema, std::move(candidates));
+      next.emplace(view.name,
+                   Canonicalize(std::move(rel), specs.at(view.name)));
+    }
+
+    bool changed = false;
+    for (const RecursiveView& view : clique.views) {
+      if (!storage::SameBag(next.at(view.name), state.at(view.name))) {
+        changed = true;
+      }
+      stats->total_delta_rows += next.at(view.name).size();
+    }
+    state = std::move(next);
+    if (!changed) break;
+  }
+  return state;
+}
+
+}  // namespace
+
+Result<std::map<std::string, Relation>> EvaluateCliqueLocal(
+    const RecursiveClique& clique,
+    const std::map<std::string, const Relation*>& tables,
+    const FixpointOptions& options, FixpointStats* stats) {
+  FixpointStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+
+  // Non-recursive clique: single evaluation of the base plans.
+  if (!clique.IsRecursive()) {
+    std::map<std::string, Relation> out;
+    for (const RecursiveView& view : clique.views) {
+      ExecContext ctx;
+      ctx.tables = tables;
+      ctx.use_codegen = options.use_codegen;
+      ctx.join_algorithm = options.join_algorithm;
+      std::vector<Row> rows;
+      for (const plan::PlanPtr& p : view.base_plans) {
+        RASQL_ASSIGN_OR_RETURN(Relation rel, physical::Execute(*p, ctx));
+        for (Row& row : rel.mutable_rows()) rows.push_back(std::move(row));
+      }
+      Relation rel(view.schema, std::move(rows));
+      // Multi-branch non-recursive views still union with set/aggregate
+      // semantics per the head declaration.
+      out.emplace(view.name, Canonicalize(std::move(rel), SpecFor(view)));
+    }
+    stats->iterations = 1;
+    return out;
+  }
+
+  const bool semi_naive_eligible =
+      clique.views.size() == 1 && clique.views[0].semi_naive_safe;
+  bool use_semi_naive;
+  switch (options.mode) {
+    case FixpointMode::kAuto:
+      use_semi_naive = semi_naive_eligible;
+      break;
+    case FixpointMode::kSemiNaive:
+      if (!semi_naive_eligible) {
+        return Status::ExecutionError(
+            "semi-naive evaluation requested but the clique containing '" +
+            clique.views[0].name +
+            "' requires naive evaluation (mutual recursion or non-linear "
+            "aggregate use)");
+      }
+      use_semi_naive = true;
+      break;
+    case FixpointMode::kNaive:
+      use_semi_naive = false;
+      break;
+  }
+
+  if (use_semi_naive) {
+    return EvaluateSemiNaive(clique.views[0], tables, options, stats);
+  }
+  return EvaluateNaive(clique, tables, options, stats);
+}
+
+}  // namespace rasql::fixpoint

@@ -1,0 +1,59 @@
+#ifndef RASQL_FIXPOINT_LOCAL_FIXPOINT_H_
+#define RASQL_FIXPOINT_LOCAL_FIXPOINT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzed_query.h"
+#include "common/status.h"
+#include "physical/executor.h"
+#include "storage/relation.h"
+
+namespace rasql::fixpoint {
+
+/// Fixpoint evaluation strategy.
+enum class FixpointMode {
+  /// Semi-naive when safe, naive otherwise (mutual recursion, non-linear
+  /// sum/count use — see DESIGN.md §4).
+  kAuto,
+  /// Naive evaluation (paper Alg. 2): X_{n+1} = γ(base ∪ T(X_n)), state
+  /// recomputed and re-aggregated each round. Always correct; slow.
+  kNaive,
+  /// Semi-naive delta evaluation (paper Alg. 3/5 specialized to one node).
+  kSemiNaive,
+};
+
+struct FixpointOptions {
+  FixpointMode mode = FixpointMode::kAuto;
+  /// Safety valve for non-terminating recursions (the paper's
+  /// stratified-SSSP on cyclic graphs, Fig. 1 footnote).
+  int64_t max_iterations = 1'000'000;
+  bool use_codegen = true;
+  physical::JoinAlgorithm join_algorithm = physical::JoinAlgorithm::kHash;
+};
+
+struct FixpointStats {
+  int iterations = 0;
+  /// Total rows that entered a delta across all iterations.
+  size_t total_delta_rows = 0;
+  bool hit_iteration_limit = false;
+  bool used_semi_naive = false;
+};
+
+/// Collects the RecursiveRefNodes of a plan in ordinal order.
+std::vector<const plan::RecursiveRefNode*> CollectRecursiveRefs(
+    const plan::LogicalPlan& plan);
+
+/// Evaluates one recursive clique to fixpoint on a single node, returning
+/// the materialized relation of every view in the clique. Non-recursive
+/// cliques evaluate in one shot. `tables` binds base tables and earlier
+/// materialized views by canonical name.
+common::Result<std::map<std::string, storage::Relation>> EvaluateCliqueLocal(
+    const analysis::RecursiveClique& clique,
+    const std::map<std::string, const storage::Relation*>& tables,
+    const FixpointOptions& options, FixpointStats* stats);
+
+}  // namespace rasql::fixpoint
+
+#endif  // RASQL_FIXPOINT_LOCAL_FIXPOINT_H_

@@ -1,0 +1,443 @@
+#include "physical/executor.h"
+
+#include <algorithm>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "expr/compiled_expr.h"
+
+namespace rasql::physical {
+
+using common::Result;
+using common::Status;
+using expr::AggregateFunction;
+using plan::LogicalPlan;
+using plan::PlanKind;
+using storage::Relation;
+using storage::Row;
+using storage::Value;
+using storage::ValueType;
+
+JoinHashTable::JoinHashTable(const Relation& build,
+                             std::vector<int> key_columns)
+    : build_(&build), key_columns_(std::move(key_columns)) {
+  size_t capacity = 16;
+  while (capacity < build.size() * 2) capacity <<= 1;
+  buckets_ = capacity;
+  mask_ = capacity - 1;
+  heads_.assign(capacity, -1);
+  next_.assign(build.size(), -1);
+  for (size_t i = 0; i < build.size(); ++i) {
+    const uint64_t h = storage::HashRowKey(build.rows()[i], key_columns_);
+    const size_t slot = h & mask_;
+    next_[i] = heads_[slot];
+    heads_[slot] = static_cast<int>(i);
+  }
+}
+
+void JoinHashTable::Probe(const Row& probe,
+                          const std::vector<int>& probe_keys,
+                          std::vector<int>* out) const {
+  const uint64_t h = storage::HashRowKey(probe, probe_keys);
+  for (int i = heads_[h & mask_]; i >= 0; i = next_[i]) {
+    if (storage::RowKeysEqual(probe, probe_keys, build_->rows()[i],
+                              key_columns_)) {
+      out->push_back(i);
+    }
+  }
+}
+
+ProjectionEvaluator::ProjectionEvaluator(
+    const std::vector<expr::ExprPtr>& exprs, bool use_codegen) {
+  exprs_.reserve(exprs.size());
+  for (const expr::ExprPtr& e : exprs) {
+    Entry entry;
+    entry.expr = e.get();
+    // Compile only genuinely computational expressions: a bare column
+    // reference or literal is already a single copy, and routing it
+    // through the numeric program would only add conversions.
+    if (use_codegen && e->kind() != expr::Expr::Kind::kColumnRef &&
+        e->kind() != expr::Expr::Kind::kLiteral) {
+      entry.compiled = expr::CompiledExpr::Compile(*e);
+    }
+    exprs_.push_back(std::move(entry));
+  }
+}
+
+Row ProjectionEvaluator::Eval(const Row& input) const {
+  Row out;
+  out.reserve(exprs_.size());
+  for (const Entry& entry : exprs_) {
+    out.push_back(entry.compiled ? entry.compiled->EvalValue(input)
+                                 : entry.expr->Eval(input));
+  }
+  return out;
+}
+
+PredicateEvaluator::PredicateEvaluator(const expr::Expr& predicate,
+                                       bool use_codegen)
+    : expr_(&predicate) {
+  if (use_codegen) compiled_ = expr::CompiledExpr::Compile(predicate);
+}
+
+namespace {
+
+/// Either a borrowed pointer into the context (scans) or an owned
+/// materialized intermediate. Avoids copying base relations on every scan.
+struct ExecResult {
+  const Relation* rel = nullptr;
+  std::unique_ptr<Relation> owned;
+};
+
+Result<ExecResult> Exec(const LogicalPlan& node, const ExecContext& ctx);
+
+ExecResult Own(Relation rel) {
+  ExecResult r;
+  r.owned = std::make_unique<Relation>(std::move(rel));
+  r.rel = r.owned.get();
+  return r;
+}
+
+Row ConcatRows(const Row& left, const Row& right) {
+  Row out;
+  out.reserve(left.size() + right.size());
+  out.insert(out.end(), left.begin(), left.end());
+  out.insert(out.end(), right.begin(), right.end());
+  return out;
+}
+
+Result<ExecResult> ExecTableScan(const plan::TableScanNode& node,
+                                 const ExecContext& ctx) {
+  auto it = ctx.tables.find(node.table_name());
+  if (it == ctx.tables.end() || it->second == nullptr) {
+    return Status::ExecutionError("no data bound for table '" +
+                                  node.table_name() + "'");
+  }
+  ExecResult r;
+  r.rel = it->second;
+  return r;
+}
+
+Result<ExecResult> ExecRecursiveRef(const plan::RecursiveRefNode& node,
+                                    const ExecContext& ctx) {
+  if (!ctx.recursive_resolver) {
+    return Status::ExecutionError(
+        "recursive reference '" + node.view_name() +
+        "' reached the executor without a fixpoint binding");
+  }
+  const Relation* rel = ctx.recursive_resolver(node);
+  if (rel == nullptr) {
+    return Status::ExecutionError("recursive resolver returned null for '" +
+                                  node.view_name() + "'");
+  }
+  ExecResult r;
+  r.rel = rel;
+  return r;
+}
+
+Result<ExecResult> ExecJoinGeneric(const plan::JoinNode& node,
+                                   const ExecContext& ctx) {
+  RASQL_ASSIGN_OR_RETURN(ExecResult left, Exec(node.child(0), ctx));
+  RASQL_ASSIGN_OR_RETURN(ExecResult right, Exec(node.child(1), ctx));
+
+  Relation out(node.schema());
+  if (node.is_cross()) {
+    out.Reserve(left.rel->size() * right.rel->size());
+    for (const Row& l : left.rel->rows()) {
+      for (const Row& r : right.rel->rows()) {
+        out.Add(ConcatRows(l, r));
+      }
+    }
+    return Own(std::move(out));
+  }
+
+  if (ctx.join_algorithm == JoinAlgorithm::kSortMerge) {
+    // Sort both inputs by their key columns, then merge matching runs.
+    std::vector<const Row*> ls;
+    ls.reserve(left.rel->size());
+    for (const Row& r : left.rel->rows()) ls.push_back(&r);
+    std::vector<const Row*> rs;
+    rs.reserve(right.rel->size());
+    for (const Row& r : right.rel->rows()) rs.push_back(&r);
+    const std::vector<int>& lk = node.left_keys();
+    const std::vector<int>& rk = node.right_keys();
+    auto key_less = [](const Row& a, const std::vector<int>& ak,
+                       const Row& b, const std::vector<int>& bk) {
+      for (size_t i = 0; i < ak.size(); ++i) {
+        const int c = a[ak[i]].Compare(b[bk[i]]);
+        if (c != 0) return c < 0;
+      }
+      return false;
+    };
+    std::sort(ls.begin(), ls.end(), [&](const Row* a, const Row* b) {
+      return key_less(*a, lk, *b, lk);
+    });
+    std::sort(rs.begin(), rs.end(), [&](const Row* a, const Row* b) {
+      return key_less(*a, rk, *b, rk);
+    });
+    size_t i = 0;
+    size_t j = 0;
+    while (i < ls.size() && j < rs.size()) {
+      if (key_less(*ls[i], lk, *rs[j], rk)) {
+        ++i;
+      } else if (key_less(*rs[j], rk, *ls[i], lk)) {
+        ++j;
+      } else {
+        // Equal keys: emit the cartesian product of the two runs.
+        size_t j_end = j;
+        while (j_end < rs.size() &&
+               !key_less(*rs[j], rk, *rs[j_end], rk) &&
+               !key_less(*rs[j_end], rk, *rs[j], rk)) {
+          ++j_end;
+        }
+        size_t i_end = i;
+        while (i_end < ls.size() &&
+               !key_less(*ls[i], lk, *ls[i_end], lk) &&
+               !key_less(*ls[i_end], lk, *ls[i], lk)) {
+          ++i_end;
+        }
+        for (size_t a = i; a < i_end; ++a) {
+          for (size_t b = j; b < j_end; ++b) {
+            out.Add(ConcatRows(*ls[a], *rs[b]));
+          }
+        }
+        i = i_end;
+        j = j_end;
+      }
+    }
+    return Own(std::move(out));
+  }
+
+  // Hash join: build on the right side (base relations sit right of the
+  // recursive delta in the common FROM order), probe with the left.
+  JoinHashTable table(*right.rel, node.right_keys());
+  std::vector<int> matches;
+  for (const Row& l : left.rel->rows()) {
+    matches.clear();
+    table.Probe(l, node.left_keys(), &matches);
+    for (int m : matches) {
+      out.Add(ConcatRows(l, right.rel->rows()[m]));
+    }
+  }
+  return Own(std::move(out));
+}
+
+Result<ExecResult> ExecFilter(const plan::FilterNode& node,
+                              const ExecContext& ctx) {
+  RASQL_ASSIGN_OR_RETURN(ExecResult child, Exec(node.child(0), ctx));
+  PredicateEvaluator predicate(node.predicate(), ctx.use_codegen);
+  Relation out(node.schema());
+  for (const Row& row : child.rel->rows()) {
+    if (predicate.Eval(row)) out.Add(row);
+  }
+  return Own(std::move(out));
+}
+
+/// Fused Project(Filter(X)) and Project(Join(X, Y)) pipelines — the
+/// whole-stage-codegen analogue: one pass, no materialized intermediate.
+Result<ExecResult> ExecProject(const plan::ProjectNode& node,
+                               const ExecContext& ctx) {
+  ProjectionEvaluator projector(node.exprs(), ctx.use_codegen);
+  Relation out(node.schema());
+
+  const LogicalPlan& child = node.child(0);
+  if (ctx.use_codegen && child.kind() == PlanKind::kFilter) {
+    const auto& filter = static_cast<const plan::FilterNode&>(child);
+    RASQL_ASSIGN_OR_RETURN(ExecResult input, Exec(filter.child(0), ctx));
+    PredicateEvaluator predicate(filter.predicate(), ctx.use_codegen);
+    for (const Row& row : input.rel->rows()) {
+      if (predicate.Eval(row)) out.Add(projector.Eval(row));
+    }
+    return Own(std::move(out));
+  }
+  if (ctx.use_codegen && child.kind() == PlanKind::kJoin &&
+      ctx.join_algorithm == JoinAlgorithm::kHash) {
+    const auto& join = static_cast<const plan::JoinNode&>(child);
+    if (!join.is_cross()) {
+      RASQL_ASSIGN_OR_RETURN(ExecResult left, Exec(join.child(0), ctx));
+      RASQL_ASSIGN_OR_RETURN(ExecResult right, Exec(join.child(1), ctx));
+      JoinHashTable table(*right.rel, join.right_keys());
+      std::vector<int> matches;
+      Row combined;
+      const size_t left_width = join.child(0).schema().num_columns();
+      const size_t right_width = join.child(1).schema().num_columns();
+      combined.resize(left_width + right_width);
+      for (const Row& l : left.rel->rows()) {
+        matches.clear();
+        table.Probe(l, join.left_keys(), &matches);
+        if (matches.empty()) continue;
+        std::copy(l.begin(), l.end(), combined.begin());
+        for (int m : matches) {
+          const Row& r = right.rel->rows()[m];
+          std::copy(r.begin(), r.end(), combined.begin() + left_width);
+          out.Add(projector.Eval(combined));
+        }
+      }
+      return Own(std::move(out));
+    }
+  }
+
+  RASQL_ASSIGN_OR_RETURN(ExecResult input, Exec(child, ctx));
+  out.Reserve(input.rel->size());
+  for (const Row& row : input.rel->rows()) {
+    out.Add(projector.Eval(row));
+  }
+  return Own(std::move(out));
+}
+
+Result<ExecResult> ExecAggregate(const plan::AggregateNode& node,
+                                 const ExecContext& ctx) {
+  RASQL_ASSIGN_OR_RETURN(ExecResult input, Exec(node.child(0), ctx));
+
+  const std::vector<expr::ExprPtr>& group_exprs = node.group_exprs();
+  const std::vector<plan::AggregateItem>& items = node.items();
+
+  struct GroupState {
+    std::vector<Value> accumulators;
+    std::vector<std::unique_ptr<
+        std::unordered_set<Row, storage::RowHash, storage::RowEq>>>
+        distinct;
+  };
+  std::unordered_map<Row, GroupState, storage::RowHash, storage::RowEq>
+      groups;
+
+  for (const Row& row : input.rel->rows()) {
+    Row key;
+    key.reserve(group_exprs.size());
+    for (const expr::ExprPtr& g : group_exprs) key.push_back(g->Eval(row));
+    auto [it, inserted] = groups.try_emplace(std::move(key));
+    GroupState& state = it->second;
+    if (inserted) {
+      state.accumulators.resize(items.size());
+      state.distinct.resize(items.size());
+      for (size_t j = 0; j < items.size(); ++j) {
+        if (items[j].distinct) {
+          state.distinct[j] = std::make_unique<std::unordered_set<
+              Row, storage::RowHash, storage::RowEq>>();
+        }
+        if (items[j].function == AggregateFunction::kCount) {
+          state.accumulators[j] = Value::Int(0);
+        }
+      }
+    }
+    for (size_t j = 0; j < items.size(); ++j) {
+      const plan::AggregateItem& item = items[j];
+      Value arg =
+          item.argument ? item.argument->Eval(row) : Value::Int(1);
+      if (item.argument && arg.is_null()) continue;  // SQL: nulls ignored
+      if (item.distinct) {
+        if (!state.distinct[j]->insert(Row{arg}).second) continue;
+      }
+      Value& acc = state.accumulators[j];
+      switch (item.function) {
+        case AggregateFunction::kCount:
+          acc = Value::Int(acc.AsInt() + 1);
+          break;
+        case AggregateFunction::kMin:
+          if (acc.is_null() || arg.Compare(acc) < 0) acc = arg;
+          break;
+        case AggregateFunction::kMax:
+          if (acc.is_null() || arg.Compare(acc) > 0) acc = arg;
+          break;
+        case AggregateFunction::kSum:
+          if (acc.is_null()) {
+            acc = arg;
+          } else if (acc.type() == ValueType::kInt64 &&
+                     arg.type() == ValueType::kInt64) {
+            acc = Value::Int(acc.AsInt() + arg.AsInt());
+          } else {
+            acc = Value::Double(acc.AsNumeric() + arg.AsNumeric());
+          }
+          break;
+        case AggregateFunction::kNone:
+          return Status::Internal("aggregate item without function");
+      }
+    }
+  }
+
+  Relation out(node.schema());
+  // SQL semantics: a global aggregate (no GROUP BY) over an empty input
+  // still produces one row (count = 0, min/max/sum = NULL).
+  if (groups.empty() && group_exprs.empty()) {
+    Row row;
+    for (const plan::AggregateItem& item : items) {
+      row.push_back(item.function == AggregateFunction::kCount
+                        ? Value::Int(0)
+                        : Value::Null());
+    }
+    out.Add(std::move(row));
+    return Own(std::move(out));
+  }
+  out.Reserve(groups.size());
+  for (auto& [key, state] : groups) {
+    Row row = key;
+    for (Value& acc : state.accumulators) row.push_back(std::move(acc));
+    out.Add(std::move(row));
+  }
+  return Own(std::move(out));
+}
+
+Result<ExecResult> ExecSort(const plan::SortNode& node,
+                            const ExecContext& ctx) {
+  RASQL_ASSIGN_OR_RETURN(ExecResult input, Exec(node.child(0), ctx));
+  Relation out = *input.rel;  // copy, then sort in place
+  std::stable_sort(
+      out.mutable_rows().begin(), out.mutable_rows().end(),
+      [&](const Row& a, const Row& b) {
+        for (const plan::SortNode::SortKey& key : node.keys()) {
+          const int c = key.expr->Eval(a).Compare(key.expr->Eval(b));
+          if (c != 0) return key.ascending ? c < 0 : c > 0;
+        }
+        return false;
+      });
+  return Own(std::move(out));
+}
+
+Result<ExecResult> Exec(const LogicalPlan& node, const ExecContext& ctx) {
+  switch (node.kind()) {
+    case PlanKind::kTableScan:
+      return ExecTableScan(static_cast<const plan::TableScanNode&>(node),
+                           ctx);
+    case PlanKind::kRecursiveRef:
+      return ExecRecursiveRef(
+          static_cast<const plan::RecursiveRefNode&>(node), ctx);
+    case PlanKind::kValues: {
+      const auto& values = static_cast<const plan::ValuesNode&>(node);
+      return Own(Relation(values.schema(), values.rows()));
+    }
+    case PlanKind::kFilter:
+      return ExecFilter(static_cast<const plan::FilterNode&>(node), ctx);
+    case PlanKind::kProject:
+      return ExecProject(static_cast<const plan::ProjectNode&>(node), ctx);
+    case PlanKind::kJoin:
+      return ExecJoinGeneric(static_cast<const plan::JoinNode&>(node), ctx);
+    case PlanKind::kAggregate:
+      return ExecAggregate(static_cast<const plan::AggregateNode&>(node),
+                           ctx);
+    case PlanKind::kSort:
+      return ExecSort(static_cast<const plan::SortNode&>(node), ctx);
+    case PlanKind::kLimit: {
+      const auto& limit = static_cast<const plan::LimitNode&>(node);
+      RASQL_ASSIGN_OR_RETURN(ExecResult input, Exec(node.child(0), ctx));
+      Relation out(node.schema());
+      const size_t n = std::min<size_t>(input.rel->size(),
+                                        static_cast<size_t>(limit.limit()));
+      out.Reserve(n);
+      for (size_t i = 0; i < n; ++i) out.Add(input.rel->rows()[i]);
+      return Own(std::move(out));
+    }
+  }
+  return Status::Internal("unhandled plan node");
+}
+
+}  // namespace
+
+Result<Relation> Execute(const LogicalPlan& plan, const ExecContext& ctx) {
+  RASQL_ASSIGN_OR_RETURN(ExecResult result, Exec(plan, ctx));
+  if (result.owned) return std::move(*result.owned);
+  return *result.rel;  // borrowed: copy out
+}
+
+}  // namespace rasql::physical

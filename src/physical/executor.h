@@ -1,0 +1,114 @@
+#ifndef RASQL_PHYSICAL_EXECUTOR_H_
+#define RASQL_PHYSICAL_EXECUTOR_H_
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include <optional>
+
+#include "common/status.h"
+#include "expr/compiled_expr.h"
+#include "plan/logical_plan.h"
+#include "storage/relation.h"
+
+namespace rasql::physical {
+
+/// Local join algorithm used for keyed joins (paper Appendix D compares
+/// shuffle-hash vs sort-merge; the local probe/merge is what differs).
+enum class JoinAlgorithm {
+  kHash,
+  kSortMerge,
+};
+
+/// Binds plan leaves to data and selects execution options. The executor
+/// evaluates one plan against one set of bindings — the fixpoint layer
+/// calls it once per partition per iteration.
+struct ExecContext {
+  /// TableScan resolution: canonical table/view name -> relation.
+  std::map<std::string, const storage::Relation*> tables;
+
+  /// RecursiveRef resolution. The fixpoint evaluator supplies a resolver
+  /// that returns the delta or the `all` relation depending on the
+  /// reference's ordinal (semi-naive term binding).
+  std::function<const storage::Relation*(const plan::RecursiveRefNode&)>
+      recursive_resolver;
+
+  /// Whole-stage-codegen analogue: fuse join+filter+project pipelines and
+  /// run compiled expression programs instead of the interpreted tree
+  /// (paper Sec. 7.3; ablated by bench_fig07).
+  bool use_codegen = true;
+
+  JoinAlgorithm join_algorithm = JoinAlgorithm::kHash;
+};
+
+/// Executes a logical plan against the context bindings and returns the
+/// materialized result.
+common::Result<storage::Relation> Execute(const plan::LogicalPlan& plan,
+                                          const ExecContext& context);
+
+/// Evaluates a projection list row-by-row, using compiled expression
+/// programs where possible (the codegen fast path).
+class ProjectionEvaluator {
+ public:
+  ProjectionEvaluator(const std::vector<expr::ExprPtr>& exprs,
+                      bool use_codegen);
+
+  storage::Row Eval(const storage::Row& input) const;
+
+ private:
+  struct Entry {
+    const expr::Expr* expr;
+    std::optional<expr::CompiledExpr> compiled;
+  };
+  std::vector<Entry> exprs_;
+};
+
+/// Predicate evaluator with an optional compiled fast path.
+class PredicateEvaluator {
+ public:
+  PredicateEvaluator(const expr::Expr& predicate, bool use_codegen);
+
+  bool Eval(const storage::Row& row) const {
+    if (compiled_) return compiled_->EvalBool(row);
+    return expr::IsTruthy(expr_->Eval(row));
+  }
+
+ private:
+  const expr::Expr* expr_;
+  std::optional<expr::CompiledExpr> compiled_;
+};
+
+/// A reusable build-side hash table for a keyed join: maps key hash ->
+/// row indices. The fixpoint evaluator builds these once per base relation
+/// and reuses them across iterations (paper Appendix D: "the hash table
+/// [is] only created once and then cached/reused across iterations").
+class JoinHashTable {
+ public:
+  JoinHashTable() = default;
+  /// Builds over `build` using `key_columns`.
+  JoinHashTable(const storage::Relation& build,
+                std::vector<int> key_columns);
+
+  /// Appends to `*out` the indices of build rows whose key equals the probe
+  /// row's `probe_key_columns`.
+  void Probe(const storage::Row& probe, const std::vector<int>& probe_keys,
+             std::vector<int>* out) const;
+
+  const storage::Relation* build_side() const { return build_; }
+  const std::vector<int>& key_columns() const { return key_columns_; }
+  size_t num_buckets() const { return buckets_; }
+
+ private:
+  const storage::Relation* build_ = nullptr;
+  std::vector<int> key_columns_;
+  // Open chaining: bucket head per hash slot, next-index links.
+  std::vector<int> heads_;
+  std::vector<int> next_;
+  size_t buckets_ = 0;
+  uint64_t mask_ = 0;
+};
+
+}  // namespace rasql::physical
+
+#endif  // RASQL_PHYSICAL_EXECUTOR_H_

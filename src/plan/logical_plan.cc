@@ -1,0 +1,144 @@
+#include "plan/logical_plan.h"
+
+#include "common/check.h"
+
+namespace rasql::plan {
+
+std::string LogicalPlan::ToString(int indent) const {
+  std::string out(indent * 2, ' ');
+  out += Describe();
+  out += "\n";
+  for (const PlanPtr& child : children_) {
+    out += child->ToString(indent + 1);
+  }
+  return out;
+}
+
+std::vector<PlanPtr> LogicalPlan::CloneChildren() const {
+  std::vector<PlanPtr> out;
+  out.reserve(children_.size());
+  for (const PlanPtr& c : children_) out.push_back(c->Clone());
+  return out;
+}
+
+std::string TableScanNode::Describe() const {
+  return "TableScan [" + table_name_ + ": " + schema_.ToString() + "]";
+}
+
+std::string RecursiveRefNode::Describe() const {
+  return "RecursiveRef [" + view_name_ + ": " + schema_.ToString() + "]";
+}
+
+std::string ValuesNode::Describe() const {
+  return "Values [" + std::to_string(rows_.size()) + " rows: " +
+         schema_.ToString() + "]";
+}
+
+std::string FilterNode::Describe() const {
+  return "Filter [" + predicate_->ToString() + "]";
+}
+
+std::string ProjectNode::Describe() const {
+  std::string out = "Project [";
+  for (size_t i = 0; i < exprs_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += exprs_[i]->ToString() + " AS " + schema_.column(i).name;
+  }
+  return out + "]";
+}
+
+PlanPtr ProjectNode::Clone() const {
+  std::vector<expr::ExprPtr> exprs;
+  exprs.reserve(exprs_.size());
+  for (const expr::ExprPtr& e : exprs_) exprs.push_back(e->Clone());
+  return std::make_unique<ProjectNode>(children_[0]->Clone(),
+                                       std::move(exprs), schema_);
+}
+
+JoinNode::JoinNode(PlanPtr left, PlanPtr right, std::vector<int> left_keys,
+                   std::vector<int> right_keys)
+    : LogicalPlan(PlanKind::kJoin, storage::Schema()),
+      left_keys_(std::move(left_keys)),
+      right_keys_(std::move(right_keys)) {
+  RASQL_CHECK(left_keys_.size() == right_keys_.size());
+  std::vector<storage::Column> cols = left->schema().columns();
+  for (const storage::Column& c : right->schema().columns()) {
+    cols.push_back(c);
+  }
+  schema_ = storage::Schema(std::move(cols));
+  children_.push_back(std::move(left));
+  children_.push_back(std::move(right));
+}
+
+std::string JoinNode::Describe() const {
+  if (is_cross()) return "CrossJoin";
+  std::string out = "Join [";
+  for (size_t i = 0; i < left_keys_.size(); ++i) {
+    if (i > 0) out += " AND ";
+    out += "left#" + std::to_string(left_keys_[i]) + " = right#" +
+           std::to_string(right_keys_[i]);
+  }
+  return out + "]";
+}
+
+std::string AggregateNode::Describe() const {
+  std::string out = "Aggregate [group=";
+  for (size_t i = 0; i < group_exprs_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += group_exprs_[i]->ToString();
+  }
+  out += " aggs=";
+  for (size_t i = 0; i < items_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += expr::AggregateFunctionName(items_[i].function);
+    out += "(";
+    if (items_[i].distinct) out += "DISTINCT ";
+    out += items_[i].argument ? items_[i].argument->ToString() : "*";
+    out += ")";
+  }
+  return out + "]";
+}
+
+PlanPtr AggregateNode::Clone() const {
+  std::vector<expr::ExprPtr> groups;
+  groups.reserve(group_exprs_.size());
+  for (const expr::ExprPtr& e : group_exprs_) groups.push_back(e->Clone());
+  std::vector<AggregateItem> items;
+  items.reserve(items_.size());
+  for (const AggregateItem& item : items_) {
+    AggregateItem copy;
+    copy.function = item.function;
+    copy.argument = item.argument ? item.argument->Clone() : nullptr;
+    copy.distinct = item.distinct;
+    copy.output_name = item.output_name;
+    items.push_back(std::move(copy));
+  }
+  return std::make_unique<AggregateNode>(children_[0]->Clone(),
+                                         std::move(groups), std::move(items),
+                                         schema_);
+}
+
+std::string SortNode::Describe() const {
+  std::string out = "Sort [";
+  for (size_t i = 0; i < keys_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += keys_[i].expr->ToString();
+    if (!keys_[i].ascending) out += " DESC";
+  }
+  return out + "]";
+}
+
+PlanPtr SortNode::Clone() const {
+  std::vector<SortKey> keys;
+  keys.reserve(keys_.size());
+  for (const SortKey& k : keys_) {
+    keys.push_back(SortKey{k.expr->Clone(), k.ascending});
+  }
+  return std::make_unique<SortNode>(children_[0]->Clone(), std::move(keys));
+}
+
+std::string LimitNode::Describe() const {
+  return "Limit [" + std::to_string(limit_) + "]";
+}
+
+}  // namespace rasql::plan

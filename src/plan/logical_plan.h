@@ -1,0 +1,275 @@
+#ifndef RASQL_PLAN_LOGICAL_PLAN_H_
+#define RASQL_PLAN_LOGICAL_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "expr/expr.h"
+#include "storage/relation.h"
+#include "storage/schema.h"
+
+namespace rasql::plan {
+
+/// Logical operator kinds. The analyzer produces trees of these; the
+/// optimizer rewrites them; the physical layer executes them.
+enum class PlanKind {
+  kTableScan,     ///< base relation or materialized view
+  kRecursiveRef,  ///< reference to a recursive relation in the same clique
+                  ///< (the paper's "mark point", Sec. 5)
+  kValues,        ///< literal rows (FROM-less SELECT)
+  kFilter,
+  kProject,
+  kJoin,          ///< inner equi-join (empty keys = cross product)
+  kAggregate,     ///< hash aggregate with group-by
+  kSort,
+  kLimit,
+};
+
+class LogicalPlan;
+using PlanPtr = std::unique_ptr<LogicalPlan>;
+
+/// Base class for logical plan nodes. Every node knows its output schema;
+/// expressions inside nodes are bound to the child's output positions.
+class LogicalPlan {
+ public:
+  virtual ~LogicalPlan() = default;
+
+  PlanKind kind() const { return kind_; }
+  const storage::Schema& schema() const { return schema_; }
+
+  const std::vector<PlanPtr>& children() const { return children_; }
+  std::vector<PlanPtr>& mutable_children() { return children_; }
+  const LogicalPlan& child(int i = 0) const { return *children_[i]; }
+
+  /// Multi-line indented EXPLAIN rendering.
+  std::string ToString(int indent = 0) const;
+
+  /// One-line description of this node (without children).
+  virtual std::string Describe() const = 0;
+
+  virtual PlanPtr Clone() const = 0;
+
+ protected:
+  LogicalPlan(PlanKind kind, storage::Schema schema)
+      : kind_(kind), schema_(std::move(schema)) {}
+
+  std::vector<PlanPtr> CloneChildren() const;
+
+  PlanKind kind_;
+  storage::Schema schema_;
+  std::vector<PlanPtr> children_;
+};
+
+/// Scan of a named base relation or materialized view.
+class TableScanNode final : public LogicalPlan {
+ public:
+  TableScanNode(std::string table_name, storage::Schema schema)
+      : LogicalPlan(PlanKind::kTableScan, std::move(schema)),
+        table_name_(std::move(table_name)) {}
+
+  const std::string& table_name() const { return table_name_; }
+
+  std::string Describe() const override;
+  PlanPtr Clone() const override {
+    return std::make_unique<TableScanNode>(table_name_, schema_);
+  }
+
+ private:
+  std::string table_name_;
+};
+
+/// Scan of a recursive relation belonging to the enclosing clique. During
+/// semi-naive evaluation this binds to the delta (or, for secondary refs,
+/// the all relation).
+class RecursiveRefNode final : public LogicalPlan {
+ public:
+  RecursiveRefNode(std::string view_name, storage::Schema schema,
+                   int ordinal = 0)
+      : LogicalPlan(PlanKind::kRecursiveRef, std::move(schema)),
+        view_name_(std::move(view_name)),
+        ordinal_(ordinal) {}
+
+  const std::string& view_name() const { return view_name_; }
+  /// Position of this reference among the recursive references of its
+  /// branch (0-based). Semi-naive evaluation produces one term per
+  /// ordinal, binding that reference to the delta and the others to `all`.
+  int ordinal() const { return ordinal_; }
+
+  std::string Describe() const override;
+  PlanPtr Clone() const override {
+    return std::make_unique<RecursiveRefNode>(view_name_, schema_, ordinal_);
+  }
+
+ private:
+  std::string view_name_;
+  int ordinal_;
+};
+
+/// Literal rows (the base case `SELECT 1, 0` compiles to a Project over a
+/// single empty row; Values holds that row set).
+class ValuesNode final : public LogicalPlan {
+ public:
+  ValuesNode(storage::Schema schema, std::vector<storage::Row> rows)
+      : LogicalPlan(PlanKind::kValues, std::move(schema)),
+        rows_(std::move(rows)) {}
+
+  const std::vector<storage::Row>& rows() const { return rows_; }
+
+  std::string Describe() const override;
+  PlanPtr Clone() const override {
+    return std::make_unique<ValuesNode>(schema_, rows_);
+  }
+
+ private:
+  std::vector<storage::Row> rows_;
+};
+
+/// Filter by a boolean expression over the child's output.
+class FilterNode final : public LogicalPlan {
+ public:
+  FilterNode(PlanPtr child, expr::ExprPtr predicate)
+      : LogicalPlan(PlanKind::kFilter, child->schema()),
+        predicate_(std::move(predicate)) {
+    children_.push_back(std::move(child));
+  }
+
+  const expr::Expr& predicate() const { return *predicate_; }
+  expr::ExprPtr TakePredicate() { return std::move(predicate_); }
+
+  std::string Describe() const override;
+  PlanPtr Clone() const override {
+    return std::make_unique<FilterNode>(children_[0]->Clone(),
+                                        predicate_->Clone());
+  }
+
+ private:
+  expr::ExprPtr predicate_;
+};
+
+/// Projection: one expression per output column.
+class ProjectNode final : public LogicalPlan {
+ public:
+  ProjectNode(PlanPtr child, std::vector<expr::ExprPtr> exprs,
+              storage::Schema schema)
+      : LogicalPlan(PlanKind::kProject, std::move(schema)),
+        exprs_(std::move(exprs)) {
+    children_.push_back(std::move(child));
+  }
+
+  const std::vector<expr::ExprPtr>& exprs() const { return exprs_; }
+
+  std::string Describe() const override;
+  PlanPtr Clone() const override;
+
+ private:
+  std::vector<expr::ExprPtr> exprs_;
+};
+
+/// Inner equi-join: output = left columns ++ right columns. `left_keys` /
+/// `right_keys` are positions into the respective inputs; empty keys mean a
+/// cross product (the analyzer starts with cross products, the optimizer
+/// extracts keys from filters).
+class JoinNode final : public LogicalPlan {
+ public:
+  JoinNode(PlanPtr left, PlanPtr right, std::vector<int> left_keys,
+           std::vector<int> right_keys);
+
+  const std::vector<int>& left_keys() const { return left_keys_; }
+  const std::vector<int>& right_keys() const { return right_keys_; }
+  void SetKeys(std::vector<int> left_keys, std::vector<int> right_keys) {
+    left_keys_ = std::move(left_keys);
+    right_keys_ = std::move(right_keys);
+  }
+  bool is_cross() const { return left_keys_.empty(); }
+
+  std::string Describe() const override;
+  PlanPtr Clone() const override {
+    return std::make_unique<JoinNode>(children_[0]->Clone(),
+                                      children_[1]->Clone(), left_keys_,
+                                      right_keys_);
+  }
+
+ private:
+  std::vector<int> left_keys_;
+  std::vector<int> right_keys_;
+};
+
+/// One aggregate computation within an AggregateNode.
+struct AggregateItem {
+  expr::AggregateFunction function = expr::AggregateFunction::kCount;
+  expr::ExprPtr argument;  ///< null = count(*)
+  bool distinct = false;
+  std::string output_name;
+};
+
+/// Hash aggregate: group by `group_exprs`, compute `items`. Output schema =
+/// group columns then aggregate columns.
+class AggregateNode final : public LogicalPlan {
+ public:
+  AggregateNode(PlanPtr child, std::vector<expr::ExprPtr> group_exprs,
+                std::vector<AggregateItem> items, storage::Schema schema)
+      : LogicalPlan(PlanKind::kAggregate, std::move(schema)),
+        group_exprs_(std::move(group_exprs)),
+        items_(std::move(items)) {
+    children_.push_back(std::move(child));
+  }
+
+  const std::vector<expr::ExprPtr>& group_exprs() const {
+    return group_exprs_;
+  }
+  const std::vector<AggregateItem>& items() const { return items_; }
+
+  std::string Describe() const override;
+  PlanPtr Clone() const override;
+
+ private:
+  std::vector<expr::ExprPtr> group_exprs_;
+  std::vector<AggregateItem> items_;
+};
+
+/// Sort by expressions with per-key direction.
+class SortNode final : public LogicalPlan {
+ public:
+  struct SortKey {
+    expr::ExprPtr expr;
+    bool ascending = true;
+  };
+
+  SortNode(PlanPtr child, std::vector<SortKey> keys)
+      : LogicalPlan(PlanKind::kSort, child->schema()),
+        keys_(std::move(keys)) {
+    children_.push_back(std::move(child));
+  }
+
+  const std::vector<SortKey>& keys() const { return keys_; }
+
+  std::string Describe() const override;
+  PlanPtr Clone() const override;
+
+ private:
+  std::vector<SortKey> keys_;
+};
+
+/// LIMIT n.
+class LimitNode final : public LogicalPlan {
+ public:
+  LimitNode(PlanPtr child, int64_t limit)
+      : LogicalPlan(PlanKind::kLimit, child->schema()), limit_(limit) {
+    children_.push_back(std::move(child));
+  }
+
+  int64_t limit() const { return limit_; }
+
+  std::string Describe() const override;
+  PlanPtr Clone() const override {
+    return std::make_unique<LimitNode>(children_[0]->Clone(), limit_);
+  }
+
+ private:
+  int64_t limit_;
+};
+
+}  // namespace rasql::plan
+
+#endif  // RASQL_PLAN_LOGICAL_PLAN_H_

@@ -1,0 +1,317 @@
+#include "plan/optimizer.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace rasql::plan {
+
+using expr::BinaryExpr;
+using expr::BinaryOp;
+using expr::ColumnRefExpr;
+using expr::Expr;
+using expr::ExprPtr;
+
+namespace {
+
+PlanPtr OptimizeNode(PlanPtr node, const OptimizerOptions& options);
+
+bool IsLiteral(const Expr& e) { return e.kind() == Expr::Kind::kLiteral; }
+
+/// True boolean literal test after folding, used to drop trivial filters.
+bool IsTrueLiteral(const Expr& e) {
+  if (!IsLiteral(e)) return false;
+  const auto& lit = static_cast<const expr::LiteralExpr&>(e);
+  return expr::IsTruthy(lit.value());
+}
+
+}  // namespace
+
+ExprPtr FoldConstants(ExprPtr e) {
+  switch (e->kind()) {
+    case Expr::Kind::kBinary: {
+      auto* bin = static_cast<BinaryExpr*>(e.get());
+      ExprPtr lhs = FoldConstants(bin->lhs().Clone());
+      ExprPtr rhs = FoldConstants(bin->rhs().Clone());
+      if (IsLiteral(*lhs) && IsLiteral(*rhs)) {
+        ExprPtr combined = std::make_unique<BinaryExpr>(
+            bin->op(), std::move(lhs), std::move(rhs), e->output_type());
+        storage::Row empty;
+        return expr::MakeLiteral(combined->Eval(empty));
+      }
+      return std::make_unique<BinaryExpr>(bin->op(), std::move(lhs),
+                                          std::move(rhs), e->output_type());
+    }
+    case Expr::Kind::kNot: {
+      auto* not_expr = static_cast<expr::NotExpr*>(e.get());
+      ExprPtr input = FoldConstants(not_expr->input().Clone());
+      if (IsLiteral(*input)) {
+        ExprPtr combined =
+            std::make_unique<expr::NotExpr>(std::move(input));
+        storage::Row empty;
+        return expr::MakeLiteral(combined->Eval(empty));
+      }
+      return std::make_unique<expr::NotExpr>(std::move(input));
+    }
+    case Expr::Kind::kNegate: {
+      auto* neg = static_cast<expr::NegateExpr*>(e.get());
+      ExprPtr input = FoldConstants(neg->input().Clone());
+      if (IsLiteral(*input)) {
+        ExprPtr combined =
+            std::make_unique<expr::NegateExpr>(std::move(input));
+        storage::Row empty;
+        return expr::MakeLiteral(combined->Eval(empty));
+      }
+      return std::make_unique<expr::NegateExpr>(std::move(input));
+    }
+    default:
+      return e;
+  }
+}
+
+std::vector<ExprPtr> SplitConjuncts(ExprPtr predicate) {
+  std::vector<ExprPtr> out;
+  if (predicate->kind() == Expr::Kind::kBinary) {
+    auto* bin = static_cast<BinaryExpr*>(predicate.get());
+    if (bin->op() == BinaryOp::kAnd) {
+      std::vector<ExprPtr> lhs = SplitConjuncts(bin->lhs().Clone());
+      std::vector<ExprPtr> rhs = SplitConjuncts(bin->rhs().Clone());
+      for (ExprPtr& e : lhs) out.push_back(std::move(e));
+      for (ExprPtr& e : rhs) out.push_back(std::move(e));
+      return out;
+    }
+  }
+  out.push_back(std::move(predicate));
+  return out;
+}
+
+ExprPtr CombineConjuncts(std::vector<ExprPtr> conjuncts) {
+  if (conjuncts.empty()) return nullptr;
+  ExprPtr acc = std::move(conjuncts[0]);
+  for (size_t i = 1; i < conjuncts.size(); ++i) {
+    acc = expr::MakeBinary(BinaryOp::kAnd, std::move(acc),
+                           std::move(conjuncts[i]));
+  }
+  return acc;
+}
+
+void CollectColumnRefs(const Expr& e, std::vector<int>* out) {
+  switch (e.kind()) {
+    case Expr::Kind::kColumnRef:
+      out->push_back(static_cast<const ColumnRefExpr&>(e).index());
+      break;
+    case Expr::Kind::kBinary: {
+      const auto& bin = static_cast<const BinaryExpr&>(e);
+      CollectColumnRefs(bin.lhs(), out);
+      CollectColumnRefs(bin.rhs(), out);
+      break;
+    }
+    case Expr::Kind::kNot:
+      CollectColumnRefs(static_cast<const expr::NotExpr&>(e).input(), out);
+      break;
+    case Expr::Kind::kNegate:
+      CollectColumnRefs(static_cast<const expr::NegateExpr&>(e).input(),
+                        out);
+      break;
+    default:
+      break;
+  }
+}
+
+ExprPtr ShiftColumnRefs(const Expr& e, int delta) {
+  switch (e.kind()) {
+    case Expr::Kind::kColumnRef: {
+      const auto& ref = static_cast<const ColumnRefExpr&>(e);
+      return expr::MakeColumnRef(ref.index() + delta, ref.output_type(),
+                                 ref.name());
+    }
+    case Expr::Kind::kLiteral:
+      return e.Clone();
+    case Expr::Kind::kBinary: {
+      const auto& bin = static_cast<const BinaryExpr&>(e);
+      return std::make_unique<BinaryExpr>(
+          bin.op(), ShiftColumnRefs(bin.lhs(), delta),
+          ShiftColumnRefs(bin.rhs(), delta), e.output_type());
+    }
+    case Expr::Kind::kNot:
+      return std::make_unique<expr::NotExpr>(ShiftColumnRefs(
+          static_cast<const expr::NotExpr&>(e).input(), delta));
+    case Expr::Kind::kNegate:
+      return std::make_unique<expr::NegateExpr>(ShiftColumnRefs(
+          static_cast<const expr::NegateExpr&>(e).input(), delta));
+  }
+  RASQL_CHECK(false);
+}
+
+namespace {
+
+/// Flattens a tree of cross joins (as built by the analyzer) into its
+/// ordered leaves. Keyed joins and non-join nodes count as leaves.
+void FlattenCrossJoins(PlanPtr node, std::vector<PlanPtr>* leaves) {
+  if (node->kind() == PlanKind::kJoin &&
+      static_cast<JoinNode*>(node.get())->is_cross()) {
+    auto& children = node->mutable_children();
+    FlattenCrossJoins(std::move(children[0]), leaves);
+    FlattenCrossJoins(std::move(children[1]), leaves);
+    return;
+  }
+  leaves->push_back(std::move(node));
+}
+
+/// Predicate pushdown + equi-join key extraction over a flattened cross
+/// product. Column indices are global over the concatenated leaf schemas
+/// and stay global throughout (the rebuilt tree is left-deep in the same
+/// leaf order), so only leaf-local pushes need shifting.
+PlanPtr PushDownFilters(std::vector<ExprPtr> conjuncts,
+                        std::vector<PlanPtr> leaves,
+                        const OptimizerOptions& options) {
+  const int num_leaves = static_cast<int>(leaves.size());
+  std::vector<int> offset(num_leaves + 1, 0);
+  for (int i = 0; i < num_leaves; ++i) {
+    offset[i + 1] = offset[i] + leaves[i]->schema().num_columns();
+  }
+  auto leaf_of = [&](int column) {
+    for (int i = 0; i < num_leaves; ++i) {
+      if (column < offset[i + 1]) return i;
+    }
+    RASQL_CHECK(false);
+  };
+
+  // Classify conjuncts.
+  struct JoinKey {
+    int left_col;   // global index, in leaves [0, leaf)
+    int right_col;  // global index, in leaf `leaf`
+    int leaf;
+  };
+  std::vector<JoinKey> join_keys;
+  std::vector<std::vector<ExprPtr>> leaf_filters(num_leaves);
+  std::vector<std::vector<ExprPtr>> residual_at(num_leaves);
+
+  for (ExprPtr& conjunct : conjuncts) {
+    std::vector<int> cols;
+    CollectColumnRefs(*conjunct, &cols);
+    if (cols.empty()) {
+      residual_at[0].push_back(std::move(conjunct));
+      continue;
+    }
+    const int min_leaf = leaf_of(*std::min_element(cols.begin(), cols.end()));
+    const int max_leaf = leaf_of(*std::max_element(cols.begin(), cols.end()));
+    if (min_leaf == max_leaf) {
+      leaf_filters[min_leaf].push_back(
+          ShiftColumnRefs(*conjunct, -offset[min_leaf]));
+      continue;
+    }
+    // Equi-join key candidate: col = col across exactly two leaves, where
+    // the later leaf contributes one whole side.
+    if (conjunct->kind() == Expr::Kind::kBinary) {
+      auto* bin = static_cast<BinaryExpr*>(conjunct.get());
+      if (bin->op() == BinaryOp::kEq &&
+          bin->lhs().kind() == Expr::Kind::kColumnRef &&
+          bin->rhs().kind() == Expr::Kind::kColumnRef) {
+        int a = static_cast<const ColumnRefExpr&>(bin->lhs()).index();
+        int b = static_cast<const ColumnRefExpr&>(bin->rhs()).index();
+        if (a > b) std::swap(a, b);
+        join_keys.push_back(JoinKey{a, b, leaf_of(b)});
+        continue;
+      }
+    }
+    residual_at[max_leaf].push_back(std::move(conjunct));
+  }
+
+  // Rebuild left-deep, attaching keys/filters at the right level.
+  auto attach_filters = [&](PlanPtr node,
+                            std::vector<ExprPtr> filters) -> PlanPtr {
+    ExprPtr predicate = CombineConjuncts(std::move(filters));
+    if (!predicate) return node;
+    if (options.constant_folding) predicate = FoldConstants(std::move(predicate));
+    if (IsTrueLiteral(*predicate)) return node;
+    return std::make_unique<FilterNode>(std::move(node),
+                                        std::move(predicate));
+  };
+
+  PlanPtr acc = attach_filters(OptimizeNode(std::move(leaves[0]), options),
+                               std::move(leaf_filters[0]));
+  acc = attach_filters(std::move(acc), std::move(residual_at[0]));
+  for (int i = 1; i < num_leaves; ++i) {
+    PlanPtr leaf = attach_filters(OptimizeNode(std::move(leaves[i]), options),
+                                  std::move(leaf_filters[i]));
+    std::vector<int> left_keys;
+    std::vector<int> right_keys;
+    for (JoinKey& key : join_keys) {
+      if (key.leaf != i) continue;
+      if (leaf_of(key.left_col) < i) {
+        left_keys.push_back(key.left_col);
+        right_keys.push_back(key.right_col - offset[i]);
+      }
+    }
+    acc = std::make_unique<JoinNode>(std::move(acc), std::move(leaf),
+                                     std::move(left_keys),
+                                     std::move(right_keys));
+    acc = attach_filters(std::move(acc), std::move(residual_at[i]));
+  }
+  return acc;
+}
+
+PlanPtr OptimizeNode(PlanPtr node, const OptimizerOptions& options) {
+  switch (node->kind()) {
+    case PlanKind::kFilter: {
+      auto* filter = static_cast<FilterNode*>(node.get());
+      ExprPtr predicate = filter->TakePredicate();
+      PlanPtr child = std::move(node->mutable_children()[0]);
+      // Filter combination: collapse chains of filters into one predicate.
+      while (options.filter_combination &&
+             child->kind() == PlanKind::kFilter) {
+        auto* inner = static_cast<FilterNode*>(child.get());
+        predicate = expr::MakeBinary(BinaryOp::kAnd, inner->TakePredicate(),
+                                     std::move(predicate));
+        child = std::move(child->mutable_children()[0]);
+      }
+      if (options.constant_folding) {
+        predicate = FoldConstants(std::move(predicate));
+      }
+      if (options.predicate_pushdown && child->kind() == PlanKind::kJoin &&
+          static_cast<JoinNode*>(child.get())->is_cross()) {
+        std::vector<PlanPtr> leaves;
+        FlattenCrossJoins(std::move(child), &leaves);
+        if (leaves.size() > 1) {
+          return PushDownFilters(SplitConjuncts(std::move(predicate)),
+                                 std::move(leaves), options);
+        }
+        // Single leaf: the "join" vanished; keep filtering the leaf.
+        child = std::move(leaves[0]);
+      }
+      child = OptimizeNode(std::move(child), options);
+      if (IsTrueLiteral(*predicate)) return child;
+      return std::make_unique<FilterNode>(std::move(child),
+                                          std::move(predicate));
+    }
+    case PlanKind::kProject: {
+      auto* project = static_cast<ProjectNode*>(node.get());
+      std::vector<ExprPtr> exprs;
+      exprs.reserve(project->exprs().size());
+      for (const ExprPtr& e : project->exprs()) {
+        exprs.push_back(options.constant_folding ? FoldConstants(e->Clone())
+                                                 : e->Clone());
+      }
+      PlanPtr child =
+          OptimizeNode(std::move(node->mutable_children()[0]), options);
+      return std::make_unique<ProjectNode>(std::move(child),
+                                           std::move(exprs),
+                                           project->schema());
+    }
+    default: {
+      for (PlanPtr& child : node->mutable_children()) {
+        child = OptimizeNode(std::move(child), options);
+      }
+      return node;
+    }
+  }
+}
+
+}  // namespace
+
+PlanPtr Optimize(PlanPtr plan, const OptimizerOptions& options) {
+  return OptimizeNode(std::move(plan), options);
+}
+
+}  // namespace rasql::plan

@@ -1,0 +1,43 @@
+#ifndef RASQL_PLAN_OPTIMIZER_H_
+#define RASQL_PLAN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "plan/logical_plan.h"
+
+namespace rasql::plan {
+
+/// Rule toggles — exposed so ablation benches and tests can isolate rules.
+struct OptimizerOptions {
+  bool constant_folding = true;
+  bool filter_combination = true;
+  /// Splits WHERE conjuncts, turns `a.x = b.y` pairs into equi-join keys on
+  /// the lowest join where both sides are bound, and pushes single-side
+  /// conjuncts below the join (predicate pushdown; paper Sec. 5).
+  bool predicate_pushdown = true;
+};
+
+/// Applies the rule pipeline to a plan tree, returning the rewritten plan.
+PlanPtr Optimize(PlanPtr plan, const OptimizerOptions& options = {});
+
+/// --- helpers shared with the fixpoint compiler and tests ---
+
+/// Splits a predicate into AND-ed conjuncts (ownership transferred).
+std::vector<expr::ExprPtr> SplitConjuncts(expr::ExprPtr predicate);
+
+/// AND-combines conjuncts; nullptr when the list is empty.
+expr::ExprPtr CombineConjuncts(std::vector<expr::ExprPtr> conjuncts);
+
+/// Collects all column indices referenced by an expression.
+void CollectColumnRefs(const expr::Expr& e, std::vector<int>* out);
+
+/// Rewrites column references by adding `delta` to every index (used when
+/// pushing predicates into the right side of a join).
+expr::ExprPtr ShiftColumnRefs(const expr::Expr& e, int delta);
+
+/// Bottom-up constant folding of an expression.
+expr::ExprPtr FoldConstants(expr::ExprPtr e);
+
+}  // namespace rasql::plan
+
+#endif  // RASQL_PLAN_OPTIMIZER_H_

@@ -1,0 +1,56 @@
+#ifndef RASQL_SQL_LEXER_H_
+#define RASQL_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace rasql::sql {
+
+/// Token kinds produced by the lexer. Keywords are recognized
+/// case-insensitively and keep their original text in `text`.
+enum class TokenType {
+  kIdentifier,
+  kKeyword,
+  kIntLiteral,
+  kDoubleLiteral,
+  kStringLiteral,
+  // punctuation / operators
+  kLParen,
+  kRParen,
+  kComma,
+  kDot,
+  kSemicolon,
+  kStar,
+  kPlus,
+  kMinus,
+  kSlash,
+  kEq,
+  kNe,       // <> or !=
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;        // raw text (identifier/keyword spelling)
+  int64_t int_value = 0;   // kIntLiteral
+  double double_value = 0; // kDoubleLiteral
+  int line = 1;
+  int column = 1;
+
+  /// Case-insensitive keyword test.
+  bool IsKeyword(const char* kw) const;
+};
+
+/// Tokenizes RaSQL text. Comments (`-- ...`) are skipped. Errors carry
+/// line/column context.
+common::Result<std::vector<Token>> Lex(const std::string& input);
+
+}  // namespace rasql::sql
+
+#endif  // RASQL_SQL_LEXER_H_

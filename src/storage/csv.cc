@@ -1,0 +1,199 @@
+#include "storage/csv.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace rasql::storage {
+
+using common::Result;
+using common::Status;
+
+namespace {
+
+std::vector<std::string> SplitLine(const std::string& line, char delimiter) {
+  std::vector<std::string> cells;
+  std::string cell;
+  for (char c : line) {
+    if (c == delimiter) {
+      cells.push_back(std::move(cell));
+      cell.clear();
+    } else if (c != '\r') {
+      cell += c;
+    }
+  }
+  cells.push_back(std::move(cell));
+  return cells;
+}
+
+bool ParseInt(const std::string& s, int64_t* out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool ParseDouble(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+Result<Relation> ParseCsv(const std::string& text,
+                          const CsvOptions& options) {
+  std::istringstream in(text);
+  std::string line;
+  std::vector<std::string> names;
+  std::vector<std::vector<std::string>> cells;
+  size_t width = 0;
+  int line_number = 0;
+  bool header_pending = options.has_header;
+
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    if (options.comment != '\0' && line[0] == options.comment) continue;
+    std::vector<std::string> row = SplitLine(line, options.delimiter);
+    if (header_pending) {
+      names = std::move(row);
+      width = names.size();
+      header_pending = false;
+      continue;
+    }
+    if (width == 0) width = row.size();
+    if (row.size() != width) {
+      return Status::InvalidArgument(
+          "CSV line " + std::to_string(line_number) + " has " +
+          std::to_string(row.size()) + " cells, expected " +
+          std::to_string(width));
+    }
+    cells.push_back(std::move(row));
+  }
+  if (width == 0) {
+    return Status::InvalidArgument("CSV input contains no data");
+  }
+  if (names.empty()) {
+    for (size_t c = 0; c < width; ++c) {
+      names.push_back("_c" + std::to_string(c));
+    }
+  }
+
+  // Type inference: INT ⊂ DOUBLE ⊂ STRING per column; empty cells (NULL)
+  // don't constrain the type.
+  std::vector<ValueType> types(width, ValueType::kInt64);
+  for (const auto& row : cells) {
+    for (size_t c = 0; c < width; ++c) {
+      const std::string& cell = row[c];
+      if (cell.empty() || types[c] == ValueType::kString) continue;
+      int64_t iv;
+      double dv;
+      if (types[c] == ValueType::kInt64 && !ParseInt(cell, &iv)) {
+        types[c] = ValueType::kDouble;
+      }
+      if (types[c] == ValueType::kDouble && !ParseDouble(cell, &dv)) {
+        types[c] = ValueType::kString;
+      }
+    }
+  }
+
+  std::vector<Column> columns;
+  columns.reserve(width);
+  for (size_t c = 0; c < width; ++c) {
+    columns.push_back(Column{names[c], types[c]});
+  }
+  Relation rel{Schema(std::move(columns))};
+  rel.Reserve(cells.size());
+  for (auto& row_cells : cells) {
+    Row row;
+    row.reserve(width);
+    for (size_t c = 0; c < width; ++c) {
+      const std::string& cell = row_cells[c];
+      if (cell.empty()) {
+        row.push_back(Value::Null());
+        continue;
+      }
+      switch (types[c]) {
+        case ValueType::kInt64: {
+          int64_t v = 0;
+          ParseInt(cell, &v);
+          row.push_back(Value::Int(v));
+          break;
+        }
+        case ValueType::kDouble: {
+          double v = 0;
+          ParseDouble(cell, &v);
+          row.push_back(Value::Double(v));
+          break;
+        }
+        default:
+          row.push_back(Value::String(cell));
+          break;
+      }
+    }
+    rel.Add(std::move(row));
+  }
+  return rel;
+}
+
+Result<Relation> LoadCsv(const std::string& path, const CsvOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseCsv(buffer.str(), options);
+}
+
+std::string ToCsv(const Relation& relation, const CsvOptions& options) {
+  std::string out;
+  const Schema& schema = relation.schema();
+  if (options.has_header) {
+    for (int c = 0; c < schema.num_columns(); ++c) {
+      if (c > 0) out += options.delimiter;
+      out += schema.column(c).name;
+    }
+    out += "\n";
+  }
+  for (const Row& row : relation.rows()) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out += options.delimiter;
+      switch (row[c].type()) {
+        case ValueType::kNull:
+          break;  // empty cell
+        case ValueType::kString:
+          out += row[c].AsString();
+          break;
+        default:
+          out += row[c].ToString();
+          break;
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Status WriteCsv(const Relation& relation, const std::string& path,
+                const CsvOptions& options) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::InvalidArgument("cannot write '" + path + "'");
+  }
+  out << ToCsv(relation, options);
+  return out.good() ? Status::OK()
+                    : Status::Internal("short write to '" + path + "'");
+}
+
+}  // namespace rasql::storage

@@ -1,0 +1,42 @@
+#ifndef RASQL_STORAGE_CSV_H_
+#define RASQL_STORAGE_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "storage/relation.h"
+
+namespace rasql::storage {
+
+/// CSV/TSV loading options.
+struct CsvOptions {
+  char delimiter = ',';
+  /// When true, the first line provides column names; otherwise columns
+  /// are named _c0, _c1, ...
+  bool has_header = true;
+  /// Lines starting with this character are skipped ('\0' disables).
+  char comment = '#';
+};
+
+/// Loads a delimited text file into a relation. Column types are inferred
+/// from the data: a column is INT if every non-empty cell parses as an
+/// integer, DOUBLE if every cell parses as a number, STRING otherwise.
+/// Empty cells load as NULL. Ragged rows are an error.
+common::Result<Relation> LoadCsv(const std::string& path,
+                                 const CsvOptions& options = {});
+
+/// Parses CSV from an in-memory string (used by LoadCsv and tests).
+common::Result<Relation> ParseCsv(const std::string& text,
+                                  const CsvOptions& options = {});
+
+/// Writes a relation as CSV (header + rows). Strings are written verbatim
+/// (no quoting of embedded delimiters — keep identifiers simple).
+common::Status WriteCsv(const Relation& relation, const std::string& path,
+                        const CsvOptions& options = {});
+
+/// Renders a relation as CSV text.
+std::string ToCsv(const Relation& relation, const CsvOptions& options = {});
+
+}  // namespace rasql::storage
+
+#endif  // RASQL_STORAGE_CSV_H_

@@ -1,0 +1,82 @@
+#include "storage/relation.h"
+
+#include <algorithm>
+
+namespace rasql::storage {
+
+std::string RowToString(const Row& row) {
+  std::string out = "(";
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += row[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+size_t Relation::ByteSize() const {
+  size_t n = 0;
+  for (const Row& row : rows_) n += RowByteSize(row);
+  return n;
+}
+
+void Relation::SortRows() { std::sort(rows_.begin(), rows_.end(), RowLess()); }
+
+void Relation::Dedup() {
+  SortRows();
+  rows_.erase(std::unique(rows_.begin(), rows_.end(),
+                          [](const Row& a, const Row& b) {
+                            return RowEq()(a, b);
+                          }),
+              rows_.end());
+}
+
+std::string Relation::ToString(size_t max_rows) const {
+  std::string out = schema_.ToString() + "\n";
+  size_t shown = 0;
+  for (const Row& row : rows_) {
+    if (shown++ >= max_rows) {
+      out += "... (" + std::to_string(rows_.size()) + " rows total)\n";
+      break;
+    }
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += "|";
+      out += row[i].ToString();
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Relation MakeIntRelation(const std::vector<std::string>& names,
+                         const std::vector<std::vector<int64_t>>& rows) {
+  std::vector<Column> cols;
+  cols.reserve(names.size());
+  for (const std::string& name : names) {
+    cols.push_back(Column{name, ValueType::kInt64});
+  }
+  Relation rel{Schema(std::move(cols))};
+  rel.Reserve(rows.size());
+  for (const auto& r : rows) {
+    Row row;
+    row.reserve(r.size());
+    for (int64_t v : r) row.push_back(Value::Int(v));
+    rel.Add(std::move(row));
+  }
+  return rel;
+}
+
+bool SameBag(const Relation& a, const Relation& b) {
+  if (a.size() != b.size()) return false;
+  std::vector<Row> ra = a.rows();
+  std::vector<Row> rb = b.rows();
+  std::sort(ra.begin(), ra.end(), RowLess());
+  std::sort(rb.begin(), rb.end(), RowLess());
+  RowEq eq;
+  for (size_t i = 0; i < ra.size(); ++i) {
+    if (!eq(ra[i], rb[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace rasql::storage

@@ -1,0 +1,63 @@
+#ifndef RASQL_STORAGE_RELATION_H_
+#define RASQL_STORAGE_RELATION_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/row.h"
+#include "storage/schema.h"
+
+namespace rasql::storage {
+
+/// A materialized bag of rows with a schema. This is the unit of data flow
+/// between physical operators and the payload of one partition of a
+/// distributed dataset.
+class Relation {
+ public:
+  Relation() = default;
+  explicit Relation(Schema schema) : schema_(std::move(schema)) {}
+  Relation(Schema schema, std::vector<Row> rows)
+      : schema_(std::move(schema)), rows_(std::move(rows)) {}
+
+  const Schema& schema() const { return schema_; }
+  Schema* mutable_schema() { return &schema_; }
+
+  const std::vector<Row>& rows() const { return rows_; }
+  std::vector<Row>& mutable_rows() { return rows_; }
+
+  size_t size() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+
+  void Add(Row row) { rows_.push_back(std::move(row)); }
+  void Reserve(size_t n) { rows_.reserve(n); }
+  void Clear() { rows_.clear(); }
+
+  /// Approximate serialized size; feeds the shuffle/broadcast cost model.
+  size_t ByteSize() const;
+
+  /// Sorts rows lexicographically — canonical form for test comparisons.
+  void SortRows();
+
+  /// Removes duplicate rows (set semantics); sorts as a side effect.
+  void Dedup();
+
+  /// Multi-line "v1|v2|..." table rendering (rows in current order).
+  std::string ToString(size_t max_rows = 20) const;
+
+ private:
+  Schema schema_;
+  std::vector<Row> rows_;
+};
+
+/// Builds a relation of int64 columns from a literal list, e.g.
+/// MakeIntRelation({"Src","Dst"}, {{1,2},{2,3}}). Test/bench convenience.
+Relation MakeIntRelation(const std::vector<std::string>& names,
+                         const std::vector<std::vector<int64_t>>& rows);
+
+/// True when the two relations contain the same bag of rows (order-
+/// insensitive); used heavily by tests and the PreM validator.
+bool SameBag(const Relation& a, const Relation& b);
+
+}  // namespace rasql::storage
+
+#endif  // RASQL_STORAGE_RELATION_H_

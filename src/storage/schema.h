@@ -1,0 +1,55 @@
+#ifndef RASQL_STORAGE_SCHEMA_H_
+#define RASQL_STORAGE_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/value.h"
+
+namespace rasql::storage {
+
+/// One column of a relation schema.
+struct Column {
+  std::string name;
+  ValueType type = ValueType::kNull;
+};
+
+/// Ordered list of named, typed columns.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns)
+      : columns_(std::move(columns)) {}
+
+  /// Convenience factory: Schema::Of({{"Src", kInt64}, {"Dst", kInt64}}).
+  static Schema Of(std::initializer_list<Column> columns) {
+    return Schema(std::vector<Column>(columns));
+  }
+
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  const Column& column(int i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Index of the column whose name matches case-insensitively, or -1.
+  int FindColumn(const std::string& name) const;
+
+  /// "name:TYPE, name:TYPE, ..." rendering for EXPLAIN and errors.
+  std::string ToString() const;
+
+  bool operator==(const Schema& other) const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+/// Case-insensitive ASCII string equality — SQL identifiers are
+/// case-insensitive in RaSQL, matching the paper's examples which mix
+/// `Part`/`part` freely.
+bool EqualsIgnoreCase(const std::string& a, const std::string& b);
+
+/// Lowercases ASCII; used to canonicalize identifiers in the catalog.
+std::string ToLower(const std::string& s);
+
+}  // namespace rasql::storage
+
+#endif  // RASQL_STORAGE_SCHEMA_H_

@@ -1,0 +1,99 @@
+#include "storage/value.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace rasql::storage {
+
+const char* ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt64:
+      return "INT";
+    case ValueType::kDouble:
+      return "DOUBLE";
+    case ValueType::kString:
+      return "STRING";
+  }
+  return "UNKNOWN";
+}
+
+int Value::Compare(const Value& other) const {
+  // Numeric cross-type comparison: int64 vs double compares by value.
+  const bool lhs_num =
+      type_ == ValueType::kInt64 || type_ == ValueType::kDouble;
+  const bool rhs_num =
+      other.type_ == ValueType::kInt64 || other.type_ == ValueType::kDouble;
+  if (lhs_num && rhs_num) {
+    if (type_ == ValueType::kInt64 && other.type_ == ValueType::kInt64) {
+      if (i64_ < other.i64_) return -1;
+      if (i64_ > other.i64_) return 1;
+      return 0;
+    }
+    const double a = AsNumeric();
+    const double b = other.AsNumeric();
+    if (a < b) return -1;
+    if (a > b) return 1;
+    return 0;
+  }
+  if (type_ != other.type_) {
+    return static_cast<int>(type_) < static_cast<int>(other.type_) ? -1 : 1;
+  }
+  switch (type_) {
+    case ValueType::kNull:
+      return 0;
+    case ValueType::kString:
+      return str_.compare(other.str_) < 0   ? -1
+             : str_.compare(other.str_) > 0 ? 1
+                                            : 0;
+    default:
+      return 0;  // Unreachable: numeric handled above.
+  }
+}
+
+uint64_t Value::Hash() const {
+  switch (type_) {
+    case ValueType::kNull:
+      return 0x9ae16a3b2f90404fULL;
+    case ValueType::kInt64:
+      return common::MixHash64(static_cast<uint64_t>(i64_));
+    case ValueType::kDouble: {
+      // Hash integral doubles like the equal int64 so mixed numeric keys
+      // that compare equal also hash equal.
+      double intpart;
+      if (std::modf(f64_, &intpart) == 0.0 &&
+          intpart >= -9.2233720368547758e18 &&
+          intpart <= 9.2233720368547758e18) {
+        return common::MixHash64(static_cast<uint64_t>(
+            static_cast<int64_t>(intpart)));
+      }
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(f64_));
+      __builtin_memcpy(&bits, &f64_, sizeof(bits));
+      return common::MixHash64(bits);
+    }
+    case ValueType::kString:
+      return common::HashBytes(str_);
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type_) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt64:
+      return std::to_string(i64_);
+    case ValueType::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", f64_);
+      return buf;
+    }
+    case ValueType::kString:
+      return "'" + str_ + "'";
+  }
+  return "?";
+}
+
+}  // namespace rasql::storage

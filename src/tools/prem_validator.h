@@ -1,0 +1,41 @@
+#ifndef RASQL_TOOLS_PREM_VALIDATOR_H_
+#define RASQL_TOOLS_PREM_VALIDATOR_H_
+
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "storage/relation.h"
+
+namespace rasql::tools {
+
+/// Outcome of a PreM auto-validation run (the paper's GPtest, Appendix G).
+struct PremCheckResult {
+  /// True when γ(T(γ(X))) = γ(T(X)) held at every checked step.
+  bool holds = false;
+  int iterations_checked = 0;
+  /// True when the unaggregated recursion was still producing new tuples
+  /// at the iteration cap (e.g. cyclic SSSP): PreM held as far as testing
+  /// could see, which is the best a test (vs a proof) gives.
+  bool exhausted_limit = false;
+  /// Human-readable explanation, including the first violating iteration.
+  std::string message;
+};
+
+/// Validates the PreM property for a RaSQL query with a min()/max() head
+/// by co-evaluating the original query and its PreM-checking rewrite
+/// (Appendix G): the aggregated fixpoint X_n and the unaggregated fixpoint
+/// Y_n advance in lockstep, and γ(Y_n) must equal X_n at every step.
+///
+/// `sql` must be a single-query statement with exactly one recursive view
+/// whose head aggregate is min or max (the aggregates PreM testing is
+/// defined for — sum/count rest on the monotonic-count argument instead,
+/// paper Sec. 3). `tables` binds the base relations.
+common::Result<PremCheckResult> ValidatePrem(
+    const std::string& sql,
+    const std::map<std::string, const storage::Relation*>& tables,
+    int max_iterations = 25);
+
+}  // namespace rasql::tools
+
+#endif  // RASQL_TOOLS_PREM_VALIDATOR_H_

@@ -1,0 +1,215 @@
+// The `rasql` interactive shell: load CSV tables, run RaSQL queries, show
+// plans and statistics. The tool-level counterpart of the paper's
+// spark-shell integration.
+//
+// Usage:
+//   rasql [--distributed] [--workers N] [script.sql]
+//
+// Dot-commands inside the shell:
+//   .load <table> <file.csv>   register a CSV/TSV file as a table
+//   .gen rmat <table> <n>      register an RMAT edge table (n vertices)
+//   .tables                    list registered tables
+//   .schema <table>            show a table's schema
+//   .explain <query>           print the compiled plan
+//   .stats                     fixpoint/cluster stats of the last query
+//   .quit
+// Anything else is executed as RaSQL (statements end with ';').
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "datagen/graph_gen.h"
+#include "engine/rasql_context.h"
+#include "storage/csv.h"
+
+namespace rasql::tools {
+namespace {
+
+void PrintHelp() {
+  std::printf(
+      "commands:\n"
+      "  .load <table> <file>   load a CSV file as a table\n"
+      "  .gen rmat <table> <n>  generate a weighted RMAT edge table\n"
+      "  .tables                list tables\n"
+      "  .schema <table>        show a table's schema\n"
+      "  .explain <query>;      show the compiled plan\n"
+      "  .stats                 stats of the last query\n"
+      "  .help                  this text\n"
+      "  .quit                  exit\n"
+      "anything else runs as RaSQL (end statements with ';').\n");
+}
+
+class Shell {
+ public:
+  explicit Shell(engine::EngineConfig config) : ctx_(std::move(config)) {}
+
+  /// Processes one complete input (a dot-command or a SQL statement).
+  /// Returns false when the shell should exit.
+  bool Handle(const std::string& input) {
+    if (input.empty()) return true;
+    if (input[0] == '.') return HandleCommand(input);
+    auto result = ctx_.Execute(input);
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+      return true;
+    }
+    std::printf("%s", result->ToString(40).c_str());
+    std::printf("(%zu rows)\n", result->size());
+    return true;
+  }
+
+ private:
+  bool HandleCommand(const std::string& input) {
+    std::istringstream in(input);
+    std::string cmd;
+    in >> cmd;
+    if (cmd == ".quit" || cmd == ".exit") return false;
+    if (cmd == ".help") {
+      PrintHelp();
+    } else if (cmd == ".tables") {
+      for (const std::string& name : tables_) std::printf("%s\n", name.c_str());
+    } else if (cmd == ".load") {
+      std::string table, file;
+      in >> table >> file;
+      if (table.empty() || file.empty()) {
+        std::printf("usage: .load <table> <file>\n");
+        return true;
+      }
+      storage::CsvOptions options;
+      if (file.size() > 4 && file.substr(file.size() - 4) == ".tsv") {
+        options.delimiter = '\t';
+      }
+      auto rel = storage::LoadCsv(file, options);
+      if (!rel.ok()) {
+        std::printf("error: %s\n", rel.status().ToString().c_str());
+        return true;
+      }
+      std::printf("loaded %zu rows [%s]\n", rel->size(),
+                  rel->schema().ToString().c_str());
+      Register(table, std::move(*rel));
+    } else if (cmd == ".gen") {
+      std::string kind, table;
+      int64_t n = 0;
+      in >> kind >> table >> n;
+      if (kind != "rmat" || table.empty() || n <= 1) {
+        std::printf("usage: .gen rmat <table> <num_vertices>\n");
+        return true;
+      }
+      datagen::RmatOptions opt;
+      opt.num_vertices = n;
+      opt.weighted = true;
+      auto rel = datagen::ToEdgeRelation(datagen::GenerateRmat(opt));
+      std::printf("generated %zu weighted edges\n", rel.size());
+      Register(table, std::move(rel));
+    } else if (cmd == ".schema") {
+      std::string table;
+      in >> table;
+      const storage::Relation* rel = ctx_.FindTable(table);
+      if (rel == nullptr) {
+        std::printf("no table named '%s'\n", table.c_str());
+      } else {
+        std::printf("%s (%zu rows)\n", rel->schema().ToString().c_str(),
+                    rel->size());
+      }
+    } else if (cmd == ".explain") {
+      std::string rest;
+      std::getline(in, rest);
+      auto plan = ctx_.Explain(rest);
+      if (!plan.ok()) {
+        std::printf("error: %s\n", plan.status().ToString().c_str());
+      } else {
+        std::printf("%s", plan->c_str());
+      }
+    } else if (cmd == ".stats") {
+      const auto& stats = ctx_.last_fixpoint_stats();
+      std::printf("iterations=%d delta_rows=%zu semi_naive=%d capped=%d\n",
+                  stats.iterations, stats.total_delta_rows,
+                  stats.used_semi_naive, stats.hit_iteration_limit);
+      if (ctx_.config().distributed) {
+        std::printf("%s\n", ctx_.last_job_metrics().Summary().c_str());
+      }
+    } else {
+      std::printf("unknown command %s (try .help)\n", cmd.c_str());
+    }
+    return true;
+  }
+
+  void Register(const std::string& table, storage::Relation rel) {
+    (void)ctx_.DropTable(table);  // replace silently if present
+    auto status = ctx_.RegisterTable(table, std::move(rel));
+    if (!status.ok()) {
+      std::printf("error: %s\n", status.ToString().c_str());
+      return;
+    }
+    tables_.push_back(table);
+  }
+
+  engine::RaSqlContext ctx_;
+  std::vector<std::string> tables_;
+};
+
+int Main(int argc, char** argv) {
+  engine::EngineConfig config;
+  std::string script_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--distributed") == 0) {
+      config.distributed = true;
+    } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      config.cluster.num_workers = std::atoi(argv[++i]);
+      config.cluster.num_partitions = config.cluster.num_workers * 2;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf("usage: rasql [--distributed] [--workers N] [script]\n");
+      PrintHelp();
+      return 0;
+    } else {
+      script_path = argv[i];
+    }
+  }
+
+  Shell shell(config);
+  std::istream* in = &std::cin;
+  std::ifstream file;
+  const bool interactive = script_path.empty();
+  if (!interactive) {
+    file.open(script_path);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n", script_path.c_str());
+      return 1;
+    }
+    in = &file;
+  }
+
+  if (interactive) {
+    std::printf("RaSQL shell — .help for commands\n");
+  }
+  std::string pending;
+  std::string line;
+  while (true) {
+    if (interactive) std::printf(pending.empty() ? "rasql> " : "   ...> ");
+    if (!std::getline(*in, line)) break;
+    // Dot-commands are line-oriented; SQL accumulates until ';'.
+    if (pending.empty() && !line.empty() && line[0] == '.') {
+      if (!shell.Handle(line)) break;
+      continue;
+    }
+    pending += line;
+    pending += "\n";
+    const auto semi = pending.find_last_not_of(" \t\n");
+    if (semi != std::string::npos && pending[semi] == ';') {
+      const bool keep_going = shell.Handle(pending);
+      pending.clear();
+      if (!keep_going) break;
+    }
+  }
+  if (!pending.empty()) shell.Handle(pending);
+  return 0;
+}
+
+}  // namespace
+}  // namespace rasql::tools
+
+int main(int argc, char** argv) { return rasql::tools::Main(argc, argv); }

@@ -1,0 +1,242 @@
+#include <gtest/gtest.h>
+
+#include "analysis/analyzer.h"
+#include "analysis/catalog.h"
+#include "fixpoint/local_fixpoint.h"
+#include "sql/parser.h"
+
+namespace rasql::analysis {
+namespace {
+
+using storage::Schema;
+using storage::ValueType;
+
+class AnalyzerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(catalog_
+                    .RegisterTable("edge",
+                                   Schema::Of({{"Src", ValueType::kInt64},
+                                               {"Dst", ValueType::kInt64},
+                                               {"Cost",
+                                                ValueType::kDouble}}))
+                    .ok());
+    ASSERT_TRUE(catalog_
+                    .RegisterTable("basic",
+                                   Schema::Of({{"Part", ValueType::kInt64},
+                                               {"Days",
+                                                ValueType::kInt64}}))
+                    .ok());
+    ASSERT_TRUE(catalog_
+                    .RegisterTable("assbl",
+                                   Schema::Of({{"Part", ValueType::kInt64},
+                                               {"SPart",
+                                                ValueType::kInt64}}))
+                    .ok());
+  }
+
+  common::Result<AnalyzedQuery> Analyze(const std::string& sql) {
+    auto query = sql::Parser::ParseQuery(sql);
+    if (!query.ok()) return query.status();
+    Analyzer analyzer(&catalog_);
+    return analyzer.Analyze(*query);
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(AnalyzerTest, CatalogBasics) {
+  EXPECT_TRUE(catalog_.Contains("EDGE"));  // case-insensitive
+  EXPECT_FALSE(catalog_.Contains("nope"));
+  EXPECT_FALSE(
+      catalog_.RegisterTable("edge", Schema::Of({})).ok());  // duplicate
+  EXPECT_EQ(catalog_.TableNames().size(), 3u);
+}
+
+TEST_F(AnalyzerTest, SimpleSelectPlanShape) {
+  auto analyzed = Analyze("SELECT Src, Dst FROM edge WHERE Cost < 5.0");
+  ASSERT_TRUE(analyzed.ok()) << analyzed.status();
+  EXPECT_TRUE(analyzed->cliques.empty());
+  // Project(Filter(Scan)).
+  const plan::LogicalPlan& body = *analyzed->body;
+  EXPECT_EQ(body.kind(), plan::PlanKind::kProject);
+  EXPECT_EQ(body.child(0).kind(), plan::PlanKind::kFilter);
+  EXPECT_EQ(body.child(0).child(0).kind(), plan::PlanKind::kTableScan);
+  EXPECT_EQ(body.schema().column(0).name, "Src");
+  EXPECT_EQ(body.schema().column(0).type, ValueType::kInt64);
+}
+
+TEST_F(AnalyzerTest, RecursiveCliqueRecognition) {
+  auto analyzed = Analyze(R"(
+      WITH recursive waitfor(Part, max() AS Days) AS
+        (SELECT Part, Days FROM basic) UNION
+        (SELECT assbl.Part, waitfor.Days FROM assbl, waitfor
+         WHERE assbl.SPart = waitfor.Part)
+      SELECT Part, Days FROM waitfor)");
+  ASSERT_TRUE(analyzed.ok()) << analyzed.status();
+  ASSERT_EQ(analyzed->cliques.size(), 1u);
+  const RecursiveClique& clique = analyzed->cliques[0];
+  EXPECT_TRUE(clique.IsRecursive());
+  ASSERT_EQ(clique.views.size(), 1u);
+  const RecursiveView& view = clique.views[0];
+  EXPECT_EQ(view.name, "waitfor");
+  EXPECT_EQ(view.aggregate, expr::AggregateFunction::kMax);
+  EXPECT_EQ(view.agg_column, 1);
+  EXPECT_EQ(view.base_plans.size(), 1u);
+  EXPECT_EQ(view.recursive_plans.size(), 1u);
+  EXPECT_TRUE(view.semi_naive_safe);
+}
+
+TEST_F(AnalyzerTest, TypeInferenceAcrossBranches) {
+  // Base case types Cost as int (literal 0); the recursive case adds a
+  // double — the view column unifies to double.
+  auto analyzed = Analyze(R"(
+      WITH recursive path (Dst, min() AS Cost) AS
+        (SELECT 1, 0) UNION
+        (SELECT edge.Dst, path.Cost + edge.Cost
+         FROM path, edge WHERE path.Dst = edge.Src)
+      SELECT Dst, Cost FROM path)");
+  ASSERT_TRUE(analyzed.ok()) << analyzed.status();
+  const RecursiveView& view = analyzed->cliques[0].views[0];
+  EXPECT_EQ(view.schema.column(1).type, ValueType::kDouble);
+}
+
+TEST_F(AnalyzerTest, MutualRecursionSingleClique) {
+  auto analyzed = Analyze(R"(
+      WITH recursive a(X) AS
+        (SELECT Src FROM edge) UNION
+        (SELECT b.Y FROM b),
+      recursive b(Y) AS
+        (SELECT a.X FROM a WHERE a.X > 10)
+      SELECT X FROM a)");
+  ASSERT_TRUE(analyzed.ok()) << analyzed.status();
+  ASSERT_EQ(analyzed->cliques.size(), 1u);
+  EXPECT_EQ(analyzed->cliques[0].views.size(), 2u);
+  EXPECT_FALSE(analyzed->cliques[0].views[0].semi_naive_safe);
+}
+
+TEST_F(AnalyzerTest, IndependentViewsSeparateCliquesInOrder) {
+  auto analyzed = Analyze(R"(
+      WITH v1(X) AS (SELECT Src FROM edge),
+      recursive v2(X) AS
+        (SELECT X FROM v1) UNION
+        (SELECT v2.X FROM v2, edge WHERE v2.X = edge.Src)
+      SELECT X FROM v2)");
+  ASSERT_TRUE(analyzed.ok()) << analyzed.status();
+  ASSERT_EQ(analyzed->cliques.size(), 2u);
+  EXPECT_FALSE(analyzed->cliques[0].IsRecursive());
+  EXPECT_EQ(analyzed->cliques[0].views[0].name, "v1");
+  EXPECT_TRUE(analyzed->cliques[1].IsRecursive());
+}
+
+TEST_F(AnalyzerTest, SumLinearityGovernsSemiNaiveSafety) {
+  // Linear passthrough and scalar multiplication are SN-safe.
+  auto linear = Analyze(R"(
+      WITH recursive bonus(M, sum() AS B) AS
+        (SELECT Src, Cost FROM edge) UNION
+        (SELECT edge.Dst, bonus.B*0.5 FROM bonus, edge
+         WHERE bonus.M = edge.Src)
+      SELECT M, B FROM bonus)");
+  ASSERT_TRUE(linear.ok()) << linear.status();
+  EXPECT_TRUE(linear->cliques[0].views[0].semi_naive_safe);
+
+  // Adding a constant to the sum column is NOT homogeneous-linear.
+  auto affine = Analyze(R"(
+      WITH recursive bonus(M, sum() AS B) AS
+        (SELECT Src, Cost FROM edge) UNION
+        (SELECT edge.Dst, bonus.B + 1 FROM bonus, edge
+         WHERE bonus.M = edge.Src)
+      SELECT M, B FROM bonus)");
+  ASSERT_TRUE(affine.ok()) << affine.status();
+  EXPECT_FALSE(affine->cliques[0].views[0].semi_naive_safe);
+
+  // Filtering on the sum column requires accumulated values.
+  auto filtered = Analyze(R"(
+      WITH recursive bonus(M, sum() AS B) AS
+        (SELECT Src, Cost FROM edge) UNION
+        (SELECT edge.Dst, bonus.B FROM bonus, edge
+         WHERE bonus.M = edge.Src AND bonus.B < 100)
+      SELECT M, B FROM bonus)");
+  ASSERT_TRUE(filtered.ok()) << filtered.status();
+  EXPECT_FALSE(filtered->cliques[0].views[0].semi_naive_safe);
+
+  // min() heads are always SN-safe regardless of expression shape.
+  auto with_min = Analyze(R"(
+      WITH recursive path (Dst, min() AS Cost) AS
+        (SELECT 1, 0) UNION
+        (SELECT edge.Dst, path.Cost + edge.Cost
+         FROM path, edge WHERE path.Dst = edge.Src)
+      SELECT Dst, Cost FROM path)");
+  ASSERT_TRUE(with_min.ok());
+  EXPECT_TRUE(with_min->cliques[0].views[0].semi_naive_safe);
+}
+
+TEST_F(AnalyzerTest, ErrorMessagesAreSpecific) {
+  auto unknown_table = Analyze("SELECT X FROM missing");
+  EXPECT_NE(unknown_table.status().message().find("missing"),
+            std::string::npos);
+
+  auto unknown_column = Analyze("SELECT Nope FROM edge");
+  EXPECT_NE(unknown_column.status().message().find("Nope"),
+            std::string::npos);
+
+  auto ambiguous = Analyze("SELECT Src FROM edge a, edge b");
+  EXPECT_NE(ambiguous.status().message().find("ambiguous"),
+            std::string::npos);
+
+  auto dup_binding = Analyze("SELECT a.Src FROM edge a, basic a");
+  EXPECT_NE(dup_binding.status().message().find("duplicate"),
+            std::string::npos);
+
+  auto bad_types = Analyze("SELECT Src + Cost FROM edge WHERE Src = 'x'");
+  EXPECT_FALSE(bad_types.ok());
+
+  auto shadow = Analyze(
+      "WITH edge(X) AS (SELECT Part FROM basic) SELECT X FROM edge");
+  EXPECT_NE(shadow.status().message().find("shadows"), std::string::npos);
+
+  auto group_error =
+      Analyze("SELECT Src, Dst FROM edge GROUP BY Src");
+  EXPECT_NE(group_error.status().message().find("GROUP BY"),
+            std::string::npos);
+}
+
+TEST_F(AnalyzerTest, HavingResolvesGroupAndAggregates) {
+  auto analyzed = Analyze(
+      "SELECT Src, min(Cost) FROM edge GROUP BY Src "
+      "HAVING min(Cost) > 1.0 AND Src < 100");
+  ASSERT_TRUE(analyzed.ok()) << analyzed.status();
+  // Project(Filter(Aggregate(Scan))).
+  const plan::LogicalPlan& body = *analyzed->body;
+  EXPECT_EQ(body.kind(), plan::PlanKind::kProject);
+  EXPECT_EQ(body.child(0).kind(), plan::PlanKind::kFilter);
+  EXPECT_EQ(body.child(0).child(0).kind(), plan::PlanKind::kAggregate);
+}
+
+TEST_F(AnalyzerTest, RecursiveRefOrdinalsAreSequential) {
+  auto analyzed = Analyze(R"(
+      WITH recursive tc (Src, Dst) AS
+        (SELECT Src, Dst FROM edge) UNION
+        (SELECT a.Src, b.Dst FROM tc a, tc b WHERE a.Dst = b.Src)
+      SELECT Src, Dst FROM tc)");
+  ASSERT_TRUE(analyzed.ok()) << analyzed.status();
+  const RecursiveView& view = analyzed->cliques[0].views[0];
+  ASSERT_EQ(view.recursive_plans.size(), 1u);
+  auto refs = fixpoint::CollectRecursiveRefs(*view.recursive_plans[0]);
+  ASSERT_EQ(refs.size(), 2u);
+  EXPECT_EQ(refs[0]->ordinal() + refs[1]->ordinal(), 1);  // 0 and 1
+}
+
+TEST(AstHelpersTest, AstEqualAndContainsAgg) {
+  auto q1 = sql::Parser::ParseQuery("SELECT a.X + 1, min(Y) FROM t a");
+  auto q2 = sql::Parser::ParseQuery("SELECT A.x + 1, MIN(y) FROM t a");
+  ASSERT_TRUE(q1.ok() && q2.ok());
+  EXPECT_TRUE(AstEqual(*q1->body->items[0].expr, *q2->body->items[0].expr));
+  EXPECT_TRUE(AstEqual(*q1->body->items[1].expr, *q2->body->items[1].expr));
+  EXPECT_FALSE(AstEqual(*q1->body->items[0].expr, *q2->body->items[1].expr));
+  EXPECT_FALSE(ContainsAggCall(*q1->body->items[0].expr));
+  EXPECT_TRUE(ContainsAggCall(*q1->body->items[1].expr));
+}
+
+}  // namespace
+}  // namespace rasql::analysis

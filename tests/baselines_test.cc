@@ -1,0 +1,278 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "baselines/pregel/pregel.h"
+#include "baselines/serial/serial_graph.h"
+#include "baselines/sqlloop/sql_loop.h"
+#include "datagen/graph_gen.h"
+#include "engine/rasql_context.h"
+#include "sql/parser.h"
+#include "analysis/analyzer.h"
+
+namespace rasql::baselines {
+namespace {
+
+using storage::MakeIntRelation;
+using storage::Relation;
+
+datagen::Graph SmallGraph() {
+  datagen::Graph g;
+  g.num_vertices = 6;
+  g.edges = {{0, 1}, {1, 2}, {2, 3}, {0, 3}, {4, 5}};
+  return g;
+}
+
+datagen::Graph SmallWeighted() {
+  datagen::Graph g = SmallGraph();
+  g.weights = {1.0, 1.0, 1.0, 5.0, 2.0};
+  return g;
+}
+
+TEST(SerialTest, BfsDepths) {
+  Csr csr = Csr::Build(SmallGraph());
+  std::vector<int64_t> depth = SerialBfs(csr, 0);
+  EXPECT_EQ(depth[0], 0);
+  EXPECT_EQ(depth[1], 1);
+  EXPECT_EQ(depth[2], 2);
+  EXPECT_EQ(depth[3], 1);  // direct edge 0->3
+  EXPECT_EQ(depth[4], -1);
+  EXPECT_EQ(depth[5], -1);
+}
+
+TEST(SerialTest, ConnectedComponents) {
+  Csr csr = Csr::Build(SmallGraph());
+  std::vector<int64_t> label = SerialCcLabelProp(csr);
+  EXPECT_EQ(label[0], label[3]);
+  EXPECT_EQ(label[0], label[2]);
+  EXPECT_EQ(label[4], label[5]);
+  EXPECT_NE(label[0], label[4]);
+}
+
+TEST(SerialTest, SsspDistances) {
+  Csr csr = Csr::Build(SmallWeighted());
+  std::vector<double> dist = SerialSssp(csr, 0);
+  EXPECT_DOUBLE_EQ(dist[0], 0.0);
+  EXPECT_DOUBLE_EQ(dist[3], 3.0);  // 0->1->2->3 beats 0->3 (5)
+  EXPECT_TRUE(std::isinf(dist[4]));
+}
+
+TEST(PregelTest, MatchesSerialOnReach) {
+  datagen::RmatOptions opt;
+  opt.num_vertices = 512;
+  opt.edges_per_vertex = 4;
+  datagen::Graph g = datagen::GenerateRmat(opt);
+  Csr csr = Csr::Build(g);
+  std::vector<int64_t> depth = SerialBfs(csr, 0);
+  size_t reached = 0;
+  for (int64_t d : depth) reached += d >= 0;
+
+  for (SystemProfile profile :
+       {SystemProfile::kGiraph, SystemProfile::kGraphX}) {
+    dist::Cluster cluster(dist::ClusterConfig{});
+    PregelOptions options;
+    options.profile = profile;
+    options.source = 0;
+    PregelResult result =
+        RunPregel(g, PregelAlgorithm::kReach, options, &cluster);
+    EXPECT_EQ(result.NumReached(), reached);
+  }
+}
+
+TEST(PregelTest, MatchesSerialOnSssp) {
+  datagen::RmatOptions opt;
+  opt.num_vertices = 256;
+  opt.edges_per_vertex = 4;
+  opt.weighted = true;
+  datagen::Graph g = datagen::GenerateRmat(opt);
+  Csr csr = Csr::Build(g);
+  std::vector<double> dist = SerialSssp(csr, 0);
+
+  dist::Cluster cluster(dist::ClusterConfig{});
+  PregelOptions options;
+  options.source = 0;
+  PregelResult result =
+      RunPregel(g, PregelAlgorithm::kSssp, options, &cluster);
+  ASSERT_EQ(result.values.size(), dist.size());
+  for (size_t v = 0; v < dist.size(); ++v) {
+    if (std::isinf(dist[v])) {
+      EXPECT_TRUE(std::isinf(result.values[v])) << v;
+    } else {
+      EXPECT_DOUBLE_EQ(result.values[v], dist[v]) << v;
+    }
+  }
+}
+
+TEST(PregelTest, CcComponentCountMatchesSerial) {
+  // Bidirectional edges so label propagation behaves undirected in both.
+  datagen::Graph g;
+  g.num_vertices = 8;
+  for (auto [a, b] : std::vector<std::pair<int64_t, int64_t>>{
+           {0, 1}, {1, 2}, {3, 4}, {5, 6}}) {
+    g.edges.emplace_back(a, b);
+    g.edges.emplace_back(b, a);
+  }
+  dist::Cluster cluster(dist::ClusterConfig{});
+  PregelResult result = RunPregel(g, PregelAlgorithm::kConnectedComponents,
+                                  PregelOptions{}, &cluster);
+  // Components: {0,1,2}, {3,4}, {5,6}, {7}.
+  EXPECT_EQ(result.NumDistinctValues(), 4u);
+}
+
+TEST(PregelTest, GraphXProfileCostsMoreStages) {
+  datagen::RmatOptions opt;
+  opt.num_vertices = 256;
+  opt.edges_per_vertex = 4;
+  datagen::Graph g = datagen::GenerateRmat(opt);
+
+  dist::Cluster giraph(dist::ClusterConfig{});
+  PregelOptions go;
+  go.profile = SystemProfile::kGiraph;
+  RunPregel(g, PregelAlgorithm::kReach, go, &giraph);
+
+  dist::Cluster graphx(dist::ClusterConfig{});
+  go.profile = SystemProfile::kGraphX;
+  RunPregel(g, PregelAlgorithm::kReach, go, &graphx);
+
+  EXPECT_GT(graphx.metrics().num_stages(),
+            3 * giraph.metrics().num_stages());
+  EXPECT_GT(graphx.metrics().TotalSimTime(),
+            giraph.metrics().TotalSimTime());
+}
+
+// --- SQL-loop baselines produce engine-identical results with a costlier
+// stage structure (paper Sec. 8.2). ---
+
+class SqlLoopFixture : public ::testing::Test {
+ protected:
+  /// Compiles a query to its recursive clique.
+  common::Result<analysis::AnalyzedQuery> Compile(
+      const std::string& query_sql,
+      const std::map<std::string, const Relation*>& tables) {
+    RASQL_ASSIGN_OR_RETURN(sql::Query query,
+                           sql::Parser::ParseQuery(query_sql));
+    analysis::Catalog catalog;
+    for (const auto& [name, rel] : tables) {
+      catalog.PutTable(name, rel->schema());
+    }
+    analysis::Analyzer analyzer(&catalog);
+    RASQL_ASSIGN_OR_RETURN(analysis::AnalyzedQuery analyzed,
+                           analyzer.Analyze(query));
+    analyzed.Optimize({});
+    return analyzed;
+  }
+};
+
+TEST_F(SqlLoopFixture, NaiveAndSnMatchEngineOnDelivery) {
+  Relation assbl = MakeIntRelation({"Part", "SPart"},
+                                   {{1, 2}, {1, 3}, {2, 4}, {2, 5}});
+  Relation basic = MakeIntRelation({"Part", "Days"},
+                                   {{4, 3}, {5, 7}, {3, 2}});
+  std::map<std::string, const Relation*> tables = {{"assbl", &assbl},
+                                                   {"basic", &basic}};
+  const char* sql = R"(
+      WITH recursive waitfor(Part, max() as Days) AS
+        (SELECT Part, Days FROM basic) UNION
+        (SELECT assbl.Part, waitfor.Days FROM assbl, waitfor
+         WHERE assbl.Spart = waitfor.Part)
+      SELECT Part, Days FROM waitfor)";
+
+  engine::RaSqlContext engine;
+  ASSERT_TRUE(engine.RegisterTable("assbl", assbl).ok());
+  ASSERT_TRUE(engine.RegisterTable("basic", basic).ok());
+  auto expected = engine.Execute(sql);
+  ASSERT_TRUE(expected.ok()) << expected.status();
+
+  auto analyzed = Compile(sql, tables);
+  ASSERT_TRUE(analyzed.ok()) << analyzed.status();
+  const analysis::RecursiveClique& clique = analyzed->cliques[0];
+
+  for (SqlLoopMode mode : {SqlLoopMode::kNaive, SqlLoopMode::kSemiNaive}) {
+    dist::Cluster cluster(dist::ClusterConfig{});
+    SqlLoopStats stats;
+    auto result = RunSqlLoop(clique, tables, mode, &cluster, &stats);
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_TRUE(storage::SameBag(*expected, *result));
+    EXPECT_GT(stats.iterations, 0);
+    EXPECT_GT(stats.total_time_sec, 0.0);
+    EXPECT_LE(stats.delta_time_sec, stats.total_time_sec + 1e-9);
+  }
+}
+
+TEST_F(SqlLoopFixture, SnMatchesEngineOnSumQuery) {
+  Relation report = MakeIntRelation({"Emp", "Mgr"},
+                                    {{2, 1}, {3, 1}, {4, 2}, {5, 2}});
+  std::map<std::string, const Relation*> tables = {{"report", &report}};
+  const char* sql = R"(
+      WITH recursive empCount (Mgr, count() AS Cnt) AS
+        (SELECT report.Emp, 1 FROM report) UNION
+        (SELECT report.Mgr, empCount.Cnt FROM empCount, report
+         WHERE empCount.Mgr = report.Emp)
+      SELECT Mgr, Cnt FROM empCount)";
+
+  engine::RaSqlContext engine;
+  ASSERT_TRUE(engine.RegisterTable("report", report).ok());
+  auto expected = engine.Execute(sql);
+  ASSERT_TRUE(expected.ok()) << expected.status();
+
+  auto analyzed = Compile(sql, tables);
+  ASSERT_TRUE(analyzed.ok()) << analyzed.status();
+
+  for (SqlLoopMode mode : {SqlLoopMode::kNaive, SqlLoopMode::kSemiNaive}) {
+    dist::Cluster cluster(dist::ClusterConfig{});
+    SqlLoopStats stats;
+    auto result =
+        RunSqlLoop(analyzed->cliques[0], tables, mode, &cluster, &stats);
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_TRUE(storage::SameBag(*expected, *result))
+        << "mode=" << static_cast<int>(mode) << "\n"
+        << expected->ToString() << result->ToString();
+  }
+}
+
+TEST_F(SqlLoopFixture, SqlLoopsSlowerThanFixpointOperator) {
+  datagen::TreeOptions topt;
+  topt.height = 11;
+  topt.max_nodes = 60000;
+  datagen::Graph tree = datagen::GenerateTree(topt);
+  Relation assbl, basic;
+  datagen::ToBomRelations(tree, 5, &assbl, &basic);
+  std::map<std::string, const Relation*> tables = {{"assbl", &assbl},
+                                                   {"basic", &basic}};
+  const char* sql = R"(
+      WITH recursive waitfor(Part, max() as Days) AS
+        (SELECT Part, Days FROM basic) UNION
+        (SELECT assbl.Part, waitfor.Days FROM assbl, waitfor
+         WHERE assbl.Spart = waitfor.Part)
+      SELECT Part, Days FROM waitfor)";
+
+  // RaSQL fixpoint on the cluster.
+  engine::EngineConfig config;
+  config.distributed = true;
+  engine::RaSqlContext engine(config);
+  ASSERT_TRUE(engine.RegisterTable("assbl", assbl).ok());
+  ASSERT_TRUE(engine.RegisterTable("basic", basic).ok());
+  ASSERT_TRUE(engine.Execute(sql).ok());
+  const double rasql_time = engine.last_job_metrics().TotalSimTime();
+
+  auto analyzed = Compile(sql, tables);
+  ASSERT_TRUE(analyzed.ok()) << analyzed.status();
+  dist::Cluster sn_cluster(dist::ClusterConfig{});
+  SqlLoopStats sn_stats;
+  ASSERT_TRUE(RunSqlLoop(analyzed->cliques[0], tables,
+                         SqlLoopMode::kSemiNaive, &sn_cluster, &sn_stats)
+                  .ok());
+  dist::Cluster naive_cluster(dist::ClusterConfig{});
+  SqlLoopStats naive_stats;
+  ASSERT_TRUE(RunSqlLoop(analyzed->cliques[0], tables, SqlLoopMode::kNaive,
+                         &naive_cluster, &naive_stats)
+                  .ok());
+
+  // The paper's ordering: RaSQL < SQL-SN < SQL-Naive.
+  EXPECT_LT(rasql_time, sn_stats.total_time_sec);
+  EXPECT_LT(sn_stats.total_time_sec, naive_stats.total_time_sec);
+}
+
+}  // namespace
+}  // namespace rasql::baselines

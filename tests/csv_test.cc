@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "storage/csv.h"
+
+namespace rasql::storage {
+namespace {
+
+TEST(CsvTest, ParsesHeaderAndInfersTypes) {
+  auto rel = ParseCsv("Src,Dst,Cost\n1,2,1.5\n2,3,2\n");
+  ASSERT_TRUE(rel.ok()) << rel.status();
+  EXPECT_EQ(rel->size(), 2u);
+  EXPECT_EQ(rel->schema().column(0).name, "Src");
+  EXPECT_EQ(rel->schema().column(0).type, ValueType::kInt64);
+  // 1.5 forces the Cost column to double even though the second row is
+  // integral.
+  EXPECT_EQ(rel->schema().column(2).type, ValueType::kDouble);
+  EXPECT_DOUBLE_EQ(rel->rows()[1][2].AsDouble(), 2.0);
+}
+
+TEST(CsvTest, StringColumns) {
+  auto rel = ParseCsv("By,Of,Pct\nacme,brook,60\nbrook,coyote,35\n");
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel->schema().column(0).type, ValueType::kString);
+  EXPECT_EQ(rel->rows()[0][0].AsString(), "acme");
+  EXPECT_EQ(rel->schema().column(2).type, ValueType::kInt64);
+}
+
+TEST(CsvTest, HeaderlessAndComments) {
+  CsvOptions options;
+  options.has_header = false;
+  auto rel = ParseCsv("# a comment\n1,2\n3,4\n", options);
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel->schema().column(0).name, "_c0");
+  EXPECT_EQ(rel->size(), 2u);
+}
+
+TEST(CsvTest, TabDelimiter) {
+  CsvOptions options;
+  options.delimiter = '\t';
+  auto rel = ParseCsv("A\tB\n1\t2\n", options);
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel->schema().num_columns(), 2);
+  EXPECT_EQ(rel->rows()[0][1].AsInt(), 2);
+}
+
+TEST(CsvTest, EmptyCellsAreNull) {
+  auto rel = ParseCsv("A,B\n1,\n,2\n");
+  ASSERT_TRUE(rel.ok());
+  EXPECT_TRUE(rel->rows()[0][1].is_null());
+  EXPECT_TRUE(rel->rows()[1][0].is_null());
+  // Type inference ignores NULLs: both columns stay INT.
+  EXPECT_EQ(rel->schema().column(0).type, ValueType::kInt64);
+}
+
+TEST(CsvTest, RaggedRowsRejected) {
+  auto rel = ParseCsv("A,B\n1,2\n3\n");
+  ASSERT_FALSE(rel.ok());
+  EXPECT_NE(rel.status().message().find("line 3"), std::string::npos);
+}
+
+TEST(CsvTest, EmptyInputRejected) {
+  EXPECT_FALSE(ParseCsv("").ok());
+  EXPECT_FALSE(LoadCsv("/nonexistent/file.csv").ok());
+}
+
+TEST(CsvTest, RoundTripThroughFile) {
+  Relation rel = MakeIntRelation({"Src", "Dst"}, {{1, 2}, {3, 4}, {5, 6}});
+  const std::string path = ::testing::TempDir() + "/rasql_csv_test.csv";
+  ASSERT_TRUE(WriteCsv(rel, path).ok());
+  auto loaded = LoadCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_TRUE(SameBag(rel, *loaded));
+  EXPECT_TRUE(rel.schema() == loaded->schema());
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, ToCsvRendering) {
+  Relation rel{Schema::Of({{"Name", ValueType::kString},
+                           {"Score", ValueType::kDouble}})};
+  rel.Add({Value::String("bob"), Value::Double(1.5)});
+  EXPECT_EQ(ToCsv(rel), "Name,Score\nbob,1.5\n");
+}
+
+}  // namespace
+}  // namespace rasql::storage

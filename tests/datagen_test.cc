@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "datagen/graph_gen.h"
+
+namespace rasql::datagen {
+namespace {
+
+TEST(RmatTest, ProducesRequestedEdgeCount) {
+  RmatOptions opt;
+  opt.num_vertices = 1 << 10;
+  opt.edges_per_vertex = 10;
+  Graph g = GenerateRmat(opt);
+  EXPECT_EQ(g.num_vertices, 1 << 10);
+  EXPECT_EQ(g.num_edges(), static_cast<size_t>(10 * (1 << 10)));
+  for (const auto& [src, dst] : g.edges) {
+    EXPECT_GE(src, 0);
+    EXPECT_LT(src, g.num_vertices);
+    EXPECT_GE(dst, 0);
+    EXPECT_LT(dst, g.num_vertices);
+  }
+}
+
+TEST(RmatTest, DeterministicAcrossRuns) {
+  RmatOptions opt;
+  opt.num_vertices = 256;
+  opt.seed = 99;
+  Graph a = GenerateRmat(opt);
+  Graph b = GenerateRmat(opt);
+  EXPECT_EQ(a.edges, b.edges);
+}
+
+TEST(RmatTest, SkewedDegreeDistribution) {
+  // With (0.45, 0.25, 0.15), low-id vertices receive far more edges than a
+  // uniform graph would give them — the power-law skew the paper relies on.
+  RmatOptions opt;
+  opt.num_vertices = 1 << 12;
+  Graph g = GenerateRmat(opt);
+  std::map<int64_t, int64_t> out_degree;
+  for (const auto& [src, dst] : g.edges) ++out_degree[src];
+  int64_t max_degree = 0;
+  for (const auto& [v, d] : out_degree) max_degree = std::max(max_degree, d);
+  // Uniform average degree is 10; RMAT hubs must be far above it.
+  EXPECT_GT(max_degree, 50);
+}
+
+TEST(RmatTest, WeightsInRange) {
+  RmatOptions opt;
+  opt.num_vertices = 256;
+  opt.weighted = true;
+  Graph g = GenerateRmat(opt);
+  ASSERT_EQ(g.weights.size(), g.edges.size());
+  for (double w : g.weights) {
+    EXPECT_GE(w, 0.0);
+    EXPECT_LT(w, 100.0);
+  }
+}
+
+TEST(ErdosRenyiTest, EdgeCountNearExpected) {
+  ErdosRenyiOptions opt;
+  opt.num_vertices = 2000;
+  opt.edge_probability = 1e-2;
+  Graph g = GenerateErdosRenyi(opt);
+  const double expected = 2000.0 * 2000.0 * 1e-2;
+  EXPECT_GT(g.num_edges(), expected * 0.9);
+  EXPECT_LT(g.num_edges(), expected * 1.1);
+}
+
+TEST(ErdosRenyiTest, NoSelfLoopsNoDuplicates) {
+  ErdosRenyiOptions opt;
+  opt.num_vertices = 500;
+  opt.edge_probability = 1e-2;
+  Graph g = GenerateErdosRenyi(opt);
+  std::set<std::pair<int64_t, int64_t>> seen;
+  for (const auto& e : g.edges) {
+    EXPECT_NE(e.first, e.second);
+    EXPECT_TRUE(seen.insert(e).second) << "duplicate edge";
+  }
+}
+
+TEST(GridTest, StructureMatchesPaper) {
+  // Grid150 in the paper: 22,801 vertices and 45,300 edges.
+  GridOptions opt;
+  opt.side = 150;
+  Graph g = GenerateGrid(opt);
+  EXPECT_EQ(g.num_vertices, 22801);
+  EXPECT_EQ(g.num_edges(), 45300u);
+}
+
+TEST(GridTest, SmallGridExactEdges) {
+  GridOptions opt;
+  opt.side = 1;  // 2x2 grid
+  Graph g = GenerateGrid(opt);
+  EXPECT_EQ(g.num_vertices, 4);
+  std::set<std::pair<int64_t, int64_t>> edges(g.edges.begin(), g.edges.end());
+  std::set<std::pair<int64_t, int64_t>> expected = {
+      {0, 1}, {0, 2}, {1, 3}, {2, 3}};
+  EXPECT_EQ(edges, expected);
+}
+
+TEST(TreeTest, IsATree) {
+  TreeOptions opt;
+  opt.height = 5;
+  Graph g = GenerateTree(opt);
+  // A tree with n nodes has n-1 edges, and every node except the root has
+  // exactly one parent.
+  EXPECT_EQ(g.num_edges(), static_cast<size_t>(g.num_vertices - 1));
+  std::vector<int> in_degree(g.num_vertices, 0);
+  for (const auto& [p, c] : g.edges) {
+    EXPECT_LT(p, c) << "parents are allocated before children";
+    ++in_degree[c];
+  }
+  EXPECT_EQ(in_degree[0], 0);
+  for (int64_t v = 1; v < g.num_vertices; ++v) EXPECT_EQ(in_degree[v], 1);
+}
+
+TEST(TreeTest, RespectsMaxNodes) {
+  TreeOptions opt;
+  opt.height = 30;
+  opt.max_nodes = 5000;
+  Graph g = GenerateTree(opt);
+  EXPECT_LE(g.num_vertices, 5000);
+}
+
+TEST(ConvertTest, EdgeRelationSchemas) {
+  RmatOptions opt;
+  opt.num_vertices = 64;
+  opt.weighted = true;
+  Graph g = GenerateRmat(opt);
+  storage::Relation rel = ToEdgeRelation(g);
+  EXPECT_EQ(rel.schema().num_columns(), 3);
+  EXPECT_EQ(rel.schema().column(2).name, "Cost");
+  EXPECT_EQ(rel.size(), g.num_edges());
+
+  opt.weighted = false;
+  storage::Relation unweighted = ToEdgeRelation(GenerateRmat(opt));
+  EXPECT_EQ(unweighted.schema().num_columns(), 2);
+}
+
+TEST(ConvertTest, BomRelations) {
+  TreeOptions opt;
+  opt.height = 4;
+  Graph tree = GenerateTree(opt);
+  storage::Relation assbl, basic;
+  ToBomRelations(tree, 7, &assbl, &basic);
+  EXPECT_EQ(assbl.size(), tree.num_edges());
+  // Leaves = nodes - internal nodes; every leaf appears in basic.
+  std::set<int64_t> internal;
+  for (const auto& [p, c] : tree.edges) internal.insert(p);
+  EXPECT_EQ(basic.size(),
+            static_cast<size_t>(tree.num_vertices) - internal.size());
+  for (const auto& row : basic.rows()) {
+    EXPECT_GE(row[1].AsInt(), 1);
+    EXPECT_LE(row[1].AsInt(), 30);
+  }
+}
+
+TEST(ConvertTest, MlmRelations) {
+  TreeOptions opt;
+  opt.height = 3;
+  Graph tree = GenerateTree(opt);
+  storage::Relation sponsor, sales;
+  ToMlmRelations(tree, 7, &sponsor, &sales);
+  EXPECT_EQ(sponsor.size(), tree.num_edges());
+  EXPECT_EQ(sales.size(), static_cast<size_t>(tree.num_vertices));
+}
+
+TEST(ConvertTest, ReportRelationFlipsDirection) {
+  TreeOptions opt;
+  opt.height = 2;
+  Graph tree = GenerateTree(opt);
+  storage::Relation report = ToReportRelation(tree);
+  // report(Emp, Mgr): employee is the child, manager the parent.
+  for (const auto& row : report.rows()) {
+    EXPECT_GT(row[0].AsInt(), row[1].AsInt());
+  }
+}
+
+// Property sweep across sizes: generators stay in-bounds and deterministic.
+class GeneratorSweep : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(GeneratorSweep, RmatBounds) {
+  RmatOptions opt;
+  opt.num_vertices = GetParam();
+  opt.edges_per_vertex = 4;
+  Graph g = GenerateRmat(opt);
+  EXPECT_EQ(g.num_edges(), static_cast<size_t>(4 * GetParam()));
+  for (const auto& [s, d] : g.edges) {
+    EXPECT_LT(s, GetParam());
+    EXPECT_LT(d, GetParam());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GeneratorSweep,
+                         ::testing::Values(64, 100, 256, 1000, 4096));
+
+}  // namespace
+}  // namespace rasql::datagen

@@ -1,0 +1,327 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dist/aggregates.h"
+#include "dist/broadcast.h"
+#include "dist/cluster.h"
+#include "dist/partition.h"
+#include "dist/set_rdd.h"
+
+namespace rasql::dist {
+namespace {
+
+using expr::AggregateFunction;
+using storage::MakeIntRelation;
+using storage::Relation;
+using storage::Row;
+using storage::Schema;
+using storage::Value;
+using storage::ValueType;
+
+TEST(PartitionTest, RowsLandInOwnPartition) {
+  Relation r = MakeIntRelation({"K", "V"},
+                               {{1, 10}, {2, 20}, {3, 30}, {1, 11}, {2, 21}});
+  PartitionedRelation pr = Partition(r, {0}, 4);
+  EXPECT_EQ(pr.TotalRows(), 5u);
+  for (int p = 0; p < 4; ++p) {
+    for (const Row& row : pr.partition(p).rows()) {
+      EXPECT_EQ(pr.partitioning().PartitionOf(row), p);
+    }
+  }
+}
+
+TEST(PartitionTest, SameKeySamePartition) {
+  Relation r = MakeIntRelation({"K", "V"}, {{7, 1}, {7, 2}, {7, 3}});
+  PartitionedRelation pr = Partition(r, {0}, 8);
+  int non_empty = 0;
+  for (int p = 0; p < 8; ++p) non_empty += !pr.partition(p).empty();
+  EXPECT_EQ(non_empty, 1);
+}
+
+TEST(PartitionTest, CollectRoundTrips) {
+  Relation r = MakeIntRelation({"K", "V"}, {{1, 2}, {3, 4}, {5, 6}});
+  PartitionedRelation pr = Partition(r, {0}, 3);
+  EXPECT_TRUE(SameBag(r, pr.Collect()));
+}
+
+TEST(ShuffleWriteTest, RoutesByPartitioning) {
+  Partitioning spec{{0}, 4};
+  ShuffleWrite w(4);
+  for (int64_t k = 0; k < 100; ++k) {
+    w.Add({Value::Int(k), Value::Int(k * 2)}, spec);
+  }
+  size_t total_rows = 0;
+  size_t total_bytes = 0;
+  for (int p = 0; p < 4; ++p) {
+    total_rows += w.rows_per_dest[p].size();
+    total_bytes += w.bytes_per_dest[p];
+    for (const Row& row : w.rows_per_dest[p]) {
+      EXPECT_EQ(spec.PartitionOf(row), p);
+    }
+  }
+  EXPECT_EQ(total_rows, 100u);
+  EXPECT_EQ(total_bytes, 1600u);
+}
+
+TEST(ShuffleWriteTest, GatherCollectsFromAllWriters) {
+  Partitioning spec{{0}, 2};
+  std::vector<ShuffleWrite> writes(3, ShuffleWrite(2));
+  for (int src = 0; src < 3; ++src) {
+    writes[src].Add({Value::Int(src)}, spec);
+  }
+  size_t total = GatherShuffle(writes, 0).size() +
+                 GatherShuffle(writes, 1).size();
+  EXPECT_EQ(total, 3u);
+}
+
+TEST(ClusterTest, StageAccounting) {
+  ClusterConfig config;
+  config.num_workers = 2;
+  config.num_partitions = 4;
+  config.per_stage_overhead_sec = 0.5;
+  config.per_task_overhead_sec = 0.0;
+  Cluster cluster(config);
+  cluster.RunStage("s1", [](int p) { return TaskIo{}; });
+  EXPECT_EQ(cluster.metrics().num_stages(), 1);
+  EXPECT_GE(cluster.metrics().TotalSimTime(), 0.5);
+}
+
+TEST(ClusterTest, PartitionAwareAvoidsStateFetch) {
+  // With partition-aware scheduling the cached state is always local; with
+  // the hybrid policy tasks move around and fetch it remotely.
+  for (bool aware : {true, false}) {
+    ClusterConfig config;
+    config.num_workers = 4;
+    config.num_partitions = 8;
+    config.partition_aware_scheduling = aware;
+    Cluster cluster(config);
+    for (int stage = 0; stage < 3; ++stage) {
+      cluster.RunStage("iter", [](int p) {
+        TaskIo io;
+        io.cached_state_bytes = 1000;
+        return io;
+      });
+    }
+    if (aware) {
+      EXPECT_EQ(cluster.metrics().TotalRemoteBytes(), 0u);
+    } else {
+      EXPECT_GT(cluster.metrics().TotalRemoteBytes(), 0u);
+    }
+  }
+}
+
+TEST(ClusterTest, ShuffleBytesCrossWorkersOnly) {
+  ClusterConfig config;
+  config.num_workers = 2;
+  config.num_partitions = 2;
+  Cluster cluster(config);
+  // Map stage: partition 0 (worker 0) sends 100B to partition 1 and 50B to
+  // itself; partition 1 (worker 1) sends nothing.
+  cluster.RunStage("map", [](int p) {
+    TaskIo io;
+    if (p == 0) io.shuffle_out_bytes = {50, 100};
+    else io.shuffle_out_bytes = {0, 0};
+    return io;
+  });
+  // Reduce stage: each partition consumes its shuffle slice.
+  cluster.RunStage("reduce", [](int p) {
+    TaskIo io;
+    io.consumes_shuffle = true;
+    return io;
+  });
+  // Only the 100B slice 0 -> 1 crosses workers.
+  EXPECT_EQ(cluster.metrics().TotalRemoteBytes(), 100u);
+  EXPECT_EQ(cluster.metrics().TotalShuffleBytes(), 150u);
+}
+
+TEST(ClusterTest, BroadcastChargesAllWorkers) {
+  ClusterConfig config;
+  config.num_workers = 4;
+  config.network_bytes_per_sec = 1000.0;
+  Cluster cluster(config);
+  cluster.Broadcast(500);
+  EXPECT_EQ(cluster.metrics().broadcast_bytes, 500u);
+  EXPECT_DOUBLE_EQ(cluster.metrics().broadcast_time_sec, 2.0);
+}
+
+TEST(ClusterTest, MoreWorkersShrinkMakespan) {
+  // Same measured work split over more workers => smaller simulated stage
+  // time (this drives the Fig. 12 scaling bench).
+  auto run = [](int workers) {
+    ClusterConfig config;
+    config.num_workers = workers;
+    config.num_partitions = 16;
+    config.per_stage_overhead_sec = 0.0;
+    config.per_task_overhead_sec = 0.010;
+    Cluster cluster(config);
+    cluster.RunStage("s", [](int) { return TaskIo{}; });
+    return cluster.metrics().TotalSimTime();
+  };
+  EXPECT_GT(run(1), run(4));
+  EXPECT_GT(run(4), run(16));
+}
+
+TEST(BroadcastTest, EncodeDecodeRoundTrip) {
+  Relation r = MakeIntRelation({"Src", "Dst"},
+                               {{1, 2}, {2, 3}, {100000, 5}, {-7, 8}});
+  auto decoded = DecodeRelation(EncodeRelation(r));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(SameBag(r, *decoded));
+  EXPECT_TRUE(r.schema() == decoded->schema());
+}
+
+TEST(BroadcastTest, RoundTripMixedTypes) {
+  Relation r{Schema::Of({{"Name", ValueType::kString},
+                         {"Score", ValueType::kDouble}})};
+  r.Add({Value::String("alpha"), Value::Double(1.5)});
+  r.Add({Value::String(""), Value::Double(-2.25)});
+  auto decoded = DecodeRelation(EncodeRelation(r));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(SameBag(r, *decoded));
+}
+
+TEST(BroadcastTest, CompressionShrinksIntRelations) {
+  // Sequential-ish ids delta-encode to ~1-2 bytes instead of 8.
+  Relation r{Schema::Of({{"Src", ValueType::kInt64},
+                         {"Dst", ValueType::kInt64}})};
+  for (int64_t i = 0; i < 10000; ++i) {
+    r.Add({Value::Int(i), Value::Int(i + 3)});
+  }
+  const size_t compressed = EncodeRelation(r).size();
+  const size_t raw = UncompressedWireSize(r);
+  EXPECT_LT(compressed * 3, raw);  // at least 3x smaller
+}
+
+TEST(BroadcastTest, CorruptPayloadFailsGracefully) {
+  Relation r = MakeIntRelation({"A"}, {{1}, {2}});
+  std::vector<uint8_t> bytes = EncodeRelation(r);
+  bytes.resize(bytes.size() / 2);  // truncate
+  EXPECT_FALSE(DecodeRelation(bytes).ok());
+  EXPECT_FALSE(DecodeRelation({0xff, 0xff, 0xff}).ok());
+}
+
+TEST(BroadcastTest, HashedRelationLargerThanRaw) {
+  Relation r = MakeIntRelation({"A", "B"}, {{1, 2}, {3, 4}});
+  EXPECT_GT(HashedRelationSize(r), UncompressedWireSize(r));
+}
+
+TEST(AggregatesTest, CombineSemantics) {
+  EXPECT_EQ(CombineAgg(AggregateFunction::kMin, Value::Int(3), Value::Int(5))
+                .AsInt(),
+            3);
+  EXPECT_EQ(CombineAgg(AggregateFunction::kMax, Value::Int(3), Value::Int(5))
+                .AsInt(),
+            5);
+  EXPECT_EQ(CombineAgg(AggregateFunction::kSum, Value::Int(3), Value::Int(5))
+                .AsInt(),
+            8);
+  EXPECT_DOUBLE_EQ(CombineAgg(AggregateFunction::kSum, Value::Double(1.5),
+                              Value::Int(2))
+                       .AsNumeric(),
+                   3.5);
+}
+
+TEST(AggregatesTest, ImprovesOnlyStrictly) {
+  EXPECT_TRUE(ImprovesAgg(AggregateFunction::kMin, Value::Int(5),
+                          Value::Int(4)));
+  EXPECT_FALSE(ImprovesAgg(AggregateFunction::kMin, Value::Int(5),
+                           Value::Int(5)));
+  EXPECT_FALSE(ImprovesAgg(AggregateFunction::kMin, Value::Int(5),
+                           Value::Int(6)));
+  EXPECT_TRUE(ImprovesAgg(AggregateFunction::kMax, Value::Int(5),
+                          Value::Int(6)));
+}
+
+TEST(AggregatesTest, PartialAggregateGroups) {
+  AggSpec spec = AggSpec::For(2, 1, AggregateFunction::kMin);
+  std::vector<Row> rows = {{Value::Int(1), Value::Int(9)},
+                           {Value::Int(1), Value::Int(4)},
+                           {Value::Int(2), Value::Int(7)}};
+  std::vector<Row> out = PartialAggregate(rows, spec);
+  ASSERT_EQ(out.size(), 2u);
+  std::set<std::pair<int64_t, int64_t>> got;
+  for (const Row& r : out) got.insert({r[0].AsInt(), r[1].AsInt()});
+  EXPECT_TRUE(got.count({1, 4}));
+  EXPECT_TRUE(got.count({2, 7}));
+}
+
+TEST(AggregatesTest, PartialAggregateSetDedups) {
+  AggSpec spec = AggSpec::For(1, -1, AggregateFunction::kNone);
+  std::vector<Row> rows = {{Value::Int(1)}, {Value::Int(1)}, {Value::Int(2)}};
+  EXPECT_EQ(PartialAggregate(rows, spec).size(), 2u);
+}
+
+TEST(SetRddTest, SetSemanticsDelta) {
+  Schema schema = Schema::Of({{"X", ValueType::kInt64}});
+  SetRddPartition part(schema, AggSpec::For(1, -1, AggregateFunction::kNone));
+  std::vector<Row> delta;
+  part.MergeDelta({{Value::Int(1)}, {Value::Int(2)}}, &delta);
+  EXPECT_EQ(delta.size(), 2u);
+  delta.clear();
+  part.MergeDelta({{Value::Int(2)}, {Value::Int(3)}}, &delta);
+  EXPECT_EQ(delta.size(), 1u);  // only the new 3
+  EXPECT_EQ(part.size(), 3u);
+}
+
+TEST(SetRddTest, MinAggregateDelta) {
+  Schema schema = Schema::Of({{"Dst", ValueType::kInt64},
+                              {"Cost", ValueType::kInt64}});
+  SetRddPartition part(schema, AggSpec::For(2, 1, AggregateFunction::kMin));
+  std::vector<Row> delta;
+  part.MergeDelta({{Value::Int(7), Value::Int(10)}}, &delta);
+  ASSERT_EQ(delta.size(), 1u);
+  delta.clear();
+  // Worse value: discarded.
+  part.MergeDelta({{Value::Int(7), Value::Int(12)}}, &delta);
+  EXPECT_TRUE(delta.empty());
+  // Better value: becomes the new state and enters the delta.
+  part.MergeDelta({{Value::Int(7), Value::Int(5)}}, &delta);
+  ASSERT_EQ(delta.size(), 1u);
+  EXPECT_EQ(delta[0][1].AsInt(), 5);
+  Relation state = part.ToRelation();
+  ASSERT_EQ(state.size(), 1u);
+  EXPECT_EQ(state.rows()[0][1].AsInt(), 5);
+}
+
+TEST(SetRddTest, SumAggregateAccumulatesIncrements) {
+  Schema schema = Schema::Of({{"Dst", ValueType::kInt64},
+                              {"Cnt", ValueType::kInt64}});
+  SetRddPartition part(schema, AggSpec::For(2, 1, AggregateFunction::kSum));
+  std::vector<Row> delta;
+  part.MergeDelta({{Value::Int(1), Value::Int(2)}}, &delta);
+  part.MergeDelta({{Value::Int(1), Value::Int(3)}}, &delta);
+  // State accumulates 2+3; deltas carry the increments 2 then 3.
+  ASSERT_EQ(delta.size(), 2u);
+  EXPECT_EQ(delta[0][1].AsInt(), 2);
+  EXPECT_EQ(delta[1][1].AsInt(), 3);
+  Relation state = part.ToRelation();
+  ASSERT_EQ(state.size(), 1u);
+  EXPECT_EQ(state.rows()[0][1].AsInt(), 5);
+}
+
+TEST(SetRddTest, ByteSizeGrowsWithState) {
+  Schema schema = Schema::Of({{"X", ValueType::kInt64}});
+  SetRddPartition part(schema, AggSpec::For(1, -1, AggregateFunction::kNone));
+  std::vector<Row> delta;
+  EXPECT_EQ(part.byte_size(), 0u);
+  part.MergeDelta({{Value::Int(1)}}, &delta);
+  EXPECT_GT(part.byte_size(), 0u);
+}
+
+TEST(SetRddTest, CollectAcrossPartitions) {
+  Schema schema = Schema::Of({{"X", ValueType::kInt64}});
+  SetRdd rdd(schema, AggSpec::For(1, -1, AggregateFunction::kNone),
+             Partitioning{{0}, 4});
+  std::vector<Row> delta;
+  for (int64_t x = 0; x < 20; ++x) {
+    Row row = {Value::Int(x)};
+    const int p = rdd.partitioning().PartitionOf(row);
+    rdd.partition(p)->MergeDelta({row}, &delta);
+  }
+  EXPECT_EQ(rdd.TotalRows(), 20u);
+  EXPECT_EQ(rdd.Collect().size(), 20u);
+}
+
+}  // namespace
+}  // namespace rasql::dist

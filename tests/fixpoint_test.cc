@@ -1,0 +1,260 @@
+#include <gtest/gtest.h>
+
+#include "analysis/analyzer.h"
+#include "datagen/graph_gen.h"
+#include "fixpoint/distributed_fixpoint.h"
+#include "fixpoint/local_fixpoint.h"
+#include "sql/parser.h"
+
+namespace rasql::fixpoint {
+namespace {
+
+using storage::MakeIntRelation;
+using storage::Relation;
+
+common::Result<analysis::AnalyzedQuery> Compile(
+    const std::string& sql,
+    const std::map<std::string, const Relation*>& tables) {
+  RASQL_ASSIGN_OR_RETURN(sql::Query query, sql::Parser::ParseQuery(sql));
+  analysis::Catalog catalog;
+  for (const auto& [name, rel] : tables) {
+    catalog.PutTable(name, rel->schema());
+  }
+  analysis::Analyzer analyzer(&catalog);
+  RASQL_ASSIGN_OR_RETURN(analysis::AnalyzedQuery analyzed,
+                         analyzer.Analyze(query));
+  analyzed.Optimize({});
+  return analyzed;
+}
+
+constexpr char kTc[] = R"(
+    WITH recursive tc (Src, Dst) AS
+      (SELECT Src, Dst FROM edge) UNION
+      (SELECT tc.Src, edge.Dst FROM tc, edge WHERE tc.Dst = edge.Src)
+    SELECT Src, Dst FROM tc)";
+
+TEST(LocalFixpointTest, NaiveAndSemiNaiveAgreeOnTc) {
+  Relation edge = MakeIntRelation({"Src", "Dst"},
+                                  {{1, 2}, {2, 3}, {3, 4}, {4, 2}});
+  std::map<std::string, const Relation*> tables = {{"edge", &edge}};
+  auto analyzed = Compile(kTc, tables);
+  ASSERT_TRUE(analyzed.ok()) << analyzed.status();
+
+  FixpointOptions sn;
+  sn.mode = FixpointMode::kSemiNaive;
+  FixpointStats sn_stats;
+  auto sn_result =
+      EvaluateCliqueLocal(analyzed->cliques[0], tables, sn, &sn_stats);
+  ASSERT_TRUE(sn_result.ok()) << sn_result.status();
+  EXPECT_TRUE(sn_stats.used_semi_naive);
+
+  FixpointOptions naive;
+  naive.mode = FixpointMode::kNaive;
+  FixpointStats naive_stats;
+  auto naive_result =
+      EvaluateCliqueLocal(analyzed->cliques[0], tables, naive, &naive_stats);
+  ASSERT_TRUE(naive_result.ok()) << naive_result.status();
+  EXPECT_FALSE(naive_stats.used_semi_naive);
+
+  EXPECT_TRUE(storage::SameBag(sn_result->at("tc"), naive_result->at("tc")));
+  // Semi-naive touches far fewer tuples than naive's full recomputation.
+  EXPECT_LT(sn_stats.total_delta_rows, naive_stats.total_delta_rows);
+}
+
+TEST(LocalFixpointTest, NonLinearTcMatchesLinear) {
+  // tc a, tc b — two recursive references in one branch; semi-naive must
+  // produce one term per reference and still reach the same closure.
+  Relation edge = MakeIntRelation({"Src", "Dst"},
+                                  {{1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 1}});
+  std::map<std::string, const Relation*> tables = {{"edge", &edge}};
+  const char* nonlinear = R"(
+      WITH recursive tc (Src, Dst) AS
+        (SELECT Src, Dst FROM edge) UNION
+        (SELECT a.Src, b.Dst FROM tc a, tc b WHERE a.Dst = b.Src)
+      SELECT Src, Dst FROM tc)";
+  auto lin = Compile(kTc, tables);
+  auto non = Compile(nonlinear, tables);
+  ASSERT_TRUE(lin.ok() && non.ok());
+
+  FixpointOptions options;
+  FixpointStats s1, s2;
+  auto linear_result =
+      EvaluateCliqueLocal(lin->cliques[0], tables, options, &s1);
+  auto nonlinear_result =
+      EvaluateCliqueLocal(non->cliques[0], tables, options, &s2);
+  ASSERT_TRUE(linear_result.ok() && nonlinear_result.ok());
+  EXPECT_TRUE(storage::SameBag(linear_result->at("tc"),
+                               nonlinear_result->at("tc")));
+  // Non-linear doubling reaches the fixpoint in ~log(diameter) rounds.
+  EXPECT_LT(s2.iterations, s1.iterations);
+}
+
+TEST(LocalFixpointTest, SemiNaiveRequestRejectedWhenUnsafe) {
+  Relation edge = MakeIntRelation({"Src", "Dst"}, {{1, 2}});
+  std::map<std::string, const Relation*> tables = {{"edge", &edge}};
+  // sum view with a filter on the aggregate column: naive-only.
+  auto analyzed = Compile(R"(
+      WITH recursive v(X, sum() AS S) AS
+        (SELECT Src, 1 FROM edge) UNION
+        (SELECT edge.Dst, v.S FROM v, edge
+         WHERE v.X = edge.Src AND v.S < 10)
+      SELECT X, S FROM v)",
+                          tables);
+  ASSERT_TRUE(analyzed.ok()) << analyzed.status();
+  FixpointOptions options;
+  options.mode = FixpointMode::kSemiNaive;
+  auto result =
+      EvaluateCliqueLocal(analyzed->cliques[0], tables, options, nullptr);
+  EXPECT_FALSE(result.ok());
+  // kAuto silently falls back to naive and succeeds.
+  options.mode = FixpointMode::kAuto;
+  FixpointStats stats;
+  auto auto_result =
+      EvaluateCliqueLocal(analyzed->cliques[0], tables, options, &stats);
+  ASSERT_TRUE(auto_result.ok()) << auto_result.status();
+  EXPECT_FALSE(stats.used_semi_naive);
+}
+
+TEST(DistributedFixpointTest, EligibilityRules) {
+  Relation edge = MakeIntRelation({"Src", "Dst"}, {{1, 2}});
+  std::map<std::string, const Relation*> tables = {{"edge", &edge}};
+  auto tc = Compile(kTc, tables);
+  ASSERT_TRUE(tc.ok());
+  EXPECT_TRUE(EligibleForDistributed(tc->cliques[0]));
+
+  // Mutual recursion: not eligible.
+  auto mutual = Compile(R"(
+      WITH recursive a(X) AS
+        (SELECT Src FROM edge) UNION (SELECT b.Y FROM b),
+      recursive b(Y) AS (SELECT a.X FROM a WHERE a.X > 1)
+      SELECT X FROM a)",
+                        tables);
+  ASSERT_TRUE(mutual.ok()) << mutual.status();
+  EXPECT_FALSE(EligibleForDistributed(mutual->cliques[0]));
+
+  // Non-linear recursion (two refs in one branch): not eligible.
+  auto nonlinear = Compile(R"(
+      WITH recursive tc (Src, Dst) AS
+        (SELECT Src, Dst FROM edge) UNION
+        (SELECT a.Src, b.Dst FROM tc a, tc b WHERE a.Dst = b.Src)
+      SELECT Src, Dst FROM tc)",
+                           tables);
+  ASSERT_TRUE(nonlinear.ok());
+  EXPECT_FALSE(EligibleForDistributed(nonlinear->cliques[0]));
+}
+
+TEST(DistributedFixpointTest, DecomposedDetectionAndKey) {
+  datagen::GridOptions opt;
+  opt.side = 6;
+  Relation edge = datagen::ToEdgeRelation(datagen::GenerateGrid(opt));
+  std::map<std::string, const Relation*> tables = {{"edge", &edge}};
+  auto analyzed = Compile(kTc, tables);
+  ASSERT_TRUE(analyzed.ok());
+
+  dist::Cluster cluster(dist::ClusterConfig{});
+  DistFixpointOptions options;
+  options.decomposed = DistFixpointOptions::Decomposed::kAuto;
+  DistFixpointStats stats;
+  auto result = EvaluateCliqueDistributed(analyzed->cliques[0], tables,
+                                          &cluster, options, &stats);
+  ASSERT_TRUE(result.ok()) << result.status();
+  // TC preserves the delta's Src column: decomposed kicks in, partitioning
+  // on column 0.
+  EXPECT_TRUE(stats.used_decomposed);
+  EXPECT_EQ(stats.partition_key, (std::vector<int>{0}));
+
+  // SSSP's projection rebuilds the key column: not decomposable.
+  Relation wedge{storage::Schema::Of({{"Src", storage::ValueType::kInt64},
+                                      {"Dst", storage::ValueType::kInt64},
+                                      {"Cost",
+                                       storage::ValueType::kDouble}})};
+  wedge.Add({storage::Value::Int(0), storage::Value::Int(1),
+             storage::Value::Double(1)});
+  std::map<std::string, const Relation*> wtables = {{"edge", &wedge}};
+  auto sssp = Compile(R"(
+      WITH recursive path (Dst, min() AS Cost) AS
+        (SELECT 0, 0.0) UNION
+        (SELECT edge.Dst, path.Cost + edge.Cost
+         FROM path, edge WHERE path.Dst = edge.Src)
+      SELECT Dst, Cost FROM path)",
+                      wtables);
+  ASSERT_TRUE(sssp.ok());
+  dist::Cluster cluster2(dist::ClusterConfig{});
+  DistFixpointStats sssp_stats;
+  auto sssp_result = EvaluateCliqueDistributed(
+      sssp->cliques[0], wtables, &cluster2, DistFixpointOptions{},
+      &sssp_stats);
+  ASSERT_TRUE(sssp_result.ok()) << sssp_result.status();
+  EXPECT_FALSE(sssp_stats.used_decomposed);
+  EXPECT_EQ(sssp_stats.partition_key, (std::vector<int>{0}));  // join key
+}
+
+TEST(DistributedFixpointTest, ForcingDecomposedOnIneligiblePlanFails) {
+  Relation wedge{storage::Schema::Of({{"Src", storage::ValueType::kInt64},
+                                      {"Dst", storage::ValueType::kInt64},
+                                      {"Cost",
+                                       storage::ValueType::kDouble}})};
+  wedge.Add({storage::Value::Int(0), storage::Value::Int(1),
+             storage::Value::Double(1)});
+  std::map<std::string, const Relation*> tables = {{"edge", &wedge}};
+  auto sssp = Compile(R"(
+      WITH recursive path (Dst, min() AS Cost) AS
+        (SELECT 0, 0.0) UNION
+        (SELECT edge.Dst, path.Cost + edge.Cost
+         FROM path, edge WHERE path.Dst = edge.Src)
+      SELECT Dst, Cost FROM path)",
+                      tables);
+  ASSERT_TRUE(sssp.ok());
+  dist::Cluster cluster(dist::ClusterConfig{});
+  DistFixpointOptions options;
+  options.decomposed = DistFixpointOptions::Decomposed::kOn;
+  auto result = EvaluateCliqueDistributed(sssp->cliques[0], tables, &cluster,
+                                          options, nullptr);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(DistributedFixpointTest, StageCountsPerIteration) {
+  Relation edge = MakeIntRelation(
+      {"Src", "Dst"}, {{1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}});
+  std::map<std::string, const Relation*> tables = {{"edge", &edge}};
+  // REACH: chain of 6, so 6 iterations (last one empty-delta).
+  auto analyzed = Compile(R"(
+      WITH recursive reach (Dst) AS
+        (SELECT 1) UNION
+        (SELECT edge.Dst FROM reach, edge WHERE reach.Dst = edge.Src)
+      SELECT Dst FROM reach)",
+                          tables);
+  ASSERT_TRUE(analyzed.ok());
+
+  // Combined: ~1 stage per iteration; plain: 2 per iteration.
+  DistFixpointOptions combined;
+  combined.decomposed = DistFixpointOptions::Decomposed::kOff;
+  dist::Cluster c1(dist::ClusterConfig{});
+  DistFixpointStats s1;
+  ASSERT_TRUE(EvaluateCliqueDistributed(analyzed->cliques[0], tables, &c1,
+                                        combined, &s1)
+                  .ok());
+
+  DistFixpointOptions plain = combined;
+  plain.combine_stages = false;
+  dist::Cluster c2(dist::ClusterConfig{});
+  DistFixpointStats s2;
+  ASSERT_TRUE(EvaluateCliqueDistributed(analyzed->cliques[0], tables, &c2,
+                                        plain, &s2)
+                  .ok());
+  EXPECT_EQ(s1.iterations, s2.iterations);
+  EXPECT_LT(c1.metrics().num_stages(), c2.metrics().num_stages());
+}
+
+TEST(CollectRecursiveRefsTest, FindsAllRefs) {
+  Relation edge = MakeIntRelation({"Src", "Dst"}, {{1, 2}});
+  std::map<std::string, const Relation*> tables = {{"edge", &edge}};
+  auto analyzed = Compile(kTc, tables);
+  ASSERT_TRUE(analyzed.ok());
+  const auto& view = analyzed->cliques[0].views[0];
+  EXPECT_EQ(CollectRecursiveRefs(*view.recursive_plans[0]).size(), 1u);
+  EXPECT_EQ(CollectRecursiveRefs(*view.base_plans[0]).size(), 0u);
+}
+
+}  // namespace
+}  // namespace rasql::fixpoint

@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include "analysis/analyzer.h"
+#include "analysis/catalog.h"
+#include "physical/executor.h"
+#include "plan/logical_plan.h"
+#include "plan/optimizer.h"
+#include "sql/parser.h"
+
+namespace rasql::plan {
+namespace {
+
+using expr::BinaryOp;
+using storage::MakeIntRelation;
+using storage::Relation;
+using storage::Schema;
+using storage::Value;
+using storage::ValueType;
+
+expr::ExprPtr Col(int i, ValueType t = ValueType::kInt64) {
+  return expr::MakeColumnRef(i, t);
+}
+expr::ExprPtr Lit(int64_t v) { return expr::MakeLiteral(Value::Int(v)); }
+
+TEST(OptimizerExprTest, ConstantFolding) {
+  auto e = expr::MakeBinary(BinaryOp::kAdd,
+                            expr::MakeBinary(BinaryOp::kMul, Lit(3), Lit(4)),
+                            Lit(5));
+  auto folded = FoldConstants(std::move(e));
+  ASSERT_EQ(folded->kind(), expr::Expr::Kind::kLiteral);
+  EXPECT_EQ(static_cast<expr::LiteralExpr*>(folded.get())->value().AsInt(),
+            17);
+}
+
+TEST(OptimizerExprTest, FoldingStopsAtColumns) {
+  auto e = expr::MakeBinary(BinaryOp::kAdd, Col(0),
+                            expr::MakeBinary(BinaryOp::kSub, Lit(8), Lit(3)));
+  auto folded = FoldConstants(std::move(e));
+  EXPECT_EQ(folded->ToString(), "(col#0 + 5)");
+}
+
+TEST(OptimizerExprTest, SplitAndCombineConjuncts) {
+  auto e = expr::MakeBinary(
+      BinaryOp::kAnd,
+      expr::MakeBinary(BinaryOp::kAnd,
+                       expr::MakeBinary(BinaryOp::kEq, Col(0), Lit(1)),
+                       expr::MakeBinary(BinaryOp::kLt, Col(1), Lit(2))),
+      expr::MakeBinary(BinaryOp::kGt, Col(2), Lit(3)));
+  auto conjuncts = SplitConjuncts(std::move(e));
+  EXPECT_EQ(conjuncts.size(), 3u);
+  auto combined = CombineConjuncts(std::move(conjuncts));
+  auto re_split = SplitConjuncts(std::move(combined));
+  EXPECT_EQ(re_split.size(), 3u);
+  EXPECT_EQ(CombineConjuncts({}), nullptr);
+}
+
+TEST(OptimizerExprTest, ShiftColumnRefs) {
+  auto e = expr::MakeBinary(BinaryOp::kAdd, Col(2), Col(5));
+  auto shifted = ShiftColumnRefs(*e, -2);
+  std::vector<int> cols;
+  CollectColumnRefs(*shifted, &cols);
+  EXPECT_EQ(cols, (std::vector<int>{0, 3}));
+}
+
+class OptimizerPlanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(catalog_
+                    .RegisterTable("edge",
+                                   Schema::Of({{"Src", ValueType::kInt64},
+                                               {"Dst",
+                                                ValueType::kInt64}}))
+                    .ok());
+    ASSERT_TRUE(catalog_
+                    .RegisterTable("weight",
+                                   Schema::Of({{"V", ValueType::kInt64},
+                                               {"W",
+                                                ValueType::kDouble}}))
+                    .ok());
+  }
+
+  PlanPtr Plan(const std::string& sql,
+               const OptimizerOptions& options = {}) {
+    auto query = sql::Parser::ParseQuery(sql);
+    EXPECT_TRUE(query.ok()) << query.status();
+    analysis::Analyzer analyzer(&catalog_);
+    auto analyzed = analyzer.Analyze(*query);
+    EXPECT_TRUE(analyzed.ok()) << analyzed.status();
+    return Optimize(std::move(analyzed->body), options);
+  }
+
+  analysis::Catalog catalog_;
+};
+
+TEST_F(OptimizerPlanTest, ExtractsEquiJoinKeys) {
+  PlanPtr plan = Plan(
+      "SELECT a.Src FROM edge a, edge b WHERE a.Dst = b.Src");
+  // Project(Join(scan, scan)) with keys, no residual filter.
+  ASSERT_EQ(plan->kind(), PlanKind::kProject);
+  ASSERT_EQ(plan->child(0).kind(), PlanKind::kJoin);
+  const auto& join = static_cast<const JoinNode&>(plan->child(0));
+  EXPECT_FALSE(join.is_cross());
+  EXPECT_EQ(join.left_keys(), (std::vector<int>{1}));
+  EXPECT_EQ(join.right_keys(), (std::vector<int>{0}));
+}
+
+TEST_F(OptimizerPlanTest, PushesSingleSideFiltersToLeaves) {
+  PlanPtr plan = Plan(
+      "SELECT a.Src FROM edge a, edge b "
+      "WHERE a.Dst = b.Src AND a.Src < 10 AND b.Dst > 5");
+  const auto& join = static_cast<const JoinNode&>(plan->child(0));
+  // Both single-table conjuncts sit below the join, on their own leaves.
+  EXPECT_EQ(join.child(0).kind(), PlanKind::kFilter);
+  EXPECT_EQ(join.child(1).kind(), PlanKind::kFilter);
+  // Pushed predicates are rebased to leaf-local column indices.
+  const auto& left_filter = static_cast<const FilterNode&>(join.child(0));
+  std::vector<int> cols;
+  CollectColumnRefs(left_filter.predicate(), &cols);
+  EXPECT_EQ(cols, (std::vector<int>{0}));
+}
+
+TEST_F(OptimizerPlanTest, NonEquiConjunctStaysAboveJoin) {
+  PlanPtr plan = Plan(
+      "SELECT a.Src FROM edge a, edge b "
+      "WHERE a.Dst = b.Src AND a.Src < b.Dst");
+  ASSERT_EQ(plan->child(0).kind(), PlanKind::kFilter);
+  EXPECT_EQ(plan->child(0).child(0).kind(), PlanKind::kJoin);
+}
+
+TEST_F(OptimizerPlanTest, ThreeWayJoinLeftDeep) {
+  PlanPtr plan = Plan(
+      "SELECT a.Src FROM edge a, edge b, edge c "
+      "WHERE a.Dst = b.Src AND b.Dst = c.Src");
+  const auto& top = static_cast<const JoinNode&>(plan->child(0));
+  EXPECT_FALSE(top.is_cross());
+  EXPECT_EQ(top.left_keys(), (std::vector<int>{3}));  // b.Dst
+  const auto& inner = static_cast<const JoinNode&>(top.child(0));
+  EXPECT_FALSE(inner.is_cross());
+}
+
+TEST_F(OptimizerPlanTest, RulesCanBeDisabled) {
+  OptimizerOptions off;
+  off.predicate_pushdown = false;
+  PlanPtr plan = Plan(
+      "SELECT a.Src FROM edge a, edge b WHERE a.Dst = b.Src", off);
+  // Without pushdown the cross join + filter shape is preserved.
+  ASSERT_EQ(plan->child(0).kind(), PlanKind::kFilter);
+  EXPECT_EQ(plan->child(0).child(0).kind(), PlanKind::kJoin);
+  EXPECT_TRUE(static_cast<const JoinNode&>(plan->child(0).child(0))
+                  .is_cross());
+}
+
+TEST_F(OptimizerPlanTest, OptimizedAndUnoptimizedAgree) {
+  Relation edges = MakeIntRelation(
+      {"Src", "Dst"}, {{1, 2}, {2, 3}, {3, 4}, {2, 4}, {4, 1}});
+  const char* sql =
+      "SELECT a.Src, c.Dst FROM edge a, edge b, edge c "
+      "WHERE a.Dst = b.Src AND b.Dst = c.Src AND a.Src < 4";
+  physical::ExecContext ctx;
+  ctx.tables["edge"] = &edges;
+
+  PlanPtr optimized = Plan(sql);
+  OptimizerOptions off;
+  off.predicate_pushdown = false;
+  off.constant_folding = false;
+  off.filter_combination = false;
+  PlanPtr unoptimized = Plan(sql, off);
+
+  auto a = physical::Execute(*optimized, ctx);
+  auto b = physical::Execute(*unoptimized, ctx);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_TRUE(storage::SameBag(*a, *b));
+  EXPECT_GT(a->size(), 0u);
+}
+
+TEST_F(OptimizerPlanTest, PlanCloneIsDeep) {
+  PlanPtr plan = Plan(
+      "SELECT a.Src, min(b.Dst) FROM edge a, edge b "
+      "WHERE a.Dst = b.Src GROUP BY a.Src HAVING min(b.Dst) > 0 "
+      "ORDER BY a.Src LIMIT 5");
+  PlanPtr clone = plan->Clone();
+  EXPECT_EQ(plan->ToString(), clone->ToString());
+}
+
+TEST_F(OptimizerPlanTest, ExplainRendering) {
+  PlanPtr plan = Plan(
+      "SELECT Src, count(*) FROM edge GROUP BY Src");
+  const std::string rendered = plan->ToString();
+  EXPECT_NE(rendered.find("Aggregate"), std::string::npos);
+  EXPECT_NE(rendered.find("TableScan"), std::string::npos);
+  EXPECT_NE(rendered.find("count"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rasql::plan
