@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_stratified.dir/bench_fig01_stratified.cc.o"
+  "CMakeFiles/bench_fig01_stratified.dir/bench_fig01_stratified.cc.o.d"
+  "bench_fig01_stratified"
+  "bench_fig01_stratified.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_stratified.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

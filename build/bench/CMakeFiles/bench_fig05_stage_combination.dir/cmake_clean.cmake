@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_stage_combination.dir/bench_fig05_stage_combination.cc.o"
+  "CMakeFiles/bench_fig05_stage_combination.dir/bench_fig05_stage_combination.cc.o.d"
+  "bench_fig05_stage_combination"
+  "bench_fig05_stage_combination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_stage_combination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_codegen.dir/bench_fig07_codegen.cc.o"
+  "CMakeFiles/bench_fig07_codegen.dir/bench_fig07_codegen.cc.o.d"
+  "bench_fig07_codegen"
+  "bench_fig07_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

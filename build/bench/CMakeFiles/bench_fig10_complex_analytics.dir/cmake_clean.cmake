@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_complex_analytics.dir/bench_fig10_complex_analytics.cc.o"
+  "CMakeFiles/bench_fig10_complex_analytics.dir/bench_fig10_complex_analytics.cc.o.d"
+  "bench_fig10_complex_analytics"
+  "bench_fig10_complex_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_complex_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prem_check.dir/prem_check.cpp.o"
+  "CMakeFiles/prem_check.dir/prem_check.cpp.o.d"
+  "prem_check"
+  "prem_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prem_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/analyzed_query.cc" "src/CMakeFiles/rasql.dir/analysis/analyzed_query.cc.o" "gcc" "src/CMakeFiles/rasql.dir/analysis/analyzed_query.cc.o.d"
+  "/root/repo/src/analysis/analyzer.cc" "src/CMakeFiles/rasql.dir/analysis/analyzer.cc.o" "gcc" "src/CMakeFiles/rasql.dir/analysis/analyzer.cc.o.d"
+  "/root/repo/src/analysis/catalog.cc" "src/CMakeFiles/rasql.dir/analysis/catalog.cc.o" "gcc" "src/CMakeFiles/rasql.dir/analysis/catalog.cc.o.d"
+  "/root/repo/src/baselines/pregel/pregel.cc" "src/CMakeFiles/rasql.dir/baselines/pregel/pregel.cc.o" "gcc" "src/CMakeFiles/rasql.dir/baselines/pregel/pregel.cc.o.d"
+  "/root/repo/src/baselines/serial/serial_graph.cc" "src/CMakeFiles/rasql.dir/baselines/serial/serial_graph.cc.o" "gcc" "src/CMakeFiles/rasql.dir/baselines/serial/serial_graph.cc.o.d"
+  "/root/repo/src/baselines/sqlloop/sql_loop.cc" "src/CMakeFiles/rasql.dir/baselines/sqlloop/sql_loop.cc.o" "gcc" "src/CMakeFiles/rasql.dir/baselines/sqlloop/sql_loop.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/rasql.dir/common/status.cc.o" "gcc" "src/CMakeFiles/rasql.dir/common/status.cc.o.d"
+  "/root/repo/src/datagen/graph_gen.cc" "src/CMakeFiles/rasql.dir/datagen/graph_gen.cc.o" "gcc" "src/CMakeFiles/rasql.dir/datagen/graph_gen.cc.o.d"
+  "/root/repo/src/dist/aggregates.cc" "src/CMakeFiles/rasql.dir/dist/aggregates.cc.o" "gcc" "src/CMakeFiles/rasql.dir/dist/aggregates.cc.o.d"
+  "/root/repo/src/dist/broadcast.cc" "src/CMakeFiles/rasql.dir/dist/broadcast.cc.o" "gcc" "src/CMakeFiles/rasql.dir/dist/broadcast.cc.o.d"
+  "/root/repo/src/dist/cluster.cc" "src/CMakeFiles/rasql.dir/dist/cluster.cc.o" "gcc" "src/CMakeFiles/rasql.dir/dist/cluster.cc.o.d"
+  "/root/repo/src/dist/partition.cc" "src/CMakeFiles/rasql.dir/dist/partition.cc.o" "gcc" "src/CMakeFiles/rasql.dir/dist/partition.cc.o.d"
+  "/root/repo/src/dist/set_rdd.cc" "src/CMakeFiles/rasql.dir/dist/set_rdd.cc.o" "gcc" "src/CMakeFiles/rasql.dir/dist/set_rdd.cc.o.d"
+  "/root/repo/src/engine/rasql_context.cc" "src/CMakeFiles/rasql.dir/engine/rasql_context.cc.o" "gcc" "src/CMakeFiles/rasql.dir/engine/rasql_context.cc.o.d"
+  "/root/repo/src/expr/compiled_expr.cc" "src/CMakeFiles/rasql.dir/expr/compiled_expr.cc.o" "gcc" "src/CMakeFiles/rasql.dir/expr/compiled_expr.cc.o.d"
+  "/root/repo/src/expr/expr.cc" "src/CMakeFiles/rasql.dir/expr/expr.cc.o" "gcc" "src/CMakeFiles/rasql.dir/expr/expr.cc.o.d"
+  "/root/repo/src/fixpoint/distributed_fixpoint.cc" "src/CMakeFiles/rasql.dir/fixpoint/distributed_fixpoint.cc.o" "gcc" "src/CMakeFiles/rasql.dir/fixpoint/distributed_fixpoint.cc.o.d"
+  "/root/repo/src/fixpoint/local_fixpoint.cc" "src/CMakeFiles/rasql.dir/fixpoint/local_fixpoint.cc.o" "gcc" "src/CMakeFiles/rasql.dir/fixpoint/local_fixpoint.cc.o.d"
+  "/root/repo/src/physical/executor.cc" "src/CMakeFiles/rasql.dir/physical/executor.cc.o" "gcc" "src/CMakeFiles/rasql.dir/physical/executor.cc.o.d"
+  "/root/repo/src/plan/logical_plan.cc" "src/CMakeFiles/rasql.dir/plan/logical_plan.cc.o" "gcc" "src/CMakeFiles/rasql.dir/plan/logical_plan.cc.o.d"
+  "/root/repo/src/plan/optimizer.cc" "src/CMakeFiles/rasql.dir/plan/optimizer.cc.o" "gcc" "src/CMakeFiles/rasql.dir/plan/optimizer.cc.o.d"
+  "/root/repo/src/sql/ast.cc" "src/CMakeFiles/rasql.dir/sql/ast.cc.o" "gcc" "src/CMakeFiles/rasql.dir/sql/ast.cc.o.d"
+  "/root/repo/src/sql/lexer.cc" "src/CMakeFiles/rasql.dir/sql/lexer.cc.o" "gcc" "src/CMakeFiles/rasql.dir/sql/lexer.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/CMakeFiles/rasql.dir/sql/parser.cc.o" "gcc" "src/CMakeFiles/rasql.dir/sql/parser.cc.o.d"
+  "/root/repo/src/storage/csv.cc" "src/CMakeFiles/rasql.dir/storage/csv.cc.o" "gcc" "src/CMakeFiles/rasql.dir/storage/csv.cc.o.d"
+  "/root/repo/src/storage/relation.cc" "src/CMakeFiles/rasql.dir/storage/relation.cc.o" "gcc" "src/CMakeFiles/rasql.dir/storage/relation.cc.o.d"
+  "/root/repo/src/storage/schema.cc" "src/CMakeFiles/rasql.dir/storage/schema.cc.o" "gcc" "src/CMakeFiles/rasql.dir/storage/schema.cc.o.d"
+  "/root/repo/src/storage/value.cc" "src/CMakeFiles/rasql.dir/storage/value.cc.o" "gcc" "src/CMakeFiles/rasql.dir/storage/value.cc.o.d"
+  "/root/repo/src/tools/prem_validator.cc" "src/CMakeFiles/rasql.dir/tools/prem_validator.cc.o" "gcc" "src/CMakeFiles/rasql.dir/tools/prem_validator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rasql_shell.dir/tools/rasql_shell.cc.o"
+  "CMakeFiles/rasql_shell.dir/tools/rasql_shell.cc.o.d"
+  "rasql"
+  "rasql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rasql_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
