@@ -207,16 +207,19 @@ inline double RunGapSerial(const datagen::Graph& graph,
                            int64_t source = 0) {
   common::Timer timer;
   baselines::Csr csr = baselines::Csr::Build(graph);
+  // `volatile X += v` is deprecated in C++20; read-modify-write spelled
+  // out keeps the optimizer from discarding the computation.
   volatile int64_t sink = 0;
   switch (algorithm) {
     case baselines::PregelAlgorithm::kReach:
-      sink += baselines::SerialBfs(csr, source)[0];
+      sink = sink + baselines::SerialBfs(csr, source)[0];
       break;
     case baselines::PregelAlgorithm::kConnectedComponents:
-      sink += baselines::SerialCcLabelProp(csr)[0];
+      sink = sink + baselines::SerialCcLabelProp(csr)[0];
       break;
     case baselines::PregelAlgorithm::kSssp:
-      sink += static_cast<int64_t>(baselines::SerialSssp(csr, source)[0]);
+      sink = sink +
+             static_cast<int64_t>(baselines::SerialSssp(csr, source)[0]);
       break;
   }
   (void)sink;

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# CI gate: build everything with -Werror plus ASan+UBSan and run the full
+# ctest suite. Equivalent to `cmake --preset ci && cmake --build --preset
+# ci && ctest --preset ci`, spelled out so it also works without preset
+# support.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build-ci}
+JOBS=${JOBS:-$(nproc)}
+
+cmake -B "${BUILD_DIR}" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DRASQL_WERROR=ON \
+  -DRASQL_ENABLE_ASAN=ON \
+  -DRASQL_ENABLE_UBSAN=ON
+cmake --build "${BUILD_DIR}" -j "${JOBS}"
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"

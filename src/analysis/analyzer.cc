@@ -5,6 +5,8 @@
 #include <set>
 
 #include "common/check.h"
+#include "lint/diagnostic.h"
+#include "lint/monotonicity.h"
 #include "sql/parser.h"
 
 namespace rasql::analysis {
@@ -116,46 +118,6 @@ Status VerifyPlanTyped(const plan::LogicalPlan& p) {
     RASQL_RETURN_IF_ERROR(VerifyPlanTyped(*child));
   }
   return Status::OK();
-}
-
-/// Does `ast` reference column `column_name` of binding `binding_name`
-/// (qualified or unqualified)?
-bool ReferencesColumn(const AstExpr& ast, const std::string& binding_name,
-                      const std::string& column_name) {
-  if (ast.kind == AstExpr::Kind::kColumn) {
-    if (!EqualsIgnoreCase(ast.name, column_name)) return false;
-    return ast.qualifier.empty() ||
-           EqualsIgnoreCase(ast.qualifier, binding_name);
-  }
-  if (ast.lhs && ReferencesColumn(*ast.lhs, binding_name, column_name)) {
-    return true;
-  }
-  if (ast.rhs && ReferencesColumn(*ast.rhs, binding_name, column_name)) {
-    return true;
-  }
-  return false;
-}
-
-/// True when `ast` is `ref.agg_col` or `ref.agg_col * literal` /
-/// `literal * ref.agg_col` — the homogeneous-linear shapes under which
-/// propagating sum/count *increments* is exact (DESIGN.md §4).
-bool IsLinearInAggColumn(const AstExpr& ast, const std::string& binding_name,
-                         const std::string& column_name) {
-  if (ast.kind == AstExpr::Kind::kColumn) {
-    return ReferencesColumn(ast, binding_name, column_name);
-  }
-  if (ast.kind == AstExpr::Kind::kBinary && ast.op == BinaryOp::kMul) {
-    const bool lhs_is_col =
-        ast.lhs->kind == AstExpr::Kind::kColumn &&
-        ReferencesColumn(*ast.lhs, binding_name, column_name);
-    const bool rhs_is_col =
-        ast.rhs->kind == AstExpr::Kind::kColumn &&
-        ReferencesColumn(*ast.rhs, binding_name, column_name);
-    const bool lhs_is_lit = ast.lhs->kind == AstExpr::Kind::kLiteral;
-    const bool rhs_is_lit = ast.rhs->kind == AstExpr::Kind::kLiteral;
-    return (lhs_is_col && rhs_is_lit) || (lhs_is_lit && rhs_is_col);
-  }
-  return false;
 }
 
 }  // namespace
@@ -731,45 +693,22 @@ Result<AnalyzedQuery> Analyzer::Analyze(const sql::Query& query) {
 
       // Semi-naive safety (DESIGN.md §4): mutual recursion and non-linear
       // use of a sum/count aggregate column require the naive fixpoint.
-      if (component.size() > 1) {
-        view.semi_naive_safe = false;
-      } else if (view.aggregate == AggregateFunction::kSum ||
-                 view.aggregate == AggregateFunction::kCount) {
-        const std::string& agg_name =
-            view.schema.column(view.agg_column).name;
-        for (const sql::SelectStmtPtr& branch : cte.branches) {
-          std::vector<std::string> self_bindings;
-          for (const sql::TableRef& ref : branch->from) {
-            if (EqualsIgnoreCase(ref.table_name, view.name)) {
-              self_bindings.push_back(ref.BindingName());
-            }
-          }
-          if (self_bindings.empty()) continue;  // base branch
-          if (self_bindings.size() > 1) {
-            view.semi_naive_safe = false;
-            break;
-          }
-          const std::string& binding = self_bindings[0];
-          bool safe = true;
-          if (branch->where &&
-              ReferencesColumn(*branch->where, binding, agg_name)) {
-            safe = false;
-          }
-          for (size_t c = 0; c < branch->items.size() && safe; ++c) {
-            const AstExpr& item = *branch->items[c].expr;
-            if (static_cast<int>(c) == view.agg_column) {
-              if (!IsLinearInAggColumn(item, binding, agg_name)) {
-                safe = false;
-              }
-            } else if (ReferencesColumn(item, binding, agg_name)) {
-              safe = false;
-            }
-          }
-          if (!safe) {
-            view.semi_naive_safe = false;
-            break;
-          }
-        }
+      // The decision procedure lives in src/lint so the lint rule
+      // RASQL-N001/N002 and this verdict can never disagree.
+      const std::string agg_name =
+          view.agg_column >= 0 ? view.schema.column(view.agg_column).name
+                               : "";
+      const lint::SemiNaiveSafety verdict = lint::AnalyzeSemiNaiveSafety(
+          cte, view.name, view.agg_column, agg_name, view.aggregate,
+          component.size());
+      view.semi_naive_safe = verdict.safe();
+      if (!verdict.safe() && diagnostics_ != nullptr &&
+          !view.recursive_plans.empty()) {
+        const bool mutual =
+            verdict.kind == lint::SemiNaiveSafety::Kind::kMutualRecursion;
+        diagnostics_->Report(lint::Severity::kWarning,
+                             mutual ? "RASQL-N002" : "RASQL-N001",
+                             verdict.reason, view.name, verdict.snippet);
       }
       clique.views.push_back(std::move(view));
     }

@@ -10,6 +10,10 @@
 #include "common/status.h"
 #include "sql/ast.h"
 
+namespace rasql::lint {
+class DiagnosticEngine;
+}  // namespace rasql::lint
+
 namespace rasql::analysis {
 
 /// Semantic analysis: name resolution, typing, implicit group-by, and the
@@ -24,6 +28,13 @@ namespace rasql::analysis {
 class Analyzer {
  public:
   explicit Analyzer(const Catalog* catalog) : catalog_(catalog) {}
+
+  /// Attaches a diagnostic sink. When set, Analyze() reports non-fatal
+  /// findings (e.g. the semi-naive safety verdicts, RASQL-N001/N002)
+  /// through it; hard errors still surface as Status.
+  void set_diagnostics(lint::DiagnosticEngine* engine) {
+    diagnostics_ = engine;
+  }
 
   /// Analyzes a full RaSQL query (WITH views + body).
   common::Result<AnalyzedQuery> Analyze(const sql::Query& query);
@@ -74,6 +85,8 @@ class Analyzer {
       const storage::Schema& agg_schema);
 
   const Catalog* catalog_;
+  /// Optional sink for non-fatal analysis findings; not owned.
+  lint::DiagnosticEngine* diagnostics_ = nullptr;
   /// Schemas of views materialized earlier in this query (previous cliques).
   std::map<std::string, storage::Schema> view_schemas_;
 };

@@ -46,6 +46,15 @@ Result<Relation> RaSqlContext::Execute(const std::string& sql) {
   if (statements.empty()) {
     return Status::InvalidArgument("empty statement");
   }
+  if (config_.lint_before_execute) {
+    RASQL_ASSIGN_OR_RETURN(last_lint_report_, Lint(sql));
+    if (last_lint_report_.BlocksExecution(config_.lint)) {
+      return Status::AnalysisError(
+          "query refused by lint" +
+          std::string(config_.lint.werror ? " (werror)" : "") + ":\n" +
+          last_lint_report_.ToString());
+    }
+  }
   Relation last_result;
   bool produced_result = false;
   for (const sql::Statement& stmt : statements) {
@@ -145,6 +154,11 @@ Result<Relation> RaSqlContext::ExecuteQuery(const sql::Query& query) {
   ctx.use_codegen = config_.fixpoint.use_codegen;
   ctx.join_algorithm = config_.fixpoint.join_algorithm;
   return physical::Execute(*analyzed.body, ctx);
+}
+
+Result<lint::LintReport> RaSqlContext::Lint(const std::string& sql) const {
+  lint::Linter linter(&catalog_);
+  return linter.LintSql(sql);
 }
 
 Result<std::string> RaSqlContext::Explain(const std::string& sql) {

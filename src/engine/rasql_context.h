@@ -10,6 +10,7 @@
 #include "dist/cluster.h"
 #include "fixpoint/distributed_fixpoint.h"
 #include "fixpoint/local_fixpoint.h"
+#include "lint/linter.h"
 #include "plan/optimizer.h"
 #include "sql/ast.h"
 #include "storage/relation.h"
@@ -29,6 +30,12 @@ struct EngineConfig {
   bool distributed = false;
   dist::ClusterConfig cluster;
   fixpoint::DistFixpointOptions dist_fixpoint;
+
+  /// Run the static PreM/monotonicity linter before executing each query
+  /// and refuse error-level queries (`--lint`). `lint.werror` also
+  /// refuses warning-level queries (`--werror-lint`).
+  bool lint_before_execute = false;
+  lint::LintOptions lint;
 };
 
 /// The RaSQL system entry point — the analogue of the paper's extended
@@ -61,6 +68,13 @@ class RaSqlContext {
   /// without executing.
   common::Result<std::string> Explain(const std::string& sql);
 
+  /// Statically analyzes `sql` (the shell's `EXPLAIN LINT`) without
+  /// executing: PreM provability for min/max heads, the monotonic-count
+  /// argument for sum/count, semi-naive safety, and the structural rules.
+  /// Fails only on parse errors — analysis failures surface as
+  /// RASQL-E000 diagnostics inside the report.
+  common::Result<lint::LintReport> Lint(const std::string& sql) const;
+
   /// Fixpoint statistics of the most recent Execute() (iterations, delta
   /// sizes, evaluation mode).
   const fixpoint::FixpointStats& last_fixpoint_stats() const {
@@ -70,6 +84,12 @@ class RaSqlContext {
   /// Cluster metrics of the most recent distributed Execute(); empty when
   /// running locally.
   const dist::JobMetrics& last_job_metrics() const { return last_metrics_; }
+
+  /// Lint report of the most recent Execute() with lint_before_execute
+  /// set; empty otherwise.
+  const lint::LintReport& last_lint_report() const {
+    return last_lint_report_;
+  }
 
   const EngineConfig& config() const { return config_; }
   EngineConfig* mutable_config() { return &config_; }
@@ -82,6 +102,7 @@ class RaSqlContext {
   std::map<std::string, storage::Relation> tables_;
   fixpoint::FixpointStats last_stats_;
   dist::JobMetrics last_metrics_;
+  lint::LintReport last_lint_report_;
 };
 
 }  // namespace rasql::engine

@@ -219,7 +219,9 @@ Result<std::map<std::string, Relation>> EvaluateCliqueLocal(
 
   const bool semi_naive_eligible =
       clique.views.size() == 1 && clique.views[0].semi_naive_safe;
-  bool use_semi_naive;
+  // Initialized despite the exhaustive switch: an out-of-range enum value
+  // would otherwise read uninitialized (and trips -Wmaybe-uninitialized).
+  bool use_semi_naive = false;
   switch (options.mode) {
     case FixpointMode::kAuto:
       use_semi_naive = semi_naive_eligible;

@@ -1,0 +1,82 @@
+#include "lint/diagnostic.h"
+
+#include <algorithm>
+
+namespace rasql::lint {
+
+const char* SeverityName(Severity severity) {
+  switch (severity) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+std::string Diagnostic::ToString() const {
+  std::string out = SeverityName(severity);
+  out += " [";
+  out += code;
+  out += "]";
+  if (!view.empty()) {
+    out += " view '";
+    out += view;
+    out += "'";
+  }
+  out += ": ";
+  out += message;
+  if (!snippet.empty()) {
+    out += " (at: ";
+    out += snippet;
+    out += ")";
+  }
+  return out;
+}
+
+void DiagnosticEngine::Report(Diagnostic diagnostic) {
+  diagnostics_.push_back(std::move(diagnostic));
+}
+
+void DiagnosticEngine::Report(Severity severity, std::string code,
+                              std::string message, std::string view,
+                              std::string snippet) {
+  Report(Diagnostic{severity, std::move(code), std::move(message),
+                    std::move(view), std::move(snippet)});
+}
+
+int DiagnosticEngine::CountAtLeast(Severity severity) const {
+  int count = 0;
+  for (const Diagnostic& d : diagnostics_) {
+    count += d.severity >= severity;
+  }
+  return count;
+}
+
+bool DiagnosticEngine::ViewHasAtLeast(const std::string& view,
+                                      Severity severity) const {
+  for (const Diagnostic& d : diagnostics_) {
+    if (d.view == view && d.severity >= severity) return true;
+  }
+  return false;
+}
+
+std::string DiagnosticEngine::ToString() const {
+  std::vector<const Diagnostic*> sorted;
+  sorted.reserve(diagnostics_.size());
+  for (const Diagnostic& d : diagnostics_) sorted.push_back(&d);
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const Diagnostic* a, const Diagnostic* b) {
+                     return a->severity > b->severity;
+                   });
+  std::string out;
+  for (const Diagnostic* d : sorted) {
+    out += d->ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace rasql::lint

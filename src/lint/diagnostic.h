@@ -1,0 +1,63 @@
+#ifndef RASQL_LINT_DIAGNOSTIC_H_
+#define RASQL_LINT_DIAGNOSTIC_H_
+
+#include <string>
+#include <vector>
+
+namespace rasql::lint {
+
+/// Severity of a lint diagnostic, ordered so that higher = worse.
+enum class Severity {
+  kNote = 0,   ///< informational (e.g. "statically proven PreM-safe")
+  kWarning,    ///< query runs, but a fallback or runtime check is advised
+  kError,      ///< query is provably wrong or rejected by analysis
+};
+
+/// "note", "warning", "error".
+const char* SeverityName(Severity severity);
+
+/// One structured finding of the static analyzer. `code` is a stable
+/// identifier from the rule catalog (DESIGN.md §6), e.g. "RASQL-M001".
+/// The parser does not track byte offsets, so `snippet` carries the
+/// rendering of the offending AST fragment as the source span surrogate.
+struct Diagnostic {
+  Severity severity = Severity::kNote;
+  std::string code;     ///< rule id, e.g. "RASQL-M001"
+  std::string message;  ///< human-readable explanation + suggested action
+  std::string view;     ///< recursive view the finding is about ("" = query)
+  std::string snippet;  ///< offending expression/branch rendering ("" = none)
+
+  /// "error [RASQL-M001] view 'p': message (at: snippet)".
+  std::string ToString() const;
+};
+
+/// Collects diagnostics across analysis passes. Reusable: the analyzer,
+/// the lint rules and (later) the optimizer can all report through one
+/// engine, and callers decide what severity gates execution.
+class DiagnosticEngine {
+ public:
+  void Report(Diagnostic diagnostic);
+
+  /// Convenience: build-and-report.
+  void Report(Severity severity, std::string code, std::string message,
+              std::string view = "", std::string snippet = "");
+
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+
+  int CountAtLeast(Severity severity) const;
+  bool HasErrors() const { return CountAtLeast(Severity::kError) > 0; }
+  bool HasWarnings() const { return CountAtLeast(Severity::kWarning) > 0; }
+
+  /// True when `view` has at least one diagnostic at `severity` or worse.
+  bool ViewHasAtLeast(const std::string& view, Severity severity) const;
+
+  /// Multi-line report, worst findings first (stable within a severity).
+  std::string ToString() const;
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+};
+
+}  // namespace rasql::lint
+
+#endif  // RASQL_LINT_DIAGNOSTIC_H_

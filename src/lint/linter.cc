@@ -1,0 +1,435 @@
+#include "lint/linter.h"
+
+#include <map>
+#include <set>
+
+#include "analysis/analyzer.h"
+#include "lint/monotonicity.h"
+#include "sql/parser.h"
+#include "storage/schema.h"
+
+namespace rasql::lint {
+
+using analysis::AnalyzedQuery;
+using analysis::RecursiveClique;
+using analysis::RecursiveView;
+using expr::AggregateFunction;
+using sql::AstExpr;
+using storage::EqualsIgnoreCase;
+using storage::ToLower;
+
+namespace {
+
+/// Diagnostic codes that bear on head-safety provability. Strategy-only
+/// findings (the semi-naive fallbacks) do not refute the head: RASQL-N001
+/// never does, and RASQL-N002 (mutual recursion) only matters when an
+/// aggregate head exists whose value could flow through sibling views.
+bool CodeAffectsProvability(const std::string& code,
+                            expr::AggregateFunction aggregate) {
+  if (code == "RASQL-N001") return false;
+  if (code == "RASQL-N002") {
+    return aggregate != expr::AggregateFunction::kNone;
+  }
+  return true;
+}
+
+/// True when `ast` references the binding: a column qualified with the
+/// binding name, or an unqualified column named like one of the binding's
+/// schema columns.
+bool ReferencesBinding(const AstExpr& ast, const std::string& binding_name,
+                       const storage::Schema& schema) {
+  if (ast.kind == AstExpr::Kind::kColumn) {
+    if (!ast.qualifier.empty()) {
+      return EqualsIgnoreCase(ast.qualifier, binding_name);
+    }
+    return schema.FindColumn(ast.name) >= 0;
+  }
+  if (ast.lhs && ReferencesBinding(*ast.lhs, binding_name, schema)) {
+    return true;
+  }
+  if (ast.rhs && ReferencesBinding(*ast.rhs, binding_name, schema)) {
+    return true;
+  }
+  return false;
+}
+
+/// True when a NOT node in `ast` encloses a reference to the aggregate
+/// column (negation over the running aggregate).
+bool HasNegationOverColumn(const AstExpr& ast, const std::string& binding,
+                           const std::string& column) {
+  if (ast.kind == AstExpr::Kind::kNot &&
+      ReferencesColumn(*ast.lhs, binding, column)) {
+    return true;
+  }
+  if (ast.lhs && HasNegationOverColumn(*ast.lhs, binding, column)) {
+    return true;
+  }
+  if (ast.rhs && HasNegationOverColumn(*ast.rhs, binding, column)) {
+    return true;
+  }
+  return false;
+}
+
+/// AST pre-pass for RASQL-A001: explicit aggregates / GROUP BY inside a
+/// branch that references a view of the query. Runs before semantic
+/// analysis so the finding is reported with its rule code even though the
+/// analyzer would also reject the query.
+void CheckExplicitAggregatesInRecursion(const sql::Query& query,
+                                        DiagnosticEngine* engine) {
+  std::set<std::string> view_names;
+  for (const sql::CteDef& cte : query.ctes) {
+    view_names.insert(ToLower(cte.name));
+  }
+  for (const sql::CteDef& cte : query.ctes) {
+    for (const sql::SelectStmtPtr& branch : cte.branches) {
+      bool references_view = false;
+      for (const sql::TableRef& ref : branch->from) {
+        references_view |= view_names.count(ToLower(ref.table_name)) > 0;
+      }
+      if (!references_view) continue;
+      bool has_agg = !branch->group_by.empty();
+      std::string snippet;
+      for (const sql::SelectItem& item : branch->items) {
+        if (analysis::ContainsAggCall(*item.expr)) {
+          has_agg = true;
+          if (snippet.empty()) snippet = item.expr->ToString();
+        }
+      }
+      if (has_agg) {
+        engine->Report(
+            Severity::kError, "RASQL-A001",
+            "explicit aggregate/GROUP BY inside a recursive branch cannot "
+            "be pushed into the fixpoint; evaluation falls back to the "
+            "stratified form — declare the aggregate in the view head "
+            "(e.g. `min() AS Col`) or move it to the final SELECT",
+            ToLower(cte.name), snippet);
+      }
+    }
+  }
+}
+
+/// The min()/max() PreM rules (RASQL-M001/M002/M003, A002, K001) for one
+/// recursive branch of `view`, with `binding` one of the branch's
+/// references to the view itself.
+void CheckMinMaxBranch(const RecursiveView& view, const sql::CteDef& cte,
+                       const sql::SelectStmt& branch,
+                       const std::string& binding,
+                       DiagnosticEngine* engine) {
+  const std::string& agg_name = view.schema.column(view.agg_column).name;
+  const char* fn_name = expr::AggregateFunctionName(view.aggregate);
+  for (size_t c = 0; c < branch.items.size(); ++c) {
+    const AstExpr& item = *branch.items[c].expr;
+    if (static_cast<int>(c) == view.agg_column) {
+      switch (ClassifyMonotonicity(item, binding, agg_name)) {
+        case Monotonicity::kConstant:
+        case Monotonicity::kMonotone:
+          break;
+        case Monotonicity::kAntitone:
+          engine->Report(
+              Severity::kError, "RASQL-M001",
+              "the " + std::string(fn_name) + "() column '" + agg_name +
+                  "' flows through an order-reversing operation in a "
+                  "recursive branch; PreM provably fails — the early "
+                  "aggregate discards the tuple that optimizes the head "
+                  "after the reversal",
+              view.name, item.ToString());
+          break;
+        case Monotonicity::kUnknown:
+          engine->Report(
+              Severity::kWarning, "RASQL-M002",
+              "the " + std::string(fn_name) + "() column '" + agg_name +
+                  "' flows through operations outside the monotone "
+                  "catalog (+/- constant, * positive constant); PreM is "
+                  "unproven — validate on representative data with the "
+                  "runtime GPtest (tools::ValidatePrem) before trusting "
+                  "results",
+              view.name, item.ToString());
+          break;
+      }
+    } else if (ReferencesColumn(item, binding, agg_name)) {
+      const std::string key_name = c < cte.columns.size()
+                                       ? cte.columns[c].name
+                                       : "#" + std::to_string(c);
+      engine->Report(
+          Severity::kError, "RASQL-K001",
+          "implicit group-by key '" + key_name +
+              "' is computed from the running aggregate column '" +
+              agg_name +
+              "'; group keys would shift between fixpoint iterations, "
+              "which breaks the implicit group-by semantics",
+          view.name, item.ToString());
+    }
+  }
+  if (branch.where != nullptr) {
+    if (HasNegationOverColumn(*branch.where, binding, agg_name)) {
+      engine->Report(
+          Severity::kWarning, "RASQL-A002",
+          "negation over the running aggregate column '" + agg_name +
+              "' inside recursion is not order-compatible with the " +
+              std::string(fn_name) +
+              "() head; PreM is unproven — run the GPtest "
+              "(tools::ValidatePrem) or stratify the query",
+          view.name, branch.where->ToString());
+    } else {
+      std::string offending;
+      if (!PredicateCompatibleWithAggregate(*branch.where, binding, agg_name,
+                                            view.aggregate, &offending)) {
+        engine->Report(
+            Severity::kWarning, "RASQL-M003",
+            "a recursive branch filters the aggregate column '" + agg_name +
+                "' in a direction the " + std::string(fn_name) +
+                "() head does not preserve; PreM is unproven — run the "
+                "GPtest (tools::ValidatePrem) on representative data",
+            view.name, offending);
+      }
+    }
+  }
+}
+
+/// The sum()/count() monotonic-count rules (RASQL-S001/S002, K001) for one
+/// branch. `binding` is empty for base branches: contributions must then
+/// be non-negative on their own (no inductive aggregate-column case).
+void CheckSumCountBranch(const RecursiveView& view, const sql::CteDef& cte,
+                         const sql::SelectStmt& branch,
+                         const std::string& binding,
+                         DiagnosticEngine* engine) {
+  const std::string& agg_name = view.schema.column(view.agg_column).name;
+  const std::string agg_for_sign = binding.empty() ? "" : agg_name;
+  const char* fn_name = expr::AggregateFunctionName(view.aggregate);
+  for (size_t c = 0; c < branch.items.size(); ++c) {
+    const AstExpr& item = *branch.items[c].expr;
+    if (static_cast<int>(c) == view.agg_column) {
+      switch (ClassifySign(item, binding, agg_for_sign)) {
+        case Sign::kNonNegative:
+          break;
+        case Sign::kNegative:
+          engine->Report(
+              Severity::kError, "RASQL-S001",
+              "a " + std::string(fn_name) + "() contribution to '" +
+                  agg_name +
+                  "' is provably negative; the monotonic-count argument "
+                  "(paper Sec. 3) requires non-negative contributions, so "
+                  "the recursion is provably non-monotone",
+              view.name, item.ToString());
+          break;
+        case Sign::kUnknown:
+          engine->Report(
+              Severity::kWarning, "RASQL-S002",
+              "a " + std::string(fn_name) + "() contribution to '" +
+                  agg_name +
+                  "' is not provably non-negative; the monotonic-count "
+                  "argument needs non-negative contributions — verify the "
+                  "data or filter out negative values",
+              view.name, item.ToString());
+          break;
+      }
+    } else if (!binding.empty() &&
+               ReferencesColumn(item, binding, agg_name)) {
+      const std::string key_name = c < cte.columns.size()
+                                       ? cte.columns[c].name
+                                       : "#" + std::to_string(c);
+      engine->Report(
+          Severity::kError, "RASQL-K001",
+          "implicit group-by key '" + key_name +
+              "' is computed from the running aggregate column '" +
+              agg_name +
+              "'; group keys would shift between fixpoint iterations, "
+              "which breaks the implicit group-by semantics",
+          view.name, item.ToString());
+    }
+  }
+}
+
+/// RASQL-U001: a recursive branch that joins the recursive reference with
+/// no predicate touching it evaluates a cross product each iteration.
+void CheckUnconstrainedRecursion(const RecursiveView& view,
+                                 const sql::SelectStmt& branch,
+                                 const std::vector<std::string>& bindings,
+                                 DiagnosticEngine* engine) {
+  if (branch.from.size() <= 1) return;
+  for (const std::string& binding : bindings) {
+    if (branch.where != nullptr &&
+        ReferencesBinding(*branch.where, binding, view.schema)) {
+      continue;
+    }
+    engine->Report(
+        Severity::kWarning, "RASQL-U001",
+        "recursive reference '" + binding +
+            "' is joined without any predicate referencing it (cross "
+            "product); every iteration recombines all tuples, which "
+            "rarely terminates — add a join condition",
+        view.name, branch.ToString());
+  }
+}
+
+}  // namespace
+
+std::string LintReport::ToString() const {
+  const int errors = engine.CountAtLeast(Severity::kError);
+  const int warnings =
+      engine.CountAtLeast(Severity::kWarning) - errors;
+  const int notes =
+      static_cast<int>(engine.diagnostics().size()) -
+      engine.CountAtLeast(Severity::kWarning);
+  std::string out = "lint: " + std::to_string(errors) + " error(s), " +
+                    std::to_string(warnings) + " warning(s), " +
+                    std::to_string(notes) + " note(s)\n";
+  out += engine.ToString();
+  if (!proven_views.empty()) {
+    out += "statically proven safe:";
+    for (const std::string& v : proven_views) out += " " + v;
+    out += "\n";
+  }
+  if (!gptest_recommended.empty()) {
+    out += "runtime GPtest (tools::ValidatePrem) recommended:";
+    for (const std::string& v : gptest_recommended) out += " " + v;
+    out += "\n";
+  }
+  return out;
+}
+
+LintReport Linter::LintQuery(const sql::Query& query) {
+  LintReport report;
+  CheckExplicitAggregatesInRecursion(query, &report.engine);
+
+  analysis::Analyzer analyzer(&catalog_);
+  analyzer.set_diagnostics(&report.engine);
+  common::Result<AnalyzedQuery> analyzed = analyzer.Analyze(query);
+  if (!analyzed.ok()) {
+    // The AST pre-pass may already explain the failure with a specific
+    // rule; only add the generic analysis error when it does not.
+    if (!report.engine.HasErrors()) {
+      report.engine.Report(Severity::kError, "RASQL-E000",
+                           analyzed.status().ToString());
+    }
+    return report;
+  }
+
+  // Index the AST views by canonical name for branch-level rules.
+  std::map<std::string, const sql::CteDef*> ctes;
+  for (const sql::CteDef& cte : query.ctes) {
+    ctes[ToLower(cte.name)] = &cte;
+  }
+
+  for (const RecursiveClique& clique : analyzed->cliques) {
+    if (!clique.IsRecursive()) continue;
+    for (const RecursiveView& view : clique.views) {
+      const sql::CteDef* cte = ctes[view.name];
+      if (cte == nullptr) continue;  // defensive; analyzer built the view
+      const bool min_max = view.aggregate == AggregateFunction::kMin ||
+                           view.aggregate == AggregateFunction::kMax;
+      const bool sum_count = view.aggregate == AggregateFunction::kSum ||
+                             view.aggregate == AggregateFunction::kCount;
+      for (const sql::SelectStmtPtr& branch : cte->branches) {
+        std::vector<std::string> self_bindings;
+        for (const sql::TableRef& ref : branch->from) {
+          if (EqualsIgnoreCase(ref.table_name, view.name)) {
+            self_bindings.push_back(ref.BindingName());
+          }
+        }
+        if (self_bindings.empty()) {
+          // Base branch: sum/count contributions must stand on their own.
+          if (sum_count) {
+            CheckSumCountBranch(view, *cte, *branch, "", &report.engine);
+          }
+          continue;
+        }
+        CheckUnconstrainedRecursion(view, *branch, self_bindings,
+                                    &report.engine);
+        for (const std::string& binding : self_bindings) {
+          if (min_max) {
+            CheckMinMaxBranch(view, *cte, *branch, binding, &report.engine);
+          } else if (sum_count) {
+            CheckSumCountBranch(view, *cte, *branch, binding,
+                                &report.engine);
+          }
+        }
+      }
+
+      // Provability verdict for the view: safe unless some rule at
+      // warning level or above refutes or fails to prove the head.
+      bool proven = true;
+      for (const Diagnostic& d : report.engine.diagnostics()) {
+        if (d.view == view.name && d.severity >= Severity::kWarning &&
+            CodeAffectsProvability(d.code, view.aggregate)) {
+          proven = false;
+          break;
+        }
+      }
+      if (proven) {
+        report.proven_views.push_back(view.name);
+        if (min_max) {
+          report.engine.Report(
+              Severity::kNote, "RASQL-P000",
+              "statically proven PreM-safe: the " +
+                  std::string(expr::AggregateFunctionName(view.aggregate)) +
+                  "() value flows only through order-preserving "
+                  "operations; no runtime GPtest needed",
+              view.name);
+        } else if (sum_count) {
+          report.engine.Report(
+              Severity::kNote, "RASQL-P001",
+              "statically proven monotone: every " +
+                  std::string(expr::AggregateFunctionName(view.aggregate)) +
+                  "() contribution is provably non-negative "
+                  "(monotonic-count argument)",
+              view.name);
+        } else {
+          report.engine.Report(
+              Severity::kNote, "RASQL-P002",
+              "aggregate-free recursion over monotone relational algebra; "
+              "the fixpoint is exact by Knaster-Tarski",
+              view.name);
+        }
+      } else if (min_max &&
+                 !report.engine.ViewHasAtLeast(view.name,
+                                               Severity::kError)) {
+        // Unproven but not refuted: the dynamic oracle can still certify.
+        report.gptest_recommended.push_back(view.name);
+      }
+    }
+  }
+  return report;
+}
+
+common::Result<LintReport> Linter::LintSql(const std::string& sql) {
+  RASQL_ASSIGN_OR_RETURN(std::vector<sql::Statement> statements,
+                         sql::Parser::ParseScript(sql));
+  LintReport merged;
+  for (const sql::Statement& stmt : statements) {
+    if (stmt.kind == sql::Statement::Kind::kCreateView) {
+      // Register the view schema (named columns) so later statements in
+      // the script resolve; analysis failures become diagnostics.
+      analysis::Analyzer analyzer(&catalog_);
+      common::Result<plan::PlanPtr> view_plan =
+          analyzer.AnalyzeSelect(*stmt.create_view->definition);
+      if (!view_plan.ok()) {
+        merged.engine.Report(Severity::kError, "RASQL-E000",
+                             view_plan.status().ToString(),
+                             ToLower(stmt.create_view->name));
+        continue;
+      }
+      std::vector<storage::Column> cols = (*view_plan)->schema().columns();
+      for (size_t i = 0;
+           i < cols.size() && i < stmt.create_view->columns.size(); ++i) {
+        cols[i].name = stmt.create_view->columns[i];
+      }
+      catalog_.PutTable(stmt.create_view->name,
+                        storage::Schema(std::move(cols)));
+      continue;
+    }
+    LintReport report = LintQuery(*stmt.query);
+    for (const Diagnostic& d : report.engine.diagnostics()) {
+      merged.engine.Report(d);
+    }
+    for (std::string& v : report.proven_views) {
+      merged.proven_views.push_back(std::move(v));
+    }
+    for (std::string& v : report.gptest_recommended) {
+      merged.gptest_recommended.push_back(std::move(v));
+    }
+  }
+  return merged;
+}
+
+}  // namespace rasql::lint

@@ -1,0 +1,69 @@
+#ifndef RASQL_LINT_LINTER_H_
+#define RASQL_LINT_LINTER_H_
+
+#include <string>
+#include <vector>
+
+#include "analysis/catalog.h"
+#include "common/status.h"
+#include "lint/diagnostic.h"
+#include "sql/ast.h"
+
+namespace rasql::lint {
+
+/// Execution-gating policy for lint findings.
+struct LintOptions {
+  /// Treat warnings as execution blockers (`--werror-lint`).
+  bool werror = false;
+};
+
+/// Outcome of statically analyzing one query (or script): the structured
+/// diagnostics plus the PreM provability summary. The static pass is the
+/// compile-time complement of the runtime GPtest (tools::ValidatePrem,
+/// Appendix G): views it *proves* need no runtime check, views it cannot
+/// prove are listed in `gptest_recommended`.
+struct LintReport {
+  DiagnosticEngine engine;
+  /// Recursive views whose head was statically proven safe (PreM for
+  /// min/max, monotonic-count for sum/count, monotone RA when
+  /// aggregate-free).
+  std::vector<std::string> proven_views;
+  /// Views whose safety is unproven but not refuted; run the dynamic
+  /// GPtest (tools::ValidatePrem) on representative data for these.
+  std::vector<std::string> gptest_recommended;
+
+  bool HasErrors() const { return engine.HasErrors(); }
+
+  /// True when the findings should refuse execution under `options`.
+  bool BlocksExecution(const LintOptions& options) const {
+    return engine.HasErrors() || (options.werror && engine.HasWarnings());
+  }
+
+  /// Summary line + sorted diagnostics + provability lists.
+  std::string ToString() const;
+};
+
+/// Rule-driven static analyzer over analyzed RaSQL queries. The rule
+/// catalog (codes RASQL-*) is documented in DESIGN.md §6. The linter
+/// copies the catalog so CREATE VIEW statements in a script can register
+/// their schemas without mutating engine state.
+class Linter {
+ public:
+  explicit Linter(const analysis::Catalog* catalog) : catalog_(*catalog) {}
+
+  /// Lints one parsed query: AST pre-checks, full semantic analysis (its
+  /// diagnostics and failures are captured in the report, never thrown),
+  /// and the per-view PreM/monotonicity rules.
+  LintReport LintQuery(const sql::Query& query);
+
+  /// Parses and lints a `;`-separated script; reports of all query
+  /// statements are merged. Returns a Status only for parse failures.
+  common::Result<LintReport> LintSql(const std::string& sql);
+
+ private:
+  analysis::Catalog catalog_;
+};
+
+}  // namespace rasql::lint
+
+#endif  // RASQL_LINT_LINTER_H_

@@ -1,0 +1,416 @@
+#include "lint/monotonicity.h"
+
+#include <optional>
+
+#include "storage/schema.h"
+
+namespace rasql::lint {
+
+using expr::AggregateFunction;
+using expr::BinaryOp;
+using sql::AstExpr;
+using storage::EqualsIgnoreCase;
+using storage::ValueType;
+
+namespace {
+
+/// Numeric value of a constant AST expression (literals, negation and
+/// arithmetic over literals are folded), or nullopt when the node is not
+/// a numeric constant.
+std::optional<double> LiteralValue(const AstExpr& ast) {
+  if (ast.kind == AstExpr::Kind::kLiteral) {
+    if (ast.literal.type() == ValueType::kInt64 ||
+        ast.literal.type() == ValueType::kDouble) {
+      return ast.literal.AsNumeric();
+    }
+    return std::nullopt;
+  }
+  if (ast.kind == AstExpr::Kind::kNegate) {
+    std::optional<double> inner = LiteralValue(*ast.lhs);
+    if (inner.has_value()) return -*inner;
+    return std::nullopt;
+  }
+  if (ast.kind == AstExpr::Kind::kBinary) {
+    std::optional<double> lhs = LiteralValue(*ast.lhs);
+    std::optional<double> rhs = LiteralValue(*ast.rhs);
+    if (!lhs.has_value() || !rhs.has_value()) return std::nullopt;
+    switch (ast.op) {
+      case BinaryOp::kAdd:
+        return *lhs + *rhs;
+      case BinaryOp::kSub:
+        return *lhs - *rhs;
+      case BinaryOp::kMul:
+        return *lhs * *rhs;
+      case BinaryOp::kDiv:
+        if (*rhs == 0) return std::nullopt;
+        return *lhs / *rhs;
+      default:
+        return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+Monotonicity Flip(Monotonicity m) {
+  switch (m) {
+    case Monotonicity::kMonotone:
+      return Monotonicity::kAntitone;
+    case Monotonicity::kAntitone:
+      return Monotonicity::kMonotone;
+    default:
+      return m;
+  }
+}
+
+/// Combines the monotonicity of two addends: x + y is monotone when each
+/// addend is monotone-or-constant, and symmetrically for antitone.
+Monotonicity CombineAdditive(Monotonicity a, Monotonicity b) {
+  if (a == Monotonicity::kUnknown || b == Monotonicity::kUnknown) {
+    return Monotonicity::kUnknown;
+  }
+  if (a == Monotonicity::kConstant) return b;
+  if (b == Monotonicity::kConstant) return a;
+  return a == b ? a : Monotonicity::kUnknown;
+}
+
+bool IsComparison(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+bool ReferencesColumn(const AstExpr& ast, const std::string& binding_name,
+                      const std::string& column_name) {
+  if (ast.kind == AstExpr::Kind::kColumn) {
+    if (!EqualsIgnoreCase(ast.name, column_name)) return false;
+    return ast.qualifier.empty() ||
+           EqualsIgnoreCase(ast.qualifier, binding_name);
+  }
+  if (ast.lhs && ReferencesColumn(*ast.lhs, binding_name, column_name)) {
+    return true;
+  }
+  if (ast.rhs && ReferencesColumn(*ast.rhs, binding_name, column_name)) {
+    return true;
+  }
+  return false;
+}
+
+bool IsLinearInAggColumn(const AstExpr& ast, const std::string& binding_name,
+                         const std::string& column_name) {
+  if (ast.kind == AstExpr::Kind::kColumn) {
+    return ReferencesColumn(ast, binding_name, column_name);
+  }
+  if (ast.kind == AstExpr::Kind::kBinary && ast.op == BinaryOp::kMul) {
+    const bool lhs_is_col =
+        ast.lhs->kind == AstExpr::Kind::kColumn &&
+        ReferencesColumn(*ast.lhs, binding_name, column_name);
+    const bool rhs_is_col =
+        ast.rhs->kind == AstExpr::Kind::kColumn &&
+        ReferencesColumn(*ast.rhs, binding_name, column_name);
+    const bool lhs_is_lit = ast.lhs->kind == AstExpr::Kind::kLiteral;
+    const bool rhs_is_lit = ast.rhs->kind == AstExpr::Kind::kLiteral;
+    return (lhs_is_col && rhs_is_lit) || (lhs_is_lit && rhs_is_col);
+  }
+  return false;
+}
+
+Monotonicity ClassifyMonotonicity(const AstExpr& ast,
+                                  const std::string& binding_name,
+                                  const std::string& agg_column_name) {
+  if (!ReferencesColumn(ast, binding_name, agg_column_name)) {
+    return Monotonicity::kConstant;
+  }
+  switch (ast.kind) {
+    case AstExpr::Kind::kColumn:
+      // ReferencesColumn above established this IS the aggregate column.
+      return Monotonicity::kMonotone;
+    case AstExpr::Kind::kLiteral:
+    case AstExpr::Kind::kStar:
+      return Monotonicity::kConstant;
+    case AstExpr::Kind::kNegate:
+      return Flip(
+          ClassifyMonotonicity(*ast.lhs, binding_name, agg_column_name));
+    case AstExpr::Kind::kNot:
+    case AstExpr::Kind::kAggCall:
+      return Monotonicity::kUnknown;
+    case AstExpr::Kind::kBinary:
+      break;
+  }
+  const Monotonicity lhs =
+      ClassifyMonotonicity(*ast.lhs, binding_name, agg_column_name);
+  const Monotonicity rhs =
+      ClassifyMonotonicity(*ast.rhs, binding_name, agg_column_name);
+  switch (ast.op) {
+    case BinaryOp::kAdd:
+      return CombineAdditive(lhs, rhs);
+    case BinaryOp::kSub:
+      return CombineAdditive(lhs, Flip(rhs));
+    case BinaryOp::kMul: {
+      // Scaling by a constant keeps (k > 0) or reverses (k < 0) the order;
+      // a non-literal factor has statically unknown sign.
+      if (lhs == Monotonicity::kConstant) {
+        std::optional<double> k = LiteralValue(*ast.lhs);
+        if (!k.has_value()) return Monotonicity::kUnknown;
+        return *k >= 0 ? rhs : Flip(rhs);
+      }
+      if (rhs == Monotonicity::kConstant) {
+        std::optional<double> k = LiteralValue(*ast.rhs);
+        if (!k.has_value()) return Monotonicity::kUnknown;
+        return *k >= 0 ? lhs : Flip(lhs);
+      }
+      return Monotonicity::kUnknown;
+    }
+    case BinaryOp::kDiv: {
+      // x / k behaves like x * (1/k) for a constant literal divisor.
+      if (rhs == Monotonicity::kConstant) {
+        std::optional<double> k = LiteralValue(*ast.rhs);
+        if (!k.has_value() || *k == 0) return Monotonicity::kUnknown;
+        return *k > 0 ? lhs : Flip(lhs);
+      }
+      return Monotonicity::kUnknown;
+    }
+    default:
+      // Comparisons/boolean ops over the aggregate value are step
+      // functions — outside the order-preserving catalog.
+      return Monotonicity::kUnknown;
+  }
+}
+
+Sign ClassifySign(const AstExpr& ast, const std::string& binding_name,
+                  const std::string& agg_column_name) {
+  // Constant expressions fold to their exact value.
+  if (std::optional<double> v = LiteralValue(ast); v.has_value()) {
+    return *v >= 0 ? Sign::kNonNegative : Sign::kNegative;
+  }
+  switch (ast.kind) {
+    case AstExpr::Kind::kLiteral:
+      return Sign::kUnknown;  // non-numeric literal
+    case AstExpr::Kind::kColumn:
+      // The aggregate column is non-negative by induction (all checked
+      // contributions are); any other column's sign is data-dependent.
+      return ReferencesColumn(ast, binding_name, agg_column_name)
+                 ? Sign::kNonNegative
+                 : Sign::kUnknown;
+    case AstExpr::Kind::kNegate: {
+      std::optional<double> v = LiteralValue(ast);
+      if (v.has_value()) {
+        return *v >= 0 ? Sign::kNonNegative : Sign::kNegative;
+      }
+      const Sign inner =
+          ClassifySign(*ast.lhs, binding_name, agg_column_name);
+      return inner == Sign::kNegative ? Sign::kNonNegative : Sign::kUnknown;
+    }
+    case AstExpr::Kind::kNot:
+      return Sign::kNonNegative;  // boolean 0/1
+    case AstExpr::Kind::kStar:
+    case AstExpr::Kind::kAggCall:
+      return Sign::kUnknown;
+    case AstExpr::Kind::kBinary:
+      break;
+  }
+  const Sign lhs = ClassifySign(*ast.lhs, binding_name, agg_column_name);
+  const Sign rhs = ClassifySign(*ast.rhs, binding_name, agg_column_name);
+  switch (ast.op) {
+    case BinaryOp::kAdd:
+      if (lhs == rhs &&
+          (lhs == Sign::kNonNegative || lhs == Sign::kNegative)) {
+        return lhs;
+      }
+      return Sign::kUnknown;
+    case BinaryOp::kSub:
+      if (lhs == Sign::kNonNegative && rhs == Sign::kNegative) {
+        return Sign::kNonNegative;
+      }
+      if (lhs == Sign::kNegative && rhs == Sign::kNonNegative) {
+        return Sign::kNegative;
+      }
+      return Sign::kUnknown;
+    case BinaryOp::kMul:
+    case BinaryOp::kDiv:
+      if ((lhs == Sign::kNonNegative && rhs == Sign::kNonNegative) ||
+          (lhs == Sign::kNegative && rhs == Sign::kNegative)) {
+        return Sign::kNonNegative;
+      }
+      return Sign::kUnknown;
+    default:
+      if (IsComparison(ast.op) || ast.op == BinaryOp::kAnd ||
+          ast.op == BinaryOp::kOr) {
+        return Sign::kNonNegative;  // boolean 0/1
+      }
+      return Sign::kUnknown;
+  }
+}
+
+namespace {
+
+/// Checks one (possibly negated) predicate node. Conjunctions and
+/// disjunctions recurse; a comparison touching the aggregate column must
+/// bound it from the direction the head aggregate prunes towards.
+bool PredicateCompatibleImpl(const AstExpr& pred,
+                             const std::string& binding_name,
+                             const std::string& agg_column_name,
+                             AggregateFunction aggregate, bool negated,
+                             std::string* offending) {
+  if (!ReferencesColumn(pred, binding_name, agg_column_name)) return true;
+  if (pred.kind == AstExpr::Kind::kNot) {
+    return PredicateCompatibleImpl(*pred.lhs, binding_name, agg_column_name,
+                                   aggregate, !negated, offending);
+  }
+  if (pred.kind == AstExpr::Kind::kBinary &&
+      (pred.op == BinaryOp::kAnd || pred.op == BinaryOp::kOr)) {
+    // Under negation De Morgan swaps AND/OR but both operands still must
+    // be individually compatible, so the recursion is symmetric.
+    return PredicateCompatibleImpl(*pred.lhs, binding_name, agg_column_name,
+                                   aggregate, negated, offending) &&
+           PredicateCompatibleImpl(*pred.rhs, binding_name, agg_column_name,
+                                   aggregate, negated, offending);
+  }
+  if (pred.kind == AstExpr::Kind::kBinary && IsComparison(pred.op)) {
+    // Normalize to `agg OP constant-side`.
+    const bool agg_left =
+        ReferencesColumn(*pred.lhs, binding_name, agg_column_name);
+    const bool agg_right =
+        ReferencesColumn(*pred.rhs, binding_name, agg_column_name);
+    if (agg_left != agg_right) {
+      const AstExpr& agg_side = agg_left ? *pred.lhs : *pred.rhs;
+      // The aggregate side must itself be order-preserving in the
+      // aggregate (e.g. `path.Cost + edge.Cost <= 100` is fine).
+      if (ClassifyMonotonicity(agg_side, binding_name, agg_column_name) ==
+          Monotonicity::kMonotone) {
+        BinaryOp op = pred.op;
+        if (agg_right) {  // mirror `k OP agg` to `agg OP' k`
+          switch (op) {
+            case BinaryOp::kLt: op = BinaryOp::kGt; break;
+            case BinaryOp::kLe: op = BinaryOp::kGe; break;
+            case BinaryOp::kGt: op = BinaryOp::kLt; break;
+            case BinaryOp::kGe: op = BinaryOp::kLe; break;
+            default: break;
+          }
+        }
+        if (negated) {  // NOT (agg < k) == agg >= k
+          switch (op) {
+            case BinaryOp::kLt: op = BinaryOp::kGe; break;
+            case BinaryOp::kLe: op = BinaryOp::kGt; break;
+            case BinaryOp::kGt: op = BinaryOp::kLe; break;
+            case BinaryOp::kGe: op = BinaryOp::kLt; break;
+            case BinaryOp::kEq: op = BinaryOp::kNe; break;
+            case BinaryOp::kNe: op = BinaryOp::kEq; break;
+            default: break;
+          }
+        }
+        // min() prunes upwards: keeping small values (downward-closed
+        // filters) commutes with taking the minimum. Dually for max().
+        const bool downward = op == BinaryOp::kLt || op == BinaryOp::kLe;
+        const bool upward = op == BinaryOp::kGt || op == BinaryOp::kGe;
+        if (aggregate == AggregateFunction::kMin && downward) return true;
+        if (aggregate == AggregateFunction::kMax && upward) return true;
+      }
+    }
+  }
+  if (offending != nullptr && offending->empty()) {
+    *offending = pred.ToString();
+  }
+  return false;
+}
+
+}  // namespace
+
+bool PredicateCompatibleWithAggregate(const AstExpr& predicate,
+                                      const std::string& binding_name,
+                                      const std::string& agg_column_name,
+                                      AggregateFunction aggregate,
+                                      std::string* offending) {
+  return PredicateCompatibleImpl(predicate, binding_name, agg_column_name,
+                                 aggregate, /*negated=*/false, offending);
+}
+
+SemiNaiveSafety AnalyzeSemiNaiveSafety(const sql::CteDef& cte,
+                                       const std::string& view_name,
+                                       int agg_column,
+                                       const std::string& agg_column_name,
+                                       AggregateFunction aggregate,
+                                       size_t clique_size) {
+  SemiNaiveSafety verdict;
+  if (clique_size > 1) {
+    verdict.kind = SemiNaiveSafety::Kind::kMutualRecursion;
+    verdict.reason =
+        "view is part of a mutually recursive clique; delta-based "
+        "(semi-naive) evaluation is not exact, the naive fixpoint is used";
+    return verdict;
+  }
+  if (aggregate != AggregateFunction::kSum &&
+      aggregate != AggregateFunction::kCount) {
+    return verdict;  // min/max and aggregate-free views are delta-exact
+  }
+  for (const sql::SelectStmtPtr& branch : cte.branches) {
+    std::vector<std::string> self_bindings;
+    for (const sql::TableRef& ref : branch->from) {
+      if (EqualsIgnoreCase(ref.table_name, view_name)) {
+        self_bindings.push_back(ref.BindingName());
+      }
+    }
+    if (self_bindings.empty()) continue;  // base branch
+    if (self_bindings.size() > 1) {
+      verdict.kind = SemiNaiveSafety::Kind::kMultipleRefs;
+      verdict.reason =
+          "a recursive branch references the view more than once; "
+          "sum/count deltas would double-count, the naive fixpoint is used";
+      return verdict;
+    }
+    const std::string& binding = self_bindings[0];
+    if (branch->where &&
+        ReferencesColumn(*branch->where, binding, agg_column_name)) {
+      verdict.kind = SemiNaiveSafety::Kind::kNonLinearAgg;
+      verdict.reason =
+          "the running " +
+          std::string(expr::AggregateFunctionName(aggregate)) +
+          " column '" + agg_column_name +
+          "' is filtered in a recursive branch; partial counts would be "
+          "compared, the naive fixpoint is used";
+      verdict.snippet = branch->where->ToString();
+      return verdict;
+    }
+    for (size_t c = 0; c < branch->items.size(); ++c) {
+      const AstExpr& item = *branch->items[c].expr;
+      if (static_cast<int>(c) == agg_column) {
+        if (!IsLinearInAggColumn(item, binding, agg_column_name)) {
+          verdict.kind = SemiNaiveSafety::Kind::kNonLinearAgg;
+          verdict.reason =
+              "the " + std::string(expr::AggregateFunctionName(aggregate)) +
+              " contribution is not linear in the aggregate column '" +
+              agg_column_name +
+              "' (allowed: the column itself or column * literal); "
+              "delta propagation would be inexact, the naive fixpoint "
+              "is used";
+          verdict.snippet = item.ToString();
+          return verdict;
+        }
+      } else if (ReferencesColumn(item, binding, agg_column_name)) {
+        const std::string key_name = c < cte.columns.size()
+                                         ? cte.columns[c].name
+                                         : "#" + std::to_string(c);
+        verdict.kind = SemiNaiveSafety::Kind::kNonLinearAgg;
+        verdict.reason =
+            "the running aggregate column '" + agg_column_name +
+            "' leaks into group-key column '" + key_name +
+            "'; keys would depend on partial counts, the naive fixpoint "
+            "is used";
+        verdict.snippet = item.ToString();
+        return verdict;
+      }
+    }
+  }
+  return verdict;
+}
+
+}  // namespace rasql::lint

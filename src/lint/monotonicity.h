@@ -1,0 +1,97 @@
+#ifndef RASQL_LINT_MONOTONICITY_H_
+#define RASQL_LINT_MONOTONICITY_H_
+
+#include <string>
+
+#include "expr/expr.h"
+#include "sql/ast.h"
+
+namespace rasql::lint {
+
+/// How an expression varies with the aggregate column of a recursive
+/// binding, under the aggregate's natural order. The classification is the
+/// syntactic core of the static PreM check (companion papers
+/// arXiv:1910.08888, arXiv:1707.05681): min()/max() heads are PreM-provable
+/// when the aggregate value flows through the recursive branch only via
+/// order-preserving operations.
+enum class Monotonicity {
+  kConstant,  ///< does not depend on the aggregate column
+  kMonotone,  ///< order-preserving in the aggregate column (+c, *k with k>0)
+  kAntitone,  ///< provably order-reversing (negation, *k with k<0)
+  kUnknown,   ///< not in the monotone catalog; needs the runtime GPtest
+};
+
+/// Sign of an expression's value, for the monotonic-count argument
+/// (paper Sec. 3): sum()/count() heads stay monotone when every
+/// contribution is non-negative. The aggregate column itself classifies as
+/// non-negative inductively (base contributions are checked separately).
+enum class Sign {
+  kNonNegative,  ///< provably >= 0
+  kNegative,     ///< provably < 0
+  kUnknown,      ///< sign not statically decidable
+};
+
+/// True when `ast` references column `column_name` of binding
+/// `binding_name` (qualified with the binding name, or unqualified).
+bool ReferencesColumn(const sql::AstExpr& ast, const std::string& binding_name,
+                      const std::string& column_name);
+
+/// True when `ast` is `ref.agg_col` or `ref.agg_col * literal` /
+/// `literal * ref.agg_col` — the homogeneous-linear shapes under which
+/// propagating sum/count *increments* is exact (DESIGN.md §4).
+bool IsLinearInAggColumn(const sql::AstExpr& ast,
+                         const std::string& binding_name,
+                         const std::string& column_name);
+
+/// Classifies how `ast` varies with `binding_name.agg_column_name`.
+Monotonicity ClassifyMonotonicity(const sql::AstExpr& ast,
+                                  const std::string& binding_name,
+                                  const std::string& agg_column_name);
+
+/// Classifies the sign of a sum()/count() contribution expression.
+/// References to `binding_name.agg_column_name` count as non-negative
+/// (the inductive case of the monotonic-count argument).
+Sign ClassifySign(const sql::AstExpr& ast, const std::string& binding_name,
+                  const std::string& agg_column_name);
+
+/// Checks that a recursive-branch WHERE predicate constrains the aggregate
+/// column only in directions compatible with the head aggregate: for min(),
+/// downward-closed comparisons (`agg < k`, `agg <= k`); for max(), upward-
+/// closed ones. Predicates not referencing the aggregate column are always
+/// compatible. Returns false and fills `offending` with the first
+/// incompatible sub-predicate's rendering otherwise.
+bool PredicateCompatibleWithAggregate(const sql::AstExpr& predicate,
+                                      const std::string& binding_name,
+                                      const std::string& agg_column_name,
+                                      expr::AggregateFunction aggregate,
+                                      std::string* offending);
+
+/// Verdict of the semi-naive safety analysis (DESIGN.md §4): whether
+/// delta-based evaluation is exact for a view, and why not when it isn't.
+struct SemiNaiveSafety {
+  enum class Kind {
+    kSafe = 0,
+    kMutualRecursion,  ///< multi-view clique: naive fixpoint required
+    kMultipleRefs,     ///< >1 self-reference in one branch
+    kNonLinearAgg,     ///< sum/count column used outside the linear shapes
+  };
+  Kind kind = Kind::kSafe;
+  bool safe() const { return kind == Kind::kSafe; }
+  std::string reason;   ///< human-readable explanation; empty when safe
+  std::string snippet;  ///< offending expression rendering; may be empty
+};
+
+/// Decides semi-naive safety for one view from its AST definition — the
+/// single source of truth shared by analysis::Analyzer (which threads the
+/// verdict into RecursiveView::semi_naive_safe) and the lint rule that
+/// reports it (RASQL-N001/N002).
+SemiNaiveSafety AnalyzeSemiNaiveSafety(const sql::CteDef& cte,
+                                       const std::string& view_name,
+                                       int agg_column,
+                                       const std::string& agg_column_name,
+                                       expr::AggregateFunction aggregate,
+                                       size_t clique_size);
+
+}  // namespace rasql::lint
+
+#endif  // RASQL_LINT_MONOTONICITY_H_

@@ -27,6 +27,12 @@ struct PremCheckResult {
 /// (Appendix G): the aggregated fixpoint X_n and the unaggregated fixpoint
 /// Y_n advance in lockstep, and γ(Y_n) must equal X_n at every step.
 ///
+/// This is the *runtime* oracle in the two-tier PreM story (DESIGN.md §6):
+/// the compile-time linter (src/lint) proves the common shapes outright;
+/// for views it reports as unproven (RASQL-M002/M003/A002, listed in
+/// LintReport::gptest_recommended) this per-dataset test is the
+/// recommended fallback.
+///
 /// `sql` must be a single-query statement with exactly one recursive view
 /// whose head aggregate is min or max (the aggregates PreM testing is
 /// defined for — sum/count rest on the monotonic-count argument instead,

@@ -3,7 +3,12 @@
 // spark-shell integration.
 //
 // Usage:
-//   rasql [--distributed] [--workers N] [script.sql]
+//   rasql [--distributed] [--workers N] [--lint] [--werror-lint]
+//         [script.sql]
+//
+// --lint runs the static PreM/monotonicity analyzer before every query
+// and refuses error-level queries; --werror-lint also refuses
+// warning-level ones.
 //
 // Dot-commands inside the shell:
 //   .load <table> <file.csv>   register a CSV/TSV file as a table
@@ -13,8 +18,11 @@
 //   .explain <query>           print the compiled plan
 //   .stats                     fixpoint/cluster stats of the last query
 //   .quit
-// Anything else is executed as RaSQL (statements end with ';').
+// `EXPLAIN LINT <query>;` prints the static-analysis report without
+// executing. Anything else is executed as RaSQL (statements end
+// with ';').
 
+#include <cctype>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -40,6 +48,7 @@ void PrintHelp() {
       "  .stats                 stats of the last query\n"
       "  .help                  this text\n"
       "  .quit                  exit\n"
+      "  EXPLAIN LINT <query>;  static PreM/monotonicity report\n"
       "anything else runs as RaSQL (end statements with ';').\n");
 }
 
@@ -52,10 +61,29 @@ class Shell {
   bool Handle(const std::string& input) {
     if (input.empty()) return true;
     if (input[0] == '.') return HandleCommand(input);
+    if (std::string rest; StripExplainLint(input, &rest)) {
+      auto report = ctx_.Lint(rest);
+      if (!report.ok()) {
+        ++num_errors_;
+        std::printf("error: %s\n", report.status().ToString().c_str());
+      } else {
+        std::printf("%s", report->ToString().c_str());
+      }
+      return true;
+    }
     auto result = ctx_.Execute(input);
     if (!result.ok()) {
+      ++num_errors_;
       std::printf("error: %s\n", result.status().ToString().c_str());
       return true;
+    }
+    // Non-blocking lint findings (warnings under --lint without
+    // --werror-lint) still deserve eyeballs; surface them on stderr so
+    // they don't corrupt piped query output.
+    if (ctx_.config().lint_before_execute &&
+        ctx_.last_lint_report().engine.HasWarnings()) {
+      std::fprintf(stderr, "%s",
+                   ctx_.last_lint_report().ToString().c_str());
     }
     std::printf("%s", result->ToString(40).c_str());
     std::printf("(%zu rows)\n", result->size());
@@ -63,6 +91,27 @@ class Shell {
   }
 
  private:
+  /// Recognizes the `EXPLAIN LINT <query>` prefix (case-insensitive);
+  /// fills `rest` with the query that follows it.
+  static bool StripExplainLint(const std::string& input, std::string* rest) {
+    static constexpr const char* kWords[] = {"EXPLAIN", "LINT"};
+    size_t pos = input.find_first_not_of(" \t\n");
+    for (const char* word : kWords) {
+      if (pos == std::string::npos) return false;
+      const size_t len = std::strlen(word);
+      if (input.size() - pos < len) return false;
+      for (size_t i = 0; i < len; ++i) {
+        if (std::toupper(static_cast<unsigned char>(input[pos + i])) !=
+            word[i]) {
+          return false;
+        }
+      }
+      pos = input.find_first_not_of(" \t\n", pos + len);
+    }
+    *rest = pos == std::string::npos ? "" : input.substr(pos);
+    return true;
+  }
+
   bool HandleCommand(const std::string& input) {
     std::istringstream in(input);
     std::string cmd;
@@ -148,8 +197,16 @@ class Shell {
     tables_.push_back(table);
   }
 
+ public:
+  /// Statements that failed (parse, analysis, lint refusal, execution).
+  /// Script mode turns this into the process exit code so CI can gate on
+  /// `rasql --werror-lint script.sql`.
+  int num_errors() const { return num_errors_; }
+
+ private:
   engine::RaSqlContext ctx_;
   std::vector<std::string> tables_;
+  int num_errors_ = 0;
 };
 
 int Main(int argc, char** argv) {
@@ -161,8 +218,15 @@ int Main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
       config.cluster.num_workers = std::atoi(argv[++i]);
       config.cluster.num_partitions = config.cluster.num_workers * 2;
+    } else if (std::strcmp(argv[i], "--lint") == 0) {
+      config.lint_before_execute = true;
+    } else if (std::strcmp(argv[i], "--werror-lint") == 0) {
+      config.lint_before_execute = true;
+      config.lint.werror = true;
     } else if (std::strcmp(argv[i], "--help") == 0) {
-      std::printf("usage: rasql [--distributed] [--workers N] [script]\n");
+      std::printf(
+          "usage: rasql [--distributed] [--workers N] [--lint] "
+          "[--werror-lint] [script]\n");
       PrintHelp();
       return 0;
     } else {
@@ -206,7 +270,8 @@ int Main(int argc, char** argv) {
     }
   }
   if (!pending.empty()) shell.Handle(pending);
-  return 0;
+  // Interactive users saw the errors already; scripts gate on the code.
+  return interactive ? 0 : (shell.num_errors() > 0 ? 1 : 0);
 }
 
 }  // namespace

@@ -14,6 +14,7 @@
 #include "baselines/serial/serial_graph.h"
 #include "datagen/graph_gen.h"
 #include "engine/rasql_context.h"
+#include "tools/prem_validator.h"
 
 namespace rasql {
 namespace {
@@ -189,6 +190,105 @@ TEST_P(CrossValidation, PregelAgreesWithEngineOnSssp) {
     EXPECT_DOUBLE_EQ(row[1].AsNumeric(), pregel.values[row[0].AsInt()]);
   }
 }
+
+// ---- Static ⇒ dynamic PreM agreement (DESIGN.md §6) ----
+//
+// Every min/max query the compile-time linter marks as statically proven
+// must also pass the runtime GPtest oracle (tools::ValidatePrem) on a
+// small random graph. A disagreement would mean the syntactic sufficient
+// conditions in src/lint are unsound.
+
+class StaticDynamicPrem : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  storage::Relation Edges() const {
+    datagen::RmatOptions opt;
+    opt.num_vertices = 64;
+    opt.edges_per_vertex = 3;
+    opt.weighted = true;
+    opt.min_weight = 1.0;
+    opt.seed = GetParam();
+    return datagen::ToEdgeRelation(datagen::GenerateRmat(opt));
+  }
+};
+
+TEST_P(StaticDynamicPrem, ProvenQueriesPassGptest) {
+  const char* proven_queries[] = {
+      // SSSP: min over additive costs.
+      R"(WITH recursive path (Dst, min() AS Cost) AS
+           (SELECT 1, 0.0) UNION
+           (SELECT edge.Dst, path.Cost + edge.Cost
+            FROM path, edge WHERE path.Dst = edge.Src)
+         SELECT Dst, Cost FROM path)",
+      // CC: min over copied labels.
+      R"(WITH recursive cc (Src, min() AS CmpId) AS
+           (SELECT Src, Src FROM edge) UNION
+           (SELECT edge.Dst, cc.CmpId FROM cc, edge
+            WHERE cc.Src = edge.Src)
+         SELECT Src, CmpId FROM cc)",
+      // Max over a monotone (scaled + shifted) cost flow.
+      R"(WITH recursive far (Dst, max() AS Cost) AS
+           (SELECT 1, 0.0) UNION
+           (SELECT edge.Dst, far.Cost / 2.0 + 1.0
+            FROM far, edge WHERE far.Dst = edge.Src)
+         SELECT Dst, Cost FROM far)",
+  };
+  storage::Relation edge = Edges();
+  for (const char* sql : proven_queries) {
+    engine::RaSqlContext ctx;
+    ASSERT_TRUE(ctx.RegisterTable("edge", edge).ok());
+    auto report = ctx.Lint(sql);
+    ASSERT_TRUE(report.ok()) << report.status();
+    ASSERT_EQ(report->proven_views.size(), 1u) << report->ToString();
+    EXPECT_FALSE(report->engine.HasWarnings()) << report->ToString();
+
+    auto dynamic = tools::ValidatePrem(sql, {{"edge", &edge}},
+                                       /*max_iterations=*/20);
+    ASSERT_TRUE(dynamic.ok()) << dynamic.status();
+    EXPECT_TRUE(dynamic->holds)
+        << "statically proven but GPtest failed: " << dynamic->message
+        << "\nquery: " << sql;
+  }
+}
+
+TEST_P(StaticDynamicPrem, UnprovenQueryCaughtByRecommendedOracle) {
+  // The complementary direction: a query the linter can only warn about
+  // (RASQL-M002, multiplicative cost flow) is exactly the kind the
+  // recommended runtime oracle then refutes on adversarial data.
+  const char* unproven = R"(
+      WITH recursive p (Src, Dst, min() AS Cost) AS
+        (SELECT Src, Dst, Cost FROM edge) UNION
+        (SELECT p.Src, edge.Dst, p.Cost * edge.Cost
+         FROM p, edge WHERE p.Dst = edge.Src)
+      SELECT Src, Dst, Cost FROM p)";
+  storage::Relation adversarial{storage::Schema::Of(
+      {{"Src", storage::ValueType::kInt64},
+       {"Dst", storage::ValueType::kInt64},
+       {"Cost", storage::ValueType::kDouble}})};
+  adversarial.Add({storage::Value::Int(1), storage::Value::Int(2),
+                   storage::Value::Double(2.0)});
+  adversarial.Add({storage::Value::Int(1), storage::Value::Int(2),
+                   storage::Value::Double(-3.0)});
+  adversarial.Add({storage::Value::Int(2), storage::Value::Int(3),
+                   storage::Value::Double(-1.0)});
+
+  engine::RaSqlContext ctx;
+  ASSERT_TRUE(ctx.RegisterTable("edge", adversarial).ok());
+  auto report = ctx.Lint(unproven);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->proven_views.empty());
+  ASSERT_EQ(report->gptest_recommended.size(), 1u) << report->ToString();
+
+  auto dynamic = tools::ValidatePrem(unproven, {{"edge", &adversarial}},
+                                     /*max_iterations=*/8);
+  ASSERT_TRUE(dynamic.ok()) << dynamic.status();
+  EXPECT_FALSE(dynamic->holds);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StaticDynamicPrem,
+                         ::testing::Values(11u, 23u, 47u),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
 
 INSTANTIATE_TEST_SUITE_P(
     SeedsAndModes, CrossValidation,

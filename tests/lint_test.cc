@@ -1,0 +1,469 @@
+// Golden-diagnostic tests for the compile-time PreM/monotonicity analyzer
+// (src/lint): the paper's canonical queries must be statically proven
+// safe, crafted non-monotone queries must produce the expected diagnostic
+// codes, and the engine must refuse error-level queries under --lint /
+// --werror-lint semantics.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "engine/rasql_context.h"
+#include "lint/diagnostic.h"
+#include "lint/linter.h"
+#include "lint/monotonicity.h"
+#include "storage/relation.h"
+
+namespace rasql {
+namespace {
+
+using lint::Diagnostic;
+using lint::DiagnosticEngine;
+using lint::LintReport;
+using lint::Severity;
+using storage::MakeIntRelation;
+using storage::Relation;
+using storage::Schema;
+using storage::Value;
+using storage::ValueType;
+
+Relation WeightedEdges() {
+  Relation rel{Schema::Of({{"Src", ValueType::kInt64},
+                           {"Dst", ValueType::kInt64},
+                           {"Cost", ValueType::kDouble}})};
+  rel.Add({Value::Int(1), Value::Int(2), Value::Double(1.0)});
+  rel.Add({Value::Int(2), Value::Int(3), Value::Double(2.0)});
+  rel.Add({Value::Int(1), Value::Int(3), Value::Double(9.0)});
+  return rel;
+}
+
+/// Context with the schemas all test queries reference.
+engine::RaSqlContext MakeContext() {
+  engine::RaSqlContext ctx;
+  EXPECT_TRUE(ctx.RegisterTable("edge", WeightedEdges()).ok());
+  Relation basic{Schema::Of(
+      {{"Part", ValueType::kInt64}, {"Days", ValueType::kInt64}})};
+  basic.Add({Value::Int(1), Value::Int(7)});
+  EXPECT_TRUE(ctx.RegisterTable("basic", std::move(basic)).ok());
+  EXPECT_TRUE(
+      ctx.RegisterTable("assbl", MakeIntRelation({"Part", "Spart"},
+                                                 {{2, 1}}))
+          .ok());
+  EXPECT_TRUE(
+      ctx.RegisterTable("report", MakeIntRelation({"Emp", "Mgr"}, {{2, 1}}))
+          .ok());
+  return ctx;
+}
+
+LintReport Lint(engine::RaSqlContext& ctx, const std::string& sql) {
+  auto report = ctx.Lint(sql);
+  EXPECT_TRUE(report.ok()) << report.status();
+  return std::move(*report);
+}
+
+bool HasCode(const LintReport& report, const std::string& code) {
+  for (const Diagnostic& d : report.engine.diagnostics()) {
+    if (d.code == code) return true;
+  }
+  return false;
+}
+
+bool Proven(const LintReport& report, const std::string& view) {
+  return std::find(report.proven_views.begin(), report.proven_views.end(),
+                   view) != report.proven_views.end();
+}
+
+bool GptestRecommended(const LintReport& report, const std::string& view) {
+  return std::find(report.gptest_recommended.begin(),
+                   report.gptest_recommended.end(),
+                   view) != report.gptest_recommended.end();
+}
+
+// ---- The paper's canonical queries are statically proven safe. ----
+
+constexpr char kSssp[] = R"(
+    WITH recursive path (Dst, min() AS Cost) AS
+      (SELECT 1, 0.0) UNION
+      (SELECT edge.Dst, path.Cost + edge.Cost
+       FROM path, edge WHERE path.Dst = edge.Src)
+    SELECT Dst, Cost FROM path)";
+
+TEST(LintGoldenTest, SsspProvenPrem) {
+  auto ctx = MakeContext();
+  LintReport report = Lint(ctx, kSssp);
+  EXPECT_FALSE(report.HasErrors()) << report.ToString();
+  EXPECT_FALSE(report.engine.HasWarnings()) << report.ToString();
+  EXPECT_TRUE(HasCode(report, "RASQL-P000"));
+  EXPECT_TRUE(Proven(report, "path"));
+  EXPECT_TRUE(report.gptest_recommended.empty());
+}
+
+TEST(LintGoldenTest, ConnectedComponentsProvenPrem) {
+  auto ctx = MakeContext();
+  LintReport report = Lint(ctx, R"(
+      WITH recursive cc (Src, min() AS CmpId) AS
+        (SELECT Src, Src FROM edge) UNION
+        (SELECT edge.Dst, cc.CmpId FROM cc, edge WHERE cc.Src = edge.Src)
+      SELECT count(distinct cc.CmpId) FROM cc)");
+  EXPECT_FALSE(report.engine.HasWarnings()) << report.ToString();
+  EXPECT_TRUE(HasCode(report, "RASQL-P000"));
+  EXPECT_TRUE(Proven(report, "cc"));
+}
+
+TEST(LintGoldenTest, BomDaysTillDeliveryProvenPrem) {
+  // Fig. 2's "days till delivery" endo-max query.
+  auto ctx = MakeContext();
+  LintReport report = Lint(ctx, R"(
+      WITH recursive waitfor (Part, max() AS Days) AS
+        (SELECT Part, Days FROM basic) UNION
+        (SELECT assbl.Part, waitfor.Days FROM assbl, waitfor
+         WHERE assbl.Spart = waitfor.Part)
+      SELECT Part, Days FROM waitfor)");
+  EXPECT_FALSE(report.engine.HasWarnings()) << report.ToString();
+  EXPECT_TRUE(HasCode(report, "RASQL-P000"));
+  EXPECT_TRUE(Proven(report, "waitfor"));
+}
+
+TEST(LintGoldenTest, CountPathsProvenMonotone) {
+  auto ctx = MakeContext();
+  LintReport report = Lint(ctx, R"(
+      WITH recursive cpaths (Dst, sum() AS Cnt) AS
+        (SELECT 1, 1) UNION
+        (SELECT edge.Dst, cpaths.Cnt FROM cpaths, edge
+         WHERE cpaths.Dst = edge.Src)
+      SELECT Dst, Cnt FROM cpaths)");
+  EXPECT_FALSE(report.engine.HasWarnings()) << report.ToString();
+  EXPECT_TRUE(HasCode(report, "RASQL-P001"));
+  EXPECT_TRUE(Proven(report, "cpaths"));
+}
+
+TEST(LintGoldenTest, ManagementCountProvenMonotone) {
+  auto ctx = MakeContext();
+  LintReport report = Lint(ctx, R"(
+      WITH recursive empCount (Mgr, count() AS Cnt) AS
+        (SELECT report.Emp, 1 FROM report) UNION
+        (SELECT report.Mgr, empCount.Cnt FROM empCount, report
+         WHERE empCount.Mgr = report.Emp)
+      SELECT Mgr, Cnt FROM empCount)");
+  EXPECT_FALSE(report.engine.HasWarnings()) << report.ToString();
+  EXPECT_TRUE(HasCode(report, "RASQL-P001"));
+  EXPECT_TRUE(Proven(report, "empcount"));
+}
+
+TEST(LintGoldenTest, AggregateFreeRecursionProvenMonotoneRa) {
+  auto ctx = MakeContext();
+  LintReport report = Lint(ctx, R"(
+      WITH recursive reach (Dst) AS
+        (SELECT 1) UNION
+        (SELECT edge.Dst FROM reach, edge WHERE reach.Dst = edge.Src)
+      SELECT Dst FROM reach)");
+  EXPECT_FALSE(report.engine.HasWarnings()) << report.ToString();
+  EXPECT_TRUE(HasCode(report, "RASQL-P002"));
+  EXPECT_TRUE(Proven(report, "reach"));
+}
+
+TEST(LintGoldenTest, DownwardFilterOnMinCostStaysProven) {
+  // min() + a downward-closed bound on the cost is order-compatible.
+  auto ctx = MakeContext();
+  LintReport report = Lint(ctx, R"(
+      WITH recursive path (Dst, min() AS Cost) AS
+        (SELECT 1, 0.0) UNION
+        (SELECT edge.Dst, path.Cost + edge.Cost
+         FROM path, edge WHERE path.Dst = edge.Src AND path.Cost < 100.0)
+      SELECT Dst, Cost FROM path)");
+  EXPECT_FALSE(report.engine.HasWarnings()) << report.ToString();
+  EXPECT_TRUE(Proven(report, "path"));
+}
+
+// ---- Crafted non-monotone queries produce the expected codes. ----
+
+TEST(LintGoldenTest, OrderReversingCostIsError) {
+  auto ctx = MakeContext();
+  LintReport report = Lint(ctx, R"(
+      WITH recursive p (Dst, min() AS Cost) AS
+        (SELECT 1, 0.0) UNION
+        (SELECT edge.Dst, 0.0 - p.Cost FROM p, edge WHERE p.Dst = edge.Src)
+      SELECT Dst, Cost FROM p)");
+  EXPECT_TRUE(HasCode(report, "RASQL-M001")) << report.ToString();
+  EXPECT_TRUE(report.HasErrors());
+  EXPECT_FALSE(Proven(report, "p"));
+  EXPECT_FALSE(GptestRecommended(report, "p"));  // refuted, not unproven
+}
+
+TEST(LintGoldenTest, NegativeScaleFoldedToError) {
+  auto ctx = MakeContext();
+  LintReport report = Lint(ctx, R"(
+      WITH recursive p (Dst, min() AS Cost) AS
+        (SELECT 1, 0.0) UNION
+        (SELECT edge.Dst, p.Cost * (0 - 2) FROM p, edge
+         WHERE p.Dst = edge.Src)
+      SELECT Dst, Cost FROM p)");
+  EXPECT_TRUE(HasCode(report, "RASQL-M001")) << report.ToString();
+}
+
+TEST(LintGoldenTest, MultiplyingCostColumnsIsUnprovenWarning) {
+  // The prem_validator's own violation example: multiplicative costs.
+  auto ctx = MakeContext();
+  LintReport report = Lint(ctx, R"(
+      WITH recursive p (Dst, min() AS Cost) AS
+        (SELECT 1, 1.0) UNION
+        (SELECT edge.Dst, p.Cost * edge.Cost FROM p, edge
+         WHERE p.Dst = edge.Src)
+      SELECT Dst, Cost FROM p)");
+  EXPECT_TRUE(HasCode(report, "RASQL-M002")) << report.ToString();
+  EXPECT_FALSE(report.HasErrors());
+  EXPECT_FALSE(Proven(report, "p"));
+  EXPECT_TRUE(GptestRecommended(report, "p"));
+}
+
+TEST(LintGoldenTest, UpwardFilterOnMinCostIsUnprovenWarning) {
+  auto ctx = MakeContext();
+  LintReport report = Lint(ctx, R"(
+      WITH recursive p (Dst, min() AS Cost) AS
+        (SELECT 1, 0.0) UNION
+        (SELECT edge.Dst, p.Cost + edge.Cost
+         FROM p, edge WHERE p.Dst = edge.Src AND p.Cost > 1.0)
+      SELECT Dst, Cost FROM p)");
+  EXPECT_TRUE(HasCode(report, "RASQL-M003")) << report.ToString();
+  EXPECT_TRUE(GptestRecommended(report, "p"));
+}
+
+TEST(LintGoldenTest, NegationOverAggregateColumnWarns) {
+  auto ctx = MakeContext();
+  LintReport report = Lint(ctx, R"(
+      WITH recursive p (Dst, min() AS Cost) AS
+        (SELECT 1, 0.0) UNION
+        (SELECT edge.Dst, p.Cost + edge.Cost
+         FROM p, edge WHERE p.Dst = edge.Src AND NOT (p.Cost < 50.0))
+      SELECT Dst, Cost FROM p)");
+  EXPECT_TRUE(HasCode(report, "RASQL-A002")) << report.ToString();
+  EXPECT_TRUE(GptestRecommended(report, "p"));
+}
+
+TEST(LintGoldenTest, MinOverColumnAlsoUsedAsKeyIsError) {
+  // "min over a column also used non-monotonically": the aggregate value
+  // leaks into the implicit group-by key.
+  auto ctx = MakeContext();
+  LintReport report = Lint(ctx, R"(
+      WITH recursive k (Key, min() AS C) AS
+        (SELECT 1, 0.0) UNION
+        (SELECT k.C + 1.0, k.C FROM k, edge WHERE k.Key = edge.Src)
+      SELECT Key, C FROM k)");
+  EXPECT_TRUE(HasCode(report, "RASQL-K001")) << report.ToString();
+  EXPECT_TRUE(report.HasErrors());
+  EXPECT_FALSE(Proven(report, "k"));
+}
+
+TEST(LintGoldenTest, NegativeSumContributionIsError) {
+  auto ctx = MakeContext();
+  LintReport report = Lint(ctx, R"(
+      WITH recursive neg (Dst, sum() AS N) AS
+        (SELECT 1, 0 - 5) UNION
+        (SELECT edge.Dst, neg.N FROM neg, edge WHERE neg.Dst = edge.Src)
+      SELECT Dst, N FROM neg)");
+  EXPECT_TRUE(HasCode(report, "RASQL-S001")) << report.ToString();
+  EXPECT_TRUE(report.HasErrors());
+}
+
+TEST(LintGoldenTest, UnknownSignSumContributionWarns) {
+  auto ctx = MakeContext();
+  LintReport report = Lint(ctx, R"(
+      WITH recursive s (Dst, sum() AS N) AS
+        (SELECT Src, Cost FROM edge) UNION
+        (SELECT edge.Dst, s.N FROM s, edge WHERE s.Dst = edge.Src)
+      SELECT Dst, N FROM s)");
+  EXPECT_TRUE(HasCode(report, "RASQL-S002")) << report.ToString();
+  EXPECT_FALSE(report.HasErrors());
+  EXPECT_FALSE(Proven(report, "s"));
+}
+
+TEST(LintGoldenTest, ExplicitAggregateInRecursionIsError) {
+  auto ctx = MakeContext();
+  LintReport report = Lint(ctx, R"(
+      WITH recursive w (Part, Days) AS
+        (SELECT Part, Days FROM basic) UNION
+        (SELECT assbl.Part, max(w.Days) FROM assbl, w
+         WHERE assbl.Spart = w.Part)
+      SELECT Part, Days FROM w)");
+  EXPECT_TRUE(HasCode(report, "RASQL-A001")) << report.ToString();
+  EXPECT_TRUE(report.HasErrors());
+  // The AST pre-pass explains the failure; no generic E000 duplicate.
+  EXPECT_FALSE(HasCode(report, "RASQL-E000"));
+}
+
+TEST(LintGoldenTest, UnboundColumnReferenceIsError) {
+  auto ctx = MakeContext();
+  LintReport report = Lint(ctx, R"(
+      WITH recursive r (Dst) AS
+        (SELECT 1) UNION
+        (SELECT edge.Nope FROM r, edge WHERE r.Dst = edge.Src)
+      SELECT Dst FROM r)");
+  EXPECT_TRUE(HasCode(report, "RASQL-E000")) << report.ToString();
+  EXPECT_TRUE(report.HasErrors());
+}
+
+TEST(LintGoldenTest, CrossProductRecursionWarns) {
+  auto ctx = MakeContext();
+  LintReport report = Lint(ctx, R"(
+      WITH recursive r (Dst) AS
+        (SELECT 1) UNION
+        (SELECT edge.Dst FROM r, edge)
+      SELECT Dst FROM r)");
+  EXPECT_TRUE(HasCode(report, "RASQL-U001")) << report.ToString();
+}
+
+TEST(LintGoldenTest, NonLinearSumFallsBackToNaiveButStaysMonotone) {
+  auto ctx = MakeContext();
+  LintReport report = Lint(ctx, R"(
+      WITH recursive q (Dst, sum() AS N) AS
+        (SELECT 1, 1) UNION
+        (SELECT edge.Dst, q.N * q.N FROM q, edge WHERE q.Dst = edge.Src)
+      SELECT Dst, N FROM q)");
+  // Strategy warning (naive fixpoint) but the head is still provably
+  // monotone: N * N is non-negative when N is.
+  EXPECT_TRUE(HasCode(report, "RASQL-N001")) << report.ToString();
+  EXPECT_TRUE(HasCode(report, "RASQL-P001"));
+  EXPECT_TRUE(Proven(report, "q"));
+}
+
+TEST(LintGoldenTest, MutualRecursionWarnsAndStaysUnprovenForAggHeads) {
+  auto ctx = MakeContext();
+  LintReport report = Lint(ctx, R"(
+      WITH recursive a (X) AS
+        (SELECT 1) UNION (SELECT b.X FROM b),
+      recursive b (X) AS (SELECT a.X FROM a)
+      SELECT X FROM a)");
+  EXPECT_TRUE(HasCode(report, "RASQL-N002")) << report.ToString();
+  // Aggregate-free views stay proven: monotone RA is exact regardless of
+  // the evaluation strategy.
+  EXPECT_TRUE(Proven(report, "a"));
+  EXPECT_TRUE(Proven(report, "b"));
+}
+
+// ---- Execution gating (--lint / --werror-lint semantics). ----
+
+TEST(LintGatingTest, ErrorLevelQueryIsRefused) {
+  auto ctx = MakeContext();
+  ctx.mutable_config()->lint_before_execute = true;
+  auto result = ctx.Execute(R"(
+      WITH recursive p (Dst, min() AS Cost) AS
+        (SELECT 1, 0.0) UNION
+        (SELECT edge.Dst, 0.0 - p.Cost FROM p, edge WHERE p.Dst = edge.Src)
+      SELECT Dst, Cost FROM p)");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("RASQL-M001"),
+            std::string::npos)
+      << result.status();
+  EXPECT_TRUE(ctx.last_lint_report().HasErrors());
+}
+
+TEST(LintGatingTest, ProvenQueryExecutesUnderWerror) {
+  auto ctx = MakeContext();
+  ctx.mutable_config()->lint_before_execute = true;
+  ctx.mutable_config()->lint.werror = true;
+  auto result = ctx.Execute(kSssp);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->size(), 3u);  // vertices 1,2,3 reachable
+}
+
+TEST(LintGatingTest, WarningQueryRunsUnlessWerror) {
+  const char* unproven = R"(
+      WITH recursive p (Dst, min() AS Cost) AS
+        (SELECT 1, 1.0) UNION
+        (SELECT edge.Dst, p.Cost * edge.Cost FROM p, edge
+         WHERE p.Dst = edge.Src)
+      SELECT Dst, Cost FROM p)";
+  auto ctx = MakeContext();
+  ctx.mutable_config()->lint_before_execute = true;
+  EXPECT_TRUE(ctx.Execute(unproven).ok());
+
+  ctx.mutable_config()->lint.werror = true;
+  auto refused = ctx.Execute(unproven);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_NE(refused.status().message().find("RASQL-M002"),
+            std::string::npos);
+}
+
+// ---- Analyzer verdict threading and diagnostic plumbing. ----
+
+TEST(LintTest, SemiNaiveVerdictMatchesAnalyzerFlag) {
+  // The lint warning RASQL-N001 and RecursiveView::semi_naive_safe come
+  // from the same decision procedure; check they agree through the
+  // public API (stats report naive evaluation for the flagged query).
+  auto ctx = MakeContext();
+  auto result = ctx.Execute(R"(
+      WITH recursive q (Dst, sum() AS N) AS
+        (SELECT 1, 1) UNION
+        (SELECT edge.Dst, q.N * q.N FROM q, edge WHERE q.Dst = edge.Src)
+      SELECT Dst, N FROM q)");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_FALSE(ctx.last_fixpoint_stats().used_semi_naive);
+
+  auto report = ctx.Lint(R"(
+      WITH recursive q (Dst, sum() AS N) AS
+        (SELECT 1, 1) UNION
+        (SELECT edge.Dst, q.N * q.N FROM q, edge WHERE q.Dst = edge.Src)
+      SELECT Dst, N FROM q)");
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(HasCode(*report, "RASQL-N001"));
+}
+
+TEST(LintTest, DiagnosticEngineSortsAndCounts) {
+  DiagnosticEngine engine;
+  engine.Report(Severity::kNote, "RASQL-P000", "fine", "v");
+  engine.Report(Severity::kError, "RASQL-M001", "bad", "v", "expr");
+  engine.Report(Severity::kWarning, "RASQL-M002", "meh", "w");
+  EXPECT_EQ(engine.CountAtLeast(Severity::kNote), 3);
+  EXPECT_EQ(engine.CountAtLeast(Severity::kWarning), 2);
+  EXPECT_EQ(engine.CountAtLeast(Severity::kError), 1);
+  EXPECT_TRUE(engine.HasErrors());
+  EXPECT_TRUE(engine.ViewHasAtLeast("v", Severity::kError));
+  EXPECT_FALSE(engine.ViewHasAtLeast("w", Severity::kError));
+  const std::string rendered = engine.ToString();
+  EXPECT_LT(rendered.find("RASQL-M001"), rendered.find("RASQL-M002"));
+  EXPECT_LT(rendered.find("RASQL-M002"), rendered.find("RASQL-P000"));
+  EXPECT_NE(rendered.find("error [RASQL-M001] view 'v': bad (at: expr)"),
+            std::string::npos);
+}
+
+TEST(LintTest, MonotonicityClassifierCatalog) {
+  using lint::ClassifyMonotonicity;
+  using lint::Monotonicity;
+  auto col = [](const std::string& q, const std::string& n) {
+    return sql::MakeAstColumn(q, n);
+  };
+  auto lit = [](int64_t v) {
+    return sql::MakeAstLiteral(Value::Int(v));
+  };
+  // p.Cost + edge.Cost is monotone.
+  auto add = sql::MakeAstBinary(expr::BinaryOp::kAdd, col("p", "Cost"),
+                                col("edge", "Cost"));
+  EXPECT_EQ(ClassifyMonotonicity(*add, "p", "Cost"),
+            Monotonicity::kMonotone);
+  // k - p.Cost is antitone.
+  auto sub = sql::MakeAstBinary(expr::BinaryOp::kSub, lit(10),
+                                col("p", "Cost"));
+  EXPECT_EQ(ClassifyMonotonicity(*sub, "p", "Cost"),
+            Monotonicity::kAntitone);
+  // p.Cost * edge.Cost is unknown (factor sign not static).
+  auto mul = sql::MakeAstBinary(expr::BinaryOp::kMul, col("p", "Cost"),
+                                col("edge", "Cost"));
+  EXPECT_EQ(ClassifyMonotonicity(*mul, "p", "Cost"),
+            Monotonicity::kUnknown);
+  // p.Cost / 2 is monotone; p.Cost * (0-2) antitone.
+  auto div = sql::MakeAstBinary(expr::BinaryOp::kDiv, col("p", "Cost"),
+                                lit(2));
+  EXPECT_EQ(ClassifyMonotonicity(*div, "p", "Cost"),
+            Monotonicity::kMonotone);
+  auto negscale = sql::MakeAstBinary(
+      expr::BinaryOp::kMul, col("p", "Cost"),
+      sql::MakeAstBinary(expr::BinaryOp::kSub, lit(0), lit(2)));
+  EXPECT_EQ(ClassifyMonotonicity(*negscale, "p", "Cost"),
+            Monotonicity::kAntitone);
+  // Unrelated expressions are constants.
+  EXPECT_EQ(ClassifyMonotonicity(*col("edge", "Cost"), "p", "Cost"),
+            Monotonicity::kConstant);
+}
+
+}  // namespace
+}  // namespace rasql
