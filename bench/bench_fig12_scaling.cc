@@ -2,8 +2,17 @@
 // 15 workers on TC and SG over synthetic graphs. The simulated makespan
 // shrinks as workers are added; the 15-worker/2-worker speedup mirrors the
 // paper's 7x (TC) / 10x (SG).
+//
+// A second sweep scales *real threads* under the simulated cluster: the
+// same workloads on the work-stealing runtime with 1/2/4/8 threads, fixed
+// cluster shape. Results must be identical for every thread count; wall
+// times show the actual speedup on this machine. `--json[=path]` records
+// the sweep (default BENCH_parallel_runtime.json) including
+// hardware_threads, without which the wall numbers can't be interpreted —
+// on a single-core container every thread count costs the same.
 
 #include "bench/bench_util.h"
+#include "runtime/thread_pool.h"
 
 namespace rasql::bench {
 namespace {
@@ -50,14 +59,14 @@ std::vector<Workload> Workloads() {
   return out;
 }
 
-void Run() {
+void RunWorkerScaling(std::vector<Workload>* workloads) {
   PrintHeader("Figure 12: Scaling-out cluster size (TC, SG)",
               "paper Fig. 12 (Appendix F)");
   PrintRow({"workload", "1w", "2w", "4w", "8w", "15w", "2w/15w"});
 
-  for (Workload& w : Workloads()) {
+  for (Workload& w : *workloads) {
     std::map<std::string, storage::Relation> tables;
-    tables.emplace(w.table, std::move(w.data));
+    tables.emplace(w.table, w.data);
     std::vector<std::string> cells = {w.name};
     double two_workers = 0;
     double fifteen_workers = 0;
@@ -78,10 +87,84 @@ void Run() {
   }
 }
 
+void RunThreadScaling(std::vector<Workload>* workloads,
+                      const std::string& json_path) {
+  PrintHeader("Parallel runtime: real threads under the simulated cluster",
+              "runtime scaling, DESIGN.md §7");
+  std::printf("hardware threads on this machine: %d\n",
+              runtime::ThreadPool::HardwareThreads());
+  PrintRow({"workload", "1t", "2t", "4t", "8t", "1t/8t", "identical"});
+
+  std::vector<std::string> records;
+  for (Workload& w : *workloads) {
+    std::map<std::string, storage::Relation> tables;
+    tables.emplace(w.table, w.data);
+    std::vector<std::string> cells = {w.name};
+    double one_thread = 0;
+    double eight_threads = 0;
+    int64_t reference_result = 0;
+    bool identical = true;
+    for (int threads : {1, 2, 4, 8}) {
+      engine::EngineConfig config = RaSqlConfig();
+      config.runtime.num_threads = threads;
+      // Best of two runs: the first may pay allocator warm-up; the sweep
+      // measures the runtime, not the heap.
+      RunTiming t = RunEngine(config, tables, w.sql);
+      RunTiming second = RunEngine(config, tables, w.sql);
+      if (second.wall_time < t.wall_time) t = second;
+      cells.push_back(Fmt(t.wall_time));
+      if (threads == 1) {
+        one_thread = t.wall_time;
+        reference_result = t.result;
+      }
+      if (threads == 8) eight_threads = t.wall_time;
+      identical = identical && t.result == reference_result;
+
+      JsonEmitter rec;
+      rec.Text("workload", w.name);
+      rec.Integer("threads", threads);
+      rec.Number("wall_time_sec", t.wall_time);
+      rec.Number("sim_time_sec", t.sim_time);
+      rec.Integer("stages", t.stages);
+      rec.Integer("result", t.result);
+      records.push_back(rec.ToString());
+    }
+    char speedup[16];
+    std::snprintf(speedup, sizeof(speedup), "%.2fx",
+                  one_thread / eight_threads);
+    cells.push_back(speedup);
+    cells.push_back(identical ? "yes" : "NO");
+    PrintRow(cells);
+
+    JsonEmitter summary;
+    summary.Text("workload", w.name);
+    summary.Number("speedup_8t_vs_1t", one_thread / eight_threads);
+    summary.Text("identical_results", identical ? "yes" : "no");
+    records.push_back(summary.ToString());
+  }
+
+  if (!json_path.empty()) {
+    JsonEmitter doc;
+    doc.Text("bench", "bench_fig12_scaling");
+    doc.Text("section", "parallel_runtime_thread_scaling");
+    doc.Integer("hardware_threads", runtime::ThreadPool::HardwareThreads());
+    doc.Raw("runs", JsonEmitter::Array(records));
+    if (doc.WriteFile(json_path)) {
+      std::printf("wrote %s\n", json_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    }
+  }
+}
+
 }  // namespace
 }  // namespace rasql::bench
 
-int main() {
-  rasql::bench::Run();
+int main(int argc, char** argv) {
+  const std::string json_path = rasql::bench::JsonPathFromArgs(
+      argc, argv, "BENCH_parallel_runtime.json");
+  std::vector<rasql::bench::Workload> workloads = rasql::bench::Workloads();
+  rasql::bench::RunWorkerScaling(&workloads);
+  rasql::bench::RunThreadScaling(&workloads, json_path);
   return 0;
 }

@@ -250,6 +250,100 @@ inline std::string Fmt(double seconds) {
   return buf;
 }
 
+// ---- JSON artifacts: machine-readable bench records (BENCH_*.json). ----
+
+/// Minimal insertion-ordered JSON object writer. Values are rendered
+/// eagerly; nest objects/arrays with Raw + Array. Covers exactly what the
+/// bench artifacts need — not a general serializer.
+class JsonEmitter {
+ public:
+  void Number(const std::string& key, double value) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    fields_.emplace_back(key, buf);
+  }
+
+  void Integer(const std::string& key, int64_t value) {
+    fields_.emplace_back(key, std::to_string(value));
+  }
+
+  void Text(const std::string& key, const std::string& value) {
+    fields_.emplace_back(key, Quote(value));
+  }
+
+  /// Inserts pre-rendered JSON verbatim (a nested object or array).
+  void Raw(const std::string& key, const std::string& json) {
+    fields_.emplace_back(key, json);
+  }
+
+  static std::string Array(const std::vector<std::string>& elements) {
+    std::string out = "[";
+    for (size_t i = 0; i < elements.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += elements[i];
+    }
+    out += "]";
+    return out;
+  }
+
+  std::string ToString() const {
+    std::string out = "{";
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += Quote(fields_[i].first) + ": " + fields_[i].second;
+    }
+    out += "}";
+    return out;
+  }
+
+  /// Writes the object (plus trailing newline) to `path`; false on error.
+  bool WriteFile(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    const std::string text = ToString() + "\n";
+    const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+    return std::fclose(f) == 0 && ok;
+  }
+
+ private:
+  static std::string Quote(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    out += "\"";
+    return out;
+  }
+
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// Parses `--json` / `--json=path` from a bench's argv. Returns the output
+/// path (default_path when the flag carries no value) or "" when the flag
+/// is absent and the bench should stay table-only.
+inline std::string JsonPathFromArgs(int argc, char** argv,
+                                    const std::string& default_path) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") return default_path;
+    if (arg.rfind("--json=", 0) == 0) return arg.substr(7);
+  }
+  return "";
+}
+
 }  // namespace rasql::bench
 
 #endif  // RASQL_BENCH_BENCH_UTIL_H_

@@ -16,3 +16,15 @@ cmake -B "${BUILD_DIR}" -S . \
   -DRASQL_ENABLE_UBSAN=ON
 cmake --build "${BUILD_DIR}" -j "${JOBS}"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
+
+# Parallel-runtime gate: TSan excludes ASan, so the work-stealing executor
+# and the threaded fixpoint tests get their own build. Only the two test
+# binaries that exercise real threads are built and run — a full TSan build
+# of every bench would double CI time for no extra coverage.
+TSAN_BUILD_DIR=${TSAN_BUILD_DIR:-build-tsan}
+cmake -B "${TSAN_BUILD_DIR}" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DRASQL_ENABLE_TSAN=ON
+cmake --build "${TSAN_BUILD_DIR}" -j "${JOBS}" --target runtime_test dist_test
+"${TSAN_BUILD_DIR}/tests/runtime_test"
+"${TSAN_BUILD_DIR}/tests/dist_test"

@@ -4,7 +4,6 @@
 #include <cstdio>
 
 #include "common/check.h"
-#include "common/timer.h"
 
 namespace rasql::dist {
 
@@ -61,6 +60,17 @@ const StageMetrics& Cluster::RunStage(
   stage.name = name;
   stage.num_tasks = config_.num_partitions;
 
+  // Execute the task closures for real — concurrently on the work-stealing
+  // pool when the runtime has more than one thread. Per-task compute time
+  // and I/O reports land in partition order whatever the interleaving.
+  std::vector<TaskIo> ios;
+  std::vector<double> task_seconds;
+  executor_.Map<TaskIo>(config_.num_partitions, task, &ios, &task_seconds);
+
+  // Cost-model pass, after the barrier, in ascending partition order: the
+  // simulated placement and network charges depend only on the per-task
+  // reports, never on execution order, so the modeled stage is identical
+  // for every thread count.
   std::vector<double> worker_busy(config_.num_workers, 0.0);
   std::vector<int> producer_worker(config_.num_partitions, 0);
   std::vector<std::vector<size_t>> shuffle_bytes(config_.num_partitions);
@@ -70,9 +80,8 @@ const StageMetrics& Cluster::RunStage(
     const int worker = PlaceTask(p, stage_index);
     producer_worker[p] = worker;
 
-    common::Timer timer;
-    TaskIo io = task(p);
-    const double compute = timer.ElapsedSeconds() * config_.compute_scale;
+    TaskIo& io = ios[p];
+    const double compute = task_seconds[p] * config_.compute_scale;
 
     // Remote bytes this task must pull before/while computing.
     size_t remote = 0;

@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "runtime/stage_executor.h"
+
 namespace rasql::dist {
 
 /// Configuration of the simulated cluster. Defaults approximate the paper's
@@ -82,17 +84,31 @@ struct JobMetrics {
 /// `num_workers` workers and charges network/scheduling costs according to
 /// the config. Task *compute* is real (the task closures do the actual
 /// relational work and are timed); placement, fetches and stage overheads
-/// are modeled. This gives honest relative comparisons on one physical
-/// core — see DESIGN.md §1.
+/// are modeled — see DESIGN.md §1.
+///
+/// Underneath the simulation sits a real work-stealing runtime: with
+/// `runtime.num_threads > 1` the task closures of a stage execute
+/// concurrently (DESIGN.md §7). Closures handed to RunStage must then only
+/// touch partition-owned state. The simulated placement/network accounting
+/// is derived from partition-ordered results after the stage barrier, so it
+/// is deterministic and thread-count-independent.
 class Cluster {
  public:
-  explicit Cluster(ClusterConfig config) : config_(config) {}
+  explicit Cluster(ClusterConfig config,
+                   runtime::RuntimeOptions runtime_options = {})
+      : config_(config), executor_(runtime_options) {}
 
   const ClusterConfig& config() const { return config_; }
+  const runtime::RuntimeOptions& runtime_options() const {
+    return executor_.options();
+  }
+  /// Actual number of task-executing threads (>= 1).
+  int num_threads() const { return executor_.num_threads(); }
 
   /// Runs one stage: `task(p)` executes for every partition p in
-  /// [0, num_partitions), is timed, and reports its I/O. Returns the stage
-  /// metrics (also appended to job metrics).
+  /// [0, num_partitions) — concurrently when the runtime has more than one
+  /// thread — is timed, and reports its I/O. Returns the stage metrics
+  /// (also appended to job metrics).
   const StageMetrics& RunStage(const std::string& name,
                                const std::function<TaskIo(int)>& task);
 
@@ -105,13 +121,22 @@ class Cluster {
 
   const JobMetrics& metrics() const { return metrics_; }
   JobMetrics* mutable_metrics() { return &metrics_; }
-  void ResetMetrics() { metrics_ = JobMetrics(); }
+  /// Returns the cluster to its initial state: metrics, the stage counter
+  /// driving the hybrid-policy placement rotation, and pending shuffle
+  /// bookkeeping. A reused cluster then schedules exactly like a fresh one.
+  void ResetMetrics() {
+    metrics_ = JobMetrics();
+    stage_counter_ = 0;
+    last_shuffle_producer_worker_.clear();
+    last_shuffle_bytes_.clear();
+  }
 
  private:
   /// Worker a task is placed on under the active scheduling policy.
   int PlaceTask(int partition, int stage_index) const;
 
   ClusterConfig config_;
+  runtime::StageExecutor executor_;
   JobMetrics metrics_;
   int stage_counter_ = 0;
   /// Placement of the map tasks of the most recent shuffling stage:

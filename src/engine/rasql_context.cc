@@ -109,7 +109,7 @@ Result<Relation> RaSqlContext::ExecuteQuery(const sql::Query& query) {
 
   // Evaluate cliques in topological order, materializing views.
   std::map<std::string, Relation> views;
-  dist::Cluster cluster(config_.cluster);
+  dist::Cluster cluster(config_.cluster, config_.runtime);
   for (const analysis::RecursiveClique& clique : analyzed.cliques) {
     std::map<std::string, const Relation*> bindings;
     for (const auto& [name, rel] : tables_) bindings[name] = &rel;

@@ -12,6 +12,7 @@
 #include "fixpoint/local_fixpoint.h"
 #include "lint/linter.h"
 #include "plan/optimizer.h"
+#include "runtime/runtime_options.h"
 #include "sql/ast.h"
 #include "storage/relation.h"
 
@@ -30,6 +31,11 @@ struct EngineConfig {
   bool distributed = false;
   dist::ClusterConfig cluster;
   fixpoint::DistFixpointOptions dist_fixpoint;
+
+  /// Real task-execution runtime under the simulated cluster: how many OS
+  /// threads run each stage's tasks, and how shared per-stage accumulators
+  /// reduce (see DESIGN.md §7). Defaults to one thread (sequential).
+  runtime::RuntimeOptions runtime;
 
   /// Run the static PreM/monotonicity linter before executing each query
   /// and refuse error-level queries (`--lint`). `lint.werror` also

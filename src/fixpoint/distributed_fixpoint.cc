@@ -1,6 +1,7 @@
 #include "fixpoint/distributed_fixpoint.h"
 
 #include <algorithm>
+#include <atomic>
 #include <set>
 
 #include "common/check.h"
@@ -359,6 +360,68 @@ bool IsSubset(const std::vector<int>& sub, const std::vector<int>& super) {
   return true;
 }
 
+// ---- Stage-shared accumulators. Task closures may run concurrently on
+// the work-stealing runtime, so anything shared across partitions goes
+// through one of these instead of a bare captured variable. ----
+
+/// Counter updated from concurrent tasks. With deterministic_reduce (the
+/// default) each task owns a slot and the driver sums the slots after the
+/// stage barrier in ascending partition order; otherwise a relaxed atomic
+/// accumulates in task-completion order. The total is identical either way
+/// — the knob trades an O(P) post-pass for lock-free accumulation.
+class StageCounter {
+ public:
+  StageCounter(int num_tasks, bool deterministic)
+      : slots_(deterministic ? num_tasks : 0, 0) {}
+
+  void Add(int p, size_t n) {
+    if (slots_.empty()) {
+      atomic_.fetch_add(n, std::memory_order_relaxed);
+    } else {
+      slots_[p] += n;
+    }
+  }
+
+  /// Post-barrier total; call only after the stage completes.
+  size_t Total() const {
+    size_t total = atomic_.load(std::memory_order_relaxed);
+    for (size_t s : slots_) total += s;
+    return total;
+  }
+
+ private:
+  std::vector<size_t> slots_;
+  std::atomic<size_t> atomic_{0};
+};
+
+/// Per-task failure slots plus a shared abort flag. Each task records its
+/// own failure; long-running tasks poll `aborted()` to stop early once any
+/// sibling failed. The driver reports the lowest-partition failure, so the
+/// surfaced error is deterministic regardless of completion order.
+class StageStatus {
+ public:
+  explicit StageStatus(int num_tasks) : statuses_(num_tasks) {}
+
+  void Fail(int p, Status s) {
+    statuses_[p] = std::move(s);
+    aborted_.store(true, std::memory_order_release);
+  }
+  bool aborted() const {
+    return aborted_.load(std::memory_order_acquire);
+  }
+  /// Post-barrier: the first (lowest-partition) failure, or OK.
+  Status First() const {
+    for (const Status& s : statuses_) {
+      if (!s.ok()) return s;
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::vector<Status> statuses_;
+  std::atomic<bool> aborted_{false};
+};
+
 }  // namespace
 
 bool EligibleForDistributed(const RecursiveClique& clique) {
@@ -540,20 +603,25 @@ Result<std::map<std::string, Relation>> EvaluateCliqueDistributed(
   dist::SetRdd all(view.schema, spec, partitioning);
   std::vector<std::vector<Row>> delta(P);
 
+  // Every task closure below may execute concurrently (runtime threads):
+  // shared mutable state is limited to partition-owned slots (delta[p],
+  // all.partition(p), writes[p], per-partition evaluator caches) plus the
+  // StageCounter/StageStatus accumulators above.
+  const bool det_reduce = cluster->runtime_options().deterministic_reduce;
+
   // Seed stage: input splits shuffle the base case to its partitions.
   {
     std::vector<std::vector<Row>> splits(P);
     for (size_t i = 0; i < base_rows.size(); ++i) {
       splits[i % P].push_back(std::move(base_rows[i]));
     }
-    std::vector<ShuffleWrite> writes;
-    writes.reserve(P);
+    std::vector<ShuffleWrite> writes(P, ShuffleWrite(P));
     cluster->RunStage("seed-base-case", [&](int p) {
       ShuffleWrite write(P);
       for (Row& row : splits[p]) write.Add(std::move(row), partitioning);
       TaskIo io;
       io.shuffle_out_bytes = write.bytes_per_dest;
-      writes.push_back(std::move(write));
+      writes[p] = std::move(write);
       return io;
     });
     cluster->RunStage("merge-base-case", [&](int p) {
@@ -598,34 +666,41 @@ Result<std::map<std::string, Relation>> EvaluateCliqueDistributed(
     // ---- Decomposed evaluation (Sec. 7.2): each partition runs its own
     // fixpoint with no cross-partition shuffles or synchronization. One
     // modeled stage covers the whole run; its makespan is the slowest
-    // partition's total time.
-    Status failure = Status::OK();
-    int max_iterations = 0;
+    // partition's total time. This is also the embarrassingly parallel
+    // case for the real runtime: partitions never exchange rows.
+    StageStatus failure(P);
+    StageCounter delta_rows(P, det_reduce);
+    std::vector<int> task_iterations(P, 0);
+    std::vector<uint8_t> task_hit_limit(P, 0);
     cluster->RunStage("decomposed-fixpoint", [&](int p) {
       TaskIo io;
       io.cached_state_bytes = all.partition(p)->byte_size();
       int iterations = 0;
-      while (!delta[p].empty() && failure.ok()) {
+      while (!delta[p].empty() && !failure.aborted()) {
         if (iterations >= options.max_iterations) {
-          stats->hit_iteration_limit = true;
+          task_hit_limit[p] = 1;
           break;
         }
         ++iterations;
         std::vector<Row> candidates;
         Status s = eval_step_for_partition(p, &candidates);
         if (!s.ok()) {
-          failure = s;
+          failure.Fail(p, std::move(s));
           break;
         }
         candidates = dist::PartialAggregate(std::move(candidates), spec);
         all.partition(p)->MergeDelta(candidates, &delta[p]);
-        stats->total_delta_rows += delta[p].size();
+        delta_rows.Add(p, delta[p].size());
       }
-      max_iterations = std::max(max_iterations, iterations);
+      task_iterations[p] = iterations;
       return io;
     });
-    RASQL_RETURN_IF_ERROR(failure);
-    stats->iterations = max_iterations;
+    RASQL_RETURN_IF_ERROR(failure.First());
+    for (int p = 0; p < P; ++p) {
+      stats->iterations = std::max(stats->iterations, task_iterations[p]);
+      stats->hit_iteration_limit |= task_hit_limit[p] != 0;
+    }
+    stats->total_delta_rows += delta_rows.Total();
   } else if (options.combine_stages) {
     // ---- Optimized DSN (Alg. 6): one ShuffleMap stage per iteration.
     // Map output of iteration i is merged and re-joined by iteration i+1
@@ -634,9 +709,8 @@ Result<std::map<std::string, Relation>> EvaluateCliqueDistributed(
     {
       // The first combined stage has no incoming shuffle (the seed stages
       // above produced the initial delta); emit iteration 1's map output.
-      Status failure = Status::OK();
-      std::vector<ShuffleWrite> writes;
-      writes.reserve(P);
+      StageStatus failure(P);
+      std::vector<ShuffleWrite> writes(P, ShuffleWrite(P));
       cluster->RunStage("iter-1", [&](int p) {
         TaskIo io;
         io.cached_state_bytes =
@@ -645,16 +719,16 @@ Result<std::map<std::string, Relation>> EvaluateCliqueDistributed(
         std::vector<Row> candidates;
         Status s = eval_step_for_partition(p, &candidates);
         if (!s.ok()) {
-          failure = s;
+          failure.Fail(p, std::move(s));
         } else {
           candidates = dist::PartialAggregate(std::move(candidates), spec);
           for (Row& row : candidates) write.Add(std::move(row), partitioning);
         }
         io.shuffle_out_bytes = write.bytes_per_dest;
-        writes.push_back(std::move(write));
+        writes[p] = std::move(write);
         return io;
       });
-      RASQL_RETURN_IF_ERROR(failure);
+      RASQL_RETURN_IF_ERROR(failure.First());
       pending = std::move(writes);
       stats->iterations = 1;
     }
@@ -673,9 +747,9 @@ Result<std::map<std::string, Relation>> EvaluateCliqueDistributed(
       if (!any_incoming) break;
       ++stats->iterations;
 
-      Status failure = Status::OK();
-      std::vector<ShuffleWrite> writes;
-      writes.reserve(P);
+      StageStatus failure(P);
+      StageCounter delta_rows(P, det_reduce);
+      std::vector<ShuffleWrite> writes(P, ShuffleWrite(P));
       cluster->RunStage("iter-" + std::to_string(stats->iterations),
                         [&](int p) {
         TaskIo io;
@@ -685,13 +759,13 @@ Result<std::map<std::string, Relation>> EvaluateCliqueDistributed(
         std::vector<Row> incoming = dist::GatherShuffle(pending, p);
         incoming = dist::PartialAggregate(std::move(incoming), spec);
         all.partition(p)->MergeDelta(incoming, &delta[p]);
-        stats->total_delta_rows += delta[p].size();
+        delta_rows.Add(p, delta[p].size());
         ShuffleWrite write(P);
         if (!delta[p].empty()) {
           std::vector<Row> candidates;
           Status s = eval_step_for_partition(p, &candidates);
           if (!s.ok()) {
-            failure = s;
+            failure.Fail(p, std::move(s));
           } else {
             candidates =
                 dist::PartialAggregate(std::move(candidates), spec);
@@ -701,10 +775,11 @@ Result<std::map<std::string, Relation>> EvaluateCliqueDistributed(
           }
         }
         io.shuffle_out_bytes = write.bytes_per_dest;
-        writes.push_back(std::move(write));
+        writes[p] = std::move(write);
         return io;
       });
-      RASQL_RETURN_IF_ERROR(failure);
+      RASQL_RETURN_IF_ERROR(failure.First());
+      stats->total_delta_rows += delta_rows.Total();
       pending = std::move(writes);
     }
   } else {
@@ -717,9 +792,8 @@ Result<std::map<std::string, Relation>> EvaluateCliqueDistributed(
       }
       ++stats->iterations;
 
-      Status failure = Status::OK();
-      std::vector<ShuffleWrite> writes;
-      writes.reserve(P);
+      StageStatus failure(P);
+      std::vector<ShuffleWrite> writes(P, ShuffleWrite(P));
       cluster->RunStage("map-" + std::to_string(stats->iterations),
                         [&](int p) {
         TaskIo io;
@@ -728,17 +802,18 @@ Result<std::map<std::string, Relation>> EvaluateCliqueDistributed(
         std::vector<Row> candidates;
         Status s = eval_step_for_partition(p, &candidates);
         if (!s.ok()) {
-          failure = s;
+          failure.Fail(p, std::move(s));
         } else {
           candidates = dist::PartialAggregate(std::move(candidates), spec);
           for (Row& row : candidates) write.Add(std::move(row), partitioning);
         }
         io.shuffle_out_bytes = write.bytes_per_dest;
-        writes.push_back(std::move(write));
+        writes[p] = std::move(write);
         return io;
       });
-      RASQL_RETURN_IF_ERROR(failure);
+      RASQL_RETURN_IF_ERROR(failure.First());
 
+      StageCounter delta_rows(P, det_reduce);
       cluster->RunStage("reduce-" + std::to_string(stats->iterations),
                         [&](int p) {
         TaskIo io;
@@ -747,9 +822,10 @@ Result<std::map<std::string, Relation>> EvaluateCliqueDistributed(
         std::vector<Row> incoming = dist::GatherShuffle(writes, p);
         incoming = dist::PartialAggregate(std::move(incoming), spec);
         all.partition(p)->MergeDelta(incoming, &delta[p]);
-        stats->total_delta_rows += delta[p].size();
+        delta_rows.Add(p, delta[p].size());
         return io;
       });
+      stats->total_delta_rows += delta_rows.Total();
     }
   }
 

@@ -1,0 +1,32 @@
+#ifndef RASQL_RUNTIME_RUNTIME_OPTIONS_H_
+#define RASQL_RUNTIME_RUNTIME_OPTIONS_H_
+
+namespace rasql::runtime {
+
+/// Configuration of the real task-execution runtime that sits *under* the
+/// simulated cluster: the simulated placement/network model decides what a
+/// stage costs on the modeled 15-node testbed, while this runtime decides
+/// how many OS threads actually execute the stage's task closures on the
+/// local machine. The two are independent by design — see DESIGN.md §7.
+struct RuntimeOptions {
+  /// Threads executing stage tasks. 1 = run every task inline on the
+  /// driver thread (the original sequential behaviour); 0 = one thread per
+  /// hardware thread.
+  int num_threads = 1;
+
+  /// When true (default), shared per-stage accumulators (delta-row counts,
+  /// failure statuses) are collected into per-task slots and reduced after
+  /// the stage barrier in ascending partition order, so every driver-side
+  /// value is bit-identical for any thread count. When false, accumulators
+  /// are relaxed atomics updated in task-completion order — same totals,
+  /// no post-pass. Query *results* are identical either way: relation
+  /// state is always partition-owned and merged in partition order.
+  bool deterministic_reduce = true;
+
+  /// `num_threads` with the auto-detect value resolved; always >= 1.
+  int ResolvedThreads() const;
+};
+
+}  // namespace rasql::runtime
+
+#endif  // RASQL_RUNTIME_RUNTIME_OPTIONS_H_

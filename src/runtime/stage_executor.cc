@@ -1,0 +1,17 @@
+#include "runtime/stage_executor.h"
+
+namespace rasql::runtime {
+
+int RuntimeOptions::ResolvedThreads() const {
+  if (num_threads <= 0) return ThreadPool::HardwareThreads();
+  return num_threads;
+}
+
+StageExecutor::StageExecutor(RuntimeOptions options)
+    : options_(options), num_threads_(options.ResolvedThreads()) {
+  if (num_threads_ > 1) {
+    pool_ = std::make_unique<ThreadPool>(num_threads_);
+  }
+}
+
+}  // namespace rasql::runtime

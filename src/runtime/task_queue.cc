@@ -1,0 +1,34 @@
+#include "runtime/task_queue.h"
+
+namespace rasql::runtime {
+
+void TaskQueue::PushBottom(Task task) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tasks_.push_back(std::move(task));
+}
+
+bool TaskQueue::PopBottom(Task* task) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tasks_.empty()) return false;
+  *task = std::move(tasks_.back());
+  tasks_.pop_back();
+  return true;
+}
+
+size_t TaskQueue::StealHalf(std::vector<Task>* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tasks_.empty()) return 0;
+  const size_t take = (tasks_.size() + 1) / 2;
+  for (size_t i = 0; i < take; ++i) {
+    out->push_back(std::move(tasks_.front()));
+    tasks_.pop_front();
+  }
+  return take;
+}
+
+size_t TaskQueue::Size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tasks_.size();
+}
+
+}  // namespace rasql::runtime

@@ -1,0 +1,49 @@
+#ifndef RASQL_RUNTIME_TASK_QUEUE_H_
+#define RASQL_RUNTIME_TASK_QUEUE_H_
+
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+namespace rasql::runtime {
+
+/// A unit of work owned by the thread pool.
+using Task = std::function<void()>;
+
+/// One worker's task deque. The owner pushes and pops at the bottom (LIFO:
+/// the freshest task first, which keeps its working set warm); thieves take
+/// from the top (the oldest tasks) and grab half the queue per steal, so a
+/// loaded victim is drained in O(log n) steals instead of n one-task trips.
+///
+/// Mutex-based rather than lock-free: stage tasks are coarse (one
+/// relational operator tree over a whole partition), so queue traffic is a
+/// few dozen operations per stage and contention is negligible. A Chase-Lev
+/// deque would buy nothing here and cost a memory-model audit.
+class TaskQueue {
+ public:
+  TaskQueue() = default;
+  TaskQueue(const TaskQueue&) = delete;
+  TaskQueue& operator=(const TaskQueue&) = delete;
+
+  /// Owner-side push.
+  void PushBottom(Task task);
+
+  /// Owner-side pop, LIFO. Returns false when the queue is empty.
+  bool PopBottom(Task* task);
+
+  /// Thief-side: moves the oldest half of the queue (rounded up, at least
+  /// one task when non-empty) into `*out`. Returns the number stolen.
+  size_t StealHalf(std::vector<Task>* out);
+
+  size_t Size() const;
+  bool Empty() const { return Size() == 0; }
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<Task> tasks_;
+};
+
+}  // namespace rasql::runtime
+
+#endif  // RASQL_RUNTIME_TASK_QUEUE_H_

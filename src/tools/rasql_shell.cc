@@ -3,9 +3,12 @@
 // spark-shell integration.
 //
 // Usage:
-//   rasql [--distributed] [--workers N] [--lint] [--werror-lint]
-//         [script.sql]
+//   rasql [--distributed] [--workers N] [--threads N] [--lint]
+//         [--werror-lint] [script.sql]
 //
+// --threads=N runs the task closures of every distributed stage on a
+// work-stealing pool of N real threads (0 = one per hardware thread);
+// query results are identical for any thread count.
 // --lint runs the static PreM/monotonicity analyzer before every query
 // and refuses error-level queries; --werror-lint also refuses
 // warning-level ones.
@@ -218,6 +221,10 @@ int Main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
       config.cluster.num_workers = std::atoi(argv[++i]);
       config.cluster.num_partitions = config.cluster.num_workers * 2;
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      config.runtime.num_threads = std::atoi(argv[i] + 10);
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      config.runtime.num_threads = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--lint") == 0) {
       config.lint_before_execute = true;
     } else if (std::strcmp(argv[i], "--werror-lint") == 0) {
@@ -225,8 +232,8 @@ int Main(int argc, char** argv) {
       config.lint.werror = true;
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::printf(
-          "usage: rasql [--distributed] [--workers N] [--lint] "
-          "[--werror-lint] [script]\n");
+          "usage: rasql [--distributed] [--workers N] [--threads N] "
+          "[--lint] [--werror-lint] [script]\n");
       PrintHelp();
       return 0;
     } else {

@@ -25,6 +25,8 @@ using storage::Relation;
 struct CrossValCase {
   uint64_t seed;
   bool distributed;
+  /// Real threads under the simulated cluster (1 = sequential seed path).
+  int threads = 1;
 };
 
 class CrossValidation : public ::testing::TestWithParam<CrossValCase> {
@@ -34,6 +36,7 @@ class CrossValidation : public ::testing::TestWithParam<CrossValCase> {
     config.distributed = GetParam().distributed;
     config.cluster.num_workers = 5;
     config.cluster.num_partitions = 10;
+    config.runtime.num_threads = GetParam().threads;
     return config;
   }
 
@@ -294,10 +297,16 @@ INSTANTIATE_TEST_SUITE_P(
     SeedsAndModes, CrossValidation,
     ::testing::Values(CrossValCase{11, false}, CrossValCase{11, true},
                       CrossValCase{23, false}, CrossValCase{23, true},
-                      CrossValCase{47, true}, CrossValCase{101, true}),
+                      CrossValCase{47, true}, CrossValCase{101, true},
+                      // The same distributed fixpoints on the parallel
+                      // runtime must still agree with the serial baselines.
+                      CrossValCase{47, true, 8}, CrossValCase{101, true, 8}),
     [](const auto& info) {
       return "seed" + std::to_string(info.param.seed) +
-             (info.param.distributed ? "_dist" : "_local");
+             (info.param.distributed ? "_dist" : "_local") +
+             (info.param.threads > 1
+                  ? "_t" + std::to_string(info.param.threads)
+                  : "");
     });
 
 }  // namespace

@@ -135,6 +135,56 @@ TEST(ClusterTest, ShuffleBytesCrossWorkersOnly) {
   EXPECT_EQ(cluster.metrics().TotalShuffleBytes(), 150u);
 }
 
+TEST(ClusterTest, ResetMetricsRestartsStagePlacement) {
+  // Regression: ResetMetrics used to leave stage_counter_ stale, so the
+  // hybrid policy's (partition + stage) % workers rotation resumed mid-cycle
+  // on a reused cluster and placed tasks differently from a fresh one.
+  // Per-stage remote bytes expose this: at stage index 0 the rotation puts
+  // every task on its owner worker (p % 3 == (p + 0) % 3), so cached-state
+  // fetches are free; at a stale index 2 every fetch would cross the network.
+  ClusterConfig config;
+  config.num_workers = 3;
+  config.num_partitions = 6;
+  config.partition_aware_scheduling = false;  // hybrid rotation
+  auto state_task = [](int p) {
+    TaskIo io;
+    io.cached_state_bytes = 1000;
+    return io;
+  };
+  Cluster cluster(config);
+  cluster.RunStage("s", state_task);
+  cluster.RunStage("s", state_task);
+  const size_t fresh_stage0_remote = cluster.metrics().stages[0].remote_bytes;
+  EXPECT_EQ(fresh_stage0_remote, 0u);
+
+  cluster.ResetMetrics();
+  cluster.RunStage("s", state_task);
+  EXPECT_EQ(cluster.metrics().num_stages(), 1);
+  EXPECT_EQ(cluster.metrics().stages[0].remote_bytes, fresh_stage0_remote);
+}
+
+TEST(ClusterTest, ResetMetricsDropsPendingShuffle) {
+  // A reset must also forget the previous job's map output: a consuming
+  // stage on the reused cluster would otherwise pull stale shuffle slices
+  // and charge phantom network traffic.
+  ClusterConfig config;
+  config.num_workers = 2;
+  config.num_partitions = 2;
+  Cluster cluster(config);
+  cluster.RunStage("map", [](int p) {
+    TaskIo io;
+    io.shuffle_out_bytes = {50, 100};
+    return io;
+  });
+  cluster.ResetMetrics();
+  cluster.RunStage("reduce", [](int p) {
+    TaskIo io;
+    io.consumes_shuffle = true;
+    return io;
+  });
+  EXPECT_EQ(cluster.metrics().TotalRemoteBytes(), 0u);
+}
+
 TEST(ClusterTest, BroadcastChargesAllWorkers) {
   ClusterConfig config;
   config.num_workers = 4;
