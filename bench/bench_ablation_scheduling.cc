@@ -57,10 +57,9 @@ void Run() {
         std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
         std::abort();
       }
-      const double hybrid_time = ctx.last_job_metrics().TotalSimTime();
+      const double hybrid_time = result->job_metrics.TotalSimTime();
       const double remote_mb =
-          static_cast<double>(ctx.last_job_metrics().TotalRemoteBytes()) /
-          1e6;
+          static_cast<double>(result->job_metrics.TotalRemoteBytes()) / 1e6;
 
       char remote[24];
       std::snprintf(remote, sizeof(remote), "%.1f", remote_mb);

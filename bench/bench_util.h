@@ -101,6 +101,8 @@ struct RunTiming {
   double compute_time = 0;
   int stages = 0;
   int iterations = 0;
+  size_t shuffle_bytes = 0;
+  size_t remote_bytes = 0;
   int64_t result = 0;  ///< first int value of the (usually count) result
 };
 
@@ -127,13 +129,16 @@ inline RunTiming RunEngine(engine::EngineConfig config,
   }
   RunTiming timing;
   timing.wall_time = timer.ElapsedSeconds();
-  timing.sim_time = ctx.last_job_metrics().TotalSimTime();
-  timing.compute_time = ctx.last_job_metrics().TotalComputeTime();
-  timing.stages = ctx.last_job_metrics().num_stages();
-  timing.iterations = ctx.last_fixpoint_stats().iterations;
-  if (!result->empty() && !result->rows()[0].empty() &&
-      result->rows()[0][0].type() == storage::ValueType::kInt64) {
-    timing.result = result->rows()[0][0].AsInt();
+  timing.sim_time = result->job_metrics.TotalSimTime();
+  timing.compute_time = result->job_metrics.TotalComputeTime();
+  timing.stages = result->job_metrics.num_stages();
+  timing.shuffle_bytes = result->job_metrics.TotalShuffleBytes();
+  timing.remote_bytes = result->job_metrics.TotalRemoteBytes();
+  timing.iterations = result->fixpoint_stats.iterations;
+  const storage::Relation& rel = result->relation;
+  if (!rel.empty() && !rel.rows()[0].empty() &&
+      rel.rows()[0][0].type() == storage::ValueType::kInt64) {
+    timing.result = rel.rows()[0][0].AsInt();
   }
   return timing;
 }

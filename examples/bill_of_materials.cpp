@@ -42,20 +42,21 @@ int main() {
       SELECT Part, Days FROM waitfor)";
 
   auto r1 = ctx.Execute(q1);
-  const auto stratified_deltas = ctx.last_fixpoint_stats().total_delta_rows;
   auto r2 = ctx.Execute(q2);
-  const auto rasql_deltas = ctx.last_fixpoint_stats().total_delta_rows;
   if (!r1.ok() || !r2.ok()) {
     std::fprintf(stderr, "query failed\n");
     return 1;
   }
+  const auto stratified_deltas = r1->fixpoint_stats.total_delta_rows;
+  const auto rasql_deltas = r2->fixpoint_stats.total_delta_rows;
 
   std::printf("Q1 (stratified) rows: %zu, total delta tuples: %zu\n",
-              r1->size(), stratified_deltas);
+              r1->relation.size(), stratified_deltas);
   std::printf("Q2 (endo-max)  rows: %zu, total delta tuples: %zu\n",
-              r2->size(), rasql_deltas);
+              r2->relation.size(), rasql_deltas);
   std::printf("results identical (PreM): %s\n",
-              rasql::storage::SameBag(*r1, *r2) ? "yes" : "NO (bug!)");
+              rasql::storage::SameBag(r1->relation, r2->relation)
+                  ? "yes" : "NO (bug!)");
   std::printf(
       "aggregate-in-recursion pruned %.1fx of the delta tuples\n\n",
       static_cast<double>(stratified_deltas) /

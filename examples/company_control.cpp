@@ -44,7 +44,7 @@ int main() {
     return 1;
   }
   std::printf("effective share ownership (direct + via controlled"
-              " companies):\n%s\n", result->ToString(50).c_str());
+              " companies):\n%s\n", result->relation.ToString(50).c_str());
 
   auto control = ctx.Execute(R"(
       WITH recursive cshares(ByCom, OfCom, sum() AS Tot) AS
@@ -54,7 +54,8 @@ int main() {
       recursive control(Com1, Com2) AS
         (SELECT ByCom, OfCom FROM cshares WHERE Tot > 50)
       SELECT Com1, Com2 FROM control ORDER BY Com1, Com2)");
-  std::printf("control relationships:\n%s", control->ToString(50).c_str());
+  std::printf("control relationships:\n%s",
+              control->relation.ToString(50).c_str());
   std::printf(
       "\n(acme controls coyote with 20%% direct + 35%% via brook, and\n"
       " therefore controls dyn through coyote's 51%%.)\n");

@@ -70,10 +70,10 @@ int main() {
       return 1;
     }
     std::printf("%s\n  answer      = %s\n", q.name,
-                result->rows()[0][0].ToString().c_str());
-    std::printf("  iterations  = %d\n", ctx.last_fixpoint_stats().iterations);
+                result->relation.rows()[0][0].ToString().c_str());
+    std::printf("  iterations  = %d\n", result->fixpoint_stats.iterations);
     std::printf("  cluster     = %s\n\n",
-                ctx.last_job_metrics().Summary().c_str());
+                result->job_metrics.Summary().c_str());
   }
   return 0;
 }

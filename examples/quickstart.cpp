@@ -45,9 +45,9 @@ int main() {
   }
 
   std::printf("shortest paths from vertex 0:\n%s",
-              result->ToString().c_str());
+              result->relation.ToString().c_str());
   std::printf("fixpoint reached in %d iterations\n",
-              ctx.last_fixpoint_stats().iterations);
+              result->fixpoint_stats.iterations);
 
   // 4. EXPLAIN shows the compiled recursive clique + fixpoint plan.
   auto plan = ctx.Explain(R"(

@@ -10,7 +10,8 @@
 namespace rasql::baselines {
 
 using dist::Cluster;
-using dist::TaskIo;
+using dist::StageSpec;
+using dist::TaskContext;
 
 namespace {
 
@@ -99,7 +100,9 @@ PregelResult RunPregel(const datagen::Graph& graph,
 
   PregelResult result;
   result.values.assign(graph.num_vertices, kInf);
-  std::vector<bool> active(graph.num_vertices, false);
+  // uint8_t, not bool: tasks write their owned vertices' flags
+  // concurrently and vector<bool> packs bits.
+  std::vector<uint8_t> active(graph.num_vertices, 0);
 
   // Superstep 0: initialize.
   switch (algorithm) {
@@ -107,13 +110,13 @@ PregelResult RunPregel(const datagen::Graph& graph,
     case PregelAlgorithm::kSssp:
       if (options.source < graph.num_vertices) {
         result.values[options.source] = 0;
-        active[options.source] = true;
+        active[options.source] = 1;
       }
       break;
     case PregelAlgorithm::kConnectedComponents:
       for (int64_t v = 0; v < graph.num_vertices; ++v) {
         result.values[v] = static_cast<double>(v);
-        active[v] = true;
+        active[v] = 1;
       }
       break;
   }
@@ -127,61 +130,73 @@ PregelResult RunPregel(const datagen::Graph& graph,
 
   while (any_active && result.supersteps < options.max_supersteps) {
     ++result.supersteps;
-    std::vector<std::unordered_map<int64_t, double>> outbox(P);
+    // Partition-owned outboxes — outbox[p][dest] is written only by task p
+    // — so supersteps run race-free at any thread count.
+    std::vector<std::vector<std::unordered_map<int64_t, double>>> outbox(
+        P, std::vector<std::unordered_map<int64_t, double>>(P));
 
-    cluster->RunStage(
+    StageSpec superstep_stage;
+    superstep_stage.name =
         (graphx ? "graphx-superstep-" : "giraph-superstep-") +
-            std::to_string(result.supersteps),
-        [&](int p) {
-          TaskIo io;
-          io.consumes_shuffle = true;
-          io.cached_state_bytes = csr[p].byte_size;
-          std::vector<size_t> bytes_out(P, 0);
+        std::to_string(result.supersteps);
+    // A superstep consumes the previous one's messages and emits the next
+    // one's: the fused reduce+map shape.
+    superstep_stage.kind = StageSpec::Kind::kCombined;
+    cluster->RunStage(superstep_stage, [&](TaskContext& ctx) {
+      const int p = ctx.partition();
+      ctx.ReportCachedState(csr[p].byte_size);
+      std::vector<size_t> bytes_out(P, 0);
+      auto& out = outbox[p];
 
-          // Deliver incoming messages (min-combine into vertex values).
-          for (const auto& [v, value] : inbox[p]) {
-            if (value < result.values[v]) {
-              result.values[v] = value;
-              active[v] = true;
-            }
-          }
-          inbox[p].clear();
+      // Deliver incoming messages (min-combine into vertex values). Every
+      // vertex in inbox[p] is owned by p, so values/active writes stay
+      // partition-owned.
+      for (const auto& [v, value] : inbox[p]) {
+        if (value < result.values[v]) {
+          result.values[v] = value;
+          active[v] = 1;
+        }
+      }
+      inbox[p].clear();
 
-          // Compute: every active vertex sends along its out-edges.
-          const PartitionCsr& part = csr[p];
-          for (size_t i = 0; i < part.vertices.size(); ++i) {
-            const int64_t v = part.vertices[i];
-            if (!active[v]) continue;
-            active[v] = false;
-            const double value = result.values[v];
-            for (int e = part.offsets[i]; e < part.offsets[i + 1]; ++e) {
-              const int64_t target = part.targets[e];
-              double message;
-              switch (algorithm) {
-                case PregelAlgorithm::kReach:
-                  message = value + 1;  // BFS depth
-                  break;
-                case PregelAlgorithm::kSssp:
-                  message =
-                      value + (part.weights.empty() ? 1.0 : part.weights[e]);
-                  break;
-                case PregelAlgorithm::kConnectedComponents:
-                  message = value;  // label propagation
-                  break;
-              }
-              if (message >= result.values[target]) continue;  // combiner
-              const int dest = PartitionOf(target, P);
-              auto [it, inserted] = outbox[dest].emplace(target, message);
-              if (!inserted) {
-                it->second = std::min(it->second, message);
-              } else {
-                bytes_out[dest] += 16;
-              }
-            }
+      // Compute: every active vertex sends along its out-edges.
+      const PartitionCsr& part = csr[p];
+      for (size_t i = 0; i < part.vertices.size(); ++i) {
+        const int64_t v = part.vertices[i];
+        if (!active[v]) continue;
+        active[v] = 0;
+        const double value = result.values[v];
+        for (int e = part.offsets[i]; e < part.offsets[i + 1]; ++e) {
+          const int64_t target = part.targets[e];
+          double message;
+          switch (algorithm) {
+            case PregelAlgorithm::kReach:
+              message = value + 1;  // BFS depth
+              break;
+            case PregelAlgorithm::kSssp:
+              message =
+                  value + (part.weights.empty() ? 1.0 : part.weights[e]);
+              break;
+            case PregelAlgorithm::kConnectedComponents:
+              message = value;  // label propagation
+              break;
           }
-          io.shuffle_out_bytes = std::move(bytes_out);
-          return io;
-        });
+          const int dest = PartitionOf(target, P);
+          // Suppress against the target's current value only when this
+          // task owns the target; a remote vertex's value belongs to
+          // another task and may not be read mid-stage. Cross-partition
+          // suppression falls to the outbox min-combine below.
+          if (dest == p && message >= result.values[target]) continue;
+          auto [it, inserted] = out[dest].emplace(target, message);
+          if (!inserted) {
+            it->second = std::min(it->second, message);
+          } else {
+            bytes_out[dest] += 16;
+          }
+        }
+      }
+      ctx.ReportShuffleBytes(std::move(bytes_out));
+    });
 
     // GraphX profile: three more bookkeeping stages per superstep — the
     // vertex/edge RDD joins and re-creations its Pregel implementation
@@ -189,33 +204,39 @@ PregelResult RunPregel(const datagen::Graph& graph,
     // state around.
     if (graphx) {
       for (int extra = 0; extra < 3; ++extra) {
-        cluster->RunStage(
-            "graphx-bookkeeping-" + std::to_string(result.supersteps) + "-" +
-                std::to_string(extra),
-            [&](int p) {
-              TaskIo io;
-              io.consumes_shuffle = extra == 0;
-              // Re-create the vertex-attribute RDD: copy owned values.
-              std::vector<double> copy;
-              copy.reserve(csr[p].vertices.size());
-              for (int64_t v : csr[p].vertices) {
-                copy.push_back(result.values[v]);
-              }
-              // Keep the copy alive long enough to be "the new RDD".
-              io.cached_state_bytes = copy.size() * 8;
-              io.shuffle_out_bytes.assign(P, copy.size() * 8 / P);
-              return io;
-            });
+        StageSpec bookkeeping;
+        bookkeeping.name = "graphx-bookkeeping-" +
+                           std::to_string(result.supersteps) + "-" +
+                           std::to_string(extra);
+        // The first bookkeeping stage consumes the superstep's shuffle and
+        // shuffles again; the rest only produce.
+        bookkeeping.kind = extra == 0 ? StageSpec::Kind::kCombined
+                                      : StageSpec::Kind::kShuffleMap;
+        cluster->RunStage(bookkeeping, [&](TaskContext& ctx) {
+          const int p = ctx.partition();
+          // Re-create the vertex-attribute RDD: copy owned values.
+          std::vector<double> copy;
+          copy.reserve(csr[p].vertices.size());
+          for (int64_t v : csr[p].vertices) {
+            copy.push_back(result.values[v]);
+          }
+          // Keep the copy alive long enough to be "the new RDD".
+          ctx.ReportCachedState(copy.size() * 8);
+          ctx.ReportShuffleBytes(
+              std::vector<size_t>(P, copy.size() * 8 / P));
+        });
       }
     }
 
-    // Route messages.
+    // Route messages, ascending producer order for each destination.
     any_active = false;
-    for (int p = 0; p < P; ++p) {
-      for (const auto& [v, value] : outbox[p]) {
-        inbox[p].emplace_back(v, value);
+    for (int dest = 0; dest < P; ++dest) {
+      for (int src = 0; src < P; ++src) {
+        for (const auto& [v, value] : outbox[src][dest]) {
+          inbox[dest].emplace_back(v, value);
+        }
       }
-      if (!inbox[p].empty()) any_active = true;
+      if (!inbox[dest].empty()) any_active = true;
     }
   }
   return result;
@@ -240,76 +261,88 @@ PregelResult RunTreeAggregate(const datagen::Graph& graph,
     parent[c] = p;
   }
   std::vector<std::vector<std::pair<int64_t, double>>> inbox(P);
-  std::vector<bool> fired(graph.num_vertices, false);
+  // uint8_t, not bool: tasks write their owned vertices' flags
+  // concurrently and vector<bool> packs bits.
+  std::vector<uint8_t> fired(graph.num_vertices, 0);
 
   bool done = false;
   while (!done && result.supersteps < options.max_supersteps) {
     ++result.supersteps;
-    std::vector<std::vector<std::pair<int64_t, double>>> outbox(P);
-    bool fired_any = false;
+    // Partition-owned outboxes and fired flags — task p writes only
+    // outbox[p] and fired_flags[p] — so the stage is race-free at any
+    // thread count.
+    std::vector<std::vector<std::vector<std::pair<int64_t, double>>>> outbox(
+        P, std::vector<std::vector<std::pair<int64_t, double>>>(P));
+    std::vector<uint8_t> fired_flags(P, 0);
 
-    cluster->RunStage(
-        (graphx ? "graphx-tree-" : "giraph-tree-") +
-            std::to_string(result.supersteps),
-        [&](int p) {
-          TaskIo io;
-          io.consumes_shuffle = true;
-          io.cached_state_bytes = csr[p].byte_size;
-          std::vector<size_t> bytes_out(P, 0);
-          // Deliver child reports.
-          for (const auto& [v, value] : inbox[p]) {
-            if (options.combine == TreeCombine::kSum) {
-              result.values[v] += value;
-            } else {
-              result.values[v] = std::max(result.values[v], value);
-            }
-            --pending[v];
-          }
-          inbox[p].clear();
-          // Fire ready vertices.
-          for (int64_t v : csr[p].vertices) {
-            if (fired[v] || pending[v] != 0) continue;
-            fired[v] = true;
-            fired_any = true;
-            if (parent[v] >= 0) {
-              const int dest = PartitionOf(parent[v], P);
-              outbox[dest].emplace_back(parent[v],
-                                        options.edge_factor *
-                                            result.values[v]);
-              bytes_out[dest] += 16;
-            }
-          }
-          io.shuffle_out_bytes = std::move(bytes_out);
-          return io;
-        });
+    StageSpec tree_stage;
+    tree_stage.name = (graphx ? "graphx-tree-" : "giraph-tree-") +
+                      std::to_string(result.supersteps);
+    tree_stage.kind = StageSpec::Kind::kCombined;
+    cluster->RunStage(tree_stage, [&](TaskContext& ctx) {
+      const int p = ctx.partition();
+      ctx.ReportCachedState(csr[p].byte_size);
+      std::vector<size_t> bytes_out(P, 0);
+      auto& out = outbox[p];
+      // Deliver child reports; every vertex in inbox[p] is owned by p.
+      for (const auto& [v, value] : inbox[p]) {
+        if (options.combine == TreeCombine::kSum) {
+          result.values[v] += value;
+        } else {
+          result.values[v] = std::max(result.values[v], value);
+        }
+        --pending[v];
+      }
+      inbox[p].clear();
+      // Fire ready vertices.
+      for (int64_t v : csr[p].vertices) {
+        if (fired[v] || pending[v] != 0) continue;
+        fired[v] = 1;
+        fired_flags[p] = 1;
+        if (parent[v] >= 0) {
+          const int dest = PartitionOf(parent[v], P);
+          out[dest].emplace_back(parent[v],
+                                 options.edge_factor * result.values[v]);
+          bytes_out[dest] += 16;
+        }
+      }
+      ctx.ReportShuffleBytes(std::move(bytes_out));
+    });
+    bool fired_any = false;
+    for (uint8_t f : fired_flags) fired_any |= f != 0;
 
     if (graphx) {
       for (int extra = 0; extra < 3; ++extra) {
-        cluster->RunStage("graphx-tree-bookkeeping-" +
-                              std::to_string(result.supersteps) + "-" +
-                              std::to_string(extra),
-                          [&](int p) {
-                            TaskIo io;
-                            io.consumes_shuffle = extra == 0;
-                            std::vector<double> copy;
-                            copy.reserve(csr[p].vertices.size());
-                            for (int64_t v : csr[p].vertices) {
-                              copy.push_back(result.values[v]);
-                            }
-                            io.cached_state_bytes = copy.size() * 8;
-                            io.shuffle_out_bytes.assign(P,
-                                                        copy.size() * 8 / P);
-                            return io;
-                          });
+        StageSpec bookkeeping;
+        bookkeeping.name = "graphx-tree-bookkeeping-" +
+                           std::to_string(result.supersteps) + "-" +
+                           std::to_string(extra);
+        bookkeeping.kind = extra == 0 ? StageSpec::Kind::kCombined
+                                      : StageSpec::Kind::kShuffleMap;
+        cluster->RunStage(bookkeeping, [&](TaskContext& ctx) {
+          const int p = ctx.partition();
+          std::vector<double> copy;
+          copy.reserve(csr[p].vertices.size());
+          for (int64_t v : csr[p].vertices) {
+            copy.push_back(result.values[v]);
+          }
+          ctx.ReportCachedState(copy.size() * 8);
+          ctx.ReportShuffleBytes(
+              std::vector<size_t>(P, copy.size() * 8 / P));
+        });
       }
     }
 
+    // Route child reports, ascending producer order for each destination
+    // so floating-point sums accumulate in a fixed order.
     done = true;
-    for (int p = 0; p < P; ++p) {
-      for (const auto& [v, value] : outbox[p]) {
-        inbox[p].emplace_back(v, value);
+    for (int dest = 0; dest < P; ++dest) {
+      for (int src = 0; src < P; ++src) {
+        for (const auto& [v, value] : outbox[src][dest]) {
+          inbox[dest].emplace_back(v, value);
+        }
       }
-      if (!inbox[p].empty()) done = false;
+      if (!inbox[dest].empty()) done = false;
     }
     if (!fired_any && done) break;
   }

@@ -7,6 +7,7 @@
 #include "dist/set_rdd.h"
 #include "fixpoint/local_fixpoint.h"
 #include "physical/executor.h"
+#include "runtime/stage_accumulators.h"
 
 namespace rasql::baselines {
 
@@ -14,7 +15,8 @@ using analysis::RecursiveView;
 using common::Result;
 using common::Status;
 using dist::AggSpec;
-using dist::TaskIo;
+using dist::StageSpec;
+using dist::TaskContext;
 using storage::Relation;
 using storage::Row;
 
@@ -30,10 +32,16 @@ Result<std::vector<Row>> JoinStage(
     const Relation& bound, size_t base_bytes, dist::Cluster* cluster,
     const std::string& stage_name) {
   const int P = cluster->config().num_partitions;
-  std::vector<Row> candidates;
-  Status failure = Status::OK();
-  cluster->RunStage(stage_name, [&](int p) {
-    TaskIo io;
+  // Per-task candidate slots, merged after the barrier in partition order
+  // so the result is identical at any thread count.
+  std::vector<std::vector<Row>> cand(P);
+  runtime::StageStatus failure(P);
+  StageSpec stage;
+  stage.name = stage_name;
+  stage.kind = StageSpec::Kind::kShuffleMap;
+  stage.status = &failure;
+  cluster->RunStage(stage, [&](TaskContext& task) {
+    const int p = task.partition();
     // Slice the bound relation round-robin across tasks.
     Relation slice(bound.schema());
     for (size_t i = p; i < bound.size(); i += P) {
@@ -49,20 +57,24 @@ Result<std::vector<Row>> JoinStage(
     for (const plan::PlanPtr& plan : view.recursive_plans) {
       auto result = physical::Execute(*plan, ctx);
       if (!result.ok()) {
-        failure = result.status();
+        task.Fail(result.status());
         break;
       }
       bytes += result->ByteSize();
       for (Row& row : result->mutable_rows()) {
-        candidates.push_back(std::move(row));
+        cand[p].push_back(std::move(row));
       }
     }
     // Candidates are shuffled by key, and the base relation is re-shuffled
     // for the join (no cached partitioning across statements).
-    io.shuffle_out_bytes.assign(P, (bytes + base_bytes / P) / P);
-    return io;
+    task.ReportShuffleBytes(
+        std::vector<size_t>(P, (bytes + base_bytes / P) / P));
   });
-  RASQL_RETURN_IF_ERROR(failure);
+  RASQL_RETURN_IF_ERROR(failure.First());
+  std::vector<Row> candidates;
+  for (int p = 0; p < P; ++p) {
+    for (Row& row : cand[p]) candidates.push_back(std::move(row));
+  }
   return candidates;
 }
 
@@ -124,47 +136,46 @@ Result<Relation> RunSqlLoop(
       // Full re-aggregation of base ∪ candidates, as the user's GROUP BY
       // statement would do (shuffles everything).
       Relation next(view.schema);
-      Status failure = Status::OK();
-      cluster->RunStage(
-          "sqlnaive-agg-" + std::to_string(stats->iterations), [&](int p) {
-            TaskIo io;
-            io.consumes_shuffle = true;
-            if (p == 0) {
-              // X_{n+1} = γ(base ∪ T(X_n)) — everything re-derived and
-              // re-aggregated from scratch (do NOT fold X_n in: that would
-              // double-count sum/count groups).
-              std::vector<Row> rows = std::move(candidates);
-              physical::ExecContext ctx;
-              ctx.tables = tables;
-              for (const plan::PlanPtr& plan : view.base_plans) {
-                auto result = physical::Execute(*plan, ctx);
-                if (!result.ok()) {
-                  failure = result.status();
-                  return io;
-                }
-                for (Row& row : result->mutable_rows()) {
-                  rows.push_back(std::move(row));
-                }
-              }
-              next = Relation(view.schema,
-                              dist::PartialAggregate(std::move(rows), spec));
-              next.SortRows();
-            }
-            return io;
-          });
-      RASQL_RETURN_IF_ERROR(failure);
+      runtime::StageStatus failure(P);
+      StageSpec agg_stage;
+      agg_stage.name = "sqlnaive-agg-" + std::to_string(stats->iterations);
+      agg_stage.kind = StageSpec::Kind::kShuffleReduce;
+      agg_stage.status = &failure;
+      cluster->RunStage(agg_stage, [&](TaskContext& task) {
+        // Single-writer body: only task 0 touches `next`/`candidates`.
+        if (task.partition() != 0) return;
+        // X_{n+1} = γ(base ∪ T(X_n)) — everything re-derived and
+        // re-aggregated from scratch (do NOT fold X_n in: that would
+        // double-count sum/count groups).
+        std::vector<Row> rows = std::move(candidates);
+        physical::ExecContext ctx;
+        ctx.tables = tables;
+        for (const plan::PlanPtr& plan : view.base_plans) {
+          auto result = physical::Execute(*plan, ctx);
+          if (!result.ok()) {
+            task.Fail(result.status());
+            return;
+          }
+          for (Row& row : result->mutable_rows()) {
+            rows.push_back(std::move(row));
+          }
+        }
+        next = Relation(view.schema,
+                        dist::PartialAggregate(std::move(rows), spec));
+        next.SortRows();
+      });
+      RASQL_RETURN_IF_ERROR(failure.First());
       stats->delta_time_sec += cluster->metrics().TotalSimTime() - t0;
 
       // Compare stage (the user's count()/except check).
       bool unchanged = false;
-      cluster->RunStage(
-          "sqlnaive-compare-" + std::to_string(stats->iterations),
-          [&](int p) {
-            TaskIo io;
-            if (p == 0) unchanged = storage::SameBag(next, all);
-            io.cached_state_bytes = all.ByteSize() / P;
-            return io;
-          });
+      StageSpec compare_stage;
+      compare_stage.name =
+          "sqlnaive-compare-" + std::to_string(stats->iterations);
+      cluster->RunStage(compare_stage, [&](TaskContext& task) {
+        if (task.partition() == 0) unchanged = storage::SameBag(next, all);
+        task.ReportCachedState(all.ByteSize() / P);
+      });
       all = std::move(next);
       if (unchanged) break;
     }
@@ -190,43 +201,36 @@ Result<Relation> RunSqlLoop(
                   "sqlsn-join-" + std::to_string(stats->iterations)));
 
     // Aggregate the candidates (a GROUP BY statement).
-    cluster->RunStage("sqlsn-agg-" + std::to_string(stats->iterations),
-                      [&](int p) {
-                        TaskIo io;
-                        io.consumes_shuffle = true;
-                        if (p == 0) {
-                          candidates = dist::PartialAggregate(
-                              std::move(candidates), spec);
-                        }
-                        return io;
-                      });
+    StageSpec agg_stage;
+    agg_stage.name = "sqlsn-agg-" + std::to_string(stats->iterations);
+    agg_stage.kind = StageSpec::Kind::kShuffleReduce;
+    cluster->RunStage(agg_stage, [&](TaskContext& task) {
+      if (task.partition() != 0) return;
+      candidates = dist::PartialAggregate(std::move(candidates), spec);
+    });
     stats->delta_time_sec += cluster->metrics().TotalSimTime() - t0;
 
     // Diff against `all` (EXCEPT / anti-join): the full `all` relation is
     // re-shuffled and its lookup structure rebuilt — there is no SetRDD.
     const size_t all_bytes = state.byte_size();
-    cluster->RunStage("sqlsn-diff-" + std::to_string(stats->iterations),
-                      [&](int p) {
-                        TaskIo io;
-                        if (p == 0) {
-                          state.MergeDelta(candidates, &delta);
-                        }
-                        io.shuffle_out_bytes.assign(P, all_bytes / (P * P));
-                        io.consumes_shuffle = true;
-                        return io;
-                      });
+    StageSpec diff_stage;
+    diff_stage.name = "sqlsn-diff-" + std::to_string(stats->iterations);
+    diff_stage.kind = StageSpec::Kind::kCombined;
+    cluster->RunStage(diff_stage, [&](TaskContext& task) {
+      if (task.partition() == 0) state.MergeDelta(candidates, &delta);
+      task.ReportShuffleBytes(
+          std::vector<size_t>(P, all_bytes / (P * P)));
+    });
 
     // Union stage: `all ∪ delta` materializes a brand-new dataset, copying
     // the accumulated rows (the immutable-RDD tax SetRDD avoids).
-    cluster->RunStage("sqlsn-union-" + std::to_string(stats->iterations),
-                      [&](int p) {
-                        TaskIo io;
-                        if (p == 0) {
-                          Relation copy = state.ToRelation();  // real copy
-                          io.cached_state_bytes = copy.ByteSize();
-                        }
-                        return io;
-                      });
+    StageSpec union_stage;
+    union_stage.name = "sqlsn-union-" + std::to_string(stats->iterations);
+    cluster->RunStage(union_stage, [&](TaskContext& task) {
+      if (task.partition() != 0) return;
+      Relation copy = state.ToRelation();  // real copy
+      task.ReportCachedState(copy.ByteSize());
+    });
   }
   stats->total_time_sec = cluster->metrics().TotalSimTime() - time_before;
   return state.ToRelation();

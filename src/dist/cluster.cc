@@ -42,6 +42,39 @@ std::string JobMetrics::Summary() const {
   return buf;
 }
 
+std::vector<storage::Row> TaskContext::ReadShuffle() {
+  RASQL_CHECK(spec_->input_slices != nullptr);
+  return spec_->input_slices->Gather(partition_);
+}
+
+void TaskContext::WriteShuffle(ShuffleWrite write) {
+  RASQL_CHECK(spec_->output_slices != nullptr);
+  io_.shuffle_out_bytes = write.bytes_per_dest;
+  spec_->output_slices->Put(partition_, std::move(write));
+}
+
+void TaskContext::ReportShuffleBytes(std::vector<size_t> bytes_per_dest) {
+  io_.shuffle_out_bytes = std::move(bytes_per_dest);
+}
+
+void TaskContext::ReportCachedState(size_t bytes) {
+  io_.cached_state_bytes += bytes;
+}
+
+void TaskContext::Count(size_t n) {
+  RASQL_CHECK(spec_->counter != nullptr);
+  spec_->counter->Add(partition_, n);
+}
+
+void TaskContext::Fail(common::Status status) {
+  RASQL_CHECK(spec_->status != nullptr);
+  spec_->status->Fail(partition_, std::move(status));
+}
+
+bool TaskContext::aborted() const {
+  return spec_->status != nullptr && spec_->status->aborted();
+}
+
 int Cluster::PlaceTask(int partition, int stage_index) const {
   if (config_.partition_aware_scheduling) {
     return config_.OwnerOf(partition);
@@ -53,24 +86,18 @@ int Cluster::PlaceTask(int partition, int stage_index) const {
   return (partition + stage_index) % config_.num_workers;
 }
 
-const StageMetrics& Cluster::RunStage(
-    const std::string& name, const std::function<TaskIo(int)>& task) {
+const StageMetrics& Cluster::AccountStage(
+    const std::string& name, std::vector<TaskIo>* ios,
+    const std::vector<double>& task_seconds) {
   const int stage_index = stage_counter_++;
   StageMetrics stage;
   stage.name = name;
   stage.num_tasks = config_.num_partitions;
 
-  // Execute the task closures for real — concurrently on the work-stealing
-  // pool when the runtime has more than one thread. Per-task compute time
-  // and I/O reports land in partition order whatever the interleaving.
-  std::vector<TaskIo> ios;
-  std::vector<double> task_seconds;
-  executor_.Map<TaskIo>(config_.num_partitions, task, &ios, &task_seconds);
-
   // Cost-model pass, after the barrier, in ascending partition order: the
   // simulated placement and network charges depend only on the per-task
   // reports, never on execution order, so the modeled stage is identical
-  // for every thread count.
+  // for every thread count — and for the async pipeline on or off.
   std::vector<double> worker_busy(config_.num_workers, 0.0);
   std::vector<int> producer_worker(config_.num_partitions, 0);
   std::vector<std::vector<size_t>> shuffle_bytes(config_.num_partitions);
@@ -80,7 +107,7 @@ const StageMetrics& Cluster::RunStage(
     const int worker = PlaceTask(p, stage_index);
     producer_worker[p] = worker;
 
-    TaskIo& io = ios[p];
+    TaskIo& io = (*ios)[p];
     const double compute = task_seconds[p] * config_.compute_scale;
 
     // Remote bytes this task must pull before/while computing.
@@ -128,6 +155,82 @@ const StageMetrics& Cluster::RunStage(
 
   metrics_.stages.push_back(std::move(stage));
   return metrics_.stages.back();
+}
+
+const StageMetrics& Cluster::RunStage(const StageSpec& spec,
+                                      const StageTask& task) {
+  std::vector<TaskIo> ios;
+  std::vector<double> task_seconds;
+  const std::function<TaskIo(int)> run = [&](int p) {
+    TaskContext ctx(&spec, p, config_.num_partitions);
+    task(ctx);
+    // Publish after the body so a consumer that sees the slice also sees
+    // its rows (release/acquire pair in SliceReadiness).
+    if (spec.output_slices != nullptr) spec.output_slices->Publish(p);
+    return std::move(ctx.io_);
+  };
+  executor_.Map<TaskIo>(config_.num_partitions, run, &ios, &task_seconds);
+  return AccountStage(spec.name, &ios, task_seconds);
+}
+
+void Cluster::RunStagePair(const StageSpec& map_spec,
+                           const StageTask& map_task,
+                           const StageSpec& reduce_spec,
+                           const StageTask& reduce_task) {
+  const bool pipelined = executor_.options().async_shuffle &&
+                         executor_.num_threads() > 1 &&
+                         map_spec.output_slices != nullptr &&
+                         reduce_spec.input_slices == map_spec.output_slices;
+  if (!pipelined) {
+    RunStage(map_spec, map_task);
+    RunStage(reduce_spec, reduce_task);
+    return;
+  }
+
+  // One DAG of 2P tasks, topologically ordered: producers [0, P), then
+  // consumers [P, 2P). Consumer P+c needs one slice from every producer,
+  // so it depends on all P of them and is released the moment the last
+  // slice it needs is published — while sibling consumers may still be
+  // waiting on stragglers.
+  const int P = config_.num_partitions;
+  std::vector<int> deps(2 * P, 0);
+  std::vector<std::vector<int>> dependents(2 * P);
+  for (int c = 0; c < P; ++c) deps[P + c] = P;
+  for (int p = 0; p < P; ++p) {
+    dependents[p].reserve(P);
+    for (int c = 0; c < P; ++c) dependents[p].push_back(P + c);
+  }
+
+  std::vector<TaskIo> ios;
+  std::vector<double> task_seconds;
+  const std::function<TaskIo(int)> run = [&](int i) {
+    if (i < P) {
+      TaskContext ctx(&map_spec, i, P);
+      map_task(ctx);
+      map_spec.output_slices->Publish(i);
+      return std::move(ctx.io_);
+    }
+    TaskContext ctx(&reduce_spec, i - P, P);
+    reduce_task(ctx);
+    return std::move(ctx.io_);
+  };
+  executor_.MapGraph<TaskIo>(2 * P, run, deps, dependents, &ios,
+                             &task_seconds);
+
+  // Account the map stage, then the reduce stage, each from its
+  // partition-ordered reports — the exact sequence the barriered path
+  // produces, so the modeled job is bit-identical.
+  std::vector<TaskIo> map_ios(std::make_move_iterator(ios.begin()),
+                              std::make_move_iterator(ios.begin() + P));
+  std::vector<double> map_seconds(task_seconds.begin(),
+                                  task_seconds.begin() + P);
+  AccountStage(map_spec.name, &map_ios, map_seconds);
+
+  std::vector<TaskIo> reduce_ios(std::make_move_iterator(ios.begin() + P),
+                                 std::make_move_iterator(ios.end()));
+  std::vector<double> reduce_seconds(task_seconds.begin() + P,
+                                     task_seconds.end());
+  AccountStage(reduce_spec.name, &reduce_ios, reduce_seconds);
 }
 
 void Cluster::Broadcast(size_t bytes) {

@@ -3,8 +3,12 @@
 
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/status.h"
+#include "dist/shuffle.h"
+#include "runtime/stage_accumulators.h"
 #include "runtime/stage_executor.h"
 
 namespace rasql::dist {
@@ -40,7 +44,8 @@ struct ClusterConfig {
   int OwnerOf(int partition) const { return partition % num_workers; }
 };
 
-/// What one task tells the cost model about its I/O.
+/// What one task tells the cost model about its I/O. Assembled by
+/// TaskContext as a side effect of the task's shuffle/report calls.
 struct TaskIo {
   /// Bytes of cached state (base-relation hash table, SetRDD partition)
   /// the task must read. Free when the task runs on the owner worker;
@@ -80,6 +85,94 @@ struct JobMetrics {
   std::string Summary() const;
 };
 
+/// Declares a stage before submission: its name, how it participates in
+/// the shuffle, which slice channels its tasks read/write, and which
+/// cross-partition accumulators they may update. Shuffle dependencies are
+/// carried here — not hidden inside task closures — which is what lets the
+/// runtime schedule consumer tasks against producer slices (async shuffle)
+/// and lets the cost model derive `consumes_shuffle` from the declared
+/// kind instead of trusting each closure.
+struct StageSpec {
+  /// How the stage relates to the shuffle exchange around it.
+  enum class Kind {
+    kLocal,          ///< no shuffle on either side
+    kShuffleMap,     ///< produces map output
+    kShuffleReduce,  ///< consumes the previous stage's map output
+    kCombined,       ///< fused reduce(i)+map(i+1): consumes and produces
+  };
+
+  std::string name;
+  Kind kind = Kind::kLocal;
+  /// Channel this stage's tasks Gather from; null when the stage reads no
+  /// routed rows (it may still *model* consumption via its kind).
+  ShuffleChannel* input_slices = nullptr;
+  /// Channel this stage's tasks deposit into; the runtime publishes a
+  /// task's slices the moment that task completes. Null when the stage
+  /// routes no rows (modeled-only shuffles report bytes instead).
+  ShuffleChannel* output_slices = nullptr;
+  /// Optional accumulators TaskContext::Count / Fail write through.
+  runtime::StageCounter* counter = nullptr;
+  runtime::StageStatus* status = nullptr;
+
+  /// True when tasks of this kind consume the previous map output.
+  bool ConsumesShuffle() const {
+    return kind == Kind::kShuffleReduce || kind == Kind::kCombined;
+  }
+};
+
+/// Handed to every task of a stage: the partition identity, shuffle
+/// read/write handles, and the stage's shared accumulators. The TaskIo
+/// report the cost model consumes is assembled from the calls made here,
+/// so a task cannot route rows without the bytes being accounted.
+class TaskContext {
+ public:
+  int partition() const { return partition_; }
+  int num_partitions() const { return num_partitions_; }
+
+  /// Gathers the rows addressed to this partition from the stage's input
+  /// channel (all published slices; under the pipeline's dependencies that
+  /// is every slice).
+  std::vector<storage::Row> ReadShuffle();
+
+  /// Deposits this task's map output into the stage's output channel and
+  /// records its per-destination bytes for the cost model. The slices
+  /// become visible to consumers when this task completes.
+  void WriteShuffle(ShuffleWrite write);
+
+  /// Models a shuffle write without routing rows (synthetic stages and the
+  /// baselines): records the per-destination byte counts only.
+  void ReportShuffleBytes(std::vector<size_t> bytes_per_dest);
+
+  /// Charges reading `bytes` of partition-cached state (free on the owner
+  /// worker, remote otherwise). Accumulates across calls.
+  void ReportCachedState(size_t bytes);
+
+  /// Adds to the stage's StageCounter (requires spec.counter).
+  void Count(size_t n);
+  /// Records this task's failure in the stage's StageStatus (requires
+  /// spec.status) and raises the shared abort flag siblings may poll.
+  void Fail(common::Status status);
+  /// True once any task of the stage failed; false when no StageStatus.
+  bool aborted() const;
+
+ private:
+  friend class Cluster;
+  TaskContext(const StageSpec* spec, int partition, int num_partitions)
+      : spec_(spec), partition_(partition), num_partitions_(num_partitions) {
+    io_.consumes_shuffle = spec->ConsumesShuffle();
+  }
+
+  const StageSpec* spec_;
+  int partition_;
+  int num_partitions_;
+  TaskIo io_;
+};
+
+/// A stage's task body. Invoked once per partition, possibly concurrently;
+/// closures must only touch partition-owned state (DESIGN.md §7) and go
+/// through the TaskContext for everything cross-partition.
+using StageTask = std::function<void(TaskContext&)>;
+
 /// The simulated cluster: a driver that schedules stages of tasks over
 /// `num_workers` workers and charges network/scheduling costs according to
 /// the config. Task *compute* is real (the task closures do the actual
@@ -88,10 +181,11 @@ struct JobMetrics {
 ///
 /// Underneath the simulation sits a real work-stealing runtime: with
 /// `runtime.num_threads > 1` the task closures of a stage execute
-/// concurrently (DESIGN.md §7). Closures handed to RunStage must then only
-/// touch partition-owned state. The simulated placement/network accounting
-/// is derived from partition-ordered results after the stage barrier, so it
-/// is deterministic and thread-count-independent.
+/// concurrently (DESIGN.md §7), and with `runtime.async_shuffle` a
+/// RunStagePair pipelines the reduce tasks into the map stage (§8). The
+/// simulated placement/network accounting is always derived from
+/// partition-ordered results after the barrier, so it is deterministic,
+/// thread-count-independent, and identical with the pipeline on or off.
 class Cluster {
  public:
   explicit Cluster(ClusterConfig config,
@@ -105,12 +199,27 @@ class Cluster {
   /// Actual number of task-executing threads (>= 1).
   int num_threads() const { return executor_.num_threads(); }
 
-  /// Runs one stage: `task(p)` executes for every partition p in
-  /// [0, num_partitions) — concurrently when the runtime has more than one
-  /// thread — is timed, and reports its I/O. Returns the stage metrics
-  /// (also appended to job metrics).
-  const StageMetrics& RunStage(const std::string& name,
-                               const std::function<TaskIo(int)>& task);
+  /// Runs one stage: `task` executes with a TaskContext for every
+  /// partition in [0, num_partitions) — concurrently when the runtime has
+  /// more than one thread — is timed, and its I/O report feeds the cost
+  /// model. Slices written to `spec.output_slices` are published as each
+  /// task completes. Returns the stage metrics (also appended to job
+  /// metrics).
+  const StageMetrics& RunStage(const StageSpec& spec, const StageTask& task);
+
+  /// Submits a map stage and the reduce stage that consumes its output as
+  /// one unit. Barriered by default (exactly two RunStage calls). With
+  /// `runtime.async_shuffle` and >1 thread, the 2P tasks are enqueued as
+  /// one dependency DAG instead: each reduce task waits on the publication
+  /// of its input slices (one per producer) and is released the moment the
+  /// last one lands, overlapping reduce compute with remaining map tasks.
+  /// The cost model still accounts the map stage then the reduce stage
+  /// post-barrier in partition order, so metrics are bit-identical to the
+  /// barriered path. Requires reduce_spec.input_slices ==
+  /// map_spec.output_slices (non-null) to pipeline.
+  void RunStagePair(const StageSpec& map_spec, const StageTask& map_task,
+                    const StageSpec& reduce_spec,
+                    const StageTask& reduce_task);
 
   /// Charges a broadcast of `bytes` from the driver to every worker.
   void Broadcast(size_t bytes);
@@ -134,6 +243,12 @@ class Cluster {
  private:
   /// Worker a task is placed on under the active scheduling policy.
   int PlaceTask(int partition, int stage_index) const;
+
+  /// The post-barrier cost-model pass over one stage's partition-ordered
+  /// task reports: placement, network charges, makespan. Consumes `ios`.
+  const StageMetrics& AccountStage(const std::string& name,
+                                   std::vector<TaskIo>* ios,
+                                   const std::vector<double>& task_seconds);
 
   ClusterConfig config_;
   runtime::StageExecutor executor_;

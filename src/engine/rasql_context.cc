@@ -40,12 +40,13 @@ const Relation* RaSqlContext::FindTable(const std::string& name) const {
   return it == tables_.end() ? nullptr : &it->second;
 }
 
-Result<Relation> RaSqlContext::Execute(const std::string& sql) {
+Result<ExecutionResult> RaSqlContext::Execute(const std::string& sql) {
   RASQL_ASSIGN_OR_RETURN(std::vector<sql::Statement> statements,
                          sql::Parser::ParseScript(sql));
   if (statements.empty()) {
     return Status::InvalidArgument("empty statement");
   }
+  last_lint_report_ = lint::LintReport();
   if (config_.lint_before_execute) {
     RASQL_ASSIGN_OR_RETURN(last_lint_report_, Lint(sql));
     if (last_lint_report_.BlocksExecution(config_.lint)) {
@@ -94,7 +95,14 @@ Result<Relation> RaSqlContext::Execute(const std::string& sql) {
     return Status::InvalidArgument(
         "script contains no query statement (only CREATE VIEW)");
   }
-  return last_result;
+  ExecutionResult execution;
+  execution.relation = std::move(last_result);
+  // Copies, not moves: the deprecated last_* accessors keep reporting the
+  // same execution until the next one.
+  execution.fixpoint_stats = last_stats_;
+  execution.job_metrics = last_metrics_;
+  execution.lint_report = last_lint_report_;
+  return execution;
 }
 
 Result<Relation> RaSqlContext::ExecuteQuery(const sql::Query& query) {

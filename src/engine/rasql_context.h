@@ -44,6 +44,21 @@ struct EngineConfig {
   lint::LintOptions lint;
 };
 
+/// Everything one Execute() produces, returned as a unit: the result
+/// relation plus the execution's fixpoint statistics, cluster metrics and
+/// lint report. Callers that only want rows read `.relation`; benches and
+/// tests read the rest without a second round-trip through the context's
+/// last_* accessors (which this struct supersedes).
+struct ExecutionResult {
+  storage::Relation relation;
+  /// Fixpoint statistics (iterations, delta sizes, evaluation mode).
+  fixpoint::FixpointStats fixpoint_stats;
+  /// Simulated-cluster metrics; empty when running locally.
+  dist::JobMetrics job_metrics;
+  /// Lint report when `lint_before_execute` is set; empty otherwise.
+  lint::LintReport lint_report;
+};
+
 /// The RaSQL system entry point — the analogue of the paper's extended
 /// SparkSession:
 ///
@@ -51,6 +66,7 @@ struct EngineConfig {
 ///   ctx.RegisterTable("edge", edges);
 ///   auto result = ctx.Execute(
 ///       "WITH recursive path(Dst, min() AS Cost) AS (...) ...");
+///   if (result.ok()) Print(result->relation);
 class RaSqlContext {
  public:
   explicit RaSqlContext(EngineConfig config = {});
@@ -66,9 +82,10 @@ class RaSqlContext {
   const storage::Relation* FindTable(const std::string& name) const;
 
   /// Parses and runs a `;`-separated RaSQL script. CREATE VIEW statements
-  /// materialize views into the session; the value of the last query
-  /// statement is returned.
-  common::Result<storage::Relation> Execute(const std::string& sql);
+  /// materialize views into the session; the ExecutionResult carries the
+  /// value of the last query statement together with its stats, metrics
+  /// and lint report.
+  common::Result<ExecutionResult> Execute(const std::string& sql);
 
   /// Returns the EXPLAIN rendering (clique plans + body physical plan)
   /// without executing.
@@ -81,16 +98,18 @@ class RaSqlContext {
   /// RASQL-E000 diagnostics inside the report.
   common::Result<lint::LintReport> Lint(const std::string& sql) const;
 
-  /// Fixpoint statistics of the most recent Execute() (iterations, delta
-  /// sizes, evaluation mode).
+  /// Deprecated: read ExecutionResult::fixpoint_stats from Execute()
+  /// instead. Fixpoint statistics of the most recent Execute().
   const fixpoint::FixpointStats& last_fixpoint_stats() const {
     return last_stats_;
   }
 
+  /// Deprecated: read ExecutionResult::job_metrics from Execute() instead.
   /// Cluster metrics of the most recent distributed Execute(); empty when
   /// running locally.
   const dist::JobMetrics& last_job_metrics() const { return last_metrics_; }
 
+  /// Deprecated: read ExecutionResult::lint_report from Execute() instead.
   /// Lint report of the most recent Execute() with lint_before_execute
   /// set; empty otherwise.
   const lint::LintReport& last_lint_report() const {

@@ -1,7 +1,6 @@
 #include "fixpoint/distributed_fixpoint.h"
 
 #include <algorithm>
-#include <atomic>
 #include <set>
 
 #include "common/check.h"
@@ -10,6 +9,8 @@
 #include "dist/broadcast.h"
 #include "dist/partition.h"
 #include "dist/set_rdd.h"
+#include "dist/shuffle.h"
+#include "runtime/stage_accumulators.h"
 
 namespace rasql::fixpoint {
 
@@ -20,8 +21,12 @@ using common::Status;
 using dist::AggSpec;
 using dist::Cluster;
 using dist::Partitioning;
+using dist::ShuffleChannel;
 using dist::ShuffleWrite;
-using dist::TaskIo;
+using dist::StageSpec;
+using dist::TaskContext;
+using runtime::StageCounter;
+using runtime::StageStatus;
 using plan::LogicalPlan;
 using plan::PlanKind;
 using plan::RecursiveRefNode;
@@ -360,68 +365,6 @@ bool IsSubset(const std::vector<int>& sub, const std::vector<int>& super) {
   return true;
 }
 
-// ---- Stage-shared accumulators. Task closures may run concurrently on
-// the work-stealing runtime, so anything shared across partitions goes
-// through one of these instead of a bare captured variable. ----
-
-/// Counter updated from concurrent tasks. With deterministic_reduce (the
-/// default) each task owns a slot and the driver sums the slots after the
-/// stage barrier in ascending partition order; otherwise a relaxed atomic
-/// accumulates in task-completion order. The total is identical either way
-/// — the knob trades an O(P) post-pass for lock-free accumulation.
-class StageCounter {
- public:
-  StageCounter(int num_tasks, bool deterministic)
-      : slots_(deterministic ? num_tasks : 0, 0) {}
-
-  void Add(int p, size_t n) {
-    if (slots_.empty()) {
-      atomic_.fetch_add(n, std::memory_order_relaxed);
-    } else {
-      slots_[p] += n;
-    }
-  }
-
-  /// Post-barrier total; call only after the stage completes.
-  size_t Total() const {
-    size_t total = atomic_.load(std::memory_order_relaxed);
-    for (size_t s : slots_) total += s;
-    return total;
-  }
-
- private:
-  std::vector<size_t> slots_;
-  std::atomic<size_t> atomic_{0};
-};
-
-/// Per-task failure slots plus a shared abort flag. Each task records its
-/// own failure; long-running tasks poll `aborted()` to stop early once any
-/// sibling failed. The driver reports the lowest-partition failure, so the
-/// surfaced error is deterministic regardless of completion order.
-class StageStatus {
- public:
-  explicit StageStatus(int num_tasks) : statuses_(num_tasks) {}
-
-  void Fail(int p, Status s) {
-    statuses_[p] = std::move(s);
-    aborted_.store(true, std::memory_order_release);
-  }
-  bool aborted() const {
-    return aborted_.load(std::memory_order_acquire);
-  }
-  /// Post-barrier: the first (lowest-partition) failure, or OK.
-  Status First() const {
-    for (const Status& s : statuses_) {
-      if (!s.ok()) return s;
-    }
-    return Status::OK();
-  }
-
- private:
-  std::vector<Status> statuses_;
-  std::atomic<bool> aborted_{false};
-};
-
 }  // namespace
 
 bool EligibleForDistributed(const RecursiveClique& clique) {
@@ -544,14 +487,16 @@ Result<std::map<std::string, Relation>> EvaluateCliqueDistributed(
     if (it == tables.end()) {
       return Status::ExecutionError("table '" + name + "' not bound");
     }
-    // Partitioning the base costs one shuffle of its full size.
+    // Partitioning the base costs one shuffle of its full size. The rows
+    // are placed driver-side above; the stage models the byte movement.
     coparted.emplace(name,
                      dist::Partition(*it->second, shape.copart_keys, P));
     const size_t bytes = it->second->ByteSize();
-    cluster->RunStage("partition-base:" + name, [&](int p) {
-      TaskIo io;
-      io.shuffle_out_bytes.assign(P, bytes / (P * P));
-      return io;
+    StageSpec partition_stage;
+    partition_stage.name = "partition-base:" + name;
+    partition_stage.kind = StageSpec::Kind::kShuffleMap;
+    cluster->RunStage(partition_stage, [&](TaskContext& ctx) {
+      ctx.ReportShuffleBytes(std::vector<size_t>(P, bytes / (P * P)));
     });
   }
   for (const auto& [name, scan_count] : scanned) {
@@ -609,29 +554,37 @@ Result<std::map<std::string, Relation>> EvaluateCliqueDistributed(
   // StageCounter/StageStatus accumulators above.
   const bool det_reduce = cluster->runtime_options().deterministic_reduce;
 
-  // Seed stage: input splits shuffle the base case to its partitions.
+  // Seed stages: input splits shuffle the base case to its partitions.
+  // Submitted as a pair so the async pipeline can start merging a
+  // partition's slice while other seed tasks still run.
   {
     std::vector<std::vector<Row>> splits(P);
     for (size_t i = 0; i < base_rows.size(); ++i) {
       splits[i % P].push_back(std::move(base_rows[i]));
     }
-    std::vector<ShuffleWrite> writes(P, ShuffleWrite(P));
-    cluster->RunStage("seed-base-case", [&](int p) {
-      ShuffleWrite write(P);
-      for (Row& row : splits[p]) write.Add(std::move(row), partitioning);
-      TaskIo io;
-      io.shuffle_out_bytes = write.bytes_per_dest;
-      writes[p] = std::move(write);
-      return io;
-    });
-    cluster->RunStage("merge-base-case", [&](int p) {
-      std::vector<Row> rows = dist::GatherShuffle(writes, p);
-      rows = dist::PartialAggregate(std::move(rows), spec);
-      all.partition(p)->MergeDelta(rows, &delta[p]);
-      TaskIo io;
-      io.consumes_shuffle = true;
-      return io;
-    });
+    ShuffleChannel seed_channel(P);
+    StageSpec seed_stage;
+    seed_stage.name = "seed-base-case";
+    seed_stage.kind = StageSpec::Kind::kShuffleMap;
+    seed_stage.output_slices = &seed_channel;
+    StageSpec merge_stage;
+    merge_stage.name = "merge-base-case";
+    merge_stage.kind = StageSpec::Kind::kShuffleReduce;
+    merge_stage.input_slices = &seed_channel;
+    cluster->RunStagePair(
+        seed_stage,
+        [&](TaskContext& ctx) {
+          const int p = ctx.partition();
+          ShuffleWrite write(P);
+          for (Row& row : splits[p]) write.Add(std::move(row), partitioning);
+          ctx.WriteShuffle(std::move(write));
+        },
+        merge_stage, [&](TaskContext& ctx) {
+          const int p = ctx.partition();
+          std::vector<Row> rows = ctx.ReadShuffle();
+          rows = dist::PartialAggregate(std::move(rows), spec);
+          all.partition(p)->MergeDelta(rows, &delta[p]);
+        });
   }
   for (const auto& d : delta) stats->total_delta_rows += d.size();
 
@@ -672,11 +625,16 @@ Result<std::map<std::string, Relation>> EvaluateCliqueDistributed(
     StageCounter delta_rows(P, det_reduce);
     std::vector<int> task_iterations(P, 0);
     std::vector<uint8_t> task_hit_limit(P, 0);
-    cluster->RunStage("decomposed-fixpoint", [&](int p) {
-      TaskIo io;
-      io.cached_state_bytes = all.partition(p)->byte_size();
+    StageSpec decomposed_stage;
+    decomposed_stage.name = "decomposed-fixpoint";
+    decomposed_stage.kind = StageSpec::Kind::kLocal;
+    decomposed_stage.counter = &delta_rows;
+    decomposed_stage.status = &failure;
+    cluster->RunStage(decomposed_stage, [&](TaskContext& ctx) {
+      const int p = ctx.partition();
+      ctx.ReportCachedState(all.partition(p)->byte_size());
       int iterations = 0;
-      while (!delta[p].empty() && !failure.aborted()) {
+      while (!delta[p].empty() && !ctx.aborted()) {
         if (iterations >= options.max_iterations) {
           task_hit_limit[p] = 1;
           break;
@@ -685,15 +643,14 @@ Result<std::map<std::string, Relation>> EvaluateCliqueDistributed(
         std::vector<Row> candidates;
         Status s = eval_step_for_partition(p, &candidates);
         if (!s.ok()) {
-          failure.Fail(p, std::move(s));
+          ctx.Fail(std::move(s));
           break;
         }
         candidates = dist::PartialAggregate(std::move(candidates), spec);
         all.partition(p)->MergeDelta(candidates, &delta[p]);
-        delta_rows.Add(p, delta[p].size());
+        ctx.Count(delta[p].size());
       }
       task_iterations[p] = iterations;
-      return io;
     });
     RASQL_RETURN_IF_ERROR(failure.First());
     for (int p = 0; p < P; ++p) {
@@ -704,32 +661,38 @@ Result<std::map<std::string, Relation>> EvaluateCliqueDistributed(
   } else if (options.combine_stages) {
     // ---- Optimized DSN (Alg. 6): one ShuffleMap stage per iteration.
     // Map output of iteration i is merged and re-joined by iteration i+1
-    // on the same partition/worker.
-    std::vector<ShuffleWrite> pending;
+    // on the same partition/worker. Two channels ping-pong between
+    // iterations: stage i consumes channels[cur] and fills channels[1-cur].
+    // Each combined stage both consumes and produces, so the driver must
+    // see iteration i's output before submitting i+1 — the pipeline has
+    // nothing to overlap here and the stages stay barriered (DESIGN.md §8).
+    ShuffleChannel channels[2] = {ShuffleChannel(P), ShuffleChannel(P)};
+    int cur = 0;
     {
       // The first combined stage has no incoming shuffle (the seed stages
       // above produced the initial delta); emit iteration 1's map output.
       StageStatus failure(P);
-      std::vector<ShuffleWrite> writes(P, ShuffleWrite(P));
-      cluster->RunStage("iter-1", [&](int p) {
-        TaskIo io;
-        io.cached_state_bytes =
-            all.partition(p)->byte_size() + copart_state_bytes(p);
+      StageSpec first_stage;
+      first_stage.name = "iter-1";
+      first_stage.kind = StageSpec::Kind::kShuffleMap;
+      first_stage.output_slices = &channels[cur];
+      first_stage.status = &failure;
+      cluster->RunStage(first_stage, [&](TaskContext& ctx) {
+        const int p = ctx.partition();
+        ctx.ReportCachedState(all.partition(p)->byte_size() +
+                              copart_state_bytes(p));
         ShuffleWrite write(P);
         std::vector<Row> candidates;
         Status s = eval_step_for_partition(p, &candidates);
         if (!s.ok()) {
-          failure.Fail(p, std::move(s));
+          ctx.Fail(std::move(s));
         } else {
           candidates = dist::PartialAggregate(std::move(candidates), spec);
           for (Row& row : candidates) write.Add(std::move(row), partitioning);
         }
-        io.shuffle_out_bytes = write.bytes_per_dest;
-        writes[p] = std::move(write);
-        return io;
+        ctx.WriteShuffle(std::move(write));
       });
       RASQL_RETURN_IF_ERROR(failure.First());
-      pending = std::move(writes);
       stats->iterations = 1;
     }
     while (true) {
@@ -737,35 +700,35 @@ Result<std::map<std::string, Relation>> EvaluateCliqueDistributed(
         stats->hit_iteration_limit = true;
         break;
       }
-      // Merge incoming candidates; stop when nothing new anywhere.
-      bool any_incoming = false;
-      for (const ShuffleWrite& w : pending) {
-        for (const auto& rows : w.rows_per_dest) {
-          if (!rows.empty()) any_incoming = true;
-        }
-      }
-      if (!any_incoming) break;
+      // Stop when the previous iteration emitted nothing anywhere.
+      if (channels[cur].TotalRows() == 0) break;
       ++stats->iterations;
 
+      const int next = 1 - cur;
+      channels[next].Reset();
       StageStatus failure(P);
       StageCounter delta_rows(P, det_reduce);
-      std::vector<ShuffleWrite> writes(P, ShuffleWrite(P));
-      cluster->RunStage("iter-" + std::to_string(stats->iterations),
-                        [&](int p) {
-        TaskIo io;
-        io.consumes_shuffle = true;
-        io.cached_state_bytes =
-            all.partition(p)->byte_size() + copart_state_bytes(p);
-        std::vector<Row> incoming = dist::GatherShuffle(pending, p);
+      StageSpec iter_stage;
+      iter_stage.name = "iter-" + std::to_string(stats->iterations);
+      iter_stage.kind = StageSpec::Kind::kCombined;
+      iter_stage.input_slices = &channels[cur];
+      iter_stage.output_slices = &channels[next];
+      iter_stage.counter = &delta_rows;
+      iter_stage.status = &failure;
+      cluster->RunStage(iter_stage, [&](TaskContext& ctx) {
+        const int p = ctx.partition();
+        ctx.ReportCachedState(all.partition(p)->byte_size() +
+                              copart_state_bytes(p));
+        std::vector<Row> incoming = ctx.ReadShuffle();
         incoming = dist::PartialAggregate(std::move(incoming), spec);
         all.partition(p)->MergeDelta(incoming, &delta[p]);
-        delta_rows.Add(p, delta[p].size());
+        ctx.Count(delta[p].size());
         ShuffleWrite write(P);
         if (!delta[p].empty()) {
           std::vector<Row> candidates;
           Status s = eval_step_for_partition(p, &candidates);
           if (!s.ok()) {
-            failure.Fail(p, std::move(s));
+            ctx.Fail(std::move(s));
           } else {
             candidates =
                 dist::PartialAggregate(std::move(candidates), spec);
@@ -774,57 +737,69 @@ Result<std::map<std::string, Relation>> EvaluateCliqueDistributed(
             }
           }
         }
-        io.shuffle_out_bytes = write.bytes_per_dest;
-        writes[p] = std::move(write);
-        return io;
+        ctx.WriteShuffle(std::move(write));
       });
       RASQL_RETURN_IF_ERROR(failure.First());
       stats->total_delta_rows += delta_rows.Total();
-      pending = std::move(writes);
+      cur = next;
     }
   } else {
     // ---- Plain DSN (Alg. 4/5): separate Map and Reduce stages per
-    // iteration.
+    // iteration, submitted as a pair — the async-shuffle pipeline's main
+    // target. Map task p moves delta[p] out before any reduce task may
+    // refill it (reduce p depends on all P map slices), so the pair is
+    // safe to overlap. One channel is reused across iterations.
+    ShuffleChannel exchange(P);
+    bool first_iteration = true;
     while (!deltas_empty()) {
       if (stats->iterations >= options.max_iterations) {
         stats->hit_iteration_limit = true;
         break;
       }
       ++stats->iterations;
+      if (!first_iteration) exchange.Reset();
+      first_iteration = false;
 
       StageStatus failure(P);
-      std::vector<ShuffleWrite> writes(P, ShuffleWrite(P));
-      cluster->RunStage("map-" + std::to_string(stats->iterations),
-                        [&](int p) {
-        TaskIo io;
-        io.cached_state_bytes = copart_state_bytes(p);
-        ShuffleWrite write(P);
-        std::vector<Row> candidates;
-        Status s = eval_step_for_partition(p, &candidates);
-        if (!s.ok()) {
-          failure.Fail(p, std::move(s));
-        } else {
-          candidates = dist::PartialAggregate(std::move(candidates), spec);
-          for (Row& row : candidates) write.Add(std::move(row), partitioning);
-        }
-        io.shuffle_out_bytes = write.bytes_per_dest;
-        writes[p] = std::move(write);
-        return io;
-      });
-      RASQL_RETURN_IF_ERROR(failure.First());
-
       StageCounter delta_rows(P, det_reduce);
-      cluster->RunStage("reduce-" + std::to_string(stats->iterations),
-                        [&](int p) {
-        TaskIo io;
-        io.consumes_shuffle = true;
-        io.cached_state_bytes = all.partition(p)->byte_size();
-        std::vector<Row> incoming = dist::GatherShuffle(writes, p);
-        incoming = dist::PartialAggregate(std::move(incoming), spec);
-        all.partition(p)->MergeDelta(incoming, &delta[p]);
-        delta_rows.Add(p, delta[p].size());
-        return io;
-      });
+      StageSpec map_stage;
+      map_stage.name = "map-" + std::to_string(stats->iterations);
+      map_stage.kind = StageSpec::Kind::kShuffleMap;
+      map_stage.output_slices = &exchange;
+      map_stage.status = &failure;
+      StageSpec reduce_stage;
+      reduce_stage.name = "reduce-" + std::to_string(stats->iterations);
+      reduce_stage.kind = StageSpec::Kind::kShuffleReduce;
+      reduce_stage.input_slices = &exchange;
+      reduce_stage.counter = &delta_rows;
+      cluster->RunStagePair(
+          map_stage,
+          [&](TaskContext& ctx) {
+            const int p = ctx.partition();
+            ctx.ReportCachedState(copart_state_bytes(p));
+            ShuffleWrite write(P);
+            std::vector<Row> candidates;
+            Status s = eval_step_for_partition(p, &candidates);
+            if (!s.ok()) {
+              ctx.Fail(std::move(s));
+            } else {
+              candidates =
+                  dist::PartialAggregate(std::move(candidates), spec);
+              for (Row& row : candidates) {
+                write.Add(std::move(row), partitioning);
+              }
+            }
+            ctx.WriteShuffle(std::move(write));
+          },
+          reduce_stage, [&](TaskContext& ctx) {
+            const int p = ctx.partition();
+            ctx.ReportCachedState(all.partition(p)->byte_size());
+            std::vector<Row> incoming = ctx.ReadShuffle();
+            incoming = dist::PartialAggregate(std::move(incoming), spec);
+            all.partition(p)->MergeDelta(incoming, &delta[p]);
+            ctx.Count(delta[p].size());
+          });
+      RASQL_RETURN_IF_ERROR(failure.First());
       stats->total_delta_rows += delta_rows.Total();
     }
   }

@@ -23,6 +23,15 @@ struct RuntimeOptions {
   /// state is always partition-owned and merged in partition order.
   bool deterministic_reduce = true;
 
+  /// Pipeline shuffles: when a map stage and its consuming reduce stage are
+  /// submitted together (Cluster::RunStagePair), enqueue the reduce tasks
+  /// with per-slice dependencies on the map tasks and release each one as
+  /// soon as all of its input slices are published — instead of barriering
+  /// the whole map stage first. Simulated metrics are unaffected (the cost
+  /// model still runs post-barrier in partition order, DESIGN.md §8); only
+  /// wall-clock changes. No effect with one thread.
+  bool async_shuffle = false;
+
   /// `num_threads` with the auto-detect value resolved; always >= 1.
   int ResolvedThreads() const;
 };

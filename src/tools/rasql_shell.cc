@@ -3,12 +3,15 @@
 // spark-shell integration.
 //
 // Usage:
-//   rasql [--distributed] [--workers N] [--threads N] [--lint]
-//         [--werror-lint] [script.sql]
+//   rasql [--distributed] [--workers N] [--threads N] [--async-shuffle]
+//         [--lint] [--werror-lint] [script.sql]
 //
 // --threads=N runs the task closures of every distributed stage on a
 // work-stealing pool of N real threads (0 = one per hardware thread);
 // query results are identical for any thread count.
+// --async-shuffle pipelines each map→reduce stage pair: reduce tasks are
+// released per published shuffle slice instead of waiting for a stage
+// barrier. Results and simulated metrics are unchanged; wall time drops.
 // --lint runs the static PreM/monotonicity analyzer before every query
 // and refuses error-level queries; --werror-lint also refuses
 // warning-level ones.
@@ -84,12 +87,12 @@ class Shell {
     // --werror-lint) still deserve eyeballs; surface them on stderr so
     // they don't corrupt piped query output.
     if (ctx_.config().lint_before_execute &&
-        ctx_.last_lint_report().engine.HasWarnings()) {
-      std::fprintf(stderr, "%s",
-                   ctx_.last_lint_report().ToString().c_str());
+        result->lint_report.engine.HasWarnings()) {
+      std::fprintf(stderr, "%s", result->lint_report.ToString().c_str());
     }
-    std::printf("%s", result->ToString(40).c_str());
-    std::printf("(%zu rows)\n", result->size());
+    std::printf("%s", result->relation.ToString(40).c_str());
+    std::printf("(%zu rows)\n", result->relation.size());
+    last_ = std::move(*result);
     return true;
   }
 
@@ -177,12 +180,12 @@ class Shell {
         std::printf("%s", plan->c_str());
       }
     } else if (cmd == ".stats") {
-      const auto& stats = ctx_.last_fixpoint_stats();
+      const auto& stats = last_.fixpoint_stats;
       std::printf("iterations=%d delta_rows=%zu semi_naive=%d capped=%d\n",
                   stats.iterations, stats.total_delta_rows,
                   stats.used_semi_naive, stats.hit_iteration_limit);
       if (ctx_.config().distributed) {
-        std::printf("%s\n", ctx_.last_job_metrics().Summary().c_str());
+        std::printf("%s\n", last_.job_metrics.Summary().c_str());
       }
     } else {
       std::printf("unknown command %s (try .help)\n", cmd.c_str());
@@ -209,6 +212,8 @@ class Shell {
  private:
   engine::RaSqlContext ctx_;
   std::vector<std::string> tables_;
+  /// The most recent successful execution, backing `.stats`.
+  engine::ExecutionResult last_;
   int num_errors_ = 0;
 };
 
@@ -225,6 +230,8 @@ int Main(int argc, char** argv) {
       config.runtime.num_threads = std::atoi(argv[i] + 10);
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       config.runtime.num_threads = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--async-shuffle") == 0) {
+      config.runtime.async_shuffle = true;
     } else if (std::strcmp(argv[i], "--lint") == 0) {
       config.lint_before_execute = true;
     } else if (std::strcmp(argv[i], "--werror-lint") == 0) {
@@ -233,7 +240,7 @@ int Main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::printf(
           "usage: rasql [--distributed] [--workers N] [--threads N] "
-          "[--lint] [--werror-lint] [script]\n");
+          "[--async-shuffle] [--lint] [--werror-lint] [script]\n");
       PrintHelp();
       return 0;
     } else {

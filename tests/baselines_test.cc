@@ -193,7 +193,7 @@ TEST_F(SqlLoopFixture, NaiveAndSnMatchEngineOnDelivery) {
     SqlLoopStats stats;
     auto result = RunSqlLoop(clique, tables, mode, &cluster, &stats);
     ASSERT_TRUE(result.ok()) << result.status();
-    EXPECT_TRUE(storage::SameBag(*expected, *result));
+    EXPECT_TRUE(storage::SameBag(expected->relation, *result));
     EXPECT_GT(stats.iterations, 0);
     EXPECT_GT(stats.total_time_sec, 0.0);
     EXPECT_LE(stats.delta_time_sec, stats.total_time_sec + 1e-9);
@@ -225,9 +225,9 @@ TEST_F(SqlLoopFixture, SnMatchesEngineOnSumQuery) {
     auto result =
         RunSqlLoop(analyzed->cliques[0], tables, mode, &cluster, &stats);
     ASSERT_TRUE(result.ok()) << result.status();
-    EXPECT_TRUE(storage::SameBag(*expected, *result))
+    EXPECT_TRUE(storage::SameBag(expected->relation, *result))
         << "mode=" << static_cast<int>(mode) << "\n"
-        << expected->ToString() << result->ToString();
+        << expected->relation.ToString() << result->ToString();
   }
 }
 
@@ -253,8 +253,9 @@ TEST_F(SqlLoopFixture, SqlLoopsSlowerThanFixpointOperator) {
   engine::RaSqlContext engine(config);
   ASSERT_TRUE(engine.RegisterTable("assbl", assbl).ok());
   ASSERT_TRUE(engine.RegisterTable("basic", basic).ok());
-  ASSERT_TRUE(engine.Execute(sql).ok());
-  const double rasql_time = engine.last_job_metrics().TotalSimTime();
+  auto rasql_run = engine.Execute(sql);
+  ASSERT_TRUE(rasql_run.ok());
+  const double rasql_time = rasql_run->job_metrics.TotalSimTime();
 
   auto analyzed = Compile(sql, tables);
   ASSERT_TRUE(analyzed.ok()) << analyzed.status();

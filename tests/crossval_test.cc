@@ -69,7 +69,7 @@ TEST_P(CrossValidation, ReachMatchesBfs) {
       SELECT Dst FROM reach)");
   ASSERT_TRUE(result.ok()) << result.status();
   std::set<int64_t> got;
-  for (const auto& row : result->rows()) got.insert(row[0].AsInt());
+  for (const auto& row : result->relation.rows()) got.insert(row[0].AsInt());
   EXPECT_EQ(got, expected);
 }
 
@@ -89,7 +89,7 @@ TEST_P(CrossValidation, SsspMatchesSerialShortestPaths) {
   ASSERT_TRUE(result.ok()) << result.status();
 
   std::map<int64_t, double> got;
-  for (const auto& row : result->rows()) {
+  for (const auto& row : result->relation.rows()) {
     got[row[0].AsInt()] = row[1].AsNumeric();
   }
   size_t reachable = 0;
@@ -131,7 +131,7 @@ TEST_P(CrossValidation, CcComponentCountMatchesSerial) {
         (SELECT edge.Dst, cc.CmpId FROM cc, edge WHERE cc.Src = edge.Src)
       SELECT count(distinct cc.CmpId) FROM cc)");
   ASSERT_TRUE(result.ok()) << result.status();
-  EXPECT_EQ(result->rows()[0][0].AsInt(),
+  EXPECT_EQ(result->relation.rows()[0][0].AsInt(),
             static_cast<int64_t>(expected_components.size()));
 }
 
@@ -161,7 +161,7 @@ TEST_P(CrossValidation, ManagementMatchesSubtreeSizes) {
          WHERE empCount.Mgr = report.Emp)
       SELECT Mgr, Cnt FROM empCount)");
   ASSERT_TRUE(result.ok()) << result.status();
-  for (const auto& row : result->rows()) {
+  for (const auto& row : result->relation.rows()) {
     const int64_t v = row[0].AsInt();
     // Every vertex counts itself via the base case (it appears as an Emp)
     // except the root, which reports to nobody: its count is the subtree
@@ -169,7 +169,7 @@ TEST_P(CrossValidation, ManagementMatchesSubtreeSizes) {
     const int64_t expected = size[v] - (v == 0 ? 1 : 0);
     EXPECT_EQ(row[1].AsInt(), expected) << "vertex " << v;
   }
-  EXPECT_EQ(result->size(), static_cast<size_t>(tree.num_vertices));
+  EXPECT_EQ(result->relation.size(), static_cast<size_t>(tree.num_vertices));
 }
 
 TEST_P(CrossValidation, PregelAgreesWithEngineOnSssp) {
@@ -189,7 +189,7 @@ TEST_P(CrossValidation, PregelAgreesWithEngineOnSssp) {
          FROM path, edge WHERE path.Dst = edge.Src)
       SELECT Dst, Cost FROM path)");
   ASSERT_TRUE(result.ok());
-  for (const auto& row : result->rows()) {
+  for (const auto& row : result->relation.rows()) {
     EXPECT_DOUBLE_EQ(row[1].AsNumeric(), pregel.values[row[0].AsInt()]);
   }
 }

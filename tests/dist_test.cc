@@ -7,6 +7,8 @@
 #include "dist/cluster.h"
 #include "dist/partition.h"
 #include "dist/set_rdd.h"
+#include "dist/shuffle.h"
+#include "runtime/runtime_options.h"
 
 namespace rasql::dist {
 namespace {
@@ -75,6 +77,12 @@ TEST(ShuffleWriteTest, GatherCollectsFromAllWriters) {
   EXPECT_EQ(total, 3u);
 }
 
+StageSpec LocalStage(const std::string& name) {
+  StageSpec spec;
+  spec.name = name;
+  return spec;
+}
+
 TEST(ClusterTest, StageAccounting) {
   ClusterConfig config;
   config.num_workers = 2;
@@ -82,7 +90,7 @@ TEST(ClusterTest, StageAccounting) {
   config.per_stage_overhead_sec = 0.5;
   config.per_task_overhead_sec = 0.0;
   Cluster cluster(config);
-  cluster.RunStage("s1", [](int p) { return TaskIo{}; });
+  cluster.RunStage(LocalStage("s1"), [](TaskContext&) {});
   EXPECT_EQ(cluster.metrics().num_stages(), 1);
   EXPECT_GE(cluster.metrics().TotalSimTime(), 0.5);
 }
@@ -97,10 +105,8 @@ TEST(ClusterTest, PartitionAwareAvoidsStateFetch) {
     config.partition_aware_scheduling = aware;
     Cluster cluster(config);
     for (int stage = 0; stage < 3; ++stage) {
-      cluster.RunStage("iter", [](int p) {
-        TaskIo io;
-        io.cached_state_bytes = 1000;
-        return io;
+      cluster.RunStage(LocalStage("iter"), [](TaskContext& ctx) {
+        ctx.ReportCachedState(1000);
       });
     }
     if (aware) {
@@ -118,18 +124,19 @@ TEST(ClusterTest, ShuffleBytesCrossWorkersOnly) {
   Cluster cluster(config);
   // Map stage: partition 0 (worker 0) sends 100B to partition 1 and 50B to
   // itself; partition 1 (worker 1) sends nothing.
-  cluster.RunStage("map", [](int p) {
-    TaskIo io;
-    if (p == 0) io.shuffle_out_bytes = {50, 100};
-    else io.shuffle_out_bytes = {0, 0};
-    return io;
+  StageSpec map_spec;
+  map_spec.name = "map";
+  map_spec.kind = StageSpec::Kind::kShuffleMap;
+  cluster.RunStage(map_spec, [](TaskContext& ctx) {
+    ctx.ReportShuffleBytes(ctx.partition() == 0
+                               ? std::vector<size_t>{50, 100}
+                               : std::vector<size_t>{0, 0});
   });
   // Reduce stage: each partition consumes its shuffle slice.
-  cluster.RunStage("reduce", [](int p) {
-    TaskIo io;
-    io.consumes_shuffle = true;
-    return io;
-  });
+  StageSpec reduce_spec;
+  reduce_spec.name = "reduce";
+  reduce_spec.kind = StageSpec::Kind::kShuffleReduce;
+  cluster.RunStage(reduce_spec, [](TaskContext&) {});
   // Only the 100B slice 0 -> 1 crosses workers.
   EXPECT_EQ(cluster.metrics().TotalRemoteBytes(), 100u);
   EXPECT_EQ(cluster.metrics().TotalShuffleBytes(), 150u);
@@ -146,19 +153,15 @@ TEST(ClusterTest, ResetMetricsRestartsStagePlacement) {
   config.num_workers = 3;
   config.num_partitions = 6;
   config.partition_aware_scheduling = false;  // hybrid rotation
-  auto state_task = [](int p) {
-    TaskIo io;
-    io.cached_state_bytes = 1000;
-    return io;
-  };
+  auto state_task = [](TaskContext& ctx) { ctx.ReportCachedState(1000); };
   Cluster cluster(config);
-  cluster.RunStage("s", state_task);
-  cluster.RunStage("s", state_task);
+  cluster.RunStage(LocalStage("s"), state_task);
+  cluster.RunStage(LocalStage("s"), state_task);
   const size_t fresh_stage0_remote = cluster.metrics().stages[0].remote_bytes;
   EXPECT_EQ(fresh_stage0_remote, 0u);
 
   cluster.ResetMetrics();
-  cluster.RunStage("s", state_task);
+  cluster.RunStage(LocalStage("s"), state_task);
   EXPECT_EQ(cluster.metrics().num_stages(), 1);
   EXPECT_EQ(cluster.metrics().stages[0].remote_bytes, fresh_stage0_remote);
 }
@@ -171,17 +174,17 @@ TEST(ClusterTest, ResetMetricsDropsPendingShuffle) {
   config.num_workers = 2;
   config.num_partitions = 2;
   Cluster cluster(config);
-  cluster.RunStage("map", [](int p) {
-    TaskIo io;
-    io.shuffle_out_bytes = {50, 100};
-    return io;
+  StageSpec map_spec;
+  map_spec.name = "map";
+  map_spec.kind = StageSpec::Kind::kShuffleMap;
+  cluster.RunStage(map_spec, [](TaskContext& ctx) {
+    ctx.ReportShuffleBytes({50, 100});
   });
   cluster.ResetMetrics();
-  cluster.RunStage("reduce", [](int p) {
-    TaskIo io;
-    io.consumes_shuffle = true;
-    return io;
-  });
+  StageSpec reduce_spec;
+  reduce_spec.name = "reduce";
+  reduce_spec.kind = StageSpec::Kind::kShuffleReduce;
+  cluster.RunStage(reduce_spec, [](TaskContext&) {});
   EXPECT_EQ(cluster.metrics().TotalRemoteBytes(), 0u);
 }
 
@@ -205,11 +208,174 @@ TEST(ClusterTest, MoreWorkersShrinkMakespan) {
     config.per_stage_overhead_sec = 0.0;
     config.per_task_overhead_sec = 0.010;
     Cluster cluster(config);
-    cluster.RunStage("s", [](int) { return TaskIo{}; });
+    cluster.RunStage(LocalStage("s"), [](TaskContext&) {});
     return cluster.metrics().TotalSimTime();
   };
   EXPECT_GT(run(1), run(4));
   EXPECT_GT(run(4), run(16));
+}
+
+// ---- Slice readiness and the shuffle channel ----
+
+TEST(SliceReadinessTest, PublishConsumeLifecycle) {
+  SliceReadiness readiness(3);
+  EXPECT_EQ(readiness.num_partitions(), 3);
+  EXPECT_EQ(readiness.NumPublished(), 0);
+  EXPECT_FALSE(readiness.AllPublished());
+
+  readiness.Publish(1);
+  EXPECT_TRUE(readiness.Published(1));
+  EXPECT_FALSE(readiness.Published(0));
+  EXPECT_EQ(readiness.NumPublished(), 1);
+
+  readiness.Publish(0);
+  readiness.Publish(2);
+  EXPECT_TRUE(readiness.AllPublished());
+
+  EXPECT_FALSE(readiness.Consumed(2));
+  readiness.MarkConsumed(2);
+  EXPECT_TRUE(readiness.Consumed(2));
+
+  readiness.Reset(3);
+  EXPECT_EQ(readiness.NumPublished(), 0);
+  EXPECT_FALSE(readiness.Consumed(2));
+}
+
+TEST(ShuffleChannelTest, GatherSeesOnlyPublishedSlices) {
+  // Producers 0 and 2 publish; producer 1 has deposited but not published.
+  // A consumer must observe exactly the published rows — never a slice
+  // whose producing task has not completed.
+  const Partitioning spec{{0}, 2};
+  ShuffleChannel channel(3);
+  for (int src = 0; src < 3; ++src) {
+    ShuffleWrite write(2);
+    write.Add({Value::Int(src * 2)}, spec);      // even -> partition of 0
+    write.Add({Value::Int(src * 2 + 1)}, spec);  // odd
+    channel.Put(src, std::move(write));
+  }
+  channel.Publish(0);
+  channel.Publish(2);
+
+  std::set<int64_t> seen;
+  for (const Row& row : channel.Gather(0)) seen.insert(row[0].AsInt());
+  for (const Row& row : channel.Gather(1)) seen.insert(row[0].AsInt());
+  EXPECT_TRUE(channel.readiness().Consumed(0));
+  EXPECT_TRUE(channel.readiness().Consumed(1));
+  // Producer 1's rows {2, 3} stay invisible.
+  EXPECT_EQ(seen, (std::set<int64_t>{0, 1, 4, 5}));
+
+  channel.Publish(1);
+  EXPECT_EQ(channel.TotalRows(), 6u);
+
+  channel.Reset();
+  EXPECT_EQ(channel.TotalRows(), 0u);
+  EXPECT_EQ(channel.readiness().NumPublished(), 0);
+}
+
+TEST(ShuffleChannelTest, RowsRouteThroughChannel) {
+  // End-to-end through RunStagePair: map tasks route real rows, reduce
+  // tasks gather exactly the rows addressed to their partition.
+  for (bool async : {false, true}) {
+    runtime::RuntimeOptions opts;
+    opts.num_threads = async ? 4 : 1;
+    opts.async_shuffle = async;
+    ClusterConfig config;
+    config.num_workers = 2;
+    config.num_partitions = 4;
+    Cluster cluster(config, opts);
+    const Partitioning spec{{0}, 4};
+
+    ShuffleChannel channel(4);
+    StageSpec map_spec;
+    map_spec.name = "map";
+    map_spec.kind = StageSpec::Kind::kShuffleMap;
+    map_spec.output_slices = &channel;
+    StageSpec reduce_spec;
+    reduce_spec.name = "reduce";
+    reduce_spec.kind = StageSpec::Kind::kShuffleReduce;
+    reduce_spec.input_slices = &channel;
+
+    std::vector<std::vector<int64_t>> received(4);
+    cluster.RunStagePair(
+        map_spec,
+        [&](TaskContext& ctx) {
+          // Task p emits the keys p*10 .. p*10+9.
+          ShuffleWrite write(4);
+          for (int64_t k = 0; k < 10; ++k) {
+            write.Add({Value::Int(ctx.partition() * 10 + k)}, spec);
+          }
+          ctx.WriteShuffle(std::move(write));
+        },
+        reduce_spec,
+        [&](TaskContext& ctx) {
+          for (const Row& row : ctx.ReadShuffle()) {
+            received[ctx.partition()].push_back(row[0].AsInt());
+          }
+        });
+
+    size_t total = 0;
+    for (int p = 0; p < 4; ++p) {
+      for (int64_t k : received[p]) {
+        EXPECT_EQ(spec.PartitionOf({Value::Int(k)}), p) << "async=" << async;
+      }
+      total += received[p].size();
+    }
+    EXPECT_EQ(total, 40u) << "async=" << async;
+    EXPECT_EQ(cluster.metrics().num_stages(), 2);
+  }
+}
+
+TEST(ClusterTest, PipelinedPairMetricsMatchBarriered) {
+  // The same RunStagePair, barriered vs pipelined: simulated metrics must
+  // be bit-identical — names, task counts, shuffle and remote bytes.
+  auto run = [](bool async, int threads) {
+    runtime::RuntimeOptions opts;
+    opts.num_threads = threads;
+    opts.async_shuffle = async;
+    ClusterConfig config;
+    config.num_workers = 3;
+    config.num_partitions = 6;
+    Cluster cluster(config, opts);
+    const Partitioning spec{{0}, 6};
+    for (int iter = 0; iter < 3; ++iter) {
+      ShuffleChannel channel(6);
+      StageSpec map_spec;
+      map_spec.name = "map-" + std::to_string(iter);
+      map_spec.kind = StageSpec::Kind::kShuffleMap;
+      map_spec.output_slices = &channel;
+      StageSpec reduce_spec;
+      reduce_spec.name = "reduce-" + std::to_string(iter);
+      reduce_spec.kind = StageSpec::Kind::kShuffleReduce;
+      reduce_spec.input_slices = &channel;
+      cluster.RunStagePair(
+          map_spec,
+          [&](TaskContext& ctx) {
+            ctx.ReportCachedState(100 * (ctx.partition() + 1));
+            ShuffleWrite write(6);
+            for (int64_t k = 0; k < 6; ++k) {
+              write.Add({Value::Int(ctx.partition() * 6 + k)}, spec);
+            }
+            ctx.WriteShuffle(std::move(write));
+          },
+          reduce_spec,
+          [&](TaskContext& ctx) { (void)ctx.ReadShuffle(); });
+    }
+    return cluster.metrics();
+  };
+
+  const JobMetrics base = run(false, 1);
+  for (int threads : {1, 2, 8}) {
+    const JobMetrics got = run(true, threads);
+    ASSERT_EQ(got.num_stages(), base.num_stages()) << "threads=" << threads;
+    for (int s = 0; s < base.num_stages(); ++s) {
+      EXPECT_EQ(got.stages[s].name, base.stages[s].name);
+      EXPECT_EQ(got.stages[s].num_tasks, base.stages[s].num_tasks);
+      EXPECT_EQ(got.stages[s].shuffle_bytes, base.stages[s].shuffle_bytes)
+          << "stage " << s << " threads=" << threads;
+      EXPECT_EQ(got.stages[s].remote_bytes, base.stages[s].remote_bytes)
+          << "stage " << s << " threads=" << threads;
+    }
+  }
 }
 
 TEST(BroadcastTest, EncodeDecodeRoundTrip) {

@@ -45,8 +45,8 @@ TEST(EngineTest, PlainSelectFilter) {
                   .ok());
   auto result = ctx.Execute("SELECT B FROM t WHERE A = 2");
   ASSERT_TRUE(result.ok()) << result.status();
-  ASSERT_EQ(result->size(), 1u);
-  EXPECT_EQ(result->rows()[0][0].AsInt(), 20);
+  ASSERT_EQ(result->relation.size(), 1u);
+  EXPECT_EQ(result->relation.rows()[0][0].AsInt(), 20);
 }
 
 TEST(EngineTest, GroupByHavingOrderBy) {
@@ -63,10 +63,10 @@ TEST(EngineTest, GroupByHavingOrderBy) {
       "SELECT Store, sum(Amount) AS Total FROM sales "
       "GROUP BY Store HAVING sum(Amount) > 10 ORDER BY Total DESC");
   ASSERT_TRUE(result.ok()) << result.status();
-  ASSERT_EQ(result->size(), 2u);
-  EXPECT_EQ(result->rows()[0][0].AsInt(), 3);
-  EXPECT_EQ(result->rows()[0][1].AsInt(), 100);
-  EXPECT_EQ(result->rows()[1][1].AsInt(), 30);
+  ASSERT_EQ(result->relation.size(), 2u);
+  EXPECT_EQ(result->relation.rows()[0][0].AsInt(), 3);
+  EXPECT_EQ(result->relation.rows()[0][1].AsInt(), 100);
+  EXPECT_EQ(result->relation.rows()[1][1].AsInt(), 30);
 }
 
 TEST(EngineTest, TransitiveClosure) {
@@ -83,8 +83,8 @@ TEST(EngineTest, TransitiveClosure) {
   ASSERT_TRUE(result.ok()) << result.status();
   std::set<std::pair<int64_t, int64_t>> expected = {
       {1, 2}, {1, 3}, {1, 4}, {2, 3}, {2, 4}, {3, 4}};
-  EXPECT_EQ(IntPairs(*result), expected);
-  EXPECT_TRUE(ctx.last_fixpoint_stats().used_semi_naive);
+  EXPECT_EQ(IntPairs(result->relation), expected);
+  EXPECT_TRUE(result->fixpoint_stats.used_semi_naive);
 }
 
 TEST(EngineTest, SsspWithCycle) {
@@ -104,7 +104,7 @@ TEST(EngineTest, SsspWithCycle) {
       SELECT Dst, Cost FROM path)");
   ASSERT_TRUE(result.ok()) << result.status();
   std::set<std::pair<int64_t, int64_t>> expected = {{1, 0}, {2, 1}, {3, 3}};
-  EXPECT_EQ(IntPairs(*result), expected);
+  EXPECT_EQ(IntPairs(result->relation), expected);
 }
 
 TEST(EngineTest, ConnectedComponents) {
@@ -124,8 +124,8 @@ TEST(EngineTest, ConnectedComponents) {
         (SELECT edge.Dst, cc.CmpId FROM cc, edge WHERE cc.Src = edge.Src)
       SELECT count(distinct cc.CmpId) FROM cc)");
   ASSERT_TRUE(result.ok()) << result.status();
-  ASSERT_EQ(result->size(), 1u);
-  EXPECT_EQ(result->rows()[0][0].AsInt(), 2);
+  ASSERT_EQ(result->relation.size(), 1u);
+  EXPECT_EQ(result->relation.rows()[0][0].AsInt(), 2);
 }
 
 TEST(EngineTest, CountPaths) {
@@ -143,7 +143,7 @@ TEST(EngineTest, CountPaths) {
   ASSERT_TRUE(result.ok()) << result.status();
   std::set<std::pair<int64_t, int64_t>> expected = {
       {1, 1}, {2, 1}, {3, 1}, {4, 2}};
-  EXPECT_EQ(IntPairs(*result), expected);
+  EXPECT_EQ(IntPairs(result->relation), expected);
 }
 
 TEST(EngineTest, Management) {
@@ -162,7 +162,7 @@ TEST(EngineTest, Management) {
   ASSERT_TRUE(result.ok()) << result.status();
   std::set<std::pair<int64_t, int64_t>> expected = {
       {1, 4}, {2, 3}, {3, 1}, {4, 1}, {5, 1}};
-  EXPECT_EQ(IntPairs(*result), expected);
+  EXPECT_EQ(IntPairs(result->relation), expected);
 }
 
 TEST(EngineTest, MlmBonus) {
@@ -186,7 +186,7 @@ TEST(EngineTest, MlmBonus) {
       SELECT M, B FROM bonus)");
   ASSERT_TRUE(result.ok()) << result.status();
   std::map<int64_t, double> bonuses;
-  for (const Row& row : result->rows()) {
+  for (const Row& row : result->relation.rows()) {
     bonuses[row[0].AsInt()] = row[1].AsNumeric();
   }
   EXPECT_DOUBLE_EQ(bonuses[4], 40.0);
@@ -225,10 +225,10 @@ TEST(EngineTest, BomStratifiedAndEndoMaxAgree) {
   ASSERT_TRUE(q1.ok()) << q1.status();
   auto q2 = ctx.Execute(kBomEndoMax);
   ASSERT_TRUE(q2.ok()) << q2.status();
-  EXPECT_TRUE(SameBag(*q1, *q2)) << q1->ToString() << q2->ToString();
+  EXPECT_TRUE(SameBag(q1->relation, q2->relation)) << q1->relation.ToString() << q2->relation.ToString();
   std::set<std::pair<int64_t, int64_t>> expected = {
       {1, 7}, {2, 7}, {3, 2}, {4, 3}, {5, 7}};
-  EXPECT_EQ(IntPairs(*q2), expected);
+  EXPECT_EQ(IntPairs(q2->relation), expected);
 }
 
 TEST(EngineTest, IntervalCoalesce) {
@@ -253,7 +253,7 @@ TEST(EngineTest, IntervalCoalesce) {
       SELECT S, E FROM coal)");
   ASSERT_TRUE(result.ok()) << result.status();
   std::set<std::pair<int64_t, int64_t>> expected = {{1, 4}, {6, 9}, {10, 11}};
-  EXPECT_EQ(IntPairs(*result), expected);
+  EXPECT_EQ(IntPairs(result->relation), expected);
 }
 
 TEST(EngineTest, PartyAttendanceMutualRecursion) {
@@ -284,9 +284,9 @@ TEST(EngineTest, PartyAttendanceMutualRecursion) {
       SELECT Person FROM attend)");
   ASSERT_TRUE(result.ok()) << result.status();
   std::set<int64_t> people;
-  for (const Row& row : result->rows()) people.insert(row[0].AsInt());
+  for (const Row& row : result->relation.rows()) people.insert(row[0].AsInt());
   EXPECT_EQ(people, (std::set<int64_t>{1, 2, 3, 10, 12}));
-  EXPECT_FALSE(ctx.last_fixpoint_stats().used_semi_naive);
+  EXPECT_FALSE(result->fixpoint_stats.used_semi_naive);
 }
 
 TEST(EngineTest, CompanyControlMutualRecursion) {
@@ -308,7 +308,7 @@ TEST(EngineTest, CompanyControlMutualRecursion) {
       SELECT ByCom, OfCom, Tot FROM cshares)");
   ASSERT_TRUE(result.ok()) << result.status();
   std::map<std::pair<std::string, std::string>, int64_t> totals;
-  for (const Row& row : result->rows()) {
+  for (const Row& row : result->relation.rows()) {
     totals[{row[0].AsString(), row[1].AsString()}] =
         static_cast<int64_t>(row[2].AsNumeric());
   }
@@ -334,7 +334,7 @@ TEST(EngineTest, SameGeneration) {
   ASSERT_TRUE(result.ok()) << result.status();
   std::set<std::pair<int64_t, int64_t>> expected = {
       {1, 2}, {2, 1}, {3, 4}, {4, 3}};
-  EXPECT_EQ(IntPairs(*result), expected);
+  EXPECT_EQ(IntPairs(result->relation), expected);
 }
 
 TEST(EngineTest, Reachability) {
@@ -350,7 +350,7 @@ TEST(EngineTest, Reachability) {
       SELECT Dst FROM reach)");
   ASSERT_TRUE(result.ok()) << result.status();
   std::set<int64_t> reached;
-  for (const Row& row : result->rows()) reached.insert(row[0].AsInt());
+  for (const Row& row : result->relation.rows()) reached.insert(row[0].AsInt());
   EXPECT_EQ(reached, (std::set<int64_t>{1, 2, 3}));
 }
 
@@ -370,7 +370,7 @@ TEST(EngineTest, AllPairsShortestPath) {
       SELECT Src, Dst, Cost FROM path)");
   ASSERT_TRUE(result.ok()) << result.status();
   std::map<std::pair<int64_t, int64_t>, double> dist;
-  for (const Row& row : result->rows()) {
+  for (const Row& row : result->relation.rows()) {
     dist[{row[0].AsInt(), row[1].AsInt()}] = row[2].AsNumeric();
   }
   EXPECT_DOUBLE_EQ((dist[{1, 3}]), 2.0);
@@ -394,7 +394,7 @@ TEST(EngineTest, StratifiedSsspHitsIterationLimitOnCycle) {
          FROM path, edge WHERE path.Dst = edge.Src)
       SELECT Dst, min(Cost) FROM path GROUP BY Dst)");
   ASSERT_TRUE(result.ok()) << result.status();
-  EXPECT_TRUE(ctx.last_fixpoint_stats().hit_iteration_limit);
+  EXPECT_TRUE(result->fixpoint_stats.hit_iteration_limit);
 }
 
 TEST(EngineTest, ExplainShowsCliqueAndFixpoint) {
@@ -513,10 +513,10 @@ TEST_P(ConsistencySweep, GraphQueriesMatchReference) {
     ASSERT_TRUE(expected.ok()) << expected.status();
     auto got = variant.Execute(query);
     ASSERT_TRUE(got.ok()) << GetParam().name << ": " << got.status();
-    EXPECT_TRUE(SameBag(*expected, *got))
+    EXPECT_TRUE(SameBag(expected->relation, got->relation))
         << GetParam().name << " diverged on query:\n"
-        << query << "\nexpected " << expected->size() << " rows, got "
-        << got->size();
+        << query << "\nexpected " << expected->relation.size() << " rows, got "
+        << got->relation.size();
   }
 }
 
@@ -539,7 +539,7 @@ TEST_P(ConsistencySweep, TransitiveClosureMatchesReference) {
   ASSERT_TRUE(expected.ok()) << expected.status();
   auto got = variant.Execute(query);
   ASSERT_TRUE(got.ok()) << GetParam().name << ": " << got.status();
-  EXPECT_EQ(expected->rows()[0][0].AsInt(), got->rows()[0][0].AsInt())
+  EXPECT_EQ(expected->relation.rows()[0][0].AsInt(), got->relation.rows()[0][0].AsInt())
       << GetParam().name;
 }
 
@@ -572,7 +572,7 @@ TEST_P(ConsistencySweep, SameGenerationMatchesReference) {
   ASSERT_TRUE(expected.ok()) << expected.status();
   auto got = variant.Execute(query);
   ASSERT_TRUE(got.ok()) << GetParam().name << ": " << got.status();
-  EXPECT_EQ(expected->rows()[0][0].AsInt(), got->rows()[0][0].AsInt())
+  EXPECT_EQ(expected->relation.rows()[0][0].AsInt(), got->relation.rows()[0][0].AsInt())
       << GetParam().name;
 }
 
@@ -622,10 +622,10 @@ TEST(EngineDistributedTest, TcUsesDecomposedPlan) {
         (SELECT tc.Src, edge.Dst FROM tc, edge WHERE tc.Dst = edge.Src)
       SELECT Src, Dst FROM tc)");
   ASSERT_TRUE(result.ok()) << result.status();
-  EXPECT_EQ(result->size(), 6u);
+  EXPECT_EQ(result->relation.size(), 6u);
   // Decomposed evaluation runs everything in very few stages and
   // broadcasts the base relation.
-  EXPECT_GT(ctx.last_job_metrics().broadcast_bytes, 0u);
+  EXPECT_GT(result->job_metrics.broadcast_bytes, 0u);
 }
 
 TEST(EngineDistributedTest, CombinedStagesReduceStageCount) {
@@ -644,16 +644,18 @@ TEST(EngineDistributedTest, CombinedStagesReduceStageCount) {
   combined.dist_fixpoint.combine_stages = true;
   RaSqlContext ctx_combined(combined);
   ASSERT_TRUE(ctx_combined.RegisterTable("edge", edges).ok());
-  ASSERT_TRUE(ctx_combined.Execute(query).ok());
+  auto combined_run = ctx_combined.Execute(query);
+  ASSERT_TRUE(combined_run.ok());
 
   EngineConfig plain = combined;
   plain.dist_fixpoint.combine_stages = false;
   RaSqlContext ctx_plain(plain);
   ASSERT_TRUE(ctx_plain.RegisterTable("edge", edges).ok());
-  ASSERT_TRUE(ctx_plain.Execute(query).ok());
+  auto plain_run = ctx_plain.Execute(query);
+  ASSERT_TRUE(plain_run.ok());
 
-  EXPECT_LT(ctx_combined.last_job_metrics().num_stages(),
-            ctx_plain.last_job_metrics().num_stages());
+  EXPECT_LT(combined_run->job_metrics.num_stages(),
+            plain_run->job_metrics.num_stages());
 }
 
 }  // namespace

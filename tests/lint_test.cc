@@ -363,7 +363,7 @@ TEST(LintGatingTest, ProvenQueryExecutesUnderWerror) {
   ctx.mutable_config()->lint.werror = true;
   auto result = ctx.Execute(kSssp);
   ASSERT_TRUE(result.ok()) << result.status();
-  EXPECT_EQ(result->size(), 3u);  // vertices 1,2,3 reachable
+  EXPECT_EQ(result->relation.size(), 3u);  // vertices 1,2,3 reachable
 }
 
 TEST(LintGatingTest, WarningQueryRunsUnlessWerror) {
@@ -397,7 +397,7 @@ TEST(LintTest, SemiNaiveVerdictMatchesAnalyzerFlag) {
         (SELECT edge.Dst, q.N * q.N FROM q, edge WHERE q.Dst = edge.Src)
       SELECT Dst, N FROM q)");
   ASSERT_TRUE(result.ok()) << result.status();
-  EXPECT_FALSE(ctx.last_fixpoint_stats().used_semi_naive);
+  EXPECT_FALSE(result->fixpoint_stats.used_semi_naive);
 
   auto report = ctx.Lint(R"(
       WITH recursive q (Dst, sum() AS N) AS

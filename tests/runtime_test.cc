@@ -9,6 +9,7 @@
 #include <atomic>
 #include <cmath>
 #include <map>
+#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
@@ -114,6 +115,65 @@ TEST(ThreadPoolTest, SingleThreadRunsInline) {
   });
 }
 
+// ---- ParallelForGraph ----
+
+TEST(ThreadPoolTest, GraphRunsEveryTaskOnceRespectingDeps) {
+  // Chain 0 -> 1 -> 2 -> ... -> 15: strictly sequential even on 4 threads.
+  constexpr int kTasks = 16;
+  for (int threads : {1, 4}) {
+    ThreadPool pool(threads);
+    std::vector<int> deps(kTasks, 1);
+    deps[0] = 0;
+    std::vector<std::vector<int>> dependents(kTasks);
+    for (int i = 0; i + 1 < kTasks; ++i) dependents[i].push_back(i + 1);
+    std::vector<int> order;
+    std::mutex mu;
+    pool.ParallelForGraph(
+        kTasks,
+        [&](int i) {
+          std::lock_guard<std::mutex> lock(mu);
+          order.push_back(i);
+        },
+        deps, dependents);
+    std::vector<int> expected(kTasks);
+    for (int i = 0; i < kTasks; ++i) expected[i] = i;
+    EXPECT_EQ(order, expected) << "threads=" << threads;
+  }
+}
+
+TEST(ThreadPoolTest, GraphFanInWaitsForAllProducers) {
+  // P producers, P consumers; each consumer depends on all producers, so a
+  // consumer must observe every producer's write.
+  constexpr int kP = 8;
+  for (int round = 0; round < 20; ++round) {
+    ThreadPool pool(4);
+    std::vector<int> deps(2 * kP, 0);
+    std::vector<std::vector<int>> dependents(2 * kP);
+    for (int c = 0; c < kP; ++c) deps[kP + c] = kP;
+    for (int p = 0; p < kP; ++p) {
+      for (int c = 0; c < kP; ++c) dependents[p].push_back(kP + c);
+    }
+    std::vector<int> produced(kP, 0);
+    std::vector<int> seen(kP, 0);
+    pool.ParallelForGraph(
+        2 * kP,
+        [&](int i) {
+          if (i < kP) {
+            produced[i] = i + 1;
+            return;
+          }
+          int sum = 0;
+          for (int p = 0; p < kP; ++p) sum += produced[p];
+          seen[i - kP] = sum;
+        },
+        deps, dependents);
+    constexpr int kSum = kP * (kP + 1) / 2;
+    for (int c = 0; c < kP; ++c) {
+      ASSERT_EQ(seen[c], kSum) << "consumer " << c << " round " << round;
+    }
+  }
+}
+
 TEST(RuntimeOptionsTest, AutoResolvesToAtLeastOne) {
   RuntimeOptions auto_opts;
   auto_opts.num_threads = 0;
@@ -155,17 +215,20 @@ dist::JobMetrics RunSimulatedJob(int num_threads, bool partition_aware) {
   opts.num_threads = num_threads;
   dist::Cluster cluster(config, opts);
   for (int stage = 0; stage < 4; ++stage) {
-    cluster.RunStage("map", [](int p) {
-      dist::TaskIo io;
-      io.cached_state_bytes = 1000 + 100 * p;
-      io.shuffle_out_bytes.assign(6, static_cast<size_t>(10 * (p + 1)));
-      return io;
+    dist::StageSpec map_spec;
+    map_spec.name = "map";
+    map_spec.kind = dist::StageSpec::Kind::kShuffleMap;
+    cluster.RunStage(map_spec, [](dist::TaskContext& ctx) {
+      const int p = ctx.partition();
+      ctx.ReportCachedState(1000 + 100 * p);
+      ctx.ReportShuffleBytes(
+          std::vector<size_t>(6, static_cast<size_t>(10 * (p + 1))));
     });
-    cluster.RunStage("reduce", [](int p) {
-      dist::TaskIo io;
-      io.consumes_shuffle = true;
-      io.cached_state_bytes = 500;
-      return io;
+    dist::StageSpec reduce_spec;
+    reduce_spec.name = "reduce";
+    reduce_spec.kind = dist::StageSpec::Kind::kShuffleReduce;
+    cluster.RunStage(reduce_spec, [](dist::TaskContext& ctx) {
+      ctx.ReportCachedState(500);
     });
   }
   cluster.Broadcast(4096);
@@ -199,6 +262,10 @@ struct FixpointCase {
   int num_threads;
   bool partition_aware;
   bool deterministic_reduce;
+  bool async_shuffle = false;
+  /// Combined stages collapse each map→reduce pair into one stage; turn
+  /// combination off to exercise RunStagePair's pipelined path.
+  bool combine_stages = true;
 };
 
 class FixpointDeterminism : public ::testing::TestWithParam<FixpointCase> {
@@ -211,6 +278,8 @@ class FixpointDeterminism : public ::testing::TestWithParam<FixpointCase> {
     config.cluster.partition_aware_scheduling = GetParam().partition_aware;
     config.runtime.num_threads = GetParam().num_threads;
     config.runtime.deterministic_reduce = GetParam().deterministic_reduce;
+    config.runtime.async_shuffle = GetParam().async_shuffle;
+    config.dist_fixpoint.combine_stages = GetParam().combine_stages;
     return config;
   }
 
@@ -230,7 +299,7 @@ class FixpointDeterminism : public ::testing::TestWithParam<FixpointCase> {
     EXPECT_TRUE(ctx.RegisterTable("edge", Edges(weighted)).ok());
     auto result = ctx.Execute(sql);
     EXPECT_TRUE(result.ok()) << result.status();
-    return result.ok() ? std::move(*result) : storage::Relation{};
+    return result.ok() ? std::move(result->relation) : storage::Relation{};
   }
 };
 
@@ -250,21 +319,20 @@ constexpr const char* kSsspQuery = R"(
 /// The single-thread sequential run is the reference; every threaded
 /// configuration must reproduce it as a bag, byte for byte.
 TEST_P(FixpointDeterminism, TcMatchesSequentialReference) {
-  FixpointCase reference_case{1, GetParam().partition_aware, true};
   engine::EngineConfig ref_config;
   ref_config.distributed = true;
   ref_config.cluster.num_workers = 3;
   ref_config.cluster.num_partitions = 6;
-  ref_config.cluster.partition_aware_scheduling =
-      reference_case.partition_aware;
+  ref_config.cluster.partition_aware_scheduling = GetParam().partition_aware;
+  ref_config.dist_fixpoint.combine_stages = GetParam().combine_stages;
   engine::RaSqlContext ref_ctx(ref_config);
   ASSERT_TRUE(ref_ctx.RegisterTable("edge", Edges(false)).ok());
   auto reference = ref_ctx.Execute(kTcQuery);
   ASSERT_TRUE(reference.ok()) << reference.status();
 
   storage::Relation got = Run(kTcQuery, false);
-  EXPECT_TRUE(storage::SameBag(*reference, got));
-  EXPECT_EQ(reference->size(), got.size());
+  EXPECT_TRUE(storage::SameBag(reference->relation, got));
+  EXPECT_EQ(reference->relation.size(), got.size());
 }
 
 TEST_P(FixpointDeterminism, SsspMatchesSequentialReference) {
@@ -273,52 +341,83 @@ TEST_P(FixpointDeterminism, SsspMatchesSequentialReference) {
   ref_config.cluster.num_workers = 3;
   ref_config.cluster.num_partitions = 6;
   ref_config.cluster.partition_aware_scheduling = GetParam().partition_aware;
+  ref_config.dist_fixpoint.combine_stages = GetParam().combine_stages;
   engine::RaSqlContext ref_ctx(ref_config);
   ASSERT_TRUE(ref_ctx.RegisterTable("edge", Edges(true)).ok());
   auto reference = ref_ctx.Execute(kSsspQuery);
   ASSERT_TRUE(reference.ok()) << reference.status();
 
   storage::Relation got = Run(kSsspQuery, true);
-  EXPECT_TRUE(storage::SameBag(*reference, got));
+  EXPECT_TRUE(storage::SameBag(reference->relation, got));
 }
 
 /// Fixpoint statistics (iterations, delta rows) and simulated cluster
-/// metrics must also be thread-count-independent — the cost model may not
-/// notice that real threads ran underneath it.
+/// metrics must also be thread-count-independent and async-shuffle-
+/// independent — the cost model may not notice that real threads or a
+/// pipelined shuffle ran underneath it.
 TEST_P(FixpointDeterminism, StatsAndMetricsMatchSequentialReference) {
   engine::EngineConfig ref_config = Config();
   ref_config.runtime.num_threads = 1;
   ref_config.runtime.deterministic_reduce = true;
+  ref_config.runtime.async_shuffle = false;
   engine::RaSqlContext ref_ctx(ref_config);
   ASSERT_TRUE(ref_ctx.RegisterTable("edge", Edges(true)).ok());
-  ASSERT_TRUE(ref_ctx.Execute(kSsspQuery).ok());
+  auto reference = ref_ctx.Execute(kSsspQuery);
+  ASSERT_TRUE(reference.ok()) << reference.status();
 
   engine::RaSqlContext ctx(Config());
   ASSERT_TRUE(ctx.RegisterTable("edge", Edges(true)).ok());
-  ASSERT_TRUE(ctx.Execute(kSsspQuery).ok());
+  auto got = ctx.Execute(kSsspQuery);
+  ASSERT_TRUE(got.ok()) << got.status();
 
-  EXPECT_EQ(ctx.last_fixpoint_stats().iterations,
-            ref_ctx.last_fixpoint_stats().iterations);
-  EXPECT_EQ(ctx.last_fixpoint_stats().total_delta_rows,
-            ref_ctx.last_fixpoint_stats().total_delta_rows);
-  const auto& ref_metrics = ref_ctx.last_job_metrics();
-  const auto& got_metrics = ctx.last_job_metrics();
+  EXPECT_EQ(got->fixpoint_stats.iterations,
+            reference->fixpoint_stats.iterations);
+  EXPECT_EQ(got->fixpoint_stats.total_delta_rows,
+            reference->fixpoint_stats.total_delta_rows);
+  const auto& ref_metrics = reference->job_metrics;
+  const auto& got_metrics = got->job_metrics;
   ASSERT_EQ(got_metrics.num_stages(), ref_metrics.num_stages());
+  for (int s = 0; s < ref_metrics.num_stages(); ++s) {
+    EXPECT_EQ(got_metrics.stages[s].name, ref_metrics.stages[s].name);
+    EXPECT_EQ(got_metrics.stages[s].num_tasks,
+              ref_metrics.stages[s].num_tasks);
+    EXPECT_EQ(got_metrics.stages[s].shuffle_bytes,
+              ref_metrics.stages[s].shuffle_bytes)
+        << "stage " << s;
+    EXPECT_EQ(got_metrics.stages[s].remote_bytes,
+              ref_metrics.stages[s].remote_bytes)
+        << "stage " << s;
+  }
   EXPECT_EQ(got_metrics.TotalShuffleBytes(), ref_metrics.TotalShuffleBytes());
   EXPECT_EQ(got_metrics.TotalRemoteBytes(), ref_metrics.TotalRemoteBytes());
+  EXPECT_EQ(got_metrics.broadcast_bytes, ref_metrics.broadcast_bytes);
 }
 
 INSTANTIATE_TEST_SUITE_P(
     ThreadsAndPolicies, FixpointDeterminism,
-    ::testing::Values(FixpointCase{1, true, true}, FixpointCase{2, true, true},
-                      FixpointCase{8, true, true},
-                      FixpointCase{8, true, false},
-                      FixpointCase{2, false, true},
-                      FixpointCase{8, false, false}),
+    ::testing::Values(
+        FixpointCase{1, true, true}, FixpointCase{2, true, true},
+        FixpointCase{8, true, true}, FixpointCase{8, true, false},
+        FixpointCase{2, false, true}, FixpointCase{8, false, false},
+        // Async shuffle across thread counts, with stage combination off
+        // so the plain map→reduce pairs exercise the pipelined path.
+        FixpointCase{1, true, true, /*async_shuffle=*/true,
+                     /*combine_stages=*/false},
+        FixpointCase{2, true, true, /*async_shuffle=*/true,
+                     /*combine_stages=*/false},
+        FixpointCase{8, true, true, /*async_shuffle=*/true,
+                     /*combine_stages=*/false},
+        FixpointCase{8, false, false, /*async_shuffle=*/true,
+                     /*combine_stages=*/false},
+        // Async with combination on: pairs collapse, the flag must be a
+        // harmless no-op.
+        FixpointCase{8, true, true, /*async_shuffle=*/true}),
     [](const auto& info) {
       return "t" + std::to_string(info.param.num_threads) +
              (info.param.partition_aware ? "_aware" : "_hybrid") +
-             (info.param.deterministic_reduce ? "_det" : "_relaxed");
+             (info.param.deterministic_reduce ? "_det" : "_relaxed") +
+             (info.param.async_shuffle ? "_async" : "") +
+             (info.param.combine_stages ? "" : "_nocombine");
     });
 
 }  // namespace
