@@ -14,6 +14,12 @@
 // A third sweep compares barriered vs. pipelined (--async-shuffle)
 // map/reduce pairs and checks the modeled metrics are bit-identical;
 // `--json` additionally writes it to BENCH_async_shuffle.json.
+//
+// A fourth sweep scales the *local* (non-distributed) fixpoint path on the
+// same pool: TC and SSSP at 1/2/4/8 threads in both naive and semi-naive
+// modes. The partitioned local evaluator (DESIGN.md §9) must produce
+// identical results and iteration counts at every thread count; `--json`
+// writes the sweep to BENCH_local_parallel.json.
 
 #include "bench/bench_util.h"
 #include "runtime/thread_pool.h"
@@ -243,6 +249,125 @@ void RunAsyncShuffleSweep(std::vector<Workload>* workloads, bool write_json) {
   }
 }
 
+// The local fixpoint path (no simulated cluster) on the work-stealing
+// pool: threads 1/2/4/8 × {naive, semi-naive}. Smaller graphs than the
+// distributed sweeps — the naive mode recomputes the full state every
+// iteration, which is exactly the cost profile this sweep documents.
+void RunLocalParallelSweep(bool write_json) {
+  PrintHeader("Local fixpoint: partitioned evaluation on real threads",
+              "local-path parallelization, DESIGN.md §9");
+  std::printf("hardware threads on this machine: %d\n",
+              runtime::ThreadPool::HardwareThreads());
+  PrintRow({"workload", "mode", "1t", "2t", "4t", "8t", "1t/8t",
+            "identical"});
+
+  struct LocalWorkload {
+    std::string name;
+    std::string sql;
+    storage::Relation data;
+  };
+  std::vector<LocalWorkload> workloads;
+  {
+    datagen::GridOptions g;
+    g.side = 20;
+    workloads.push_back({"TC-Grid20", kTcQuery,
+                         datagen::ToEdgeRelation(GenerateGrid(g))});
+  }
+  {
+    datagen::RmatOptions r;
+    r.num_vertices = 2000;
+    r.edges_per_vertex = 4;
+    r.weighted = true;
+    r.min_weight = 1.0;
+    r.seed = 7;
+    workloads.push_back(
+        {"SSSP-RMAT2K",
+         R"(WITH recursive path (Dst, min() AS Cost) AS
+             (SELECT 1, 0.0) UNION
+             (SELECT edge.Dst, path.Cost + edge.Cost
+              FROM path, edge WHERE path.Dst = edge.Src)
+           SELECT count(*) FROM path)",
+         datagen::ToEdgeRelation(GenerateRmat(r))});
+  }
+
+  std::vector<std::string> records;
+  bool all_identical = true;
+  for (LocalWorkload& w : workloads) {
+    std::map<std::string, storage::Relation> tables;
+    tables.emplace("edge", w.data);
+    for (fixpoint::FixpointMode mode :
+         {fixpoint::FixpointMode::kSemiNaive, fixpoint::FixpointMode::kNaive}) {
+      const std::string mode_name =
+          mode == fixpoint::FixpointMode::kSemiNaive ? "semi-naive" : "naive";
+      std::vector<std::string> cells = {w.name, mode_name};
+      double one_thread = 0;
+      double eight_threads = 0;
+      int64_t reference_result = 0;
+      int reference_iterations = 0;
+      bool identical = true;
+      for (int threads : {1, 2, 4, 8}) {
+        engine::EngineConfig config;  // local: distributed stays off
+        config.fixpoint.mode = mode;
+        config.runtime.num_threads = threads;
+        // Best of two runs, as in the distributed thread sweep: the first
+        // may pay allocator warm-up.
+        RunTiming t = RunEngine(config, tables, w.sql);
+        RunTiming second = RunEngine(config, tables, w.sql);
+        if (second.wall_time < t.wall_time) t = second;
+        cells.push_back(Fmt(t.wall_time));
+        if (threads == 1) {
+          one_thread = t.wall_time;
+          reference_result = t.result;
+          reference_iterations = t.iterations;
+        }
+        if (threads == 8) eight_threads = t.wall_time;
+        identical = identical && t.result == reference_result &&
+                    t.iterations == reference_iterations;
+
+        JsonEmitter rec;
+        rec.Text("workload", w.name);
+        rec.Text("mode", mode_name);
+        rec.Integer("threads", threads);
+        rec.Number("wall_time_sec", t.wall_time);
+        rec.Integer("iterations", t.iterations);
+        rec.Integer("result", t.result);
+        records.push_back(rec.ToString());
+      }
+      char speedup[16];
+      std::snprintf(speedup, sizeof(speedup), "%.2fx",
+                    one_thread / eight_threads);
+      cells.push_back(speedup);
+      cells.push_back(identical ? "yes" : "NO");
+      all_identical = all_identical && identical;
+      PrintRow(cells);
+
+      JsonEmitter summary;
+      summary.Text("workload", w.name);
+      summary.Text("mode", mode_name);
+      summary.Number("speedup_8t_vs_1t", one_thread / eight_threads);
+      summary.Text("identical_results", identical ? "yes" : "no");
+      records.push_back(summary.ToString());
+    }
+  }
+  std::printf("local results identical across thread counts: %s\n",
+              all_identical ? "yes" : "NO");
+
+  if (write_json) {
+    const std::string path = "BENCH_local_parallel.json";
+    JsonEmitter doc;
+    doc.Text("bench", "bench_fig12_scaling");
+    doc.Text("section", "local_fixpoint_thread_scaling");
+    doc.Integer("hardware_threads", runtime::ThreadPool::HardwareThreads());
+    doc.Text("identical_results", all_identical ? "yes" : "no");
+    doc.Raw("runs", JsonEmitter::Array(records));
+    if (doc.WriteFile(path)) {
+      std::printf("wrote %s\n", path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    }
+  }
+}
+
 }  // namespace
 }  // namespace rasql::bench
 
@@ -253,5 +378,6 @@ int main(int argc, char** argv) {
   rasql::bench::RunWorkerScaling(&workloads);
   rasql::bench::RunThreadScaling(&workloads, json_path);
   rasql::bench::RunAsyncShuffleSweep(&workloads, !json_path.empty());
+  rasql::bench::RunLocalParallelSweep(!json_path.empty());
   return 0;
 }

@@ -18,16 +18,18 @@ cmake --build "${BUILD_DIR}" -j "${JOBS}"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
 
 # Parallel-runtime gate: TSan excludes ASan, so the work-stealing executor
-# and the threaded fixpoint tests get their own build. Only the two test
+# and the threaded fixpoint tests get their own build. Only the three test
 # binaries that exercise real threads are built and run — a full TSan build
 # of every bench would double CI time for no extra coverage.
 TSAN_BUILD_DIR=${TSAN_BUILD_DIR:-build-tsan}
 cmake -B "${TSAN_BUILD_DIR}" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DRASQL_ENABLE_TSAN=ON
-cmake --build "${TSAN_BUILD_DIR}" -j "${JOBS}" --target runtime_test dist_test
+cmake --build "${TSAN_BUILD_DIR}" -j "${JOBS}" \
+  --target runtime_test dist_test fixpoint_test
 "${TSAN_BUILD_DIR}/tests/runtime_test"
 "${TSAN_BUILD_DIR}/tests/dist_test"
+"${TSAN_BUILD_DIR}/tests/fixpoint_test"
 
 # Async-shuffle matrix under TSan: the pipelined map/reduce path releases
 # reduce tasks from the publish of individual map slices, so the
@@ -38,3 +40,11 @@ cmake --build "${TSAN_BUILD_DIR}" -j "${JOBS}" --target runtime_test dist_test
   --gtest_filter='*Graph*:*Async*:*async*'
 "${TSAN_BUILD_DIR}/tests/dist_test" \
   --gtest_filter='*Pipelined*:*Slice*:*ShuffleChannel*'
+
+# Local-fixpoint thread matrix under TSan: the partitioned local path runs
+# per-partition semi-naive terms and per-branch naive candidates on the
+# pool, at threads {1,2,8} in both modes (LocalFixpointParallelTest runs
+# the full matrix internally). Filtered re-run for the same reason as
+# above: the gate stays explicit even if the suite reorganizes.
+"${TSAN_BUILD_DIR}/tests/fixpoint_test" \
+  --gtest_filter='*LocalFixpointParallel*'

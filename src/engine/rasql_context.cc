@@ -124,33 +124,27 @@ Result<Relation> RaSqlContext::ExecuteQuery(const sql::Query& query) {
     for (const auto& [name, rel] : views) bindings[name] = &rel;
 
     std::map<std::string, Relation> results;
+    fixpoint::FixpointStats stats;
     if (config_.distributed && clique.IsRecursive() &&
         fixpoint::EligibleForDistributed(clique)) {
-      fixpoint::DistFixpointStats dist_stats;
       fixpoint::DistFixpointOptions dist_options = config_.dist_fixpoint;
-      dist_options.use_codegen = config_.fixpoint.use_codegen;
-      dist_options.join_algorithm = config_.fixpoint.join_algorithm;
-      dist_options.max_iterations = config_.fixpoint.max_iterations;
+      // The iteration-cap/codegen/join knobs are configured once on the
+      // local options; copy the shared slice so both paths honor them.
+      static_cast<fixpoint::CommonFixpointOptions&>(dist_options) =
+          config_.fixpoint;
       RASQL_ASSIGN_OR_RETURN(
           results, fixpoint::EvaluateCliqueDistributed(
-                       clique, bindings, &cluster, dist_options,
-                       &dist_stats));
-      last_stats_.iterations =
-          std::max(last_stats_.iterations, dist_stats.iterations);
-      last_stats_.total_delta_rows += dist_stats.total_delta_rows;
-      last_stats_.hit_iteration_limit |= dist_stats.hit_iteration_limit;
-      last_stats_.used_semi_naive = true;
+                       clique, bindings, &cluster, dist_options, &stats));
     } else {
-      fixpoint::FixpointStats stats;
+      fixpoint::FixpointOptions local_options = config_.fixpoint;
+      // --threads applies to the local path too: the local evaluator runs
+      // its per-partition work on the same runtime configuration.
+      local_options.runtime = config_.runtime;
       RASQL_ASSIGN_OR_RETURN(
           results, fixpoint::EvaluateCliqueLocal(clique, bindings,
-                                                 config_.fixpoint, &stats));
-      last_stats_.iterations =
-          std::max(last_stats_.iterations, stats.iterations);
-      last_stats_.total_delta_rows += stats.total_delta_rows;
-      last_stats_.hit_iteration_limit |= stats.hit_iteration_limit;
-      last_stats_.used_semi_naive |= stats.used_semi_naive;
+                                                 local_options, &stats));
     }
+    last_stats_.MergeFrom(stats);
     for (auto& [name, rel] : results) views[name] = std::move(rel);
   }
   last_metrics_ = cluster.metrics();

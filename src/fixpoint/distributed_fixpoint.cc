@@ -381,8 +381,8 @@ bool EligibleForDistributed(const RecursiveClique& clique) {
 Result<std::map<std::string, Relation>> EvaluateCliqueDistributed(
     const RecursiveClique& clique,
     const std::map<std::string, const Relation*>& tables, Cluster* cluster,
-    const DistFixpointOptions& options, DistFixpointStats* stats) {
-  DistFixpointStats local_stats;
+    const DistFixpointOptions& options, FixpointStats* stats) {
+  FixpointStats local_stats;
   if (stats == nullptr) stats = &local_stats;
   if (!EligibleForDistributed(clique)) {
     return Status::ExecutionError(
@@ -456,6 +456,10 @@ Result<std::map<std::string, Relation>> EvaluateCliqueDistributed(
     key = passthrough;
     copartition_base = false;  // base joined on a non-partition key
   }
+  // The distributed evaluator is semi-naive by construction (eligibility
+  // requires semi_naive_safe); record it so the shared stats report the
+  // evaluation mode consistently with the local path.
+  stats->used_semi_naive = true;
   stats->used_decomposed = decomposed;
   stats->partition_key = key;
 
@@ -541,6 +545,7 @@ Result<std::map<std::string, Relation>> EvaluateCliqueDistributed(
   std::vector<Row> base_rows;
   for (const plan::PlanPtr& p : view.base_plans) {
     RASQL_ASSIGN_OR_RETURN(Relation rel, physical::Execute(*p, base_ctx));
+    ++stats->plan_executions;
     for (Row& row : rel.mutable_rows()) base_rows.push_back(std::move(row));
   }
   base_rows = dist::PartialAggregate(std::move(base_rows), spec);

@@ -14,7 +14,10 @@
 namespace rasql::fixpoint {
 
 /// Options of the distributed semi-naive evaluator (paper Sec. 6 & 7).
-struct DistFixpointOptions {
+/// The shared knobs (iteration cap, codegen, join algorithm) live in
+/// CommonFixpointOptions; RaSqlContext copies that slice from the local
+/// FixpointOptions so the two paths cannot drift.
+struct DistFixpointOptions : CommonFixpointOptions {
   /// Fuse Reduce(i) + Map(i+1) into one ShuffleMap stage per iteration
   /// (paper Alg. 6 / Sec. 7.1). Off = the plain two-stage Alg. 4/5 loop.
   bool combine_stages = true;
@@ -26,19 +29,6 @@ struct DistFixpointOptions {
   /// Broadcast the compact encoded relation and build hash tables on the
   /// workers, instead of shipping a master-built hash table (Sec. 7.2).
   bool compress_broadcast = true;
-  bool use_codegen = true;
-  physical::JoinAlgorithm join_algorithm = physical::JoinAlgorithm::kHash;
-  int64_t max_iterations = 1'000'000;
-};
-
-/// Per-run statistics beyond the cluster's JobMetrics.
-struct DistFixpointStats {
-  int iterations = 0;
-  size_t total_delta_rows = 0;
-  bool hit_iteration_limit = false;
-  bool used_decomposed = false;
-  /// Partition key positions (view schema) the run settled on.
-  std::vector<int> partition_key;
 };
 
 /// True when the clique can run on the distributed evaluator: one view,
@@ -46,13 +36,15 @@ struct DistFixpointStats {
 bool EligibleForDistributed(const analysis::RecursiveClique& clique);
 
 /// Evaluates an eligible clique to fixpoint on the simulated cluster.
-/// Cluster metrics accumulate into `cluster->metrics()`.
+/// Cluster metrics accumulate into `cluster->metrics()`; `stats` (shared
+/// with the local path) reports used_semi_naive, used_decomposed and the
+/// partition key the run settled on.
 common::Result<std::map<std::string, storage::Relation>>
 EvaluateCliqueDistributed(
     const analysis::RecursiveClique& clique,
     const std::map<std::string, const storage::Relation*>& tables,
     dist::Cluster* cluster, const DistFixpointOptions& options,
-    DistFixpointStats* stats);
+    FixpointStats* stats);
 
 }  // namespace rasql::fixpoint
 

@@ -1,0 +1,93 @@
+#ifndef RASQL_FIXPOINT_FIXPOINT_OPTIONS_H_
+#define RASQL_FIXPOINT_FIXPOINT_OPTIONS_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "physical/executor.h"
+#include "runtime/runtime_options.h"
+
+namespace rasql::fixpoint {
+
+/// Fixpoint evaluation strategy.
+enum class FixpointMode {
+  /// Semi-naive when safe, naive otherwise (mutual recursion, non-linear
+  /// sum/count use — see DESIGN.md §4).
+  kAuto,
+  /// Naive evaluation (paper Alg. 2): X_{n+1} = γ(base ∪ T(X_n)), state
+  /// recomputed and re-aggregated each round. Always correct; slow.
+  kNaive,
+  /// Semi-naive delta evaluation (paper Alg. 3/5 specialized to one node).
+  kSemiNaive,
+};
+
+/// Knobs shared verbatim by the local and distributed evaluators. Both
+/// option structs inherit from this so each shared field exists exactly
+/// once (they had forked and drifted) and the engine copies the whole
+/// slice in a single assignment (engine/rasql_context.cc).
+struct CommonFixpointOptions {
+  /// Safety valve for non-terminating recursions (the paper's
+  /// stratified-SSSP on cyclic graphs, Fig. 1 footnote).
+  int64_t max_iterations = 1'000'000;
+  bool use_codegen = true;
+  physical::JoinAlgorithm join_algorithm = physical::JoinAlgorithm::kHash;
+};
+
+/// Options of the local evaluator.
+struct FixpointOptions : CommonFixpointOptions {
+  FixpointMode mode = FixpointMode::kAuto;
+
+  /// Number of slices the local evaluator hash-partitions its state into.
+  /// Fixed independently of the thread count — the partitioned algorithm
+  /// runs identically at every `runtime.num_threads`, which is what makes
+  /// results and stats bit-identical across --threads (DESIGN.md §9).
+  int local_partitions = 8;
+
+  /// Real-thread execution of the local path: per-partition semi-naive
+  /// terms and per-plan naive candidates run on a work-stealing ThreadPool
+  /// of `runtime.num_threads` threads. RaSqlContext overwrites this from
+  /// EngineConfig::runtime so --threads=N applies to local mode too;
+  /// direct EvaluateCliqueLocal callers set it themselves (default: 1).
+  runtime::RuntimeOptions runtime;
+};
+
+/// Per-run fixpoint statistics, shared by the local and distributed paths
+/// so both report the same fields consistently.
+struct FixpointStats {
+  int iterations = 0;
+  /// Total rows that entered a delta across all iterations; non-recursive
+  /// cliques account their single evaluation's output rows here.
+  size_t total_delta_rows = 0;
+  /// Physical plan executions through physical::Execute. Local naive:
+  /// base plans once plus every recursive plan per iteration; local
+  /// semi-naive: base plans plus one execution per (non-empty delta
+  /// partition × semi-naive term) per iteration; distributed: driver-side
+  /// base/seed executions (per-partition step evaluation goes through
+  /// cached StepEvaluators, not the executor).
+  size_t plan_executions = 0;
+  bool hit_iteration_limit = false;
+  bool used_semi_naive = false;
+  /// Distributed decomposed-plan evaluation ran (paper Sec. 7.2).
+  bool used_decomposed = false;
+  /// Column positions (view schema) the evaluator partitioned state on;
+  /// empty when the run kept a single unpartitioned state.
+  std::vector<int> partition_key;
+
+  /// Folds another clique's stats into this one — a query evaluates its
+  /// cliques in topological order and the engine reports the union.
+  void MergeFrom(const FixpointStats& other) {
+    iterations = std::max(iterations, other.iterations);
+    total_delta_rows += other.total_delta_rows;
+    plan_executions += other.plan_executions;
+    hit_iteration_limit |= other.hit_iteration_limit;
+    used_semi_naive |= other.used_semi_naive;
+    used_decomposed |= other.used_decomposed;
+    if (!other.partition_key.empty()) partition_key = other.partition_key;
+  }
+};
+
+}  // namespace rasql::fixpoint
+
+#endif  // RASQL_FIXPOINT_FIXPOINT_OPTIONS_H_

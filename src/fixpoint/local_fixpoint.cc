@@ -1,8 +1,14 @@
 #include "fixpoint/local_fixpoint.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "common/check.h"
 #include "dist/aggregates.h"
+#include "dist/partition.h"
 #include "dist/set_rdd.h"
+#include "runtime/stage_accumulators.h"
+#include "runtime/thread_pool.h"
 
 namespace rasql::fixpoint {
 
@@ -11,10 +17,15 @@ using analysis::RecursiveView;
 using common::Result;
 using common::Status;
 using dist::AggSpec;
+using dist::GatherShuffle;
+using dist::Partitioning;
+using dist::ShuffleWrite;
 using physical::ExecContext;
 using plan::LogicalPlan;
 using plan::PlanKind;
 using plan::RecursiveRefNode;
+using runtime::StageStatus;
+using runtime::ThreadPool;
 using storage::Relation;
 using storage::Row;
 
@@ -40,37 +51,75 @@ AggSpec SpecFor(const RecursiveView& view) {
 
 /// Canonical aggregated + sorted form for state comparison.
 Relation Canonicalize(Relation rel, const AggSpec& spec) {
+  // Copy the schema *before* moving the rows out: reading any member of
+  // the donor object after the move is the moved-from-read pattern the
+  // style notes ban (DESIGN.md §5) — it only worked by accident of
+  // Relation's member layout and is one refactor away from UB.
+  storage::Schema schema = rel.schema();
   std::vector<Row> rows =
       dist::PartialAggregate(std::move(rel.mutable_rows()), spec);
-  Relation out(rel.schema(), std::move(rows));
+  Relation out(std::move(schema), std::move(rows));
   out.SortRows();
   return out;
 }
 
+/// State partition key: the group-by columns under an aggregate (so every
+/// contribution to a key meets its accumulator in one partition), every
+/// column under set semantics.
+std::vector<int> StateKey(const RecursiveView& view, const AggSpec& spec) {
+  if (spec.has_aggregate()) return spec.key_columns;
+  std::vector<int> key(view.schema.num_columns());
+  for (size_t i = 0; i < key.size(); ++i) key[i] = static_cast<int>(i);
+  return key;
+}
+
+ExecContext BaseContext(const std::map<std::string, const Relation*>& tables,
+                        const FixpointOptions& options) {
+  ExecContext ctx;
+  ctx.tables = tables;
+  ctx.use_codegen = options.use_codegen;
+  ctx.join_algorithm = options.join_algorithm;
+  return ctx;
+}
+
 /// Semi-naive evaluation of a single-view clique (paper Alg. 3 extended
-/// with the Alg. 5 aggregate delta rules).
+/// with the Alg. 5 aggregate delta rules), hash-partitioned into
+/// `options.local_partitions` SetRdd slices and evaluated per partition on
+/// the thread pool. The partition count is fixed independently of the
+/// thread count and every cross-partition merge happens in ascending
+/// partition order, so results and stats are bit-identical at any
+/// --threads (DESIGN.md §9).
 Result<std::map<std::string, Relation>> EvaluateSemiNaive(
     const RecursiveView& view,
     const std::map<std::string, const Relation*>& tables,
-    const FixpointOptions& options, FixpointStats* stats) {
+    const FixpointOptions& options, FixpointStats* stats, ThreadPool* pool) {
   const AggSpec spec = SpecFor(view);
-  dist::SetRddPartition state(view.schema, spec);
+  const int P = std::max(1, options.local_partitions);
+  const Partitioning partitioning{StateKey(view, spec), P};
+  stats->partition_key = partitioning.key_columns;
+  dist::SetRdd state(view.schema, spec, partitioning);
 
-  ExecContext base_ctx;
-  base_ctx.tables = tables;
-  base_ctx.use_codegen = options.use_codegen;
-  base_ctx.join_algorithm = options.join_algorithm;
+  const ExecContext base_ctx = BaseContext(tables, options);
 
-  // Base case: evaluate, pre-aggregate, merge to form the initial delta.
-  std::vector<Row> candidates;
+  // Base case: evaluate on the driver, pre-aggregate, scatter each row to
+  // its state partition, merge per partition to form the initial delta.
+  std::vector<Row> base_rows;
   for (const plan::PlanPtr& base : view.base_plans) {
     RASQL_ASSIGN_OR_RETURN(Relation rel, physical::Execute(*base, base_ctx));
-    for (Row& row : rel.mutable_rows()) candidates.push_back(std::move(row));
+    ++stats->plan_executions;
+    for (Row& row : rel.mutable_rows()) base_rows.push_back(std::move(row));
   }
-  candidates = dist::PartialAggregate(std::move(candidates), spec);
-  std::vector<Row> delta;
-  state.MergeDelta(candidates, &delta);
-  stats->total_delta_rows += delta.size();
+  base_rows = dist::PartialAggregate(std::move(base_rows), spec);
+
+  std::vector<std::vector<Row>> delta(P);
+  {
+    ShuffleWrite scatter(P);
+    for (Row& row : base_rows) scatter.Add(std::move(row), partitioning);
+    pool->ParallelFor(P, [&](int p) {
+      state.partition(p)->MergeDelta(scatter.rows_per_dest[p], &delta[p]);
+    });
+  }
+  for (const auto& d : delta) stats->total_delta_rows += d.size();
 
   // Does any recursive plan reference the view more than once? If so the
   // non-delta occurrences must see the `all` state, which we materialize
@@ -83,58 +132,142 @@ Result<std::map<std::string, Relation>> EvaluateSemiNaive(
     if (n > 1) needs_all = true;
   }
 
-  while (!delta.empty()) {
+  // One semi-naive term per (plan, recursive-ref ordinal): that reference
+  // is bound to the delta, the others to the current `all`. Binding the
+  // delta ref to one partition's slice at a time is an exact split of the
+  // term — the term is linear in that reference.
+  struct Term {
+    const LogicalPlan* plan;
+    int ordinal;
+  };
+  std::vector<Term> terms;
+  for (size_t pi = 0; pi < view.recursive_plans.size(); ++pi) {
+    for (int t = 0; t < refs_per_plan[pi]; ++t) {
+      terms.push_back({view.recursive_plans[pi].get(), t});
+    }
+  }
+
+  auto deltas_empty = [&]() {
+    for (const auto& d : delta) {
+      if (!d.empty()) return false;
+    }
+    return true;
+  };
+
+  while (!deltas_empty()) {
     if (stats->iterations >= options.max_iterations) {
       stats->hit_iteration_limit = true;
       break;
     }
     ++stats->iterations;
 
-    Relation delta_rel(view.schema, std::move(delta));
-    delta.clear();
+    // Freeze the iteration's inputs: the per-partition delta slices and
+    // (for multi-ref plans) the materialized `all` state. Collect() walks
+    // partitions in ascending order, so the materialization is
+    // deterministic; like the seed path it already includes this
+    // iteration's delta, which is what makes the δ×δ pairs of non-linear
+    // plans visited exactly once across the two terms — safe only for
+    // idempotent aggregates, which is what semi_naive_safe guarantees.
+    std::vector<Relation> delta_rel(P);
+    for (int p = 0; p < P; ++p) {
+      delta_rel[p] = Relation(view.schema, std::move(delta[p]));
+      delta[p] = std::vector<Row>();
+    }
     Relation all_rel;
-    if (needs_all) all_rel = state.ToRelation();
+    if (needs_all) all_rel = state.Collect();
 
-    candidates.clear();
-    for (size_t pi = 0; pi < view.recursive_plans.size(); ++pi) {
-      const LogicalPlan& p = *view.recursive_plans[pi];
-      // One semi-naive term per recursive reference: that reference is
-      // bound to the delta, the others to the current `all`.
-      for (int term = 0; term < refs_per_plan[pi]; ++term) {
+    // Map phase: task p evaluates every semi-naive term against delta
+    // slice p (read-only sharing of `all_rel` and the base tables) and
+    // routes each produced row to the partition owning its key.
+    std::vector<ShuffleWrite> writes(P, ShuffleWrite(P));
+    std::vector<size_t> plans_run(P, 0);
+    StageStatus failure(P);
+    pool->ParallelFor(P, [&](int p) {
+      if (delta_rel[p].rows().empty() || failure.aborted()) return;
+      for (const Term& term : terms) {
         ExecContext ctx = base_ctx;
         ctx.recursive_resolver =
             [&](const RecursiveRefNode& ref) -> const Relation* {
-          return ref.ordinal() == term ? &delta_rel : &all_rel;
+          return ref.ordinal() == term.ordinal ? &delta_rel[p] : &all_rel;
         };
-        RASQL_ASSIGN_OR_RETURN(Relation rel, physical::Execute(p, ctx));
-        for (Row& row : rel.mutable_rows()) {
-          candidates.push_back(std::move(row));
+        Result<Relation> rel = physical::Execute(*term.plan, ctx);
+        if (!rel.ok()) {
+          failure.Fail(p, rel.status());
+          return;
+        }
+        ++plans_run[p];
+        for (Row& row : rel->mutable_rows()) {
+          writes[p].Add(std::move(row), partitioning);
         }
       }
-    }
-    candidates = dist::PartialAggregate(std::move(candidates), spec);
-    state.MergeDelta(candidates, &delta);
-    stats->total_delta_rows += delta.size();
+    });
+    RASQL_RETURN_IF_ERROR(failure.First());
+    for (size_t n : plans_run) stats->plan_executions += n;
+
+    // Reduce phase: partition p gathers the slices addressed to it in
+    // ascending producer order, pre-aggregates (one candidate per key, so
+    // delta row counts and float accumulation order don't depend on how
+    // work was split), and merges into its own state slice.
+    pool->ParallelFor(P, [&](int p) {
+      std::vector<Row> candidates = GatherShuffle(writes, p);
+      candidates = dist::PartialAggregate(std::move(candidates), spec);
+      state.partition(p)->MergeDelta(candidates, &delta[p]);
+    });
+    for (const auto& d : delta) stats->total_delta_rows += d.size();
   }
 
   std::map<std::string, Relation> out;
-  out.emplace(view.name, state.ToRelation());
+  out.emplace(view.name, state.Collect());
   stats->used_semi_naive = true;
   return out;
 }
 
 /// Naive evaluation of a (possibly mutual-recursive) clique:
-/// X_{n+1}[v] = γ_v(∪_branches T_branch(X_n)) until X stabilizes.
+/// X_{n+1}[v] = γ_v(base_v ∪ T_branch(X_n)) until X stabilizes. The base
+/// branches contain no recursive reference, so their result is
+/// loop-invariant: it is evaluated once up front and the materialized rows
+/// are reused every round (re-executing them per iteration was a silent
+/// asymptotic regression vs. paper Alg. 2, which only recomputes T(X_n)).
+/// Each iteration evaluates all recursive branches in parallel against the
+/// frozen X_n, then canonicalizes per view; candidate slots are assembled
+/// in fixed branch order so the result is thread-count-independent.
 Result<std::map<std::string, Relation>> EvaluateNaive(
     const RecursiveClique& clique,
     const std::map<std::string, const Relation*>& tables,
-    const FixpointOptions& options, FixpointStats* stats) {
+    const FixpointOptions& options, FixpointStats* stats, ThreadPool* pool) {
   std::map<std::string, Relation> state;
   std::map<std::string, AggSpec> specs;
   for (const RecursiveView& view : clique.views) {
     state.emplace(view.name, Relation(view.schema));
     specs.emplace(view.name, SpecFor(view));
   }
+
+  const ExecContext base_ctx = BaseContext(tables, options);
+
+  // Loop-invariant base case, evaluated once.
+  std::vector<std::vector<Row>> base_rows(clique.views.size());
+  for (size_t vi = 0; vi < clique.views.size(); ++vi) {
+    for (const plan::PlanPtr& p : clique.views[vi].base_plans) {
+      RASQL_ASSIGN_OR_RETURN(Relation rel, physical::Execute(*p, base_ctx));
+      ++stats->plan_executions;
+      for (Row& row : rel.mutable_rows()) {
+        base_rows[vi].push_back(std::move(row));
+      }
+    }
+  }
+
+  // One task per recursive branch, across all views in the clique.
+  struct Task {
+    size_t view_index;
+    const LogicalPlan* plan;
+  };
+  std::vector<Task> tasks;
+  for (size_t vi = 0; vi < clique.views.size(); ++vi) {
+    for (const plan::PlanPtr& p : clique.views[vi].recursive_plans) {
+      tasks.push_back({vi, p.get()});
+    }
+  }
+  const int T = static_cast<int>(tasks.size());
 
   while (true) {
     if (stats->iterations >= options.max_iterations) {
@@ -143,44 +276,48 @@ Result<std::map<std::string, Relation>> EvaluateNaive(
     }
     ++stats->iterations;
 
-    std::map<std::string, Relation> next;
-    for (const RecursiveView& view : clique.views) {
-      ExecContext ctx;
-      ctx.tables = tables;
-      ctx.use_codegen = options.use_codegen;
-      ctx.join_algorithm = options.join_algorithm;
-      ctx.recursive_resolver =
-          [&](const RecursiveRefNode& ref) -> const Relation* {
-        auto it = state.find(ref.view_name());
-        return it == state.end() ? nullptr : &it->second;
-      };
+    // All branches read the same frozen X_n; each writes only its slot.
+    ExecContext ctx = base_ctx;
+    ctx.recursive_resolver =
+        [&](const RecursiveRefNode& ref) -> const Relation* {
+      auto it = state.find(ref.view_name());
+      return it == state.end() ? nullptr : &it->second;
+    };
+    std::vector<std::vector<Row>> slots(tasks.size());
+    StageStatus failure(std::max(T, 1));
+    pool->ParallelFor(T, [&](int t) {
+      if (failure.aborted()) return;
+      Result<Relation> rel = physical::Execute(*tasks[t].plan, ctx);
+      if (!rel.ok()) {
+        failure.Fail(t, rel.status());
+        return;
+      }
+      slots[t] = std::move(rel->mutable_rows());
+    });
+    RASQL_RETURN_IF_ERROR(failure.First());
+    stats->plan_executions += tasks.size();
 
-      std::vector<Row> candidates;
-      for (const plan::PlanPtr& p : view.base_plans) {
-        RASQL_ASSIGN_OR_RETURN(Relation rel, physical::Execute(*p, ctx));
-        for (Row& row : rel.mutable_rows()) {
-          candidates.push_back(std::move(row));
-        }
+    // Per view: base rows + branch slots in declaration order, then the
+    // canonical aggregated+sorted form — independent views in parallel.
+    std::vector<Relation> next(clique.views.size());
+    pool->ParallelFor(static_cast<int>(clique.views.size()), [&](int vi) {
+      std::vector<Row> candidates = base_rows[vi];
+      for (size_t t = 0; t < tasks.size(); ++t) {
+        if (tasks[t].view_index != static_cast<size_t>(vi)) continue;
+        for (Row& row : slots[t]) candidates.push_back(std::move(row));
       }
-      for (const plan::PlanPtr& p : view.recursive_plans) {
-        RASQL_ASSIGN_OR_RETURN(Relation rel, physical::Execute(*p, ctx));
-        for (Row& row : rel.mutable_rows()) {
-          candidates.push_back(std::move(row));
-        }
-      }
-      Relation rel(view.schema, std::move(candidates));
-      next.emplace(view.name,
-                   Canonicalize(std::move(rel), specs.at(view.name)));
-    }
+      Relation rel(clique.views[vi].schema, std::move(candidates));
+      next[vi] =
+          Canonicalize(std::move(rel), specs.at(clique.views[vi].name));
+    });
 
     bool changed = false;
-    for (const RecursiveView& view : clique.views) {
-      if (!storage::SameBag(next.at(view.name), state.at(view.name))) {
-        changed = true;
-      }
-      stats->total_delta_rows += next.at(view.name).size();
+    for (size_t vi = 0; vi < clique.views.size(); ++vi) {
+      const std::string& name = clique.views[vi].name;
+      if (!storage::SameBag(next[vi], state.at(name))) changed = true;
+      stats->total_delta_rows += next[vi].size();
+      state.at(name) = std::move(next[vi]);
     }
-    state = std::move(next);
     if (!changed) break;
   }
   return state;
@@ -195,23 +332,37 @@ Result<std::map<std::string, Relation>> EvaluateCliqueLocal(
   FixpointStats local_stats;
   if (stats == nullptr) stats = &local_stats;
 
-  // Non-recursive clique: single evaluation of the base plans.
+  ThreadPool pool(options.runtime.ResolvedThreads());
+
+  // Non-recursive clique: single evaluation of the base plans, views in
+  // parallel (they are independent — each task owns its slot).
   if (!clique.IsRecursive()) {
-    std::map<std::string, Relation> out;
-    for (const RecursiveView& view : clique.views) {
-      ExecContext ctx;
-      ctx.tables = tables;
-      ctx.use_codegen = options.use_codegen;
-      ctx.join_algorithm = options.join_algorithm;
+    const ExecContext ctx = BaseContext(tables, options);
+    const int V = static_cast<int>(clique.views.size());
+    std::vector<Relation> results(V);
+    StageStatus failure(std::max(V, 1));
+    pool.ParallelFor(V, [&](int vi) {
+      const RecursiveView& view = clique.views[vi];
       std::vector<Row> rows;
       for (const plan::PlanPtr& p : view.base_plans) {
-        RASQL_ASSIGN_OR_RETURN(Relation rel, physical::Execute(*p, ctx));
-        for (Row& row : rel.mutable_rows()) rows.push_back(std::move(row));
+        Result<Relation> rel = physical::Execute(*p, ctx);
+        if (!rel.ok()) {
+          failure.Fail(vi, rel.status());
+          return;
+        }
+        for (Row& row : rel->mutable_rows()) rows.push_back(std::move(row));
       }
       Relation rel(view.schema, std::move(rows));
       // Multi-branch non-recursive views still union with set/aggregate
       // semantics per the head declaration.
-      out.emplace(view.name, Canonicalize(std::move(rel), SpecFor(view)));
+      results[vi] = Canonicalize(std::move(rel), SpecFor(view));
+    });
+    RASQL_RETURN_IF_ERROR(failure.First());
+    std::map<std::string, Relation> out;
+    for (int vi = 0; vi < V; ++vi) {
+      stats->plan_executions += clique.views[vi].base_plans.size();
+      stats->total_delta_rows += results[vi].size();
+      out.emplace(clique.views[vi].name, std::move(results[vi]));
     }
     stats->iterations = 1;
     return out;
@@ -242,9 +393,9 @@ Result<std::map<std::string, Relation>> EvaluateCliqueLocal(
   }
 
   if (use_semi_naive) {
-    return EvaluateSemiNaive(clique.views[0], tables, options, stats);
+    return EvaluateSemiNaive(clique.views[0], tables, options, stats, &pool);
   }
-  return EvaluateNaive(clique, tables, options, stats);
+  return EvaluateNaive(clique, tables, options, stats, &pool);
 }
 
 }  // namespace rasql::fixpoint

@@ -7,39 +7,10 @@
 
 #include "analysis/analyzed_query.h"
 #include "common/status.h"
-#include "physical/executor.h"
+#include "fixpoint/fixpoint_options.h"
 #include "storage/relation.h"
 
 namespace rasql::fixpoint {
-
-/// Fixpoint evaluation strategy.
-enum class FixpointMode {
-  /// Semi-naive when safe, naive otherwise (mutual recursion, non-linear
-  /// sum/count use — see DESIGN.md §4).
-  kAuto,
-  /// Naive evaluation (paper Alg. 2): X_{n+1} = γ(base ∪ T(X_n)), state
-  /// recomputed and re-aggregated each round. Always correct; slow.
-  kNaive,
-  /// Semi-naive delta evaluation (paper Alg. 3/5 specialized to one node).
-  kSemiNaive,
-};
-
-struct FixpointOptions {
-  FixpointMode mode = FixpointMode::kAuto;
-  /// Safety valve for non-terminating recursions (the paper's
-  /// stratified-SSSP on cyclic graphs, Fig. 1 footnote).
-  int64_t max_iterations = 1'000'000;
-  bool use_codegen = true;
-  physical::JoinAlgorithm join_algorithm = physical::JoinAlgorithm::kHash;
-};
-
-struct FixpointStats {
-  int iterations = 0;
-  /// Total rows that entered a delta across all iterations.
-  size_t total_delta_rows = 0;
-  bool hit_iteration_limit = false;
-  bool used_semi_naive = false;
-};
 
 /// Collects the RecursiveRefNodes of a plan in ordinal order.
 std::vector<const plan::RecursiveRefNode*> CollectRecursiveRefs(

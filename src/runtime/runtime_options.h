@@ -9,9 +9,11 @@ namespace rasql::runtime {
 /// how many OS threads actually execute the stage's task closures on the
 /// local machine. The two are independent by design — see DESIGN.md §7.
 struct RuntimeOptions {
-  /// Threads executing stage tasks. 1 = run every task inline on the
-  /// driver thread (the original sequential behaviour); 0 = one thread per
-  /// hardware thread.
+  /// Threads executing stage tasks — and, since the local path runs on the
+  /// same pool (fixpoint::FixpointOptions::runtime, DESIGN.md §9), the
+  /// local fixpoint's per-partition work too. 1 = run every task inline on
+  /// the driver thread (the original sequential behaviour); 0 = one thread
+  /// per hardware thread.
   int num_threads = 1;
 
   /// When true (default), shared per-stage accumulators (delta-row counts,

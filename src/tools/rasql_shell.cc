@@ -6,9 +6,10 @@
 //   rasql [--distributed] [--workers N] [--threads N] [--async-shuffle]
 //         [--lint] [--werror-lint] [script.sql]
 //
-// --threads=N runs the task closures of every distributed stage on a
+// --threads=N runs the task closures of every distributed stage AND the
+// local fixpoint path's partitioned semi-naive/naive evaluation on a
 // work-stealing pool of N real threads (0 = one per hardware thread);
-// query results are identical for any thread count.
+// query results and fixpoint stats are identical for any thread count.
 // --async-shuffle pipelines each map→reduce stage pair: reduce tasks are
 // released per published shuffle slice instead of waiting for a stage
 // barrier. Results and simulated metrics are unchanged; wall time drops.
@@ -181,9 +182,12 @@ class Shell {
       }
     } else if (cmd == ".stats") {
       const auto& stats = last_.fixpoint_stats;
-      std::printf("iterations=%d delta_rows=%zu semi_naive=%d capped=%d\n",
-                  stats.iterations, stats.total_delta_rows,
-                  stats.used_semi_naive, stats.hit_iteration_limit);
+      std::printf(
+          "iterations=%d delta_rows=%zu plans=%zu semi_naive=%d "
+          "decomposed=%d capped=%d\n",
+          stats.iterations, stats.total_delta_rows, stats.plan_executions,
+          stats.used_semi_naive, stats.used_decomposed,
+          stats.hit_iteration_limit);
       if (ctx_.config().distributed) {
         std::printf("%s\n", last_.job_metrics.Summary().c_str());
       }

@@ -194,6 +194,109 @@ TEST_P(CrossValidation, PregelAgreesWithEngineOnSssp) {
   }
 }
 
+// ---- Semi-naive safety on non-linear aggregates (DESIGN.md §4/§9) ----
+//
+// The local semi-naive evaluator materializes `all` after MergeDelta, so a
+// non-linear rule's δ×δ pairs are visited by *both* of its semi-naive
+// terms. That is only sound for idempotent aggregates (min/max, set
+// semantics); for sum/count the safety gate must force naive evaluation.
+// These tests pin both sides of that contract end to end.
+
+TEST(SemiNaiveSafetyCrossVal, NonLinearSumForcedNaive) {
+  // Diamond DAG: 1→{2,3}→4. The non-linear rule derives (1,4) twice —
+  // once through each middle vertex — and sum must count both.
+  Relation edge = storage::MakeIntRelation(
+      {"Src", "Dst"}, {{1, 2}, {1, 3}, {2, 4}, {3, 4}});
+  const char* paths = R"(
+      WITH recursive pc (Src, Dst, sum() AS Paths) AS
+        (SELECT Src, Dst, 1 FROM edge) UNION
+        (SELECT a.Src, b.Dst, a.Paths * b.Paths
+         FROM pc a, pc b WHERE a.Dst = b.Src)
+      SELECT Src, Dst, Paths FROM pc)";
+
+  // Two recursive references + a non-idempotent aggregate: kAuto must
+  // silently fall back to naive...
+  engine::RaSqlContext auto_ctx;
+  ASSERT_TRUE(auto_ctx.RegisterTable("edge", edge).ok());
+  auto auto_result = auto_ctx.Execute(paths);
+  ASSERT_TRUE(auto_result.ok()) << auto_result.status();
+  EXPECT_FALSE(auto_result->fixpoint_stats.used_semi_naive);
+
+  // ...and an explicit semi-naive request must be refused outright.
+  engine::RaSqlContext sn_ctx;
+  sn_ctx.mutable_config()->fixpoint.mode = fixpoint::FixpointMode::kSemiNaive;
+  ASSERT_TRUE(sn_ctx.RegisterTable("edge", edge).ok());
+  EXPECT_FALSE(sn_ctx.Execute(paths).ok());
+
+  // Independent expectation: path counts on the diamond.
+  std::map<std::pair<int64_t, int64_t>, int64_t> got;
+  for (const auto& row : auto_result->relation.rows()) {
+    got[{row[0].AsInt(), row[1].AsInt()}] = row[2].AsInt();
+  }
+  std::map<std::pair<int64_t, int64_t>, int64_t> expected = {
+      {{1, 2}, 1}, {{1, 3}, 1}, {{2, 4}, 1}, {{3, 4}, 1}, {{1, 4}, 2}};
+  EXPECT_EQ(got, expected);
+}
+
+TEST(SemiNaiveSafetyCrossVal, NonLinearMinAgreesWithNaiveAndSerial) {
+  // All-pairs shortest paths by doubling: two recursive references under
+  // min(), which stays delta-exact even non-linearly. Integer-valued
+  // weights keep every path-cost sum exact in double arithmetic, so the
+  // doubling engine, the naive engine and the serial Dijkstra baseline
+  // must agree to the bit.
+  datagen::RmatOptions opt;
+  opt.num_vertices = 64;
+  opt.edges_per_vertex = 3;
+  opt.weighted = true;
+  opt.min_weight = 1.0;
+  opt.seed = 29;
+  datagen::Graph graph = datagen::GenerateRmat(opt);
+  for (size_t i = 0; i < graph.weights.size(); ++i) {
+    graph.weights[i] = 1.0 + static_cast<double>((graph.edges[i].first * 7 +
+                                                  graph.edges[i].second * 13) %
+                                                 5);
+  }
+  Relation edge = datagen::ToEdgeRelation(graph);
+  const char* apsp = R"(
+      WITH recursive sp (Src, Dst, min() AS Cost) AS
+        (SELECT Src, Dst, Cost FROM edge) UNION
+        (SELECT a.Src, b.Dst, a.Cost + b.Cost
+         FROM sp a, sp b WHERE a.Dst = b.Src)
+      SELECT Src, Dst, Cost FROM sp)";
+
+  engine::RaSqlContext auto_ctx;
+  ASSERT_TRUE(auto_ctx.RegisterTable("edge", edge).ok());
+  auto auto_result = auto_ctx.Execute(apsp);
+  ASSERT_TRUE(auto_result.ok()) << auto_result.status();
+  EXPECT_TRUE(auto_result->fixpoint_stats.used_semi_naive);
+
+  engine::RaSqlContext naive_ctx;
+  naive_ctx.mutable_config()->fixpoint.mode = fixpoint::FixpointMode::kNaive;
+  ASSERT_TRUE(naive_ctx.RegisterTable("edge", edge).ok());
+  auto naive_result = naive_ctx.Execute(apsp);
+  ASSERT_TRUE(naive_result.ok()) << naive_result.status();
+  EXPECT_FALSE(naive_result->fixpoint_stats.used_semi_naive);
+  EXPECT_TRUE(
+      storage::SameBag(auto_result->relation, naive_result->relation));
+
+  // Cross-validate source 1's row slice against serial Dijkstra. The APSP
+  // base case is the edge list, so (1, v) exists iff v is reachable from 1
+  // through at least one edge.
+  Csr csr = Csr::Build(graph);
+  std::vector<double> expected = baselines::SerialSssp(csr, 1);
+  std::map<int64_t, double> from_one;
+  for (const auto& row : auto_result->relation.rows()) {
+    if (row[0].AsInt() == 1) from_one[row[1].AsInt()] = row[2].AsNumeric();
+  }
+  EXPECT_FALSE(from_one.empty());
+  for (const auto& [v, cost] : from_one) {
+    ASSERT_TRUE(!std::isinf(expected[v])) << "vertex " << v;
+    if (v != 1) {
+      EXPECT_EQ(cost, expected[v]) << "vertex " << v;
+    }
+  }
+}
+
 // ---- Static ⇒ dynamic PreM agreement (DESIGN.md §6) ----
 //
 // Every min/max query the compile-time linter marks as statically proven
@@ -300,7 +403,10 @@ INSTANTIATE_TEST_SUITE_P(
                       CrossValCase{47, true}, CrossValCase{101, true},
                       // The same distributed fixpoints on the parallel
                       // runtime must still agree with the serial baselines.
-                      CrossValCase{47, true, 8}, CrossValCase{101, true, 8}),
+                      CrossValCase{47, true, 8}, CrossValCase{101, true, 8},
+                      // The *local* fixpoint path on the parallel runtime
+                      // (partitioned semi-naive/naive, DESIGN.md §9).
+                      CrossValCase{11, false, 8}, CrossValCase{47, false, 8}),
     [](const auto& info) {
       return "seed" + std::to_string(info.param.seed) +
              (info.param.distributed ? "_dist" : "_local") +

@@ -154,7 +154,7 @@ TEST(DistributedFixpointTest, DecomposedDetectionAndKey) {
   dist::Cluster cluster(dist::ClusterConfig{});
   DistFixpointOptions options;
   options.decomposed = DistFixpointOptions::Decomposed::kAuto;
-  DistFixpointStats stats;
+  FixpointStats stats;
   auto result = EvaluateCliqueDistributed(analyzed->cliques[0], tables,
                                           &cluster, options, &stats);
   ASSERT_TRUE(result.ok()) << result.status();
@@ -180,7 +180,7 @@ TEST(DistributedFixpointTest, DecomposedDetectionAndKey) {
                       wtables);
   ASSERT_TRUE(sssp.ok());
   dist::Cluster cluster2(dist::ClusterConfig{});
-  DistFixpointStats sssp_stats;
+  FixpointStats sssp_stats;
   auto sssp_result = EvaluateCliqueDistributed(
       sssp->cliques[0], wtables, &cluster2, DistFixpointOptions{},
       &sssp_stats);
@@ -230,7 +230,7 @@ TEST(DistributedFixpointTest, StageCountsPerIteration) {
   DistFixpointOptions combined;
   combined.decomposed = DistFixpointOptions::Decomposed::kOff;
   dist::Cluster c1(dist::ClusterConfig{});
-  DistFixpointStats s1;
+  FixpointStats s1;
   ASSERT_TRUE(EvaluateCliqueDistributed(analyzed->cliques[0], tables, &c1,
                                         combined, &s1)
                   .ok());
@@ -238,12 +238,156 @@ TEST(DistributedFixpointTest, StageCountsPerIteration) {
   DistFixpointOptions plain = combined;
   plain.combine_stages = false;
   dist::Cluster c2(dist::ClusterConfig{});
-  DistFixpointStats s2;
+  FixpointStats s2;
   ASSERT_TRUE(EvaluateCliqueDistributed(analyzed->cliques[0], tables, &c2,
                                         plain, &s2)
                   .ok());
   EXPECT_EQ(s1.iterations, s2.iterations);
   EXPECT_LT(c1.metrics().num_stages(), c2.metrics().num_stages());
+}
+
+// ---- Local parallel path: results and stats must be bit-identical at
+// every thread count, in both modes (DESIGN.md §9). ----
+
+struct LocalRun {
+  std::vector<storage::Row> rows;
+  FixpointStats stats;
+};
+
+LocalRun RunLocal(const analysis::AnalyzedQuery& analyzed,
+                  const std::map<std::string, const Relation*>& tables,
+                  FixpointMode mode, int threads) {
+  FixpointOptions options;
+  options.mode = mode;
+  options.runtime.num_threads = threads;
+  LocalRun run;
+  auto views =
+      EvaluateCliqueLocal(analyzed.cliques[0], tables, options, &run.stats);
+  EXPECT_TRUE(views.ok()) << views.status();
+  if (views.ok()) run.rows = views->begin()->second.rows();
+  return run;
+}
+
+void ExpectIdentical(const LocalRun& a, const LocalRun& b,
+                     const std::string& label) {
+  ASSERT_EQ(a.rows.size(), b.rows.size()) << label;
+  for (size_t i = 0; i < a.rows.size(); ++i) {
+    ASSERT_EQ(a.rows[i].size(), b.rows[i].size()) << label << " row " << i;
+    for (size_t c = 0; c < a.rows[i].size(); ++c) {
+      EXPECT_TRUE(a.rows[i][c] == b.rows[i][c])
+          << label << " row " << i << " col " << c;
+    }
+  }
+  EXPECT_EQ(a.stats.iterations, b.stats.iterations) << label;
+  EXPECT_EQ(a.stats.total_delta_rows, b.stats.total_delta_rows) << label;
+  EXPECT_EQ(a.stats.plan_executions, b.stats.plan_executions) << label;
+  EXPECT_EQ(a.stats.hit_iteration_limit, b.stats.hit_iteration_limit)
+      << label;
+  EXPECT_EQ(a.stats.used_semi_naive, b.stats.used_semi_naive) << label;
+  EXPECT_EQ(a.stats.partition_key, b.stats.partition_key) << label;
+}
+
+TEST(LocalFixpointParallelTest, TcBitIdenticalAcrossThreads) {
+  datagen::GridOptions opt;
+  opt.side = 8;
+  Relation edge = datagen::ToEdgeRelation(datagen::GenerateGrid(opt));
+  std::map<std::string, const Relation*> tables = {{"edge", &edge}};
+  auto analyzed = Compile(kTc, tables);
+  ASSERT_TRUE(analyzed.ok()) << analyzed.status();
+  for (FixpointMode mode : {FixpointMode::kNaive, FixpointMode::kSemiNaive}) {
+    const std::string label =
+        mode == FixpointMode::kNaive ? "tc/naive" : "tc/semi-naive";
+    LocalRun reference = RunLocal(*analyzed, tables, mode, 1);
+    EXPECT_GT(reference.stats.iterations, 2) << label;
+    EXPECT_FALSE(reference.rows.empty()) << label;
+    for (int threads : {2, 8}) {
+      LocalRun run = RunLocal(*analyzed, tables, mode, threads);
+      ExpectIdentical(reference, run,
+                      label + "/threads=" + std::to_string(threads));
+    }
+  }
+}
+
+constexpr char kSssp[] = R"(
+    WITH recursive path (Dst, min() AS Cost) AS
+      (SELECT 0, 0.0) UNION
+      (SELECT edge.Dst, path.Cost + edge.Cost
+       FROM path, edge WHERE path.Dst = edge.Src)
+    SELECT Dst, Cost FROM path)";
+
+Relation WeightedRingGraph() {
+  Relation edge{storage::Schema::Of({{"Src", storage::ValueType::kInt64},
+                                     {"Dst", storage::ValueType::kInt64},
+                                     {"Cost",
+                                      storage::ValueType::kDouble}})};
+  // Cyclic, with chords: many alternative paths per vertex, so the min
+  // aggregate does real tie-breaking over double-valued costs.
+  for (int v = 0; v < 24; ++v) {
+    edge.Add({storage::Value::Int(v), storage::Value::Int((v + 1) % 24),
+              storage::Value::Double(1.0 + 0.1 * v)});
+    edge.Add({storage::Value::Int(v), storage::Value::Int((v + 7) % 24),
+              storage::Value::Double(2.5 + 0.01 * v)});
+  }
+  return edge;
+}
+
+TEST(LocalFixpointParallelTest, SsspBitIdenticalAcrossThreads) {
+  Relation edge = WeightedRingGraph();
+  std::map<std::string, const Relation*> tables = {{"edge", &edge}};
+  auto analyzed = Compile(kSssp, tables);
+  ASSERT_TRUE(analyzed.ok()) << analyzed.status();
+  for (FixpointMode mode : {FixpointMode::kNaive, FixpointMode::kSemiNaive}) {
+    const std::string label =
+        mode == FixpointMode::kNaive ? "sssp/naive" : "sssp/semi-naive";
+    LocalRun reference = RunLocal(*analyzed, tables, mode, 1);
+    EXPECT_GT(reference.stats.iterations, 2) << label;
+    EXPECT_EQ(reference.rows.size(), 24u) << label;
+    for (int threads : {2, 8}) {
+      LocalRun run = RunLocal(*analyzed, tables, mode, threads);
+      ExpectIdentical(reference, run,
+                      label + "/threads=" + std::to_string(threads));
+    }
+  }
+}
+
+TEST(LocalFixpointTest, NaiveBasePlansExecuteOnce) {
+  Relation edge = MakeIntRelation({"Src", "Dst"},
+                                  {{1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}});
+  std::map<std::string, const Relation*> tables = {{"edge", &edge}};
+  auto analyzed = Compile(kTc, tables);
+  ASSERT_TRUE(analyzed.ok());
+  FixpointOptions options;
+  options.mode = FixpointMode::kNaive;
+  FixpointStats stats;
+  auto result =
+      EvaluateCliqueLocal(analyzed->cliques[0], tables, options, &stats);
+  ASSERT_TRUE(result.ok()) << result.status();
+  // The one base branch is loop-invariant and runs exactly once; the one
+  // recursive branch runs every iteration. Before the hoist the base
+  // branch re-executed per iteration (2 * iterations total).
+  EXPECT_GT(stats.iterations, 3);
+  EXPECT_EQ(stats.plan_executions,
+            1 + static_cast<size_t>(stats.iterations));
+}
+
+TEST(LocalFixpointTest, NonRecursiveCliqueReportsStats) {
+  Relation edge = MakeIntRelation({"Src", "Dst"}, {{1, 2}, {1, 2}, {2, 3}});
+  std::map<std::string, const Relation*> tables = {{"edge", &edge}};
+  auto analyzed = Compile(R"(
+      WITH recursive v (X) AS (SELECT Src FROM edge)
+      SELECT X FROM v)",
+                          tables);
+  ASSERT_TRUE(analyzed.ok()) << analyzed.status();
+  ASSERT_FALSE(analyzed->cliques[0].IsRecursive());
+  FixpointStats stats;
+  auto result = EvaluateCliqueLocal(analyzed->cliques[0], tables,
+                                    FixpointOptions{}, &stats);
+  ASSERT_TRUE(result.ok()) << result.status();
+  // Set semantics dedup the duplicate (1,2) source: {1, 2}.
+  EXPECT_EQ(result->at("v").size(), 2u);
+  EXPECT_EQ(stats.iterations, 1);
+  EXPECT_EQ(stats.plan_executions, 1u);
+  EXPECT_EQ(stats.total_delta_rows, result->at("v").size());
 }
 
 TEST(CollectRecursiveRefsTest, FindsAllRefs) {
