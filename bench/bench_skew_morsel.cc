@@ -1,0 +1,222 @@
+// Skewed-input morsel bench: one partition of the recursive delta holds
+// almost all the rows (a fan of sources converging on a short hub chain),
+// so without intra-task parallelism a single straggler task serializes
+// every iteration. The sweep runs TC over this graph at threads {1,2,8}
+// with morsel splitting off (morsel_rows=0) and on (morsel_rows=256) and
+// records, per configuration:
+//   - wall/sim time, result, stage count;
+//   - the widest per-partition split the scheduler actually ran
+//     (max_partition_splits) and the largest executed-task surplus over
+//     the modeled task count (num_exec_tasks - num_tasks).
+// Results and modeled metrics must be identical in every cell
+// (DESIGN.md §10); the split columns show that the skewed map stages were
+// really cut into several tasks. Wall numbers are only meaningful
+// relative to hardware_threads — on a single-core container every
+// configuration costs about the same.
+//
+// Writes BENCH_skew.json (override with --json=path).
+
+#include "bench/bench_util.h"
+#include "runtime/thread_pool.h"
+
+namespace rasql::bench {
+namespace {
+
+// ~90% of the edges fan from distinct sources into hub 0 of a 6-vertex
+// chain; the rest is a small RMAT background so non-hub partitions are
+// busy but light. TC deltas carry Dst = hub_k for the fan rows, and the
+// distributed fixpoint copartitions tc on Dst, so each iteration lands
+// the fan in a handful of partitions.
+storage::Relation SkewedEdges(int64_t num_sources, int64_t* hub_base) {
+  constexpr int64_t kChain = 6;
+  datagen::RmatOptions background;
+  background.num_vertices = 256;
+  background.edges_per_vertex = 2;
+  background.seed = 19;
+  datagen::Graph graph = datagen::GenerateRmat(background);
+
+  const int64_t hubs = background.num_vertices;
+  *hub_base = hubs;
+  for (int64_t s = 0; s < num_sources; ++s) {
+    graph.edges.emplace_back(hubs + kChain + s, hubs);
+  }
+  for (int64_t h = 0; h + 1 < kChain; ++h) {
+    graph.edges.emplace_back(hubs + h, hubs + h + 1);
+  }
+  graph.num_vertices = hubs + kChain + num_sources;
+  return datagen::ToEdgeRelation(graph);
+}
+
+struct SkewRun {
+  int threads = 0;
+  size_t morsel_rows = 0;
+  double wall_time = 0;
+  double sim_time = 0;
+  int64_t result = 0;
+  int num_stages = 0;
+  int max_partition_splits = 1;  // widest split of one partition's delta
+  int max_task_surplus = 0;      // max over stages of exec_tasks - tasks
+  bool metrics_identical = true;  // vs. the 1-thread unsplit reference
+};
+
+engine::EngineConfig SkewConfig(int threads, size_t morsel_rows) {
+  engine::EngineConfig config = RaSqlConfig();
+  // Plain-DSN map/reduce pairs are where the morsel split applies;
+  // combined and decomposed stages bypass the shuffle entirely.
+  config.dist_fixpoint.combine_stages = false;
+  config.dist_fixpoint.decomposed =
+      fixpoint::DistFixpointOptions::Decomposed::kOff;
+  config.runtime.num_threads = threads;
+  config.runtime.morsel_rows = morsel_rows;
+  return config;
+}
+
+SkewRun RunCell(const std::map<std::string, storage::Relation>& tables,
+                int threads, size_t morsel_rows,
+                const engine::ExecutionResult* reference) {
+  engine::RaSqlContext ctx(SkewConfig(threads, morsel_rows));
+  for (const auto& [name, rel] : tables) {
+    auto status = ctx.RegisterTable(name, rel);
+    if (!status.ok()) {
+      std::fprintf(stderr, "register %s: %s\n", name.c_str(),
+                   status.ToString().c_str());
+      std::abort();
+    }
+  }
+  common::Timer timer;
+  auto result = ctx.Execute(kTcQuery);
+  if (!result.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 result.status().ToString().c_str());
+    std::abort();
+  }
+  SkewRun run;
+  run.threads = threads;
+  run.morsel_rows = morsel_rows;
+  run.wall_time = timer.ElapsedSeconds();
+  run.sim_time = result->job_metrics.TotalSimTime();
+  run.num_stages = result->job_metrics.num_stages();
+  if (!result->relation.empty()) {
+    run.result = result->relation.rows()[0][0].AsInt();
+  }
+  for (const dist::StageMetrics& s : result->job_metrics.stages) {
+    run.max_partition_splits =
+        std::max(run.max_partition_splits, s.max_partition_splits);
+    run.max_task_surplus =
+        std::max(run.max_task_surplus, s.num_exec_tasks - s.num_tasks);
+  }
+  if (reference != nullptr) {
+    const dist::JobMetrics& a = reference->job_metrics;
+    const dist::JobMetrics& b = result->job_metrics;
+    run.metrics_identical =
+        reference->relation.rows() == result->relation.rows() &&
+        a.num_stages() == b.num_stages() &&
+        a.broadcast_bytes == b.broadcast_bytes;
+    for (int s = 0; run.metrics_identical && s < a.num_stages(); ++s) {
+      run.metrics_identical = a.stages[s].name == b.stages[s].name &&
+                              a.stages[s].num_tasks == b.stages[s].num_tasks &&
+                              a.stages[s].shuffle_bytes ==
+                                  b.stages[s].shuffle_bytes &&
+                              a.stages[s].remote_bytes ==
+                                  b.stages[s].remote_bytes;
+    }
+  }
+  return run;
+}
+
+void RunSkewSweep(const std::string& json_path) {
+  PrintHeader("Skewed deltas: morsel-split map tasks vs. one straggler",
+              "intra-task parallelism, DESIGN.md §10");
+  std::printf("hardware threads on this machine: %d\n",
+              runtime::ThreadPool::HardwareThreads());
+
+  int64_t hub_base = 0;
+  std::map<std::string, storage::Relation> tables;
+  tables.emplace("edge", SkewedEdges(/*num_sources=*/3000, &hub_base));
+  std::printf("edges: %zu (fan of 3000 sources into hub chain at %lld)\n",
+              tables.at("edge").size(), static_cast<long long>(hub_base));
+
+  // Reference: single thread, no splitting.
+  engine::RaSqlContext ref_ctx(SkewConfig(1, 0));
+  auto st = ref_ctx.RegisterTable("edge", tables.at("edge"));
+  if (!st.ok()) std::abort();
+  auto ref = ref_ctx.Execute(kTcQuery);
+  if (!ref.ok()) {
+    std::fprintf(stderr, "reference failed: %s\n",
+                 ref.status().ToString().c_str());
+    std::abort();
+  }
+
+  PrintRow({"threads", "morsel", "wall", "sim", "splits", "surplus",
+            "identical"});
+  std::vector<std::string> records;
+  bool all_identical = true;
+  bool split_engaged = false;
+  double wall_unsplit_8t = 0;
+  double wall_split_8t = 0;
+  for (int threads : {1, 2, 8}) {
+    for (size_t morsel_rows : {size_t{0}, size_t{256}}) {
+      // Best of two runs; the first may pay allocator warm-up.
+      SkewRun run = RunCell(tables, threads, morsel_rows, &ref.value());
+      SkewRun second = RunCell(tables, threads, morsel_rows, &ref.value());
+      if (second.wall_time < run.wall_time) run.wall_time = second.wall_time;
+      all_identical = all_identical && run.metrics_identical;
+      if (morsel_rows > 0) {
+        split_engaged = split_engaged || run.max_partition_splits > 1;
+      }
+      if (threads == 8 && morsel_rows == 0) wall_unsplit_8t = run.wall_time;
+      if (threads == 8 && morsel_rows > 0) wall_split_8t = run.wall_time;
+      PrintRow({std::to_string(threads), std::to_string(morsel_rows),
+                Fmt(run.wall_time), Fmt(run.sim_time),
+                std::to_string(run.max_partition_splits),
+                std::to_string(run.max_task_surplus),
+                run.metrics_identical ? "yes" : "NO"});
+
+      JsonEmitter rec;
+      rec.Integer("threads", threads);
+      rec.Integer("morsel_rows", static_cast<int64_t>(morsel_rows));
+      rec.Number("wall_time_sec", run.wall_time);
+      rec.Number("sim_time_sec", run.sim_time);
+      rec.Integer("result", run.result);
+      rec.Integer("stages", run.num_stages);
+      rec.Integer("max_partition_splits", run.max_partition_splits);
+      rec.Integer("max_task_surplus", run.max_task_surplus);
+      rec.Text("metrics_identical", run.metrics_identical ? "yes" : "no");
+      records.push_back(rec.ToString());
+    }
+  }
+  std::printf("results and modeled metrics identical in every cell: %s\n",
+              all_identical ? "yes" : "NO");
+  std::printf("skewed partitions split into multiple morsel tasks: %s\n",
+              split_engaged ? "yes" : "NO");
+  std::printf("8-thread wall, unsplit vs. split: %s vs. %s\n",
+              Fmt(wall_unsplit_8t).c_str(), Fmt(wall_split_8t).c_str());
+
+  JsonEmitter doc;
+  doc.Text("bench", "bench_skew_morsel");
+  doc.Text("section", "skewed_delta_morsel_split");
+  doc.Integer("hardware_threads", runtime::ThreadPool::HardwareThreads());
+  doc.Text("metrics_identical", all_identical ? "yes" : "no");
+  doc.Text("split_engaged", split_engaged ? "yes" : "no");
+  doc.Number("wall_8t_unsplit_sec", wall_unsplit_8t);
+  doc.Number("wall_8t_split_sec", wall_split_8t);
+  doc.Raw("runs", JsonEmitter::Array(records));
+  if (doc.WriteFile(json_path)) {
+    std::printf("wrote %s\n", json_path.c_str());
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace rasql::bench
+
+int main(int argc, char** argv) {
+  // Unlike the figure benches this artifact is the bench's whole point, so
+  // it is written by default; --json=path only redirects it.
+  std::string json_path =
+      rasql::bench::JsonPathFromArgs(argc, argv, "BENCH_skew.json");
+  if (json_path.empty()) json_path = "BENCH_skew.json";
+  rasql::bench::RunSkewSweep(json_path);
+  return 0;
+}

@@ -18,7 +18,7 @@ cmake --build "${BUILD_DIR}" -j "${JOBS}"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
 
 # Parallel-runtime gate: TSan excludes ASan, so the work-stealing executor
-# and the threaded fixpoint tests get their own build. Only the three test
+# and the threaded fixpoint tests get their own build. Only the four test
 # binaries that exercise real threads are built and run — a full TSan build
 # of every bench would double CI time for no extra coverage.
 TSAN_BUILD_DIR=${TSAN_BUILD_DIR:-build-tsan}
@@ -26,10 +26,11 @@ cmake -B "${TSAN_BUILD_DIR}" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DRASQL_ENABLE_TSAN=ON
 cmake --build "${TSAN_BUILD_DIR}" -j "${JOBS}" \
-  --target runtime_test dist_test fixpoint_test
+  --target runtime_test dist_test fixpoint_test morsel_test
 "${TSAN_BUILD_DIR}/tests/runtime_test"
 "${TSAN_BUILD_DIR}/tests/dist_test"
 "${TSAN_BUILD_DIR}/tests/fixpoint_test"
+"${TSAN_BUILD_DIR}/tests/morsel_test"
 
 # Async-shuffle matrix under TSan: the pipelined map/reduce path releases
 # reduce tasks from the publish of individual map slices, so the
@@ -48,3 +49,11 @@ cmake --build "${TSAN_BUILD_DIR}" -j "${JOBS}" \
 # above: the gate stays explicit even if the suite reorganizes.
 "${TSAN_BUILD_DIR}/tests/fixpoint_test" \
   --gtest_filter='*LocalFixpointParallel*'
+
+# Morsel-split matrix under TSan: split sub-tasks write caller-owned slots
+# concurrently with finalize tasks being released per partition, and the
+# lazy per-partition hash build runs under call_once from several threads.
+# The determinism matrix (threads {1,2,8} × morsel on/off, local and
+# distributed) is exactly the schedule TSan must see clean.
+"${TSAN_BUILD_DIR}/tests/morsel_test" \
+  --gtest_filter='*MorselMatrix*:*MorselSplit*'

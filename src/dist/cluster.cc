@@ -43,30 +43,36 @@ std::string JobMetrics::Summary() const {
 }
 
 std::vector<storage::Row> TaskContext::ReadShuffle() {
+  RASQL_CHECK(!is_split_task());
   RASQL_CHECK(spec_->input_slices != nullptr);
   return spec_->input_slices->Gather(partition_);
 }
 
 void TaskContext::WriteShuffle(ShuffleWrite write) {
+  RASQL_CHECK(!is_split_task());
   RASQL_CHECK(spec_->output_slices != nullptr);
   io_.shuffle_out_bytes = write.bytes_per_dest;
   spec_->output_slices->Put(partition_, std::move(write));
 }
 
 void TaskContext::ReportShuffleBytes(std::vector<size_t> bytes_per_dest) {
+  RASQL_CHECK(!is_split_task());
   io_.shuffle_out_bytes = std::move(bytes_per_dest);
 }
 
 void TaskContext::ReportCachedState(size_t bytes) {
+  RASQL_CHECK(!is_split_task());
   io_.cached_state_bytes += bytes;
 }
 
 void TaskContext::Count(size_t n) {
+  RASQL_CHECK(!is_split_task());
   RASQL_CHECK(spec_->counter != nullptr);
   spec_->counter->Add(partition_, n);
 }
 
 void TaskContext::Fail(common::Status status) {
+  RASQL_CHECK(!is_split_task());
   RASQL_CHECK(spec_->status != nullptr);
   spec_->status->Fail(partition_, std::move(status));
 }
@@ -86,13 +92,14 @@ int Cluster::PlaceTask(int partition, int stage_index) const {
   return (partition + stage_index) % config_.num_workers;
 }
 
-const StageMetrics& Cluster::AccountStage(
+StageMetrics& Cluster::AccountStage(
     const std::string& name, std::vector<TaskIo>* ios,
     const std::vector<double>& task_seconds) {
   const int stage_index = stage_counter_++;
   StageMetrics stage;
   stage.name = name;
   stage.num_tasks = config_.num_partitions;
+  stage.num_exec_tasks = config_.num_partitions;
 
   // Cost-model pass, after the barrier, in ascending partition order: the
   // simulated placement and network charges depend only on the per-task
@@ -171,6 +178,77 @@ const StageMetrics& Cluster::RunStage(const StageSpec& spec,
   };
   executor_.Map<TaskIo>(config_.num_partitions, run, &ios, &task_seconds);
   return AccountStage(spec.name, &ios, task_seconds);
+}
+
+const StageMetrics& Cluster::RunStage(const StageSpec& spec,
+                                      const StageTask& split_task,
+                                      const StageTask& main_task) {
+  const int P = config_.num_partitions;
+  // Flatten the requested sub-tasks: partition p owns the contiguous id
+  // range [split_begin[p], split_begin[p + 1]) of split tasks.
+  std::vector<int> nsplits(P, 0);
+  std::vector<int> split_begin(P + 1, 0);
+  int total_splits = 0;
+  int max_splits = 1;
+  for (int p = 0; p < P; ++p) {
+    split_begin[p] = total_splits;
+    if (spec.split_tasks) nsplits[p] = std::max(0, spec.split_tasks(p));
+    total_splits += nsplits[p];
+    max_splits = std::max(max_splits, nsplits[p]);
+  }
+  split_begin[P] = total_splits;
+  if (total_splits == 0) return RunStage(spec, main_task);
+
+  // One DAG, topologically ordered: sub-tasks [0, S) then finalize tasks
+  // [S, S + P). Finalize task S + p depends on exactly its partition's
+  // sub-tasks, so it is released the moment the last of its own morsels
+  // lands — independent of sibling partitions' stragglers.
+  const int S = total_splits;
+  std::vector<int> deps(S + P, 0);
+  std::vector<std::vector<int>> dependents(S + P);
+  std::vector<int> split_partition(S, 0);
+  for (int p = 0; p < P; ++p) {
+    deps[S + p] = nsplits[p];
+    for (int i = split_begin[p]; i < split_begin[p + 1]; ++i) {
+      split_partition[i] = p;
+      dependents[i].push_back(S + p);
+    }
+  }
+
+  std::vector<TaskIo> ios;
+  std::vector<double> task_seconds;
+  const std::function<TaskIo(int)> run = [&](int i) {
+    if (i < S) {
+      const int p = split_partition[i];
+      TaskContext ctx(&spec, p, P, /*split_index=*/i - split_begin[p],
+                      /*num_splits=*/nsplits[p]);
+      split_task(ctx);
+      return std::move(ctx.io_);
+    }
+    TaskContext ctx(&spec, i - S, P);
+    main_task(ctx);
+    if (spec.output_slices != nullptr) spec.output_slices->Publish(i - S);
+    return std::move(ctx.io_);
+  };
+  executor_.MapGraph<TaskIo>(S + P, run, deps, dependents, &ios,
+                             &task_seconds);
+
+  // One partition-ordered report per partition: the finalize task's I/O
+  // (sub-tasks are barred from reporting) with the partition's sub-task
+  // seconds folded into its measured time. The cost model therefore sees
+  // exactly what an unsplit stage would report, modulo measured seconds —
+  // modeled byte counts and task counts are split-invariant.
+  std::vector<TaskIo> main_ios(std::make_move_iterator(ios.begin() + S),
+                               std::make_move_iterator(ios.end()));
+  std::vector<double> merged_seconds(task_seconds.begin() + S,
+                                     task_seconds.end());
+  for (int i = 0; i < S; ++i) {
+    merged_seconds[split_partition[i]] += task_seconds[i];
+  }
+  StageMetrics& stage = AccountStage(spec.name, &main_ios, merged_seconds);
+  stage.num_exec_tasks = S + P;
+  stage.max_partition_splits = max_splits;
+  return stage;
 }
 
 void Cluster::RunStagePair(const StageSpec& map_spec,

@@ -69,6 +69,14 @@ struct StageMetrics {
   size_t shuffle_bytes = 0;            ///< total map output
   size_t remote_bytes = 0;             ///< bytes that crossed the network
   double sim_time_sec = 0;             ///< modeled stage duration
+  /// Execution-observability fields: how many real task closures ran
+  /// (split sub-tasks + per-partition finalize tasks) and the largest
+  /// per-partition split factor. Purely observational — like the measured
+  /// seconds above they are NOT part of the modeled-metric identity set
+  /// (name/num_tasks/byte counts), which stays bit-identical whether or
+  /// not a stage was split (DESIGN.md §10).
+  int num_exec_tasks = 0;
+  int max_partition_splits = 1;
 };
 
 /// Whole-job accounting.
@@ -113,6 +121,14 @@ struct StageSpec {
   /// Optional accumulators TaskContext::Count / Fail write through.
   runtime::StageCounter* counter = nullptr;
   runtime::StageStatus* status = nullptr;
+  /// Optional per-task split hint: `split_tasks(p)` returns how many
+  /// sub-tasks partition p's work should be cut into (<= 0 or absent =
+  /// don't split). Honored by the RunStage(spec, split_task, main_task)
+  /// overload — a giant partition becomes several real tasks inside one
+  /// modeled stage, while the cost model keeps seeing one partition-ordered
+  /// report per partition (the sub-tasks' measured seconds are summed into
+  /// their partition's report), so modeled metrics are split-invariant.
+  std::function<int(int)> split_tasks;
 
   /// True when tasks of this kind consume the previous map output.
   bool ConsumesShuffle() const {
@@ -128,6 +144,18 @@ class TaskContext {
  public:
   int partition() const { return partition_; }
   int num_partitions() const { return num_partitions_; }
+
+  /// Split sub-task identity (DESIGN.md §10): when the stage was submitted
+  /// through the split overload, each of partition p's sub-tasks sees
+  /// split_index() in [0, num_splits()); the per-partition finalize task
+  /// and every task of an unsplit stage see -1/0. Split sub-tasks are pure
+  /// compute into caller-owned slots: the reporting calls below
+  /// (Read/WriteShuffle, ReportShuffleBytes/CachedState, Count, Fail) are
+  /// finalize-only — two sub-tasks of one partition would race on the
+  /// partition-indexed accumulators otherwise.
+  int split_index() const { return split_index_; }
+  int num_splits() const { return num_splits_; }
+  bool is_split_task() const { return split_index_ >= 0; }
 
   /// Gathers the rows addressed to this partition from the stage's input
   /// channel (all published slices; under the pipeline's dependencies that
@@ -157,14 +185,21 @@ class TaskContext {
 
  private:
   friend class Cluster;
-  TaskContext(const StageSpec* spec, int partition, int num_partitions)
-      : spec_(spec), partition_(partition), num_partitions_(num_partitions) {
+  TaskContext(const StageSpec* spec, int partition, int num_partitions,
+              int split_index = -1, int num_splits = 0)
+      : spec_(spec),
+        partition_(partition),
+        num_partitions_(num_partitions),
+        split_index_(split_index),
+        num_splits_(num_splits) {
     io_.consumes_shuffle = spec->ConsumesShuffle();
   }
 
   const StageSpec* spec_;
   int partition_;
   int num_partitions_;
+  int split_index_;
+  int num_splits_;
   TaskIo io_;
 };
 
@@ -207,6 +242,23 @@ class Cluster {
   /// metrics).
   const StageMetrics& RunStage(const StageSpec& spec, const StageTask& task);
 
+  /// Split form of RunStage (DESIGN.md §10): when `spec.split_tasks` asks
+  /// for sub-tasks, partition p's work runs as split_tasks(p) `split_task`
+  /// closures (split_index() in [0, num_splits())) followed by one
+  /// `main_task` finalize closure per partition that depends on all of its
+  /// partition's sub-tasks — one dependency DAG, so a giant partition's
+  /// morsels run as independently stealable tasks inside one modeled stage.
+  /// Split closures are pure compute into caller-owned slots; only the
+  /// finalize closure may use the TaskContext reporting calls. The cost
+  /// model still sees one partition-ordered report per partition with that
+  /// partition's sub-task seconds folded in, so modeled metrics are
+  /// identical to the unsplit stage; num_exec_tasks/max_partition_splits
+  /// record the real task count. With no splits requested this degrades to
+  /// plain RunStage(spec, main_task).
+  const StageMetrics& RunStage(const StageSpec& spec,
+                               const StageTask& split_task,
+                               const StageTask& main_task);
+
   /// Submits a map stage and the reduce stage that consumes its output as
   /// one unit. Barriered by default (exactly two RunStage calls). With
   /// `runtime.async_shuffle` and >1 thread, the 2P tasks are enqueued as
@@ -246,9 +298,11 @@ class Cluster {
 
   /// The post-barrier cost-model pass over one stage's partition-ordered
   /// task reports: placement, network charges, makespan. Consumes `ios`.
-  const StageMetrics& AccountStage(const std::string& name,
-                                   std::vector<TaskIo>* ios,
-                                   const std::vector<double>& task_seconds);
+  /// Non-const so the split path can stamp observability fields after
+  /// accounting.
+  StageMetrics& AccountStage(const std::string& name,
+                             std::vector<TaskIo>* ios,
+                             const std::vector<double>& task_seconds);
 
   ClusterConfig config_;
   runtime::StageExecutor executor_;

@@ -46,17 +46,16 @@ Result<ExecutionResult> RaSqlContext::Execute(const std::string& sql) {
   if (statements.empty()) {
     return Status::InvalidArgument("empty statement");
   }
-  last_lint_report_ = lint::LintReport();
+  ExecutionResult execution;
   if (config_.lint_before_execute) {
-    RASQL_ASSIGN_OR_RETURN(last_lint_report_, Lint(sql));
-    if (last_lint_report_.BlocksExecution(config_.lint)) {
+    RASQL_ASSIGN_OR_RETURN(execution.lint_report, Lint(sql));
+    if (execution.lint_report.BlocksExecution(config_.lint)) {
       return Status::AnalysisError(
           "query refused by lint" +
           std::string(config_.lint.werror ? " (werror)" : "") + ":\n" +
-          last_lint_report_.ToString());
+          execution.lint_report.ToString());
     }
   }
-  Relation last_result;
   bool produced_result = false;
   for (const sql::Statement& stmt : statements) {
     if (stmt.kind == sql::Statement::Kind::kCreateView) {
@@ -88,26 +87,23 @@ Result<ExecutionResult> RaSqlContext::Execute(const std::string& sql) {
       RASQL_RETURN_IF_ERROR(RegisterTable(view.name, std::move(rel)));
       continue;
     }
-    RASQL_ASSIGN_OR_RETURN(last_result, ExecuteQuery(*stmt.query));
+    RASQL_ASSIGN_OR_RETURN(execution.relation,
+                           ExecuteQuery(*stmt.query, &execution.fixpoint_stats,
+                                        &execution.job_metrics));
     produced_result = true;
   }
   if (!produced_result) {
     return Status::InvalidArgument(
         "script contains no query statement (only CREATE VIEW)");
   }
-  ExecutionResult execution;
-  execution.relation = std::move(last_result);
-  // Copies, not moves: the deprecated last_* accessors keep reporting the
-  // same execution until the next one.
-  execution.fixpoint_stats = last_stats_;
-  execution.job_metrics = last_metrics_;
-  execution.lint_report = last_lint_report_;
   return execution;
 }
 
-Result<Relation> RaSqlContext::ExecuteQuery(const sql::Query& query) {
-  last_stats_ = fixpoint::FixpointStats();
-  last_metrics_ = dist::JobMetrics();
+Result<Relation> RaSqlContext::ExecuteQuery(const sql::Query& query,
+                                            fixpoint::FixpointStats* stats,
+                                            dist::JobMetrics* metrics) {
+  *stats = fixpoint::FixpointStats();
+  *metrics = dist::JobMetrics();
 
   analysis::Analyzer analyzer(&catalog_);
   RASQL_ASSIGN_OR_RETURN(analysis::AnalyzedQuery analyzed,
@@ -124,7 +120,7 @@ Result<Relation> RaSqlContext::ExecuteQuery(const sql::Query& query) {
     for (const auto& [name, rel] : views) bindings[name] = &rel;
 
     std::map<std::string, Relation> results;
-    fixpoint::FixpointStats stats;
+    fixpoint::FixpointStats clique_stats;
     if (config_.distributed && clique.IsRecursive() &&
         fixpoint::EligibleForDistributed(clique)) {
       fixpoint::DistFixpointOptions dist_options = config_.dist_fixpoint;
@@ -133,8 +129,9 @@ Result<Relation> RaSqlContext::ExecuteQuery(const sql::Query& query) {
       static_cast<fixpoint::CommonFixpointOptions&>(dist_options) =
           config_.fixpoint;
       RASQL_ASSIGN_OR_RETURN(
-          results, fixpoint::EvaluateCliqueDistributed(
-                       clique, bindings, &cluster, dist_options, &stats));
+          results,
+          fixpoint::EvaluateCliqueDistributed(clique, bindings, &cluster,
+                                              dist_options, &clique_stats));
     } else {
       fixpoint::FixpointOptions local_options = config_.fixpoint;
       // --threads applies to the local path too: the local evaluator runs
@@ -142,12 +139,13 @@ Result<Relation> RaSqlContext::ExecuteQuery(const sql::Query& query) {
       local_options.runtime = config_.runtime;
       RASQL_ASSIGN_OR_RETURN(
           results, fixpoint::EvaluateCliqueLocal(clique, bindings,
-                                                 local_options, &stats));
+                                                 local_options,
+                                                 &clique_stats));
     }
-    last_stats_.MergeFrom(stats);
+    stats->MergeFrom(clique_stats);
     for (auto& [name, rel] : results) views[name] = std::move(rel);
   }
-  last_metrics_ = cluster.metrics();
+  *metrics = cluster.metrics();
 
   // Execute the body against base tables + materialized views.
   physical::ExecContext ctx;

@@ -47,8 +47,8 @@ struct EngineConfig {
 /// Everything one Execute() produces, returned as a unit: the result
 /// relation plus the execution's fixpoint statistics, cluster metrics and
 /// lint report. Callers that only want rows read `.relation`; benches and
-/// tests read the rest without a second round-trip through the context's
-/// last_* accessors (which this struct supersedes).
+/// tests read the rest directly — the context keeps no per-execution
+/// state behind the caller's back.
 struct ExecutionResult {
   storage::Relation relation;
   /// Fixpoint statistics (iterations, delta sizes, evaluation mode).
@@ -98,36 +98,19 @@ class RaSqlContext {
   /// RASQL-E000 diagnostics inside the report.
   common::Result<lint::LintReport> Lint(const std::string& sql) const;
 
-  /// Deprecated: read ExecutionResult::fixpoint_stats from Execute()
-  /// instead. Fixpoint statistics of the most recent Execute().
-  const fixpoint::FixpointStats& last_fixpoint_stats() const {
-    return last_stats_;
-  }
-
-  /// Deprecated: read ExecutionResult::job_metrics from Execute() instead.
-  /// Cluster metrics of the most recent distributed Execute(); empty when
-  /// running locally.
-  const dist::JobMetrics& last_job_metrics() const { return last_metrics_; }
-
-  /// Deprecated: read ExecutionResult::lint_report from Execute() instead.
-  /// Lint report of the most recent Execute() with lint_before_execute
-  /// set; empty otherwise.
-  const lint::LintReport& last_lint_report() const {
-    return last_lint_report_;
-  }
-
   const EngineConfig& config() const { return config_; }
   EngineConfig* mutable_config() { return &config_; }
 
  private:
-  common::Result<storage::Relation> ExecuteQuery(const sql::Query& query);
+  /// Runs one query statement, filling `stats`/`metrics` with the
+  /// execution's fixpoint statistics and cluster metrics (reset first).
+  common::Result<storage::Relation> ExecuteQuery(
+      const sql::Query& query, fixpoint::FixpointStats* stats,
+      dist::JobMetrics* metrics);
 
   EngineConfig config_;
   analysis::Catalog catalog_;
   std::map<std::string, storage::Relation> tables_;
-  fixpoint::FixpointStats last_stats_;
-  dist::JobMetrics last_metrics_;
-  lint::LintReport last_lint_report_;
 };
 
 }  // namespace rasql::engine

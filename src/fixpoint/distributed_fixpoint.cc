@@ -1,6 +1,7 @@
 #include "fixpoint/distributed_fixpoint.h"
 
 #include <algorithm>
+#include <mutex>
 #include <set>
 
 #include "common/check.h"
@@ -11,6 +12,7 @@
 #include "dist/set_rdd.h"
 #include "dist/shuffle.h"
 #include "runtime/stage_accumulators.h"
+#include "storage/row_range.h"
 
 namespace rasql::fixpoint {
 
@@ -161,6 +163,10 @@ class StepEvaluator {
         tables_(&tables),
         options_(options) {
     hash_cache_.resize(num_partitions);
+    hash_once_.reserve(num_partitions);
+    for (int p = 0; p < num_partitions; ++p) {
+      hash_once_.push_back(std::make_unique<std::once_flag>());
+    }
     sorted_cache_.resize(num_partitions);
     if (shape_.simple) {
       projector_ = std::make_unique<physical::ProjectionEvaluator>(
@@ -182,7 +188,8 @@ class StepEvaluator {
                                 const BaseBinding& base_binding) {
     if (shape_.simple && options_.join_algorithm ==
                              physical::JoinAlgorithm::kHash) {
-      return EvalFusedHash(delta, partition, base_binding);
+      return EvalFusedHash(delta, {0, delta.size()}, partition,
+                           base_binding);
     }
     if (shape_.simple &&
         options_.join_algorithm == physical::JoinAlgorithm::kSortMerge) {
@@ -191,8 +198,30 @@ class StepEvaluator {
     return EvalGeneric(delta, partition, base_binding);
   }
 
+  /// True when this step may be evaluated over delta sub-ranges whose
+  /// concatenation (in range order) equals the whole-delta output: the
+  /// fused hash path iterates the delta in row order against a per-
+  /// partition cached build side. Sort-merge re-sorts the delta and the
+  /// generic path hands the whole delta to the executor — neither is
+  /// range-decomposable, so they run as one whole-range sub-task.
+  bool DeltaSplittable() const {
+    return shape_.simple &&
+           options_.join_algorithm == physical::JoinAlgorithm::kHash;
+  }
+
+  /// Range form for morsel sub-tasks. Concurrent sub-tasks of the same
+  /// partition may call this; the per-partition hash-table build is
+  /// guarded by a once_flag and everything else is call-local.
+  Result<std::vector<Row>> Eval(const Relation& delta,
+                                storage::RowRange range, int partition,
+                                const BaseBinding& base_binding) {
+    RASQL_CHECK(DeltaSplittable());
+    return EvalFusedHash(delta, range, partition, base_binding);
+  }
+
  private:
   Result<std::vector<Row>> EvalFusedHash(const Relation& delta,
+                                         storage::RowRange range,
                                          int partition,
                                          const BaseBinding& base_binding) {
     const Relation* base =
@@ -202,11 +231,12 @@ class StepEvaluator {
                                     shape_.copart_table->table_name() + "'");
     }
     // Build the base-side hash table once per partition and reuse it in
-    // every iteration (the cached shuffle-hash join of App. D).
-    if (hash_cache_[partition] == nullptr) {
+    // every iteration (the cached shuffle-hash join of App. D). call_once
+    // because same-partition morsel sub-tasks may race to build it.
+    std::call_once(*hash_once_[partition], [&] {
       hash_cache_[partition] = std::make_unique<physical::JoinHashTable>(
           *base, shape_.copart_keys);
-    }
+    });
     const physical::JoinHashTable& table = *hash_cache_[partition];
 
     std::vector<Row> out;
@@ -216,7 +246,9 @@ class StepEvaluator {
     Row combined(ref_width + base_width);
     const int ref_at = shape_.ref_is_left ? 0 : base_width;
     const int base_at = shape_.ref_is_left ? ref_width : 0;
-    for (const Row& d : delta.rows()) {
+    const size_t end = std::min(range.end, delta.size());
+    for (size_t i = range.begin; i < end; ++i) {
+      const Row& d = delta.rows()[i];
       matches.clear();
       table.Probe(d, shape_.delta_keys, &matches);
       if (matches.empty()) continue;
@@ -342,6 +374,7 @@ class StepEvaluator {
   std::unique_ptr<physical::ProjectionEvaluator> projector_;
   std::unique_ptr<physical::PredicateEvaluator> predicate_;
   std::vector<std::unique_ptr<physical::JoinHashTable>> hash_cache_;
+  std::vector<std::unique_ptr<std::once_flag>> hash_once_;
   std::vector<std::vector<size_t>> sorted_cache_;
 };
 
@@ -754,7 +787,18 @@ Result<std::map<std::string, Relation>> EvaluateCliqueDistributed(
     // target. Map task p moves delta[p] out before any reduce task may
     // refill it (reduce p depends on all P map slices), so the pair is
     // safe to overlap. One channel is reused across iterations.
+    //
+    // With `runtime.morsel_rows > 0` the map stage instead goes through
+    // the split RunStage overload (DESIGN.md §10): each partition's delta
+    // is frozen driver-side, cut into (step, morsel) sub-tasks that
+    // evaluate into partition×sub-task-owned slots, and the per-partition
+    // finalize task concatenates the slots in (step, morsel) order — the
+    // exact row order of the unsplit evaluation — before aggregating and
+    // routing. A giant partition thus becomes several independently
+    // stealable tasks inside one stage, and modeled metrics stay
+    // split-invariant.
     ShuffleChannel exchange(P);
+    const size_t morsel_rows = cluster->runtime_options().morsel_rows;
     bool first_iteration = true;
     while (!deltas_empty()) {
       if (stats->iterations >= options.max_iterations) {
@@ -777,33 +821,121 @@ Result<std::map<std::string, Relation>> EvaluateCliqueDistributed(
       reduce_stage.kind = StageSpec::Kind::kShuffleReduce;
       reduce_stage.input_slices = &exchange;
       reduce_stage.counter = &delta_rows;
-      cluster->RunStagePair(
-          map_stage,
-          [&](TaskContext& ctx) {
-            const int p = ctx.partition();
-            ctx.ReportCachedState(copart_state_bytes(p));
-            ShuffleWrite write(P);
-            std::vector<Row> candidates;
-            Status s = eval_step_for_partition(p, &candidates);
-            if (!s.ok()) {
-              ctx.Fail(std::move(s));
-            } else {
-              candidates =
-                  dist::PartialAggregate(std::move(candidates), spec);
-              for (Row& row : candidates) {
-                write.Add(std::move(row), partitioning);
+      const dist::StageTask reduce_task = [&](TaskContext& ctx) {
+        const int p = ctx.partition();
+        ctx.ReportCachedState(all.partition(p)->byte_size());
+        std::vector<Row> incoming = ctx.ReadShuffle();
+        incoming = dist::PartialAggregate(std::move(incoming), spec);
+        all.partition(p)->MergeDelta(incoming, &delta[p]);
+        ctx.Count(delta[p].size());
+      };
+
+      if (morsel_rows == 0) {
+        cluster->RunStagePair(
+            map_stage,
+            [&](TaskContext& ctx) {
+              const int p = ctx.partition();
+              ctx.ReportCachedState(copart_state_bytes(p));
+              ShuffleWrite write(P);
+              std::vector<Row> candidates;
+              Status s = eval_step_for_partition(p, &candidates);
+              if (!s.ok()) {
+                ctx.Fail(std::move(s));
+              } else {
+                candidates =
+                    dist::PartialAggregate(std::move(candidates), spec);
+                for (Row& row : candidates) {
+                  write.Add(std::move(row), partitioning);
+                }
               }
+              ctx.WriteShuffle(std::move(write));
+            },
+            reduce_stage, reduce_task);
+      } else {
+        // Freeze the iteration's delta driver-side so sub-task ranges
+        // refer to stable storage; reduce refills delta[p] afterwards.
+        struct SubTask {
+          size_t step;
+          storage::RowRange range;
+        };
+        std::vector<Relation> frozen;
+        frozen.reserve(P);
+        for (int p = 0; p < P; ++p) {
+          frozen.emplace_back(view.schema, std::move(delta[p]));
+          delta[p].clear();
+        }
+        std::vector<std::vector<SubTask>> sub(P);
+        std::vector<std::vector<std::vector<Row>>> slots(P);
+        std::vector<std::vector<Status>> sub_status(P);
+        for (int p = 0; p < P; ++p) {
+          if (frozen[p].empty()) continue;
+          for (size_t s = 0; s < steps.size(); ++s) {
+            if (steps[s].DeltaSplittable()) {
+              for (storage::RowRange r :
+                   storage::SplitIntoMorsels(frozen[p].size(), morsel_rows)) {
+                sub[p].push_back({s, r});
+              }
+            } else {
+              // Not range-decomposable: one whole-delta sub-task.
+              sub[p].push_back({s, {0, frozen[p].size()}});
             }
-            ctx.WriteShuffle(std::move(write));
-          },
-          reduce_stage, [&](TaskContext& ctx) {
-            const int p = ctx.partition();
-            ctx.ReportCachedState(all.partition(p)->byte_size());
-            std::vector<Row> incoming = ctx.ReadShuffle();
-            incoming = dist::PartialAggregate(std::move(incoming), spec);
-            all.partition(p)->MergeDelta(incoming, &delta[p]);
-            ctx.Count(delta[p].size());
-          });
+          }
+          slots[p].resize(sub[p].size());
+          sub_status[p].resize(sub[p].size());
+        }
+        map_stage.split_tasks = [&sub](int p) {
+          return static_cast<int>(sub[p].size());
+        };
+        cluster->RunStage(
+            map_stage,
+            // Split sub-task: pure compute into its owned slot. It must
+            // not touch the TaskContext reporting calls (enforced by
+            // RASQL_CHECKs in TaskContext); errors land in its status
+            // slot for the finalize task to surface.
+            [&](TaskContext& ctx) {
+              const int p = ctx.partition();
+              const int j = ctx.split_index();
+              const SubTask& t = sub[p][j];
+              StepEvaluator& step = steps[t.step];
+              Result<std::vector<Row>> rows =
+                  step.DeltaSplittable()
+                      ? step.Eval(frozen[p], t.range, p, base_binding)
+                      : step.Eval(frozen[p], p, base_binding);
+              if (!rows.ok()) {
+                sub_status[p][j] = rows.status();
+              } else {
+                slots[p][j] = std::move(rows.value());
+              }
+            },
+            // Finalize: the only reporting task of the partition.
+            [&](TaskContext& ctx) {
+              const int p = ctx.partition();
+              ctx.ReportCachedState(copart_state_bytes(p));
+              ShuffleWrite write(P);
+              Status bad;
+              for (const Status& s : sub_status[p]) {
+                if (!s.ok()) {
+                  bad = s;
+                  break;
+                }
+              }
+              if (!bad.ok()) {
+                ctx.Fail(std::move(bad));
+              } else {
+                std::vector<Row> candidates;
+                for (std::vector<Row>& slot : slots[p]) {
+                  for (Row& row : slot) candidates.push_back(std::move(row));
+                }
+                candidates =
+                    dist::PartialAggregate(std::move(candidates), spec);
+                for (Row& row : candidates) {
+                  write.Add(std::move(row), partitioning);
+                }
+              }
+              ctx.WriteShuffle(std::move(write));
+            });
+        cluster->RunStage(reduce_stage, reduce_task);
+      }
       RASQL_RETURN_IF_ERROR(failure.First());
       stats->total_delta_rows += delta_rows.Total();
     }

@@ -7,8 +7,10 @@
 #include "dist/aggregates.h"
 #include "dist/partition.h"
 #include "dist/set_rdd.h"
+#include "physical/pipeline.h"
 #include "runtime/stage_accumulators.h"
 #include "runtime/thread_pool.h"
+#include "storage/row_range.h"
 
 namespace rasql::fixpoint {
 
@@ -80,6 +82,97 @@ ExecContext BaseContext(const std::map<std::string, const Relation*>& tables,
   ctx.use_codegen = options.use_codegen;
   ctx.join_algorithm = options.join_algorithm;
   return ctx;
+}
+
+/// One plan evaluation, morsel-splittable when it compiles to a fused
+/// pipeline (DESIGN.md §10). `make_context` binds the unit's recursive
+/// references; it is invoked at bind time (pipeline) or run time
+/// (interpreted fallback), so the relations it resolves must outlive the
+/// phase. After RunMorselUnits, `slots[m]` holds morsel m's output rows;
+/// concatenating the slots in order reproduces the whole-plan evaluation.
+struct MorselUnit {
+  const LogicalPlan* plan = nullptr;
+  std::function<ExecContext()> make_context;
+  std::optional<physical::BoundPipeline> pipeline;
+  std::vector<storage::RowRange> morsels;
+  std::vector<std::vector<Row>> slots;
+};
+
+/// Evaluates a batch of units on the pool in two flat phases (ParallelFor
+/// must not nest, so morsels are flattened into one task list rather than
+/// scheduled from inside a per-unit task):
+///   A. bind — compile + bind each unit's fused pipeline and split its
+///      driver into `options.runtime.morsel_rows`-sized RowRanges;
+///   B. run — every (unit, morsel) task evaluates independently into its
+///      own slot.
+/// Units that don't compile (pipeline breakers, probe steps under
+/// sort-merge) run as a single interpreted whole-plan task — their output
+/// is identical, just unsplit. The morsel decomposition depends only on
+/// driver sizes, so slots (and any ordered merge of them) are bit-identical
+/// for every thread count and morsel size.
+Status RunMorselUnits(std::vector<MorselUnit>* units,
+                      const FixpointOptions& options, ThreadPool* pool) {
+  const size_t morsel_rows = options.runtime.morsel_rows;
+  const int num_units = static_cast<int>(units->size());
+
+  // Phase A: bind. Pipelines are used regardless of use_codegen — the
+  // bound evaluators honor the flag, so rows and order match the
+  // interpreted oracle either way (executor_test pins this).
+  StageStatus bind_failure(std::max(num_units, 1));
+  pool->ParallelFor(num_units, [&](int u) {
+    MorselUnit& unit = (*units)[u];
+    std::optional<physical::PipelineProgram> program =
+        physical::PipelineProgram::Compile(*unit.plan);
+    if (program.has_value() &&
+        (!program->has_probe_steps() ||
+         options.join_algorithm == physical::JoinAlgorithm::kHash)) {
+      common::Result<physical::BoundPipeline> bound =
+          program->Bind(unit.make_context());
+      if (!bound.ok()) {
+        bind_failure.Fail(u, bound.status());
+        return;
+      }
+      unit.pipeline = std::move(*bound);
+      unit.morsels = storage::SplitIntoMorsels(unit.pipeline->driver_rows(),
+                                               morsel_rows);
+    } else {
+      unit.morsels = {storage::RowRange{}};  // one interpreted task
+    }
+  });
+  RASQL_RETURN_IF_ERROR(bind_failure.First());
+
+  // Phase B: flattened (unit, morsel) tasks.
+  size_t total = 0;
+  for (MorselUnit& unit : *units) {
+    unit.slots.resize(unit.morsels.size());
+    total += unit.morsels.size();
+  }
+  std::vector<std::pair<int, int>> task_of;
+  task_of.reserve(total);
+  for (int u = 0; u < num_units; ++u) {
+    for (size_t m = 0; m < (*units)[u].morsels.size(); ++m) {
+      task_of.emplace_back(u, static_cast<int>(m));
+    }
+  }
+  StageStatus failure(std::max<int>(static_cast<int>(total), 1));
+  pool->ParallelFor(static_cast<int>(total), [&](int i) {
+    if (failure.aborted()) return;
+    const auto [u, m] = task_of[i];
+    MorselUnit& unit = (*units)[u];
+    if (unit.pipeline.has_value()) {
+      Status s = unit.pipeline->Run(unit.morsels[m], &unit.slots[m]);
+      if (!s.ok()) failure.Fail(i, std::move(s));
+      return;
+    }
+    common::Result<Relation> rel =
+        physical::Execute(*unit.plan, unit.make_context());
+    if (!rel.ok()) {
+      failure.Fail(i, rel.status());
+      return;
+    }
+    unit.slots[m] = std::move(rel->mutable_rows());
+  });
+  return failure.First();
 }
 
 /// Semi-naive evaluation of a single-view clique (paper Alg. 3 extended
@@ -176,33 +269,50 @@ Result<std::map<std::string, Relation>> EvaluateSemiNaive(
     Relation all_rel;
     if (needs_all) all_rel = state.Collect();
 
-    // Map phase: task p evaluates every semi-naive term against delta
-    // slice p (read-only sharing of `all_rel` and the base tables) and
-    // routes each produced row to the partition owning its key.
+    // Map phase: one morsel unit per (non-empty partition, semi-naive
+    // term), with read-only sharing of `all_rel` and the base tables.
+    // RunMorselUnits binds each unit's fused pipeline and evaluates its
+    // driver morsels as independent tasks, so a skewed partition's work
+    // spreads across threads instead of serializing the iteration.
     std::vector<ShuffleWrite> writes(P, ShuffleWrite(P));
-    std::vector<size_t> plans_run(P, 0);
-    StageStatus failure(P);
-    pool->ParallelFor(P, [&](int p) {
-      if (delta_rel[p].rows().empty() || failure.aborted()) return;
+    std::vector<MorselUnit> units;
+    std::vector<size_t> unit_begin(P + 1, 0);
+    for (int p = 0; p < P; ++p) {
+      unit_begin[p] = units.size();
+      if (delta_rel[p].rows().empty()) continue;
       for (const Term& term : terms) {
-        ExecContext ctx = base_ctx;
-        ctx.recursive_resolver =
-            [&](const RecursiveRefNode& ref) -> const Relation* {
-          return ref.ordinal() == term.ordinal ? &delta_rel[p] : &all_rel;
+        MorselUnit unit;
+        unit.plan = term.plan;
+        unit.make_context = [&base_ctx, &delta_rel_p = delta_rel[p],
+                             &all_rel, ordinal = term.ordinal]() {
+          ExecContext ctx = base_ctx;
+          ctx.recursive_resolver =
+              [&delta_rel_p, &all_rel,
+               ordinal](const RecursiveRefNode& ref) -> const Relation* {
+            return ref.ordinal() == ordinal ? &delta_rel_p : &all_rel;
+          };
+          return ctx;
         };
-        Result<Relation> rel = physical::Execute(*term.plan, ctx);
-        if (!rel.ok()) {
-          failure.Fail(p, rel.status());
-          return;
-        }
-        ++plans_run[p];
-        for (Row& row : rel->mutable_rows()) {
-          writes[p].Add(std::move(row), partitioning);
+        units.push_back(std::move(unit));
+      }
+    }
+    unit_begin[P] = units.size();
+    RASQL_RETURN_IF_ERROR(RunMorselUnits(&units, options, pool));
+    stats->plan_executions += units.size();
+
+    // Merge phase: partition p routes its units' slots in (term, morsel)
+    // order — exactly the order the unsplit evaluation produced rows, so
+    // ShuffleWrite contents (and everything downstream) are bit-identical
+    // at any morsel size.
+    pool->ParallelFor(P, [&](int p) {
+      for (size_t u = unit_begin[p]; u < unit_begin[p + 1]; ++u) {
+        for (std::vector<Row>& slot : units[u].slots) {
+          for (Row& row : slot) {
+            writes[p].Add(std::move(row), partitioning);
+          }
         }
       }
     });
-    RASQL_RETURN_IF_ERROR(failure.First());
-    for (size_t n : plans_run) stats->plan_executions += n;
 
     // Reduce phase: partition p gathers the slices addressed to it in
     // ascending producer order, pre-aggregates (one candidate per key, so
@@ -276,35 +386,37 @@ Result<std::map<std::string, Relation>> EvaluateNaive(
     }
     ++stats->iterations;
 
-    // All branches read the same frozen X_n; each writes only its slot.
-    ExecContext ctx = base_ctx;
-    ctx.recursive_resolver =
-        [&](const RecursiveRefNode& ref) -> const Relation* {
-      auto it = state.find(ref.view_name());
-      return it == state.end() ? nullptr : &it->second;
+    // All branches read the same frozen X_n; each unit writes only its
+    // slots. Branches whose driver is large split into morsels, so one
+    // heavy branch no longer pins the iteration to a single thread.
+    auto make_naive_context = [&base_ctx, &state]() {
+      ExecContext ctx = base_ctx;
+      ctx.recursive_resolver =
+          [&state](const RecursiveRefNode& ref) -> const Relation* {
+        auto it = state.find(ref.view_name());
+        return it == state.end() ? nullptr : &it->second;
+      };
+      return ctx;
     };
-    std::vector<std::vector<Row>> slots(tasks.size());
-    StageStatus failure(std::max(T, 1));
-    pool->ParallelFor(T, [&](int t) {
-      if (failure.aborted()) return;
-      Result<Relation> rel = physical::Execute(*tasks[t].plan, ctx);
-      if (!rel.ok()) {
-        failure.Fail(t, rel.status());
-        return;
-      }
-      slots[t] = std::move(rel->mutable_rows());
-    });
-    RASQL_RETURN_IF_ERROR(failure.First());
+    std::vector<MorselUnit> units(tasks.size());
+    for (int t = 0; t < T; ++t) {
+      units[t].plan = tasks[t].plan;
+      units[t].make_context = make_naive_context;
+    }
+    RASQL_RETURN_IF_ERROR(RunMorselUnits(&units, options, pool));
     stats->plan_executions += tasks.size();
 
-    // Per view: base rows + branch slots in declaration order, then the
-    // canonical aggregated+sorted form — independent views in parallel.
+    // Per view: base rows + branch slots in declaration order (morsels in
+    // order within a branch), then the canonical aggregated+sorted form —
+    // independent views in parallel.
     std::vector<Relation> next(clique.views.size());
     pool->ParallelFor(static_cast<int>(clique.views.size()), [&](int vi) {
       std::vector<Row> candidates = base_rows[vi];
       for (size_t t = 0; t < tasks.size(); ++t) {
         if (tasks[t].view_index != static_cast<size_t>(vi)) continue;
-        for (Row& row : slots[t]) candidates.push_back(std::move(row));
+        for (std::vector<Row>& slot : units[t].slots) {
+          for (Row& row : slot) candidates.push_back(std::move(row));
+        }
       }
       Relation rel(clique.views[vi].schema, std::move(candidates));
       next[vi] =

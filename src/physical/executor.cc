@@ -7,6 +7,7 @@
 
 #include "common/check.h"
 #include "expr/compiled_expr.h"
+#include "physical/pipeline.h"
 
 namespace rasql::physical {
 
@@ -84,17 +85,10 @@ PredicateEvaluator::PredicateEvaluator(const expr::Expr& predicate,
 
 namespace {
 
-/// Either a borrowed pointer into the context (scans) or an owned
-/// materialized intermediate. Avoids copying base relations on every scan.
-struct ExecResult {
-  const Relation* rel = nullptr;
-  std::unique_ptr<Relation> owned;
-};
+Result<BorrowedRelation> Exec(const LogicalPlan& node, const ExecContext& ctx);
 
-Result<ExecResult> Exec(const LogicalPlan& node, const ExecContext& ctx);
-
-ExecResult Own(Relation rel) {
-  ExecResult r;
+BorrowedRelation Own(Relation rel) {
+  BorrowedRelation r;
   r.owned = std::make_unique<Relation>(std::move(rel));
   r.rel = r.owned.get();
   return r;
@@ -108,19 +102,19 @@ Row ConcatRows(const Row& left, const Row& right) {
   return out;
 }
 
-Result<ExecResult> ExecTableScan(const plan::TableScanNode& node,
+Result<BorrowedRelation> ExecTableScan(const plan::TableScanNode& node,
                                  const ExecContext& ctx) {
   auto it = ctx.tables.find(node.table_name());
   if (it == ctx.tables.end() || it->second == nullptr) {
     return Status::ExecutionError("no data bound for table '" +
                                   node.table_name() + "'");
   }
-  ExecResult r;
+  BorrowedRelation r;
   r.rel = it->second;
   return r;
 }
 
-Result<ExecResult> ExecRecursiveRef(const plan::RecursiveRefNode& node,
+Result<BorrowedRelation> ExecRecursiveRef(const plan::RecursiveRefNode& node,
                                     const ExecContext& ctx) {
   if (!ctx.recursive_resolver) {
     return Status::ExecutionError(
@@ -132,15 +126,15 @@ Result<ExecResult> ExecRecursiveRef(const plan::RecursiveRefNode& node,
     return Status::ExecutionError("recursive resolver returned null for '" +
                                   node.view_name() + "'");
   }
-  ExecResult r;
+  BorrowedRelation r;
   r.rel = rel;
   return r;
 }
 
-Result<ExecResult> ExecJoinGeneric(const plan::JoinNode& node,
+Result<BorrowedRelation> ExecJoinGeneric(const plan::JoinNode& node,
                                    const ExecContext& ctx) {
-  RASQL_ASSIGN_OR_RETURN(ExecResult left, Exec(node.child(0), ctx));
-  RASQL_ASSIGN_OR_RETURN(ExecResult right, Exec(node.child(1), ctx));
+  RASQL_ASSIGN_OR_RETURN(BorrowedRelation left, Exec(node.child(0), ctx));
+  RASQL_ASSIGN_OR_RETURN(BorrowedRelation right, Exec(node.child(1), ctx));
 
   Relation out(node.schema());
   if (node.is_cross()) {
@@ -224,9 +218,9 @@ Result<ExecResult> ExecJoinGeneric(const plan::JoinNode& node,
   return Own(std::move(out));
 }
 
-Result<ExecResult> ExecFilter(const plan::FilterNode& node,
+Result<BorrowedRelation> ExecFilter(const plan::FilterNode& node,
                               const ExecContext& ctx) {
-  RASQL_ASSIGN_OR_RETURN(ExecResult child, Exec(node.child(0), ctx));
+  RASQL_ASSIGN_OR_RETURN(BorrowedRelation child, Exec(node.child(0), ctx));
   PredicateEvaluator predicate(node.predicate(), ctx.use_codegen);
   Relation out(node.schema());
   for (const Row& row : child.rel->rows()) {
@@ -235,51 +229,15 @@ Result<ExecResult> ExecFilter(const plan::FilterNode& node,
   return Own(std::move(out));
 }
 
-/// Fused Project(Filter(X)) and Project(Join(X, Y)) pipelines — the
-/// whole-stage-codegen analogue: one pass, no materialized intermediate.
-Result<ExecResult> ExecProject(const plan::ProjectNode& node,
+/// Interpreted projection over a materialized child. Fused chains never
+/// reach here on the codegen path — Exec() routes them through the
+/// PipelineProgram compiler (which subsumed the old ad-hoc
+/// Project(Filter(X)) / Project(Join(X, Y)) special cases).
+Result<BorrowedRelation> ExecProject(const plan::ProjectNode& node,
                                const ExecContext& ctx) {
   ProjectionEvaluator projector(node.exprs(), ctx.use_codegen);
   Relation out(node.schema());
-
-  const LogicalPlan& child = node.child(0);
-  if (ctx.use_codegen && child.kind() == PlanKind::kFilter) {
-    const auto& filter = static_cast<const plan::FilterNode&>(child);
-    RASQL_ASSIGN_OR_RETURN(ExecResult input, Exec(filter.child(0), ctx));
-    PredicateEvaluator predicate(filter.predicate(), ctx.use_codegen);
-    for (const Row& row : input.rel->rows()) {
-      if (predicate.Eval(row)) out.Add(projector.Eval(row));
-    }
-    return Own(std::move(out));
-  }
-  if (ctx.use_codegen && child.kind() == PlanKind::kJoin &&
-      ctx.join_algorithm == JoinAlgorithm::kHash) {
-    const auto& join = static_cast<const plan::JoinNode&>(child);
-    if (!join.is_cross()) {
-      RASQL_ASSIGN_OR_RETURN(ExecResult left, Exec(join.child(0), ctx));
-      RASQL_ASSIGN_OR_RETURN(ExecResult right, Exec(join.child(1), ctx));
-      JoinHashTable table(*right.rel, join.right_keys());
-      std::vector<int> matches;
-      Row combined;
-      const size_t left_width = join.child(0).schema().num_columns();
-      const size_t right_width = join.child(1).schema().num_columns();
-      combined.resize(left_width + right_width);
-      for (const Row& l : left.rel->rows()) {
-        matches.clear();
-        table.Probe(l, join.left_keys(), &matches);
-        if (matches.empty()) continue;
-        std::copy(l.begin(), l.end(), combined.begin());
-        for (int m : matches) {
-          const Row& r = right.rel->rows()[m];
-          std::copy(r.begin(), r.end(), combined.begin() + left_width);
-          out.Add(projector.Eval(combined));
-        }
-      }
-      return Own(std::move(out));
-    }
-  }
-
-  RASQL_ASSIGN_OR_RETURN(ExecResult input, Exec(child, ctx));
+  RASQL_ASSIGN_OR_RETURN(BorrowedRelation input, Exec(node.child(0), ctx));
   out.Reserve(input.rel->size());
   for (const Row& row : input.rel->rows()) {
     out.Add(projector.Eval(row));
@@ -287,9 +245,9 @@ Result<ExecResult> ExecProject(const plan::ProjectNode& node,
   return Own(std::move(out));
 }
 
-Result<ExecResult> ExecAggregate(const plan::AggregateNode& node,
+Result<BorrowedRelation> ExecAggregate(const plan::AggregateNode& node,
                                  const ExecContext& ctx) {
-  RASQL_ASSIGN_OR_RETURN(ExecResult input, Exec(node.child(0), ctx));
+  RASQL_ASSIGN_OR_RETURN(BorrowedRelation input, Exec(node.child(0), ctx));
 
   const std::vector<expr::ExprPtr>& group_exprs = node.group_exprs();
   const std::vector<plan::AggregateItem>& items = node.items();
@@ -379,9 +337,9 @@ Result<ExecResult> ExecAggregate(const plan::AggregateNode& node,
   return Own(std::move(out));
 }
 
-Result<ExecResult> ExecSort(const plan::SortNode& node,
+Result<BorrowedRelation> ExecSort(const plan::SortNode& node,
                             const ExecContext& ctx) {
-  RASQL_ASSIGN_OR_RETURN(ExecResult input, Exec(node.child(0), ctx));
+  RASQL_ASSIGN_OR_RETURN(BorrowedRelation input, Exec(node.child(0), ctx));
   Relation out = *input.rel;  // copy, then sort in place
   std::stable_sort(
       out.mutable_rows().begin(), out.mutable_rows().end(),
@@ -395,7 +353,25 @@ Result<ExecResult> ExecSort(const plan::SortNode& node,
   return Own(std::move(out));
 }
 
-Result<ExecResult> Exec(const LogicalPlan& node, const ExecContext& ctx) {
+Result<BorrowedRelation> Exec(const LogicalPlan& node, const ExecContext& ctx) {
+  // Whole-stage fusion (codegen path): compile the filter/probe/project
+  // chain rooted here into one pipeline and run it over the full driver —
+  // no per-node intermediates. Probe steps reproduce the *hash* join's
+  // row order, so a sort-merge context only fuses probe-free chains; the
+  // interpreted tree walk below stays the oracle either way.
+  if (ctx.use_codegen &&
+      (node.kind() == PlanKind::kProject || node.kind() == PlanKind::kFilter ||
+       node.kind() == PlanKind::kJoin)) {
+    std::optional<PipelineProgram> program = PipelineProgram::Compile(node);
+    if (program.has_value() &&
+        (!program->has_probe_steps() ||
+         ctx.join_algorithm == JoinAlgorithm::kHash)) {
+      RASQL_ASSIGN_OR_RETURN(BoundPipeline pipeline, program->Bind(ctx));
+      Relation out(node.schema());
+      RASQL_RETURN_IF_ERROR(pipeline.RunAll(&out.mutable_rows()));
+      return Own(std::move(out));
+    }
+  }
   switch (node.kind()) {
     case PlanKind::kTableScan:
       return ExecTableScan(static_cast<const plan::TableScanNode&>(node),
@@ -420,7 +396,7 @@ Result<ExecResult> Exec(const LogicalPlan& node, const ExecContext& ctx) {
       return ExecSort(static_cast<const plan::SortNode&>(node), ctx);
     case PlanKind::kLimit: {
       const auto& limit = static_cast<const plan::LimitNode&>(node);
-      RASQL_ASSIGN_OR_RETURN(ExecResult input, Exec(node.child(0), ctx));
+      RASQL_ASSIGN_OR_RETURN(BorrowedRelation input, Exec(node.child(0), ctx));
       Relation out(node.schema());
       const size_t n = std::min<size_t>(input.rel->size(),
                                         static_cast<size_t>(limit.limit()));
@@ -435,9 +411,14 @@ Result<ExecResult> Exec(const LogicalPlan& node, const ExecContext& ctx) {
 }  // namespace
 
 Result<Relation> Execute(const LogicalPlan& plan, const ExecContext& ctx) {
-  RASQL_ASSIGN_OR_RETURN(ExecResult result, Exec(plan, ctx));
+  RASQL_ASSIGN_OR_RETURN(BorrowedRelation result, Exec(plan, ctx));
   if (result.owned) return std::move(*result.owned);
   return *result.rel;  // borrowed: copy out
+}
+
+Result<BorrowedRelation> ExecuteBorrowed(const LogicalPlan& plan,
+                                         const ExecContext& ctx) {
+  return Exec(plan, ctx);
 }
 
 }  // namespace rasql::physical

@@ -3,6 +3,7 @@
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 
 #include <optional>
@@ -46,6 +47,21 @@ struct ExecContext {
 /// materialized result.
 common::Result<storage::Relation> Execute(const plan::LogicalPlan& plan,
                                           const ExecContext& context);
+
+/// Either a borrowed pointer into the context (scans, recursive refs) or an
+/// owned materialized intermediate. `rel` always points at the result;
+/// `owned` is set only when this evaluation materialized it. The pointer is
+/// stable under moves of the struct.
+struct BorrowedRelation {
+  const storage::Relation* rel = nullptr;
+  std::unique_ptr<storage::Relation> owned;
+};
+
+/// Like Execute, but leaf plans resolve to a borrowed pointer instead of a
+/// copy. Used by the pipeline compiler for build sides and drivers; the
+/// context-owned relations must outlive the result.
+common::Result<BorrowedRelation> ExecuteBorrowed(const plan::LogicalPlan& plan,
+                                                 const ExecContext& context);
 
 /// Evaluates a projection list row-by-row, using compiled expression
 /// programs where possible (the codegen fast path).

@@ -1,0 +1,167 @@
+#include "physical/pipeline.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace rasql::physical {
+
+using common::Result;
+using common::Status;
+using plan::LogicalPlan;
+using plan::PlanKind;
+using storage::Relation;
+using storage::Row;
+using storage::RowRange;
+
+std::optional<PipelineProgram> PipelineProgram::Compile(
+    const LogicalPlan& plan) {
+  PipelineProgram program;
+  // Walk the left spine root-to-leaf, collecting steps in reverse.
+  std::vector<Step> reversed;
+  const LogicalPlan* node = &plan;
+  while (true) {
+    switch (node->kind()) {
+      case PlanKind::kProject: {
+        Step step;
+        step.kind = Step::Kind::kProject;
+        step.project = static_cast<const plan::ProjectNode*>(node);
+        reversed.push_back(step);
+        node = &node->child(0);
+        break;
+      }
+      case PlanKind::kFilter: {
+        Step step;
+        step.kind = Step::Kind::kFilter;
+        step.filter = static_cast<const plan::FilterNode*>(node);
+        reversed.push_back(step);
+        node = &node->child(0);
+        break;
+      }
+      case PlanKind::kJoin: {
+        const auto& join = static_cast<const plan::JoinNode&>(*node);
+        if (join.is_cross()) return std::nullopt;
+        Step step;
+        step.kind = Step::Kind::kHashProbe;
+        step.join = &join;
+        reversed.push_back(step);
+        ++program.num_probe_steps_;
+        node = &node->child(0);
+        break;
+      }
+      case PlanKind::kTableScan:
+      case PlanKind::kRecursiveRef:
+      case PlanKind::kValues:
+        // A bare leaf has nothing to fuse; let the tree walk resolve it.
+        if (reversed.empty()) return std::nullopt;
+        program.driver_ = node;
+        std::reverse(reversed.begin(), reversed.end());
+        program.steps_ = std::move(reversed);
+        return program;
+      default:
+        // Aggregate / Sort / Limit are pipeline breakers.
+        return std::nullopt;
+    }
+  }
+}
+
+Result<BoundPipeline> PipelineProgram::Bind(const ExecContext& ctx) const {
+  RASQL_CHECK(driver_ != nullptr);
+  BoundPipeline bound;
+
+  // Resolve the driver. VALUES drivers own a materialized copy; scans and
+  // recursive refs borrow from the context.
+  if (driver_->kind() == PlanKind::kValues) {
+    const auto& values = static_cast<const plan::ValuesNode&>(*driver_);
+    bound.driver_.owned =
+        std::make_unique<Relation>(values.schema(), values.rows());
+    bound.driver_.rel = bound.driver_.owned.get();
+  } else {
+    RASQL_ASSIGN_OR_RETURN(bound.driver_, ExecuteBorrowed(*driver_, ctx));
+  }
+
+  bound.steps_.reserve(steps_.size());
+  for (const Step& step : steps_) {
+    BoundPipeline::BoundStep bs;
+    bs.kind = step.kind;
+    switch (step.kind) {
+      case Step::Kind::kFilter:
+        bs.predicate.emplace(step.filter->predicate(), ctx.use_codegen);
+        break;
+      case Step::Kind::kProject:
+        bs.projector.emplace(step.project->exprs(), ctx.use_codegen);
+        break;
+      case Step::Kind::kHashProbe: {
+        RASQL_ASSIGN_OR_RETURN(bs.build,
+                               ExecuteBorrowed(step.join->child(1), ctx));
+        bs.table.emplace(*bs.build.rel, step.join->right_keys());
+        bs.probe_keys = step.join->left_keys();
+        bs.left_width = step.join->child(0).schema().num_columns();
+        bs.right_width = step.join->child(1).schema().num_columns();
+        break;
+      }
+    }
+    bound.steps_.push_back(std::move(bs));
+  }
+  return bound;
+}
+
+void BoundPipeline::PushRow(const Row& row, size_t step,
+                            std::vector<ProbeScratch>* scratch,
+                            std::vector<Row>* sink) const {
+  if (step == steps_.size()) {
+    sink->push_back(row);
+    return;
+  }
+  const BoundStep& bs = steps_[step];
+  switch (bs.kind) {
+    case PipelineProgram::Step::Kind::kFilter:
+      if (bs.predicate->Eval(row)) PushRow(row, step + 1, scratch, sink);
+      return;
+    case PipelineProgram::Step::Kind::kProject: {
+      Row projected = bs.projector->Eval(row);
+      if (step + 1 == steps_.size()) {
+        sink->push_back(std::move(projected));
+      } else {
+        PushRow(projected, step + 1, scratch, sink);
+      }
+      return;
+    }
+    case PipelineProgram::Step::Kind::kHashProbe: {
+      ProbeScratch& ps = (*scratch)[step];
+      ps.matches.clear();
+      bs.table->Probe(row, bs.probe_keys, &ps.matches);
+      if (ps.matches.empty()) return;
+      // Fill the left half once per input row, the right half per match.
+      // Deeper steps never retain a reference to the scratch row, so it is
+      // safe to reuse it across matches.
+      std::copy(row.begin(), row.end(), ps.combined.begin());
+      for (int m : ps.matches) {
+        const Row& b = bs.build.rel->rows()[m];
+        std::copy(b.begin(), b.end(), ps.combined.begin() + bs.left_width);
+        PushRow(ps.combined, step + 1, scratch, sink);
+      }
+      return;
+    }
+  }
+}
+
+Status BoundPipeline::Run(RowRange range, std::vector<Row>* sink) const {
+  const std::vector<Row>& rows = driver_.rel->rows();
+  const size_t end = std::min(range.end, rows.size());
+
+  std::vector<ProbeScratch> scratch(steps_.size());
+  for (size_t s = 0; s < steps_.size(); ++s) {
+    if (steps_[s].kind == PipelineProgram::Step::Kind::kHashProbe) {
+      scratch[s].combined.resize(steps_[s].left_width +
+                                 steps_[s].right_width);
+    }
+  }
+  for (size_t i = range.begin; i < end; ++i) {
+    PushRow(rows[i], 0, &scratch, sink);
+  }
+  return Status::OK();
+}
+
+}  // namespace rasql::physical

@@ -1,0 +1,121 @@
+#ifndef RASQL_PHYSICAL_PIPELINE_H_
+#define RASQL_PHYSICAL_PIPELINE_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "physical/executor.h"
+#include "plan/logical_plan.h"
+#include "storage/relation.h"
+#include "storage/row_range.h"
+
+namespace rasql::physical {
+
+class BoundPipeline;
+
+/// A fused operator pipeline compiled from the left spine of a logical
+/// plan: a driving leaf (table scan / recursive ref / VALUES) followed by
+/// filter, hash-join-probe and project steps that push each driver row
+/// through to a sink — the whole-stage-codegen analogue (paper Sec. 7.3),
+/// generalized from the executor's old ad-hoc Project(Filter(X)) /
+/// Project(Join(X, Y)) special cases. Join nodes contribute their *right*
+/// child as a materialized build side; the left child stays on the spine,
+/// so the driver is the leftmost leaf and the pipeline is linear in it.
+///
+/// Compilation is context-free (plan shape only) and cheap; do it once per
+/// plan and Bind() per evaluation context. The interpreted tree walk in
+/// executor.cc remains the oracle: for any plan the pipeline produces the
+/// same rows in the same order (probe-major driver order, build matches in
+/// JoinHashTable::Probe order — exactly the tree walk's hash-join order).
+class PipelineProgram {
+ public:
+  /// Returns the compiled pipeline, or nullopt when the plan is not a
+  /// fusable chain (cross joins, aggregates/sorts/limits on the spine, or
+  /// a bare leaf with no steps to fuse).
+  static std::optional<PipelineProgram> Compile(const plan::LogicalPlan& plan);
+
+  /// Resolves the driver and build sides against `ctx`, builds the join
+  /// hash tables and expression evaluators. The returned pipeline borrows
+  /// relations owned by `ctx` (and the plan), so both must outlive it; it
+  /// does not retain `ctx` itself.
+  common::Result<BoundPipeline> Bind(const ExecContext& ctx) const;
+
+  /// True when the pipeline contains at least one join probe. Probe steps
+  /// replicate the tree walk's *hash* join order; callers running under
+  /// sort-merge must fall back to the tree walk when this is set.
+  bool has_probe_steps() const { return num_probe_steps_ > 0; }
+  const plan::LogicalPlan& driver() const { return *driver_; }
+  size_t num_steps() const { return steps_.size(); }
+
+ private:
+  friend class BoundPipeline;
+  struct Step {
+    enum class Kind { kFilter, kProject, kHashProbe };
+    Kind kind;
+    const plan::FilterNode* filter = nullptr;
+    const plan::ProjectNode* project = nullptr;
+    const plan::JoinNode* join = nullptr;  ///< probe; build = right child
+  };
+  const plan::LogicalPlan* driver_ = nullptr;
+  std::vector<Step> steps_;  ///< driver-to-root order
+  int num_probe_steps_ = 0;
+};
+
+/// A PipelineProgram bound to one evaluation context: driver and build
+/// relations resolved, hash tables built, expressions compiled. Run() is
+/// const and carries its working state on the caller's stack, so one
+/// BoundPipeline may be shared by concurrent morsel tasks evaluating
+/// disjoint RowRanges of the same driver.
+class BoundPipeline {
+ public:
+  BoundPipeline() = default;
+  BoundPipeline(BoundPipeline&&) = default;
+  BoundPipeline& operator=(BoundPipeline&&) = default;
+
+  size_t driver_rows() const { return driver_.rel->size(); }
+
+  /// Pushes driver rows [range.begin, min(range.end, driver_rows())) through
+  /// every step, appending produced rows to `*sink`. Output order is the
+  /// driver order restricted to the range: concatenating the sinks of a
+  /// morsel split in morsel order equals one whole-driver Run.
+  common::Status Run(storage::RowRange range,
+                     std::vector<storage::Row>* sink) const;
+
+  /// Whole-driver evaluation.
+  common::Status RunAll(std::vector<storage::Row>* sink) const {
+    return Run(storage::RowRange{0, driver_rows()}, sink);
+  }
+
+ private:
+  friend class PipelineProgram;
+  struct BoundStep {
+    PipelineProgram::Step::Kind kind;
+    std::optional<PredicateEvaluator> predicate;  // kFilter
+    std::optional<ProjectionEvaluator> projector;  // kProject
+    // kHashProbe: materialized build side + its hash table. The table
+    // points into `build.rel`, which is stable under moves (borrowed
+    // context relation or heap-owned intermediate).
+    BorrowedRelation build;
+    std::optional<JoinHashTable> table;
+    std::vector<int> probe_keys;
+    size_t left_width = 0;
+    size_t right_width = 0;
+  };
+  /// Per-Run scratch, allocated on the caller's stack (thread safety).
+  struct ProbeScratch {
+    storage::Row combined;
+    std::vector<int> matches;
+  };
+
+  void PushRow(const storage::Row& row, size_t step,
+               std::vector<ProbeScratch>* scratch,
+               std::vector<storage::Row>* sink) const;
+
+  BorrowedRelation driver_;
+  std::vector<BoundStep> steps_;
+};
+
+}  // namespace rasql::physical
+
+#endif  // RASQL_PHYSICAL_PIPELINE_H_

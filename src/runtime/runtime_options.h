@@ -1,6 +1,8 @@
 #ifndef RASQL_RUNTIME_RUNTIME_OPTIONS_H_
 #define RASQL_RUNTIME_RUNTIME_OPTIONS_H_
 
+#include <cstddef>
+
 namespace rasql::runtime {
 
 /// Configuration of the real task-execution runtime that sits *under* the
@@ -33,6 +35,16 @@ struct RuntimeOptions {
   /// model still runs post-barrier in partition order, DESIGN.md §8); only
   /// wall-clock changes. No effect with one thread.
   bool async_shuffle = false;
+
+  /// Morsel size for splittable pipeline work (DESIGN.md §10): both
+  /// fixpoint paths cut each partition's delta into `[begin, end)` row
+  /// ranges of at most this many rows and evaluate them as independent
+  /// tasks, so one giant partition no longer serializes an iteration.
+  /// 0 (default) = whole-partition morsels, the pre-morsel task shape.
+  /// Results, FixpointStats and modeled JobMetrics are bit-identical for
+  /// every value: per-morsel sinks are merged in morsel order and the cost
+  /// model keeps consuming one partition-ordered report per partition.
+  size_t morsel_rows = 0;
 
   /// `num_threads` with the auto-detect value resolved; always >= 1.
   int ResolvedThreads() const;

@@ -13,19 +13,112 @@ using common::Status;
 
 namespace {
 
-std::vector<std::string> SplitLine(const std::string& line, char delimiter) {
-  std::vector<std::string> cells;
-  std::string cell;
-  for (char c : line) {
-    if (c == delimiter) {
-      cells.push_back(std::move(cell));
-      cell.clear();
-    } else if (c != '\r') {
-      cell += c;
+/// One parsed cell: its unescaped text plus whether it was quoted in the
+/// source. Quoting matters twice downstream: a quoted cell is always a
+/// string (never re-inferred as a number), and a quoted empty cell is the
+/// empty string while an unquoted empty cell is NULL.
+struct Cell {
+  std::string text;
+  bool quoted = false;
+};
+
+/// Splits `text` into records of cells, honoring RFC 4180 quoting: a cell
+/// starting with '"' runs to the matching closing quote, with embedded
+/// delimiters and newlines taken literally and '""' unescaping to '"'.
+/// Blank lines and comment lines are skipped, but only at record start —
+/// a '#' inside a quoted cell is data. Works character-by-character
+/// because line-based splitting would break cells with embedded newlines.
+Result<std::vector<std::vector<Cell>>> SplitRecords(
+    const std::string& text, const CsvOptions& options,
+    std::vector<int>* record_lines) {
+  std::vector<std::vector<Cell>> records;
+  const size_t n = text.size();
+  size_t i = 0;
+  int line = 1;
+  while (i < n) {
+    // Between records: skip blank lines (and stray CRs).
+    if (text[i] == '\n') {
+      ++line;
+      ++i;
+      continue;
     }
+    if (text[i] == '\r') {
+      ++i;
+      continue;
+    }
+    if (options.comment != '\0' && text[i] == options.comment) {
+      while (i < n && text[i] != '\n') ++i;
+      continue;
+    }
+
+    std::vector<Cell> record;
+    Cell cell;
+    bool in_quotes = false;
+    bool closed_quote = false;  // cell ended with a closing quote
+    const int record_line = line;
+    while (true) {
+      if (i == n) {
+        if (in_quotes) {
+          return Status::InvalidArgument(
+              "CSV line " + std::to_string(record_line) +
+              ": unterminated quoted cell");
+        }
+        record.push_back(std::move(cell));
+        break;
+      }
+      const char c = text[i];
+      if (in_quotes) {
+        if (c == '"') {
+          if (i + 1 < n && text[i + 1] == '"') {
+            cell.text += '"';
+            i += 2;
+          } else {
+            in_quotes = false;
+            closed_quote = true;
+            ++i;
+          }
+        } else {
+          if (c == '\n') ++line;
+          cell.text += c;
+          ++i;
+        }
+        continue;
+      }
+      if (c == options.delimiter) {
+        record.push_back(std::move(cell));
+        cell = Cell{};
+        closed_quote = false;
+        ++i;
+        continue;
+      }
+      if (c == '\n') {
+        ++line;
+        ++i;
+        record.push_back(std::move(cell));
+        break;
+      }
+      if (c == '\r') {  // stripped outside quotes (CRLF line endings)
+        ++i;
+        continue;
+      }
+      if (c == '"' && cell.text.empty() && !cell.quoted) {
+        cell.quoted = true;
+        in_quotes = true;
+        ++i;
+        continue;
+      }
+      if (closed_quote) {
+        return Status::InvalidArgument(
+            "CSV line " + std::to_string(record_line) +
+            ": unexpected character after closing quote");
+      }
+      cell.text += c;  // a quote mid-cell is taken literally
+      ++i;
+    }
+    records.push_back(std::move(record));
+    if (record_lines != nullptr) record_lines->push_back(record_line);
   }
-  cells.push_back(std::move(cell));
-  return cells;
+  return records;
 }
 
 bool ParseInt(const std::string& s, int64_t* out) {
@@ -48,37 +141,56 @@ bool ParseDouble(const std::string& s, double* out) {
   return true;
 }
 
+/// Appends `cell` to `out`, quoting it when it contains the delimiter, a
+/// quote, or a line break — and always when it is empty, so an empty
+/// string survives a round trip as distinct from NULL (written as a bare
+/// empty cell).
+void AppendCsvCell(const std::string& cell, char delimiter,
+                   std::string* out) {
+  const bool needs_quotes =
+      cell.empty() ||
+      cell.find_first_of(std::string("\"\n\r") + delimiter) !=
+          std::string::npos;
+  if (!needs_quotes) {
+    *out += cell;
+    return;
+  }
+  *out += '"';
+  for (char c : cell) {
+    if (c == '"') *out += '"';
+    *out += c;
+  }
+  *out += '"';
+}
+
 }  // namespace
 
 Result<Relation> ParseCsv(const std::string& text,
                           const CsvOptions& options) {
-  std::istringstream in(text);
-  std::string line;
-  std::vector<std::string> names;
-  std::vector<std::vector<std::string>> cells;
-  size_t width = 0;
-  int line_number = 0;
-  bool header_pending = options.has_header;
+  std::vector<int> record_lines;
+  RASQL_ASSIGN_OR_RETURN(std::vector<std::vector<Cell>> records,
+                         SplitRecords(text, options, &record_lines));
 
-  while (std::getline(in, line)) {
-    ++line_number;
-    if (line.empty()) continue;
-    if (options.comment != '\0' && line[0] == options.comment) continue;
-    std::vector<std::string> row = SplitLine(line, options.delimiter);
-    if (header_pending) {
-      names = std::move(row);
-      width = names.size();
-      header_pending = false;
-      continue;
-    }
-    if (width == 0) width = row.size();
-    if (row.size() != width) {
+  std::vector<std::string> names;
+  size_t width = 0;
+  size_t first_data = 0;
+  if (options.has_header && !records.empty()) {
+    for (Cell& cell : records[0]) names.push_back(std::move(cell.text));
+    width = names.size();
+    first_data = 1;
+  }
+
+  std::vector<std::vector<Cell>> cells(
+      std::make_move_iterator(records.begin() + first_data),
+      std::make_move_iterator(records.end()));
+  for (size_t r = 0; r < cells.size(); ++r) {
+    if (width == 0) width = cells[r].size();
+    if (cells[r].size() != width) {
       return Status::InvalidArgument(
-          "CSV line " + std::to_string(line_number) + " has " +
-          std::to_string(row.size()) + " cells, expected " +
+          "CSV line " + std::to_string(record_lines[first_data + r]) +
+          " has " + std::to_string(cells[r].size()) + " cells, expected " +
           std::to_string(width));
     }
-    cells.push_back(std::move(row));
   }
   if (width == 0) {
     return Status::InvalidArgument("CSV input contains no data");
@@ -89,19 +201,24 @@ Result<Relation> ParseCsv(const std::string& text,
     }
   }
 
-  // Type inference: INT ⊂ DOUBLE ⊂ STRING per column; empty cells (NULL)
-  // don't constrain the type.
+  // Type inference: INT ⊂ DOUBLE ⊂ STRING per column; unquoted empty cells
+  // (NULL) don't constrain the type, quoted cells are always strings.
   std::vector<ValueType> types(width, ValueType::kInt64);
   for (const auto& row : cells) {
     for (size_t c = 0; c < width; ++c) {
-      const std::string& cell = row[c];
-      if (cell.empty() || types[c] == ValueType::kString) continue;
+      const Cell& cell = row[c];
+      if (types[c] == ValueType::kString) continue;
+      if (cell.quoted) {
+        types[c] = ValueType::kString;
+        continue;
+      }
+      if (cell.text.empty()) continue;
       int64_t iv;
       double dv;
-      if (types[c] == ValueType::kInt64 && !ParseInt(cell, &iv)) {
+      if (types[c] == ValueType::kInt64 && !ParseInt(cell.text, &iv)) {
         types[c] = ValueType::kDouble;
       }
-      if (types[c] == ValueType::kDouble && !ParseDouble(cell, &dv)) {
+      if (types[c] == ValueType::kDouble && !ParseDouble(cell.text, &dv)) {
         types[c] = ValueType::kString;
       }
     }
@@ -118,26 +235,26 @@ Result<Relation> ParseCsv(const std::string& text,
     Row row;
     row.reserve(width);
     for (size_t c = 0; c < width; ++c) {
-      const std::string& cell = row_cells[c];
-      if (cell.empty()) {
+      Cell& cell = row_cells[c];
+      if (cell.text.empty() && !cell.quoted) {
         row.push_back(Value::Null());
         continue;
       }
       switch (types[c]) {
         case ValueType::kInt64: {
           int64_t v = 0;
-          ParseInt(cell, &v);
+          ParseInt(cell.text, &v);
           row.push_back(Value::Int(v));
           break;
         }
         case ValueType::kDouble: {
           double v = 0;
-          ParseDouble(cell, &v);
+          ParseDouble(cell.text, &v);
           row.push_back(Value::Double(v));
           break;
         }
         default:
-          row.push_back(Value::String(cell));
+          row.push_back(Value::String(std::move(cell.text)));
           break;
       }
     }
@@ -162,7 +279,7 @@ std::string ToCsv(const Relation& relation, const CsvOptions& options) {
   if (options.has_header) {
     for (int c = 0; c < schema.num_columns(); ++c) {
       if (c > 0) out += options.delimiter;
-      out += schema.column(c).name;
+      AppendCsvCell(schema.column(c).name, options.delimiter, &out);
     }
     out += "\n";
   }
@@ -171,12 +288,12 @@ std::string ToCsv(const Relation& relation, const CsvOptions& options) {
       if (c > 0) out += options.delimiter;
       switch (row[c].type()) {
         case ValueType::kNull:
-          break;  // empty cell
+          break;  // bare empty cell
         case ValueType::kString:
-          out += row[c].AsString();
+          AppendCsvCell(row[c].AsString(), options.delimiter, &out);
           break;
         default:
-          out += row[c].ToString();
+          AppendCsvCell(row[c].ToString(), options.delimiter, &out);
           break;
       }
     }

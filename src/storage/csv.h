@@ -18,10 +18,14 @@ struct CsvOptions {
   char comment = '#';
 };
 
-/// Loads a delimited text file into a relation. Column types are inferred
-/// from the data: a column is INT if every non-empty cell parses as an
-/// integer, DOUBLE if every cell parses as a number, STRING otherwise.
-/// Empty cells load as NULL. Ragged rows are an error.
+/// Loads a delimited text file into a relation. Cells follow RFC 4180
+/// quoting: a cell starting with '"' may contain the delimiter, quotes
+/// (escaped as '""'), and line breaks. Column types are inferred from the
+/// data: a column is INT if every non-empty cell parses as an integer,
+/// DOUBLE if every cell parses as a number, STRING otherwise; quoted
+/// cells are always strings. Unquoted empty cells load as NULL, quoted
+/// empty cells ("") as empty strings. Ragged rows and unterminated
+/// quotes are errors.
 common::Result<Relation> LoadCsv(const std::string& path,
                                  const CsvOptions& options = {});
 
@@ -29,8 +33,10 @@ common::Result<Relation> LoadCsv(const std::string& path,
 common::Result<Relation> ParseCsv(const std::string& text,
                                   const CsvOptions& options = {});
 
-/// Writes a relation as CSV (header + rows). Strings are written verbatim
-/// (no quoting of embedded delimiters — keep identifiers simple).
+/// Writes a relation as CSV (header + rows). Cells containing the
+/// delimiter, quotes, or line breaks are quoted with '""' escaping, and
+/// empty strings are always quoted (an unquoted empty cell is NULL), so
+/// the output round-trips through ParseCsv.
 common::Status WriteCsv(const Relation& relation, const std::string& path,
                         const CsvOptions& options = {});
 

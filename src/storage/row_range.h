@@ -1,0 +1,51 @@
+#ifndef RASQL_STORAGE_ROW_RANGE_H_
+#define RASQL_STORAGE_ROW_RANGE_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace rasql::storage {
+
+/// A half-open `[begin, end)` span of row indices over a driving relation —
+/// the unit of work of the fused execution path (DESIGN.md §10). A morsel
+/// task evaluates one RowRange of its pipeline's driver; the union of a
+/// relation's morsels covers every row exactly once, in order, so
+/// concatenating per-morsel sinks in morsel order reproduces the
+/// whole-relation evaluation byte for byte.
+struct RowRange {
+  size_t begin = 0;
+  size_t end = 0;
+
+  size_t size() const { return end - begin; }
+  bool empty() const { return begin >= end; }
+
+  friend bool operator==(const RowRange& a, const RowRange& b) {
+    return a.begin == b.begin && a.end == b.end;
+  }
+};
+
+/// Splits `[0, num_rows)` into consecutive spans of at most `morsel_rows`
+/// rows. `morsel_rows == 0` means "whole relation": one span covering
+/// everything. `num_rows == 0` yields no spans — there is no work to
+/// schedule. The split depends only on the two sizes, never on thread
+/// count, so the task decomposition (and therefore the merged output) is
+/// identical for every runtime configuration.
+inline std::vector<RowRange> SplitIntoMorsels(size_t num_rows,
+                                              size_t morsel_rows) {
+  std::vector<RowRange> out;
+  if (num_rows == 0) return out;
+  if (morsel_rows == 0) {
+    out.push_back(RowRange{0, num_rows});
+    return out;
+  }
+  out.reserve((num_rows + morsel_rows - 1) / morsel_rows);
+  for (size_t b = 0; b < num_rows; b += morsel_rows) {
+    out.push_back(RowRange{b, std::min(b + morsel_rows, num_rows)});
+  }
+  return out;
+}
+
+}  // namespace rasql::storage
+
+#endif  // RASQL_STORAGE_ROW_RANGE_H_

@@ -4,7 +4,7 @@
 //
 // Usage:
 //   rasql [--distributed] [--workers N] [--threads N] [--async-shuffle]
-//         [--lint] [--werror-lint] [script.sql]
+//         [--morsel-rows=N] [--lint] [--werror-lint] [script.sql]
 //
 // --threads=N runs the task closures of every distributed stage AND the
 // local fixpoint path's partitioned semi-naive/naive evaluation on a
@@ -13,6 +13,9 @@
 // --async-shuffle pipelines each map→reduce stage pair: reduce tasks are
 // released per published shuffle slice instead of waiting for a stage
 // barrier. Results and simulated metrics are unchanged; wall time drops.
+// --morsel-rows=N splits each partition's delta into N-row morsels that
+// run as independent tasks (0 = whole-partition); results, fixpoint stats
+// and modeled metrics are identical for any value.
 // --lint runs the static PreM/monotonicity analyzer before every query
 // and refuses error-level queries; --werror-lint also refuses
 // warning-level ones.
@@ -236,6 +239,9 @@ int Main(int argc, char** argv) {
       config.runtime.num_threads = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--async-shuffle") == 0) {
       config.runtime.async_shuffle = true;
+    } else if (std::strncmp(argv[i], "--morsel-rows=", 14) == 0) {
+      config.runtime.morsel_rows =
+          static_cast<size_t>(std::atoll(argv[i] + 14));
     } else if (std::strcmp(argv[i], "--lint") == 0) {
       config.lint_before_execute = true;
     } else if (std::strcmp(argv[i], "--werror-lint") == 0) {
@@ -244,7 +250,8 @@ int Main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::printf(
           "usage: rasql [--distributed] [--workers N] [--threads N] "
-          "[--async-shuffle] [--lint] [--werror-lint] [script]\n");
+          "[--async-shuffle] [--morsel-rows=N] [--lint] [--werror-lint] "
+          "[script]\n");
       PrintHelp();
       return 0;
     } else {

@@ -84,5 +84,63 @@ TEST(CsvTest, ToCsvRendering) {
   EXPECT_EQ(ToCsv(rel), "Name,Score\nbob,1.5\n");
 }
 
+TEST(CsvTest, QuotedCellsParse) {
+  auto rel = ParseCsv(
+      "Name,Note\n"
+      "\"smith, alice\",\"said \"\"hi\"\"\"\n"
+      "bob,\"two\nlines\"\n");
+  ASSERT_TRUE(rel.ok()) << rel.status();
+  ASSERT_EQ(rel->size(), 2u);
+  EXPECT_EQ(rel->rows()[0][0].AsString(), "smith, alice");
+  EXPECT_EQ(rel->rows()[0][1].AsString(), "said \"hi\"");
+  EXPECT_EQ(rel->rows()[1][1].AsString(), "two\nlines");
+}
+
+TEST(CsvTest, QuotedCellsForceStringType) {
+  // "60" is numeric text, but quoting pins the column to STRING.
+  auto rel = ParseCsv("A,B\n\"60\",60\n");
+  ASSERT_TRUE(rel.ok()) << rel.status();
+  EXPECT_EQ(rel->schema().column(0).type, ValueType::kString);
+  EXPECT_EQ(rel->schema().column(1).type, ValueType::kInt64);
+}
+
+TEST(CsvTest, QuotedEmptyIsEmptyStringNotNull) {
+  auto rel = ParseCsv("A,B\n\"\",x\n,y\n");
+  ASSERT_TRUE(rel.ok()) << rel.status();
+  EXPECT_FALSE(rel->rows()[0][0].is_null());
+  EXPECT_EQ(rel->rows()[0][0].AsString(), "");
+  EXPECT_TRUE(rel->rows()[1][0].is_null());
+}
+
+TEST(CsvTest, UnterminatedQuoteRejected) {
+  auto rel = ParseCsv("A,B\n\"oops,2\n");
+  ASSERT_FALSE(rel.ok());
+  EXPECT_NE(rel.status().message().find("unterminated"), std::string::npos);
+}
+
+TEST(CsvTest, WriterQuotesSpecialCells) {
+  Relation rel{Schema::Of({{"Name", ValueType::kString},
+                           {"Note", ValueType::kString}})};
+  rel.Add({Value::String("smith, alice"), Value::String("said \"hi\"")});
+  rel.Add({Value::String("bob"), Value::String("two\nlines")});
+  EXPECT_EQ(ToCsv(rel),
+            "Name,Note\n"
+            "\"smith, alice\",\"said \"\"hi\"\"\"\n"
+            "bob,\"two\nlines\"\n");
+}
+
+TEST(CsvTest, RoundTripWithCommasQuotesAndNulls) {
+  Relation rel{Schema::Of({{"Id", ValueType::kInt64},
+                           {"Name", ValueType::kString}})};
+  rel.Add({Value::Int(1), Value::String("smith, alice")});
+  rel.Add({Value::Int(2), Value::String("quote \" and\nnewline")});
+  rel.Add({Value::Int(3), Value::String("")});
+  rel.Add({Value::Int(4), Value::Null()});
+  auto loaded = ParseCsv(ToCsv(rel));
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_TRUE(SameBag(rel, *loaded));
+  EXPECT_TRUE(rel.schema() == loaded->schema());
+}
+
 }  // namespace
 }  // namespace rasql::storage

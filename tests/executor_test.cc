@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include "physical/executor.h"
+#include "physical/pipeline.h"
 #include "plan/logical_plan.h"
+#include "storage/row_range.h"
 
 namespace rasql::physical {
 namespace {
@@ -245,6 +247,129 @@ TEST(JoinHashTableTest, ProbeFindsAllMatchesAndNoFalsePositives) {
   matches.clear();
   probe[0] = Value::Int(3);
   table.Probe(probe, {0}, &matches);
+  EXPECT_TRUE(matches.empty());
+}
+
+// Chain Project(Filter(Join(edge, edge))) — compiles to a fused pipeline.
+PlanPtr TwoHopPlan() {
+  auto join = std::make_unique<JoinNode>(ScanEdge(), ScanEdge(),
+                                         std::vector<int>{1},
+                                         std::vector<int>{0});
+  auto filter = std::make_unique<FilterNode>(
+      std::move(join),
+      expr::MakeBinary(BinaryOp::kNe,
+                       expr::MakeColumnRef(0, ValueType::kInt64),
+                       expr::MakeColumnRef(3, ValueType::kInt64)));
+  std::vector<expr::ExprPtr> exprs;
+  exprs.push_back(expr::MakeColumnRef(0, ValueType::kInt64));
+  exprs.push_back(expr::MakeColumnRef(3, ValueType::kInt64));
+  return std::make_unique<ProjectNode>(
+      std::move(filter), std::move(exprs),
+      Schema::Of({{"A", ValueType::kInt64}, {"C", ValueType::kInt64}}));
+}
+
+TEST(PipelineTest, MatchesInterpretedRowForRow) {
+  Relation edges = MakeIntRelation(
+      {"Src", "Dst"},
+      {{1, 2}, {2, 3}, {2, 4}, {3, 1}, {4, 2}, {1, 3}, {3, 4}});
+  PlanPtr plan = TwoHopPlan();
+  ExecContext ctx;
+  ctx.tables["edge"] = &edges;
+  ctx.use_codegen = true;
+  auto fused = Execute(*plan, ctx);
+  ctx.use_codegen = false;
+  auto interpreted = Execute(*plan, ctx);
+  ASSERT_TRUE(fused.ok() && interpreted.ok());
+  // Exact row order, not just bag equality: morsel merging relies on the
+  // pipeline producing the tree walk's probe-major order.
+  ASSERT_EQ(fused->size(), interpreted->size());
+  for (size_t i = 0; i < fused->size(); ++i) {
+    EXPECT_EQ(fused->rows()[i], interpreted->rows()[i]) << "row " << i;
+  }
+}
+
+TEST(PipelineTest, MorselRunsConcatenateToRunAll) {
+  Relation edges = MakeIntRelation(
+      {"Src", "Dst"},
+      {{1, 2}, {2, 3}, {2, 4}, {3, 1}, {4, 2}, {1, 3}, {3, 4}});
+  PlanPtr plan = TwoHopPlan();
+  ExecContext ctx;
+  ctx.tables["edge"] = &edges;
+  auto program = PipelineProgram::Compile(*plan);
+  ASSERT_TRUE(program.has_value());
+  auto bound = program->Bind(ctx);
+  ASSERT_TRUE(bound.ok()) << bound.status();
+  std::vector<storage::Row> whole;
+  ASSERT_TRUE(bound->RunAll(&whole).ok());
+  for (size_t morsel : {1u, 2u, 3u, 100u}) {
+    std::vector<storage::Row> pieced;
+    for (storage::RowRange r :
+         storage::SplitIntoMorsels(bound->driver_rows(), morsel)) {
+      ASSERT_TRUE(bound->Run(r, &pieced).ok());
+    }
+    EXPECT_EQ(pieced, whole) << "morsel_rows=" << morsel;
+  }
+}
+
+TEST(JoinHashTableTest, EmptyBuildSide) {
+  Relation build = MakeIntRelation({"K", "V"}, {});
+  JoinHashTable table(build, {0});
+  std::vector<int> matches;
+  storage::Row probe = {Value::Int(1)};
+  table.Probe(probe, {0}, &matches);
+  EXPECT_TRUE(matches.empty());
+}
+
+TEST(JoinHashTableTest, CollisionChainsStayDisjoint) {
+  // Many distinct keys funneled through a table whose initial capacity
+  // (16) is far smaller than the key range forces bucket collisions; each
+  // probe must still return exactly its own key's rows, in build order.
+  Relation build{Schema::Of({{"K", ValueType::kInt64},
+                             {"V", ValueType::kInt64}})};
+  const int kKeys = 100;
+  for (int k = 0; k < kKeys; ++k) {
+    build.Add({Value::Int(k), Value::Int(k * 10)});
+    build.Add({Value::Int(k), Value::Int(k * 10 + 1)});
+  }
+  JoinHashTable table(build, {0});
+  std::vector<int> matches;
+  for (int k = 0; k < kKeys; ++k) {
+    matches.clear();
+    storage::Row probe = {Value::Int(k)};
+    table.Probe(probe, {0}, &matches);
+    ASSERT_EQ(matches.size(), 2u) << "key " << k;
+    // Chains are head-inserted, so probes see build rows newest-first —
+    // both execution paths share this order, so it is part of the
+    // pipeline/tree-walk row-order equivalence contract.
+    EXPECT_EQ(matches[0], 2 * k + 1) << "key " << k;
+    EXPECT_EQ(matches[1], 2 * k) << "key " << k;
+  }
+}
+
+TEST(JoinHashTableTest, IntAndDoubleKeysCompareEqual) {
+  // Value::Hash hashes integral doubles like the equal int64, so a
+  // build-side INT key must be probe-able with the numerically equal
+  // DOUBLE key and vice versa.
+  Relation build{Schema::Of({{"K", ValueType::kInt64}})};
+  build.Add({Value::Int(7)});
+  JoinHashTable table(build, {0});
+  std::vector<int> matches;
+  storage::Row probe = {Value::Double(7.0)};
+  table.Probe(probe, {0}, &matches);
+  EXPECT_EQ(matches.size(), 1u);
+
+  Relation dbuild{Schema::Of({{"K", ValueType::kDouble}})};
+  dbuild.Add({Value::Double(7.0)});
+  JoinHashTable dtable(dbuild, {0});
+  matches.clear();
+  storage::Row iprobe = {Value::Int(7)};
+  dtable.Probe(iprobe, {0}, &matches);
+  EXPECT_EQ(matches.size(), 1u);
+
+  // A non-integral double must not match the int key.
+  matches.clear();
+  storage::Row miss = {Value::Double(7.5)};
+  table.Probe(miss, {0}, &matches);
   EXPECT_TRUE(matches.empty());
 }
 

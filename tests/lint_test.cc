@@ -345,16 +345,19 @@ TEST(LintGoldenTest, MutualRecursionWarnsAndStaysUnprovenForAggHeads) {
 TEST(LintGatingTest, ErrorLevelQueryIsRefused) {
   auto ctx = MakeContext();
   ctx.mutable_config()->lint_before_execute = true;
-  auto result = ctx.Execute(R"(
+  const std::string sql = R"(
       WITH recursive p (Dst, min() AS Cost) AS
         (SELECT 1, 0.0) UNION
         (SELECT edge.Dst, 0.0 - p.Cost FROM p, edge WHERE p.Dst = edge.Src)
-      SELECT Dst, Cost FROM p)");
+      SELECT Dst, Cost FROM p)";
+  auto result = ctx.Execute(sql);
   ASSERT_FALSE(result.ok());
   EXPECT_NE(result.status().message().find("RASQL-M001"),
             std::string::npos)
       << result.status();
-  EXPECT_TRUE(ctx.last_lint_report().HasErrors());
+  auto report = ctx.Lint(sql);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->HasErrors());
 }
 
 TEST(LintGatingTest, ProvenQueryExecutesUnderWerror) {
