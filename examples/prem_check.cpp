@@ -5,7 +5,7 @@
 #include <cstdio>
 
 #include "storage/relation.h"
-#include "tools/prem_validator.h"
+#include "lint/gptest.h"
 
 int main() {
   using rasql::storage::Relation;
@@ -23,7 +23,7 @@ int main() {
   }
 
   // APSP with min(): the paper's Appendix-G example. PreM holds.
-  auto good = rasql::tools::ValidatePrem(R"(
+  auto good = rasql::lint::ValidatePrem(R"(
       WITH recursive apsp(Src, Dst, min() AS Cost) AS
         (SELECT Src, Dst, Cost FROM edge) UNION
         (SELECT apsp.Src, edge.Dst, apsp.Cost + edge.Cost
@@ -44,7 +44,7 @@ int main() {
            {1, 2, 2}, {1, 2, -3}, {2, 3, -1}}) {
     bad_edge.Add({Value::Int(s), Value::Int(d), Value::Double(c)});
   }
-  auto bad = rasql::tools::ValidatePrem(R"(
+  auto bad = rasql::lint::ValidatePrem(R"(
       WITH recursive p(Src, Dst, min() AS Cost) AS
         (SELECT Src, Dst, Cost FROM edge) UNION
         (SELECT p.Src, edge.Dst, p.Cost * edge.Cost

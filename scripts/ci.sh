@@ -17,6 +17,14 @@ cmake -B "${BUILD_DIR}" -S . \
 cmake --build "${BUILD_DIR}" -j "${JOBS}"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
 
+# Stage-graph verification gate (DESIGN.md §11): the whole suite again
+# with the static verifier forced on, so every live Cluster submission and
+# every local fixpoint plan is contract-checked even though this is a
+# release (NDEBUG) build where verification defaults off. A regression
+# that mis-declares slices or ownership aborts the offending test here.
+RASQL_VERIFY_STAGES=1 \
+  ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
+
 # Parallel-runtime gate: TSan excludes ASan, so the work-stealing executor
 # and the threaded fixpoint tests get their own build. Only the four test
 # binaries that exercise real threads are built and run — a full TSan build
@@ -57,3 +65,7 @@ cmake --build "${TSAN_BUILD_DIR}" -j "${JOBS}" \
 # distributed) is exactly the schedule TSan must see clean.
 "${TSAN_BUILD_DIR}/tests/morsel_test" \
   --gtest_filter='*MorselMatrix*:*MorselSplit*'
+
+# clang-tidy gate over src/ (.clang-tidy rule set). Skips with a notice
+# when the container has no clang-tidy on PATH.
+scripts/tidy.sh

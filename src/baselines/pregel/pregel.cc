@@ -15,6 +15,11 @@ using dist::TaskContext;
 
 namespace {
 
+/// Shorthand for the stage claim declarations below.
+constexpr verify::AccessMode kReadShared = verify::AccessMode::kReadShared;
+constexpr verify::AccessMode kPartitionOwned =
+    verify::AccessMode::kPartitionOwned;
+
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
 /// CSR adjacency for one partition: the out-edges of the vertices owned by
@@ -140,8 +145,15 @@ PregelResult RunPregel(const datagen::Graph& graph,
         (graphx ? "graphx-superstep-" : "giraph-superstep-") +
         std::to_string(result.supersteps);
     // A superstep consumes the previous one's messages and emits the next
-    // one's: the fused reduce+map shape.
+    // one's: the fused reduce+map shape. All vertex-indexed state is
+    // written only through vertices owned by the task's partition, so it
+    // is partition-owned at vertex-hash granularity.
     superstep_stage.kind = StageSpec::Kind::kCombined;
+    superstep_stage.Claim(&csr, kReadShared, "csr")
+        .Claim(&result.values, kPartitionOwned, "vertex-values")
+        .Claim(&active, kPartitionOwned, "active-flags")
+        .Claim(&inbox, kPartitionOwned, "inbox")
+        .Claim(&outbox, kPartitionOwned, "outbox");
     cluster->RunStage(superstep_stage, [&](TaskContext& ctx) {
       const int p = ctx.partition();
       ctx.ReportCachedState(csr[p].byte_size);
@@ -168,7 +180,7 @@ PregelResult RunPregel(const datagen::Graph& graph,
         const double value = result.values[v];
         for (int e = part.offsets[i]; e < part.offsets[i + 1]; ++e) {
           const int64_t target = part.targets[e];
-          double message;
+          double message = 0;
           switch (algorithm) {
             case PregelAlgorithm::kReach:
               message = value + 1;  // BFS depth
@@ -212,6 +224,8 @@ PregelResult RunPregel(const datagen::Graph& graph,
         // shuffles again; the rest only produce.
         bookkeeping.kind = extra == 0 ? StageSpec::Kind::kCombined
                                       : StageSpec::Kind::kShuffleMap;
+        bookkeeping.Claim(&csr, kReadShared, "csr")
+            .Claim(&result.values, kReadShared, "vertex-values");
         cluster->RunStage(bookkeeping, [&](TaskContext& ctx) {
           const int p = ctx.partition();
           // Re-create the vertex-attribute RDD: copy owned values.
@@ -279,6 +293,14 @@ PregelResult RunTreeAggregate(const datagen::Graph& graph,
     tree_stage.name = (graphx ? "graphx-tree-" : "giraph-tree-") +
                       std::to_string(result.supersteps);
     tree_stage.kind = StageSpec::Kind::kCombined;
+    tree_stage.Claim(&csr, kReadShared, "csr")
+        .Claim(&result.values, kPartitionOwned, "vertex-values")
+        .Claim(&pending, kPartitionOwned, "pending-counts")
+        .Claim(&parent, kReadShared, "parent")
+        .Claim(&fired, kPartitionOwned, "fired")
+        .Claim(&fired_flags, kPartitionOwned, "fired-flags")
+        .Claim(&inbox, kPartitionOwned, "inbox")
+        .Claim(&outbox, kPartitionOwned, "outbox");
     cluster->RunStage(tree_stage, [&](TaskContext& ctx) {
       const int p = ctx.partition();
       ctx.ReportCachedState(csr[p].byte_size);
@@ -319,6 +341,8 @@ PregelResult RunTreeAggregate(const datagen::Graph& graph,
                            std::to_string(extra);
         bookkeeping.kind = extra == 0 ? StageSpec::Kind::kCombined
                                       : StageSpec::Kind::kShuffleMap;
+        bookkeeping.Claim(&csr, kReadShared, "csr")
+            .Claim(&result.values, kReadShared, "vertex-values");
         cluster->RunStage(bookkeeping, [&](TaskContext& ctx) {
           const int p = ctx.partition();
           std::vector<double> copy;

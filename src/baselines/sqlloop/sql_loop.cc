@@ -22,6 +22,12 @@ using storage::Row;
 
 namespace {
 
+/// Shorthand for the stage claim declarations below.
+constexpr verify::AccessMode kReadShared = verify::AccessMode::kReadShared;
+constexpr verify::AccessMode kPartitionOwned =
+    verify::AccessMode::kPartitionOwned;
+constexpr verify::AccessMode kSingleTask = verify::AccessMode::kSingleTask;
+
 /// Evaluates all recursive plans with the reference bound to `bound`,
 /// splitting the work into P slices executed as one cluster stage. The
 /// base tables are re-read in full by every statement (vanilla Spark SQL
@@ -40,6 +46,8 @@ Result<std::vector<Row>> JoinStage(
   stage.name = stage_name;
   stage.kind = StageSpec::Kind::kShuffleMap;
   stage.status = &failure;
+  stage.Claim(&cand, kPartitionOwned, "join-candidates")
+      .Claim(&bound, kReadShared, "bound-relation");
   cluster->RunStage(stage, [&](TaskContext& task) {
     const int p = task.partition();
     // Slice the bound relation round-robin across tasks.
@@ -141,6 +149,8 @@ Result<Relation> RunSqlLoop(
       agg_stage.name = "sqlnaive-agg-" + std::to_string(stats->iterations);
       agg_stage.kind = StageSpec::Kind::kShuffleReduce;
       agg_stage.status = &failure;
+      agg_stage.Claim(&next, kSingleTask, "next-relation")
+          .Claim(&candidates, kSingleTask, "candidates");
       cluster->RunStage(agg_stage, [&](TaskContext& task) {
         // Single-writer body: only task 0 touches `next`/`candidates`.
         if (task.partition() != 0) return;
@@ -172,6 +182,9 @@ Result<Relation> RunSqlLoop(
       StageSpec compare_stage;
       compare_stage.name =
           "sqlnaive-compare-" + std::to_string(stats->iterations);
+      compare_stage.Claim(&unchanged, kSingleTask, "unchanged-flag")
+          .Claim(&next, kReadShared, "next-relation")
+          .Claim(&all, kReadShared, "all-relation");
       cluster->RunStage(compare_stage, [&](TaskContext& task) {
         if (task.partition() == 0) unchanged = storage::SameBag(next, all);
         task.ReportCachedState(all.ByteSize() / P);
@@ -204,6 +217,7 @@ Result<Relation> RunSqlLoop(
     StageSpec agg_stage;
     agg_stage.name = "sqlsn-agg-" + std::to_string(stats->iterations);
     agg_stage.kind = StageSpec::Kind::kShuffleReduce;
+    agg_stage.Claim(&candidates, kSingleTask, "candidates");
     cluster->RunStage(agg_stage, [&](TaskContext& task) {
       if (task.partition() != 0) return;
       candidates = dist::PartialAggregate(std::move(candidates), spec);
@@ -216,6 +230,9 @@ Result<Relation> RunSqlLoop(
     StageSpec diff_stage;
     diff_stage.name = "sqlsn-diff-" + std::to_string(stats->iterations);
     diff_stage.kind = StageSpec::Kind::kCombined;
+    diff_stage.Claim(&state, kSingleTask, "state")
+        .Claim(&delta, kSingleTask, "delta")
+        .Claim(&candidates, kReadShared, "candidates");
     cluster->RunStage(diff_stage, [&](TaskContext& task) {
       if (task.partition() == 0) state.MergeDelta(candidates, &delta);
       task.ReportShuffleBytes(
@@ -226,6 +243,7 @@ Result<Relation> RunSqlLoop(
     // the accumulated rows (the immutable-RDD tax SetRDD avoids).
     StageSpec union_stage;
     union_stage.name = "sqlsn-union-" + std::to_string(stats->iterations);
+    union_stage.Claim(&state, kReadShared, "state");
     cluster->RunStage(union_stage, [&](TaskContext& task) {
       if (task.partition() != 0) return;
       Relation copy = state.ToRelation();  // real copy

@@ -7,6 +7,17 @@
 
 namespace rasql::dist {
 
+// StageSpec::Kind maps onto verify::StageKind by value; keep the two enums
+// in lockstep.
+static_assert(static_cast<int>(StageSpec::Kind::kLocal) ==
+              static_cast<int>(verify::StageKind::kLocal));
+static_assert(static_cast<int>(StageSpec::Kind::kShuffleMap) ==
+              static_cast<int>(verify::StageKind::kShuffleMap));
+static_assert(static_cast<int>(StageSpec::Kind::kShuffleReduce) ==
+              static_cast<int>(verify::StageKind::kShuffleReduce));
+static_assert(static_cast<int>(StageSpec::Kind::kCombined) ==
+              static_cast<int>(verify::StageKind::kCombined));
+
 double JobMetrics::TotalSimTime() const {
   double t = broadcast_time_sec;
   for (const StageMetrics& s : stages) t += s.sim_time_sec;
@@ -164,8 +175,85 @@ StageMetrics& Cluster::AccountStage(
   return metrics_.stages.back();
 }
 
+int Cluster::VerifyChannelId(const ShuffleChannel* channel,
+                             const std::string& hint) {
+  auto [it, inserted] = verify_channel_ids_.emplace(
+      channel, static_cast<int>(verify_graph_.channels.size()));
+  if (inserted) verify_graph_.AddChannel(hint);
+  return it->second;
+}
+
+void Cluster::VerifySubmission(
+    std::initializer_list<const StageSpec*> specs) {
+  const int group =
+      specs.size() > 1 ? verify_next_group_++ : -1;
+  for (const StageSpec* spec : specs) {
+    verify::StageNode& node = verify_graph_.AddStage(
+        spec->name, static_cast<verify::StageKind>(spec->kind));
+    node.group = group;
+    node.split = static_cast<bool>(spec->split_tasks);
+    if (spec->input_slices != nullptr) {
+      node.input_channel =
+          VerifyChannelId(spec->input_slices, spec->name + ".in");
+    }
+    if (spec->output_slices != nullptr) {
+      node.output_channel =
+          VerifyChannelId(spec->output_slices, spec->name + ".out");
+    }
+    if (spec->counter != nullptr) {
+      auto [it, inserted] = verify_counter_ids_.emplace(
+          spec->counter, static_cast<int>(verify_graph_.counters.size()));
+      if (inserted) verify_graph_.AddCounter(spec->name + ".counter");
+      node.counter = it->second;
+    }
+    if (spec->status != nullptr) {
+      auto [it, inserted] = verify_status_ids_.emplace(
+          spec->status, static_cast<int>(verify_graph_.statuses.size()));
+      if (inserted) verify_graph_.AddStatus(spec->name + ".status");
+      node.status = it->second;
+    }
+    for (const StageSpec::ResourceClaim& claim : spec->claims) {
+      auto [it, inserted] = verify_resource_ids_.emplace(
+          claim.resource, static_cast<int>(verify_graph_.resources.size()));
+      if (inserted) verify_graph_.AddResource(claim.name);
+      node.claims.push_back({it->second, claim.mode});
+    }
+    // The simulation cannot see driver-side ShuffleChannel::Reset() calls
+    // (or channels recycled across jobs); the real readiness flags can.
+    // Snapshot them so the lifecycle checks run against reality.
+    if (spec->input_slices != nullptr) {
+      verifier_->SetLivePublished(
+          node.input_channel, spec->input_slices->readiness().NumPublished());
+    }
+    if (spec->output_slices != nullptr) {
+      verifier_->SetLivePublished(
+          node.output_channel,
+          spec->output_slices->readiness().NumPublished());
+    }
+  }
+  const size_t before = verify_diagnostics_.diagnostics().size();
+  verifier_->VerifyPending(&verify_diagnostics_);
+  bool stage_graph_contracts_hold = true;
+  for (size_t i = before; i < verify_diagnostics_.diagnostics().size(); ++i) {
+    const lint::Diagnostic& d = verify_diagnostics_.diagnostics()[i];
+    if (d.severity == lint::Severity::kError) {
+      stage_graph_contracts_hold = false;
+      std::fprintf(stderr, "%s\n", d.ToString().c_str());
+    }
+  }
+  // Malformed orchestration is a programmer error, caught before any task
+  // of the submission has run.
+  RASQL_CHECK(stage_graph_contracts_hold);
+}
+
 const StageMetrics& Cluster::RunStage(const StageSpec& spec,
                                       const StageTask& task) {
+  if (verify_enabled_) VerifySubmission({&spec});
+  return RunStageUnverified(spec, task);
+}
+
+const StageMetrics& Cluster::RunStageUnverified(const StageSpec& spec,
+                                                const StageTask& task) {
   std::vector<TaskIo> ios;
   std::vector<double> task_seconds;
   const std::function<TaskIo(int)> run = [&](int p) {
@@ -198,6 +286,7 @@ const StageMetrics& Cluster::RunStage(const StageSpec& spec,
   }
   split_begin[P] = total_splits;
   if (total_splits == 0) return RunStage(spec, main_task);
+  if (verify_enabled_) VerifySubmission({&spec});
 
   // One DAG, topologically ordered: sub-tasks [0, S) then finalize tasks
   // [S, S + P). Finalize task S + p depends on exactly its partition's
@@ -255,13 +344,19 @@ void Cluster::RunStagePair(const StageSpec& map_spec,
                            const StageTask& map_task,
                            const StageSpec& reduce_spec,
                            const StageTask& reduce_task) {
+  // Verified as one concurrency group either way: the contract of a pair
+  // (reduce consumes what map publishes, accumulators distinct, shared
+  // resources ordered by the slice dependency) is the same whether the
+  // runtime interleaves the 2P tasks or barriers between the stages.
+  if (verify_enabled_) VerifySubmission({&map_spec, &reduce_spec});
+
   const bool pipelined = executor_.options().async_shuffle &&
                          executor_.num_threads() > 1 &&
                          map_spec.output_slices != nullptr &&
                          reduce_spec.input_slices == map_spec.output_slices;
   if (!pipelined) {
-    RunStage(map_spec, map_task);
-    RunStage(reduce_spec, reduce_task);
+    RunStageUnverified(map_spec, map_task);
+    RunStageUnverified(reduce_spec, reduce_task);
     return;
   }
 

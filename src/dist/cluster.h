@@ -2,14 +2,19 @@
 #define RASQL_DIST_CLUSTER_H_
 
 #include <functional>
+#include <map>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/status.h"
 #include "dist/shuffle.h"
+#include "lint/diagnostic.h"
 #include "runtime/stage_accumulators.h"
 #include "runtime/stage_executor.h"
+#include "verify/stage_graph.h"
+#include "verify/verifier.h"
 
 namespace rasql::dist {
 
@@ -130,6 +135,26 @@ struct StageSpec {
   /// their partition's report), so modeled metrics are split-invariant.
   std::function<int(int)> split_tasks;
 
+  /// Declared access of this stage's task closures to one shared resource
+  /// (a per-partition slot vector, a SetRDD, a broadcast table). Purely
+  /// metadata: the StageGraphVerifier checks the claim set for
+  /// contradictory ownership and unordered concurrent writes (DESIGN.md
+  /// §11); the runtime does not enforce it. `resource` is any stable
+  /// address identifying the object; `name` labels it in diagnostics.
+  struct ResourceClaim {
+    const void* resource = nullptr;
+    verify::AccessMode mode = verify::AccessMode::kReadShared;
+    std::string name;
+  };
+  std::vector<ResourceClaim> claims;
+
+  /// Builder-style helper: declares `resource` accessed under `mode`.
+  StageSpec& Claim(const void* resource, verify::AccessMode mode,
+                   std::string claim_name) {
+    claims.push_back({resource, mode, std::move(claim_name)});
+    return *this;
+  }
+
   /// True when tasks of this kind consume the previous map output.
   bool ConsumesShuffle() const {
     return kind == Kind::kShuffleReduce || kind == Kind::kCombined;
@@ -225,7 +250,12 @@ class Cluster {
  public:
   explicit Cluster(ClusterConfig config,
                    runtime::RuntimeOptions runtime_options = {})
-      : config_(config), executor_(runtime_options) {}
+      : config_(config), executor_(runtime_options) {
+    verify_enabled_ = executor_.options().VerifyStagesEnabled();
+    verify_graph_.num_partitions = config_.num_partitions;
+    verifier_ =
+        std::make_unique<verify::StageGraphVerifier>(&verify_graph_);
+  }
 
   const ClusterConfig& config() const { return config_; }
   const runtime::RuntimeOptions& runtime_options() const {
@@ -282,6 +312,17 @@ class Cluster {
 
   const JobMetrics& metrics() const { return metrics_; }
   JobMetrics* mutable_metrics() { return &metrics_; }
+
+  /// True when stage submissions are verified against the declared
+  /// contracts before any task runs (DESIGN.md §11).
+  bool verify_enabled() const { return verify_enabled_; }
+  /// Diagnostics of every verified submission so far (empty entries mean
+  /// all contracts held — violations abort the process instead).
+  const lint::DiagnosticEngine& verify_report() const {
+    return verify_diagnostics_;
+  }
+  /// The append-only submission log the verifier reasons about.
+  const verify::StageGraph& verify_graph() const { return verify_graph_; }
   /// Returns the cluster to its initial state: metrics, the stage counter
   /// driving the hybrid-policy placement rotation, and pending shuffle
   /// bookkeeping. A reused cluster then schedules exactly like a fresh one.
@@ -293,6 +334,20 @@ class Cluster {
   }
 
  private:
+  /// RunStage minus the submission-time verification; the verified entry
+  /// points (RunStage, RunStagePair) land here.
+  const StageMetrics& RunStageUnverified(const StageSpec& spec,
+                                         const StageTask& task);
+
+  /// Maps a submission (one spec, or the two specs of a pair) into the
+  /// abstract verify graph, snapshots the live published counts of every
+  /// referenced channel, and runs the pending checks. Prints the
+  /// diagnostics and aborts when a contract is violated — before any task
+  /// of the submission runs.
+  void VerifySubmission(std::initializer_list<const StageSpec*> specs);
+  /// Registry interning for the pointer-free verify graph.
+  int VerifyChannelId(const ShuffleChannel* channel, const std::string& hint);
+
   /// Worker a task is placed on under the active scheduling policy.
   int PlaceTask(int partition, int stage_index) const;
 
@@ -313,6 +368,20 @@ class Cluster {
   /// Used to decide which shuffle bytes cross the network.
   std::vector<int> last_shuffle_producer_worker_;
   std::vector<std::vector<size_t>> last_shuffle_bytes_;
+
+  /// Submission-time verification state (DESIGN.md §11). The graph is an
+  /// append-only log of every submitted spec; the interning maps translate
+  /// the pointers a StageSpec carries into its abstract ids. Kept across
+  /// ResetMetrics(): the log describes history, not pending cost state.
+  bool verify_enabled_ = false;
+  verify::StageGraph verify_graph_;
+  std::unique_ptr<verify::StageGraphVerifier> verifier_;
+  lint::DiagnosticEngine verify_diagnostics_;
+  std::map<const void*, int> verify_channel_ids_;
+  std::map<const void*, int> verify_resource_ids_;
+  std::map<const void*, int> verify_counter_ids_;
+  std::map<const void*, int> verify_status_ids_;
+  int verify_next_group_ = 0;
 };
 
 }  // namespace rasql::dist

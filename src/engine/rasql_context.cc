@@ -2,7 +2,9 @@
 
 #include "analysis/analyzer.h"
 #include "common/check.h"
+#include "fixpoint/stage_plan.h"
 #include "sql/parser.h"
+#include "verify/verifier.h"
 
 namespace rasql::engine {
 
@@ -154,6 +156,65 @@ Result<Relation> RaSqlContext::ExecuteQuery(const sql::Query& query,
   ctx.use_codegen = config_.fixpoint.use_codegen;
   ctx.join_algorithm = config_.fixpoint.join_algorithm;
   return physical::Execute(*analyzed.body, ctx);
+}
+
+Result<std::string> RaSqlContext::ExplainStages(const std::string& sql) {
+  RASQL_ASSIGN_OR_RETURN(std::vector<sql::Statement> statements,
+                         sql::Parser::ParseScript(sql));
+  std::string out;
+  for (const sql::Statement& stmt : statements) {
+    if (stmt.kind == sql::Statement::Kind::kCreateView) {
+      // Views evaluate as one physical plan on the driver — no stage
+      // submissions to render. Register the schema so later statements
+      // referencing the view still analyze.
+      analysis::Analyzer analyzer(&catalog_);
+      RASQL_ASSIGN_OR_RETURN(
+          plan::PlanPtr view_plan,
+          analyzer.AnalyzeSelect(*stmt.create_view->definition));
+      std::vector<storage::Column> cols = view_plan->schema().columns();
+      for (size_t i = 0; i < cols.size(); ++i) {
+        cols[i].name = stmt.create_view->columns[i];
+      }
+      catalog_.PutTable(stmt.create_view->name,
+                        storage::Schema(std::move(cols)));
+      continue;
+    }
+    analysis::Analyzer analyzer(&catalog_);
+    RASQL_ASSIGN_OR_RETURN(analysis::AnalyzedQuery analyzed,
+                           analyzer.Analyze(*stmt.query));
+    analyzed.Optimize(config_.optimizer);
+    for (const analysis::RecursiveClique& clique : analyzed.cliques) {
+      // Same dispatch as ExecuteQuery, same orchestration analysis as the
+      // evaluators — the rendered template cannot drift from a real run.
+      verify::StageGraph graph;
+      if (config_.distributed && clique.IsRecursive() &&
+          fixpoint::EligibleForDistributed(clique)) {
+        fixpoint::DistFixpointOptions dist_options = config_.dist_fixpoint;
+        static_cast<fixpoint::CommonFixpointOptions&>(dist_options) =
+            config_.fixpoint;
+        RASQL_ASSIGN_OR_RETURN(
+            graph, fixpoint::PlanDistributedStages(
+                       clique, dist_options, config_.runtime,
+                       config_.cluster.num_partitions));
+        out += "=== STAGES (distributed) ===\n";
+      } else {
+        fixpoint::FixpointOptions local_options = config_.fixpoint;
+        local_options.runtime = config_.runtime;
+        RASQL_ASSIGN_OR_RETURN(
+            graph, fixpoint::PlanLocalStages(clique, local_options));
+        out += "=== STAGES (local) ===\n";
+      }
+      out += graph.ToString();
+      lint::DiagnosticEngine diag;
+      verify::VerifyStageGraph(graph, &diag);
+      out += diag.ToString();
+    }
+  }
+  if (out.empty()) {
+    return Status::InvalidArgument(
+        "script contains no query statement (only CREATE VIEW)");
+  }
+  return out;
 }
 
 Result<lint::LintReport> RaSqlContext::Lint(const std::string& sql) const {

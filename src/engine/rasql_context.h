@@ -91,6 +91,13 @@ class RaSqlContext {
   /// without executing.
   common::Result<std::string> Explain(const std::string& sql);
 
+  /// Returns the `EXPLAIN STAGES` rendering without executing: per clique,
+  /// the declared stage graph the dispatched evaluator would submit
+  /// (distributed when the engine is configured distributed and the clique
+  /// is eligible, local otherwise), verified by the static stage-graph
+  /// checker with its RASQL-G report appended (DESIGN.md §11).
+  common::Result<std::string> ExplainStages(const std::string& sql);
+
   /// Statically analyzes `sql` (the shell's `EXPLAIN LINT`) without
   /// executing: PreM provability for min/max heads, the monotonic-count
   /// argument for sum/count, semi-naive safety, and the structural rules.

@@ -398,40 +398,40 @@ bool IsSubset(const std::vector<int>& sub, const std::vector<int>& super) {
   return true;
 }
 
-}  // namespace
+/// Shorthand for the stage claim declarations below.
+constexpr verify::AccessMode kReadShared = verify::AccessMode::kReadShared;
+constexpr verify::AccessMode kPartitionOwned =
+    verify::AccessMode::kPartitionOwned;
+constexpr verify::AccessMode kSplitSlotOwned =
+    verify::AccessMode::kSplitSlotOwned;
 
-bool EligibleForDistributed(const RecursiveClique& clique) {
-  if (clique.views.size() != 1) return false;
-  const RecursiveView& view = clique.views[0];
-  if (view.recursive_plans.empty()) return false;
-  if (!view.semi_naive_safe) return false;
-  for (const plan::PlanPtr& p : view.recursive_plans) {
-    if (CollectRecursiveRefs(*p).size() != 1) return false;
-  }
-  return true;
-}
+/// The public DistOrchestration plus the per-branch shapes the evaluator
+/// needs to build its step evaluators.
+struct Orchestration {
+  DistOrchestration pub;
+  std::vector<StepShape> shapes;
+  /// Tables shuffled into co-partitioned slices (set form of
+  /// pub.copartitioned, for membership tests).
+  std::set<std::string> copart_names;
+  /// Scan counts across the recursive plans.
+  std::map<std::string, int> scanned;
+};
 
-Result<std::map<std::string, Relation>> EvaluateCliqueDistributed(
-    const RecursiveClique& clique,
-    const std::map<std::string, const Relation*>& tables, Cluster* cluster,
-    const DistFixpointOptions& options, FixpointStats* stats) {
-  FixpointStats local_stats;
-  if (stats == nullptr) stats = &local_stats;
-  if (!EligibleForDistributed(clique)) {
-    return Status::ExecutionError(
-        "clique is not eligible for distributed evaluation");
-  }
+/// The compile section of the distributed evaluator: branch shapes, the
+/// partition key, decomposed-plan eligibility and the base-relation
+/// distribution. Shared verbatim with AnalyzeOrchestration so EXPLAIN
+/// STAGES renders the orchestration the evaluator actually submits.
+Result<Orchestration> Analyze(const RecursiveClique& clique,
+                              const DistFixpointOptions& options) {
   const RecursiveView& view = clique.views[0];
-  const int P = cluster->config().num_partitions;
   const AggSpec spec = AggSpec::For(view.schema.num_columns(),
                                     view.agg_column, view.aggregate);
-
-  // ---- Compile: analyze every recursive branch. ----
-  std::vector<StepShape> shapes;
-  shapes.reserve(view.recursive_plans.size());
+  Orchestration orch;
+  orch.shapes.reserve(view.recursive_plans.size());
   for (const plan::PlanPtr& p : view.recursive_plans) {
-    shapes.push_back(AnalyzeStep(*p));
+    orch.shapes.push_back(AnalyzeStep(*p));
   }
+  const std::vector<StepShape>& shapes = orch.shapes;
 
   // Partition key: the common delta-side join key, constrained to lie
   // within the group-by columns for aggregate views (Alg. 4: "K: partition
@@ -489,6 +489,88 @@ Result<std::map<std::string, Relation>> EvaluateCliqueDistributed(
     key = passthrough;
     copartition_base = false;  // base joined on a non-partition key
   }
+  orch.pub.decomposed = decomposed;
+  orch.pub.combine_stages = !decomposed && options.combine_stages;
+  orch.pub.partition_key = key;
+
+  // Base-relation distribution: co-partition the direct join partner,
+  // broadcast everything else (Sec. 7.2).
+  for (const plan::PlanPtr& p : view.recursive_plans) {
+    CollectTableScans(*p, &orch.scanned);
+  }
+  if (copartition_base) {
+    for (const StepShape& shape : shapes) {
+      if (shape.copart_table == nullptr) continue;
+      const std::string& name = shape.copart_table->table_name();
+      // A table scanned more than once across the recursive plans plays
+      // two roles (e.g. SG's `rel a` and `rel b`); only a single-role scan
+      // may read a co-partitioned slice — otherwise broadcast it whole.
+      if (orch.scanned[name] == 1) orch.copart_names.insert(name);
+    }
+  }
+  for (const std::string& name : orch.copart_names) {
+    orch.pub.copartitioned.push_back(name);
+  }
+  for (const auto& [name, scan_count] : orch.scanned) {
+    if (!orch.copart_names.count(name)) orch.pub.broadcast.push_back(name);
+  }
+  for (const StepShape& shape : shapes) {
+    // Mirrors StepEvaluator::DeltaSplittable(): the fused hash path is the
+    // one that may evaluate delta sub-ranges independently.
+    if (shape.simple &&
+        options.join_algorithm == physical::JoinAlgorithm::kHash) {
+      orch.pub.delta_splittable = true;
+    }
+  }
+  return orch;
+}
+
+}  // namespace
+
+bool EligibleForDistributed(const RecursiveClique& clique) {
+  if (clique.views.size() != 1) return false;
+  const RecursiveView& view = clique.views[0];
+  if (view.recursive_plans.empty()) return false;
+  if (!view.semi_naive_safe) return false;
+  for (const plan::PlanPtr& p : view.recursive_plans) {
+    if (CollectRecursiveRefs(*p).size() != 1) return false;
+  }
+  return true;
+}
+
+Result<DistOrchestration> AnalyzeOrchestration(
+    const RecursiveClique& clique, const DistFixpointOptions& options) {
+  if (!EligibleForDistributed(clique)) {
+    return Status::ExecutionError(
+        "clique is not eligible for distributed evaluation");
+  }
+  RASQL_ASSIGN_OR_RETURN(Orchestration orch, Analyze(clique, options));
+  return std::move(orch.pub);
+}
+
+Result<std::map<std::string, Relation>> EvaluateCliqueDistributed(
+    const RecursiveClique& clique,
+    const std::map<std::string, const Relation*>& tables, Cluster* cluster,
+    const DistFixpointOptions& options, FixpointStats* stats) {
+  FixpointStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  if (!EligibleForDistributed(clique)) {
+    return Status::ExecutionError(
+        "clique is not eligible for distributed evaluation");
+  }
+  const RecursiveView& view = clique.views[0];
+  const int P = cluster->config().num_partitions;
+  const AggSpec spec = AggSpec::For(view.schema.num_columns(),
+                                    view.agg_column, view.aggregate);
+
+  // ---- Compile: analyze every recursive branch and settle the
+  // orchestration (partition key, evaluation mode, base distribution). ----
+  RASQL_ASSIGN_OR_RETURN(Orchestration orch, Analyze(clique, options));
+  const std::vector<StepShape>& shapes = orch.shapes;
+  const std::set<std::string>& copart_names = orch.copart_names;
+  const std::map<std::string, int>& scanned = orch.scanned;
+  const std::vector<int>& key = orch.pub.partition_key;
+  const bool decomposed = orch.pub.decomposed;
   // The distributed evaluator is semi-naive by construction (eligibility
   // requires semi_naive_safe); record it so the shared stats report the
   // evaluation mode consistently with the local path.
@@ -498,23 +580,7 @@ Result<std::map<std::string, Relation>> EvaluateCliqueDistributed(
 
   const Partitioning partitioning{key, P};
 
-  // ---- Distribute base relations: co-partition the direct join partner,
-  // broadcast everything else (Sec. 7.2). ----
-  std::map<std::string, int> scanned;
-  for (const plan::PlanPtr& p : view.recursive_plans) {
-    CollectTableScans(*p, &scanned);
-  }
-  std::set<std::string> copart_names;
-  if (copartition_base) {
-    for (const StepShape& shape : shapes) {
-      if (shape.copart_table == nullptr) continue;
-      const std::string& name = shape.copart_table->table_name();
-      // A table scanned more than once across the recursive plans plays
-      // two roles (e.g. SG's `rel a` and `rel b`); only a single-role scan
-      // may read a co-partitioned slice — otherwise broadcast it whole.
-      if (scanned[name] == 1) copart_names.insert(name);
-    }
-  }
+  // ---- Distribute base relations per the orchestration. ----
   std::map<std::string, dist::PartitionedRelation> coparted;
   for (const StepShape& shape : shapes) {
     if (shape.copart_table == nullptr) continue;
@@ -605,10 +671,13 @@ Result<std::map<std::string, Relation>> EvaluateCliqueDistributed(
     seed_stage.name = "seed-base-case";
     seed_stage.kind = StageSpec::Kind::kShuffleMap;
     seed_stage.output_slices = &seed_channel;
+    seed_stage.Claim(&splits, kPartitionOwned, "seed-splits");
     StageSpec merge_stage;
     merge_stage.name = "merge-base-case";
     merge_stage.kind = StageSpec::Kind::kShuffleReduce;
     merge_stage.input_slices = &seed_channel;
+    merge_stage.Claim(&all, kPartitionOwned, "all")
+        .Claim(&delta, kPartitionOwned, "delta");
     cluster->RunStagePair(
         seed_stage,
         [&](TaskContext& ctx) {
@@ -668,6 +737,10 @@ Result<std::map<std::string, Relation>> EvaluateCliqueDistributed(
     decomposed_stage.kind = StageSpec::Kind::kLocal;
     decomposed_stage.counter = &delta_rows;
     decomposed_stage.status = &failure;
+    decomposed_stage.Claim(&all, kPartitionOwned, "all")
+        .Claim(&delta, kPartitionOwned, "delta")
+        .Claim(&steps, kPartitionOwned, "step-caches")
+        .Claim(&coparted, kReadShared, "coparted-base");
     cluster->RunStage(decomposed_stage, [&](TaskContext& ctx) {
       const int p = ctx.partition();
       ctx.ReportCachedState(all.partition(p)->byte_size());
@@ -696,7 +769,7 @@ Result<std::map<std::string, Relation>> EvaluateCliqueDistributed(
       stats->hit_iteration_limit |= task_hit_limit[p] != 0;
     }
     stats->total_delta_rows += delta_rows.Total();
-  } else if (options.combine_stages) {
+  } else if (orch.pub.combine_stages) {
     // ---- Optimized DSN (Alg. 6): one ShuffleMap stage per iteration.
     // Map output of iteration i is merged and re-joined by iteration i+1
     // on the same partition/worker. Two channels ping-pong between
@@ -715,6 +788,10 @@ Result<std::map<std::string, Relation>> EvaluateCliqueDistributed(
       first_stage.kind = StageSpec::Kind::kShuffleMap;
       first_stage.output_slices = &channels[cur];
       first_stage.status = &failure;
+      first_stage.Claim(&all, kReadShared, "all")
+          .Claim(&delta, kPartitionOwned, "delta")
+          .Claim(&steps, kPartitionOwned, "step-caches")
+          .Claim(&coparted, kReadShared, "coparted-base");
       cluster->RunStage(first_stage, [&](TaskContext& ctx) {
         const int p = ctx.partition();
         ctx.ReportCachedState(all.partition(p)->byte_size() +
@@ -753,6 +830,10 @@ Result<std::map<std::string, Relation>> EvaluateCliqueDistributed(
       iter_stage.output_slices = &channels[next];
       iter_stage.counter = &delta_rows;
       iter_stage.status = &failure;
+      iter_stage.Claim(&all, kPartitionOwned, "all")
+          .Claim(&delta, kPartitionOwned, "delta")
+          .Claim(&steps, kPartitionOwned, "step-caches")
+          .Claim(&coparted, kReadShared, "coparted-base");
       cluster->RunStage(iter_stage, [&](TaskContext& ctx) {
         const int p = ctx.partition();
         ctx.ReportCachedState(all.partition(p)->byte_size() +
@@ -821,6 +902,11 @@ Result<std::map<std::string, Relation>> EvaluateCliqueDistributed(
       reduce_stage.kind = StageSpec::Kind::kShuffleReduce;
       reduce_stage.input_slices = &exchange;
       reduce_stage.counter = &delta_rows;
+      // The pair's shared `delta` hand-off is legal because the exchange
+      // channel orders reduce p after every map task; the verifier exempts
+      // write/write claims that carry such a slice dependency (RASQL-G008).
+      reduce_stage.Claim(&all, kPartitionOwned, "all")
+          .Claim(&delta, kPartitionOwned, "delta");
       const dist::StageTask reduce_task = [&](TaskContext& ctx) {
         const int p = ctx.partition();
         ctx.ReportCachedState(all.partition(p)->byte_size());
@@ -831,6 +917,9 @@ Result<std::map<std::string, Relation>> EvaluateCliqueDistributed(
       };
 
       if (morsel_rows == 0) {
+        map_stage.Claim(&delta, kPartitionOwned, "delta")
+            .Claim(&steps, kPartitionOwned, "step-caches")
+            .Claim(&coparted, kReadShared, "coparted-base");
         cluster->RunStagePair(
             map_stage,
             [&](TaskContext& ctx) {
@@ -886,6 +975,16 @@ Result<std::map<std::string, Relation>> EvaluateCliqueDistributed(
         map_stage.split_tasks = [&sub](int p) {
           return static_cast<int>(sub[p].size());
         };
+        // Sub-tasks evaluate frozen deltas into their own (partition,
+        // sub-task) slots; the per-partition step caches are shared by a
+        // partition's sub-tasks but internally synchronized (once_flag
+        // builds), so they count as partition-owned.
+        map_stage.Claim(&frozen, kReadShared, "frozen-delta")
+            .Claim(&sub, kReadShared, "sub-plan")
+            .Claim(&slots, kSplitSlotOwned, "morsel-slots")
+            .Claim(&sub_status, kSplitSlotOwned, "morsel-status")
+            .Claim(&steps, kPartitionOwned, "step-caches")
+            .Claim(&coparted, kReadShared, "coparted-base");
         cluster->RunStage(
             map_stage,
             // Split sub-task: pure compute into its owned slot. It must

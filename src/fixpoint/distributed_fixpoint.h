@@ -35,6 +35,36 @@ struct DistFixpointOptions : CommonFixpointOptions {
 /// semi-naive-safe, every recursive plan referencing the view exactly once.
 bool EligibleForDistributed(const analysis::RecursiveClique& clique);
 
+/// Driver-side orchestration decisions for one eligible clique: which
+/// evaluation mode the run will use and how base relations are
+/// distributed. Computed by the same analysis the evaluator runs before
+/// submitting any stage, and consumed by the offline EXPLAIN STAGES
+/// planner (fixpoint/stage_plan.h) so the rendered template cannot drift
+/// from the real orchestration.
+struct DistOrchestration {
+  /// Decomposed-plan evaluation (Sec. 7.2): partitions iterate
+  /// independently, no per-iteration shuffles.
+  bool decomposed = false;
+  /// Combined reduce+map stages (Alg. 6) — mutually exclusive with
+  /// `decomposed`; false for both = plain DSN map/reduce pairs (Alg. 4/5).
+  bool combine_stages = false;
+  /// The partition key the run settles on (column positions).
+  std::vector<int> partition_key;
+  /// Base tables shuffled into co-partitioned slices up front.
+  std::vector<std::string> copartitioned;
+  /// Base tables broadcast whole to every worker.
+  std::vector<std::string> broadcast;
+  /// True when at least one recursive branch is morsel-decomposable, so
+  /// `runtime.morsel_rows > 0` turns the plain map stage into a split DAG.
+  bool delta_splittable = false;
+};
+
+/// Analyzes `clique` (must be eligible) and returns the orchestration the
+/// distributed evaluator would use under `options`.
+common::Result<DistOrchestration> AnalyzeOrchestration(
+    const analysis::RecursiveClique& clique,
+    const DistFixpointOptions& options);
+
 /// Evaluates an eligible clique to fixpoint on the simulated cluster.
 /// Cluster metrics accumulate into `cluster->metrics()`; `stats` (shared
 /// with the local path) reports used_semi_naive, used_decomposed and the

@@ -7,10 +7,13 @@
 #include "dist/aggregates.h"
 #include "dist/partition.h"
 #include "dist/set_rdd.h"
+#include "fixpoint/stage_plan.h"
+#include "lint/diagnostic.h"
 #include "physical/pipeline.h"
 #include "runtime/stage_accumulators.h"
 #include "runtime/thread_pool.h"
 #include "storage/row_range.h"
+#include "verify/verifier.h"
 
 namespace rasql::fixpoint {
 
@@ -437,12 +440,49 @@ Result<std::map<std::string, Relation>> EvaluateNaive(
 
 }  // namespace
 
+Result<FixpointMode> ResolveLocalMode(const RecursiveClique& clique,
+                                      const FixpointOptions& options) {
+  const bool semi_naive_eligible =
+      clique.views.size() == 1 && clique.views[0].semi_naive_safe;
+  switch (options.mode) {
+    case FixpointMode::kAuto:
+      return semi_naive_eligible ? FixpointMode::kSemiNaive
+                                 : FixpointMode::kNaive;
+    case FixpointMode::kSemiNaive:
+      if (!semi_naive_eligible) {
+        return Status::ExecutionError(
+            "semi-naive evaluation requested but the clique containing '" +
+            clique.views[0].name +
+            "' requires naive evaluation (mutual recursion or non-linear "
+            "aggregate use)");
+      }
+      return FixpointMode::kSemiNaive;
+    case FixpointMode::kNaive:
+      return FixpointMode::kNaive;
+  }
+  return Status::Internal("unknown fixpoint mode");
+}
+
 Result<std::map<std::string, Relation>> EvaluateCliqueLocal(
     const RecursiveClique& clique,
     const std::map<std::string, const Relation*>& tables,
     const FixpointOptions& options, FixpointStats* stats) {
   FixpointStats local_stats;
   if (stats == nullptr) stats = &local_stats;
+
+  // Contract check first (DESIGN.md §11): build the declared stage graph
+  // of the phases this run will submit and verify it before any task runs
+  // — the local counterpart of the Cluster's live submission hook.
+  if (options.runtime.VerifyStagesEnabled()) {
+    RASQL_ASSIGN_OR_RETURN(verify::StageGraph graph,
+                           PlanLocalStages(clique, options));
+    lint::DiagnosticEngine diag;
+    verify::VerifyStageGraph(graph, &diag);
+    if (diag.HasErrors()) {
+      return Status::ExecutionError(
+          "local stage-graph verification failed:\n" + diag.ToString());
+    }
+  }
 
   ThreadPool pool(options.runtime.ResolvedThreads());
 
@@ -480,31 +520,10 @@ Result<std::map<std::string, Relation>> EvaluateCliqueLocal(
     return out;
   }
 
-  const bool semi_naive_eligible =
-      clique.views.size() == 1 && clique.views[0].semi_naive_safe;
-  // Initialized despite the exhaustive switch: an out-of-range enum value
-  // would otherwise read uninitialized (and trips -Wmaybe-uninitialized).
-  bool use_semi_naive = false;
-  switch (options.mode) {
-    case FixpointMode::kAuto:
-      use_semi_naive = semi_naive_eligible;
-      break;
-    case FixpointMode::kSemiNaive:
-      if (!semi_naive_eligible) {
-        return Status::ExecutionError(
-            "semi-naive evaluation requested but the clique containing '" +
-            clique.views[0].name +
-            "' requires naive evaluation (mutual recursion or non-linear "
-            "aggregate use)");
-      }
-      use_semi_naive = true;
-      break;
-    case FixpointMode::kNaive:
-      use_semi_naive = false;
-      break;
-  }
+  RASQL_ASSIGN_OR_RETURN(const FixpointMode mode,
+                         ResolveLocalMode(clique, options));
 
-  if (use_semi_naive) {
+  if (mode == FixpointMode::kSemiNaive) {
     return EvaluateSemiNaive(clique.views[0], tables, options, stats, &pool);
   }
   return EvaluateNaive(clique, tables, options, stats, &pool);

@@ -16,6 +16,14 @@ namespace rasql::fixpoint {
 std::vector<const plan::RecursiveRefNode*> CollectRecursiveRefs(
     const plan::LogicalPlan& plan);
 
+/// Resolves `options.mode` against the clique: returns kSemiNaive or
+/// kNaive (never kAuto), or an error when semi-naive is forced on a clique
+/// that requires naive evaluation. Shared by EvaluateCliqueLocal and the
+/// offline stage planner (fixpoint/stage_plan.h) so the two agree on which
+/// phases a run submits. The clique must be recursive.
+common::Result<FixpointMode> ResolveLocalMode(
+    const analysis::RecursiveClique& clique, const FixpointOptions& options);
+
 /// Evaluates one recursive clique to fixpoint on a single node, returning
 /// the materialized relation of every view in the clique. Non-recursive
 /// cliques evaluate in one shot. `tables` binds base tables and earlier

@@ -1,4 +1,4 @@
-#include "tools/prem_validator.h"
+#include "lint/gptest.h"
 
 #include <unordered_set>
 
@@ -8,7 +8,7 @@
 #include "physical/executor.h"
 #include "sql/parser.h"
 
-namespace rasql::tools {
+namespace rasql::lint {
 
 using analysis::RecursiveView;
 using common::Result;
@@ -156,4 +156,4 @@ Result<PremCheckResult> ValidatePrem(
   return result;
 }
 
-}  // namespace rasql::tools
+}  // namespace rasql::lint

@@ -1,5 +1,5 @@
-#ifndef RASQL_TOOLS_PREM_VALIDATOR_H_
-#define RASQL_TOOLS_PREM_VALIDATOR_H_
+#ifndef RASQL_LINT_GPTEST_H_
+#define RASQL_LINT_GPTEST_H_
 
 #include <map>
 #include <string>
@@ -7,7 +7,7 @@
 #include "common/status.h"
 #include "storage/relation.h"
 
-namespace rasql::tools {
+namespace rasql::lint {
 
 /// Outcome of a PreM auto-validation run (the paper's GPtest, Appendix G).
 struct PremCheckResult {
@@ -27,8 +27,9 @@ struct PremCheckResult {
 /// (Appendix G): the aggregated fixpoint X_n and the unaggregated fixpoint
 /// Y_n advance in lockstep, and γ(Y_n) must equal X_n at every step.
 ///
-/// This is the *runtime* oracle in the two-tier PreM story (DESIGN.md §6):
-/// the compile-time linter (src/lint) proves the common shapes outright;
+/// This is the *runtime* oracle in the two-tier PreM story (DESIGN.md §6),
+/// living beside the compile-time tier so the two cannot drift apart:
+/// the linter (linter.h) proves the common shapes outright;
 /// for views it reports as unproven (RASQL-M002/M003/A002, listed in
 /// LintReport::gptest_recommended) this per-dataset test is the
 /// recommended fallback.
@@ -42,6 +43,6 @@ common::Result<PremCheckResult> ValidatePrem(
     const std::map<std::string, const storage::Relation*>& tables,
     int max_iterations = 25);
 
-}  // namespace rasql::tools
+}  // namespace rasql::lint
 
-#endif  // RASQL_TOOLS_PREM_VALIDATOR_H_
+#endif  // RASQL_LINT_GPTEST_H_

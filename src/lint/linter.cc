@@ -141,7 +141,7 @@ void CheckMinMaxBranch(const RecursiveView& view, const sql::CteDef& cte,
                   "' flows through operations outside the monotone "
                   "catalog (+/- constant, * positive constant); PreM is "
                   "unproven — validate on representative data with the "
-                  "runtime GPtest (tools::ValidatePrem) before trusting "
+                  "runtime GPtest (lint::ValidatePrem) before trusting "
                   "results",
               view.name, item.ToString());
           break;
@@ -168,7 +168,7 @@ void CheckMinMaxBranch(const RecursiveView& view, const sql::CteDef& cte,
               "' inside recursion is not order-compatible with the " +
               std::string(fn_name) +
               "() head; PreM is unproven — run the GPtest "
-              "(tools::ValidatePrem) or stratify the query",
+              "(lint::ValidatePrem) or stratify the query",
           view.name, branch.where->ToString());
     } else {
       std::string offending;
@@ -179,7 +179,7 @@ void CheckMinMaxBranch(const RecursiveView& view, const sql::CteDef& cte,
             "a recursive branch filters the aggregate column '" + agg_name +
                 "' in a direction the " + std::string(fn_name) +
                 "() head does not preserve; PreM is unproven — run the "
-                "GPtest (tools::ValidatePrem) on representative data",
+                "GPtest (lint::ValidatePrem) on representative data",
             view.name, offending);
       }
     }
@@ -281,7 +281,7 @@ std::string LintReport::ToString() const {
     out += "\n";
   }
   if (!gptest_recommended.empty()) {
-    out += "runtime GPtest (tools::ValidatePrem) recommended:";
+    out += "runtime GPtest (lint::ValidatePrem) recommended:";
     for (const std::string& v : gptest_recommended) out += " " + v;
     out += "\n";
   }

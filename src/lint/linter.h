@@ -19,7 +19,7 @@ struct LintOptions {
 
 /// Outcome of statically analyzing one query (or script): the structured
 /// diagnostics plus the PreM provability summary. The static pass is the
-/// compile-time complement of the runtime GPtest (tools::ValidatePrem,
+/// compile-time complement of the runtime GPtest (lint::ValidatePrem,
 /// Appendix G): views it *proves* need no runtime check, views it cannot
 /// prove are listed in `gptest_recommended`.
 struct LintReport {
@@ -29,7 +29,7 @@ struct LintReport {
   /// aggregate-free).
   std::vector<std::string> proven_views;
   /// Views whose safety is unproven but not refuted; run the dynamic
-  /// GPtest (tools::ValidatePrem) on representative data for these.
+  /// GPtest (lint::ValidatePrem) on representative data for these.
   std::vector<std::string> gptest_recommended;
 
   bool HasErrors() const { return engine.HasErrors(); }

@@ -46,8 +46,21 @@ struct RuntimeOptions {
   /// model keeps consuming one partition-ordered report per partition.
   size_t morsel_rows = 0;
 
+  /// Verify declared stage graphs at submission time (DESIGN.md §11): the
+  /// Cluster rejects a RunStage/RunStagePair whose StageSpec violates the
+  /// slice-lifecycle or ownership contracts, before any task runs, and the
+  /// local fixpoint checks its phase plan up front. Opt-in here (shell
+  /// `--verify-stages`); also forced on by the RASQL_VERIFY_STAGES
+  /// environment variable and in debug (!NDEBUG) builds — see
+  /// VerifyStagesEnabled().
+  bool verify_stages = false;
+
   /// `num_threads` with the auto-detect value resolved; always >= 1.
   int ResolvedThreads() const;
+
+  /// Whether stage-graph verification is active: `verify_stages`, or the
+  /// RASQL_VERIFY_STAGES env var (any value but "0"), or a debug build.
+  bool VerifyStagesEnabled() const;
 };
 
 }  // namespace rasql::runtime

@@ -1,10 +1,25 @@
 #include "runtime/stage_executor.h"
 
+#include <cstdlib>
+
 namespace rasql::runtime {
 
 int RuntimeOptions::ResolvedThreads() const {
   if (num_threads <= 0) return ThreadPool::HardwareThreads();
   return num_threads;
+}
+
+bool RuntimeOptions::VerifyStagesEnabled() const {
+  if (verify_stages) return true;
+  if (const char* env = std::getenv("RASQL_VERIFY_STAGES");
+      env != nullptr && *env != '\0' && !(env[0] == '0' && env[1] == '\0')) {
+    return true;
+  }
+#ifndef NDEBUG
+  return true;
+#else
+  return false;
+#endif
 }
 
 StageExecutor::StageExecutor(RuntimeOptions options)

@@ -4,7 +4,8 @@
 //
 // Usage:
 //   rasql [--distributed] [--workers N] [--threads N] [--async-shuffle]
-//         [--morsel-rows=N] [--lint] [--werror-lint] [script.sql]
+//         [--morsel-rows=N] [--lint] [--werror-lint] [--verify-stages]
+//         [script.sql]
 //
 // --threads=N runs the task closures of every distributed stage AND the
 // local fixpoint path's partitioned semi-naive/naive evaluation on a
@@ -28,9 +29,13 @@
 //   .explain <query>           print the compiled plan
 //   .stats                     fixpoint/cluster stats of the last query
 //   .quit
+// --verify-stages forces the static stage-graph verifier on (DESIGN.md
+// §11) even in release builds; debug builds always verify.
+//
 // `EXPLAIN LINT <query>;` prints the static-analysis report without
-// executing. Anything else is executed as RaSQL (statements end
-// with ';').
+// executing; `EXPLAIN STAGES <query>;` prints the verified stage graph
+// the query's cliques would submit, also without executing. Anything
+// else is executed as RaSQL (statements end with ';').
 
 #include <cctype>
 #include <cstdio>
@@ -59,6 +64,7 @@ void PrintHelp() {
       "  .help                  this text\n"
       "  .quit                  exit\n"
       "  EXPLAIN LINT <query>;  static PreM/monotonicity report\n"
+      "  EXPLAIN STAGES <query>;  verified stage graph, no execution\n"
       "anything else runs as RaSQL (end statements with ';').\n");
 }
 
@@ -71,13 +77,23 @@ class Shell {
   bool Handle(const std::string& input) {
     if (input.empty()) return true;
     if (input[0] == '.') return HandleCommand(input);
-    if (std::string rest; StripExplainLint(input, &rest)) {
+    if (std::string rest; StripExplainPrefix(input, "LINT", &rest)) {
       auto report = ctx_.Lint(rest);
       if (!report.ok()) {
         ++num_errors_;
         std::printf("error: %s\n", report.status().ToString().c_str());
       } else {
         std::printf("%s", report->ToString().c_str());
+      }
+      return true;
+    }
+    if (std::string rest; StripExplainPrefix(input, "STAGES", &rest)) {
+      auto stages = ctx_.ExplainStages(rest);
+      if (!stages.ok()) {
+        ++num_errors_;
+        std::printf("error: %s\n", stages.status().ToString().c_str());
+      } else {
+        std::printf("%s", stages->c_str());
       }
       return true;
     }
@@ -101,10 +117,11 @@ class Shell {
   }
 
  private:
-  /// Recognizes the `EXPLAIN LINT <query>` prefix (case-insensitive);
-  /// fills `rest` with the query that follows it.
-  static bool StripExplainLint(const std::string& input, std::string* rest) {
-    static constexpr const char* kWords[] = {"EXPLAIN", "LINT"};
+  /// Recognizes the `EXPLAIN <mode> <query>` prefix (case-insensitive,
+  /// `mode` = LINT or STAGES); fills `rest` with the query that follows.
+  static bool StripExplainPrefix(const std::string& input, const char* mode,
+                                 std::string* rest) {
+    const char* const kWords[] = {"EXPLAIN", mode};
     size_t pos = input.find_first_not_of(" \t\n");
     for (const char* word : kWords) {
       if (pos == std::string::npos) return false;
@@ -247,11 +264,13 @@ int Main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--werror-lint") == 0) {
       config.lint_before_execute = true;
       config.lint.werror = true;
+    } else if (std::strcmp(argv[i], "--verify-stages") == 0) {
+      config.runtime.verify_stages = true;
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::printf(
           "usage: rasql [--distributed] [--workers N] [--threads N] "
           "[--async-shuffle] [--morsel-rows=N] [--lint] [--werror-lint] "
-          "[script]\n");
+          "[--verify-stages] [script]\n");
       PrintHelp();
       return 0;
     } else {

@@ -14,7 +14,7 @@
 #include "baselines/serial/serial_graph.h"
 #include "datagen/graph_gen.h"
 #include "engine/rasql_context.h"
-#include "tools/prem_validator.h"
+#include "lint/gptest.h"
 
 namespace rasql {
 namespace {
@@ -300,7 +300,7 @@ TEST(SemiNaiveSafetyCrossVal, NonLinearMinAgreesWithNaiveAndSerial) {
 // ---- Static ⇒ dynamic PreM agreement (DESIGN.md §6) ----
 //
 // Every min/max query the compile-time linter marks as statically proven
-// must also pass the runtime GPtest oracle (tools::ValidatePrem) on a
+// must also pass the runtime GPtest oracle (lint::ValidatePrem) on a
 // small random graph. A disagreement would mean the syntactic sufficient
 // conditions in src/lint are unsound.
 
@@ -347,7 +347,7 @@ TEST_P(StaticDynamicPrem, ProvenQueriesPassGptest) {
     ASSERT_EQ(report->proven_views.size(), 1u) << report->ToString();
     EXPECT_FALSE(report->engine.HasWarnings()) << report->ToString();
 
-    auto dynamic = tools::ValidatePrem(sql, {{"edge", &edge}},
+    auto dynamic = lint::ValidatePrem(sql, {{"edge", &edge}},
                                        /*max_iterations=*/20);
     ASSERT_TRUE(dynamic.ok()) << dynamic.status();
     EXPECT_TRUE(dynamic->holds)
@@ -384,7 +384,7 @@ TEST_P(StaticDynamicPrem, UnprovenQueryCaughtByRecommendedOracle) {
   EXPECT_TRUE(report->proven_views.empty());
   ASSERT_EQ(report->gptest_recommended.size(), 1u) << report->ToString();
 
-  auto dynamic = tools::ValidatePrem(unproven, {{"edge", &adversarial}},
+  auto dynamic = lint::ValidatePrem(unproven, {{"edge", &adversarial}},
                                      /*max_iterations=*/8);
   ASSERT_TRUE(dynamic.ok()) << dynamic.status();
   EXPECT_FALSE(dynamic->holds);
@@ -392,8 +392,8 @@ TEST_P(StaticDynamicPrem, UnprovenQueryCaughtByRecommendedOracle) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, StaticDynamicPrem,
                          ::testing::Values(11u, 23u, 47u),
-                         [](const auto& info) {
-                           return "seed" + std::to_string(info.param);
+                         [](const auto& pinfo) {
+                           return "seed" + std::to_string(pinfo.param);
                          });
 
 INSTANTIATE_TEST_SUITE_P(
@@ -407,11 +407,11 @@ INSTANTIATE_TEST_SUITE_P(
                       // The *local* fixpoint path on the parallel runtime
                       // (partitioned semi-naive/naive, DESIGN.md §9).
                       CrossValCase{11, false, 8}, CrossValCase{47, false, 8}),
-    [](const auto& info) {
-      return "seed" + std::to_string(info.param.seed) +
-             (info.param.distributed ? "_dist" : "_local") +
-             (info.param.threads > 1
-                  ? "_t" + std::to_string(info.param.threads)
+    [](const auto& pinfo) {
+      return "seed" + std::to_string(pinfo.param.seed) +
+             (pinfo.param.distributed ? "_dist" : "_local") +
+             (pinfo.param.threads > 1
+                  ? "_t" + std::to_string(pinfo.param.threads)
                   : "");
     });
 

@@ -605,7 +605,7 @@ constexpr ConfigVariant kVariants[] = {
 
 INSTANTIATE_TEST_SUITE_P(Configs, ConsistencySweep,
                          ::testing::ValuesIn(kVariants),
-                         [](const auto& info) { return info.param.name; });
+                         [](const auto& pinfo) { return pinfo.param.name; });
 
 TEST(EngineDistributedTest, TcUsesDecomposedPlan) {
   EngineConfig config;

@@ -137,8 +137,8 @@ TEST_P(MorselMatrix, ResultsStatsAndMetricsAreInvariant) {
 
 INSTANTIATE_TEST_SUITE_P(LocalAndDistributed, MorselMatrix,
                          ::testing::Values(false, true),
-                         [](const ::testing::TestParamInfo<bool>& info) {
-                           return info.param ? "Distributed" : "Local";
+                         [](const ::testing::TestParamInfo<bool>& pinfo) {
+                           return pinfo.param ? "Distributed" : "Local";
                          });
 
 TEST(MorselSplit, DistributedMapStagesRunExtraTasks) {

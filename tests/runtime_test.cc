@@ -412,12 +412,12 @@ INSTANTIATE_TEST_SUITE_P(
         // Async with combination on: pairs collapse, the flag must be a
         // harmless no-op.
         FixpointCase{8, true, true, /*async_shuffle=*/true}),
-    [](const auto& info) {
-      return "t" + std::to_string(info.param.num_threads) +
-             (info.param.partition_aware ? "_aware" : "_hybrid") +
-             (info.param.deterministic_reduce ? "_det" : "_relaxed") +
-             (info.param.async_shuffle ? "_async" : "") +
-             (info.param.combine_stages ? "" : "_nocombine");
+    [](const auto& pinfo) {
+      return "t" + std::to_string(pinfo.param.num_threads) +
+             (pinfo.param.partition_aware ? "_aware" : "_hybrid") +
+             (pinfo.param.deterministic_reduce ? "_det" : "_relaxed") +
+             (pinfo.param.async_shuffle ? "_async" : "") +
+             (pinfo.param.combine_stages ? "" : "_nocombine");
     });
 
 }  // namespace

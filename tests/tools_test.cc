@@ -1,9 +1,9 @@
 #include <gtest/gtest.h>
 
 #include "storage/relation.h"
-#include "tools/prem_validator.h"
+#include "lint/gptest.h"
 
-namespace rasql::tools {
+namespace rasql::lint {
 namespace {
 
 using storage::MakeIntRelation;
@@ -83,4 +83,4 @@ TEST(PremValidatorTest, RejectsNonRecursiveQueries) {
 }
 
 }  // namespace
-}  // namespace rasql::tools
+}  // namespace rasql::lint
