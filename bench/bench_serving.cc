@@ -1,0 +1,268 @@
+// bench_serving — concurrent serving benchmark for the query server
+// (DESIGN.md §12): N client sessions drive open-loop load (fixed arrival
+// schedule per session, issuing late rather than skipping when the server
+// falls behind) against an in-process Server over one shared context, and
+// the harness reports queries/sec, p50/p99 latency, and the measured
+// cache-hit speedup — with every hit's bytes cross-checked against its
+// cold run.
+//
+//   bench_serving [--sessions=8] [--seconds=2] [--rate=200]
+//                 [--vertices=192] [--exec-slots=4] [--engine-threads=2]
+//                 [--json=PATH]
+//
+// Writes BENCH_serving.json (always; --json overrides the path).
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "datagen/graph_gen.h"
+#include "engine/rasql_context.h"
+#include "server/client.h"
+#include "server/server.h"
+
+namespace rasql::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double Quantile(std::vector<double> sorted, double q) {
+  if (sorted.empty()) return 0;
+  const size_t index = std::min(
+      sorted.size() - 1, static_cast<size_t>(q * (sorted.size() - 1) + 0.5));
+  return sorted[index];
+}
+
+struct SessionLog {
+  std::vector<double> latencies_sec;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t errors = 0;
+  uint64_t mismatches = 0;  ///< hit bytes != the query's cold bytes
+};
+
+int Main(int argc, char** argv) {
+  int sessions = 8;
+  double seconds = 2.0;
+  double rate = 200.0;  // arrivals per second per session
+  int64_t vertices = 192;
+  server::ServerOptions options;
+  options.io_slots = 2;
+  options.exec_slots = 4;
+  options.engine_threads = 2;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--sessions=", 0) == 0) {
+      sessions = std::atoi(arg.c_str() + 11);
+    } else if (arg.rfind("--seconds=", 0) == 0) {
+      seconds = std::atof(arg.c_str() + 10);
+    } else if (arg.rfind("--rate=", 0) == 0) {
+      rate = std::atof(arg.c_str() + 7);
+    } else if (arg.rfind("--vertices=", 0) == 0) {
+      vertices = std::atoll(arg.c_str() + 11);
+    } else if (arg.rfind("--exec-slots=", 0) == 0) {
+      options.exec_slots = std::atoi(arg.c_str() + 13);
+    } else if (arg.rfind("--engine-threads=", 0) == 0) {
+      options.engine_threads = std::atoi(arg.c_str() + 17);
+    }
+  }
+  const std::string json_path =
+      JsonPathFromArgs(argc, argv, "BENCH_serving.json").empty()
+          ? "BENCH_serving.json"
+          : JsonPathFromArgs(argc, argv, "BENCH_serving.json");
+
+  datagen::RmatOptions graph_options;
+  graph_options.num_vertices = vertices;
+  graph_options.weighted = true;
+  engine::RaSqlContext ctx;
+  {
+    auto status = ctx.RegisterTable(
+        "edge", datagen::ToEdgeRelation(datagen::GenerateRmat(graph_options)));
+    if (!status.ok()) {
+      std::fprintf(stderr, "register: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+
+  server::Server server(&ctx, options);
+  if (auto status = server.Start(); !status.ok()) {
+    std::fprintf(stderr, "start: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  const std::vector<std::string> workload = {
+      kTcQuery, SsspQuery(0), SsspQuery(1), kCcQuery};
+
+  // ---- Cold vs hit: per query, the first run misses (and is memoized),
+  // the second must hit with bit-identical bytes. ----
+  std::vector<double> cold_sec(workload.size());
+  std::vector<double> hit_sec(workload.size());
+  std::vector<std::string> cold_bodies(workload.size());
+  {
+    server::Client client;
+    if (!client.Connect(server.port()).ok()) {
+      std::fprintf(stderr, "connect failed\n");
+      return 1;
+    }
+    for (size_t q = 0; q < workload.size(); ++q) {
+      auto start = Clock::now();
+      auto cold = client.Query(workload[q]);
+      cold_sec[q] = std::chrono::duration<double>(Clock::now() - start)
+                        .count();
+      if (!cold.ok() || cold->cache_hit) {
+        std::fprintf(stderr, "cold run %zu failed or unexpectedly hit\n", q);
+        return 1;
+      }
+      cold_bodies[q] = cold->body;
+
+      start = Clock::now();
+      auto hit = client.Query(workload[q]);
+      hit_sec[q] =
+          std::chrono::duration<double>(Clock::now() - start).count();
+      if (!hit.ok() || !hit->cache_hit || hit->body != cold_bodies[q]) {
+        std::fprintf(stderr, "hit run %zu failed, missed, or diverged\n", q);
+        return 1;
+      }
+    }
+  }
+
+  // ---- Open-loop concurrent phase over the warmed cache. ----
+  std::vector<SessionLog> logs(sessions);
+  std::vector<std::thread> threads;
+  threads.reserve(sessions);
+  const auto phase_start = Clock::now();
+  for (int s = 0; s < sessions; ++s) {
+    threads.emplace_back([&, s] {
+      SessionLog& log = logs[s];
+      server::Client client;
+      if (!client.Connect(server.port()).ok()) {
+        ++log.errors;
+        return;
+      }
+      const auto interval =
+          std::chrono::duration_cast<Clock::duration>(
+              std::chrono::duration<double>(1.0 / rate));
+      const auto deadline =
+          phase_start + std::chrono::duration_cast<Clock::duration>(
+                            std::chrono::duration<double>(seconds));
+      auto scheduled = phase_start + (s * interval) / sessions;
+      size_t q = static_cast<size_t>(s) % workload.size();
+      while (scheduled < deadline) {
+        std::this_thread::sleep_until(scheduled);  // no-op once behind
+        auto result = client.Query(workload[q]);
+        // Open-loop latency: measured from the scheduled arrival, so
+        // server queueing under overload is charged to the request.
+        const double latency =
+            std::chrono::duration<double>(Clock::now() - scheduled).count();
+        if (!result.ok()) {
+          ++log.errors;
+        } else {
+          log.latencies_sec.push_back(latency);
+          if (result->cache_hit) {
+            ++log.hits;
+            if (result->body != cold_bodies[q]) ++log.mismatches;
+          } else {
+            ++log.misses;
+          }
+        }
+        scheduled += interval;
+        q = (q + 1) % workload.size();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - phase_start).count();
+  server.Stop();
+
+  std::vector<double> latencies;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t errors = 0;
+  uint64_t mismatches = 0;
+  for (const SessionLog& log : logs) {
+    latencies.insert(latencies.end(), log.latencies_sec.begin(),
+                     log.latencies_sec.end());
+    hits += log.hits;
+    misses += log.misses;
+    errors += log.errors;
+    mismatches += log.mismatches;
+  }
+  std::sort(latencies.begin(), latencies.end());
+  const double qps = latencies.empty() ? 0 : latencies.size() / elapsed;
+  const double p50_ms = Quantile(latencies, 0.50) * 1e3;
+  const double p99_ms = Quantile(latencies, 0.99) * 1e3;
+
+  double cold_total = 0;
+  double hit_total = 0;
+  for (size_t q = 0; q < workload.size(); ++q) {
+    cold_total += cold_sec[q];
+    hit_total += hit_sec[q];
+  }
+  const double speedup = hit_total > 0 ? cold_total / hit_total : 0;
+
+  std::printf("serving: %d sessions, %.1fs, rate %.0f/s/session\n", sessions,
+              elapsed, rate);
+  std::printf("  queries/sec      %10.1f\n", qps);
+  std::printf("  p50 latency      %10.3f ms\n", p50_ms);
+  std::printf("  p99 latency      %10.3f ms\n", p99_ms);
+  std::printf("  cache hits       %10llu  (misses %llu, errors %llu)\n",
+              static_cast<unsigned long long>(hits),
+              static_cast<unsigned long long>(misses),
+              static_cast<unsigned long long>(errors));
+  std::printf("  cold sum         %10.3f ms\n", cold_total * 1e3);
+  std::printf("  hit sum          %10.3f ms   (speedup %.1fx)\n",
+              hit_total * 1e3, speedup);
+  if (mismatches > 0) {
+    std::fprintf(stderr, "FAIL: %llu cache hits diverged from cold bytes\n",
+                 static_cast<unsigned long long>(mismatches));
+    return 1;
+  }
+  if (speedup <= 1.0) {
+    std::fprintf(stderr, "FAIL: cache hits not faster than cold runs\n");
+    return 1;
+  }
+
+  JsonEmitter doc;
+  doc.Text("bench", "serving");
+  doc.Integer("sessions", sessions);
+  doc.Number("rate_per_session", rate);
+  doc.Number("elapsed_sec", elapsed);
+  doc.Integer("queries", static_cast<int64_t>(latencies.size()));
+  doc.Number("queries_per_sec", qps);
+  doc.Number("p50_ms", p50_ms);
+  doc.Number("p99_ms", p99_ms);
+  doc.Integer("cache_hits", static_cast<int64_t>(hits));
+  doc.Integer("cache_misses", static_cast<int64_t>(misses));
+  doc.Integer("errors", static_cast<int64_t>(errors));
+  doc.Number("cold_total_ms", cold_total * 1e3);
+  doc.Number("hit_total_ms", hit_total * 1e3);
+  doc.Number("cache_hit_speedup", speedup);
+  std::vector<std::string> per_query;
+  for (size_t q = 0; q < workload.size(); ++q) {
+    JsonEmitter rec;
+    rec.Integer("query", static_cast<int64_t>(q));
+    rec.Number("cold_ms", cold_sec[q] * 1e3);
+    rec.Number("hit_ms", hit_sec[q] * 1e3);
+    rec.Integer("hit_identical", 1);  // enforced above; mismatch aborts
+    per_query.push_back(rec.ToString());
+  }
+  doc.Raw("queries_cold_vs_hit", JsonEmitter::Array(per_query));
+  if (!doc.WriteFile(json_path)) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", json_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace rasql::bench
+
+int main(int argc, char** argv) { return rasql::bench::Main(argc, argv); }

@@ -34,7 +34,8 @@ cmake -B "${TSAN_BUILD_DIR}" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DRASQL_ENABLE_TSAN=ON
 cmake --build "${TSAN_BUILD_DIR}" -j "${JOBS}" \
-  --target runtime_test dist_test fixpoint_test morsel_test
+  --target runtime_test dist_test fixpoint_test morsel_test \
+           concurrency_test server_test
 "${TSAN_BUILD_DIR}/tests/runtime_test"
 "${TSAN_BUILD_DIR}/tests/dist_test"
 "${TSAN_BUILD_DIR}/tests/fixpoint_test"
@@ -65,6 +66,58 @@ cmake --build "${TSAN_BUILD_DIR}" -j "${JOBS}" \
 # distributed) is exactly the schedule TSan must see clean.
 "${TSAN_BUILD_DIR}/tests/morsel_test" \
   --gtest_filter='*MorselMatrix*:*MorselSplit*'
+
+# Shared-context matrix under TSan (DESIGN.md §12): session threads
+# interleaving reads with exclusive writers on one RaSqlContext, at engine
+# threads {1,2,8}, plus the server's shared compute pool. This is the
+# concurrency contract the query server runs on; the reader/writer lock,
+# the version counters and the caches must all be clean under TSan.
+"${TSAN_BUILD_DIR}/tests/concurrency_test"
+"${TSAN_BUILD_DIR}/tests/server_test"
+
+# Serving smoke test (DESIGN.md §12): boot rasql_serverd on an ephemeral
+# port, run a scripted client session through the prepare/execute, query,
+# cache-hit and typed-error paths, then shut down cleanly via SIGTERM and
+# require exit code 0 (the sigwait path, not a crash). Repeated against
+# the TSan build so the socket loops and executor handoffs run under the
+# race detector too.
+serving_smoke() {
+  local build_dir=$1
+  cmake --build "${build_dir}" -j "${JOBS}" \
+    --target rasql_serverd rasql_client
+  local port_file
+  port_file=$(mktemp)
+  "${build_dir}/src/rasql_serverd" --gen-rmat=edge:64 --engine-threads=2 \
+    --port-file="${port_file}" &
+  local server_pid=$!
+  for _ in $(seq 1 100); do
+    [[ -s "${port_file}" ]] && break
+    sleep 0.1
+  done
+  local port
+  port=$(cat "${port_file}")
+  local tc="WITH recursive tc (Src, Dst) AS
+      (SELECT Src, Dst FROM edge) UNION
+      (SELECT tc.Src, edge.Dst FROM tc, edge WHERE tc.Dst = edge.Src)
+    SELECT count(*) FROM tc"
+  local out
+  out=$("${build_dir}/src/rasql_client" --port="${port}" \
+    "${tc}" "${tc}" \
+    "prepare:SELECT Src, Dst FROM edge WHERE Src = 0" \
+    "exec:1" "exec:1" \
+    "SELEKT nonsense" \
+    "exec:99")
+  grep -q "RESULT cache_hit=0" <<<"${out}"
+  grep -q "RESULT cache_hit=1" <<<"${out}"
+  grep -q "PREPARED id=1" <<<"${out}"
+  grep -q "ERROR PARSE" <<<"${out}"
+  grep -q "ERROR UNKNOWN_STATEMENT" <<<"${out}"
+  kill -TERM "${server_pid}"
+  wait "${server_pid}"
+  rm -f "${port_file}"
+}
+serving_smoke "${BUILD_DIR}"
+serving_smoke "${TSAN_BUILD_DIR}"
 
 # clang-tidy gate over src/ (.clang-tidy rule set). Skips with a notice
 # when the container has no clang-tidy on PATH.

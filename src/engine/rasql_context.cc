@@ -18,12 +18,21 @@ RaSqlContext::RaSqlContext(EngineConfig config)
 
 Status RaSqlContext::RegisterTable(const std::string& name,
                                    Relation relation) {
+  std::unique_lock lock(mu_);
+  return RegisterTableLocked(name, std::move(relation));
+}
+
+Status RaSqlContext::RegisterTableLocked(const std::string& name,
+                                         Relation relation) {
   RASQL_RETURN_IF_ERROR(catalog_.RegisterTable(name, relation.schema()));
-  tables_.emplace(ToLower(name), std::move(relation));
+  const std::string key = ToLower(name);
+  tables_.insert_or_assign(key, std::move(relation));
+  BumpVersionLocked(key);
   return Status::OK();
 }
 
 Status RaSqlContext::DropTable(const std::string& name) {
+  std::unique_lock lock(mu_);
   const std::string key = ToLower(name);
   if (tables_.erase(key) == 0) {
     return Status::NotFound("no table named '" + name + "'");
@@ -34,12 +43,78 @@ Status RaSqlContext::DropTable(const std::string& name) {
     fresh.PutTable(table_name, rel.schema());
   }
   catalog_ = std::move(fresh);
+  BumpVersionLocked(key);
   return Status::OK();
 }
 
 const Relation* RaSqlContext::FindTable(const std::string& name) const {
+  std::shared_lock lock(mu_);
   auto it = tables_.find(ToLower(name));
   return it == tables_.end() ? nullptr : &it->second;
+}
+
+uint64_t RaSqlContext::TableVersion(const std::string& name) const {
+  std::shared_lock lock(mu_);
+  auto it = versions_.find(ToLower(name));
+  return it == versions_.end() ? 0 : it->second;
+}
+
+uint64_t RaSqlContext::CatalogVersion() const {
+  std::shared_lock lock(mu_);
+  return catalog_version_;
+}
+
+void RaSqlContext::BumpVersionLocked(const std::string& key) {
+  ++versions_[key];
+  ++catalog_version_;
+}
+
+Result<Relation> RaSqlContext::ExecuteInsertLocked(
+    const sql::InsertStmt& insert) {
+  const std::string key = ToLower(insert.table);
+  auto it = tables_.find(key);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table named '" + insert.table + "'");
+  }
+  Relation& table = it->second;
+  const storage::Schema& schema = table.schema();
+  // Validate (and coerce) every row before appending any: an INSERT either
+  // lands completely or not at all, so cache invalidation never observes a
+  // half-applied write.
+  std::vector<storage::Row> coerced;
+  coerced.reserve(insert.rows.size());
+  for (const storage::Row& row : insert.rows) {
+    if (static_cast<int>(row.size()) != schema.num_columns()) {
+      return Status::InvalidArgument(
+          "INSERT row has " + std::to_string(row.size()) +
+          " values but table '" + insert.table + "' has " +
+          std::to_string(schema.num_columns()) + " columns");
+    }
+    storage::Row out = row;
+    for (int c = 0; c < schema.num_columns(); ++c) {
+      const storage::ValueType want = schema.column(c).type;
+      const storage::ValueType got = out[c].type();
+      if (got == storage::ValueType::kNull || got == want) continue;
+      if (got == storage::ValueType::kInt64 &&
+          want == storage::ValueType::kDouble) {
+        out[c] = storage::Value::Double(static_cast<double>(out[c].AsInt()));
+        continue;
+      }
+      return Status::InvalidArgument(
+          std::string("INSERT value type ") + storage::ValueTypeName(got) +
+          " does not fit column '" + schema.column(c).name + "' (" +
+          storage::ValueTypeName(want) + ") of table '" + insert.table + "'");
+    }
+    coerced.push_back(std::move(out));
+  }
+  table.Reserve(table.size() + coerced.size());
+  for (storage::Row& row : coerced) table.Add(std::move(row));
+  BumpVersionLocked(key);
+
+  Relation result(storage::Schema::Of(
+      {{"rows_inserted", storage::ValueType::kInt64}}));
+  result.Add({storage::Value::Int(static_cast<int64_t>(insert.rows.size()))});
+  return result;
 }
 
 Result<ExecutionResult> RaSqlContext::Execute(const std::string& sql) {
@@ -48,9 +123,25 @@ Result<ExecutionResult> RaSqlContext::Execute(const std::string& sql) {
   if (statements.empty()) {
     return Status::InvalidArgument("empty statement");
   }
+  // Lock discipline: a script that writes the shared catalog (CREATE VIEW
+  // materialization, INSERT) is exclusive; pure query scripts share. The
+  // lock covers the whole script so multi-statement scripts are atomic
+  // with respect to other sessions.
+  bool writes = false;
+  for (const sql::Statement& stmt : statements) {
+    writes |= stmt.kind != sql::Statement::Kind::kQuery;
+  }
+  std::shared_lock<std::shared_mutex> shared(mu_, std::defer_lock);
+  std::unique_lock<std::shared_mutex> exclusive(mu_, std::defer_lock);
+  if (writes) {
+    exclusive.lock();
+  } else {
+    shared.lock();
+  }
   ExecutionResult execution;
   if (config_.lint_before_execute) {
-    RASQL_ASSIGN_OR_RETURN(execution.lint_report, Lint(sql));
+    lint::Linter linter(&catalog_);
+    RASQL_ASSIGN_OR_RETURN(execution.lint_report, linter.LintSql(sql));
     if (execution.lint_report.BlocksExecution(config_.lint)) {
       return Status::AnalysisError(
           "query refused by lint" +
@@ -60,6 +151,12 @@ Result<ExecutionResult> RaSqlContext::Execute(const std::string& sql) {
   }
   bool produced_result = false;
   for (const sql::Statement& stmt : statements) {
+    if (stmt.kind == sql::Statement::Kind::kInsert) {
+      RASQL_ASSIGN_OR_RETURN(execution.relation,
+                             ExecuteInsertLocked(*stmt.insert));
+      produced_result = true;
+      continue;
+    }
     if (stmt.kind == sql::Statement::Kind::kCreateView) {
       const sql::CreateViewStmt& view = *stmt.create_view;
       analysis::Analyzer analyzer(&catalog_);
@@ -86,7 +183,7 @@ Result<ExecutionResult> RaSqlContext::Execute(const std::string& sql) {
         cols[i].name = view.columns[i];
       }
       *rel.mutable_schema() = storage::Schema(std::move(cols));
-      RASQL_RETURN_IF_ERROR(RegisterTable(view.name, std::move(rel)));
+      RASQL_RETURN_IF_ERROR(RegisterTableLocked(view.name, std::move(rel)));
       continue;
     }
     RASQL_ASSIGN_OR_RETURN(execution.relation,
@@ -99,6 +196,23 @@ Result<ExecutionResult> RaSqlContext::Execute(const std::string& sql) {
         "script contains no query statement (only CREATE VIEW)");
   }
   return execution;
+}
+
+Result<std::string> RaSqlContext::NormalizedPlanKey(
+    const std::string& sql) const {
+  RASQL_ASSIGN_OR_RETURN(std::vector<sql::Statement> statements,
+                         sql::Parser::ParseScript(sql));
+  if (statements.size() != 1 ||
+      statements[0].kind != sql::Statement::Kind::kQuery) {
+    return Status::InvalidArgument(
+        "prepared statements must be a single query statement");
+  }
+  std::shared_lock lock(mu_);
+  analysis::Analyzer analyzer(&catalog_);
+  RASQL_ASSIGN_OR_RETURN(analysis::AnalyzedQuery analyzed,
+                         analyzer.Analyze(*statements[0].query));
+  analyzed.Optimize(config_.optimizer);
+  return analyzed.ToString();
 }
 
 Result<Relation> RaSqlContext::ExecuteQuery(const sql::Query& query,
@@ -158,11 +272,37 @@ Result<Relation> RaSqlContext::ExecuteQuery(const sql::Query& query,
   return physical::Execute(*analyzed.body, ctx);
 }
 
+namespace {
+
+/// EXPLAIN variants register CREATE VIEW schemas into the shared catalog so
+/// later statements analyze; that makes them writers for locking purposes.
+bool ScriptWritesCatalog(const std::vector<sql::Statement>& statements) {
+  for (const sql::Statement& stmt : statements) {
+    if (stmt.kind != sql::Statement::Kind::kQuery) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
 Result<std::string> RaSqlContext::ExplainStages(const std::string& sql) {
   RASQL_ASSIGN_OR_RETURN(std::vector<sql::Statement> statements,
                          sql::Parser::ParseScript(sql));
+  std::shared_lock<std::shared_mutex> shared(mu_, std::defer_lock);
+  std::unique_lock<std::shared_mutex> exclusive(mu_, std::defer_lock);
+  if (ScriptWritesCatalog(statements)) {
+    exclusive.lock();
+  } else {
+    shared.lock();
+  }
   std::string out;
   for (const sql::Statement& stmt : statements) {
+    if (stmt.kind == sql::Statement::Kind::kInsert) {
+      out += "=== INSERT INTO " + stmt.insert->table + " ===\n(" +
+             std::to_string(stmt.insert->rows.size()) +
+             " literal rows; no stages)\n";
+      continue;
+    }
     if (stmt.kind == sql::Statement::Kind::kCreateView) {
       // Views evaluate as one physical plan on the driver — no stage
       // submissions to render. Register the schema so later statements
@@ -218,6 +358,7 @@ Result<std::string> RaSqlContext::ExplainStages(const std::string& sql) {
 }
 
 Result<lint::LintReport> RaSqlContext::Lint(const std::string& sql) const {
+  std::shared_lock lock(mu_);
   lint::Linter linter(&catalog_);
   return linter.LintSql(sql);
 }
@@ -225,8 +366,19 @@ Result<lint::LintReport> RaSqlContext::Lint(const std::string& sql) const {
 Result<std::string> RaSqlContext::Explain(const std::string& sql) {
   RASQL_ASSIGN_OR_RETURN(std::vector<sql::Statement> statements,
                          sql::Parser::ParseScript(sql));
+  std::shared_lock<std::shared_mutex> shared(mu_, std::defer_lock);
+  std::unique_lock<std::shared_mutex> exclusive(mu_, std::defer_lock);
+  if (ScriptWritesCatalog(statements)) {
+    exclusive.lock();
+  } else {
+    shared.lock();
+  }
   std::string out;
   for (const sql::Statement& stmt : statements) {
+    if (stmt.kind == sql::Statement::Kind::kInsert) {
+      out += "=== INSERT INTO " + stmt.insert->table + " ===\n";
+      continue;
+    }
     if (stmt.kind == sql::Statement::Kind::kCreateView) {
       analysis::Analyzer analyzer(&catalog_);
       RASQL_ASSIGN_OR_RETURN(

@@ -1,9 +1,12 @@
 #ifndef RASQL_ENGINE_RASQL_CONTEXT_H_
 #define RASQL_ENGINE_RASQL_CONTEXT_H_
 
+#include <cstdint>
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
+#include <type_traits>
 
 #include "analysis/catalog.h"
 #include "common/status.h"
@@ -59,6 +62,16 @@ struct ExecutionResult {
   lint::LintReport lint_report;
 };
 
+/// ExecutionResult travels by value from the engine through the server's
+/// result cache to the wire serializer; moving it must never copy the
+/// result relation. Enforced here so a grown member cannot silently turn
+/// every query's hot path into a deep copy.
+static_assert(std::is_move_constructible_v<ExecutionResult> &&
+                  std::is_move_assignable_v<ExecutionResult>,
+              "ExecutionResult must be movable");
+static_assert(std::is_nothrow_move_constructible_v<storage::Relation>,
+              "Relation moves must not copy rows");
+
 /// The RaSQL system entry point — the analogue of the paper's extended
 /// SparkSession:
 ///
@@ -67,6 +80,19 @@ struct ExecutionResult {
 ///   auto result = ctx.Execute(
 ///       "WITH recursive path(Dst, min() AS Cost) AS (...) ...");
 ///   if (result.ok()) Print(result->relation);
+///
+/// Concurrency contract (DESIGN.md §12): one context may be shared by many
+/// threads. Read-only calls — Execute/Explain/ExplainStages of scripts
+/// without CREATE VIEW or INSERT, Lint, FindTable, NormalizedPlanKey,
+/// TableVersion — run concurrently under a shared lock; writes
+/// (RegisterTable, DropTable, and scripts containing CREATE VIEW or
+/// INSERT) are exclusive and bump the affected tables' versions. Each
+/// execution's scratch state (Cluster, thread pools, views) is stack-owned
+/// per call, so parallel queries never alias mutable engine state; when
+/// `config().runtime.shared_pool` is set, concurrent stage submissions to
+/// the one pool serialize per job (ThreadPool's contract) but interleave
+/// across stages. `mutable_config()` is NOT thread-safe — configure before
+/// sharing the context.
 class RaSqlContext {
  public:
   explicit RaSqlContext(EngineConfig config = {});
@@ -78,8 +104,28 @@ class RaSqlContext {
   /// Drops a table or materialized view.
   common::Status DropTable(const std::string& name);
 
-  /// Returns the named table/materialized view, or nullptr.
+  /// Returns the named table/materialized view, or nullptr. The pointer
+  /// stays valid until the next write (RegisterTable/DropTable/INSERT);
+  /// concurrent readers must not hold it across their own writes.
   const storage::Relation* FindTable(const std::string& name) const;
+
+  /// Monotone per-table write counter: 0 while unregistered, bumped by
+  /// RegisterTable, DropTable and INSERT. The server's result cache keys
+  /// converged fixpoints on the versions of every referenced base table,
+  /// so a base-relation write makes all dependent entries unreachable.
+  uint64_t TableVersion(const std::string& name) const;
+
+  /// Bumped on every catalog write of any kind — a cheap "anything
+  /// changed?" fence for whole-catalog consumers.
+  uint64_t CatalogVersion() const;
+
+  /// Canonical cache key for a prepared statement: parses and analyzes
+  /// `sql` (which must be a single query statement), optimizes its clique
+  /// and body plans, and returns the normalized plan rendering. Two
+  /// textually different queries that compile to the same recursive-clique
+  /// plans share a key — the prepared-plan cache and the result cache both
+  /// key on this, never on raw SQL text (DESIGN.md §12).
+  common::Result<std::string> NormalizedPlanKey(const std::string& sql) const;
 
   /// Parses and runs a `;`-separated RaSQL script. CREATE VIEW statements
   /// materialize views into the session; the ExecutionResult carries the
@@ -115,9 +161,31 @@ class RaSqlContext {
       const sql::Query& query, fixpoint::FixpointStats* stats,
       dist::JobMetrics* metrics);
 
+  /// RegisterTable body without the exclusive lock — for callers already
+  /// holding `mu_` (the CREATE VIEW path inside Execute).
+  common::Status RegisterTableLocked(const std::string& name,
+                                     storage::Relation relation);
+
+  /// Appends the INSERT's literal rows to a registered base table after
+  /// validating every row (arity + types, int→double promotion); all rows
+  /// land or none do. Returns a one-row `rows_inserted` relation. Caller
+  /// holds `mu_` exclusively.
+  common::Result<storage::Relation> ExecuteInsertLocked(
+      const sql::InsertStmt& insert);
+
+  /// Bumps the named table's version and the catalog version. Caller holds
+  /// `mu_` exclusively; `key` is already lowercased.
+  void BumpVersionLocked(const std::string& key);
+
   EngineConfig config_;
+
+  /// Guards catalog_/tables_/versions_: shared for query execution and all
+  /// analysis entry points, exclusive for writes. See the class comment.
+  mutable std::shared_mutex mu_;
   analysis::Catalog catalog_;
   std::map<std::string, storage::Relation> tables_;
+  std::map<std::string, uint64_t> versions_;
+  uint64_t catalog_version_ = 0;
 };
 
 }  // namespace rasql::engine

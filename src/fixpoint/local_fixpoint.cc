@@ -1,6 +1,7 @@
 #include "fixpoint/local_fixpoint.h"
 
 #include <algorithm>
+#include <memory>
 #include <utility>
 
 #include "common/check.h"
@@ -484,7 +485,17 @@ Result<std::map<std::string, Relation>> EvaluateCliqueLocal(
     }
   }
 
-  ThreadPool pool(options.runtime.ResolvedThreads());
+  // Run on the externally-owned shared pool when one is configured (the
+  // query server's partitioned compute slots, DESIGN.md §12); otherwise
+  // own a per-evaluation pool as before.
+  std::unique_ptr<ThreadPool> owned_pool;
+  ThreadPool* pool_ptr = options.runtime.shared_pool;
+  if (pool_ptr == nullptr) {
+    owned_pool =
+        std::make_unique<ThreadPool>(options.runtime.ResolvedThreads());
+    pool_ptr = owned_pool.get();
+  }
+  ThreadPool& pool = *pool_ptr;
 
   // Non-recursive clique: single evaluation of the base plans, views in
   // parallel (they are independent — each task owns its slot).

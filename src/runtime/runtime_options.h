@@ -5,6 +5,8 @@
 
 namespace rasql::runtime {
 
+class ThreadPool;
+
 /// Configuration of the real task-execution runtime that sits *under* the
 /// simulated cluster: the simulated placement/network model decides what a
 /// stage costs on the modeled 15-node testbed, while this runtime decides
@@ -54,6 +56,16 @@ struct RuntimeOptions {
   /// environment variable and in debug (!NDEBUG) builds — see
   /// VerifyStagesEnabled().
   bool verify_stages = false;
+
+  /// Optional externally-owned pool that stage execution and the local
+  /// fixpoint run on instead of constructing per-query pools. The query
+  /// server sets this so every session's fixpoint stages share one compute
+  /// pool (its worker slots are partitioned away from the network
+  /// handlers' slots — DESIGN.md §12). The pool must outlive every
+  /// execution configured with it; when set, the pool's own thread count
+  /// wins over `num_threads`. Results are unaffected either way — they
+  /// are bit-identical at any thread count (DESIGN.md §7/§9).
+  ThreadPool* shared_pool = nullptr;
 
   /// `num_threads` with the auto-detect value resolved; always >= 1.
   int ResolvedThreads() const;

@@ -24,8 +24,14 @@ bool RuntimeOptions::VerifyStagesEnabled() const {
 
 StageExecutor::StageExecutor(RuntimeOptions options)
     : options_(options), num_threads_(options.ResolvedThreads()) {
-  if (num_threads_ > 1) {
-    pool_ = std::make_unique<ThreadPool>(num_threads_);
+  if (options.shared_pool != nullptr) {
+    // Externally-owned pool (the query server's shared compute pool): its
+    // width wins, and this executor must not destroy it.
+    pool_ = options.shared_pool;
+    num_threads_ = pool_->num_threads();
+  } else if (num_threads_ > 1) {
+    owned_pool_ = std::make_unique<ThreadPool>(num_threads_);
+    pool_ = owned_pool_.get();
   }
 }
 

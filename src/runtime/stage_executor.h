@@ -78,9 +78,12 @@ class StageExecutor {
  private:
   RuntimeOptions options_;
   int num_threads_;
-  /// Null when num_threads == 1: the sequential path allocates nothing and
-  /// takes no locks, matching the pre-runtime executor exactly.
-  std::unique_ptr<ThreadPool> pool_;
+  /// Null when num_threads == 1 and no shared pool is configured: the
+  /// sequential path allocates nothing and takes no locks, matching the
+  /// pre-runtime executor exactly. Points at `owned_pool_` or at the
+  /// externally-owned RuntimeOptions::shared_pool.
+  ThreadPool* pool_ = nullptr;
+  std::unique_ptr<ThreadPool> owned_pool_;
 };
 
 }  // namespace rasql::runtime

@@ -1,0 +1,154 @@
+#include "server/client.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace rasql::server {
+
+using common::Result;
+using common::Status;
+
+Client::~Client() { Close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_),
+      read_buffer_(std::move(other.read_buffer_)),
+      last_error_code_(other.last_error_code_) {
+  other.fd_ = -1;
+}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    read_buffer_ = std::move(other.read_buffer_);
+    last_error_code_ = other.last_error_code_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Status Client::Connect(uint16_t port) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    return Status::ExecutionError(std::string("socket: ") +
+                                  std::strerror(errno));
+  }
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const Status status =
+        Status::ExecutionError(std::string("connect: ") +
+                               std::strerror(errno));
+    Close();
+    return status;
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  read_buffer_.clear();
+  return Status::OK();
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  read_buffer_.clear();
+}
+
+Result<Frame> Client::RoundTrip(const Frame& request) {
+  if (fd_ < 0) return Status::InvalidArgument("client is not connected");
+  Status sent = SendFrame(fd_, request);
+  if (!sent.ok()) return sent;
+  Result<Frame> response = RecvFrame(fd_, &read_buffer_);
+  if (!response.ok()) return response;
+  if (response->type == FrameType::kError) {
+    auto decoded = DecodeErrorPayload(response->payload);
+    if (!decoded.ok()) return decoded.status();
+    last_error_code_ = decoded->first;
+    return Status::ExecutionError(std::string(ErrorCodeName(decoded->first)) +
+                                  ": " + decoded->second);
+  }
+  return response;
+}
+
+Result<ClientResult> Client::ExpectResult(const Frame& request) {
+  Result<Frame> response = RoundTrip(request);
+  if (!response.ok()) return response.status();
+  if (response->type != FrameType::kResult) {
+    return Status::ExecutionError("unexpected frame type from server");
+  }
+  Result<ResultPayload> payload = DecodeResultPayload(response->payload);
+  if (!payload.ok()) return payload.status();
+  ClientResult result;
+  result.format = payload->format;
+  result.cache_hit = payload->cache_hit;
+  result.iterations = payload->iterations;
+  result.total_delta_rows = payload->total_delta_rows;
+  result.plan_executions = payload->plan_executions;
+  result.used_semi_naive = payload->used_semi_naive;
+  result.body = std::move(payload->body);
+  return result;
+}
+
+Result<ClientResult> Client::Query(const std::string& sql,
+                                   storage::ResultFormat format) {
+  Frame request;
+  request.type = FrameType::kQuery;
+  request.payload.push_back(static_cast<char>(format));
+  request.payload += sql;
+  return ExpectResult(request);
+}
+
+Result<uint32_t> Client::Prepare(const std::string& sql,
+                                 bool* plan_cache_hit) {
+  Frame request;
+  request.type = FrameType::kPrepare;
+  request.payload = sql;
+  Result<Frame> response = RoundTrip(request);
+  if (!response.ok()) return response.status();
+  if (response->type != FrameType::kPrepared) {
+    return Status::ExecutionError("unexpected frame type from server");
+  }
+  size_t pos = 0;
+  uint32_t stmt_id = 0;
+  if (!ReadU32(response->payload, &pos, &stmt_id) ||
+      pos >= response->payload.size()) {
+    return Status::ExecutionError("truncated PREPARED payload");
+  }
+  if (plan_cache_hit != nullptr) {
+    *plan_cache_hit = response->payload[pos] != 0;
+  }
+  return stmt_id;
+}
+
+Result<ClientResult> Client::Execute(uint32_t stmt_id,
+                                     storage::ResultFormat format) {
+  Frame request;
+  request.type = FrameType::kExecute;
+  AppendU32(&request.payload, stmt_id);
+  request.payload.push_back(static_cast<char>(format));
+  return ExpectResult(request);
+}
+
+Result<std::string> Client::Explain(const std::string& sql) {
+  Frame request;
+  request.type = FrameType::kExplain;
+  request.payload = sql;
+  Result<ClientResult> result = ExpectResult(request);
+  if (!result.ok()) return result.status();
+  return std::move(result->body);
+}
+
+}  // namespace rasql::server

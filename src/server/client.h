@@ -1,0 +1,80 @@
+#ifndef RASQL_SERVER_CLIENT_H_
+#define RASQL_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "server/frame.h"
+#include "storage/result_format.h"
+
+namespace rasql::server {
+
+/// One response to Query/Execute: the serialized result body plus the
+/// cache provenance and fixpoint statistics the server reported — enough
+/// for a client to cross-validate a cache hit against a cold run.
+struct ClientResult {
+  storage::ResultFormat format = storage::ResultFormat::kCsv;
+  bool cache_hit = false;
+  int32_t iterations = 0;
+  uint64_t total_delta_rows = 0;
+  uint64_t plan_executions = 0;
+  bool used_semi_naive = false;
+  std::string body;
+};
+
+/// Blocking client for the RaSQL wire protocol (DESIGN.md §12). One
+/// connection per Client; NOT thread-safe — each session thread owns its
+/// own Client. Server-reported errors surface as a Status carrying the
+/// message, with the typed wire code retained in last_error_code().
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+
+  /// Connects to a server on localhost.
+  common::Status Connect(uint16_t port);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Runs a SQL script, waiting for the RESULT frame.
+  common::Result<ClientResult> Query(
+      const std::string& sql,
+      storage::ResultFormat format = storage::ResultFormat::kCsv);
+
+  /// Prepares a single-query statement; returns the statement id.
+  /// `plan_cache_hit` (optional) reports whether the server already had
+  /// the normalized plan interned.
+  common::Result<uint32_t> Prepare(const std::string& sql,
+                                   bool* plan_cache_hit = nullptr);
+
+  /// Runs a previously prepared statement.
+  common::Result<ClientResult> Execute(
+      uint32_t stmt_id,
+      storage::ResultFormat format = storage::ResultFormat::kCsv);
+
+  /// Returns the server's EXPLAIN rendering (no execution).
+  common::Result<std::string> Explain(const std::string& sql);
+
+  /// The typed code of the last ERROR frame received (e.g. retry on
+  /// kAdmissionRejected); meaningless unless the last call failed with a
+  /// server-reported error.
+  ErrorCode last_error_code() const { return last_error_code_; }
+
+ private:
+  /// Sends `request` and reads frames until RESULT/PREPARED/ERROR.
+  common::Result<Frame> RoundTrip(const Frame& request);
+  common::Result<ClientResult> ExpectResult(const Frame& request);
+
+  int fd_ = -1;
+  std::string read_buffer_;
+  ErrorCode last_error_code_ = ErrorCode::kInternal;
+};
+
+}  // namespace rasql::server
+
+#endif  // RASQL_SERVER_CLIENT_H_

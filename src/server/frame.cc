@@ -1,0 +1,185 @@
+#include "server/frame.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace rasql::server {
+
+using common::Result;
+using common::Status;
+
+const char* ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kParse: return "PARSE";
+    case ErrorCode::kAnalysis: return "ANALYSIS";
+    case ErrorCode::kExecution: return "EXECUTION";
+    case ErrorCode::kNotFound: return "NOT_FOUND";
+    case ErrorCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case ErrorCode::kAdmissionRejected: return "ADMISSION_REJECTED";
+    case ErrorCode::kUnknownStatement: return "UNKNOWN_STATEMENT";
+    case ErrorCode::kProtocol: return "PROTOCOL";
+    case ErrorCode::kShuttingDown: return "SHUTTING_DOWN";
+    case ErrorCode::kInternal: return "INTERNAL";
+  }
+  return "?";
+}
+
+void AppendU16(std::string* out, uint16_t v) {
+  out->push_back(static_cast<char>(v >> 8));
+  out->push_back(static_cast<char>(v & 0xff));
+}
+
+void AppendU32(std::string* out, uint32_t v) {
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    out->push_back(static_cast<char>((v >> shift) & 0xff));
+  }
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    out->push_back(static_cast<char>((v >> shift) & 0xff));
+  }
+}
+
+namespace {
+
+template <typename T>
+bool ReadBigEndian(const std::string& in, size_t* pos, T* v) {
+  if (in.size() - *pos < sizeof(T)) return false;
+  T out = 0;
+  for (size_t i = 0; i < sizeof(T); ++i) {
+    out = static_cast<T>(out << 8) |
+          static_cast<T>(static_cast<unsigned char>(in[*pos + i]));
+  }
+  *pos += sizeof(T);
+  *v = out;
+  return true;
+}
+
+}  // namespace
+
+bool ReadU16(const std::string& in, size_t* pos, uint16_t* v) {
+  return ReadBigEndian(in, pos, v);
+}
+bool ReadU32(const std::string& in, size_t* pos, uint32_t* v) {
+  return ReadBigEndian(in, pos, v);
+}
+bool ReadU64(const std::string& in, size_t* pos, uint64_t* v) {
+  return ReadBigEndian(in, pos, v);
+}
+
+std::string EncodeFrame(const Frame& frame) {
+  RASQL_CHECK(frame.payload.size() + 1 <= kMaxFrameBytes);
+  std::string out;
+  out.reserve(5 + frame.payload.size());
+  AppendU32(&out, static_cast<uint32_t>(frame.payload.size() + 1));
+  out.push_back(static_cast<char>(frame.type));
+  out += frame.payload;
+  return out;
+}
+
+int TryDecodeFrame(std::string* buffer, Frame* frame) {
+  if (buffer->size() < 5) return 0;
+  size_t pos = 0;
+  uint32_t length = 0;
+  ReadU32(*buffer, &pos, &length);
+  if (length == 0 || length > kMaxFrameBytes) return -1;
+  if (buffer->size() < 4 + static_cast<size_t>(length)) return 0;
+  frame->type = static_cast<FrameType>((*buffer)[4]);
+  frame->payload.assign(*buffer, 5, length - 1);
+  buffer->erase(0, 4 + static_cast<size_t>(length));
+  return 1;
+}
+
+std::string EncodeResultPayload(const ResultPayload& result) {
+  std::string out;
+  out.reserve(24 + result.body.size());
+  out.push_back(static_cast<char>(result.format));
+  out.push_back(result.cache_hit ? 1 : 0);
+  AppendU32(&out, static_cast<uint32_t>(result.iterations));
+  AppendU64(&out, result.total_delta_rows);
+  AppendU64(&out, result.plan_executions);
+  out.push_back(result.used_semi_naive ? 1 : 0);
+  out += result.body;
+  return out;
+}
+
+Result<ResultPayload> DecodeResultPayload(const std::string& payload) {
+  if (payload.size() < 23) {
+    return Status::ExecutionError("truncated RESULT payload");
+  }
+  ResultPayload result;
+  result.format = static_cast<storage::ResultFormat>(payload[0]);
+  result.cache_hit = payload[1] != 0;
+  size_t pos = 2;
+  uint32_t iterations = 0;
+  ReadU32(payload, &pos, &iterations);
+  result.iterations = static_cast<int32_t>(iterations);
+  ReadU64(payload, &pos, &result.total_delta_rows);
+  ReadU64(payload, &pos, &result.plan_executions);
+  result.used_semi_naive = payload[pos++] != 0;
+  result.body.assign(payload, pos, payload.size() - pos);
+  return result;
+}
+
+std::string EncodeErrorPayload(ErrorCode code, const std::string& message) {
+  std::string out;
+  AppendU16(&out, static_cast<uint16_t>(code));
+  out += message;
+  return out;
+}
+
+Result<std::pair<ErrorCode, std::string>> DecodeErrorPayload(
+    const std::string& payload) {
+  size_t pos = 0;
+  uint16_t code = 0;
+  if (!ReadU16(payload, &pos, &code)) {
+    return Status::ExecutionError("truncated ERROR payload");
+  }
+  return std::make_pair(static_cast<ErrorCode>(code),
+                        payload.substr(pos));
+}
+
+Status SendFrame(int fd, const Frame& frame) {
+  const std::string bytes = EncodeFrame(frame);
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::ExecutionError(std::string("send: ") +
+                                    std::strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<Frame> RecvFrame(int fd, std::string* buffer) {
+  Frame frame;
+  char chunk[4096];
+  while (true) {
+    const int state = TryDecodeFrame(buffer, &frame);
+    if (state == 1) return frame;
+    if (state == -1) return Status::ExecutionError("malformed frame length");
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::ExecutionError(std::string("recv: ") +
+                                    std::strerror(errno));
+    }
+    if (n == 0) {
+      if (buffer->empty()) return Status::NotFound("connection closed");
+      return Status::ExecutionError("connection closed mid-frame");
+    }
+    buffer->append(chunk, static_cast<size_t>(n));
+  }
+}
+
+}  // namespace rasql::server

@@ -1,0 +1,113 @@
+#ifndef RASQL_SERVER_FRAME_H_
+#define RASQL_SERVER_FRAME_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "storage/result_format.h"
+
+namespace rasql::server {
+
+/// The RaSQL wire protocol (DESIGN.md §12): every message is one frame,
+///
+///   u32 length (big-endian, of type byte + payload) | u8 type | payload
+///
+/// Requests a client may send: QUERY, PREPARE, EXECUTE, EXPLAIN.
+/// Responses the server sends: RESULT, PREPARED, ERROR.
+/// Payload integers are big-endian; text is UTF-8 with no terminator.
+enum class FrameType : uint8_t {
+  kQuery = 1,     ///< u8 format | sql text — parse, execute, respond RESULT
+  kPrepare = 2,   ///< sql text — normalize + intern plan, respond PREPARED
+  kExecute = 3,   ///< u32 stmt_id | u8 format — run a prepared statement
+  kExplain = 4,   ///< sql text — respond RESULT (format=text, no execution)
+  kResult = 5,    ///< see ResultPayload
+  kError = 6,     ///< u16 ErrorCode | message text
+  kPrepared = 7,  ///< u32 stmt_id | u8 plan_cache_hit
+};
+
+/// Typed error categories carried by ERROR frames, so clients can react to
+/// admission rejection (back off / retry) differently from a SQL typo.
+enum class ErrorCode : uint16_t {
+  kParse = 1,
+  kAnalysis = 2,
+  kExecution = 3,
+  kNotFound = 4,
+  kInvalidArgument = 5,
+  /// Admission control: the server's request queue is at max_queue_depth;
+  /// the query was never started. Clients should back off and retry.
+  kAdmissionRejected = 6,
+  /// EXECUTE named a statement id this session never prepared.
+  kUnknownStatement = 7,
+  /// Malformed frame (bad type, truncated payload, oversized length).
+  kProtocol = 8,
+  kShuttingDown = 9,
+  kInternal = 10,
+};
+
+const char* ErrorCodeName(ErrorCode code);
+
+/// One decoded frame.
+struct Frame {
+  FrameType type = FrameType::kError;
+  std::string payload;
+};
+
+/// Frames larger than this are a protocol error on both sides — keeps a
+/// corrupt length prefix from allocating gigabytes.
+inline constexpr uint32_t kMaxFrameBytes = 256u * 1024 * 1024;
+
+/// RESULT frame payload: serialization format + cache provenance + the
+/// execution's fixpoint statistics (so clients can cross-validate cached
+/// hits against cold runs) + the serialized result body.
+struct ResultPayload {
+  storage::ResultFormat format = storage::ResultFormat::kCsv;
+  bool cache_hit = false;
+  int32_t iterations = 0;
+  uint64_t total_delta_rows = 0;
+  uint64_t plan_executions = 0;
+  bool used_semi_naive = false;
+  std::string body;
+};
+
+// ---- Payload encoding helpers (big-endian) ----
+
+void AppendU16(std::string* out, uint16_t v);
+void AppendU32(std::string* out, uint32_t v);
+void AppendU64(std::string* out, uint64_t v);
+
+/// Bounds-checked big-endian reads advancing `*pos`; false on short input.
+bool ReadU16(const std::string& in, size_t* pos, uint16_t* v);
+bool ReadU32(const std::string& in, size_t* pos, uint32_t* v);
+bool ReadU64(const std::string& in, size_t* pos, uint64_t* v);
+
+/// Frame <-> bytes. EncodeFrame always succeeds (payload size is checked
+/// with RASQL_CHECK); DecodeFrame errors on truncation/oversize.
+std::string EncodeFrame(const Frame& frame);
+
+/// Attempts to strip one complete frame off the front of `buffer`.
+/// Returns 1 and fills `frame` (consuming the bytes) when complete, 0 when
+/// more bytes are needed, -1 on a malformed prefix (oversized length).
+int TryDecodeFrame(std::string* buffer, Frame* frame);
+
+std::string EncodeResultPayload(const ResultPayload& result);
+common::Result<ResultPayload> DecodeResultPayload(const std::string& payload);
+
+std::string EncodeErrorPayload(ErrorCode code, const std::string& message);
+common::Result<std::pair<ErrorCode, std::string>> DecodeErrorPayload(
+    const std::string& payload);
+
+// ---- Blocking socket I/O (client, smoke tools, tests) ----
+
+/// Writes the whole frame to a blocking socket; EPIPE-safe (MSG_NOSIGNAL).
+common::Status SendFrame(int fd, const Frame& frame);
+
+/// Reads exactly one frame from a blocking socket. `buffer` is the
+/// caller's connection read buffer: leftover bytes of a following frame
+/// stay in it across calls (TCP coalesces frames). NotFound on clean EOF
+/// at a frame boundary, ExecutionError on mid-frame EOF or socket errors.
+common::Result<Frame> RecvFrame(int fd, std::string* buffer);
+
+}  // namespace rasql::server
+
+#endif  // RASQL_SERVER_FRAME_H_

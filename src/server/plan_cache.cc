@@ -1,0 +1,72 @@
+#include "server/plan_cache.h"
+
+namespace rasql::server {
+
+std::shared_ptr<const PlanEntry> PlanCache::LookupSql(const std::string& sql) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto memo = sql_to_key_.find(sql);
+  if (memo == sql_to_key_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  auto it = by_key_.find(memo->second);
+  if (it == by_key_.end()) {
+    // The plan this memo pointed at was evicted; drop the stale memo.
+    sql_to_key_.erase(memo);
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  TouchLocked(it->first);
+  return it->second.entry;
+}
+
+std::shared_ptr<const PlanEntry> PlanCache::Intern(PlanEntry entry,
+                                                   bool* existed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (existed != nullptr) *existed = by_key_.count(entry.plan_key) > 0;
+  // The memo maps raw SQL text, of which an adversarial client can send
+  // unboundedly many variants; dropping it wholesale at 4x capacity keeps
+  // it bounded without per-entry LRU bookkeeping (memos rebuild on use).
+  if (sql_to_key_.size() >= capacity_ * 4) sql_to_key_.clear();
+  sql_to_key_[entry.sql] = entry.plan_key;
+  auto it = by_key_.find(entry.plan_key);
+  if (it != by_key_.end()) {
+    ++hits_;
+    TouchLocked(it->first);
+    return it->second.entry;
+  }
+  lru_.push_front(entry.plan_key);
+  auto shared = std::make_shared<const PlanEntry>(std::move(entry));
+  by_key_.emplace(shared->plan_key, Slot{shared, lru_.begin()});
+  EvictLocked();
+  return shared;
+}
+
+void PlanCache::TouchLocked(const std::string& key) {
+  auto it = by_key_.find(key);
+  lru_.erase(it->second.lru_pos);
+  lru_.push_front(key);
+  it->second.lru_pos = lru_.begin();
+}
+
+void PlanCache::EvictLocked() {
+  while (by_key_.size() > capacity_ && !lru_.empty()) {
+    const std::string victim = lru_.back();
+    lru_.pop_back();
+    by_key_.erase(victim);
+    // Stale sql_to_key_ memos pointing at the victim are lazily pruned in
+    // LookupSql; scanning the whole memo map here would be O(n) per evict.
+  }
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats stats;
+  stats.hits = hits_;
+  stats.misses = misses_;
+  stats.entries = by_key_.size();
+  return stats;
+}
+
+}  // namespace rasql::server

@@ -1,0 +1,74 @@
+#ifndef RASQL_SERVER_PLAN_CACHE_H_
+#define RASQL_SERVER_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace rasql::server {
+
+/// One normalized prepared plan, shared server-wide across sessions. The
+/// key is the engine's NormalizedPlanKey rendering — the optimized
+/// recursive-clique plans plus body plan — so two textually different
+/// queries that compile identically intern to one entry. Immutable after
+/// interning; sessions hold shared_ptrs from their statement tables.
+struct PlanEntry {
+  std::string sql;       ///< the SQL that first interned the plan
+  std::string plan_key;  ///< normalized clique/body plan rendering
+  /// Lowercased base tables the query reads (sql::ReferencedTables) — the
+  /// result cache keys on these tables' versions.
+  std::vector<std::string> tables;
+};
+
+/// Server-wide prepared-plan cache: interns PlanEntry by normalized plan
+/// key and memoizes SQL text → entry so a repeated QUERY frame skips
+/// re-analysis entirely. Both maps evict LRU at `capacity`. Thread-safe.
+class PlanCache {
+ public:
+  explicit PlanCache(size_t capacity) : capacity_(capacity) {}
+
+  /// Returns the entry whose exact SQL text was interned before, or null.
+  std::shared_ptr<const PlanEntry> LookupSql(const std::string& sql);
+
+  /// Interns a computed plan under its normalized key. If another session
+  /// interned the same plan key first, that entry wins (and this call
+  /// counts as a hit); the SQL-text memo is updated either way.
+  /// `existed` (optional) reports whether the plan was already interned —
+  /// the PREPARED frame's plan_cache_hit flag.
+  std::shared_ptr<const PlanEntry> Intern(PlanEntry entry,
+                                          bool* existed = nullptr);
+
+  struct Stats {
+    uint64_t hits = 0;    ///< LookupSql or Intern found an existing plan
+    uint64_t misses = 0;  ///< LookupSql found nothing
+    uint64_t entries = 0;
+  };
+  Stats stats() const;
+
+ private:
+  void TouchLocked(const std::string& key);
+  void EvictLocked();
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  /// LRU order, most-recent first; elements are plan keys.
+  std::list<std::string> lru_;
+  struct Slot {
+    std::shared_ptr<const PlanEntry> entry;
+    std::list<std::string>::iterator lru_pos;
+  };
+  std::unordered_map<std::string, Slot> by_key_;
+  /// SQL-text memo into by_key_ entries (not separately LRU'd: pruned when
+  /// its target is evicted).
+  std::unordered_map<std::string, std::string> sql_to_key_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace rasql::server
+
+#endif  // RASQL_SERVER_PLAN_CACHE_H_

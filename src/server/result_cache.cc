@@ -1,0 +1,90 @@
+#include "server/result_cache.h"
+
+#include <algorithm>
+
+namespace rasql::server {
+
+std::string ResultCache::MakeKey(
+    const std::string& plan_key,
+    const std::vector<std::pair<std::string, uint64_t>>& table_versions) {
+  std::string key = plan_key;
+  key += '\n';
+  for (const auto& [table, version] : table_versions) {
+    key += table;
+    key += '=';
+    key += std::to_string(version);
+    key += ';';
+  }
+  return key;
+}
+
+std::shared_ptr<const CachedResult> ResultCache::Lookup(
+    const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.erase(it->second.lru_pos);
+  lru_.push_front(key);
+  it->second.lru_pos = lru_.begin();
+  return it->second.result;
+}
+
+std::shared_ptr<const CachedResult> ResultCache::Insert(
+    std::string key, CachedResult result,
+    const std::vector<std::string>& tables) {
+  auto shared = std::make_shared<const CachedResult>(std::move(result));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    // Two sessions raced the same cold query; either result is correct
+    // (identical plan + versions ⇒ identical rows). Keep the first, it is
+    // already being served.
+    return it->second.result;
+  }
+  lru_.push_front(key);
+  entries_.emplace(std::move(key), Slot{shared, tables, lru_.begin()});
+  EvictLocked();
+  return shared;
+}
+
+size_t ResultCache::InvalidateTable(const std::string& table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t dropped = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    const std::vector<std::string>& tables = it->second.tables;
+    if (std::find(tables.begin(), tables.end(), table) != tables.end()) {
+      lru_.erase(it->second.lru_pos);
+      it = entries_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  invalidations_ += dropped;
+  return dropped;
+}
+
+void ResultCache::EvictLocked() {
+  while (entries_.size() > capacity_ && !lru_.empty()) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats stats;
+  stats.hits = hits_;
+  stats.misses = misses_;
+  stats.evictions = evictions_;
+  stats.invalidations = invalidations_;
+  stats.entries = entries_.size();
+  return stats;
+}
+
+}  // namespace rasql::server

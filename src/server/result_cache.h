@@ -1,0 +1,91 @@
+#ifndef RASQL_SERVER_RESULT_CACHE_H_
+#define RASQL_SERVER_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/rasql_context.h"
+
+namespace rasql::server {
+
+/// One memoized converged execution: the cold run's ExecutionResult moved
+/// in whole (rows, FixpointStats, JobMetrics), shared read-only by every
+/// session that hits. Sound for this engine's PreM min/max/monotone-count
+/// fixpoints: a converged state is a pure function of the base relations,
+/// so identical plan + identical table versions ⇒ identical result
+/// (Zaniolo et al., fixpoint semantics — PAPERS.md).
+struct CachedResult {
+  engine::ExecutionResult execution;
+  /// Wall seconds the memoized cold run took — reported next to hit
+  /// latency by `bench_serving` and the server stats.
+  double cold_seconds = 0;
+};
+
+/// Server-wide shared fixpoint/result cache. Keys are
+///
+///   <normalized plan key> '\n' <table>=<version> ';' ...
+///
+/// over the versions of every base table the query references, so any
+/// base-relation write (INSERT / re-register / drop) makes dependent
+/// entries unreachable immediately. InvalidateTable additionally purges
+/// stale entries eagerly so a write-heavy workload cannot pin dead
+/// relations in memory until LRU eviction finds them. Thread-safe; LRU
+/// bounded by entry count. DESIGN.md §12.
+class ResultCache {
+ public:
+  explicit ResultCache(size_t capacity) : capacity_(capacity) {}
+
+  /// Builds the composite cache key.
+  static std::string MakeKey(
+      const std::string& plan_key,
+      const std::vector<std::pair<std::string, uint64_t>>& table_versions);
+
+  std::shared_ptr<const CachedResult> Lookup(const std::string& key);
+
+  /// Inserts (or refreshes) an entry; `tables` are the lowercased base
+  /// tables the entry depends on, for eager purging.
+  std::shared_ptr<const CachedResult> Insert(
+      std::string key, CachedResult result,
+      const std::vector<std::string>& tables);
+
+  /// Eagerly drops every entry depending on `table` (lowercased). The
+  /// version-suffixed keys already make them unreachable; this frees the
+  /// memory. Returns the number of entries dropped.
+  size_t InvalidateTable(const std::string& table);
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t invalidations = 0;  ///< entries purged by InvalidateTable
+    uint64_t entries = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Slot {
+    std::shared_ptr<const CachedResult> result;
+    std::vector<std::string> tables;
+    std::list<std::string>::iterator lru_pos;
+  };
+
+  void EvictLocked();
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<std::string> lru_;  ///< most-recent first
+  std::unordered_map<std::string, Slot> entries_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+  uint64_t invalidations_ = 0;
+};
+
+}  // namespace rasql::server
+
+#endif  // RASQL_SERVER_RESULT_CACHE_H_

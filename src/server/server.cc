@@ -1,0 +1,659 @@
+#include "server/server.h"
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "sql/parser.h"
+#include "storage/result_format.h"
+#include "storage/schema.h"
+
+namespace rasql::server {
+
+using common::Result;
+using common::Status;
+using common::StatusCode;
+
+namespace {
+
+bool SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+ErrorCode MapStatus(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kParseError: return ErrorCode::kParse;
+    case StatusCode::kAnalysisError: return ErrorCode::kAnalysis;
+    case StatusCode::kExecutionError: return ErrorCode::kExecution;
+    case StatusCode::kNotFound: return ErrorCode::kNotFound;
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kAlreadyExists: return ErrorCode::kInvalidArgument;
+    default: return ErrorCode::kInternal;
+  }
+}
+
+bool ParseFormatByte(uint8_t byte, storage::ResultFormat* format) {
+  if (byte > static_cast<uint8_t>(storage::ResultFormat::kText)) return false;
+  *format = static_cast<storage::ResultFormat>(byte);
+  return true;
+}
+
+/// Writes one frame to a nonblocking session socket, parking on POLLOUT
+/// when the kernel buffer fills. False on a dead or pathologically slow
+/// peer (5 s of no writability) — the caller marks the session dead.
+bool SendFrameNonblocking(int fd, const Frame& frame) {
+  const std::string bytes = EncodeFrame(frame);
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n >= 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      struct pollfd pfd = {fd, POLLOUT, 0};
+      if (::poll(&pfd, 1, 5000) <= 0) return false;
+      continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+void FillStats(const fixpoint::FixpointStats& stats, ResultPayload* payload) {
+  payload->iterations = stats.iterations;
+  payload->total_delta_rows = stats.total_delta_rows;
+  payload->plan_executions = stats.plan_executions;
+  payload->used_semi_naive = stats.used_semi_naive;
+}
+
+}  // namespace
+
+Server::Session::~Session() {
+  if (fd >= 0) ::close(fd);
+}
+
+Server::Server(engine::RaSqlContext* ctx, ServerOptions options)
+    : ctx_(ctx),
+      options_(std::move(options)),
+      plan_cache_(options_.plan_cache_entries),
+      result_cache_(options_.result_cache_entries) {}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  if (running_.load()) return Status::InvalidArgument("server already running");
+  if (options_.io_slots < 1 || options_.exec_slots < 1) {
+    return Status::InvalidArgument("io_slots and exec_slots must be >= 1");
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::ExecutionError(std::string("socket: ") +
+                                  std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    const Status status = Status::ExecutionError(
+        std::string("bind/listen: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  socklen_t addr_len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+  port_ = ntohs(addr.sin_port);
+  SetNonBlocking(listen_fd_);
+
+  shards_.clear();
+  for (int i = 0; i < options_.io_slots; ++i) {
+    auto shard = std::make_unique<Shard>();
+    int pipe_fds[2];
+    if (::pipe(pipe_fds) != 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      shards_.clear();
+      return Status::ExecutionError("pipe failed for IO shard wakeup");
+    }
+    SetNonBlocking(pipe_fds[0]);
+    SetNonBlocking(pipe_fds[1]);
+    shard->wake_read = pipe_fds[0];
+    shard->wake_write = pipe_fds[1];
+    shards_.push_back(std::move(shard));
+  }
+
+  if (options_.engine_threads > 0) {
+    compute_pool_ =
+        std::make_unique<runtime::ThreadPool>(options_.engine_threads);
+    saved_shared_pool_ = ctx_->mutable_config()->runtime.shared_pool;
+    ctx_->mutable_config()->runtime.shared_pool = compute_pool_.get();
+  }
+
+  stopping_.store(false);
+  running_.store(true, std::memory_order_release);
+  const int io = options_.io_slots;
+  const int total = io + options_.exec_slots;
+  pool_ = std::make_unique<runtime::ThreadPool>(total);
+  // One long-lived ParallelFor partitions the pool: with exactly as many
+  // tasks as workers, the round-robin deal pins one loop per worker, so IO
+  // shards and executors run concurrently until Stop(). The serve thread
+  // participates as worker 0 (ThreadPool's contract) and is the join point.
+  serve_thread_ = std::thread([this, io, total] {
+    pool_->ParallelFor(total, [this, io](int slot) {
+      if (slot < io) {
+        IoLoop(slot);
+      } else {
+        ExecLoop();
+      }
+    });
+  });
+  return Status::OK();
+}
+
+void Server::Stop() {
+  if (!running_.exchange(false)) return;
+  stopping_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+  }
+  queue_cv_.notify_all();
+  for (size_t i = 0; i < shards_.size(); ++i) WakeShard(static_cast<int>(i));
+  if (serve_thread_.joinable()) serve_thread_.join();
+  pool_.reset();
+
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  // Any request still queued at this point lost its executor; dropping the
+  // queue releases the session references so the sockets close below.
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    queue_.clear();
+  }
+  for (auto& shard : shards_) {
+    shard->inbox.clear();
+    shard->sessions.clear();
+    if (shard->wake_read >= 0) ::close(shard->wake_read);
+    if (shard->wake_write >= 0) ::close(shard->wake_write);
+  }
+  shards_.clear();
+
+  if (compute_pool_ != nullptr) {
+    ctx_->mutable_config()->runtime.shared_pool = saved_shared_pool_;
+    saved_shared_pool_ = nullptr;
+    compute_pool_.reset();
+  }
+}
+
+void Server::WakeShard(int shard_index) {
+  const char byte = 1;
+  if (shards_[shard_index]->wake_write >= 0) {
+    [[maybe_unused]] const ssize_t n =
+        ::write(shards_[shard_index]->wake_write, &byte, 1);
+  }
+}
+
+void Server::IoLoop(int shard_index) {
+  Shard& shard = *shards_[shard_index];
+  const bool acceptor = shard_index == 0;
+  std::vector<struct pollfd> pollfds;
+  std::vector<int> close_fds;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    {
+      std::lock_guard<std::mutex> lock(shard.inbox_mu);
+      for (auto& session : shard.inbox) {
+        shard.sessions[session->fd] = std::move(session);
+      }
+      shard.inbox.clear();
+    }
+
+    pollfds.clear();
+    pollfds.push_back({shard.wake_read, POLLIN, 0});
+    if (acceptor) pollfds.push_back({listen_fd_, POLLIN, 0});
+    const size_t session_base = pollfds.size();
+    for (const auto& [fd, session] : shard.sessions) {
+      pollfds.push_back({fd, POLLIN, 0});
+    }
+
+    // 100 ms cap so the loop reaps sessions an exec slot marked dead (its
+    // write failed) even when no socket becomes readable.
+    if (::poll(pollfds.data(), pollfds.size(), 100) < 0 && errno != EINTR) {
+      break;
+    }
+    if (stopping_.load(std::memory_order_acquire)) break;
+
+    if (pollfds[0].revents & POLLIN) {
+      char drain[64];
+      while (::read(shard.wake_read, drain, sizeof(drain)) > 0) {
+      }
+    }
+
+    if (acceptor && pollfds.size() > 1 && (pollfds[1].revents & POLLIN)) {
+      while (true) {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) break;
+        SetNonBlocking(fd);
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        auto session = std::make_shared<Session>();
+        session->fd = fd;
+        session->id = next_session_id_.fetch_add(1);
+        {
+          std::lock_guard<std::mutex> lock(stats_mu_);
+          ++stats_.sessions_opened;
+        }
+        const int target = next_shard_.fetch_add(1) %
+                           static_cast<int>(shards_.size());
+        if (target == shard_index) {
+          shard.sessions[fd] = std::move(session);
+        } else {
+          {
+            std::lock_guard<std::mutex> lock(shards_[target]->inbox_mu);
+            shards_[target]->inbox.push_back(std::move(session));
+          }
+          WakeShard(target);
+        }
+      }
+    }
+
+    close_fds.clear();
+    for (size_t i = session_base; i < pollfds.size(); ++i) {
+      const int fd = pollfds[i].fd;
+      auto it = shard.sessions.find(fd);
+      if (it == shard.sessions.end()) continue;
+      const std::shared_ptr<Session>& session = it->second;
+      if (pollfds[i].revents & (POLLERR | POLLHUP | POLLNVAL)) {
+        close_fds.push_back(fd);
+        continue;
+      }
+      if ((pollfds[i].revents & POLLIN) == 0) continue;
+      bool closed = false;
+      char chunk[16384];
+      while (true) {
+        const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n > 0) {
+          session->read_buffer.append(chunk, static_cast<size_t>(n));
+          continue;
+        }
+        if (n < 0 && errno == EINTR) continue;
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+        closed = true;  // clean EOF or socket error
+        break;
+      }
+      if (!DispatchFrames(session)) closed = true;
+      if (closed) close_fds.push_back(fd);
+    }
+    for (const auto& [fd, session] : shard.sessions) {
+      if (session->dead.load(std::memory_order_acquire)) {
+        close_fds.push_back(fd);
+      }
+    }
+    for (int fd : close_fds) {
+      if (shard.sessions.erase(fd) > 0) {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.sessions_closed;
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.sessions_closed += shard.sessions.size();
+  }
+  shard.sessions.clear();
+}
+
+bool Server::DispatchFrames(const std::shared_ptr<Session>& session) {
+  Frame frame;
+  while (true) {
+    const int state = TryDecodeFrame(&session->read_buffer, &frame);
+    if (state == 0) return true;
+    if (state == -1) {
+      SendError(session, ErrorCode::kProtocol, "malformed frame length");
+      return false;
+    }
+    switch (frame.type) {
+      case FrameType::kQuery:
+      case FrameType::kPrepare:
+      case FrameType::kExecute:
+      case FrameType::kExplain:
+        break;
+      default:
+        SendError(session, ErrorCode::kProtocol, "unexpected frame type");
+        return false;
+    }
+    if (stopping_.load(std::memory_order_acquire)) {
+      SendError(session, ErrorCode::kShuttingDown, "server shutting down");
+      continue;
+    }
+    bool admitted = false;
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      if (static_cast<int>(queue_.size()) < options_.max_queue_depth) {
+        queue_.push_back(Request{session, std::move(frame)});
+        admitted = true;
+      }
+    }
+    if (admitted) {
+      queue_cv_.notify_one();
+    } else {
+      // Admission control: reject from the IO thread without blocking so a
+      // saturated executor pool cannot stall frame reassembly for other
+      // sessions on this shard.
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.admission_rejects;
+      }
+      SendError(session, ErrorCode::kAdmissionRejected,
+                "request queue full; back off and retry");
+    }
+  }
+}
+
+void Server::ExecLoop() {
+  while (true) {
+    Request request;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] {
+        return stopping_.load(std::memory_order_acquire) || !queue_.empty();
+      });
+      if (queue_.empty()) return;  // only reachable when stopping
+      request = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    HandleRequest(std::move(request));
+  }
+}
+
+void Server::HandleRequest(Request request) {
+  const std::shared_ptr<Session>& session = request.session;
+  const Frame& frame = request.frame;
+  switch (frame.type) {
+    case FrameType::kQuery: {
+      storage::ResultFormat format = storage::ResultFormat::kCsv;
+      if (frame.payload.empty() ||
+          !ParseFormatByte(static_cast<uint8_t>(frame.payload[0]), &format)) {
+        SendError(session, ErrorCode::kProtocol, "bad QUERY payload");
+        return;
+      }
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.queries;
+      }
+      HandleQuery(session, format, frame.payload.substr(1));
+      return;
+    }
+    case FrameType::kPrepare: {
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.prepares;
+      }
+      HandlePrepare(session, frame.payload);
+      return;
+    }
+    case FrameType::kExecute: {
+      size_t pos = 0;
+      uint32_t stmt_id = 0;
+      storage::ResultFormat format = storage::ResultFormat::kCsv;
+      if (!ReadU32(frame.payload, &pos, &stmt_id) ||
+          pos >= frame.payload.size() ||
+          !ParseFormatByte(static_cast<uint8_t>(frame.payload[pos]),
+                           &format)) {
+        SendError(session, ErrorCode::kProtocol, "bad EXECUTE payload");
+        return;
+      }
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.executes;
+      }
+      HandleExecute(session, format, stmt_id);
+      return;
+    }
+    case FrameType::kExplain: {
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.explains;
+      }
+      HandleExplain(session, frame.payload);
+      return;
+    }
+    default:
+      SendError(session, ErrorCode::kProtocol, "unexpected frame type");
+      return;
+  }
+}
+
+std::shared_ptr<const PlanEntry> Server::ResolvePlan(
+    const std::shared_ptr<Session>& session, const std::string& sql,
+    bool* plan_hit) {
+  if (auto entry = plan_cache_.LookupSql(sql)) {
+    if (plan_hit != nullptr) *plan_hit = true;
+    return entry;
+  }
+  Result<std::string> key = ctx_->NormalizedPlanKey(sql);
+  if (!key.ok()) {
+    SendError(session, MapStatus(key.status()), key.status().message());
+    return nullptr;
+  }
+  // NormalizedPlanKey already proved `sql` is a single query statement, so
+  // this re-parse (only on a plan-cache miss) cannot fail.
+  auto statements = sql::Parser::ParseScript(sql);
+  PlanEntry entry;
+  entry.sql = sql;
+  entry.plan_key = std::move(key).value();
+  entry.tables = sql::ReferencedTables(*statements->at(0).query);
+  bool existed = false;
+  auto interned = plan_cache_.Intern(std::move(entry), &existed);
+  if (plan_hit != nullptr) *plan_hit = existed;
+  return interned;
+}
+
+void Server::RunCached(const std::shared_ptr<Session>& session,
+                       storage::ResultFormat format,
+                       const std::shared_ptr<const PlanEntry>& entry) {
+  std::vector<std::pair<std::string, uint64_t>> versions;
+  versions.reserve(entry->tables.size());
+  for (const std::string& table : entry->tables) {
+    versions.emplace_back(table, ctx_->TableVersion(table));
+  }
+  const std::string key = ResultCache::MakeKey(entry->plan_key, versions);
+
+  std::shared_ptr<const CachedResult> cached;
+  bool hit = false;
+  if (options_.enable_result_cache) {
+    cached = result_cache_.Lookup(key);
+    hit = cached != nullptr;
+  }
+  if (cached == nullptr) {
+    const auto start = std::chrono::steady_clock::now();
+    Result<engine::ExecutionResult> result = ctx_->Execute(entry->sql);
+    if (!result.ok()) {
+      SendError(session, MapStatus(result.status()),
+                result.status().message());
+      return;
+    }
+    CachedResult cold;
+    cold.execution = std::move(result).value();
+    cold.cold_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    // Only memoize if no write landed between the version snapshot and now:
+    // Execute holds the context's shared lock, so versions cannot move
+    // *during* evaluation, but a write in the snapshot→Execute gap would
+    // leave these rows keyed under versions they do not correspond to.
+    bool versions_stable = true;
+    for (const auto& [table, version] : versions) {
+      if (ctx_->TableVersion(table) != version) {
+        versions_stable = false;
+        break;
+      }
+    }
+    if (options_.enable_result_cache && versions_stable) {
+      cached = result_cache_.Insert(key, std::move(cold), entry->tables);
+    } else {
+      cached = std::make_shared<const CachedResult>(std::move(cold));
+    }
+  }
+
+  ResultPayload payload;
+  payload.format = format;
+  payload.cache_hit = hit;
+  FillStats(cached->execution.fixpoint_stats, &payload);
+  payload.body = storage::FormatRelation(cached->execution.relation, format);
+  SendResult(session, payload);
+}
+
+void Server::HandleQuery(const std::shared_ptr<Session>& session,
+                         storage::ResultFormat format,
+                         const std::string& sql) {
+  Result<std::vector<sql::Statement>> statements =
+      sql::Parser::ParseScript(sql);
+  if (!statements.ok()) {
+    SendError(session, MapStatus(statements.status()),
+              statements.status().message());
+    return;
+  }
+  if (statements->size() == 1 &&
+      statements->front().kind == sql::Statement::Kind::kQuery) {
+    const std::shared_ptr<const PlanEntry> entry =
+        ResolvePlan(session, sql, nullptr);
+    if (entry != nullptr) RunCached(session, format, entry);
+    return;
+  }
+
+  // Multi-statement or writing script: run it whole (the context serializes
+  // writers exclusively), then purge result-cache entries depending on any
+  // written table. The version-suffixed keys are already unreachable; the
+  // purge frees the memory eagerly.
+  Result<engine::ExecutionResult> result = ctx_->Execute(sql);
+  if (!result.ok()) {
+    SendError(session, MapStatus(result.status()), result.status().message());
+    return;
+  }
+  for (const sql::Statement& statement : *statements) {
+    if (statement.kind == sql::Statement::Kind::kCreateView) {
+      result_cache_.InvalidateTable(
+          storage::ToLower(statement.create_view->name));
+    } else if (statement.kind == sql::Statement::Kind::kInsert) {
+      result_cache_.InvalidateTable(storage::ToLower(statement.insert->table));
+    }
+  }
+  ResultPayload payload;
+  payload.format = format;
+  payload.cache_hit = false;
+  FillStats(result->fixpoint_stats, &payload);
+  payload.body = storage::FormatRelation(result->relation, format);
+  SendResult(session, payload);
+}
+
+void Server::HandlePrepare(const std::shared_ptr<Session>& session,
+                           const std::string& sql) {
+  bool plan_hit = false;
+  const std::shared_ptr<const PlanEntry> entry =
+      ResolvePlan(session, sql, &plan_hit);
+  if (entry == nullptr) return;
+  uint32_t stmt_id = 0;
+  {
+    std::lock_guard<std::mutex> lock(session->stmt_mu);
+    stmt_id = session->next_stmt_id++;
+    session->statements[stmt_id] = entry;
+  }
+  Frame frame;
+  frame.type = FrameType::kPrepared;
+  AppendU32(&frame.payload, stmt_id);
+  frame.payload.push_back(plan_hit ? 1 : 0);
+  SendToSession(session, frame);
+}
+
+void Server::HandleExecute(const std::shared_ptr<Session>& session,
+                           storage::ResultFormat format, uint32_t stmt_id) {
+  std::shared_ptr<const PlanEntry> entry;
+  {
+    std::lock_guard<std::mutex> lock(session->stmt_mu);
+    auto it = session->statements.find(stmt_id);
+    if (it != session->statements.end()) entry = it->second;
+  }
+  if (entry == nullptr) {
+    SendError(session, ErrorCode::kUnknownStatement,
+              "statement " + std::to_string(stmt_id) +
+                  " was not prepared on this session");
+    return;
+  }
+  RunCached(session, format, entry);
+}
+
+void Server::HandleExplain(const std::shared_ptr<Session>& session,
+                           const std::string& sql) {
+  Result<std::string> rendering = ctx_->Explain(sql);
+  if (!rendering.ok()) {
+    SendError(session, MapStatus(rendering.status()),
+              rendering.status().message());
+    return;
+  }
+  ResultPayload payload;
+  payload.format = storage::ResultFormat::kText;
+  payload.cache_hit = false;
+  payload.body = std::move(rendering).value();
+  SendResult(session, payload);
+}
+
+void Server::SendResult(const std::shared_ptr<Session>& session,
+                        const ResultPayload& payload) {
+  Frame frame;
+  frame.type = FrameType::kResult;
+  frame.payload = EncodeResultPayload(payload);
+  SendToSession(session, frame);
+}
+
+void Server::SendError(const std::shared_ptr<Session>& session,
+                       ErrorCode code, const std::string& message) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.errors;
+  }
+  Frame frame;
+  frame.type = FrameType::kError;
+  frame.payload = EncodeErrorPayload(code, message);
+  SendToSession(session, frame);
+}
+
+void Server::SendToSession(const std::shared_ptr<Session>& session,
+                           const Frame& frame) {
+  if (session->dead.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(session->write_mu);
+  if (!SendFrameNonblocking(session->fd, frame)) {
+    session->dead.store(true, std::memory_order_release);
+  }
+}
+
+ServerStats Server::stats() const {
+  ServerStats out;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    out = stats_;
+  }
+  out.plan_cache = plan_cache_.stats();
+  out.result_cache = result_cache_.stats();
+  return out;
+}
+
+}  // namespace rasql::server

@@ -1,0 +1,197 @@
+#ifndef RASQL_SERVER_SERVER_H_
+#define RASQL_SERVER_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/rasql_context.h"
+#include "runtime/thread_pool.h"
+#include "server/frame.h"
+#include "server/plan_cache.h"
+#include "server/result_cache.h"
+
+namespace rasql::server {
+
+/// Server sizing and cache policy. The server runs one
+/// runtime::ThreadPool of `io_slots + exec_slots` threads and partitions
+/// it with a single long-lived ParallelFor: slots [0, io_slots) run
+/// poll-based IO shard loops (accept, frame reassembly, admission), slots
+/// [io_slots, io_slots + exec_slots) run executor loops popping the
+/// bounded request queue. `exec_slots` is therefore the hard bound on
+/// in-flight queries; `max_queue_depth` bounds queued-but-unstarted
+/// requests, beyond which the IO thread rejects with a typed
+/// ADMISSION_REJECTED error instead of blocking (DESIGN.md §12).
+struct ServerOptions {
+  uint16_t port = 0;  ///< 0: pick an ephemeral port, read it via port()
+  int io_slots = 1;
+  int exec_slots = 3;
+  int max_queue_depth = 16;
+  /// When > 0, Start() builds a dedicated compute ThreadPool of this many
+  /// threads and installs it as the engine's runtime.shared_pool, so
+  /// fixpoint stages from concurrent sessions share one pool instead of
+  /// spawning per-query pools. Cross-pool nesting (an exec slot waiting on
+  /// the compute pool) is deadlock-free; same-pool nesting never happens
+  /// because exec slots submit no work to the server pool.
+  int engine_threads = 0;
+  size_t plan_cache_entries = 256;
+  size_t result_cache_entries = 64;
+  bool enable_result_cache = true;
+};
+
+/// Aggregate serving counters, readable while the server runs.
+struct ServerStats {
+  uint64_t sessions_opened = 0;
+  uint64_t sessions_closed = 0;
+  uint64_t queries = 0;
+  uint64_t prepares = 0;
+  uint64_t executes = 0;
+  uint64_t explains = 0;
+  uint64_t errors = 0;
+  uint64_t admission_rejects = 0;
+  PlanCache::Stats plan_cache;
+  ResultCache::Stats result_cache;
+};
+
+/// The RaSQL query server: a TCP front end multiplexing many client
+/// sessions onto the runtime ThreadPool over one shared RaSqlContext.
+/// Sessions are independent (own prepared-statement table, own socket)
+/// but share the catalog, the prepared-plan cache and the fixpoint/result
+/// cache. Queries that only read run concurrently under the context's
+/// shared lock; scripts that write (CREATE VIEW / INSERT) serialize
+/// exclusively and invalidate dependent cache entries. Wire protocol and
+/// architecture: DESIGN.md §12.
+///
+/// The context must outlive the server; configure it (including
+/// mutable_config()) before Start(). Start() returns once the socket is
+/// listening; Stop() (or the destructor) drains in-flight work and joins.
+class Server {
+ public:
+  Server(engine::RaSqlContext* ctx, ServerOptions options);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  common::Status Start();
+  void Stop();
+
+  /// The bound TCP port (resolves option port 0). Valid after Start().
+  uint16_t port() const { return port_; }
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  ServerStats stats() const;
+
+ private:
+  /// One client connection. The owning IO shard is the only reader of the
+  /// socket; RESULT/ERROR frames are written by exec slots (and rejections
+  /// by the IO slot) under write_mu so concurrent responses to a
+  /// pipelining client never interleave bytes.
+  struct Session {
+    int fd = -1;
+    uint64_t id = 0;
+    std::string read_buffer;
+    std::mutex write_mu;
+    std::mutex stmt_mu;  ///< guards statements/next_stmt_id
+    std::unordered_map<uint32_t, std::shared_ptr<const PlanEntry>> statements;
+    uint32_t next_stmt_id = 1;
+    /// Set by an exec slot on a dead socket; the owning IO shard reaps the
+    /// session on its next poll round.
+    std::atomic<bool> dead{false};
+    ~Session();
+  };
+
+  /// One decoded client frame awaiting an executor slot.
+  struct Request {
+    std::shared_ptr<Session> session;
+    Frame frame;
+  };
+
+  /// Per-IO-slot state. `sessions` is owned by the shard's loop thread;
+  /// `inbox` hands freshly accepted sessions over from the acceptor under
+  /// its mutex; the wake pipe interrupts poll() for shutdown/handoff.
+  struct Shard {
+    int wake_read = -1;
+    int wake_write = -1;
+    std::mutex inbox_mu;
+    std::vector<std::shared_ptr<Session>> inbox;
+    std::unordered_map<int, std::shared_ptr<Session>> sessions;
+  };
+
+  void IoLoop(int shard_index);
+  void ExecLoop();
+  /// Drains every complete frame in the session's buffer into the request
+  /// queue (or rejects). False when the session hit a protocol error and
+  /// must be closed.
+  bool DispatchFrames(const std::shared_ptr<Session>& session);
+  void HandleRequest(Request request);
+
+  void HandleQuery(const std::shared_ptr<Session>& session,
+                   storage::ResultFormat format, const std::string& sql);
+  void HandlePrepare(const std::shared_ptr<Session>& session,
+                     const std::string& sql);
+  void HandleExecute(const std::shared_ptr<Session>& session,
+                     storage::ResultFormat format, uint32_t stmt_id);
+  void HandleExplain(const std::shared_ptr<Session>& session,
+                     const std::string& sql);
+  /// Runs a cacheable single-query plan entry: result-cache lookup keyed
+  /// on the referenced tables' current versions, cold Execute + insert on
+  /// miss, RESULT frame either way.
+  void RunCached(const std::shared_ptr<Session>& session,
+                 storage::ResultFormat format,
+                 const std::shared_ptr<const PlanEntry>& entry);
+  /// Resolves (or analyzes and interns) the plan entry for a single-query
+  /// SQL text; null after sending a typed error.
+  std::shared_ptr<const PlanEntry> ResolvePlan(
+      const std::shared_ptr<Session>& session, const std::string& sql,
+      bool* plan_hit);
+
+  void SendResult(const std::shared_ptr<Session>& session,
+                  const ResultPayload& payload);
+  void SendError(const std::shared_ptr<Session>& session, ErrorCode code,
+                 const std::string& message);
+  void SendToSession(const std::shared_ptr<Session>& session,
+                     const Frame& frame);
+  void WakeShard(int shard_index);
+
+  engine::RaSqlContext* const ctx_;
+  const ServerOptions options_;
+  PlanCache plan_cache_;
+  ResultCache result_cache_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> next_session_id_{1};
+  std::atomic<int> next_shard_{0};  ///< round-robin accept target
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Request> queue_;
+
+  /// The partitioned serving pool and the thread that submits its one
+  /// long-lived ParallelFor (the submitter participates as worker 0).
+  std::unique_ptr<runtime::ThreadPool> pool_;
+  std::thread serve_thread_;
+  /// Dedicated engine compute pool when options_.engine_threads > 0;
+  /// installed into ctx_->mutable_config()->runtime.shared_pool for the
+  /// server's lifetime and restored on Stop().
+  std::unique_ptr<runtime::ThreadPool> compute_pool_;
+  runtime::ThreadPool* saved_shared_pool_ = nullptr;
+
+  mutable std::mutex stats_mu_;
+  ServerStats stats_;
+};
+
+}  // namespace rasql::server
+
+#endif  // RASQL_SERVER_SERVER_H_

@@ -1,5 +1,9 @@
 #include "sql/ast.h"
 
+#include <set>
+
+#include "storage/schema.h"
+
 namespace rasql::sql {
 
 std::string AstExpr::ToString() const {
@@ -117,6 +121,23 @@ std::string Query::ToString() const {
   }
   out += body->ToString();
   return out;
+}
+
+std::vector<std::string> ReferencedTables(const Query& query) {
+  std::set<std::string> ctes;
+  for (const CteDef& cte : query.ctes) ctes.insert(storage::ToLower(cte.name));
+  std::set<std::string> tables;
+  auto collect = [&](const SelectStmt& select) {
+    for (const TableRef& ref : select.from) {
+      std::string name = storage::ToLower(ref.table_name);
+      if (ctes.count(name) == 0) tables.insert(std::move(name));
+    }
+  };
+  for (const CteDef& cte : query.ctes) {
+    for (const SelectStmtPtr& branch : cte.branches) collect(*branch);
+  }
+  if (query.body != nullptr) collect(*query.body);
+  return {tables.begin(), tables.end()};
 }
 
 }  // namespace rasql::sql

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "expr/expr.h"
+#include "storage/row.h"
 #include "storage/value.h"
 
 namespace rasql::sql {
@@ -111,13 +112,30 @@ struct CreateViewStmt {
   SelectStmtPtr definition;
 };
 
+/// INSERT INTO name VALUES (lit, ...), (...) — literal rows appended to a
+/// registered base relation. This is the engine's only base-data write
+/// statement; the server's result-cache invalidation hangs off it
+/// (DESIGN.md §12).
+struct InsertStmt {
+  std::string table;
+  std::vector<storage::Row> rows;
+};
+
 /// A parsed script statement.
 struct Statement {
-  enum class Kind { kQuery, kCreateView };
+  enum class Kind { kQuery, kCreateView, kInsert };
   Kind kind = Kind::kQuery;
   std::unique_ptr<Query> query;
   std::unique_ptr<CreateViewStmt> create_view;
+  std::unique_ptr<InsertStmt> insert;
 };
+
+/// Lowercased names of every table a query's FROM clauses reference,
+/// excluding the query's own CTE views — i.e. the base relations (or
+/// externally-created views) whose contents determine the query's result.
+/// Sorted and deduplicated. The server's result cache keys on these
+/// tables' versions (DESIGN.md §12).
+std::vector<std::string> ReferencedTables(const Query& query);
 
 }  // namespace rasql::sql
 

@@ -18,7 +18,7 @@ const std::unordered_set<std::string>& Keywords() {
       "with",   "recursive", "as",     "select", "from",  "where",
       "group",  "having", "union",  "order", "limit",
       "and",    "or",        "not",    "distinct", "asc", "desc",
-      "create", "view",
+      "create", "view",   "insert", "into",  "values",
       // NOTE: "all" and "by" are deliberately NOT keywords — the paper's
       // PreM-checking rewrite (Appendix G) names a recursive view `all`.
       // `UNION ALL` is recognized contextually by the parser.

@@ -112,9 +112,67 @@ Result<Statement> Parser::ParseStatement() {
     RASQL_ASSIGN_OR_RETURN(stmt.create_view, ParseCreateView());
     return stmt;
   }
+  if (Peek().IsKeyword("insert")) {
+    stmt.kind = Statement::Kind::kInsert;
+    RASQL_ASSIGN_OR_RETURN(stmt.insert, ParseInsert());
+    return stmt;
+  }
   stmt.kind = Statement::Kind::kQuery;
   RASQL_ASSIGN_OR_RETURN(stmt.query, ParseQueryInternal());
   return stmt;
+}
+
+Result<std::unique_ptr<InsertStmt>> Parser::ParseInsert() {
+  RASQL_RETURN_IF_ERROR(ExpectKeyword("insert"));
+  RASQL_RETURN_IF_ERROR(ExpectKeyword("into"));
+  auto insert = std::make_unique<InsertStmt>();
+  if (Peek().type != TokenType::kIdentifier) {
+    return ErrorHere("expected table name");
+  }
+  insert->table = Advance().text;
+  RASQL_RETURN_IF_ERROR(ExpectKeyword("values"));
+  do {
+    RASQL_RETURN_IF_ERROR(Expect(TokenType::kLParen, "'('"));
+    storage::Row row;
+    do {
+      RASQL_ASSIGN_OR_RETURN(storage::Value value, ParseInsertLiteral());
+      row.push_back(std::move(value));
+    } while (Match(TokenType::kComma));
+    RASQL_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')'"));
+    insert->rows.push_back(std::move(row));
+  } while (Match(TokenType::kComma));
+  return insert;
+}
+
+/// INSERT rows are literal constants only — a signed number, a string, or
+/// NULL (`null` is not a lexer keyword; it is recognized contextually here,
+/// like `UNION ALL`'s `all`).
+Result<storage::Value> Parser::ParseInsertLiteral() {
+  const bool negate = Match(TokenType::kMinus);
+  const Token& t = Peek();
+  switch (t.type) {
+    case TokenType::kIntLiteral: {
+      const int64_t v = Advance().int_value;
+      return storage::Value::Int(negate ? -v : v);
+    }
+    case TokenType::kDoubleLiteral: {
+      const double v = Advance().double_value;
+      return storage::Value::Double(negate ? -v : v);
+    }
+    case TokenType::kStringLiteral: {
+      if (negate) return ErrorHere("cannot negate a string literal");
+      return storage::Value::String(Advance().text);
+    }
+    case TokenType::kIdentifier: {
+      if (!negate && storage::EqualsIgnoreCase(t.text, "null")) {
+        Advance();
+        return storage::Value::Null();
+      }
+      return ErrorHere("expected literal value");
+    }
+    default:
+      return ErrorHere("expected literal value");
+  }
 }
 
 Result<std::unique_ptr<CreateViewStmt>> Parser::ParseCreateView() {

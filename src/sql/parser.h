@@ -42,6 +42,8 @@ class Parser {
 
   common::Result<Statement> ParseStatement();
   common::Result<std::unique_ptr<CreateViewStmt>> ParseCreateView();
+  common::Result<std::unique_ptr<InsertStmt>> ParseInsert();
+  common::Result<storage::Value> ParseInsertLiteral();
   common::Result<std::unique_ptr<Query>> ParseQueryInternal();
   common::Result<CteDef> ParseCte();
   common::Result<ViewColumn> ParseViewColumn();

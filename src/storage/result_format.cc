@@ -1,0 +1,129 @@
+#include "storage/result_format.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+
+#include "storage/csv.h"
+
+namespace rasql::storage {
+
+using common::Result;
+using common::Status;
+
+Result<ResultFormat> ParseResultFormat(const std::string& name) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) {
+    lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (lower == "csv") return ResultFormat::kCsv;
+  if (lower == "json") return ResultFormat::kJson;
+  if (lower == "text") return ResultFormat::kText;
+  return Status::InvalidArgument("unknown result format '" + name +
+                                 "' (expected csv, json or text)");
+}
+
+const char* ResultFormatName(ResultFormat format) {
+  switch (format) {
+    case ResultFormat::kCsv: return "csv";
+    case ResultFormat::kJson: return "json";
+    case ResultFormat::kText: return "text";
+  }
+  return "?";
+}
+
+std::string JsonQuote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += "\"";
+  return out;
+}
+
+namespace {
+
+/// Shortest %.17g rendering that still round-trips; JSON has no infinities
+/// or NaNs, so those render as null.
+std::string JsonNumber(double v) {
+  if (!(v == v) || v == __builtin_huge_val() || v == -__builtin_huge_val()) {
+    return "null";
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  double back = 0;
+  std::sscanf(buf, "%lf", &back);
+  if (back == v) {
+    // Try to shorten: %g often suffices and reads much better.
+    char short_buf[40];
+    std::snprintf(short_buf, sizeof(short_buf), "%g", v);
+    std::sscanf(short_buf, "%lf", &back);
+    if (back == v) return short_buf;
+  }
+  return buf;
+}
+
+std::string JsonValue(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kNull: return "null";
+    case ValueType::kInt64: return std::to_string(v.AsInt());
+    case ValueType::kDouble: return JsonNumber(v.AsDouble());
+    case ValueType::kString: return JsonQuote(v.AsString());
+  }
+  return "null";
+}
+
+std::string ToJson(const Relation& relation) {
+  // Pre-quote the column names once; every row reuses them.
+  std::vector<std::string> keys;
+  keys.reserve(relation.schema().num_columns());
+  for (const Column& col : relation.schema().columns()) {
+    keys.push_back(JsonQuote(col.name));
+  }
+  std::string out = "[";
+  bool first_row = true;
+  for (const Row& row : relation.rows()) {
+    if (!first_row) out += ",";
+    first_row = false;
+    out += "\n  {";
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += keys[i];
+      out += ": ";
+      out += JsonValue(row[i]);
+    }
+    out += "}";
+  }
+  out += first_row ? "]\n" : "\n]\n";
+  return out;
+}
+
+}  // namespace
+
+std::string FormatRelation(const Relation& relation, ResultFormat format) {
+  switch (format) {
+    case ResultFormat::kCsv: return ToCsv(relation);
+    case ResultFormat::kJson: return ToJson(relation);
+    case ResultFormat::kText:
+      return relation.ToString(relation.size()) + "(" +
+             std::to_string(relation.size()) + " rows)\n";
+  }
+  return "";
+}
+
+}  // namespace rasql::storage

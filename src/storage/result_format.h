@@ -1,0 +1,38 @@
+#ifndef RASQL_STORAGE_RESULT_FORMAT_H_
+#define RASQL_STORAGE_RESULT_FORMAT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "storage/relation.h"
+
+namespace rasql::storage {
+
+/// Machine-readable result renderings shared by the shell's `--format=`
+/// flag and the server's RESULT frames (one serializer, one wire format —
+/// DESIGN.md §12).
+enum class ResultFormat : uint8_t {
+  kCsv = 0,   ///< RFC 4180, header row first (storage::ToCsv).
+  kJson = 1,  ///< array of {"col": value, ...} objects, one per row.
+  kText = 2,  ///< Relation::ToString table — human output, EXPLAIN text.
+};
+
+/// Parses "csv"/"json"/"text" (case-insensitive).
+common::Result<ResultFormat> ParseResultFormat(const std::string& name);
+
+/// "csv"/"json"/"text".
+const char* ResultFormatName(ResultFormat format);
+
+/// Renders `relation` in `format`. CSV delegates to ToCsv (RFC 4180
+/// quoting, empty string quoted vs NULL unquoted); JSON renders
+/// `[{"col": v, ...}, ...]` with int64 as numbers, doubles via
+/// round-trippable %.17g (trimmed), NULL as null, strings escaped per
+/// RFC 8259. Column names are escaped the same way.
+std::string FormatRelation(const Relation& relation, ResultFormat format);
+
+/// Escapes one string as a JSON string literal including the quotes.
+std::string JsonQuote(const std::string& s);
+
+}  // namespace rasql::storage
+
+#endif  // RASQL_STORAGE_RESULT_FORMAT_H_

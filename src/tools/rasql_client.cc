@@ -1,0 +1,110 @@
+// rasql_client — scripted client for the RaSQL wire protocol, used by the
+// ci.sh serving smoke test and for poking a running rasql_serverd.
+//
+//   rasql_client --port=N [--format=csv|json|text] <statement>...
+//
+// Each positional argument is one protocol action, by prefix:
+//   explain:<sql>   EXPLAIN round trip, prints the rendering
+//   prepare:<sql>   PREPARE, prints "PREPARED id=<id> plan_hit=<0|1>"
+//   exec:<id>       EXECUTE a statement id printed by an earlier prepare
+//   <sql>           QUERY round trip
+// Results print as "RESULT cache_hit=<0|1>" followed by the body; typed
+// server errors print as "ERROR <CODE>: <message>" and the session
+// continues (error paths are part of the smoke test). Transport failures
+// abort with exit code 1; server-side errors exit 0 unless --expect-ok.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "server/client.h"
+#include "storage/result_format.h"
+
+namespace rasql::tools {
+namespace {
+
+int Main(int argc, char** argv) {
+  uint16_t port = 0;
+  storage::ResultFormat format = storage::ResultFormat::kCsv;
+  bool expect_ok = false;
+  std::vector<std::string> actions;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--port=", 0) == 0) {
+      port = static_cast<uint16_t>(std::atoi(arg.c_str() + 7));
+    } else if (arg.rfind("--format=", 0) == 0) {
+      auto parsed = storage::ParseResultFormat(arg.substr(9));
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "unknown --format\n");
+        return 1;
+      }
+      format = *parsed;
+    } else if (arg == "--expect-ok") {
+      expect_ok = true;
+    } else {
+      actions.push_back(arg);
+    }
+  }
+  if (port == 0 || actions.empty()) {
+    std::fprintf(stderr,
+                 "usage: rasql_client --port=N [--format=csv|json|text] "
+                 "[--expect-ok] <statement>...\n");
+    return 1;
+  }
+
+  server::Client client;
+  auto status = client.Connect(port);
+  if (!status.ok()) {
+    std::fprintf(stderr, "connect: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  int server_errors = 0;
+  auto report_error = [&](const common::Status& error) {
+    ++server_errors;
+    std::printf("ERROR %s\n", error.message().c_str());
+  };
+  for (const std::string& action : actions) {
+    if (action.rfind("explain:", 0) == 0) {
+      auto rendering = client.Explain(action.substr(8));
+      if (!rendering.ok()) {
+        report_error(rendering.status());
+        continue;
+      }
+      std::printf("%s", rendering->c_str());
+    } else if (action.rfind("prepare:", 0) == 0) {
+      bool plan_hit = false;
+      auto stmt_id = client.Prepare(action.substr(8), &plan_hit);
+      if (!stmt_id.ok()) {
+        report_error(stmt_id.status());
+        continue;
+      }
+      std::printf("PREPARED id=%u plan_hit=%d\n", *stmt_id, plan_hit ? 1 : 0);
+    } else if (action.rfind("exec:", 0) == 0) {
+      auto result = client.Execute(
+          static_cast<uint32_t>(std::atoi(action.c_str() + 5)), format);
+      if (!result.ok()) {
+        report_error(result.status());
+        continue;
+      }
+      std::printf("RESULT cache_hit=%d\n%s", result->cache_hit ? 1 : 0,
+                  result->body.c_str());
+    } else {
+      auto result = client.Query(action, format);
+      if (!result.ok()) {
+        report_error(result.status());
+        continue;
+      }
+      std::printf("RESULT cache_hit=%d\n%s", result->cache_hit ? 1 : 0,
+                  result->body.c_str());
+    }
+    if (!client.connected()) break;
+  }
+  return expect_ok && server_errors > 0 ? 2 : 0;
+}
+
+}  // namespace
+}  // namespace rasql::tools
+
+int main(int argc, char** argv) { return rasql::tools::Main(argc, argv); }

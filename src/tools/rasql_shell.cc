@@ -37,6 +37,8 @@
 // the query's cliques would submit, also without executing. Anything
 // else is executed as RaSQL (statements end with ';').
 
+#include <csignal>
+
 #include <cctype>
 #include <cstdio>
 #include <cstring>
@@ -47,7 +49,9 @@
 
 #include "datagen/graph_gen.h"
 #include "engine/rasql_context.h"
+#include "server/server.h"
 #include "storage/csv.h"
+#include "storage/result_format.h"
 
 namespace rasql::tools {
 namespace {
@@ -70,7 +74,13 @@ void PrintHelp() {
 
 class Shell {
  public:
-  explicit Shell(engine::EngineConfig config) : ctx_(std::move(config)) {}
+  explicit Shell(engine::EngineConfig config,
+                 storage::ResultFormat format = storage::ResultFormat::kText)
+      : ctx_(std::move(config)), format_(format) {}
+
+  /// The shell's engine context — `--serve` hands it to server::Server
+  /// after the setup script ran.
+  engine::RaSqlContext* context() { return &ctx_; }
 
   /// Processes one complete input (a dot-command or a SQL statement).
   /// Returns false when the shell should exit.
@@ -110,8 +120,16 @@ class Shell {
         result->lint_report.engine.HasWarnings()) {
       std::fprintf(stderr, "%s", result->lint_report.ToString().c_str());
     }
-    std::printf("%s", result->relation.ToString(40).c_str());
-    std::printf("(%zu rows)\n", result->relation.size());
+    if (format_ == storage::ResultFormat::kText) {
+      // Interactive default: a 40-row preview, not a data export.
+      std::printf("%s", result->relation.ToString(40).c_str());
+      std::printf("(%zu rows)\n", result->relation.size());
+    } else {
+      // --format=csv|json: machine-readable, every row, same writer the
+      // server uses for RESULT frames (storage::FormatRelation).
+      std::printf("%s",
+                  storage::FormatRelation(result->relation, format_).c_str());
+    }
     last_ = std::move(*result);
     return true;
   }
@@ -235,15 +253,44 @@ class Shell {
 
  private:
   engine::RaSqlContext ctx_;
+  const storage::ResultFormat format_;
   std::vector<std::string> tables_;
   /// The most recent successful execution, backing `.stats`.
   engine::ExecutionResult last_;
   int num_errors_ = 0;
 };
 
+sigset_t ShutdownSignalSet() {
+  sigset_t set;
+  sigemptyset(&set);
+  sigaddset(&set, SIGINT);
+  sigaddset(&set, SIGTERM);
+  return set;
+}
+
+/// Blocks SIGINT/SIGTERM process-wide for `--serve`. Must run before
+/// Server::Start so every pool thread inherits the mask — an unblocked
+/// thread receiving SIGINT would kill the process instead of letting
+/// sigwait drive the clean shutdown.
+void BlockShutdownSignals() {
+  sigset_t set = ShutdownSignalSet();
+  pthread_sigmask(SIG_BLOCK, &set, nullptr);
+}
+
+int WaitForShutdownSignal() {
+  sigset_t set = ShutdownSignalSet();
+  int sig = 0;
+  sigwait(&set, &sig);
+  return sig;
+}
+
 int Main(int argc, char** argv) {
   engine::EngineConfig config;
   std::string script_path;
+  storage::ResultFormat format = storage::ResultFormat::kText;
+  bool serve = false;
+  server::ServerOptions server_options;
+  std::string port_file;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--distributed") == 0) {
       config.distributed = true;
@@ -266,11 +313,26 @@ int Main(int argc, char** argv) {
       config.lint.werror = true;
     } else if (std::strcmp(argv[i], "--verify-stages") == 0) {
       config.runtime.verify_stages = true;
+    } else if (std::strncmp(argv[i], "--format=", 9) == 0) {
+      auto parsed = storage::ParseResultFormat(argv[i] + 9);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "unknown --format '%s' (csv, json, text)\n",
+                     argv[i] + 9);
+        return 1;
+      }
+      format = *parsed;
+    } else if (std::strcmp(argv[i], "--serve") == 0) {
+      serve = true;
+    } else if (std::strncmp(argv[i], "--port=", 7) == 0) {
+      server_options.port = static_cast<uint16_t>(std::atoi(argv[i] + 7));
+    } else if (std::strncmp(argv[i], "--port-file=", 12) == 0) {
+      port_file = argv[i] + 12;
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::printf(
           "usage: rasql [--distributed] [--workers N] [--threads N] "
           "[--async-shuffle] [--morsel-rows=N] [--lint] [--werror-lint] "
-          "[--verify-stages] [script]\n");
+          "[--verify-stages] [--format=csv|json|text] "
+          "[--serve [--port=N] [--port-file=PATH]] [script]\n");
       PrintHelp();
       return 0;
     } else {
@@ -278,11 +340,11 @@ int Main(int argc, char** argv) {
     }
   }
 
-  Shell shell(config);
+  Shell shell(config, format);
   std::istream* in = &std::cin;
   std::ifstream file;
-  const bool interactive = script_path.empty();
-  if (!interactive) {
+  const bool interactive = script_path.empty() && !serve;
+  if (!script_path.empty()) {
     file.open(script_path);
     if (!file) {
       std::fprintf(stderr, "cannot open %s\n", script_path.c_str());
@@ -294,26 +356,52 @@ int Main(int argc, char** argv) {
   if (interactive) {
     std::printf("RaSQL shell — .help for commands\n");
   }
-  std::string pending;
-  std::string line;
-  while (true) {
-    if (interactive) std::printf(pending.empty() ? "rasql> " : "   ...> ");
-    if (!std::getline(*in, line)) break;
-    // Dot-commands are line-oriented; SQL accumulates until ';'.
-    if (pending.empty() && !line.empty() && line[0] == '.') {
-      if (!shell.Handle(line)) break;
-      continue;
+  if (!serve || !script_path.empty()) {
+    std::string pending;
+    std::string line;
+    while (true) {
+      if (interactive) std::printf(pending.empty() ? "rasql> " : "   ...> ");
+      if (!std::getline(*in, line)) break;
+      // Dot-commands are line-oriented; SQL accumulates until ';'.
+      if (pending.empty() && !line.empty() && line[0] == '.') {
+        if (!shell.Handle(line)) break;
+        continue;
+      }
+      pending += line;
+      pending += "\n";
+      const auto semi = pending.find_last_not_of(" \t\n");
+      if (semi != std::string::npos && pending[semi] == ';') {
+        const bool keep_going = shell.Handle(pending);
+        pending.clear();
+        if (!keep_going) break;
+      }
     }
-    pending += line;
-    pending += "\n";
-    const auto semi = pending.find_last_not_of(" \t\n");
-    if (semi != std::string::npos && pending[semi] == ';') {
-      const bool keep_going = shell.Handle(pending);
-      pending.clear();
-      if (!keep_going) break;
-    }
+    if (!pending.empty()) shell.Handle(pending);
   }
-  if (!pending.empty()) shell.Handle(pending);
+
+  if (serve) {
+    // `--serve [--port=N]`: the script above seeded the catalog; serve it.
+    if (shell.num_errors() > 0) {
+      std::fprintf(stderr, "refusing to serve: setup script had errors\n");
+      return 1;
+    }
+    BlockShutdownSignals();
+    server::Server server(shell.context(), server_options);
+    const auto status = server.Start();
+    if (!status.ok()) {
+      std::fprintf(stderr, "cannot serve: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("RASQL_SERVER_PORT=%u\n", server.port());
+    std::fflush(stdout);
+    if (!port_file.empty()) {
+      std::ofstream out(port_file);
+      out << server.port() << "\n";
+    }
+    WaitForShutdownSignal();
+    server.Stop();
+    return 0;
+  }
   // Interactive users saw the errors already; scripts gate on the code.
   return interactive ? 0 : (shell.num_errors() > 0 ? 1 : 0);
 }

@@ -1,0 +1,234 @@
+// Concurrency contract tests for RaSqlContext (DESIGN.md §12): multiple
+// session threads interleaving queries over one shared catalog must
+// produce bit-identical results and fixpoint statistics to a serial run,
+// for engine thread counts {1, 2, 8}; writes serialize atomically against
+// concurrent readers. ci.sh also builds this binary under TSan — the
+// shared/exclusive locking in RaSqlContext is exactly what it probes.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/rasql_context.h"
+#include "storage/relation.h"
+#include "storage/result_format.h"
+
+namespace rasql::engine {
+namespace {
+
+using storage::Relation;
+using storage::ResultFormat;
+using storage::Schema;
+using storage::Value;
+using storage::ValueType;
+
+constexpr char kTc[] = R"(
+    WITH recursive tc (Src, Dst) AS
+      (SELECT Src, Dst FROM edge) UNION
+      (SELECT tc.Src, edge.Dst FROM tc, edge WHERE tc.Dst = edge.Src)
+    SELECT Src, Dst FROM tc)";
+
+constexpr char kSssp[] = R"(
+    WITH recursive path (Dst, min() AS Cost) AS
+      (SELECT 1, 0.0) UNION
+      (SELECT edge.Dst, path.Cost + edge.Cost
+       FROM path, edge WHERE path.Dst = edge.Src)
+    SELECT Dst, Cost FROM path)";
+
+constexpr char kCount[] = "SELECT count(*) FROM edge";
+
+Relation WeightedEdges() {
+  Relation rel{Schema::Of({{"Src", ValueType::kInt64},
+                           {"Dst", ValueType::kInt64},
+                           {"Cost", ValueType::kDouble}})};
+  const std::vector<std::tuple<int64_t, int64_t, double>> edges = {
+      {1, 2, 1.0}, {2, 3, 2.0}, {3, 4, 1.0}, {1, 3, 5.0}, {4, 5, 1.0},
+      {2, 5, 9.0}, {5, 6, 2.0}, {3, 6, 8.0}, {6, 7, 1.5}, {7, 1, 0.5}};
+  for (const auto& [s, d, c] : edges) {
+    rel.Add({Value::Int(s), Value::Int(d), Value::Double(c)});
+  }
+  return rel;
+}
+
+std::unique_ptr<RaSqlContext> MakeContext(int num_threads) {
+  EngineConfig config;
+  config.runtime.num_threads = num_threads;
+  auto ctx = std::make_unique<RaSqlContext>(std::move(config));
+  EXPECT_TRUE(ctx->RegisterTable("edge", WeightedEdges()).ok());
+  return ctx;
+}
+
+/// Everything a session observes from one execution, rendered to bytes so
+/// "bit-identical" is literal.
+std::string Fingerprint(const ExecutionResult& result) {
+  std::string out = storage::FormatRelation(result.relation,
+                                            ResultFormat::kCsv);
+  out += '|';
+  out += std::to_string(result.fixpoint_stats.iterations);
+  out += '|';
+  out += std::to_string(result.fixpoint_stats.total_delta_rows);
+  out += '|';
+  out += std::to_string(result.fixpoint_stats.plan_executions);
+  out += '|';
+  out += result.fixpoint_stats.used_semi_naive ? '1' : '0';
+  return out;
+}
+
+class SharedContextTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SharedContextTest, InterleavedSessionsMatchSerialExecution) {
+  const int engine_threads = GetParam();
+  const std::vector<std::string> queries = {kTc, kSssp, kCount};
+
+  // Serial baseline on an identically seeded context.
+  std::vector<std::string> baseline;
+  {
+    auto serial_ctx = MakeContext(engine_threads);
+    for (const std::string& sql : queries) {
+      auto result = serial_ctx->Execute(sql);
+      ASSERT_TRUE(result.ok()) << result.status();
+      baseline.push_back(Fingerprint(*result));
+    }
+  }
+
+  auto shared_ctx = MakeContext(engine_threads);
+  constexpr int kSessions = 2;
+  constexpr int kRounds = 4;
+  std::vector<std::thread> sessions;
+  std::atomic<int> failures{0};
+  sessions.reserve(kSessions);
+  for (int s = 0; s < kSessions; ++s) {
+    sessions.emplace_back([&, s] {
+      // Offset starts so the two sessions interleave different queries.
+      for (int r = 0; r < kRounds; ++r) {
+        const size_t q = (s + r) % queries.size();
+        auto result = shared_ctx->Execute(queries[q]);
+        if (!result.ok() || Fingerprint(*result) != baseline[q]) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (std::thread& t : sessions) t.join();
+  EXPECT_EQ(failures.load(), 0)
+      << "shared-context execution diverged from serial baseline with "
+      << engine_threads << " engine threads";
+}
+
+TEST_P(SharedContextTest, WriterSerializesAtomicallyAgainstReaders) {
+  const int engine_threads = GetParam();
+  auto ctx = MakeContext(engine_threads);
+
+  // Baselines for both catalog states the readers may observe.
+  const std::string pre = [&] {
+    auto r = ctx->Execute(kCount);
+    EXPECT_TRUE(r.ok());
+    return Fingerprint(*r);
+  }();
+  const std::string post = [&] {
+    auto probe = MakeContext(engine_threads);
+    EXPECT_TRUE(
+        probe->Execute("INSERT INTO edge VALUES (8, 9, 1.0), (9, 8, 1.0)")
+            .ok());
+    auto r = probe->Execute(kCount);
+    EXPECT_TRUE(r.ok());
+    return Fingerprint(*r);
+  }();
+
+  std::atomic<int> torn_reads{0};
+  std::thread reader([&] {
+    for (int i = 0; i < 50; ++i) {
+      auto result = ctx->Execute(kCount);
+      if (!result.ok()) {
+        ++torn_reads;
+        continue;
+      }
+      const std::string got = Fingerprint(*result);
+      // INSERT validates-then-appends under the exclusive lock, so a
+      // reader sees all of the write or none of it — never a prefix.
+      if (got != pre && got != post) ++torn_reads;
+    }
+  });
+  std::thread writer([&] {
+    auto result =
+        ctx->Execute("INSERT INTO edge VALUES (8, 9, 1.0), (9, 8, 1.0)");
+    EXPECT_TRUE(result.ok()) << result.status();
+  });
+  reader.join();
+  writer.join();
+  EXPECT_EQ(torn_reads.load(), 0);
+
+  const uint64_t version = ctx->TableVersion("edge");
+  EXPECT_GE(version, 2u);  // register + insert
+  auto final_count = ctx->Execute(kCount);
+  ASSERT_TRUE(final_count.ok());
+  EXPECT_EQ(Fingerprint(*final_count), post);
+}
+
+INSTANTIATE_TEST_SUITE_P(EngineThreads, SharedContextTest,
+                         ::testing::Values(1, 2, 8));
+
+TEST(SharedPoolTest, SharedRuntimePoolMatchesOwnedPools) {
+  // The server wires one shared compute pool into every execution; results
+  // must match per-query owned pools exactly.
+  std::string owned;
+  {
+    auto ctx = MakeContext(/*num_threads=*/4);
+    auto result = ctx->Execute(kSssp);
+    ASSERT_TRUE(result.ok()) << result.status();
+    owned = Fingerprint(*result);
+  }
+  runtime::ThreadPool pool(4);
+  auto ctx = MakeContext(/*num_threads=*/4);
+  ctx->mutable_config()->runtime.shared_pool = &pool;
+  std::vector<std::thread> sessions;
+  std::atomic<int> failures{0};
+  for (int s = 0; s < 2; ++s) {
+    sessions.emplace_back([&] {
+      for (int i = 0; i < 3; ++i) {
+        auto result = ctx->Execute(kSssp);
+        if (!result.ok() || Fingerprint(*result) != owned) ++failures;
+      }
+    });
+  }
+  for (std::thread& t : sessions) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(ContextVersionTest, VersionsTrackWritesOnly) {
+  auto ctx = MakeContext(1);
+  const uint64_t v0 = ctx->TableVersion("edge");
+  const uint64_t c0 = ctx->CatalogVersion();
+  ASSERT_TRUE(ctx->Execute(kCount).ok());
+  EXPECT_EQ(ctx->TableVersion("edge"), v0);  // reads don't bump
+  EXPECT_EQ(ctx->CatalogVersion(), c0);
+  ASSERT_TRUE(ctx->Execute("INSERT INTO edge VALUES (1, 9, 2.0)").ok());
+  EXPECT_GT(ctx->TableVersion("edge"), v0);
+  EXPECT_GT(ctx->CatalogVersion(), c0);
+  EXPECT_EQ(ctx->TableVersion("no_such_table"), 0u);
+}
+
+TEST(ContextVersionTest, NormalizedPlanKeyIgnoresWhitespaceAndCase) {
+  auto ctx = MakeContext(1);
+  auto k1 = ctx->NormalizedPlanKey("SELECT Src FROM edge WHERE Dst = 2");
+  auto k2 = ctx->NormalizedPlanKey("select   Src\nfrom EDGE where Dst = 2");
+  ASSERT_TRUE(k1.ok()) << k1.status();
+  ASSERT_TRUE(k2.ok()) << k2.status();
+  EXPECT_EQ(*k1, *k2);
+  auto k3 = ctx->NormalizedPlanKey("SELECT Src FROM edge WHERE Dst = 3");
+  ASSERT_TRUE(k3.ok());
+  EXPECT_NE(*k1, *k3);
+  // Scripts and writes have no normalized plan key.
+  EXPECT_FALSE(ctx->NormalizedPlanKey("INSERT INTO edge VALUES (1, 2, 3.0)")
+                   .ok());
+  EXPECT_FALSE(
+      ctx->NormalizedPlanKey("SELECT Src FROM edge; SELECT Dst FROM edge")
+          .ok());
+}
+
+}  // namespace
+}  // namespace rasql::engine

@@ -4,6 +4,7 @@
 #include <fstream>
 
 #include "storage/csv.h"
+#include "storage/result_format.h"
 
 namespace rasql::storage {
 namespace {
@@ -140,6 +141,54 @@ TEST(CsvTest, RoundTripWithCommasQuotesAndNulls) {
   ASSERT_TRUE(loaded.ok()) << loaded.status();
   EXPECT_TRUE(SameBag(rel, *loaded));
   EXPECT_TRUE(rel.schema() == loaded->schema());
+}
+
+// ---- ResultFormat: the shared writer behind `--format=` and the
+// server's RESULT frames (DESIGN.md §12). ----
+
+TEST(ResultFormatTest, ParseAndName) {
+  auto csv = ParseResultFormat("CSV");
+  ASSERT_TRUE(csv.ok());
+  EXPECT_EQ(*csv, ResultFormat::kCsv);
+  auto json = ParseResultFormat("json");
+  ASSERT_TRUE(json.ok());
+  EXPECT_EQ(*json, ResultFormat::kJson);
+  EXPECT_STREQ(ResultFormatName(ResultFormat::kText), "text");
+  EXPECT_FALSE(ParseResultFormat("xml").ok());
+}
+
+TEST(ResultFormatTest, CsvMatchesToCsv) {
+  Relation rel{Schema::Of({{"Id", ValueType::kInt64},
+                           {"Name", ValueType::kString}})};
+  rel.Add({Value::Int(1), Value::String("smith, alice")});
+  rel.Add({Value::Int(2), Value::Null()});
+  EXPECT_EQ(FormatRelation(rel, ResultFormat::kCsv), ToCsv(rel));
+}
+
+TEST(ResultFormatTest, JsonEscapesAndTypes) {
+  Relation rel{Schema::Of({{"Id", ValueType::kInt64},
+                           {"Who", ValueType::kString},
+                           {"Cost", ValueType::kDouble}})};
+  rel.Add({Value::Int(1), Value::String("say \"hi\"\n"), Value::Double(1.5)});
+  rel.Add({Value::Int(2), Value::Null(), Value::Double(0.1)});
+  const std::string json = FormatRelation(rel, ResultFormat::kJson);
+  EXPECT_NE(json.find("\"Id\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"Who\": \"say \\\"hi\\\"\\n\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"Cost\": 1.5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"Who\": null"), std::string::npos) << json;
+  // 0.1 must render round-trippably, not as 0.100000000000000006.
+  EXPECT_NE(json.find("\"Cost\": 0.1"), std::string::npos) << json;
+}
+
+TEST(ResultFormatTest, JsonEmptyRelationIsEmptyArray) {
+  Relation rel{Schema::Of({{"A", ValueType::kInt64}})};
+  EXPECT_EQ(FormatRelation(rel, ResultFormat::kJson), "[]\n");
+}
+
+TEST(ResultFormatTest, JsonQuoteControlCharacters) {
+  EXPECT_EQ(JsonQuote("a\tb"), "\"a\\tb\"");
+  EXPECT_EQ(JsonQuote(std::string(1, '\x01')), "\"\\u0001\"");
 }
 
 }  // namespace

@@ -658,5 +658,84 @@ TEST(EngineDistributedTest, CombinedStagesReduceStageCount) {
             plain_run->job_metrics.num_stages());
 }
 
+// ---- INSERT semantics: the engine's only base-data write, and the hook
+// the server's result-cache invalidation hangs off (DESIGN.md §12). ----
+
+TEST(EngineInsertTest, AppendsRowsAndReportsCount) {
+  RaSqlContext ctx;
+  ASSERT_TRUE(
+      ctx.RegisterTable("edge", WeightedEdges({{1, 2, 1.0}, {2, 3, 2.0}}))
+          .ok());
+  auto result =
+      ctx.Execute("INSERT INTO edge VALUES (3, 4, 0.5), (4, 1, 1.5)");
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->relation.size(), 1u);
+  EXPECT_EQ(result->relation.schema().column(0).name, "rows_inserted");
+  EXPECT_EQ(result->relation.rows()[0][0].AsInt(), 2);
+  auto count = ctx.Execute("SELECT count(*) FROM edge");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count->relation.rows()[0][0].AsInt(), 4);
+}
+
+TEST(EngineInsertTest, PromotesIntToDoubleColumn) {
+  RaSqlContext ctx;
+  ASSERT_TRUE(ctx.RegisterTable("edge", WeightedEdges({{1, 2, 1.0}})).ok());
+  ASSERT_TRUE(ctx.Execute("INSERT INTO edge VALUES (2, 3, 7)").ok());
+  auto result = ctx.Execute("SELECT Cost FROM edge WHERE Src = 2");
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->relation.size(), 1u);
+  EXPECT_EQ(result->relation.rows()[0][0], Value::Double(7.0));
+}
+
+TEST(EngineInsertTest, RejectsAtomicallyOnBadRow) {
+  RaSqlContext ctx;
+  ASSERT_TRUE(ctx.RegisterTable("edge", WeightedEdges({{1, 2, 1.0}})).ok());
+  const uint64_t version = ctx.TableVersion("edge");
+  // Second row has a string where an int column is expected: the whole
+  // statement must reject, including the valid first row.
+  auto bad =
+      ctx.Execute("INSERT INTO edge VALUES (2, 3, 0.5), ('x', 4, 0.5)");
+  EXPECT_FALSE(bad.ok());
+  auto arity = ctx.Execute("INSERT INTO edge VALUES (2, 3)");
+  EXPECT_FALSE(arity.ok());
+  auto missing = ctx.Execute("INSERT INTO no_such VALUES (1, 2, 3.0)");
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(ctx.TableVersion("edge"), version);
+  auto count = ctx.Execute("SELECT count(*) FROM edge");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count->relation.rows()[0][0].AsInt(), 1);
+}
+
+TEST(EngineInsertTest, InsertedRowsFeedRecursionAndBumpVersion) {
+  RaSqlContext ctx;
+  ASSERT_TRUE(
+      ctx.RegisterTable("edge", WeightedEdges({{1, 2, 1.0}, {2, 3, 1.0}}))
+          .ok());
+  const uint64_t version = ctx.TableVersion("edge");
+  const char* tc = R"(
+      WITH recursive tc (Src, Dst) AS
+        (SELECT Src, Dst FROM edge) UNION
+        (SELECT tc.Src, edge.Dst FROM tc, edge WHERE tc.Dst = edge.Src)
+      SELECT count(*) FROM tc)";
+  auto before = ctx.Execute(tc);
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before->relation.rows()[0][0].AsInt(), 3);  // 12 23 13
+  ASSERT_TRUE(ctx.Execute("INSERT INTO edge VALUES (3, 4, 1.0)").ok());
+  EXPECT_GT(ctx.TableVersion("edge"), version);
+  auto after = ctx.Execute(tc);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->relation.rows()[0][0].AsInt(), 6);  // + 34 24 14
+}
+
+TEST(EngineInsertTest, NullLiteralLandsAsNull) {
+  RaSqlContext ctx;
+  ASSERT_TRUE(ctx.RegisterTable("edge", WeightedEdges({{1, 2, 1.0}})).ok());
+  ASSERT_TRUE(ctx.Execute("INSERT INTO edge VALUES (2, 3, NULL)").ok());
+  auto result = ctx.Execute("SELECT Cost FROM edge WHERE Src = 2");
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->relation.size(), 1u);
+  EXPECT_TRUE(result->relation.rows()[0][0].is_null());
+}
+
 }  // namespace
 }  // namespace rasql::engine

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
 
 #include "engine/rasql_context.h"
 #include "lint/diagnostic.h"
@@ -37,20 +38,21 @@ Relation WeightedEdges() {
   return rel;
 }
 
-/// Context with the schemas all test queries reference.
-engine::RaSqlContext MakeContext() {
-  engine::RaSqlContext ctx;
-  EXPECT_TRUE(ctx.RegisterTable("edge", WeightedEdges()).ok());
+/// Context with the schemas all test queries reference. Heap-allocated:
+/// RaSqlContext is immovable (it owns a shared_mutex).
+std::unique_ptr<engine::RaSqlContext> MakeContext() {
+  auto ctx = std::make_unique<engine::RaSqlContext>();
+  EXPECT_TRUE(ctx->RegisterTable("edge", WeightedEdges()).ok());
   Relation basic{Schema::Of(
       {{"Part", ValueType::kInt64}, {"Days", ValueType::kInt64}})};
   basic.Add({Value::Int(1), Value::Int(7)});
-  EXPECT_TRUE(ctx.RegisterTable("basic", std::move(basic)).ok());
+  EXPECT_TRUE(ctx->RegisterTable("basic", std::move(basic)).ok());
   EXPECT_TRUE(
-      ctx.RegisterTable("assbl", MakeIntRelation({"Part", "Spart"},
+      ctx->RegisterTable("assbl", MakeIntRelation({"Part", "Spart"},
                                                  {{2, 1}}))
           .ok());
   EXPECT_TRUE(
-      ctx.RegisterTable("report", MakeIntRelation({"Emp", "Mgr"}, {{2, 1}}))
+      ctx->RegisterTable("report", MakeIntRelation({"Emp", "Mgr"}, {{2, 1}}))
           .ok());
   return ctx;
 }
@@ -90,7 +92,7 @@ constexpr char kSssp[] = R"(
 
 TEST(LintGoldenTest, SsspProvenPrem) {
   auto ctx = MakeContext();
-  LintReport report = Lint(ctx, kSssp);
+  LintReport report = Lint(*ctx, kSssp);
   EXPECT_FALSE(report.HasErrors()) << report.ToString();
   EXPECT_FALSE(report.engine.HasWarnings()) << report.ToString();
   EXPECT_TRUE(HasCode(report, "RASQL-P000"));
@@ -100,7 +102,7 @@ TEST(LintGoldenTest, SsspProvenPrem) {
 
 TEST(LintGoldenTest, ConnectedComponentsProvenPrem) {
   auto ctx = MakeContext();
-  LintReport report = Lint(ctx, R"(
+  LintReport report = Lint(*ctx, R"(
       WITH recursive cc (Src, min() AS CmpId) AS
         (SELECT Src, Src FROM edge) UNION
         (SELECT edge.Dst, cc.CmpId FROM cc, edge WHERE cc.Src = edge.Src)
@@ -113,7 +115,7 @@ TEST(LintGoldenTest, ConnectedComponentsProvenPrem) {
 TEST(LintGoldenTest, BomDaysTillDeliveryProvenPrem) {
   // Fig. 2's "days till delivery" endo-max query.
   auto ctx = MakeContext();
-  LintReport report = Lint(ctx, R"(
+  LintReport report = Lint(*ctx, R"(
       WITH recursive waitfor (Part, max() AS Days) AS
         (SELECT Part, Days FROM basic) UNION
         (SELECT assbl.Part, waitfor.Days FROM assbl, waitfor
@@ -126,7 +128,7 @@ TEST(LintGoldenTest, BomDaysTillDeliveryProvenPrem) {
 
 TEST(LintGoldenTest, CountPathsProvenMonotone) {
   auto ctx = MakeContext();
-  LintReport report = Lint(ctx, R"(
+  LintReport report = Lint(*ctx, R"(
       WITH recursive cpaths (Dst, sum() AS Cnt) AS
         (SELECT 1, 1) UNION
         (SELECT edge.Dst, cpaths.Cnt FROM cpaths, edge
@@ -139,7 +141,7 @@ TEST(LintGoldenTest, CountPathsProvenMonotone) {
 
 TEST(LintGoldenTest, ManagementCountProvenMonotone) {
   auto ctx = MakeContext();
-  LintReport report = Lint(ctx, R"(
+  LintReport report = Lint(*ctx, R"(
       WITH recursive empCount (Mgr, count() AS Cnt) AS
         (SELECT report.Emp, 1 FROM report) UNION
         (SELECT report.Mgr, empCount.Cnt FROM empCount, report
@@ -152,7 +154,7 @@ TEST(LintGoldenTest, ManagementCountProvenMonotone) {
 
 TEST(LintGoldenTest, AggregateFreeRecursionProvenMonotoneRa) {
   auto ctx = MakeContext();
-  LintReport report = Lint(ctx, R"(
+  LintReport report = Lint(*ctx, R"(
       WITH recursive reach (Dst) AS
         (SELECT 1) UNION
         (SELECT edge.Dst FROM reach, edge WHERE reach.Dst = edge.Src)
@@ -165,7 +167,7 @@ TEST(LintGoldenTest, AggregateFreeRecursionProvenMonotoneRa) {
 TEST(LintGoldenTest, DownwardFilterOnMinCostStaysProven) {
   // min() + a downward-closed bound on the cost is order-compatible.
   auto ctx = MakeContext();
-  LintReport report = Lint(ctx, R"(
+  LintReport report = Lint(*ctx, R"(
       WITH recursive path (Dst, min() AS Cost) AS
         (SELECT 1, 0.0) UNION
         (SELECT edge.Dst, path.Cost + edge.Cost
@@ -179,7 +181,7 @@ TEST(LintGoldenTest, DownwardFilterOnMinCostStaysProven) {
 
 TEST(LintGoldenTest, OrderReversingCostIsError) {
   auto ctx = MakeContext();
-  LintReport report = Lint(ctx, R"(
+  LintReport report = Lint(*ctx, R"(
       WITH recursive p (Dst, min() AS Cost) AS
         (SELECT 1, 0.0) UNION
         (SELECT edge.Dst, 0.0 - p.Cost FROM p, edge WHERE p.Dst = edge.Src)
@@ -192,7 +194,7 @@ TEST(LintGoldenTest, OrderReversingCostIsError) {
 
 TEST(LintGoldenTest, NegativeScaleFoldedToError) {
   auto ctx = MakeContext();
-  LintReport report = Lint(ctx, R"(
+  LintReport report = Lint(*ctx, R"(
       WITH recursive p (Dst, min() AS Cost) AS
         (SELECT 1, 0.0) UNION
         (SELECT edge.Dst, p.Cost * (0 - 2) FROM p, edge
@@ -204,7 +206,7 @@ TEST(LintGoldenTest, NegativeScaleFoldedToError) {
 TEST(LintGoldenTest, MultiplyingCostColumnsIsUnprovenWarning) {
   // The prem_validator's own violation example: multiplicative costs.
   auto ctx = MakeContext();
-  LintReport report = Lint(ctx, R"(
+  LintReport report = Lint(*ctx, R"(
       WITH recursive p (Dst, min() AS Cost) AS
         (SELECT 1, 1.0) UNION
         (SELECT edge.Dst, p.Cost * edge.Cost FROM p, edge
@@ -218,7 +220,7 @@ TEST(LintGoldenTest, MultiplyingCostColumnsIsUnprovenWarning) {
 
 TEST(LintGoldenTest, UpwardFilterOnMinCostIsUnprovenWarning) {
   auto ctx = MakeContext();
-  LintReport report = Lint(ctx, R"(
+  LintReport report = Lint(*ctx, R"(
       WITH recursive p (Dst, min() AS Cost) AS
         (SELECT 1, 0.0) UNION
         (SELECT edge.Dst, p.Cost + edge.Cost
@@ -230,7 +232,7 @@ TEST(LintGoldenTest, UpwardFilterOnMinCostIsUnprovenWarning) {
 
 TEST(LintGoldenTest, NegationOverAggregateColumnWarns) {
   auto ctx = MakeContext();
-  LintReport report = Lint(ctx, R"(
+  LintReport report = Lint(*ctx, R"(
       WITH recursive p (Dst, min() AS Cost) AS
         (SELECT 1, 0.0) UNION
         (SELECT edge.Dst, p.Cost + edge.Cost
@@ -244,7 +246,7 @@ TEST(LintGoldenTest, MinOverColumnAlsoUsedAsKeyIsError) {
   // "min over a column also used non-monotonically": the aggregate value
   // leaks into the implicit group-by key.
   auto ctx = MakeContext();
-  LintReport report = Lint(ctx, R"(
+  LintReport report = Lint(*ctx, R"(
       WITH recursive k (Key, min() AS C) AS
         (SELECT 1, 0.0) UNION
         (SELECT k.C + 1.0, k.C FROM k, edge WHERE k.Key = edge.Src)
@@ -256,7 +258,7 @@ TEST(LintGoldenTest, MinOverColumnAlsoUsedAsKeyIsError) {
 
 TEST(LintGoldenTest, NegativeSumContributionIsError) {
   auto ctx = MakeContext();
-  LintReport report = Lint(ctx, R"(
+  LintReport report = Lint(*ctx, R"(
       WITH recursive neg (Dst, sum() AS N) AS
         (SELECT 1, 0 - 5) UNION
         (SELECT edge.Dst, neg.N FROM neg, edge WHERE neg.Dst = edge.Src)
@@ -267,7 +269,7 @@ TEST(LintGoldenTest, NegativeSumContributionIsError) {
 
 TEST(LintGoldenTest, UnknownSignSumContributionWarns) {
   auto ctx = MakeContext();
-  LintReport report = Lint(ctx, R"(
+  LintReport report = Lint(*ctx, R"(
       WITH recursive s (Dst, sum() AS N) AS
         (SELECT Src, Cost FROM edge) UNION
         (SELECT edge.Dst, s.N FROM s, edge WHERE s.Dst = edge.Src)
@@ -279,7 +281,7 @@ TEST(LintGoldenTest, UnknownSignSumContributionWarns) {
 
 TEST(LintGoldenTest, ExplicitAggregateInRecursionIsError) {
   auto ctx = MakeContext();
-  LintReport report = Lint(ctx, R"(
+  LintReport report = Lint(*ctx, R"(
       WITH recursive w (Part, Days) AS
         (SELECT Part, Days FROM basic) UNION
         (SELECT assbl.Part, max(w.Days) FROM assbl, w
@@ -293,7 +295,7 @@ TEST(LintGoldenTest, ExplicitAggregateInRecursionIsError) {
 
 TEST(LintGoldenTest, UnboundColumnReferenceIsError) {
   auto ctx = MakeContext();
-  LintReport report = Lint(ctx, R"(
+  LintReport report = Lint(*ctx, R"(
       WITH recursive r (Dst) AS
         (SELECT 1) UNION
         (SELECT edge.Nope FROM r, edge WHERE r.Dst = edge.Src)
@@ -304,7 +306,7 @@ TEST(LintGoldenTest, UnboundColumnReferenceIsError) {
 
 TEST(LintGoldenTest, CrossProductRecursionWarns) {
   auto ctx = MakeContext();
-  LintReport report = Lint(ctx, R"(
+  LintReport report = Lint(*ctx, R"(
       WITH recursive r (Dst) AS
         (SELECT 1) UNION
         (SELECT edge.Dst FROM r, edge)
@@ -314,7 +316,7 @@ TEST(LintGoldenTest, CrossProductRecursionWarns) {
 
 TEST(LintGoldenTest, NonLinearSumFallsBackToNaiveButStaysMonotone) {
   auto ctx = MakeContext();
-  LintReport report = Lint(ctx, R"(
+  LintReport report = Lint(*ctx, R"(
       WITH recursive q (Dst, sum() AS N) AS
         (SELECT 1, 1) UNION
         (SELECT edge.Dst, q.N * q.N FROM q, edge WHERE q.Dst = edge.Src)
@@ -328,7 +330,7 @@ TEST(LintGoldenTest, NonLinearSumFallsBackToNaiveButStaysMonotone) {
 
 TEST(LintGoldenTest, MutualRecursionWarnsAndStaysUnprovenForAggHeads) {
   auto ctx = MakeContext();
-  LintReport report = Lint(ctx, R"(
+  LintReport report = Lint(*ctx, R"(
       WITH recursive a (X) AS
         (SELECT 1) UNION (SELECT b.X FROM b),
       recursive b (X) AS (SELECT a.X FROM a)
@@ -344,27 +346,27 @@ TEST(LintGoldenTest, MutualRecursionWarnsAndStaysUnprovenForAggHeads) {
 
 TEST(LintGatingTest, ErrorLevelQueryIsRefused) {
   auto ctx = MakeContext();
-  ctx.mutable_config()->lint_before_execute = true;
+  ctx->mutable_config()->lint_before_execute = true;
   const std::string sql = R"(
       WITH recursive p (Dst, min() AS Cost) AS
         (SELECT 1, 0.0) UNION
         (SELECT edge.Dst, 0.0 - p.Cost FROM p, edge WHERE p.Dst = edge.Src)
       SELECT Dst, Cost FROM p)";
-  auto result = ctx.Execute(sql);
+  auto result = ctx->Execute(sql);
   ASSERT_FALSE(result.ok());
   EXPECT_NE(result.status().message().find("RASQL-M001"),
             std::string::npos)
       << result.status();
-  auto report = ctx.Lint(sql);
+  auto report = ctx->Lint(sql);
   ASSERT_TRUE(report.ok()) << report.status();
   EXPECT_TRUE(report->HasErrors());
 }
 
 TEST(LintGatingTest, ProvenQueryExecutesUnderWerror) {
   auto ctx = MakeContext();
-  ctx.mutable_config()->lint_before_execute = true;
-  ctx.mutable_config()->lint.werror = true;
-  auto result = ctx.Execute(kSssp);
+  ctx->mutable_config()->lint_before_execute = true;
+  ctx->mutable_config()->lint.werror = true;
+  auto result = ctx->Execute(kSssp);
   ASSERT_TRUE(result.ok()) << result.status();
   EXPECT_EQ(result->relation.size(), 3u);  // vertices 1,2,3 reachable
 }
@@ -377,11 +379,11 @@ TEST(LintGatingTest, WarningQueryRunsUnlessWerror) {
          WHERE p.Dst = edge.Src)
       SELECT Dst, Cost FROM p)";
   auto ctx = MakeContext();
-  ctx.mutable_config()->lint_before_execute = true;
-  EXPECT_TRUE(ctx.Execute(unproven).ok());
+  ctx->mutable_config()->lint_before_execute = true;
+  EXPECT_TRUE(ctx->Execute(unproven).ok());
 
-  ctx.mutable_config()->lint.werror = true;
-  auto refused = ctx.Execute(unproven);
+  ctx->mutable_config()->lint.werror = true;
+  auto refused = ctx->Execute(unproven);
   ASSERT_FALSE(refused.ok());
   EXPECT_NE(refused.status().message().find("RASQL-M002"),
             std::string::npos);
@@ -394,7 +396,7 @@ TEST(LintTest, SemiNaiveVerdictMatchesAnalyzerFlag) {
   // from the same decision procedure; check they agree through the
   // public API (stats report naive evaluation for the flagged query).
   auto ctx = MakeContext();
-  auto result = ctx.Execute(R"(
+  auto result = ctx->Execute(R"(
       WITH recursive q (Dst, sum() AS N) AS
         (SELECT 1, 1) UNION
         (SELECT edge.Dst, q.N * q.N FROM q, edge WHERE q.Dst = edge.Src)
@@ -402,7 +404,7 @@ TEST(LintTest, SemiNaiveVerdictMatchesAnalyzerFlag) {
   ASSERT_TRUE(result.ok()) << result.status();
   EXPECT_FALSE(result->fixpoint_stats.used_semi_naive);
 
-  auto report = ctx.Lint(R"(
+  auto report = ctx->Lint(R"(
       WITH recursive q (Dst, sum() AS N) AS
         (SELECT 1, 1) UNION
         (SELECT edge.Dst, q.N * q.N FROM q, edge WHERE q.Dst = edge.Src)

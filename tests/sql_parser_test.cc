@@ -213,6 +213,56 @@ TEST(ParserTest, ErrorsCarryPosition) {
   EXPECT_FALSE(Parser::ParseQuery("SELECT 1 extra garbage ,").ok());
 }
 
+TEST(ParserTest, InsertLiteralRows) {
+  auto script = Parser::ParseScript(
+      "INSERT INTO edge VALUES (1, 2, 1.5), (-3, 4, -0.5), (5, NULL, 'x')");
+  ASSERT_TRUE(script.ok()) << script.status();
+  ASSERT_EQ(script->size(), 1u);
+  const Statement& stmt = (*script)[0];
+  ASSERT_EQ(stmt.kind, Statement::Kind::kInsert);
+  ASSERT_NE(stmt.insert, nullptr);
+  EXPECT_EQ(stmt.insert->table, "edge");
+  ASSERT_EQ(stmt.insert->rows.size(), 3u);
+  EXPECT_EQ(stmt.insert->rows[0][0], storage::Value::Int(1));
+  EXPECT_EQ(stmt.insert->rows[0][2], storage::Value::Double(1.5));
+  // Signed literals fold the leading minus into the constant.
+  EXPECT_EQ(stmt.insert->rows[1][0], storage::Value::Int(-3));
+  EXPECT_EQ(stmt.insert->rows[1][2], storage::Value::Double(-0.5));
+  // `null` is contextual, not a lexer keyword.
+  EXPECT_TRUE(stmt.insert->rows[2][1].is_null());
+  EXPECT_EQ(stmt.insert->rows[2][2], storage::Value::String("x"));
+}
+
+TEST(ParserTest, InsertErrors) {
+  EXPECT_FALSE(Parser::ParseScript("INSERT edge VALUES (1)").ok());
+  EXPECT_FALSE(Parser::ParseScript("INSERT INTO edge (1, 2)").ok());
+  EXPECT_FALSE(Parser::ParseScript("INSERT INTO edge VALUES (1,)").ok());
+  EXPECT_FALSE(Parser::ParseScript("INSERT INTO edge VALUES (1 + 2)").ok());
+  EXPECT_FALSE(Parser::ParseScript("INSERT INTO edge VALUES (-'s')").ok());
+  EXPECT_FALSE(Parser::ParseScript("INSERT INTO edge VALUES (Src)").ok());
+}
+
+TEST(ParserTest, InsertInScriptWithQuery) {
+  auto script = Parser::ParseScript(R"(
+      INSERT INTO edge VALUES (1, 2, 1.0);
+      SELECT count(*) FROM edge)");
+  ASSERT_TRUE(script.ok()) << script.status();
+  ASSERT_EQ(script->size(), 2u);
+  EXPECT_EQ((*script)[0].kind, Statement::Kind::kInsert);
+  EXPECT_EQ((*script)[1].kind, Statement::Kind::kQuery);
+}
+
+TEST(ParserTest, ReferencedTablesExcludesCtes) {
+  auto q = Parser::ParseQuery(R"(
+      WITH recursive tc (Src, Dst) AS
+        (SELECT Src, Dst FROM edge) UNION
+        (SELECT tc.Src, arc.Dst FROM tc, arc WHERE tc.Dst = arc.Src)
+      SELECT Src, Dst FROM tc)");
+  ASSERT_TRUE(q.ok()) << q.status();
+  const std::vector<std::string> tables = ReferencedTables(*q);
+  EXPECT_EQ(tables, (std::vector<std::string>{"arc", "edge"}));
+}
+
 TEST(ParserTest, RoundTripToString) {
   auto q = Parser::ParseQuery(kBomQuery);
   ASSERT_TRUE(q.ok());

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include <string>
 
 #include "dist/cluster.h"
@@ -340,9 +342,11 @@ constexpr char kSssp[] = R"(
        FROM path, edge WHERE path.Dst = edge.Src)
     SELECT Dst, Cost FROM path)";
 
-engine::RaSqlContext MakeContext(engine::EngineConfig config = {}) {
-  engine::RaSqlContext ctx(std::move(config));
-  EXPECT_TRUE(ctx.RegisterTable("edge", WeightedEdges()).ok());
+/// Heap-allocated: RaSqlContext is immovable (it owns a shared_mutex).
+std::unique_ptr<engine::RaSqlContext> MakeContext(
+    engine::EngineConfig config = {}) {
+  auto ctx = std::make_unique<engine::RaSqlContext>(std::move(config));
+  EXPECT_TRUE(ctx->RegisterTable("edge", WeightedEdges()).ok());
   return ctx;
 }
 
@@ -354,7 +358,7 @@ std::string ExplainStages(engine::RaSqlContext& ctx, const std::string& sql) {
 
 TEST(ExplainStagesTest, LocalSemiNaiveTemplate) {
   auto ctx = MakeContext();
-  const std::string out = ExplainStages(ctx, kTc);
+  const std::string out = ExplainStages(*ctx, kTc);
   EXPECT_NE(out.find("=== STAGES (local) ==="), std::string::npos) << out;
   EXPECT_NE(out.find("iter-map"), std::string::npos) << out;
   EXPECT_NE(out.find("split-slot-owned"), std::string::npos) << out;
@@ -366,7 +370,7 @@ TEST(ExplainStagesTest, DistributedDecomposedTc) {
   engine::EngineConfig config;
   config.distributed = true;
   auto ctx = MakeContext(config);
-  const std::string out = ExplainStages(ctx, kTc);
+  const std::string out = ExplainStages(*ctx, kTc);
   EXPECT_NE(out.find("=== STAGES (distributed) ==="), std::string::npos)
       << out;
   EXPECT_NE(out.find("seed-base-case"), std::string::npos) << out;
@@ -379,7 +383,7 @@ TEST(ExplainStagesTest, DistributedCombinedSssp) {
   engine::EngineConfig config;
   config.distributed = true;
   auto ctx = MakeContext(config);
-  const std::string out = ExplainStages(ctx, kSssp);
+  const std::string out = ExplainStages(*ctx, kSssp);
   EXPECT_NE(out.find("partition-base:edge"), std::string::npos) << out;
   EXPECT_NE(out.find("iter-exchange[0]"), std::string::npos) << out;
   EXPECT_NE(out.find("resets: iter-exchange[0]"), std::string::npos) << out;
@@ -395,7 +399,7 @@ TEST(ExplainStagesTest, DistributedPlainPairsAndSplitDag) {
       fixpoint::DistFixpointOptions::Decomposed::kOff;
   {
     auto ctx = MakeContext(config);
-    const std::string out = ExplainStages(ctx, kSssp);
+    const std::string out = ExplainStages(*ctx, kSssp);
     EXPECT_NE(out.find("mode: plain DSN (Alg. 4/5), pipelined pairs"),
               std::string::npos)
         << out;
@@ -405,7 +409,7 @@ TEST(ExplainStagesTest, DistributedPlainPairsAndSplitDag) {
   config.runtime.morsel_rows = 64;
   {
     auto ctx = MakeContext(config);
-    const std::string out = ExplainStages(ctx, kSssp);
+    const std::string out = ExplainStages(*ctx, kSssp);
     EXPECT_NE(out.find("mode: plain DSN (Alg. 4/5), morsel-split map DAG"),
               std::string::npos)
         << out;
@@ -421,7 +425,7 @@ TEST(ExplainStagesTest, ForcedSemiNaiveOnNaiveCliqueFails) {
   auto ctx = MakeContext(config);
   // Non-linear use of the view (tc twice) is not semi-naive-safe for
   // sum/count heads; mutual recursion is the simpler trigger here.
-  auto out = ctx.ExplainStages(R"(
+  auto out = ctx->ExplainStages(R"(
       WITH recursive a (X) AS (SELECT Src FROM edge)
          UNION (SELECT X FROM b),
       recursive b (X) AS (SELECT X FROM a)
@@ -515,8 +519,8 @@ TEST(ClusterVerifyTest, DistributedExecutionVerifiesLive) {
   dist_config.runtime.verify_stages = true;
   auto dist_ctx = MakeContext(dist_config);
   auto local_ctx = MakeContext();
-  auto dist_result = dist_ctx.Execute(kTc);
-  auto local_result = local_ctx.Execute(kTc);
+  auto dist_result = dist_ctx->Execute(kTc);
+  auto local_result = local_ctx->Execute(kTc);
   ASSERT_TRUE(dist_result.ok()) << dist_result.status();
   ASSERT_TRUE(local_result.ok()) << local_result.status();
   EXPECT_EQ(dist_result->relation.size(), local_result->relation.size());
