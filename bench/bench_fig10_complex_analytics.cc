@@ -95,9 +95,9 @@ void Run() {
       datagen::ToBomRelations(tree, 3, &assbl, &basic);
       // GraphX initial values: leaves carry their delivery days.
       std::vector<double> initial(tree.num_vertices, 0.0);
-      for (const auto& row : basic.rows()) {
+      basic.ForEachRow([&](const storage::Row& row) {
         initial[row[0].AsInt()] = static_cast<double>(row[1].AsInt());
-      }
+      });
       tables.emplace("assbl", std::move(assbl));
       tables.emplace("basic", std::move(basic));
       RunTiming rasql = RunEngine(RaSqlConfig(), tables, kDeliveryQuery);
@@ -140,9 +140,9 @@ void Run() {
       Relation sales;
       datagen::ToMlmRelations(tree, 4, &sponsor, &sales);
       std::vector<double> initial(tree.num_vertices, 0.0);
-      for (const auto& row : sales.rows()) {
+      sales.ForEachRow([&](const storage::Row& row) {
         initial[row[0].AsInt()] = 0.1 * row[1].AsDouble();
-      }
+      });
       tables.emplace("sponsor", std::move(sponsor));
       tables.emplace("sales", std::move(sales));
       RunTiming rasql = RunEngine(RaSqlConfig(), tables, kMlmQuery);

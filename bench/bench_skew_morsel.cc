@@ -97,7 +97,7 @@ SkewRun RunCell(const std::map<std::string, storage::Relation>& tables,
   run.sim_time = result->job_metrics.TotalSimTime();
   run.num_stages = result->job_metrics.num_stages();
   if (!result->relation.empty()) {
-    run.result = result->relation.rows()[0][0].AsInt();
+    run.result = result->relation.row(0)[0].AsInt();
   }
   for (const dist::StageMetrics& s : result->job_metrics.stages) {
     run.max_partition_splits =
@@ -109,7 +109,7 @@ SkewRun RunCell(const std::map<std::string, storage::Relation>& tables,
     const dist::JobMetrics& a = reference->job_metrics;
     const dist::JobMetrics& b = result->job_metrics;
     run.metrics_identical =
-        reference->relation.rows() == result->relation.rows() &&
+        storage::SameRows(reference->relation, result->relation) &&
         a.num_stages() == b.num_stages() &&
         a.broadcast_bytes == b.broadcast_bytes;
     for (int s = 0; run.metrics_identical && s < a.num_stages(); ++s) {

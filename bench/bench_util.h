@@ -136,9 +136,9 @@ inline RunTiming RunEngine(engine::EngineConfig config,
   timing.remote_bytes = result->job_metrics.TotalRemoteBytes();
   timing.iterations = result->fixpoint_stats.iterations;
   const storage::Relation& rel = result->relation;
-  if (!rel.empty() && !rel.rows()[0].empty() &&
-      rel.rows()[0][0].type() == storage::ValueType::kInt64) {
-    timing.result = rel.rows()[0][0].AsInt();
+  if (!rel.empty() && rel.row(0).width() > 0 &&
+      rel.row(0)[0].type() == storage::ValueType::kInt64) {
+    timing.result = rel.row(0)[0].AsInt();
   }
   return timing;
 }

@@ -70,7 +70,7 @@ int main() {
       return 1;
     }
     std::printf("%s\n  answer      = %s\n", q.name,
-                result->relation.rows()[0][0].ToString().c_str());
+                result->relation.row(0)[0].ToString().c_str());
     std::printf("  iterations  = %d\n", result->fixpoint_stats.iterations);
     std::printf("  cluster     = %s\n\n",
                 result->job_metrics.Summary().c_str());

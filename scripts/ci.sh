@@ -25,6 +25,14 @@ ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
 RASQL_VERIFY_STAGES=1 \
   ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
 
+# Batch-mode gate under ASan (DESIGN.md §13): the vectorized kernels index
+# raw chunk arrays through selection vectors and fill preallocated probe
+# scratch — exactly the code ASan must see clean. The chunk-layout
+# property suite and the batch-vs-row equality matrix run explicitly so
+# the gate survives suite reorganizations.
+"${BUILD_DIR}/tests/columnar_test"
+"${BUILD_DIR}/tests/morsel_test" --gtest_filter='*MorselMatrix*'
+
 # Parallel-runtime gate: TSan excludes ASan, so the work-stealing executor
 # and the threaded fixpoint tests get their own build. Only the four test
 # binaries that exercise real threads are built and run — a full TSan build
@@ -35,7 +43,7 @@ cmake -B "${TSAN_BUILD_DIR}" -S . \
   -DRASQL_ENABLE_TSAN=ON
 cmake --build "${TSAN_BUILD_DIR}" -j "${JOBS}" \
   --target runtime_test dist_test fixpoint_test morsel_test \
-           concurrency_test server_test
+           columnar_test concurrency_test server_test
 "${TSAN_BUILD_DIR}/tests/runtime_test"
 "${TSAN_BUILD_DIR}/tests/dist_test"
 "${TSAN_BUILD_DIR}/tests/fixpoint_test"
@@ -62,10 +70,16 @@ cmake --build "${TSAN_BUILD_DIR}" -j "${JOBS}" \
 # Morsel-split matrix under TSan: split sub-tasks write caller-owned slots
 # concurrently with finalize tasks being released per partition, and the
 # lazy per-partition hash build runs under call_once from several threads.
-# The determinism matrix (threads {1,2,8} × morsel on/off, local and
-# distributed) is exactly the schedule TSan must see clean.
+# The determinism matrix (threads {1,2,8} × morsel on/off × batch on/off,
+# local and distributed) is exactly the schedule TSan must see clean.
 "${TSAN_BUILD_DIR}/tests/morsel_test" \
   --gtest_filter='*MorselMatrix*:*MorselSplit*'
+
+# Batch-mode matrix under TSan: one BoundPipeline is shared by concurrent
+# morsel tasks whose RunBatch keeps selection vectors and probe scratch on
+# each task's own stack; the batch-vs-row suites re-run against the TSan
+# build to pin that contract.
+"${TSAN_BUILD_DIR}/tests/columnar_test" --gtest_filter='*BatchPipeline*'
 
 # Shared-context matrix under TSan (DESIGN.md §12): session threads
 # interleaving reads with exclusive writers on one RaSqlContext, at engine

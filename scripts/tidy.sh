@@ -11,6 +11,31 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Columnar-API gates (DESIGN.md §13) — plain greps, so they run even when
+# clang-tidy is unavailable. The storage API is column-major; row-oriented
+# call sites must go through the Relation row-view compatibility layer.
+#
+# 1. `mutable_rows()` was deleted with the columnar redesign; nothing
+#    outside src/storage/ may reference it (nothing inside does either).
+if grep -rn 'mutable_rows' src tests bench examples --include='*.cc' \
+    --include='*.h' --include='*.cpp' | grep -v '^src/storage/'; then
+  echo "tidy.sh: FAIL — mutable_rows() no longer exists; use the" \
+       "Relation row-view API (AppendRow/TakeRows/ForEachRow)" >&2
+  exit 1
+fi
+# 2. Direct includes of storage/row.h are confined to the layers that own
+#    row semantics (storage), evaluate expressions over rows (expr, sql)
+#    or run the row-view hot path (physical). Everyone else receives Row
+#    transitively through storage/relation.h.
+if grep -rn '#include "storage/row\.h"' src --include='*.cc' \
+    --include='*.h' \
+    | grep -v -E '^src/(storage|physical|expr|sql)/'; then
+  echo "tidy.sh: FAIL — include storage/relation.h instead of" \
+       "storage/row.h outside storage/, physical/, expr/ and sql/" >&2
+  exit 1
+fi
+echo "tidy.sh: columnar-API grep gates passed"
+
 TIDY_BIN=${TIDY_BIN:-clang-tidy}
 if ! command -v "${TIDY_BIN}" >/dev/null 2>&1; then
   echo "tidy.sh: ${TIDY_BIN} not found on PATH; skipping the clang-tidy gate"

@@ -52,8 +52,10 @@ Result<std::vector<Row>> JoinStage(
     const int p = task.partition();
     // Slice the bound relation round-robin across tasks.
     Relation slice(bound.schema());
+    Row scratch;
     for (size_t i = p; i < bound.size(); i += P) {
-      slice.Add(bound.rows()[i]);
+      bound.MaterializeRowInto(i, &scratch);
+      slice.Add(scratch);
     }
     physical::ExecContext ctx;
     ctx.tables = tables;
@@ -69,7 +71,7 @@ Result<std::vector<Row>> JoinStage(
         break;
       }
       bytes += result->ByteSize();
-      for (Row& row : result->mutable_rows()) {
+      for (Row& row : result->TakeRows()) {
         cand[p].push_back(std::move(row));
       }
     }
@@ -113,7 +115,7 @@ Result<Relation> RunSqlLoop(
   for (const plan::PlanPtr& plan : view.base_plans) {
     RASQL_ASSIGN_OR_RETURN(Relation rel,
                            physical::Execute(*plan, base_ctx));
-    for (Row& row : rel.mutable_rows()) base_rows.push_back(std::move(row));
+    for (Row& row : rel.TakeRows()) base_rows.push_back(std::move(row));
   }
   base_rows = dist::PartialAggregate(std::move(base_rows), spec);
 
@@ -166,7 +168,7 @@ Result<Relation> RunSqlLoop(
             task.Fail(result.status());
             return;
           }
-          for (Row& row : result->mutable_rows()) {
+          for (Row& row : result->TakeRows()) {
             rows.push_back(std::move(row));
           }
         }

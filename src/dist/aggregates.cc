@@ -95,4 +95,45 @@ std::vector<Row> PartialAggregate(std::vector<Row> rows,
   return out;
 }
 
+std::vector<Row> PartialAggregate(const storage::Relation& rel,
+                                  const AggSpec& spec) {
+  if (!spec.has_aggregate()) {
+    std::unordered_map<Row, bool, storage::RowHash, storage::RowEq> seen;
+    std::vector<Row> out;
+    out.reserve(rel.size());
+    rel.ForEachRow([&](const Row& row) {
+      if (seen.emplace(row, true).second) out.push_back(row);
+    });
+    return out;
+  }
+
+  std::unordered_map<Row, Value, storage::RowHash, storage::RowEq> groups;
+  groups.reserve(rel.size());
+  Row key(spec.key_columns.size());
+  for (size_t ch = 0; ch < rel.num_chunks(); ++ch) {
+    const storage::ColumnChunk& chunk = rel.chunk(ch);
+    for (size_t r = 0; r < chunk.num_rows(); ++r) {
+      for (size_t i = 0; i < spec.key_columns.size(); ++i) {
+        key[i] = chunk.ValueAt(r, static_cast<size_t>(spec.key_columns[i]));
+      }
+      const Value v = chunk.ValueAt(r, static_cast<size_t>(spec.agg_column));
+      auto [it, inserted] = groups.emplace(key, v);
+      if (!inserted) it->second = CombineAgg(spec.function, it->second, v);
+    }
+  }
+
+  std::vector<Row> out;
+  out.reserve(groups.size());
+  const int num_columns = static_cast<int>(spec.key_columns.size()) + 1;
+  for (auto& [key_row, value] : groups) {
+    Row row(num_columns);
+    for (size_t i = 0; i < spec.key_columns.size(); ++i) {
+      row[spec.key_columns[i]] = key_row[i];
+    }
+    row[spec.agg_column] = value;
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
 }  // namespace rasql::dist

@@ -5,7 +5,6 @@
 
 #include "expr/expr.h"
 #include "storage/relation.h"
-#include "storage/row.h"
 
 namespace rasql::dist {
 
@@ -43,6 +42,13 @@ bool ImprovesAgg(expr::AggregateFunction function,
 /// key, combining aggregate values; reduces shuffle volume. For set
 /// semantics this deduplicates.
 std::vector<storage::Row> PartialAggregate(std::vector<storage::Row> rows,
+                                           const AggSpec& spec);
+
+/// PartialAggregate over a chunked relation (frozen deltas, morsel slots):
+/// key and aggregate cells stream straight from the column arrays — no
+/// full-row materialization. Rows are visited in relation order, so the
+/// output is identical to the vector overload on the materialized rows.
+std::vector<storage::Row> PartialAggregate(const storage::Relation& rel,
                                            const AggSpec& spec);
 
 }  // namespace rasql::dist

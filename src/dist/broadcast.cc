@@ -97,32 +97,62 @@ std::vector<uint8_t> EncodeRelation(const Relation& input) {
 
   // Column-major delta encoding for integers: consecutive rows of graph
   // relations have correlated ids, so deltas are small and varints shrink
-  // them. Doubles and strings are stored plainly.
+  // them. Doubles and strings are stored plainly. The storage layout is
+  // already column-major, so each column streams straight out of the
+  // chunks' typed arrays; boxed/mixed chunks fall back to ValueAt.
   for (int c = 0; c < schema.num_columns(); ++c) {
+    const size_t col = static_cast<size_t>(c);
     switch (schema.column(c).type) {
       case ValueType::kInt64: {
         int64_t prev = 0;
-        for (const Row& row : input.rows()) {
-          const int64_t v = row[c].AsInt();
-          PutVarint(ZigZag(v - prev), &out);
-          prev = v;
+        for (size_t ch = 0; ch < input.num_chunks(); ++ch) {
+          const storage::ColumnChunk& chunk = input.chunk(ch);
+          const storage::ColumnChunk::ColumnData& cd = chunk.column(col);
+          const bool typed = !cd.variant && cd.tag == ValueType::kInt64 &&
+                             cd.null_count == 0;
+          for (size_t r = 0; r < chunk.num_rows(); ++r) {
+            const int64_t v =
+                typed ? cd.i64[r] : chunk.ValueAt(r, col).AsInt();
+            PutVarint(ZigZag(v - prev), &out);
+            prev = v;
+          }
         }
         break;
       }
       case ValueType::kDouble: {
-        for (const Row& row : input.rows()) {
-          const double d = row[c].AsDouble();
-          const size_t at = out.size();
-          out.resize(at + 8);
-          std::memcpy(out.data() + at, &d, 8);
+        for (size_t ch = 0; ch < input.num_chunks(); ++ch) {
+          const storage::ColumnChunk& chunk = input.chunk(ch);
+          const storage::ColumnChunk::ColumnData& cd = chunk.column(col);
+          const bool typed = !cd.variant && cd.tag == ValueType::kDouble &&
+                             cd.null_count == 0;
+          for (size_t r = 0; r < chunk.num_rows(); ++r) {
+            const double d =
+                typed ? cd.f64[r] : chunk.ValueAt(r, col).AsDouble();
+            const size_t at = out.size();
+            out.resize(at + 8);
+            std::memcpy(out.data() + at, &d, 8);
+          }
         }
         break;
       }
       case ValueType::kString: {
-        for (const Row& row : input.rows()) {
-          const std::string& s = row[c].AsString();
-          PutVarint(s.size(), &out);
-          out.insert(out.end(), s.begin(), s.end());
+        for (size_t ch = 0; ch < input.num_chunks(); ++ch) {
+          const storage::ColumnChunk& chunk = input.chunk(ch);
+          const storage::ColumnChunk::ColumnData& cd = chunk.column(col);
+          const bool typed = !cd.variant && cd.tag == ValueType::kString &&
+                             cd.null_count == 0;
+          for (size_t r = 0; r < chunk.num_rows(); ++r) {
+            if (typed) {
+              const std::string& s = cd.dict[cd.codes[r]];
+              PutVarint(s.size(), &out);
+              out.insert(out.end(), s.begin(), s.end());
+            } else {
+              const Value v = chunk.ValueAt(r, col);
+              const std::string& s = v.AsString();
+              PutVarint(s.size(), &out);
+              out.insert(out.end(), s.begin(), s.end());
+            }
+          }
         }
         break;
       }
@@ -185,7 +215,7 @@ Result<Relation> DecodeRelation(const std::vector<uint8_t>& bytes) {
         break;
     }
   }
-  rel.mutable_rows() = std::move(rows);
+  for (const Row& row : rows) rel.AppendRow(row);
   return rel;
 }
 

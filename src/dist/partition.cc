@@ -35,7 +35,7 @@ Relation PartitionedRelation::Collect() const {
   Relation out(schema_);
   out.Reserve(TotalRows());
   for (const Relation& p : partitions_) {
-    for (const Row& row : p.rows()) out.Add(row);
+    p.ForEachRow([&](const Row& row) { out.Add(row); });
   }
   return out;
 }
@@ -45,7 +45,7 @@ PartitionedRelation Partition(const Relation& input,
                               int num_partitions) {
   Partitioning spec{std::move(key_columns), num_partitions};
   PartitionedRelation out(input.schema(), spec);
-  for (const Row& row : input.rows()) out.Add(row);
+  input.ForEachRow([&](const Row& row) { out.Add(row); });
   return out;
 }
 
@@ -53,10 +53,11 @@ std::vector<Row> GatherShuffle(const std::vector<ShuffleWrite>& writes,
                                int dest) {
   std::vector<Row> out;
   size_t total = 0;
-  for (const ShuffleWrite& w : writes) total += w.rows_per_dest[dest].size();
+  for (const ShuffleWrite& w : writes) total += w.slice_per_dest[dest].size();
   out.reserve(total);
   for (const ShuffleWrite& w : writes) {
-    for (const Row& row : w.rows_per_dest[dest]) out.push_back(row);
+    w.slice_per_dest[dest].ForEachRow(
+        [&](const Row& row) { out.push_back(row); });
   }
   return out;
 }

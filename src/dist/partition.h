@@ -5,7 +5,6 @@
 #include <vector>
 
 #include "storage/relation.h"
-#include "storage/row.h"
 
 namespace rasql::dist {
 
@@ -63,19 +62,21 @@ PartitionedRelation Partition(const storage::Relation& input,
                               std::vector<int> key_columns,
                               int num_partitions);
 
-/// Map-side shuffle output: rows bucketed by destination partition, plus
-/// the byte counts the cost model needs.
+/// Map-side shuffle output: rows bucketed by destination partition as
+/// column-chunked slices, plus the byte counts the cost model needs.
+/// `bytes_per_dest` keeps the row-encoding estimate (RowByteSize) so the
+/// modeled shuffle volumes are unchanged by the columnar layout.
 struct ShuffleWrite {
-  std::vector<std::vector<storage::Row>> rows_per_dest;
+  std::vector<storage::Relation> slice_per_dest;
   std::vector<size_t> bytes_per_dest;
 
   explicit ShuffleWrite(int num_partitions)
-      : rows_per_dest(num_partitions), bytes_per_dest(num_partitions, 0) {}
+      : slice_per_dest(num_partitions), bytes_per_dest(num_partitions, 0) {}
 
-  void Add(storage::Row row, const Partitioning& partitioning) {
+  void Add(const storage::Row& row, const Partitioning& partitioning) {
     const int dest = partitioning.PartitionOf(row);
     bytes_per_dest[dest] += storage::RowByteSize(row);
-    rows_per_dest[dest].push_back(std::move(row));
+    slice_per_dest[dest].AppendRow(row);
   }
 };
 

@@ -8,46 +8,56 @@ using storage::Relation;
 using storage::Row;
 using storage::Value;
 
-void SetRddPartition::MergeDelta(const std::vector<Row>& candidates,
-                                 std::vector<Row>* delta) {
+void SetRddPartition::MergeOne(const Row& row, bool accumulates,
+                               std::vector<Row>* delta) {
   if (!spec_.has_aggregate()) {
     // Plain semi-naive set difference + union (paper Alg. 4 ReduceStage).
-    for (const Row& row : candidates) {
-      auto [it, inserted] = set_state_.insert(row);
-      if (inserted) {
-        byte_size_ += storage::RowByteSize(row);
-        delta->push_back(row);
-      }
+    auto [it, inserted] = set_state_.insert(row);
+    if (inserted) {
+      byte_size_ += storage::RowByteSize(row);
+      delta->push_back(row);
     }
     return;
   }
 
   // Aggregate semantics (paper Alg. 5 ReduceStage, extended to sum/count).
+  Row key = storage::ProjectKey(row, spec_.key_columns);
+  const Value& v = row[spec_.agg_column];
+  auto [it, inserted] = agg_state_.emplace(std::move(key), v);
+  if (inserted) {
+    byte_size_ += storage::RowByteSize(row);
+    delta->push_back(row);
+    return;
+  }
+  if (accumulates) {
+    // The delta carries the *increment*: downstream joins propagate only
+    // the newly discovered contribution, never re-counting old ones.
+    it->second = CombineAgg(spec_.function, it->second, v);
+    delta->push_back(row);
+  } else if (ImprovesAgg(spec_.function, it->second, v)) {
+    it->second = v;
+    delta->push_back(row);
+  }
+  // Otherwise: dominated tuple, discarded (paper Sec. 6.2: "(b, 3) will
+  // be ignored and discarded due to the property of monotonic
+  // aggregates").
+}
+
+void SetRddPartition::MergeDelta(const std::vector<Row>& candidates,
+                                 std::vector<Row>* delta) {
   const bool accumulates =
       spec_.function == expr::AggregateFunction::kSum ||
       spec_.function == expr::AggregateFunction::kCount;
-  for (const Row& row : candidates) {
-    Row key = storage::ProjectKey(row, spec_.key_columns);
-    const Value& v = row[spec_.agg_column];
-    auto [it, inserted] = agg_state_.emplace(std::move(key), v);
-    if (inserted) {
-      byte_size_ += storage::RowByteSize(row);
-      delta->push_back(row);
-      continue;
-    }
-    if (accumulates) {
-      // The delta carries the *increment*: downstream joins propagate only
-      // the newly discovered contribution, never re-counting old ones.
-      it->second = CombineAgg(spec_.function, it->second, v);
-      delta->push_back(row);
-    } else if (ImprovesAgg(spec_.function, it->second, v)) {
-      it->second = v;
-      delta->push_back(row);
-    }
-    // Otherwise: dominated tuple, discarded (paper Sec. 6.2: "(b, 3) will
-    // be ignored and discarded due to the property of monotonic
-    // aggregates").
-  }
+  for (const Row& row : candidates) MergeOne(row, accumulates, delta);
+}
+
+void SetRddPartition::MergeDelta(const Relation& candidates,
+                                 std::vector<Row>* delta) {
+  const bool accumulates =
+      spec_.function == expr::AggregateFunction::kSum ||
+      spec_.function == expr::AggregateFunction::kCount;
+  candidates.ForEachRow(
+      [&](const Row& row) { MergeOne(row, accumulates, delta); });
 }
 
 Relation SetRddPartition::ToRelation() const {
@@ -100,7 +110,7 @@ Relation SetRdd::Collect() const {
       out = std::move(part);
       first = false;
     } else {
-      for (const Row& row : part.rows()) out.Add(row);
+      part.ForEachRow([&](const Row& row) { out.Add(row); });
     }
   }
   return out;

@@ -28,6 +28,11 @@ class SetRddPartition {
   void MergeDelta(const std::vector<storage::Row>& candidates,
                   std::vector<storage::Row>* delta);
 
+  /// Same merge over a chunked candidate slice (shuffle payloads); rows are
+  /// visited in slice order, so the delta order matches the row overload.
+  void MergeDelta(const storage::Relation& candidates,
+                  std::vector<storage::Row>* delta);
+
   size_t size() const {
     return spec_.has_aggregate() ? agg_state_.size() : set_state_.size();
   }
@@ -38,6 +43,9 @@ class SetRddPartition {
   storage::Relation ToRelation() const;
 
  private:
+  void MergeOne(const storage::Row& row, bool accumulates,
+                std::vector<storage::Row>* delta);
+
   storage::Schema schema_;
   AggSpec spec_;
   std::unordered_set<storage::Row, storage::RowHash, storage::RowEq>

@@ -100,9 +100,8 @@ class ShuffleChannel {
     std::vector<storage::Row> rows;
     for (int src = 0; src < num_partitions_; ++src) {
       if (!readiness_.Published(src)) continue;
-      for (const storage::Row& row : writes_[src].rows_per_dest[consumer]) {
-        rows.push_back(row);
-      }
+      writes_[src].slice_per_dest[consumer].ForEachRow(
+          [&rows](const storage::Row& row) { rows.push_back(row); });
     }
     readiness_.MarkConsumed(consumer);
     return rows;
@@ -113,7 +112,7 @@ class ShuffleChannel {
   size_t TotalRows() const {
     size_t n = 0;
     for (const ShuffleWrite& w : writes_) {
-      for (const auto& rows : w.rows_per_dest) n += rows.size();
+      for (const auto& slice : w.slice_per_dest) n += slice.size();
     }
     return n;
   }

@@ -174,6 +174,7 @@ Result<ExecutionResult> RaSqlContext::Execute(const std::string& sql) {
       physical::ExecContext ctx;
       for (const auto& [name, rel] : tables_) ctx.tables[name] = &rel;
       ctx.use_codegen = config_.fixpoint.use_codegen;
+      ctx.batch_rows = config_.runtime.batch_rows;
       ctx.join_algorithm = config_.fixpoint.join_algorithm;
       RASQL_ASSIGN_OR_RETURN(Relation rel,
                              physical::Execute(*view_plan, ctx));
@@ -268,6 +269,7 @@ Result<Relation> RaSqlContext::ExecuteQuery(const sql::Query& query,
   for (const auto& [name, rel] : tables_) ctx.tables[name] = &rel;
   for (const auto& [name, rel] : views) ctx.tables[name] = &rel;
   ctx.use_codegen = config_.fixpoint.use_codegen;
+  ctx.batch_rows = config_.runtime.batch_rows;
   ctx.join_algorithm = config_.fixpoint.join_algorithm;
   return physical::Execute(*analyzed.body, ctx);
 }

@@ -157,17 +157,20 @@ class StepEvaluator {
  public:
   StepEvaluator(const LogicalPlan& plan, StepShape shape,
                 const std::map<std::string, const Relation*>& tables,
-                const DistFixpointOptions& options, int num_partitions)
+                const DistFixpointOptions& options, int num_partitions,
+                size_t batch_rows)
       : plan_(&plan),
         shape_(std::move(shape)),
         tables_(&tables),
-        options_(options) {
+        options_(options),
+        batch_rows_(batch_rows) {
     hash_cache_.resize(num_partitions);
     hash_once_.reserve(num_partitions);
     for (int p = 0; p < num_partitions; ++p) {
       hash_once_.push_back(std::make_unique<std::once_flag>());
     }
     sorted_cache_.resize(num_partitions);
+    base_rows_cache_.resize(num_partitions);
     if (shape_.simple) {
       projector_ = std::make_unique<physical::ProjectionEvaluator>(
           shape_.project->exprs(), options_.use_codegen);
@@ -248,14 +251,15 @@ class StepEvaluator {
     const int base_at = shape_.ref_is_left ? ref_width : 0;
     const size_t end = std::min(range.end, delta.size());
     for (size_t i = range.begin; i < end; ++i) {
-      const Row& d = delta.rows()[i];
       matches.clear();
-      table.Probe(d, shape_.delta_keys, &matches);
+      // Column-wise probe: the key cells hash straight out of the delta's
+      // chunks; the delta row is copied into `combined` only on a match.
+      table.ProbeAt(delta, i, shape_.delta_keys, &matches);
       if (matches.empty()) continue;
-      std::copy(d.begin(), d.end(), combined.begin() + ref_at);
+      delta.CopyRowTo(i, &combined, static_cast<size_t>(ref_at));
       for (int m : matches) {
-        const Row& b = base->rows()[m];
-        std::copy(b.begin(), b.end(), combined.begin() + base_at);
+        base->CopyRowTo(static_cast<size_t>(m), &combined,
+                        static_cast<size_t>(base_at));
         if (predicate_ != nullptr && !predicate_->Eval(combined)) continue;
         out.push_back(projector_->Eval(combined));
       }
@@ -272,21 +276,25 @@ class StepEvaluator {
       return Status::ExecutionError("missing base binding for '" +
                                     shape_.copart_table->table_name() + "'");
     }
-    // Sort the base side once per partition; sort the delta every
-    // iteration (this is why sort-merge loses to cached shuffle-hash in
-    // Fig. 11 while using less memory).
+    // Sort (and materialize) the base side once per partition; sort the
+    // delta every iteration (this is why sort-merge loses to cached
+    // shuffle-hash in Fig. 11 while using less memory).
     if (sorted_cache_[partition].empty() && !base->empty()) {
+      base_rows_cache_[partition] = base->MaterializeRows();
+      const std::vector<Row>& brows = base_rows_cache_[partition];
       auto& order = sorted_cache_[partition];
       order.resize(base->size());
       for (size_t i = 0; i < order.size(); ++i) order[i] = i;
       std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-        return KeyLess(base->rows()[a], shape_.copart_keys, base->rows()[b],
+        return KeyLess(brows[a], shape_.copart_keys, brows[b],
                        shape_.copart_keys);
       });
     }
+    const std::vector<Row>& base_rows = base_rows_cache_[partition];
+    std::vector<Row> delta_rows = delta.MaterializeRows();
     std::vector<const Row*> deltas;
-    deltas.reserve(delta.size());
-    for (const Row& d : delta.rows()) deltas.push_back(&d);
+    deltas.reserve(delta_rows.size());
+    for (const Row& d : delta_rows) deltas.push_back(&d);
     std::sort(deltas.begin(), deltas.end(), [&](const Row* a, const Row* b) {
       return KeyLess(*a, shape_.delta_keys, *b, shape_.delta_keys);
     });
@@ -302,7 +310,7 @@ class StepEvaluator {
     size_t j = 0;
     while (i < deltas.size() && j < order.size()) {
       const Row& d = *deltas[i];
-      const Row& b = base->rows()[order[j]];
+      const Row& b = base_rows[order[j]];
       if (KeyLess(d, shape_.delta_keys, b, shape_.copart_keys)) {
         ++i;
       } else if (KeyLess(b, shape_.copart_keys, d, shape_.delta_keys)) {
@@ -310,9 +318,9 @@ class StepEvaluator {
       } else {
         size_t j_end = j;
         while (j_end < order.size() &&
-               !KeyLess(b, shape_.copart_keys, base->rows()[order[j_end]],
+               !KeyLess(b, shape_.copart_keys, base_rows[order[j_end]],
                         shape_.copart_keys) &&
-               !KeyLess(base->rows()[order[j_end]], shape_.copart_keys, b,
+               !KeyLess(base_rows[order[j_end]], shape_.copart_keys, b,
                         shape_.copart_keys)) {
           ++j_end;
         }
@@ -328,7 +336,7 @@ class StepEvaluator {
           std::copy(deltas[a]->begin(), deltas[a]->end(),
                     combined.begin() + ref_at);
           for (size_t bb = j; bb < j_end; ++bb) {
-            const Row& br = base->rows()[order[bb]];
+            const Row& br = base_rows[order[bb]];
             std::copy(br.begin(), br.end(), combined.begin() + base_at);
             if (predicate_ != nullptr && !predicate_->Eval(combined)) {
               continue;
@@ -347,6 +355,7 @@ class StepEvaluator {
                                        const BaseBinding& base_binding) {
     physical::ExecContext ctx;
     ctx.use_codegen = options_.use_codegen;
+    ctx.batch_rows = batch_rows_;
     ctx.join_algorithm = options_.join_algorithm;
     for (const auto& [name, rel] : *tables_) {
       const Relation* bound = base_binding(name, partition);
@@ -355,7 +364,7 @@ class StepEvaluator {
     ctx.recursive_resolver =
         [&](const RecursiveRefNode&) -> const Relation* { return &delta; };
     RASQL_ASSIGN_OR_RETURN(Relation rel, physical::Execute(*plan_, ctx));
-    return std::move(rel.mutable_rows());
+    return rel.TakeRows();
   }
 
   static bool KeyLess(const Row& a, const std::vector<int>& ak, const Row& b,
@@ -371,11 +380,14 @@ class StepEvaluator {
   StepShape shape_;
   const std::map<std::string, const Relation*>* tables_;
   DistFixpointOptions options_;
+  size_t batch_rows_ = 0;
   std::unique_ptr<physical::ProjectionEvaluator> projector_;
   std::unique_ptr<physical::PredicateEvaluator> predicate_;
   std::vector<std::unique_ptr<physical::JoinHashTable>> hash_cache_;
   std::vector<std::unique_ptr<std::once_flag>> hash_once_;
   std::vector<std::vector<size_t>> sorted_cache_;
+  /// Materialized base rows per partition, built alongside sorted_cache_.
+  std::vector<std::vector<Row>> base_rows_cache_;
 };
 
 /// Counts how many times each table is scanned by a plan.
@@ -633,19 +645,20 @@ Result<std::map<std::string, Relation>> EvaluateCliqueDistributed(
   steps.reserve(view.recursive_plans.size());
   for (size_t i = 0; i < view.recursive_plans.size(); ++i) {
     steps.emplace_back(*view.recursive_plans[i], shapes[i], tables, options,
-                       P);
+                       P, cluster->runtime_options().batch_rows);
   }
 
   // ---- Base case: evaluate on the driver, then scatter by K. ----
   physical::ExecContext base_ctx;
   base_ctx.tables = tables;
   base_ctx.use_codegen = options.use_codegen;
+  base_ctx.batch_rows = cluster->runtime_options().batch_rows;
   base_ctx.join_algorithm = options.join_algorithm;
   std::vector<Row> base_rows;
   for (const plan::PlanPtr& p : view.base_plans) {
     RASQL_ASSIGN_OR_RETURN(Relation rel, physical::Execute(*p, base_ctx));
     ++stats->plan_executions;
-    for (Row& row : rel.mutable_rows()) base_rows.push_back(std::move(row));
+    for (Row& row : rel.TakeRows()) base_rows.push_back(std::move(row));
   }
   base_rows = dist::PartialAggregate(std::move(base_rows), spec);
 

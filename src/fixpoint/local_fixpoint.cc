@@ -56,15 +56,8 @@ AggSpec SpecFor(const RecursiveView& view) {
 }
 
 /// Canonical aggregated + sorted form for state comparison.
-Relation Canonicalize(Relation rel, const AggSpec& spec) {
-  // Copy the schema *before* moving the rows out: reading any member of
-  // the donor object after the move is the moved-from-read pattern the
-  // style notes ban (DESIGN.md §5) — it only worked by accident of
-  // Relation's member layout and is one refactor away from UB.
-  storage::Schema schema = rel.schema();
-  std::vector<Row> rows =
-      dist::PartialAggregate(std::move(rel.mutable_rows()), spec);
-  Relation out(std::move(schema), std::move(rows));
+Relation Canonicalize(const Relation& rel, const AggSpec& spec) {
+  Relation out(rel.schema(), dist::PartialAggregate(rel, spec));
   out.SortRows();
   return out;
 }
@@ -84,6 +77,7 @@ ExecContext BaseContext(const std::map<std::string, const Relation*>& tables,
   ExecContext ctx;
   ctx.tables = tables;
   ctx.use_codegen = options.use_codegen;
+  ctx.batch_rows = options.runtime.batch_rows;
   ctx.join_algorithm = options.join_algorithm;
   return ctx;
 }
@@ -174,7 +168,7 @@ Status RunMorselUnits(std::vector<MorselUnit>* units,
       failure.Fail(i, rel.status());
       return;
     }
-    unit.slots[m] = std::move(rel->mutable_rows());
+    unit.slots[m] = rel->TakeRows();
   });
   return failure.First();
 }
@@ -204,7 +198,7 @@ Result<std::map<std::string, Relation>> EvaluateSemiNaive(
   for (const plan::PlanPtr& base : view.base_plans) {
     RASQL_ASSIGN_OR_RETURN(Relation rel, physical::Execute(*base, base_ctx));
     ++stats->plan_executions;
-    for (Row& row : rel.mutable_rows()) base_rows.push_back(std::move(row));
+    for (Row& row : rel.TakeRows()) base_rows.push_back(std::move(row));
   }
   base_rows = dist::PartialAggregate(std::move(base_rows), spec);
 
@@ -213,7 +207,7 @@ Result<std::map<std::string, Relation>> EvaluateSemiNaive(
     ShuffleWrite scatter(P);
     for (Row& row : base_rows) scatter.Add(std::move(row), partitioning);
     pool->ParallelFor(P, [&](int p) {
-      state.partition(p)->MergeDelta(scatter.rows_per_dest[p], &delta[p]);
+      state.partition(p)->MergeDelta(scatter.slice_per_dest[p], &delta[p]);
     });
   }
   for (const auto& d : delta) stats->total_delta_rows += d.size();
@@ -283,7 +277,7 @@ Result<std::map<std::string, Relation>> EvaluateSemiNaive(
     std::vector<size_t> unit_begin(P + 1, 0);
     for (int p = 0; p < P; ++p) {
       unit_begin[p] = units.size();
-      if (delta_rel[p].rows().empty()) continue;
+      if (delta_rel[p].empty()) continue;
       for (const Term& term : terms) {
         MorselUnit unit;
         unit.plan = term.plan;
@@ -364,7 +358,7 @@ Result<std::map<std::string, Relation>> EvaluateNaive(
     for (const plan::PlanPtr& p : clique.views[vi].base_plans) {
       RASQL_ASSIGN_OR_RETURN(Relation rel, physical::Execute(*p, base_ctx));
       ++stats->plan_executions;
-      for (Row& row : rel.mutable_rows()) {
+      for (Row& row : rel.TakeRows()) {
         base_rows[vi].push_back(std::move(row));
       }
     }
@@ -422,9 +416,8 @@ Result<std::map<std::string, Relation>> EvaluateNaive(
           for (Row& row : slot) candidates.push_back(std::move(row));
         }
       }
-      Relation rel(clique.views[vi].schema, std::move(candidates));
-      next[vi] =
-          Canonicalize(std::move(rel), specs.at(clique.views[vi].name));
+      Relation rel(clique.views[vi].schema, candidates);
+      next[vi] = Canonicalize(rel, specs.at(clique.views[vi].name));
     });
 
     bool changed = false;
@@ -513,12 +506,12 @@ Result<std::map<std::string, Relation>> EvaluateCliqueLocal(
           failure.Fail(vi, rel.status());
           return;
         }
-        for (Row& row : rel->mutable_rows()) rows.push_back(std::move(row));
+        for (Row& row : rel->TakeRows()) rows.push_back(std::move(row));
       }
-      Relation rel(view.schema, std::move(rows));
+      Relation rel(view.schema, rows);
       // Multi-branch non-recursive views still union with set/aggregate
       // semantics per the head declaration.
-      results[vi] = Canonicalize(std::move(rel), SpecFor(view));
+      results[vi] = Canonicalize(rel, SpecFor(view));
     });
     RASQL_RETURN_IF_ERROR(failure.First());
     std::map<std::string, Relation> out;

@@ -34,7 +34,7 @@ Result<std::vector<Row>> Step(
   std::vector<Row> out;
   for (const plan::PlanPtr& p : view.recursive_plans) {
     RASQL_ASSIGN_OR_RETURN(Relation rel, physical::Execute(*p, ctx));
-    for (Row& row : rel.mutable_rows()) out.push_back(std::move(row));
+    for (Row& row : rel.TakeRows()) out.push_back(std::move(row));
   }
   return out;
 }
@@ -83,7 +83,7 @@ Result<PremCheckResult> ValidatePrem(
   std::vector<Row> base_rows;
   for (const plan::PlanPtr& p : view->base_plans) {
     RASQL_ASSIGN_OR_RETURN(Relation rel, physical::Execute(*p, base_ctx));
-    for (Row& row : rel.mutable_rows()) base_rows.push_back(std::move(row));
+    for (Row& row : rel.TakeRows()) base_rows.push_back(std::move(row));
   }
 
   // X: the aggregated fixpoint (the original query). Merge semantics via
@@ -105,8 +105,7 @@ Result<PremCheckResult> ValidatePrem(
   while (true) {
     // Invariant under PreM: γ(Y_n) == X_n.
     Relation gamma_y(view->schema,
-                     dist::PartialAggregate(y_state.ToRelation().rows(),
-                                            spec));
+                     dist::PartialAggregate(y_state.ToRelation(), spec));
     Relation x = x_state.ToRelation();
     if (!storage::SameBag(gamma_y, x)) {
       result.holds = false;

@@ -31,7 +31,7 @@ JoinHashTable::JoinHashTable(const Relation& build,
   heads_.assign(capacity, -1);
   next_.assign(build.size(), -1);
   for (size_t i = 0; i < build.size(); ++i) {
-    const uint64_t h = storage::HashRowKey(build.rows()[i], key_columns_);
+    const uint64_t h = build.HashKeyAt(i, key_columns_);
     const size_t slot = h & mask_;
     next_[i] = heads_[slot];
     heads_[slot] = static_cast<int>(i);
@@ -43,11 +43,38 @@ void JoinHashTable::Probe(const Row& probe,
                           std::vector<int>* out) const {
   const uint64_t h = storage::HashRowKey(probe, probe_keys);
   for (int i = heads_[h & mask_]; i >= 0; i = next_[i]) {
-    if (storage::RowKeysEqual(probe, probe_keys, build_->rows()[i],
-                              key_columns_)) {
-      out->push_back(i);
+    const storage::RowAccessor build_row = build_->row(i);
+    bool eq = true;
+    for (size_t k = 0; k < key_columns_.size() && eq; ++k) {
+      eq = build_row.chunk().CellEquals(build_row.chunk_row(),
+                                        static_cast<size_t>(key_columns_[k]),
+                                        probe[probe_keys[k]]);
     }
+    if (eq) out->push_back(i);
   }
+}
+
+void JoinHashTable::ProbeChunk(const storage::ColumnChunk& chunk, size_t row,
+                               const std::vector<int>& probe_keys,
+                               std::vector<int>* out) const {
+  const uint64_t h = chunk.HashKey(row, probe_keys);
+  for (int i = heads_[h & mask_]; i >= 0; i = next_[i]) {
+    const storage::RowAccessor build_row = build_->row(i);
+    bool eq = true;
+    for (size_t k = 0; k < key_columns_.size() && eq; ++k) {
+      eq = storage::ColumnChunk::CellsEqual(
+          chunk, row, static_cast<size_t>(probe_keys[k]), build_row.chunk(),
+          build_row.chunk_row(), static_cast<size_t>(key_columns_[k]));
+    }
+    if (eq) out->push_back(i);
+  }
+}
+
+void JoinHashTable::ProbeAt(const Relation& probe, size_t row,
+                            const std::vector<int>& probe_keys,
+                            std::vector<int>* out) const {
+  const storage::RowAccessor acc = probe.row(row);
+  ProbeChunk(acc.chunk(), acc.chunk_row(), probe_keys, out);
 }
 
 ProjectionEvaluator::ProjectionEvaluator(
@@ -138,23 +165,25 @@ Result<BorrowedRelation> ExecJoinGeneric(const plan::JoinNode& node,
 
   Relation out(node.schema());
   if (node.is_cross()) {
-    out.Reserve(left.rel->size() * right.rel->size());
-    for (const Row& l : left.rel->rows()) {
-      for (const Row& r : right.rel->rows()) {
+    const std::vector<Row> right_rows = right.rel->MaterializeRows();
+    left.rel->ForEachRow([&](const Row& l) {
+      for (const Row& r : right_rows) {
         out.Add(ConcatRows(l, r));
       }
-    }
+    });
     return Own(std::move(out));
   }
 
   if (ctx.join_algorithm == JoinAlgorithm::kSortMerge) {
     // Sort both inputs by their key columns, then merge matching runs.
+    const std::vector<Row> left_rows = left.rel->MaterializeRows();
+    const std::vector<Row> right_rows = right.rel->MaterializeRows();
     std::vector<const Row*> ls;
-    ls.reserve(left.rel->size());
-    for (const Row& r : left.rel->rows()) ls.push_back(&r);
+    ls.reserve(left_rows.size());
+    for (const Row& r : left_rows) ls.push_back(&r);
     std::vector<const Row*> rs;
-    rs.reserve(right.rel->size());
-    for (const Row& r : right.rel->rows()) rs.push_back(&r);
+    rs.reserve(right_rows.size());
+    for (const Row& r : right_rows) rs.push_back(&r);
     const std::vector<int>& lk = node.left_keys();
     const std::vector<int>& rk = node.right_keys();
     auto key_less = [](const Row& a, const std::vector<int>& ak,
@@ -208,13 +237,20 @@ Result<BorrowedRelation> ExecJoinGeneric(const plan::JoinNode& node,
   // recursive delta in the common FROM order), probe with the left.
   JoinHashTable table(*right.rel, node.right_keys());
   std::vector<int> matches;
-  for (const Row& l : left.rel->rows()) {
+  const size_t right_width =
+      static_cast<size_t>(node.child(1).schema().num_columns());
+  Row combined;
+  left.rel->ForEachRow([&](const Row& l) {
     matches.clear();
     table.Probe(l, node.left_keys(), &matches);
+    if (matches.empty()) return;
+    combined.resize(l.size() + right_width);
+    std::copy(l.begin(), l.end(), combined.begin());
     for (int m : matches) {
-      out.Add(ConcatRows(l, right.rel->rows()[m]));
+      right.rel->CopyRowTo(static_cast<size_t>(m), &combined, l.size());
+      out.Add(combined);
     }
-  }
+  });
   return Own(std::move(out));
 }
 
@@ -223,9 +259,9 @@ Result<BorrowedRelation> ExecFilter(const plan::FilterNode& node,
   RASQL_ASSIGN_OR_RETURN(BorrowedRelation child, Exec(node.child(0), ctx));
   PredicateEvaluator predicate(node.predicate(), ctx.use_codegen);
   Relation out(node.schema());
-  for (const Row& row : child.rel->rows()) {
+  child.rel->ForEachRow([&](const Row& row) {
     if (predicate.Eval(row)) out.Add(row);
-  }
+  });
   return Own(std::move(out));
 }
 
@@ -239,9 +275,9 @@ Result<BorrowedRelation> ExecProject(const plan::ProjectNode& node,
   Relation out(node.schema());
   RASQL_ASSIGN_OR_RETURN(BorrowedRelation input, Exec(node.child(0), ctx));
   out.Reserve(input.rel->size());
-  for (const Row& row : input.rel->rows()) {
+  input.rel->ForEachRow([&](const Row& row) {
     out.Add(projector.Eval(row));
-  }
+  });
   return Own(std::move(out));
 }
 
@@ -251,6 +287,11 @@ Result<BorrowedRelation> ExecAggregate(const plan::AggregateNode& node,
 
   const std::vector<expr::ExprPtr>& group_exprs = node.group_exprs();
   const std::vector<plan::AggregateItem>& items = node.items();
+  for (const plan::AggregateItem& item : items) {
+    if (item.function == AggregateFunction::kNone) {
+      return Status::Internal("aggregate item without function");
+    }
+  }
 
   struct GroupState {
     std::vector<Value> accumulators;
@@ -261,58 +302,250 @@ Result<BorrowedRelation> ExecAggregate(const plan::AggregateNode& node,
   std::unordered_map<Row, GroupState, storage::RowHash, storage::RowEq>
       groups;
 
-  for (const Row& row : input.rel->rows()) {
-    Row key;
-    key.reserve(group_exprs.size());
-    for (const expr::ExprPtr& g : group_exprs) key.push_back(g->Eval(row));
-    auto [it, inserted] = groups.try_emplace(std::move(key));
-    GroupState& state = it->second;
-    if (inserted) {
-      state.accumulators.resize(items.size());
-      state.distinct.resize(items.size());
-      for (size_t j = 0; j < items.size(); ++j) {
-        if (items[j].distinct) {
-          state.distinct[j] = std::make_unique<std::unordered_set<
-              Row, storage::RowHash, storage::RowEq>>();
-        }
-        if (items[j].function == AggregateFunction::kCount) {
-          state.accumulators[j] = Value::Int(0);
-        }
-      }
-    }
+  auto init_state = [&](GroupState* state) {
+    state->accumulators.resize(items.size());
+    state->distinct.resize(items.size());
     for (size_t j = 0; j < items.size(); ++j) {
-      const plan::AggregateItem& item = items[j];
-      Value arg =
-          item.argument ? item.argument->Eval(row) : Value::Int(1);
-      if (item.argument && arg.is_null()) continue;  // SQL: nulls ignored
-      if (item.distinct) {
-        if (!state.distinct[j]->insert(Row{arg}).second) continue;
+      if (items[j].distinct) {
+        state->distinct[j] = std::make_unique<std::unordered_set<
+            Row, storage::RowHash, storage::RowEq>>();
       }
-      Value& acc = state.accumulators[j];
-      switch (item.function) {
-        case AggregateFunction::kCount:
-          acc = Value::Int(acc.AsInt() + 1);
-          break;
-        case AggregateFunction::kMin:
-          if (acc.is_null() || arg.Compare(acc) < 0) acc = arg;
-          break;
-        case AggregateFunction::kMax:
-          if (acc.is_null() || arg.Compare(acc) > 0) acc = arg;
-          break;
-        case AggregateFunction::kSum:
-          if (acc.is_null()) {
-            acc = arg;
-          } else if (acc.type() == ValueType::kInt64 &&
-                     arg.type() == ValueType::kInt64) {
-            acc = Value::Int(acc.AsInt() + arg.AsInt());
-          } else {
-            acc = Value::Double(acc.AsNumeric() + arg.AsNumeric());
-          }
-          break;
-        case AggregateFunction::kNone:
-          return Status::Internal("aggregate item without function");
+      if (items[j].function == AggregateFunction::kCount) {
+        state->accumulators[j] = Value::Int(0);
       }
     }
+  };
+  // One aggregate step; shared verbatim by both execution modes so the
+  // batch path can never drift from the row-at-a-time oracle.
+  auto accumulate = [&](GroupState* state, size_t j, Value arg,
+                        bool has_argument) {
+    const plan::AggregateItem& item = items[j];
+    if (has_argument && arg.is_null()) return;  // SQL: nulls ignored
+    if (item.distinct) {
+      if (!state->distinct[j]->insert(Row{arg}).second) return;
+    }
+    Value& acc = state->accumulators[j];
+    switch (item.function) {
+      case AggregateFunction::kCount:
+        acc = Value::Int(acc.AsInt() + 1);
+        break;
+      case AggregateFunction::kMin:
+        if (acc.is_null() || arg.Compare(acc) < 0) acc = std::move(arg);
+        break;
+      case AggregateFunction::kMax:
+        if (acc.is_null() || arg.Compare(acc) > 0) acc = std::move(arg);
+        break;
+      case AggregateFunction::kSum:
+        if (acc.is_null()) {
+          acc = std::move(arg);
+        } else if (acc.type() == ValueType::kInt64 &&
+                   arg.type() == ValueType::kInt64) {
+          acc = Value::Int(acc.AsInt() + arg.AsInt());
+        } else {
+          acc = Value::Double(acc.AsNumeric() + arg.AsNumeric());
+        }
+        break;
+      case AggregateFunction::kNone:
+        break;  // rejected above
+    }
+  };
+
+  // Vectorized fast path (DESIGN.md §13): when batch mode is on and every
+  // group key / aggregate argument is a plain column reference with no
+  // DISTINCT, keys and arguments read straight from the chunk arrays —
+  // no row materialization, no expression dispatch — and min/max/sum/count
+  // over non-null int64/double columns run as typed loops. Group insertion
+  // order (and therefore output order) is identical to the row path.
+  bool vectorized = ctx.batch_rows > 0;
+  std::vector<int> group_cols;
+  group_cols.reserve(group_exprs.size());
+  for (const expr::ExprPtr& g : group_exprs) {
+    if (g->kind() != expr::Expr::Kind::kColumnRef) {
+      vectorized = false;
+      break;
+    }
+    group_cols.push_back(
+        static_cast<const expr::ColumnRefExpr&>(*g).index());
+  }
+  std::vector<int> item_cols(items.size(), -1);
+  for (size_t j = 0; vectorized && j < items.size(); ++j) {
+    if (items[j].distinct) vectorized = false;
+    if (items[j].argument == nullptr) continue;
+    if (items[j].argument->kind() != expr::Expr::Kind::kColumnRef) {
+      vectorized = false;
+    } else {
+      item_cols[j] =
+          static_cast<const expr::ColumnRefExpr&>(*items[j].argument)
+              .index();
+    }
+  }
+
+  if (vectorized) {
+    // Per-chunk typed dispatch per aggregate item.
+    enum class Mode { kGeneric, kCount, kSumI64, kMinI64, kMaxI64,
+                      kSumF64, kMinF64, kMaxF64 };
+    std::vector<Mode> modes(items.size());
+    const Relation& rel = *input.rel;
+    auto compute_modes = [&](const storage::ColumnChunk& chunk) {
+      for (size_t j = 0; j < items.size(); ++j) {
+        Mode mode = Mode::kGeneric;
+        if (item_cols[j] < 0) {
+          mode = Mode::kCount;  // count(*): argument Int(1), never null
+        } else {
+          const storage::ColumnChunk::ColumnData& cd =
+              chunk.column(static_cast<size_t>(item_cols[j]));
+          if (!cd.variant && cd.null_count == 0) {
+            if (cd.tag == ValueType::kInt64) {
+              switch (items[j].function) {
+                case AggregateFunction::kCount: mode = Mode::kCount; break;
+                case AggregateFunction::kSum: mode = Mode::kSumI64; break;
+                case AggregateFunction::kMin: mode = Mode::kMinI64; break;
+                case AggregateFunction::kMax: mode = Mode::kMaxI64; break;
+                default: break;
+              }
+            } else if (cd.tag == ValueType::kDouble) {
+              switch (items[j].function) {
+                case AggregateFunction::kCount: mode = Mode::kCount; break;
+                case AggregateFunction::kSum: mode = Mode::kSumF64; break;
+                case AggregateFunction::kMin: mode = Mode::kMinF64; break;
+                case AggregateFunction::kMax: mode = Mode::kMaxF64; break;
+                default: break;
+              }
+            }
+          }
+        }
+        modes[j] = mode;
+      }
+    };
+    auto accumulate_typed = [&](const storage::ColumnChunk& chunk, size_t r,
+                                GroupState* state) {
+      for (size_t j = 0; j < items.size(); ++j) {
+        Value& acc = state->accumulators[j];
+        const size_t col =
+            static_cast<size_t>(item_cols[j] < 0 ? 0 : item_cols[j]);
+        switch (modes[j]) {
+          case Mode::kCount:
+            acc = Value::Int(acc.AsInt() + 1);
+            break;
+          case Mode::kSumI64: {
+            const int64_t raw = chunk.column(col).i64[r];
+            acc = acc.is_null() ? Value::Int(raw)
+                                : Value::Int(acc.AsInt() + raw);
+            break;
+          }
+          case Mode::kMinI64: {
+            const int64_t raw = chunk.column(col).i64[r];
+            if (acc.is_null() || raw < acc.AsInt()) acc = Value::Int(raw);
+            break;
+          }
+          case Mode::kMaxI64: {
+            const int64_t raw = chunk.column(col).i64[r];
+            if (acc.is_null() || raw > acc.AsInt()) acc = Value::Int(raw);
+            break;
+          }
+          case Mode::kSumF64: {
+            const double raw = chunk.column(col).f64[r];
+            acc = acc.is_null() ? Value::Double(raw)
+                                : Value::Double(acc.AsDouble() + raw);
+            break;
+          }
+          case Mode::kMinF64: {
+            const double raw = chunk.column(col).f64[r];
+            if (acc.is_null() || raw < acc.AsDouble()) {
+              acc = Value::Double(raw);
+            }
+            break;
+          }
+          case Mode::kMaxF64: {
+            const double raw = chunk.column(col).f64[r];
+            if (acc.is_null() || raw > acc.AsDouble()) {
+              acc = Value::Double(raw);
+            }
+            break;
+          }
+          case Mode::kGeneric:
+            accumulate(state, j,
+                       item_cols[j] < 0 ? Value::Int(1)
+                                        : chunk.ValueAt(r, col),
+                       item_cols[j] >= 0);
+            break;
+        }
+      }
+    };
+
+    // Single-int64-key fast path: when the (only) group column is a clean
+    // int64 array in every chunk, group lookup runs on the raw integers —
+    // no per-row Row key, no Value hashing. States accumulate in a dense
+    // vector; the keys are then inserted into `groups` in first-seen order,
+    // which is exactly the row path's insertion sequence, so the final
+    // hash-map iteration (and the output row order) is bit-identical.
+    bool int64_key = group_cols.size() == 1;
+    for (size_t ci = 0; int64_key && ci < rel.num_chunks(); ++ci) {
+      const storage::ColumnChunk::ColumnData& cd =
+          rel.chunk(ci).column(static_cast<size_t>(group_cols[0]));
+      if (cd.variant || cd.null_count != 0 ||
+          (rel.chunk(ci).num_rows() > 0 && cd.tag != ValueType::kInt64)) {
+        int64_key = false;
+      }
+    }
+    if (int64_key) {
+      std::unordered_map<int64_t, uint32_t> index;
+      std::vector<GroupState> states;
+      std::vector<int64_t> first_seen;
+      for (size_t ci = 0; ci < rel.num_chunks(); ++ci) {
+        const storage::ColumnChunk& chunk = rel.chunk(ci);
+        compute_modes(chunk);
+        const std::vector<int64_t>& keys =
+            chunk.column(static_cast<size_t>(group_cols[0])).i64;
+        for (size_t r = 0; r < chunk.num_rows(); ++r) {
+          auto [it, inserted] =
+              index.try_emplace(keys[r],
+                                static_cast<uint32_t>(states.size()));
+          if (inserted) {
+            states.emplace_back();
+            init_state(&states.back());
+            first_seen.push_back(keys[r]);
+          }
+          accumulate_typed(chunk, r, &states[it->second]);
+        }
+      }
+      for (size_t g = 0; g < states.size(); ++g) {
+        groups.emplace(Row{Value::Int(first_seen[g])},
+                       std::move(states[g]));
+      }
+    } else {
+      Row key;
+      for (size_t ci = 0; ci < rel.num_chunks(); ++ci) {
+        const storage::ColumnChunk& chunk = rel.chunk(ci);
+        compute_modes(chunk);
+        for (size_t r = 0; r < chunk.num_rows(); ++r) {
+          key.clear();
+          for (int gc : group_cols) {
+            key.push_back(chunk.ValueAt(r, static_cast<size_t>(gc)));
+          }
+          auto [it, inserted] = groups.try_emplace(key);
+          GroupState& state = it->second;
+          if (inserted) init_state(&state);
+          accumulate_typed(chunk, r, &state);
+        }
+      }
+    }
+  } else {
+    Row key;
+    input.rel->ForEachRow([&](const Row& row) {
+      key.clear();
+      key.reserve(group_exprs.size());
+      for (const expr::ExprPtr& g : group_exprs) key.push_back(g->Eval(row));
+      auto [it, inserted] = groups.try_emplace(key);
+      GroupState& state = it->second;
+      if (inserted) init_state(&state);
+      for (size_t j = 0; j < items.size(); ++j) {
+        accumulate(&state, j,
+                   items[j].argument ? items[j].argument->Eval(row)
+                                     : Value::Int(1),
+                   items[j].argument != nullptr);
+      }
+    });
   }
 
   Relation out(node.schema());
@@ -340,17 +573,16 @@ Result<BorrowedRelation> ExecAggregate(const plan::AggregateNode& node,
 Result<BorrowedRelation> ExecSort(const plan::SortNode& node,
                             const ExecContext& ctx) {
   RASQL_ASSIGN_OR_RETURN(BorrowedRelation input, Exec(node.child(0), ctx));
-  Relation out = *input.rel;  // copy, then sort in place
+  std::vector<Row> rows = input.rel->MaterializeRows();
   std::stable_sort(
-      out.mutable_rows().begin(), out.mutable_rows().end(),
-      [&](const Row& a, const Row& b) {
+      rows.begin(), rows.end(), [&](const Row& a, const Row& b) {
         for (const plan::SortNode::SortKey& key : node.keys()) {
           const int c = key.expr->Eval(a).Compare(key.expr->Eval(b));
           if (c != 0) return key.ascending ? c < 0 : c > 0;
         }
         return false;
       });
-  return Own(std::move(out));
+  return Own(Relation(input.rel->schema(), rows));
 }
 
 Result<BorrowedRelation> Exec(const LogicalPlan& node, const ExecContext& ctx) {
@@ -367,9 +599,9 @@ Result<BorrowedRelation> Exec(const LogicalPlan& node, const ExecContext& ctx) {
         (!program->has_probe_steps() ||
          ctx.join_algorithm == JoinAlgorithm::kHash)) {
       RASQL_ASSIGN_OR_RETURN(BoundPipeline pipeline, program->Bind(ctx));
-      Relation out(node.schema());
-      RASQL_RETURN_IF_ERROR(pipeline.RunAll(&out.mutable_rows()));
-      return Own(std::move(out));
+      std::vector<Row> rows;
+      RASQL_RETURN_IF_ERROR(pipeline.RunAll(&rows));
+      return Own(Relation(node.schema(), rows));
     }
   }
   switch (node.kind()) {
@@ -400,8 +632,8 @@ Result<BorrowedRelation> Exec(const LogicalPlan& node, const ExecContext& ctx) {
       Relation out(node.schema());
       const size_t n = std::min<size_t>(input.rel->size(),
                                         static_cast<size_t>(limit.limit()));
-      out.Reserve(n);
-      for (size_t i = 0; i < n; ++i) out.Add(input.rel->rows()[i]);
+      input.rel->ForEachRow(storage::RowRange{0, n},
+                            [&](const Row& row) { out.Add(row); });
       return Own(std::move(out));
     }
   }

@@ -40,6 +40,14 @@ struct ExecContext {
   /// (paper Sec. 7.3; ablated by bench_fig07).
   bool use_codegen = true;
 
+  /// Vectorized batch execution (DESIGN.md §13): when > 0, fused pipelines
+  /// evaluate filters as selection vectors over the chunks' typed arrays
+  /// (in sub-batches of at most this many rows), extract hash-join keys
+  /// column-wise, and aggregates run typed per-column loops. 0 = the
+  /// row-at-a-time interpreter, which stays the row-for-row oracle: both
+  /// modes produce bit-identical output.
+  size_t batch_rows = 0;
+
   JoinAlgorithm join_algorithm = JoinAlgorithm::kHash;
 };
 
@@ -110,6 +118,18 @@ class JoinHashTable {
   /// row's `probe_key_columns`.
   void Probe(const storage::Row& probe, const std::vector<int>& probe_keys,
              std::vector<int>* out) const;
+
+  /// Column-wise probe: hashes and compares the key cells of `chunk` row
+  /// `row` directly against the build side's stored cells — no probe Row is
+  /// materialized (the batch path's key extraction).
+  void ProbeChunk(const storage::ColumnChunk& chunk, size_t row,
+                  const std::vector<int>& probe_keys,
+                  std::vector<int>* out) const;
+
+  /// ProbeChunk addressed by a relation-global row index.
+  void ProbeAt(const storage::Relation& probe, size_t row,
+               const std::vector<int>& probe_keys,
+               std::vector<int>* out) const;
 
   const storage::Relation* build_side() const { return build_; }
   const std::vector<int>& key_columns() const { return key_columns_; }

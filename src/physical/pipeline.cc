@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "common/check.h"
+#include "expr/expr.h"
+#include "storage/column_chunk.h"
 
 namespace rasql::physical {
 
@@ -66,9 +68,82 @@ std::optional<PipelineProgram> PipelineProgram::Compile(
   }
 }
 
+namespace {
+
+/// Recognizes `col CMP literal` (either operand order) over numeric static
+/// types — precisely the shape CompiledExpr would compile, so the batch
+/// kernel can mirror its double-comparison semantics bit for bit.
+std::optional<BoundPipeline::VecCompare> AnalyzeVecCompare(
+    const expr::Expr& predicate) {
+  if (predicate.kind() != expr::Expr::Kind::kBinary) return std::nullopt;
+  const auto& bin = static_cast<const expr::BinaryExpr&>(predicate);
+  switch (bin.op()) {
+    case expr::BinaryOp::kEq:
+    case expr::BinaryOp::kNe:
+    case expr::BinaryOp::kLt:
+    case expr::BinaryOp::kLe:
+    case expr::BinaryOp::kGt:
+    case expr::BinaryOp::kGe:
+      break;
+    default:
+      return std::nullopt;
+  }
+  const expr::Expr* col = &bin.lhs();
+  const expr::Expr* lit = &bin.rhs();
+  bool col_on_left = true;
+  if (col->kind() != expr::Expr::Kind::kColumnRef) {
+    std::swap(col, lit);
+    col_on_left = false;
+  }
+  if (col->kind() != expr::Expr::Kind::kColumnRef ||
+      lit->kind() != expr::Expr::Kind::kLiteral) {
+    return std::nullopt;
+  }
+  const auto& ref = static_cast<const expr::ColumnRefExpr&>(*col);
+  const storage::Value& value =
+      static_cast<const expr::LiteralExpr&>(*lit).value();
+  if (ref.output_type() != storage::ValueType::kInt64 &&
+      ref.output_type() != storage::ValueType::kDouble) {
+    return std::nullopt;
+  }
+  if (value.type() != storage::ValueType::kInt64 &&
+      value.type() != storage::ValueType::kDouble) {
+    return std::nullopt;
+  }
+  BoundPipeline::VecCompare vc;
+  vc.col = ref.index();
+  vc.op = bin.op();
+  vc.constant = value.AsNumeric();
+  vc.col_on_left = col_on_left;
+  return vc;
+}
+
+/// The selection-vector comparison, in double like OpCode::kEq..kGe.
+inline bool VecKeep(double lhs, expr::BinaryOp op, double rhs) {
+  switch (op) {
+    case expr::BinaryOp::kEq:
+      return lhs == rhs;
+    case expr::BinaryOp::kNe:
+      return lhs != rhs;
+    case expr::BinaryOp::kLt:
+      return lhs < rhs;
+    case expr::BinaryOp::kLe:
+      return lhs <= rhs;
+    case expr::BinaryOp::kGt:
+      return lhs > rhs;
+    case expr::BinaryOp::kGe:
+      return lhs >= rhs;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
 Result<BoundPipeline> PipelineProgram::Bind(const ExecContext& ctx) const {
   RASQL_CHECK(driver_ != nullptr);
   BoundPipeline bound;
+  bound.batch_rows_ = ctx.batch_rows;
 
   // Resolve the driver. VALUES drivers own a materialized copy; scans and
   // recursive refs borrow from the context.
@@ -88,6 +163,12 @@ Result<BoundPipeline> PipelineProgram::Bind(const ExecContext& ctx) const {
     switch (step.kind) {
       case Step::Kind::kFilter:
         bs.predicate.emplace(step.filter->predicate(), ctx.use_codegen);
+        // The kernel mirrors compiled-expression semantics; without codegen
+        // the row interpreter's exact Value comparisons are the oracle, so
+        // the batch path must fall back to it too.
+        if (ctx.use_codegen) {
+          bs.vec_compare = AnalyzeVecCompare(step.filter->predicate());
+        }
         break;
       case Step::Kind::kProject:
         bs.projector.emplace(step.project->exprs(), ctx.use_codegen);
@@ -138,8 +219,8 @@ void BoundPipeline::PushRow(const Row& row, size_t step,
       // safe to reuse it across matches.
       std::copy(row.begin(), row.end(), ps.combined.begin());
       for (int m : ps.matches) {
-        const Row& b = bs.build.rel->rows()[m];
-        std::copy(b.begin(), b.end(), ps.combined.begin() + bs.left_width);
+        bs.build.rel->CopyRowTo(static_cast<size_t>(m), &ps.combined,
+                                bs.left_width);
         PushRow(ps.combined, step + 1, scratch, sink);
       }
       return;
@@ -148,8 +229,8 @@ void BoundPipeline::PushRow(const Row& row, size_t step,
 }
 
 Status BoundPipeline::Run(RowRange range, std::vector<Row>* sink) const {
-  const std::vector<Row>& rows = driver_.rel->rows();
-  const size_t end = std::min(range.end, rows.size());
+  if (batch_rows_ > 0) return RunBatch(range, sink);
+  const size_t end = std::min(range.end, driver_.rel->size());
 
   std::vector<ProbeScratch> scratch(steps_.size());
   for (size_t s = 0; s < steps_.size(); ++s) {
@@ -158,8 +239,116 @@ Status BoundPipeline::Run(RowRange range, std::vector<Row>* sink) const {
                                  steps_[s].right_width);
     }
   }
-  for (size_t i = range.begin; i < end; ++i) {
-    PushRow(rows[i], 0, &scratch, sink);
+  driver_.rel->ForEachRow(
+      RowRange{range.begin, end},
+      [&](const Row& row) { PushRow(row, 0, &scratch, sink); });
+  return Status::OK();
+}
+
+Status BoundPipeline::RunBatch(RowRange range, std::vector<Row>* sink) const {
+  const Relation& driver = *driver_.rel;
+  const size_t end = std::min(range.end, driver.size());
+  if (range.begin >= end) return Status::OK();
+
+  std::vector<ProbeScratch> scratch(steps_.size());
+  for (size_t s = 0; s < steps_.size(); ++s) {
+    if (steps_[s].kind == PipelineProgram::Step::Kind::kHashProbe) {
+      scratch[s].combined.resize(steps_[s].left_width +
+                                 steps_[s].right_width);
+    }
+  }
+
+  Row row_scratch;
+  std::vector<uint32_t> sel;
+  sel.reserve(batch_rows_);
+
+  size_t i = range.begin;
+  size_t c;
+  size_t local;
+  driver.Locate(i, &c, &local);
+  for (; i < end; ++c, local = 0) {
+    const storage::ColumnChunk& chunk = driver.chunk(c);
+    const size_t chunk_begin = driver.chunk_begin(c);
+    const size_t local_end = std::min(end - chunk_begin, chunk.num_rows());
+    while (local < local_end) {
+      const size_t batch_end = std::min(local_end, local + batch_rows_);
+      sel.clear();
+      for (size_t r = local; r < batch_end; ++r) {
+        sel.push_back(static_cast<uint32_t>(r));
+      }
+      i += batch_end - local;
+      local = batch_end;
+
+      // Leading vectorizable filters run as selection-vector kernels over
+      // the typed arrays. A chunk whose column is boxed, nullable or
+      // non-numeric drops to the row interpreter for the remaining steps —
+      // same result, different engine.
+      size_t s = 0;
+      for (; s < steps_.size() && !sel.empty(); ++s) {
+        const BoundStep& bs = steps_[s];
+        if (bs.kind != PipelineProgram::Step::Kind::kFilter ||
+            !bs.vec_compare) {
+          break;
+        }
+        const VecCompare& vc = *bs.vec_compare;
+        const storage::ColumnChunk::ColumnData& cd =
+            chunk.column(static_cast<size_t>(vc.col));
+        if (cd.variant || cd.null_count != 0 ||
+            (cd.tag != storage::ValueType::kInt64 &&
+             cd.tag != storage::ValueType::kDouble)) {
+          break;
+        }
+        size_t kept = 0;
+        if (cd.tag == storage::ValueType::kInt64) {
+          const int64_t* data = cd.i64.data();
+          for (const uint32_t r : sel) {
+            const double v = static_cast<double>(data[r]);
+            const bool keep = vc.col_on_left ? VecKeep(v, vc.op, vc.constant)
+                                             : VecKeep(vc.constant, vc.op, v);
+            if (keep) sel[kept++] = r;
+          }
+        } else {
+          const double* data = cd.f64.data();
+          for (const uint32_t r : sel) {
+            const double v = data[r];
+            const bool keep = vc.col_on_left ? VecKeep(v, vc.op, vc.constant)
+                                             : VecKeep(vc.constant, vc.op, v);
+            if (keep) sel[kept++] = r;
+          }
+        }
+        sel.resize(kept);
+      }
+      if (sel.empty()) continue;
+
+      if (s < steps_.size() &&
+          steps_[s].kind == PipelineProgram::Step::Kind::kHashProbe) {
+        // Column-wise probe: hash the key cells straight out of the chunk;
+        // materialize the combined row only for surviving matches.
+        const BoundStep& bs = steps_[s];
+        ProbeScratch& ps = scratch[s];
+        for (const uint32_t r : sel) {
+          ps.matches.clear();
+          bs.table->ProbeChunk(chunk, r, bs.probe_keys, &ps.matches);
+          if (ps.matches.empty()) continue;
+          chunk.CopyRowTo(r, &ps.combined, 0);
+          for (int m : ps.matches) {
+            bs.build.rel->CopyRowTo(static_cast<size_t>(m), &ps.combined,
+                                    bs.left_width);
+            PushRow(ps.combined, s + 1, &scratch, sink);
+          }
+        }
+      } else if (s == steps_.size()) {
+        for (const uint32_t r : sel) {
+          chunk.MaterializeRow(r, &row_scratch);
+          sink->push_back(row_scratch);
+        }
+      } else {
+        for (const uint32_t r : sel) {
+          chunk.MaterializeRow(r, &row_scratch);
+          PushRow(row_scratch, s, &scratch, sink);
+        }
+      }
+    }
   }
   return Status::OK();
 }

@@ -48,6 +48,16 @@ struct RuntimeOptions {
   /// model keeps consuming one partition-ordered report per partition.
   size_t morsel_rows = 0;
 
+  /// Vectorized batch execution (DESIGN.md §13): fused pipelines and the
+  /// physical executor's aggregate loop process driver chunks in
+  /// sub-batches of at most this many rows — filters become selection
+  /// vectors over the chunks' typed arrays, hash-join keys are extracted
+  /// column-wise, and min/max/sum/count accumulate over typed columns.
+  /// 0 (default) = the row-at-a-time interpreter, which is the row-for-row
+  /// oracle: results, FixpointStats and modeled JobMetrics are
+  /// bit-identical for every value (shell `--batch-rows=N`).
+  size_t batch_rows = 0;
+
   /// Verify declared stage graphs at submission time (DESIGN.md §11): the
   /// Cluster rejects a RunStage/RunStagePair whose StageSpec violates the
   /// slice-lifecycle or ownership contracts, before any task runs, and the

@@ -6,6 +6,8 @@
 #include <sstream>
 #include <vector>
 
+#include "storage/result_writer.h"
+
 namespace rasql::storage {
 
 using common::Result;
@@ -141,28 +143,6 @@ bool ParseDouble(const std::string& s, double* out) {
   return true;
 }
 
-/// Appends `cell` to `out`, quoting it when it contains the delimiter, a
-/// quote, or a line break — and always when it is empty, so an empty
-/// string survives a round trip as distinct from NULL (written as a bare
-/// empty cell).
-void AppendCsvCell(const std::string& cell, char delimiter,
-                   std::string* out) {
-  const bool needs_quotes =
-      cell.empty() ||
-      cell.find_first_of(std::string("\"\n\r") + delimiter) !=
-          std::string::npos;
-  if (!needs_quotes) {
-    *out += cell;
-    return;
-  }
-  *out += '"';
-  for (char c : cell) {
-    if (c == '"') *out += '"';
-    *out += c;
-  }
-  *out += '"';
-}
-
 }  // namespace
 
 Result<Relation> ParseCsv(const std::string& text,
@@ -274,31 +254,11 @@ Result<Relation> LoadCsv(const std::string& path, const CsvOptions& options) {
 }
 
 std::string ToCsv(const Relation& relation, const CsvOptions& options) {
+  // One serializer for every output path: the chunk-consuming writer
+  // renders straight from the typed column arrays.
   std::string out;
-  const Schema& schema = relation.schema();
-  if (options.has_header) {
-    for (int c = 0; c < schema.num_columns(); ++c) {
-      if (c > 0) out += options.delimiter;
-      AppendCsvCell(schema.column(c).name, options.delimiter, &out);
-    }
-    out += "\n";
-  }
-  for (const Row& row : relation.rows()) {
-    for (size_t c = 0; c < row.size(); ++c) {
-      if (c > 0) out += options.delimiter;
-      switch (row[c].type()) {
-        case ValueType::kNull:
-          break;  // bare empty cell
-        case ValueType::kString:
-          AppendCsvCell(row[c].AsString(), options.delimiter, &out);
-          break;
-        default:
-          AppendCsvCell(row[c].ToString(), options.delimiter, &out);
-          break;
-      }
-    }
-    out += "\n";
-  }
+  CsvResultWriter writer(&out, options);
+  WriteRelation(relation, &writer);
   return out;
 }
 

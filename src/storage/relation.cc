@@ -14,34 +14,69 @@ std::string RowToString(const Row& row) {
   return out;
 }
 
+void Relation::AppendRow(const Row& row) {
+  if (chunks_.empty() || chunks_.back().full() ||
+      chunks_.back().num_columns() != row.size()) {
+    // A width change seals a short chunk and breaks the uniform O(1)
+    // row-location invariant; row location falls back to binary search.
+    if (!chunks_.empty() && !chunks_.back().full()) uniform_ = false;
+    chunk_begins_.push_back(num_rows_);
+    chunks_.emplace_back(row.size());
+  }
+  chunks_.back().AppendRow(row);
+  ++num_rows_;
+}
+
+std::vector<Row> Relation::MaterializeRows() const {
+  std::vector<Row> rows;
+  rows.reserve(num_rows_);
+  ForEachRow([&rows](const Row& row) { rows.push_back(row); });
+  return rows;
+}
+
+std::vector<Row> Relation::TakeRows() {
+  std::vector<Row> rows = MaterializeRows();
+  Clear();
+  return rows;
+}
+
 size_t Relation::ByteSize() const {
   size_t n = 0;
-  for (const Row& row : rows_) n += RowByteSize(row);
+  for (const ColumnChunk& chunk : chunks_) n += chunk.ByteSize();
   return n;
 }
 
-void Relation::SortRows() { std::sort(rows_.begin(), rows_.end(), RowLess()); }
+void Relation::SortRows() {
+  std::vector<Row> rows = MaterializeRows();
+  std::sort(rows.begin(), rows.end(), RowLess());
+  Clear();
+  for (Row& row : rows) AppendRow(row);
+}
 
 void Relation::Dedup() {
-  SortRows();
-  rows_.erase(std::unique(rows_.begin(), rows_.end(),
-                          [](const Row& a, const Row& b) {
-                            return RowEq()(a, b);
-                          }),
-              rows_.end());
+  std::vector<Row> rows = MaterializeRows();
+  std::sort(rows.begin(), rows.end(), RowLess());
+  rows.erase(std::unique(rows.begin(), rows.end(),
+                         [](const Row& a, const Row& b) {
+                           return RowEq()(a, b);
+                         }),
+             rows.end());
+  Clear();
+  for (Row& row : rows) AppendRow(row);
 }
 
 std::string Relation::ToString(size_t max_rows) const {
   std::string out = schema_.ToString() + "\n";
-  size_t shown = 0;
-  for (const Row& row : rows_) {
-    if (shown++ >= max_rows) {
-      out += "... (" + std::to_string(rows_.size()) + " rows total)\n";
+  Row scratch;
+  for (size_t i = 0; i < num_rows_; ++i) {
+    if (i >= max_rows) {
+      out += "... (" + std::to_string(num_rows_) + " rows total)\n";
       break;
     }
-    for (size_t i = 0; i < row.size(); ++i) {
-      if (i > 0) out += "|";
-      out += row[i].ToString();
+    MaterializeRowInto(i, &scratch);
+    for (size_t c = 0; c < scratch.size(); ++c) {
+      if (c > 0) out += "|";
+      out += scratch[c].ToString();
     }
     out += "\n";
   }
@@ -56,25 +91,38 @@ Relation MakeIntRelation(const std::vector<std::string>& names,
     cols.push_back(Column{name, ValueType::kInt64});
   }
   Relation rel{Schema(std::move(cols))};
-  rel.Reserve(rows.size());
+  Row row;
   for (const auto& r : rows) {
-    Row row;
+    row.clear();
     row.reserve(r.size());
     for (int64_t v : r) row.push_back(Value::Int(v));
-    rel.Add(std::move(row));
+    rel.AppendRow(row);
   }
   return rel;
 }
 
 bool SameBag(const Relation& a, const Relation& b) {
   if (a.size() != b.size()) return false;
-  std::vector<Row> ra = a.rows();
-  std::vector<Row> rb = b.rows();
+  std::vector<Row> ra = a.MaterializeRows();
+  std::vector<Row> rb = b.MaterializeRows();
   std::sort(ra.begin(), ra.end(), RowLess());
   std::sort(rb.begin(), rb.end(), RowLess());
   RowEq eq;
   for (size_t i = 0; i < ra.size(); ++i) {
     if (!eq(ra[i], rb[i])) return false;
+  }
+  return true;
+}
+
+bool SameRows(const Relation& a, const Relation& b) {
+  if (a.size() != b.size()) return false;
+  Row ra;
+  Row rb;
+  RowEq eq;
+  for (size_t i = 0; i < a.size(); ++i) {
+    a.MaterializeRowInto(i, &ra);
+    b.MaterializeRowInto(i, &rb);
+    if (!eq(ra, rb)) return false;
   }
   return true;
 }

@@ -4,7 +4,7 @@
 #include <cstdio>
 #include <cstring>
 
-#include "storage/csv.h"
+#include "storage/result_writer.h"
 
 namespace rasql::storage {
 
@@ -56,74 +56,28 @@ std::string JsonQuote(const std::string& s) {
   return out;
 }
 
-namespace {
-
-/// Shortest %.17g rendering that still round-trips; JSON has no infinities
-/// or NaNs, so those render as null.
-std::string JsonNumber(double v) {
-  if (!(v == v) || v == __builtin_huge_val() || v == -__builtin_huge_val()) {
-    return "null";
-  }
-  char buf[40];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  double back = 0;
-  std::sscanf(buf, "%lf", &back);
-  if (back == v) {
-    // Try to shorten: %g often suffices and reads much better.
-    char short_buf[40];
-    std::snprintf(short_buf, sizeof(short_buf), "%g", v);
-    std::sscanf(short_buf, "%lf", &back);
-    if (back == v) return short_buf;
-  }
-  return buf;
-}
-
-std::string JsonValue(const Value& v) {
-  switch (v.type()) {
-    case ValueType::kNull: return "null";
-    case ValueType::kInt64: return std::to_string(v.AsInt());
-    case ValueType::kDouble: return JsonNumber(v.AsDouble());
-    case ValueType::kString: return JsonQuote(v.AsString());
-  }
-  return "null";
-}
-
-std::string ToJson(const Relation& relation) {
-  // Pre-quote the column names once; every row reuses them.
-  std::vector<std::string> keys;
-  keys.reserve(relation.schema().num_columns());
-  for (const Column& col : relation.schema().columns()) {
-    keys.push_back(JsonQuote(col.name));
-  }
-  std::string out = "[";
-  bool first_row = true;
-  for (const Row& row : relation.rows()) {
-    if (!first_row) out += ",";
-    first_row = false;
-    out += "\n  {";
-    for (size_t i = 0; i < row.size(); ++i) {
-      if (i > 0) out += ", ";
-      out += keys[i];
-      out += ": ";
-      out += JsonValue(row[i]);
-    }
-    out += "}";
-  }
-  out += first_row ? "]\n" : "\n]\n";
-  return out;
-}
-
-}  // namespace
-
 std::string FormatRelation(const Relation& relation, ResultFormat format) {
+  // All three formats render through the chunk-consuming ResultWriter —
+  // one serializer for the shell, ToCsv, and the server's RESULT frames.
+  std::string out;
   switch (format) {
-    case ResultFormat::kCsv: return ToCsv(relation);
-    case ResultFormat::kJson: return ToJson(relation);
-    case ResultFormat::kText:
-      return relation.ToString(relation.size()) + "(" +
-             std::to_string(relation.size()) + " rows)\n";
+    case ResultFormat::kCsv: {
+      CsvResultWriter writer(&out);
+      WriteRelation(relation, &writer);
+      break;
+    }
+    case ResultFormat::kJson: {
+      JsonResultWriter writer(&out);
+      WriteRelation(relation, &writer);
+      break;
+    }
+    case ResultFormat::kText: {
+      TextResultWriter writer(&out);
+      WriteRelation(relation, &writer);
+      break;
+    }
   }
-  return "";
+  return out;
 }
 
 }  // namespace rasql::storage

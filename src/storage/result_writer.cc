@@ -1,0 +1,216 @@
+#include "storage/result_writer.h"
+
+#include <cstdio>
+
+#include "storage/relation.h"
+#include "storage/result_format.h"
+
+namespace rasql::storage {
+
+namespace {
+
+/// Appends `cell` to `out`, quoting it when it contains the delimiter, a
+/// quote, or a line break — and always when it is empty, so an empty
+/// string survives a round trip as distinct from NULL (written as a bare
+/// empty cell).
+void AppendCsvCell(const std::string& cell, char delimiter,
+                   std::string* out) {
+  const bool needs_quotes =
+      cell.empty() ||
+      cell.find_first_of(std::string("\"\n\r") + delimiter) !=
+          std::string::npos;
+  if (!needs_quotes) {
+    *out += cell;
+    return;
+  }
+  *out += '"';
+  for (char c : cell) {
+    if (c == '"') *out += '"';
+    *out += c;
+  }
+  *out += '"';
+}
+
+/// "%g" rendering — matches Value::ToString for doubles.
+void AppendDouble(double v, std::string* out) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  *out += buf;
+}
+
+/// Shortest %.17g rendering that still round-trips; JSON has no infinities
+/// or NaNs, so those render as null.
+void AppendJsonNumber(double v, std::string* out) {
+  if (!(v == v) || v == __builtin_huge_val() || v == -__builtin_huge_val()) {
+    *out += "null";
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  double back = 0;
+  std::sscanf(buf, "%lf", &back);
+  if (back == v) {
+    // Try to shorten: %g often suffices and reads much better.
+    char short_buf[40];
+    std::snprintf(short_buf, sizeof(short_buf), "%g", v);
+    std::sscanf(short_buf, "%lf", &back);
+    if (back == v) {
+      *out += short_buf;
+      return;
+    }
+  }
+  *out += buf;
+}
+
+}  // namespace
+
+void CsvResultWriter::Begin(const Schema& schema) {
+  if (!options_.has_header) return;
+  for (int c = 0; c < schema.num_columns(); ++c) {
+    if (c > 0) *out_ += options_.delimiter;
+    AppendCsvCell(schema.column(c).name, options_.delimiter, out_);
+  }
+  *out_ += "\n";
+}
+
+void CsvResultWriter::WriteChunk(const ColumnChunk& chunk) {
+  for (size_t r = 0; r < chunk.num_rows(); ++r) {
+    for (size_t c = 0; c < chunk.num_columns(); ++c) {
+      if (c > 0) *out_ += options_.delimiter;
+      const ColumnChunk::ColumnData& col = chunk.column(c);
+      if (col.IsNull(r)) continue;  // bare empty cell
+      if (col.variant) {
+        const Value& v = col.boxed[r];
+        if (v.type() == ValueType::kString) {
+          AppendCsvCell(v.AsString(), options_.delimiter, out_);
+        } else {
+          AppendCsvCell(v.ToString(), options_.delimiter, out_);
+        }
+        continue;
+      }
+      switch (col.tag) {
+        case ValueType::kInt64:
+          *out_ += std::to_string(col.i64[r]);
+          break;
+        case ValueType::kDouble: {
+          // Delegate quoting: %g output never needs it, but keep the
+          // behaviour identical to the row writer for exotic locales.
+          std::string cell;
+          AppendDouble(col.f64[r], &cell);
+          AppendCsvCell(cell, options_.delimiter, out_);
+          break;
+        }
+        case ValueType::kString:
+          AppendCsvCell(col.dict[col.codes[r]], options_.delimiter, out_);
+          break;
+        case ValueType::kNull:
+          break;
+      }
+    }
+    *out_ += "\n";
+  }
+}
+
+void JsonResultWriter::Begin(const Schema& schema) {
+  keys_.clear();
+  keys_.reserve(schema.num_columns());
+  for (const Column& col : schema.columns()) {
+    keys_.push_back(JsonQuote(col.name));
+  }
+  *out_ += "[";
+  first_row_ = true;
+}
+
+void JsonResultWriter::WriteChunk(const ColumnChunk& chunk) {
+  for (size_t r = 0; r < chunk.num_rows(); ++r) {
+    if (!first_row_) *out_ += ",";
+    first_row_ = false;
+    *out_ += "\n  {";
+    for (size_t c = 0; c < chunk.num_columns(); ++c) {
+      if (c > 0) *out_ += ", ";
+      *out_ += keys_[c];
+      *out_ += ": ";
+      const ColumnChunk::ColumnData& col = chunk.column(c);
+      if (col.IsNull(r)) {
+        *out_ += "null";
+        continue;
+      }
+      const ValueType tag = col.variant ? col.boxed[r].type() : col.tag;
+      switch (tag) {
+        case ValueType::kNull:
+          *out_ += "null";
+          break;
+        case ValueType::kInt64:
+          *out_ += std::to_string(col.variant ? col.boxed[r].AsInt()
+                                              : col.i64[r]);
+          break;
+        case ValueType::kDouble:
+          AppendJsonNumber(
+              col.variant ? col.boxed[r].AsDouble() : col.f64[r], out_);
+          break;
+        case ValueType::kString:
+          *out_ += JsonQuote(col.variant ? col.boxed[r].AsString()
+                                         : col.dict[col.codes[r]]);
+          break;
+      }
+    }
+    *out_ += "}";
+  }
+}
+
+void JsonResultWriter::End(size_t num_rows) {
+  (void)num_rows;
+  *out_ += first_row_ ? "]\n" : "\n]\n";
+}
+
+void TextResultWriter::Begin(const Schema& schema) {
+  *out_ += schema.ToString() + "\n";
+}
+
+void TextResultWriter::WriteChunk(const ColumnChunk& chunk) {
+  for (size_t r = 0; r < chunk.num_rows(); ++r) {
+    for (size_t c = 0; c < chunk.num_columns(); ++c) {
+      if (c > 0) *out_ += "|";
+      const ColumnChunk::ColumnData& col = chunk.column(c);
+      if (col.IsNull(r)) {
+        *out_ += "NULL";
+        continue;
+      }
+      const ValueType tag = col.variant ? col.boxed[r].type() : col.tag;
+      switch (tag) {
+        case ValueType::kNull:
+          *out_ += "NULL";
+          break;
+        case ValueType::kInt64:
+          *out_ += std::to_string(col.variant ? col.boxed[r].AsInt()
+                                              : col.i64[r]);
+          break;
+        case ValueType::kDouble:
+          AppendDouble(col.variant ? col.boxed[r].AsDouble() : col.f64[r],
+                       out_);
+          break;
+        case ValueType::kString:
+          *out_ += "'";
+          *out_ += col.variant ? col.boxed[r].AsString()
+                               : col.dict[col.codes[r]];
+          *out_ += "'";
+          break;
+      }
+    }
+    *out_ += "\n";
+  }
+}
+
+void TextResultWriter::End(size_t num_rows) {
+  *out_ += "(" + std::to_string(num_rows) + " rows)\n";
+}
+
+void WriteRelation(const Relation& rel, ResultWriter* writer) {
+  writer->Begin(rel.schema());
+  for (size_t c = 0; c < rel.num_chunks(); ++c) {
+    writer->WriteChunk(rel.chunk(c));
+  }
+  writer->End(rel.size());
+}
+
+}  // namespace rasql::storage

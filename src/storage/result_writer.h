@@ -1,0 +1,83 @@
+#ifndef RASQL_STORAGE_RESULT_WRITER_H_
+#define RASQL_STORAGE_RESULT_WRITER_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/column_chunk.h"
+#include "storage/csv.h"
+#include "storage/schema.h"
+
+namespace rasql::storage {
+
+class Relation;
+
+/// Streaming renderer of query results that consumes column chunks
+/// directly — the one serializer behind the shell's `--format=` output,
+/// `ToCsv`, and the server's RESULT frames. Cells render straight from the
+/// typed arrays (dictionary strings by reference), so no intermediate Row
+/// is ever materialized.
+class ResultWriter {
+ public:
+  explicit ResultWriter(std::string* out) : out_(out) {}
+  virtual ~ResultWriter() = default;
+
+  ResultWriter(const ResultWriter&) = delete;
+  ResultWriter& operator=(const ResultWriter&) = delete;
+
+  virtual void Begin(const Schema& schema) {}
+  virtual void WriteChunk(const ColumnChunk& chunk) = 0;
+  virtual void End(size_t num_rows) {}
+
+ protected:
+  std::string* out_;
+};
+
+/// RFC 4180: NULL renders as a bare empty cell, an empty string is always
+/// quoted, numerics use Value::ToString formatting (%g for doubles).
+class CsvResultWriter final : public ResultWriter {
+ public:
+  CsvResultWriter(std::string* out, CsvOptions options = {})
+      : ResultWriter(out), options_(options) {}
+
+  void Begin(const Schema& schema) override;
+  void WriteChunk(const ColumnChunk& chunk) override;
+
+ private:
+  CsvOptions options_;
+};
+
+/// `[{"col": v, ...}, ...]` — int64 as numbers, doubles via round-trippable
+/// %.17g (trimmed to %g when that round-trips), NULL as null, strings
+/// escaped per RFC 8259.
+class JsonResultWriter final : public ResultWriter {
+ public:
+  explicit JsonResultWriter(std::string* out) : ResultWriter(out) {}
+
+  void Begin(const Schema& schema) override;
+  void WriteChunk(const ColumnChunk& chunk) override;
+  void End(size_t num_rows) override;
+
+ private:
+  std::vector<std::string> keys_;  ///< pre-quoted column names
+  bool first_row_ = true;
+};
+
+/// Relation::ToString-style table: schema line, "v1|v2|..." rows, then a
+/// "(N rows)" footer.
+class TextResultWriter final : public ResultWriter {
+ public:
+  explicit TextResultWriter(std::string* out) : ResultWriter(out) {}
+
+  void Begin(const Schema& schema) override;
+  void WriteChunk(const ColumnChunk& chunk) override;
+  void End(size_t num_rows) override;
+};
+
+/// Drives `writer` over every chunk of `rel`: Begin, WriteChunk per chunk,
+/// End.
+void WriteRelation(const Relation& rel, ResultWriter* writer);
+
+}  // namespace rasql::storage
+
+#endif  // RASQL_STORAGE_RESULT_WRITER_H_

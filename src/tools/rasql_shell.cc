@@ -4,8 +4,8 @@
 //
 // Usage:
 //   rasql [--distributed] [--workers N] [--threads N] [--async-shuffle]
-//         [--morsel-rows=N] [--lint] [--werror-lint] [--verify-stages]
-//         [script.sql]
+//         [--morsel-rows=N] [--batch-rows=N] [--lint] [--werror-lint]
+//         [--verify-stages] [script.sql]
 //
 // --threads=N runs the task closures of every distributed stage AND the
 // local fixpoint path's partitioned semi-naive/naive evaluation on a
@@ -17,6 +17,10 @@
 // --morsel-rows=N splits each partition's delta into N-row morsels that
 // run as independent tasks (0 = whole-partition); results, fixpoint stats
 // and modeled metrics are identical for any value.
+// --batch-rows=N runs fused pipelines and the aggregate loop in vectorized
+// sub-batches of at most N rows over the columnar chunks (0 = the
+// row-at-a-time interpreter); results, fixpoint stats and modeled metrics
+// are bit-identical for any value.
 // --lint runs the static PreM/monotonicity analyzer before every query
 // and refuses error-level queries; --werror-lint also refuses
 // warning-level ones.
@@ -306,6 +310,9 @@ int Main(int argc, char** argv) {
     } else if (std::strncmp(argv[i], "--morsel-rows=", 14) == 0) {
       config.runtime.morsel_rows =
           static_cast<size_t>(std::atoll(argv[i] + 14));
+    } else if (std::strncmp(argv[i], "--batch-rows=", 13) == 0) {
+      config.runtime.batch_rows =
+          static_cast<size_t>(std::atoll(argv[i] + 13));
     } else if (std::strcmp(argv[i], "--lint") == 0) {
       config.lint_before_execute = true;
     } else if (std::strcmp(argv[i], "--werror-lint") == 0) {
@@ -330,8 +337,8 @@ int Main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::printf(
           "usage: rasql [--distributed] [--workers N] [--threads N] "
-          "[--async-shuffle] [--morsel-rows=N] [--lint] [--werror-lint] "
-          "[--verify-stages] [--format=csv|json|text] "
+          "[--async-shuffle] [--morsel-rows=N] [--batch-rows=N] [--lint] "
+          "[--werror-lint] [--verify-stages] [--format=csv|json|text] "
           "[--serve [--port=N] [--port-file=PATH]] [script]\n");
       PrintHelp();
       return 0;

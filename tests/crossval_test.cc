@@ -69,7 +69,8 @@ TEST_P(CrossValidation, ReachMatchesBfs) {
       SELECT Dst FROM reach)");
   ASSERT_TRUE(result.ok()) << result.status();
   std::set<int64_t> got;
-  for (const auto& row : result->relation.rows()) got.insert(row[0].AsInt());
+  result->relation.ForEachRow(
+      [&](const storage::Row& row) { got.insert(row[0].AsInt()); });
   EXPECT_EQ(got, expected);
 }
 
@@ -89,9 +90,9 @@ TEST_P(CrossValidation, SsspMatchesSerialShortestPaths) {
   ASSERT_TRUE(result.ok()) << result.status();
 
   std::map<int64_t, double> got;
-  for (const auto& row : result->relation.rows()) {
+  result->relation.ForEachRow([&](const storage::Row& row) {
     got[row[0].AsInt()] = row[1].AsNumeric();
-  }
+  });
   size_t reachable = 0;
   for (int64_t v = 0; v < graph.num_vertices; ++v) {
     if (std::isinf(expected[v])) {
@@ -131,7 +132,7 @@ TEST_P(CrossValidation, CcComponentCountMatchesSerial) {
         (SELECT edge.Dst, cc.CmpId FROM cc, edge WHERE cc.Src = edge.Src)
       SELECT count(distinct cc.CmpId) FROM cc)");
   ASSERT_TRUE(result.ok()) << result.status();
-  EXPECT_EQ(result->relation.rows()[0][0].AsInt(),
+  EXPECT_EQ(result->relation.row(0)[0].AsInt(),
             static_cast<int64_t>(expected_components.size()));
 }
 
@@ -161,14 +162,14 @@ TEST_P(CrossValidation, ManagementMatchesSubtreeSizes) {
          WHERE empCount.Mgr = report.Emp)
       SELECT Mgr, Cnt FROM empCount)");
   ASSERT_TRUE(result.ok()) << result.status();
-  for (const auto& row : result->relation.rows()) {
+  result->relation.ForEachRow([&](const storage::Row& row) {
     const int64_t v = row[0].AsInt();
     // Every vertex counts itself via the base case (it appears as an Emp)
     // except the root, which reports to nobody: its count is the subtree
     // size minus itself.
     const int64_t expected = size[v] - (v == 0 ? 1 : 0);
     EXPECT_EQ(row[1].AsInt(), expected) << "vertex " << v;
-  }
+  });
   EXPECT_EQ(result->relation.size(), static_cast<size_t>(tree.num_vertices));
 }
 
@@ -189,9 +190,9 @@ TEST_P(CrossValidation, PregelAgreesWithEngineOnSssp) {
          FROM path, edge WHERE path.Dst = edge.Src)
       SELECT Dst, Cost FROM path)");
   ASSERT_TRUE(result.ok());
-  for (const auto& row : result->relation.rows()) {
+  result->relation.ForEachRow([&](const storage::Row& row) {
     EXPECT_DOUBLE_EQ(row[1].AsNumeric(), pregel.values[row[0].AsInt()]);
-  }
+  });
 }
 
 // ---- Semi-naive safety on non-linear aggregates (DESIGN.md §4/§9) ----
@@ -230,9 +231,9 @@ TEST(SemiNaiveSafetyCrossVal, NonLinearSumForcedNaive) {
 
   // Independent expectation: path counts on the diamond.
   std::map<std::pair<int64_t, int64_t>, int64_t> got;
-  for (const auto& row : auto_result->relation.rows()) {
+  auto_result->relation.ForEachRow([&](const storage::Row& row) {
     got[{row[0].AsInt(), row[1].AsInt()}] = row[2].AsInt();
-  }
+  });
   std::map<std::pair<int64_t, int64_t>, int64_t> expected = {
       {{1, 2}, 1}, {{1, 3}, 1}, {{2, 4}, 1}, {{3, 4}, 1}, {{1, 4}, 2}};
   EXPECT_EQ(got, expected);
@@ -285,9 +286,9 @@ TEST(SemiNaiveSafetyCrossVal, NonLinearMinAgreesWithNaiveAndSerial) {
   Csr csr = Csr::Build(graph);
   std::vector<double> expected = baselines::SerialSssp(csr, 1);
   std::map<int64_t, double> from_one;
-  for (const auto& row : auto_result->relation.rows()) {
+  auto_result->relation.ForEachRow([&](const storage::Row& row) {
     if (row[0].AsInt() == 1) from_one[row[1].AsInt()] = row[2].AsNumeric();
-  }
+  });
   EXPECT_FALSE(from_one.empty());
   for (const auto& [v, cost] : from_one) {
     ASSERT_TRUE(!std::isinf(expected[v])) << "vertex " << v;

@@ -18,14 +18,14 @@ TEST(CsvTest, ParsesHeaderAndInfersTypes) {
   // 1.5 forces the Cost column to double even though the second row is
   // integral.
   EXPECT_EQ(rel->schema().column(2).type, ValueType::kDouble);
-  EXPECT_DOUBLE_EQ(rel->rows()[1][2].AsDouble(), 2.0);
+  EXPECT_DOUBLE_EQ(rel->row(1)[2].AsDouble(), 2.0);
 }
 
 TEST(CsvTest, StringColumns) {
   auto rel = ParseCsv("By,Of,Pct\nacme,brook,60\nbrook,coyote,35\n");
   ASSERT_TRUE(rel.ok());
   EXPECT_EQ(rel->schema().column(0).type, ValueType::kString);
-  EXPECT_EQ(rel->rows()[0][0].AsString(), "acme");
+  EXPECT_EQ(rel->row(0)[0].AsString(), "acme");
   EXPECT_EQ(rel->schema().column(2).type, ValueType::kInt64);
 }
 
@@ -44,14 +44,14 @@ TEST(CsvTest, TabDelimiter) {
   auto rel = ParseCsv("A\tB\n1\t2\n", options);
   ASSERT_TRUE(rel.ok());
   EXPECT_EQ(rel->schema().num_columns(), 2);
-  EXPECT_EQ(rel->rows()[0][1].AsInt(), 2);
+  EXPECT_EQ(rel->row(0)[1].AsInt(), 2);
 }
 
 TEST(CsvTest, EmptyCellsAreNull) {
   auto rel = ParseCsv("A,B\n1,\n,2\n");
   ASSERT_TRUE(rel.ok());
-  EXPECT_TRUE(rel->rows()[0][1].is_null());
-  EXPECT_TRUE(rel->rows()[1][0].is_null());
+  EXPECT_TRUE(rel->row(0)[1].is_null());
+  EXPECT_TRUE(rel->row(1)[0].is_null());
   // Type inference ignores NULLs: both columns stay INT.
   EXPECT_EQ(rel->schema().column(0).type, ValueType::kInt64);
 }
@@ -92,9 +92,9 @@ TEST(CsvTest, QuotedCellsParse) {
       "bob,\"two\nlines\"\n");
   ASSERT_TRUE(rel.ok()) << rel.status();
   ASSERT_EQ(rel->size(), 2u);
-  EXPECT_EQ(rel->rows()[0][0].AsString(), "smith, alice");
-  EXPECT_EQ(rel->rows()[0][1].AsString(), "said \"hi\"");
-  EXPECT_EQ(rel->rows()[1][1].AsString(), "two\nlines");
+  EXPECT_EQ(rel->row(0)[0].AsString(), "smith, alice");
+  EXPECT_EQ(rel->row(0)[1].AsString(), "said \"hi\"");
+  EXPECT_EQ(rel->row(1)[1].AsString(), "two\nlines");
 }
 
 TEST(CsvTest, QuotedCellsForceStringType) {
@@ -108,9 +108,9 @@ TEST(CsvTest, QuotedCellsForceStringType) {
 TEST(CsvTest, QuotedEmptyIsEmptyStringNotNull) {
   auto rel = ParseCsv("A,B\n\"\",x\n,y\n");
   ASSERT_TRUE(rel.ok()) << rel.status();
-  EXPECT_FALSE(rel->rows()[0][0].is_null());
-  EXPECT_EQ(rel->rows()[0][0].AsString(), "");
-  EXPECT_TRUE(rel->rows()[1][0].is_null());
+  EXPECT_FALSE(rel->row(0)[0].is_null());
+  EXPECT_EQ(rel->row(0)[0].AsString(), "");
+  EXPECT_TRUE(rel->row(1)[0].is_null());
 }
 
 TEST(CsvTest, UnterminatedQuoteRejected) {

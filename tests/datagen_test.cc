@@ -151,10 +151,10 @@ TEST(ConvertTest, BomRelations) {
   for (const auto& [p, c] : tree.edges) internal.insert(p);
   EXPECT_EQ(basic.size(),
             static_cast<size_t>(tree.num_vertices) - internal.size());
-  for (const auto& row : basic.rows()) {
+  basic.ForEachRow([&](const storage::Row& row) {
     EXPECT_GE(row[1].AsInt(), 1);
     EXPECT_LE(row[1].AsInt(), 30);
-  }
+  });
 }
 
 TEST(ConvertTest, MlmRelations) {
@@ -173,9 +173,9 @@ TEST(ConvertTest, ReportRelationFlipsDirection) {
   Graph tree = GenerateTree(opt);
   storage::Relation report = ToReportRelation(tree);
   // report(Emp, Mgr): employee is the child, manager the parent.
-  for (const auto& row : report.rows()) {
+  report.ForEachRow([&](const storage::Row& row) {
     EXPECT_GT(row[0].AsInt(), row[1].AsInt());
-  }
+  });
 }
 
 // Property sweep across sizes: generators stay in-bounds and deterministic.

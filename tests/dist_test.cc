@@ -27,9 +27,9 @@ TEST(PartitionTest, RowsLandInOwnPartition) {
   PartitionedRelation pr = Partition(r, {0}, 4);
   EXPECT_EQ(pr.TotalRows(), 5u);
   for (int p = 0; p < 4; ++p) {
-    for (const Row& row : pr.partition(p).rows()) {
+    pr.partition(p).ForEachRow([&](const Row& row) {
       EXPECT_EQ(pr.partitioning().PartitionOf(row), p);
-    }
+    });
   }
 }
 
@@ -56,11 +56,11 @@ TEST(ShuffleWriteTest, RoutesByPartitioning) {
   size_t total_rows = 0;
   size_t total_bytes = 0;
   for (int p = 0; p < 4; ++p) {
-    total_rows += w.rows_per_dest[p].size();
+    total_rows += w.slice_per_dest[p].size();
     total_bytes += w.bytes_per_dest[p];
-    for (const Row& row : w.rows_per_dest[p]) {
+    w.slice_per_dest[p].ForEachRow([&](const Row& row) {
       EXPECT_EQ(spec.PartitionOf(row), p);
-    }
+    });
   }
   EXPECT_EQ(total_rows, 100u);
   EXPECT_EQ(total_bytes, 1600u);
@@ -497,7 +497,7 @@ TEST(SetRddTest, MinAggregateDelta) {
   EXPECT_EQ(delta[0][1].AsInt(), 5);
   Relation state = part.ToRelation();
   ASSERT_EQ(state.size(), 1u);
-  EXPECT_EQ(state.rows()[0][1].AsInt(), 5);
+  EXPECT_EQ(state.row(0)[1].AsInt(), 5);
 }
 
 TEST(SetRddTest, SumAggregateAccumulatesIncrements) {
@@ -513,7 +513,7 @@ TEST(SetRddTest, SumAggregateAccumulatesIncrements) {
   EXPECT_EQ(delta[1][1].AsInt(), 3);
   Relation state = part.ToRelation();
   ASSERT_EQ(state.size(), 1u);
-  EXPECT_EQ(state.rows()[0][1].AsInt(), 5);
+  EXPECT_EQ(state.row(0)[1].AsInt(), 5);
 }
 
 TEST(SetRddTest, ByteSizeGrowsWithState) {

@@ -31,10 +31,10 @@ Relation WeightedEdges(
 /// Sorted (col0 -> col1-as-int) pairs for easy assertions.
 std::set<std::pair<int64_t, int64_t>> IntPairs(const Relation& rel) {
   std::set<std::pair<int64_t, int64_t>> out;
-  for (const Row& row : rel.rows()) {
+  rel.ForEachRow([&](const Row& row) {
     out.insert({row[0].AsInt(),
                 static_cast<int64_t>(row[1].AsNumeric())});
-  }
+  });
   return out;
 }
 
@@ -46,7 +46,7 @@ TEST(EngineTest, PlainSelectFilter) {
   auto result = ctx.Execute("SELECT B FROM t WHERE A = 2");
   ASSERT_TRUE(result.ok()) << result.status();
   ASSERT_EQ(result->relation.size(), 1u);
-  EXPECT_EQ(result->relation.rows()[0][0].AsInt(), 20);
+  EXPECT_EQ(result->relation.row(0)[0].AsInt(), 20);
 }
 
 TEST(EngineTest, GroupByHavingOrderBy) {
@@ -64,9 +64,9 @@ TEST(EngineTest, GroupByHavingOrderBy) {
       "GROUP BY Store HAVING sum(Amount) > 10 ORDER BY Total DESC");
   ASSERT_TRUE(result.ok()) << result.status();
   ASSERT_EQ(result->relation.size(), 2u);
-  EXPECT_EQ(result->relation.rows()[0][0].AsInt(), 3);
-  EXPECT_EQ(result->relation.rows()[0][1].AsInt(), 100);
-  EXPECT_EQ(result->relation.rows()[1][1].AsInt(), 30);
+  EXPECT_EQ(result->relation.row(0)[0].AsInt(), 3);
+  EXPECT_EQ(result->relation.row(0)[1].AsInt(), 100);
+  EXPECT_EQ(result->relation.row(1)[1].AsInt(), 30);
 }
 
 TEST(EngineTest, TransitiveClosure) {
@@ -125,7 +125,7 @@ TEST(EngineTest, ConnectedComponents) {
       SELECT count(distinct cc.CmpId) FROM cc)");
   ASSERT_TRUE(result.ok()) << result.status();
   ASSERT_EQ(result->relation.size(), 1u);
-  EXPECT_EQ(result->relation.rows()[0][0].AsInt(), 2);
+  EXPECT_EQ(result->relation.row(0)[0].AsInt(), 2);
 }
 
 TEST(EngineTest, CountPaths) {
@@ -186,9 +186,9 @@ TEST(EngineTest, MlmBonus) {
       SELECT M, B FROM bonus)");
   ASSERT_TRUE(result.ok()) << result.status();
   std::map<int64_t, double> bonuses;
-  for (const Row& row : result->relation.rows()) {
+  result->relation.ForEachRow([&](const Row& row) {
     bonuses[row[0].AsInt()] = row[1].AsNumeric();
-  }
+  });
   EXPECT_DOUBLE_EQ(bonuses[4], 40.0);
   EXPECT_DOUBLE_EQ(bonuses[3], 30.0);
   EXPECT_DOUBLE_EQ(bonuses[2], 40.0);   // 20 + 0.5*40
@@ -284,7 +284,8 @@ TEST(EngineTest, PartyAttendanceMutualRecursion) {
       SELECT Person FROM attend)");
   ASSERT_TRUE(result.ok()) << result.status();
   std::set<int64_t> people;
-  for (const Row& row : result->relation.rows()) people.insert(row[0].AsInt());
+  result->relation.ForEachRow(
+      [&](const Row& row) { people.insert(row[0].AsInt()); });
   EXPECT_EQ(people, (std::set<int64_t>{1, 2, 3, 10, 12}));
   EXPECT_FALSE(result->fixpoint_stats.used_semi_naive);
 }
@@ -308,10 +309,10 @@ TEST(EngineTest, CompanyControlMutualRecursion) {
       SELECT ByCom, OfCom, Tot FROM cshares)");
   ASSERT_TRUE(result.ok()) << result.status();
   std::map<std::pair<std::string, std::string>, int64_t> totals;
-  for (const Row& row : result->relation.rows()) {
+  result->relation.ForEachRow([&](const Row& row) {
     totals[{row[0].AsString(), row[1].AsString()}] =
         static_cast<int64_t>(row[2].AsNumeric());
-  }
+  });
   ASSERT_EQ(totals.size(), 3u);
   EXPECT_EQ((totals[{"A", "B"}]), 60);
   EXPECT_EQ((totals[{"A", "C"}]), 60);  // 20 direct + 40 via control of B
@@ -350,7 +351,8 @@ TEST(EngineTest, Reachability) {
       SELECT Dst FROM reach)");
   ASSERT_TRUE(result.ok()) << result.status();
   std::set<int64_t> reached;
-  for (const Row& row : result->relation.rows()) reached.insert(row[0].AsInt());
+  result->relation.ForEachRow(
+      [&](const Row& row) { reached.insert(row[0].AsInt()); });
   EXPECT_EQ(reached, (std::set<int64_t>{1, 2, 3}));
 }
 
@@ -370,9 +372,9 @@ TEST(EngineTest, AllPairsShortestPath) {
       SELECT Src, Dst, Cost FROM path)");
   ASSERT_TRUE(result.ok()) << result.status();
   std::map<std::pair<int64_t, int64_t>, double> dist;
-  for (const Row& row : result->relation.rows()) {
+  result->relation.ForEachRow([&](const Row& row) {
     dist[{row[0].AsInt(), row[1].AsInt()}] = row[2].AsNumeric();
-  }
+  });
   EXPECT_DOUBLE_EQ((dist[{1, 3}]), 2.0);
   EXPECT_DOUBLE_EQ((dist[{3, 2}]), 3.0);
   EXPECT_DOUBLE_EQ((dist[{1, 1}]), 4.0);  // 1->2->3->1
@@ -539,7 +541,7 @@ TEST_P(ConsistencySweep, TransitiveClosureMatchesReference) {
   ASSERT_TRUE(expected.ok()) << expected.status();
   auto got = variant.Execute(query);
   ASSERT_TRUE(got.ok()) << GetParam().name << ": " << got.status();
-  EXPECT_EQ(expected->relation.rows()[0][0].AsInt(), got->relation.rows()[0][0].AsInt())
+  EXPECT_EQ(expected->relation.row(0)[0].AsInt(), got->relation.row(0)[0].AsInt())
       << GetParam().name;
 }
 
@@ -572,7 +574,7 @@ TEST_P(ConsistencySweep, SameGenerationMatchesReference) {
   ASSERT_TRUE(expected.ok()) << expected.status();
   auto got = variant.Execute(query);
   ASSERT_TRUE(got.ok()) << GetParam().name << ": " << got.status();
-  EXPECT_EQ(expected->relation.rows()[0][0].AsInt(), got->relation.rows()[0][0].AsInt())
+  EXPECT_EQ(expected->relation.row(0)[0].AsInt(), got->relation.row(0)[0].AsInt())
       << GetParam().name;
 }
 
@@ -671,10 +673,10 @@ TEST(EngineInsertTest, AppendsRowsAndReportsCount) {
   ASSERT_TRUE(result.ok()) << result.status();
   ASSERT_EQ(result->relation.size(), 1u);
   EXPECT_EQ(result->relation.schema().column(0).name, "rows_inserted");
-  EXPECT_EQ(result->relation.rows()[0][0].AsInt(), 2);
+  EXPECT_EQ(result->relation.row(0)[0].AsInt(), 2);
   auto count = ctx.Execute("SELECT count(*) FROM edge");
   ASSERT_TRUE(count.ok());
-  EXPECT_EQ(count->relation.rows()[0][0].AsInt(), 4);
+  EXPECT_EQ(count->relation.row(0)[0].AsInt(), 4);
 }
 
 TEST(EngineInsertTest, PromotesIntToDoubleColumn) {
@@ -684,7 +686,7 @@ TEST(EngineInsertTest, PromotesIntToDoubleColumn) {
   auto result = ctx.Execute("SELECT Cost FROM edge WHERE Src = 2");
   ASSERT_TRUE(result.ok()) << result.status();
   ASSERT_EQ(result->relation.size(), 1u);
-  EXPECT_EQ(result->relation.rows()[0][0], Value::Double(7.0));
+  EXPECT_EQ(result->relation.row(0)[0], Value::Double(7.0));
 }
 
 TEST(EngineInsertTest, RejectsAtomicallyOnBadRow) {
@@ -703,7 +705,7 @@ TEST(EngineInsertTest, RejectsAtomicallyOnBadRow) {
   EXPECT_EQ(ctx.TableVersion("edge"), version);
   auto count = ctx.Execute("SELECT count(*) FROM edge");
   ASSERT_TRUE(count.ok());
-  EXPECT_EQ(count->relation.rows()[0][0].AsInt(), 1);
+  EXPECT_EQ(count->relation.row(0)[0].AsInt(), 1);
 }
 
 TEST(EngineInsertTest, InsertedRowsFeedRecursionAndBumpVersion) {
@@ -719,12 +721,12 @@ TEST(EngineInsertTest, InsertedRowsFeedRecursionAndBumpVersion) {
       SELECT count(*) FROM tc)";
   auto before = ctx.Execute(tc);
   ASSERT_TRUE(before.ok());
-  EXPECT_EQ(before->relation.rows()[0][0].AsInt(), 3);  // 12 23 13
+  EXPECT_EQ(before->relation.row(0)[0].AsInt(), 3);  // 12 23 13
   ASSERT_TRUE(ctx.Execute("INSERT INTO edge VALUES (3, 4, 1.0)").ok());
   EXPECT_GT(ctx.TableVersion("edge"), version);
   auto after = ctx.Execute(tc);
   ASSERT_TRUE(after.ok());
-  EXPECT_EQ(after->relation.rows()[0][0].AsInt(), 6);  // + 34 24 14
+  EXPECT_EQ(after->relation.row(0)[0].AsInt(), 6);  // + 34 24 14
 }
 
 TEST(EngineInsertTest, NullLiteralLandsAsNull) {
@@ -734,7 +736,7 @@ TEST(EngineInsertTest, NullLiteralLandsAsNull) {
   auto result = ctx.Execute("SELECT Cost FROM edge WHERE Src = 2");
   ASSERT_TRUE(result.ok()) << result.status();
   ASSERT_EQ(result->relation.size(), 1u);
-  EXPECT_TRUE(result->relation.rows()[0][0].is_null());
+  EXPECT_TRUE(result->relation.row(0)[0].is_null());
 }
 
 }  // namespace

@@ -21,6 +21,7 @@ using plan::TableScanNode;
 using plan::ValuesNode;
 using storage::MakeIntRelation;
 using storage::Relation;
+using storage::Row;
 using storage::Schema;
 using storage::Value;
 using storage::ValueType;
@@ -158,7 +159,7 @@ TEST(ExecutorTest, AggregateMinMaxSumCount) {
   ASSERT_TRUE(result.ok());
   result->SortRows();
   ASSERT_EQ(result->size(), 2u);
-  const auto& g1 = result->rows()[0];
+  const Row g1 = result->GetRow(0);
   EXPECT_EQ(g1[1].AsInt(), 3);
   EXPECT_EQ(g1[2].AsInt(), 5);
   EXPECT_EQ(g1[3].AsInt(), 11);
@@ -182,7 +183,7 @@ TEST(ExecutorTest, CountDistinct) {
   ctx.tables["t"] = &data;
   auto result = Execute(*agg, ctx);
   ASSERT_TRUE(result.ok());
-  EXPECT_EQ(result->rows()[0][0].AsInt(), 3);
+  EXPECT_EQ(result->row(0)[0].AsInt(), 3);
 }
 
 TEST(ExecutorTest, GlobalAggregateOnEmptyInput) {
@@ -206,8 +207,8 @@ TEST(ExecutorTest, GlobalAggregateOnEmptyInput) {
   auto result = Execute(*agg, ctx);
   ASSERT_TRUE(result.ok());
   ASSERT_EQ(result->size(), 1u);
-  EXPECT_EQ(result->rows()[0][0].AsInt(), 0);
-  EXPECT_TRUE(result->rows()[0][1].is_null());
+  EXPECT_EQ(result->row(0)[0].AsInt(), 0);
+  EXPECT_TRUE(result->row(0)[1].is_null());
 }
 
 TEST(ExecutorTest, SortAndLimit) {
@@ -223,8 +224,8 @@ TEST(ExecutorTest, SortAndLimit) {
   auto result = Execute(*limited, ctx);
   ASSERT_TRUE(result.ok());
   ASSERT_EQ(result->size(), 3u);
-  EXPECT_EQ(result->rows()[0][0].AsInt(), 5);
-  EXPECT_EQ(result->rows()[2][0].AsInt(), 3);
+  EXPECT_EQ(result->row(0)[0].AsInt(), 5);
+  EXPECT_EQ(result->row(2)[0].AsInt(), 3);
 }
 
 TEST(ExecutorTest, ValuesNode) {
@@ -284,7 +285,7 @@ TEST(PipelineTest, MatchesInterpretedRowForRow) {
   // pipeline producing the tree walk's probe-major order.
   ASSERT_EQ(fused->size(), interpreted->size());
   for (size_t i = 0; i < fused->size(); ++i) {
-    EXPECT_EQ(fused->rows()[i], interpreted->rows()[i]) << "row " << i;
+    EXPECT_EQ(fused->GetRow(i), interpreted->GetRow(i)) << "row " << i;
   }
 }
 

@@ -264,7 +264,7 @@ LocalRun RunLocal(const analysis::AnalyzedQuery& analyzed,
   auto views =
       EvaluateCliqueLocal(analyzed.cliques[0], tables, options, &run.stats);
   EXPECT_TRUE(views.ok()) << views.status();
-  if (views.ok()) run.rows = views->begin()->second.rows();
+  if (views.ok()) run.rows = views->begin()->second.MaterializeRows();
   return run;
 }
 

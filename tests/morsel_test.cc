@@ -1,8 +1,9 @@
-// Morsel-determinism matrix (DESIGN.md §10): query results, FixpointStats
-// and the modeled JobMetrics must be bit-identical for every combination
-// of thread count and morsel size, on both the local and the distributed
-// path. Morsel splitting changes only HOW the work is cut into tasks,
-// never WHAT is computed or what the cost model sees.
+// Morsel-determinism matrix (DESIGN.md §10/§13): query results,
+// FixpointStats and the modeled JobMetrics must be bit-identical for every
+// combination of thread count, morsel size and vectorized batch size, on
+// both the local and the distributed path. Morsel splitting and batch
+// execution change only HOW the work is cut and evaluated, never WHAT is
+// computed or what the cost model sees.
 
 #include <gtest/gtest.h>
 
@@ -41,13 +42,14 @@ datagen::Graph TestGraph(bool weighted) {
 }
 
 engine::EngineConfig MakeConfig(bool distributed, int threads,
-                                size_t morsel_rows) {
+                                size_t morsel_rows, size_t batch_rows = 0) {
   engine::EngineConfig config;
   config.distributed = distributed;
   config.cluster.num_workers = 5;
   config.cluster.num_partitions = 10;
   config.runtime.num_threads = threads;
   config.runtime.morsel_rows = morsel_rows;
+  config.runtime.batch_rows = batch_rows;
   if (distributed) {
     // Exercise the plain-DSN map/reduce path — the stage the morsel
     // split applies to (combined and decomposed stages stay unsplit).
@@ -76,7 +78,7 @@ void ExpectIdentical(const engine::ExecutionResult& ref,
   // unsplit row order, not merely the same bag.
   ASSERT_EQ(ref.relation.size(), got.relation.size()) << label;
   for (size_t i = 0; i < ref.relation.size(); ++i) {
-    ASSERT_EQ(ref.relation.rows()[i], got.relation.rows()[i])
+    ASSERT_EQ(ref.relation.GetRow(i), got.relation.GetRow(i))
         << label << " row " << i;
   }
 
@@ -122,14 +124,19 @@ TEST_P(MorselMatrix, ResultsStatsAndMetricsAreInvariant) {
         RunQuery(MakeConfig(distributed, 1, 0), sql, weighted);
     for (int threads : {1, 2, 8}) {
       for (size_t morsel_rows : {size_t{0}, size_t{7}}) {
-        if (threads == 1 && morsel_rows == 0) continue;
-        engine::ExecutionResult got = RunQuery(
-            MakeConfig(distributed, threads, morsel_rows), sql, weighted);
-        ExpectIdentical(ref, got,
-                        std::string(distributed ? "dist" : "local") +
-                            " threads=" + std::to_string(threads) +
-                            " morsel=" + std::to_string(morsel_rows) +
-                            (weighted ? " sssp" : " tc"));
+        for (size_t batch_rows : {size_t{0}, size_t{64}}) {
+          if (threads == 1 && morsel_rows == 0 && batch_rows == 0) continue;
+          engine::ExecutionResult got =
+              RunQuery(MakeConfig(distributed, threads, morsel_rows,
+                                  batch_rows),
+                       sql, weighted);
+          ExpectIdentical(ref, got,
+                          std::string(distributed ? "dist" : "local") +
+                              " threads=" + std::to_string(threads) +
+                              " morsel=" + std::to_string(morsel_rows) +
+                              " batch=" + std::to_string(batch_rows) +
+                              (weighted ? " sssp" : " tc"));
+        }
       }
     }
   }
@@ -173,11 +180,11 @@ TEST(MorselSplit, NaiveModeIsMorselInvariant) {
   ref_config.fixpoint.mode = fixpoint::FixpointMode::kNaive;
   engine::ExecutionResult ref = RunQuery(ref_config, kTc, /*weighted=*/false);
 
-  engine::EngineConfig split_config = MakeConfig(false, 8, 5);
+  engine::EngineConfig split_config = MakeConfig(false, 8, 5, 64);
   split_config.fixpoint.mode = fixpoint::FixpointMode::kNaive;
   engine::ExecutionResult got =
       RunQuery(split_config, kTc, /*weighted=*/false);
-  ExpectIdentical(ref, got, "naive threads=8 morsel=5");
+  ExpectIdentical(ref, got, "naive threads=8 morsel=5 batch=64");
 }
 
 }  // namespace

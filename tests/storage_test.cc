@@ -100,15 +100,15 @@ TEST(RelationTest, MakeIntRelation) {
   Relation r = MakeIntRelation({"Src", "Dst"}, {{1, 2}, {2, 3}});
   EXPECT_EQ(r.size(), 2u);
   EXPECT_EQ(r.schema().num_columns(), 2);
-  EXPECT_EQ(r.rows()[1][1].AsInt(), 3);
+  EXPECT_EQ(r.row(1)[1].AsInt(), 3);
 }
 
 TEST(RelationTest, DedupRemovesDuplicates) {
   Relation r = MakeIntRelation({"X"}, {{3}, {1}, {3}, {2}, {1}});
   r.Dedup();
   EXPECT_EQ(r.size(), 3u);
-  EXPECT_EQ(r.rows()[0][0].AsInt(), 1);
-  EXPECT_EQ(r.rows()[2][0].AsInt(), 3);
+  EXPECT_EQ(r.row(0)[0].AsInt(), 1);
+  EXPECT_EQ(r.row(2)[0].AsInt(), 3);
 }
 
 TEST(RelationTest, SameBagIsOrderInsensitive) {
