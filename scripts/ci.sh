@@ -43,7 +43,7 @@ cmake -B "${TSAN_BUILD_DIR}" -S . \
   -DRASQL_ENABLE_TSAN=ON
 cmake --build "${TSAN_BUILD_DIR}" -j "${JOBS}" \
   --target runtime_test dist_test fixpoint_test morsel_test \
-           columnar_test concurrency_test server_test
+           columnar_test concurrency_test server_test incremental_test
 "${TSAN_BUILD_DIR}/tests/runtime_test"
 "${TSAN_BUILD_DIR}/tests/dist_test"
 "${TSAN_BUILD_DIR}/tests/fixpoint_test"
@@ -89,6 +89,15 @@ cmake --build "${TSAN_BUILD_DIR}" -j "${JOBS}" \
 "${TSAN_BUILD_DIR}/tests/concurrency_test"
 "${TSAN_BUILD_DIR}/tests/server_test"
 
+# Warm-start matrix under TSan (DESIGN.md §14): the warm path absorbs the
+# retained converged state into every partition concurrently (ParallelFor
+# locally, a dedicated warm-absorb stage with kReadShared warm slices on
+# the cluster) before the semi-naive loop resumes — at threads {1,2,8}
+# this is precisely the schedule TSan must see clean, and the server's
+# refresh outcome races lookup against insert on the result cache.
+"${TSAN_BUILD_DIR}/tests/incremental_test"
+"${TSAN_BUILD_DIR}/tests/server_test" --gtest_filter='*Refresh*:*Incremental*'
+
 # Serving smoke test (DESIGN.md §12): boot rasql_serverd on an ephemeral
 # port, run a scripted client session through the prepare/execute, query,
 # cache-hit and typed-error paths, then shut down cleanly via SIGTERM and
@@ -132,6 +141,60 @@ serving_smoke() {
 }
 serving_smoke "${BUILD_DIR}"
 serving_smoke "${TSAN_BUILD_DIR}"
+
+# Incremental serving smoke test (DESIGN.md §14): boot one serverd with
+# --incremental and one without over the same generated graph, apply the
+# same INSERT to both, and require that the incremental server (a) does
+# not serve the stale entry after the write (cache_hit=0: a refresh, the
+# engine warm-starting internally), (b) memoizes the refreshed result
+# (next run cache_hit=1), (c) reports refreshed=1 in its shutdown stats,
+# and (d) produced byte-identical rows to the cold server's recompute.
+incremental_smoke() {
+  local build_dir=$1
+  local tc="WITH recursive tc (Src, Dst) AS
+      (SELECT Src, Dst FROM edge) UNION
+      (SELECT tc.Src, edge.Dst FROM tc, edge WHERE tc.Dst = edge.Src)
+    SELECT Src, Dst FROM tc"
+  local insert="INSERT INTO edge VALUES (0, 9001, 1.5), (9001, 9002, 0.5)"
+
+  local warm_port_file cold_port_file warm_log
+  warm_port_file=$(mktemp); cold_port_file=$(mktemp); warm_log=$(mktemp)
+  "${build_dir}/src/rasql_serverd" --gen-rmat=edge:64 --engine-threads=2 \
+    --incremental --port-file="${warm_port_file}" 2>"${warm_log}" &
+  local warm_pid=$!
+  "${build_dir}/src/rasql_serverd" --gen-rmat=edge:64 --engine-threads=2 \
+    --port-file="${cold_port_file}" &
+  local cold_pid=$!
+  for _ in $(seq 1 100); do
+    [[ -s "${warm_port_file}" && -s "${cold_port_file}" ]] && break
+    sleep 0.1
+  done
+  local warm_port cold_port
+  warm_port=$(cat "${warm_port_file}")
+  cold_port=$(cat "${cold_port_file}")
+  local client="${build_dir}/src/rasql_client"
+
+  local first_out warm_out hit_out cold_out
+  first_out=$("${client}" --port="${warm_port}" "${tc}")
+  grep -q "^RESULT cache_hit=0" <<<"${first_out}"
+  "${client}" --port="${warm_port}" "${insert}" > /dev/null
+  warm_out=$("${client}" --port="${warm_port}" "${tc}")
+  grep -q "^RESULT cache_hit=0" <<<"${warm_out}"   # refresh, not stale
+  hit_out=$("${client}" --port="${warm_port}" "${tc}")
+  grep -q "^RESULT cache_hit=1" <<<"${hit_out}"
+
+  "${client}" --port="${cold_port}" "${insert}" > /dev/null
+  cold_out=$("${client}" --port="${cold_port}" "${tc}")
+  # Row bytes (everything after the RESULT header) must be identical.
+  diff <(tail -n +2 <<<"${warm_out}") <(tail -n +2 <<<"${cold_out}")
+
+  kill -TERM "${warm_pid}" "${cold_pid}"
+  wait "${warm_pid}" "${cold_pid}"
+  grep -q "refreshed=1" "${warm_log}"
+  rm -f "${warm_port_file}" "${cold_port_file}" "${warm_log}"
+}
+incremental_smoke "${BUILD_DIR}"
+incremental_smoke "${TSAN_BUILD_DIR}"
 
 # clang-tidy gate over src/ (.clang-tidy rule set). Skips with a notice
 # when the container has no clang-tidy on PATH.

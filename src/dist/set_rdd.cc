@@ -60,6 +60,24 @@ void SetRddPartition::MergeDelta(const Relation& candidates,
       [&](const Row& row) { MergeOne(row, accumulates, delta); });
 }
 
+void SetRddPartition::Absorb(const Relation& converged) {
+  converged.ForEachRow([&](const Row& row) {
+    if (!spec_.has_aggregate()) {
+      auto [it, inserted] = set_state_.insert(row);
+      if (inserted) byte_size_ += storage::RowByteSize(row);
+      return;
+    }
+    Row key = storage::ProjectKey(row, spec_.key_columns);
+    const Value& v = row[spec_.agg_column];
+    auto [it, inserted] = agg_state_.emplace(std::move(key), v);
+    if (inserted) {
+      byte_size_ += storage::RowByteSize(row);
+    } else {
+      it->second = v;
+    }
+  });
+}
+
 Relation SetRddPartition::ToRelation() const {
   Relation out(schema_);
   if (!spec_.has_aggregate()) {

@@ -33,6 +33,12 @@ class SetRddPartition {
   void MergeDelta(const storage::Relation& candidates,
                   std::vector<storage::Row>* delta);
 
+  /// Loads already-converged rows into the state without emitting a delta —
+  /// the warm-start prologue (DESIGN.md §14). Aggregate rows overwrite any
+  /// existing key outright: the input is a prior fixpoint, not a candidate
+  /// stream, so its value for a key IS the converged value.
+  void Absorb(const storage::Relation& converged);
+
   size_t size() const {
     return spec_.has_aggregate() ? agg_state_.size() : set_state_.size();
   }

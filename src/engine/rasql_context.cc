@@ -1,5 +1,11 @@
 #include "engine/rasql_context.h"
 
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+
 #include "analysis/analyzer.h"
 #include "common/check.h"
 #include "fixpoint/stage_plan.h"
@@ -27,6 +33,10 @@ Status RaSqlContext::RegisterTableLocked(const std::string& name,
   RASQL_RETURN_IF_ERROR(catalog_.RegisterTable(name, relation.schema()));
   const std::string key = ToLower(name);
   tables_.insert_or_assign(key, std::move(relation));
+  // A (re)registration replaces the table's contents wholesale: bump the
+  // rewrite counter so warm-start marks taken before it can never treat
+  // the new contents as an append delta.
+  ++rewrites_[key];
   BumpVersionLocked(key);
   return Status::OK();
 }
@@ -43,8 +53,15 @@ Status RaSqlContext::DropTable(const std::string& name) {
     fresh.PutTable(table_name, rel.schema());
   }
   catalog_ = std::move(fresh);
+  ++rewrites_[key];
   BumpVersionLocked(key);
   return Status::OK();
+}
+
+uint64_t RaSqlContext::TableRewrites(const std::string& name) const {
+  std::shared_lock lock(mu_);
+  auto it = rewrites_.find(ToLower(name));
+  return it == rewrites_.end() ? 0 : it->second;
 }
 
 const Relation* RaSqlContext::FindTable(const std::string& name) const {
@@ -228,13 +245,109 @@ Result<Relation> RaSqlContext::ExecuteQuery(const sql::Query& query,
 
   analyzed.Optimize(config_.optimizer);
 
+  // Warm-start bookkeeping (DESIGN.md §14). The plan key is the normalized
+  // plan rendering — the same identity the server's caches key on; the
+  // lint pass runs once per query and only when incremental mode is on.
+  std::string warm_plan_key;
+  lint::LintReport warm_lint;
+  bool warm_lint_ran = false;
+  auto view_proven = [&](const std::string& name) {
+    if (!warm_lint_ran) {
+      lint::Linter linter(&catalog_);
+      warm_lint = linter.LintQuery(query);
+      warm_lint_ran = true;
+    }
+    const auto& proven = warm_lint.proven_views;
+    return std::find(proven.begin(), proven.end(), name) != proven.end();
+  };
+  if (config_.incremental) warm_plan_key = analyzed.ToString();
+
   // Evaluate cliques in topological order, materializing views.
   std::map<std::string, Relation> views;
   dist::Cluster cluster(config_.cluster, config_.runtime);
+  int clique_index = -1;
   for (const analysis::RecursiveClique& clique : analyzed.cliques) {
+    ++clique_index;
     std::map<std::string, const Relation*> bindings;
     for (const auto& [name, rel] : tables_) bindings[name] = &rel;
     for (const auto& [name, rel] : views) bindings[name] = &rel;
+
+    // ---- Warm-start gate. `capturable` = this clique's converged state
+    // is worth retaining (statically proven safe, semi-naive, every scan
+    // hits a versioned base table). `warm_input` is armed only when a
+    // retained state exists whose marks show append-only drift the plan
+    // structure can seed exactly; everything else runs cold.
+    bool warm_capturable = false;
+    bool warm_armed = false;
+    std::string warm_key;
+    std::map<std::string, int> warm_scans;
+    std::shared_ptr<const fixpoint::CliqueWarmState> warm_prior;
+    std::map<std::string, Relation> warm_deltas;
+    fixpoint::WarmStartInput warm_input;
+    if (config_.incremental && clique.IsRecursive() &&
+        clique.views.size() == 1 && clique.views[0].semi_naive_safe &&
+        config_.fixpoint.mode != fixpoint::FixpointMode::kNaive) {
+      const analysis::RecursiveView& view = clique.views[0];
+      // Accumulation over floats is not replayable bit-identically (the
+      // addition order of a warm run differs), so sum heads always run
+      // cold; count increments are exact integers.
+      const bool agg_ok =
+          view.aggregate == expr::AggregateFunction::kNone ||
+          view.aggregate == expr::AggregateFunction::kMin ||
+          view.aggregate == expr::AggregateFunction::kMax ||
+          view.aggregate == expr::AggregateFunction::kCount;
+      if (agg_ok && view_proven(view.name)) {
+        warm_scans = fixpoint::CollectViewTableScans(view);
+        warm_capturable = true;
+        for (const auto& [table, count] : warm_scans) {
+          // Every scan must hit a versioned base table — a reference to a
+          // same-query clique view has no version to mark.
+          if (tables_.find(table) == tables_.end()) {
+            warm_capturable = false;
+            break;
+          }
+        }
+      }
+      if (warm_capturable) {
+        warm_key =
+            warm_plan_key + "#clique" + std::to_string(clique_index);
+        warm_prior = warm_store_.Lookup(warm_key);
+      }
+      if (warm_prior != nullptr) {
+        bool marks_ok = warm_prior->marks.size() == warm_scans.size();
+        std::set<std::string> changed;
+        for (const auto& [table, mark] : warm_prior->marks) {
+          auto tit = tables_.find(table);
+          auto vit = versions_.find(table);
+          auto rit = rewrites_.find(table);
+          if (tit == tables_.end() || vit == versions_.end() ||
+              rit == rewrites_.end() || rit->second != mark.rewrites ||
+              tit->second.size() < mark.rows ||
+              warm_scans.find(table) == warm_scans.end()) {
+            marks_ok = false;
+            break;
+          }
+          if (vit->second != mark.version) changed.insert(table);
+        }
+        if (marks_ok && fixpoint::WarmSeedCompatible(clique.views[0],
+                                                     changed)) {
+          for (const std::string& table : changed) {
+            const Relation& full = tables_.at(table);
+            const size_t from = warm_prior->marks.at(table).rows;
+            Relation delta(full.schema());
+            full.ForEachRow(storage::RowRange{from, full.size()},
+                            [&](const storage::Row& row) {
+                              delta.AppendRow(row);
+                            });
+            warm_deltas.emplace(table, std::move(delta));
+          }
+          warm_input.converged = &warm_prior->converged;
+          warm_input.deltas = &warm_deltas;
+          warm_input.prior_iterations = warm_prior->cold_iterations;
+          warm_armed = true;
+        }
+      }
+    }
 
     std::map<std::string, Relation> results;
     fixpoint::FixpointStats clique_stats;
@@ -245,6 +358,7 @@ Result<Relation> RaSqlContext::ExecuteQuery(const sql::Query& query,
       // local options; copy the shared slice so both paths honor them.
       static_cast<fixpoint::CommonFixpointOptions&>(dist_options) =
           config_.fixpoint;
+      if (warm_armed) dist_options.warm_start = &warm_input;
       RASQL_ASSIGN_OR_RETURN(
           results,
           fixpoint::EvaluateCliqueDistributed(clique, bindings, &cluster,
@@ -254,12 +368,35 @@ Result<Relation> RaSqlContext::ExecuteQuery(const sql::Query& query,
       // --threads applies to the local path too: the local evaluator runs
       // its per-partition work on the same runtime configuration.
       local_options.runtime = config_.runtime;
+      if (warm_armed) local_options.warm_start = &warm_input;
       RASQL_ASSIGN_OR_RETURN(
           results, fixpoint::EvaluateCliqueLocal(clique, bindings,
                                                  local_options,
                                                  &clique_stats));
     }
     stats->MergeFrom(clique_stats);
+
+    // ---- Retain the converged state for the next INSERT. After a warm
+    // run the original cold iteration count is kept so iterations_saved
+    // stays an honest before/after comparison.
+    if (warm_capturable) {
+      auto snapshot = std::make_shared<fixpoint::CliqueWarmState>();
+      snapshot->converged = results.at(clique.views[0].name);
+      for (const auto& [table, count] : warm_scans) {
+        fixpoint::TableMark mark;
+        auto vit = versions_.find(table);
+        mark.version = vit == versions_.end() ? 0 : vit->second;
+        auto rit = rewrites_.find(table);
+        mark.rewrites = rit == rewrites_.end() ? 0 : rit->second;
+        mark.rows = tables_.at(table).size();
+        snapshot->marks.emplace(table, mark);
+      }
+      snapshot->cold_iterations = warm_armed
+                                      ? warm_input.prior_iterations
+                                      : clique_stats.iterations;
+      warm_store_.Put(warm_key, std::move(snapshot));
+    }
+
     for (auto& [name, rel] : results) views[name] = std::move(rel);
   }
   *metrics = cluster.metrics();

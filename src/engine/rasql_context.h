@@ -13,6 +13,7 @@
 #include "dist/cluster.h"
 #include "fixpoint/distributed_fixpoint.h"
 #include "fixpoint/local_fixpoint.h"
+#include "fixpoint/warm_state.h"
 #include "lint/linter.h"
 #include "plan/optimizer.h"
 #include "runtime/runtime_options.h"
@@ -45,6 +46,17 @@ struct EngineConfig {
   /// refuses warning-level queries (`--werror-lint`).
   bool lint_before_execute = false;
   lint::LintOptions lint;
+
+  /// Warm-start fixpoint maintenance (`--incremental`, DESIGN.md §14):
+  /// retain each converged recursive clique's state and, when every write
+  /// since that run was an append (INSERT) and the lint layer statically
+  /// proved the view's head safe (PreM min/max, monotone count, or
+  /// aggregate-free monotone RA — float sums are excluded because their
+  /// accumulation order is not replayable), resume the fixpoint with the
+  /// new tuples as the seed delta instead of recomputing from scratch.
+  /// Everything else falls back to a cold recompute; warm results are
+  /// bit-identical to cold ones.
+  bool incremental = false;
 };
 
 /// Everything one Execute() produces, returned as a unit: the result
@@ -154,6 +166,17 @@ class RaSqlContext {
   const EngineConfig& config() const { return config_; }
   EngineConfig* mutable_config() { return &config_; }
 
+  /// Retained warm-start clique states (observability for tests/tools).
+  size_t WarmStateEntries() const { return warm_store_.size(); }
+  /// Drops every retained clique state; subsequent queries run cold.
+  void ClearWarmState() { warm_store_.Clear(); }
+
+  /// Monotone per-table rewrite counter: bumped by RegisterTable and
+  /// DropTable but NOT by INSERT. Warm-start eligibility compares it
+  /// against the retained marks — a version bump with an unchanged rewrite
+  /// count proves every intervening write was an append.
+  uint64_t TableRewrites(const std::string& name) const;
+
  private:
   /// Runs one query statement, filling `stats`/`metrics` with the
   /// execution's fixpoint statistics and cluster metrics (reset first).
@@ -185,7 +208,15 @@ class RaSqlContext {
   analysis::Catalog catalog_;
   std::map<std::string, storage::Relation> tables_;
   std::map<std::string, uint64_t> versions_;
+  /// Rewrite counters (see TableRewrites); keys are lowercased.
+  std::map<std::string, uint64_t> rewrites_;
   uint64_t catalog_version_ = 0;
+
+  /// Retained converged clique states for warm starts. Internally locked —
+  /// pure queries run under the shared lock yet capture state after an
+  /// eligible run; shared_ptr values keep in-flight snapshots alive across
+  /// concurrent replacement.
+  mutable fixpoint::WarmStateStore warm_store_;
 };
 
 }  // namespace rasql::engine

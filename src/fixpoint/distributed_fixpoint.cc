@@ -11,6 +11,7 @@
 #include "dist/partition.h"
 #include "dist/set_rdd.h"
 #include "dist/shuffle.h"
+#include "fixpoint/warm_state.h"
 #include "runtime/stage_accumulators.h"
 #include "storage/row_range.h"
 
@@ -390,17 +391,6 @@ class StepEvaluator {
   std::vector<std::vector<Row>> base_rows_cache_;
 };
 
-/// Counts how many times each table is scanned by a plan.
-void CollectTableScans(const LogicalPlan& node,
-                       std::map<std::string, int>* counts) {
-  if (node.kind() == PlanKind::kTableScan) {
-    ++(*counts)[static_cast<const plan::TableScanNode&>(node).table_name()];
-  }
-  for (const plan::PlanPtr& child : node.children()) {
-    CollectTableScans(*child, counts);
-  }
-}
-
 bool IsSubset(const std::vector<int>& sub, const std::vector<int>& super) {
   for (int x : sub) {
     if (std::find(super.begin(), super.end(), x) == super.end()) {
@@ -654,16 +644,46 @@ Result<std::map<std::string, Relation>> EvaluateCliqueDistributed(
   base_ctx.use_codegen = options.use_codegen;
   base_ctx.batch_rows = cluster->runtime_options().batch_rows;
   base_ctx.join_algorithm = options.join_algorithm;
+  // A warm start (DESIGN.md §14) replaces the base case with the seed
+  // delta over the appended rows; the prior converged state is absorbed
+  // into the partitions below, before the seed merge runs against it.
+  const WarmStartInput* warm = options.warm_start;
   std::vector<Row> base_rows;
-  for (const plan::PlanPtr& p : view.base_plans) {
-    RASQL_ASSIGN_OR_RETURN(Relation rel, physical::Execute(*p, base_ctx));
-    ++stats->plan_executions;
-    for (Row& row : rel.TakeRows()) base_rows.push_back(std::move(row));
+  if (warm == nullptr) {
+    for (const plan::PlanPtr& p : view.base_plans) {
+      RASQL_ASSIGN_OR_RETURN(Relation rel, physical::Execute(*p, base_ctx));
+      ++stats->plan_executions;
+      for (Row& row : rel.TakeRows()) base_rows.push_back(std::move(row));
+    }
+  } else {
+    RASQL_ASSIGN_OR_RETURN(base_rows,
+                           EvaluateWarmSeed(view, *warm, base_ctx, stats));
+    stats->warm_starts = 1;
   }
   base_rows = dist::PartialAggregate(std::move(base_rows), spec);
 
   dist::SetRdd all(view.schema, spec, partitioning);
   std::vector<std::vector<Row>> delta(P);
+
+  if (warm != nullptr) {
+    // Absorb the converged state, co-partitioned on the run's key so it
+    // lands in the same slices a cold run would have built it in. Loading
+    // state is not a delta: nothing is emitted, so the loop below starts
+    // from the seed alone — in every mode, including decomposed (state and
+    // seed share the partitioning, and partitions stay independent).
+    dist::PartitionedRelation warm_slices =
+        dist::Partition(*warm->converged, key, P);
+    StageSpec warm_stage;
+    warm_stage.name = "warm-absorb";
+    warm_stage.kind = StageSpec::Kind::kLocal;
+    warm_stage.Claim(&all, verify::AccessMode::kPartitionOwned, "all")
+        .Claim(&warm_slices, verify::AccessMode::kReadShared, "warm-state");
+    cluster->RunStage(warm_stage, [&](TaskContext& ctx) {
+      const int p = ctx.partition();
+      all.partition(p)->Absorb(warm_slices.partition(p));
+      ctx.ReportCachedState(all.partition(p)->byte_size());
+    });
+  }
 
   // Every task closure below may execute concurrently (runtime threads):
   // shared mutable state is limited to partition-owned slots (delta[p],
@@ -707,6 +727,9 @@ Result<std::map<std::string, Relation>> EvaluateCliqueDistributed(
         });
   }
   for (const auto& d : delta) stats->total_delta_rows += d.size();
+  if (warm != nullptr) {
+    for (const auto& d : delta) stats->seed_delta_rows += d.size();
+  }
 
   auto deltas_empty = [&]() {
     for (const auto& d : delta) {
@@ -1053,8 +1076,18 @@ Result<std::map<std::string, Relation>> EvaluateCliqueDistributed(
     }
   }
 
+  if (warm != nullptr) {
+    stats->iterations_saved =
+        std::max(0, warm->prior_iterations - stats->iterations);
+  }
+
+  // Canonical (sorted) output, matching the local evaluator: hash-state
+  // iteration order depends on insertion history, which a warm start
+  // legitimately changes; sorting pins warm results to the cold bytes.
+  Relation result = all.Collect();
+  result.SortRows();
   std::map<std::string, Relation> out;
-  out.emplace(view.name, all.Collect());
+  out.emplace(view.name, std::move(result));
   return out;
 }
 

@@ -4,10 +4,13 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <map>
+#include <string>
 #include <vector>
 
 #include "physical/executor.h"
 #include "runtime/runtime_options.h"
+#include "storage/relation.h"
 
 namespace rasql::fixpoint {
 
@@ -23,6 +26,26 @@ enum class FixpointMode {
   kSemiNaive,
 };
 
+/// Input to a warm-start (incremental) fixpoint run: the converged state of
+/// a previous evaluation of the same clique plus the rows appended to base
+/// tables since that run. The evaluator absorbs `converged` into its
+/// partitioned state without emitting a delta, evaluates every plan that
+/// scans a changed table with that table bound to its delta rows (and all
+/// recursive refs bound to the converged state) to form the seed delta,
+/// then runs the ordinary semi-naive loop. Sound only for queries the lint
+/// layer proved PreM-safe or monotone (engine/rasql_context.cc gates this);
+/// callers never hand an evaluator a warm handle for an unproven clique.
+struct WarmStartInput {
+  /// Converged relation of the clique's single view from the prior run.
+  const storage::Relation* converged = nullptr;
+  /// Rows appended since the prior run, keyed by canonical (lowercase)
+  /// table name. Only append deltas — rewrites force a cold run upstream.
+  const std::map<std::string, storage::Relation>* deltas = nullptr;
+  /// Iterations the prior cold run took; used for the iterations_saved
+  /// counter in FixpointStats.
+  int prior_iterations = 0;
+};
+
 /// Knobs shared verbatim by the local and distributed evaluators. Both
 /// option structs inherit from this so each shared field exists exactly
 /// once (they had forked and drifted) and the engine copies the whole
@@ -33,6 +56,11 @@ struct CommonFixpointOptions {
   int64_t max_iterations = 1'000'000;
   bool use_codegen = true;
   physical::JoinAlgorithm join_algorithm = physical::JoinAlgorithm::kHash;
+
+  /// Non-null = warm-start this evaluation from a prior converged state
+  /// (see WarmStartInput). The pointer is borrowed for the duration of the
+  /// call; the engine sets it on its per-execution option copies only.
+  const WarmStartInput* warm_start = nullptr;
 };
 
 /// Options of the local evaluator.
@@ -74,6 +102,15 @@ struct FixpointStats {
   /// Column positions (view schema) the evaluator partitioned state on;
   /// empty when the run kept a single unpartitioned state.
   std::vector<int> partition_key;
+  /// Cliques in this run that resumed from a retained converged state
+  /// instead of recomputing from scratch.
+  int warm_starts = 0;
+  /// Rows the warm seed delta contributed (after aggregation/merge into
+  /// the partitioned state); 0 on cold runs.
+  size_t seed_delta_rows = 0;
+  /// prior cold iterations minus warm iterations, clamped at 0 — an honest
+  /// measure of the work a warm start skipped.
+  int iterations_saved = 0;
 
   /// Folds another clique's stats into this one — a query evaluates its
   /// cliques in topological order and the engine reports the union.
@@ -84,6 +121,9 @@ struct FixpointStats {
     hit_iteration_limit |= other.hit_iteration_limit;
     used_semi_naive |= other.used_semi_naive;
     used_decomposed |= other.used_decomposed;
+    warm_starts += other.warm_starts;
+    seed_delta_rows += other.seed_delta_rows;
+    iterations_saved += other.iterations_saved;
     if (!other.partition_key.empty()) partition_key = other.partition_key;
   }
 };

@@ -9,6 +9,7 @@
 #include "dist/partition.h"
 #include "dist/set_rdd.h"
 #include "fixpoint/stage_plan.h"
+#include "fixpoint/warm_state.h"
 #include "lint/diagnostic.h"
 #include "physical/pipeline.h"
 #include "runtime/stage_accumulators.h"
@@ -193,12 +194,32 @@ Result<std::map<std::string, Relation>> EvaluateSemiNaive(
   const ExecContext base_ctx = BaseContext(tables, options);
 
   // Base case: evaluate on the driver, pre-aggregate, scatter each row to
-  // its state partition, merge per partition to form the initial delta.
+  // its state partition, merge per partition to form the initial delta. A
+  // warm start (DESIGN.md §14) instead absorbs the prior converged state
+  // into the partitions without emitting a delta, and seeds the loop with
+  // the plans' output over the appended base rows — MergeDelta against the
+  // absorbed state then keeps exactly the rows that are new or improving.
+  const WarmStartInput* warm = options.warm_start;
   std::vector<Row> base_rows;
-  for (const plan::PlanPtr& base : view.base_plans) {
-    RASQL_ASSIGN_OR_RETURN(Relation rel, physical::Execute(*base, base_ctx));
-    ++stats->plan_executions;
-    for (Row& row : rel.TakeRows()) base_rows.push_back(std::move(row));
+  if (warm == nullptr) {
+    for (const plan::PlanPtr& base : view.base_plans) {
+      RASQL_ASSIGN_OR_RETURN(Relation rel,
+                             physical::Execute(*base, base_ctx));
+      ++stats->plan_executions;
+      for (Row& row : rel.TakeRows()) base_rows.push_back(std::move(row));
+    }
+  } else {
+    {
+      ShuffleWrite absorb(P);
+      warm->converged->ForEachRow(
+          [&](const Row& row) { absorb.Add(row, partitioning); });
+      pool->ParallelFor(P, [&](int p) {
+        state.partition(p)->Absorb(absorb.slice_per_dest[p]);
+      });
+    }
+    RASQL_ASSIGN_OR_RETURN(
+        base_rows, EvaluateWarmSeed(view, *warm, base_ctx, stats));
+    stats->warm_starts = 1;
   }
   base_rows = dist::PartialAggregate(std::move(base_rows), spec);
 
@@ -211,6 +232,9 @@ Result<std::map<std::string, Relation>> EvaluateSemiNaive(
     });
   }
   for (const auto& d : delta) stats->total_delta_rows += d.size();
+  if (warm != nullptr) {
+    for (const auto& d : delta) stats->seed_delta_rows += d.size();
+  }
 
   // Does any recursive plan reference the view more than once? If so the
   // non-delta occurrences must see the `all` state, which we materialize
@@ -324,8 +348,18 @@ Result<std::map<std::string, Relation>> EvaluateSemiNaive(
     for (const auto& d : delta) stats->total_delta_rows += d.size();
   }
 
+  if (warm != nullptr) {
+    stats->iterations_saved =
+        std::max(0, warm->prior_iterations - stats->iterations);
+  }
+
+  // Canonical (sorted) output: hash-state iteration order depends on
+  // insertion history, which a warm start legitimately changes; sorting
+  // here is what makes warm results bit-identical to cold ones.
+  Relation result = state.Collect();
+  result.SortRows();
   std::map<std::string, Relation> out;
-  out.emplace(view.name, state.Collect());
+  out.emplace(view.name, std::move(result));
   stats->used_semi_naive = true;
   return out;
 }

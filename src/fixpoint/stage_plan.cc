@@ -63,6 +63,16 @@ Result<StageGraph> PlanDistributedStages(
     g.AddStage("partition-base:" + name, StageKind::kShuffleMap);
   }
 
+  // ---- Warm start (DESIGN.md §14): the retained converged state is
+  // absorbed into the partitions before the seed merge runs against it;
+  // the seed stages then carry the appended-rows delta, not the base case.
+  if (options.warm_start != nullptr) {
+    const int r_warm = g.AddResource("warm-state");
+    g.AddStage("warm-absorb", StageKind::kLocal);
+    g.Claim(r_all, kPartitionOwned);
+    g.Claim(r_warm, kReadShared);
+  }
+
   // ---- Seed: scatter the driver-evaluated base case, merge per
   // partition. Submitted as one pipelined pair. ----
   const int ch_seed = g.AddChannel("seed-exchange");
@@ -220,6 +230,14 @@ Result<StageGraph> PlanLocalStages(const analysis::RecursiveClique& clique,
     const int r_frozen = g.AddResource("frozen-inputs");
     const int r_slots = g.AddResource("morsel-slots");
     const int r_writes = g.AddResource("shuffle-writes");
+    if (options.warm_start != nullptr) {
+      // Warm start: load the retained converged state into the partition
+      // slices before the seed delta merges against it (DESIGN.md §14).
+      const int r_warm = g.AddResource("warm-state");
+      g.AddStage("warm-absorb", StageKind::kLocal);
+      g.Claim(r_state, kPartitionOwned);
+      g.Claim(r_warm, kReadShared);
+    }
     {
       g.AddStage("seed-merge", StageKind::kLocal);
       g.Claim(r_state, kPartitionOwned);

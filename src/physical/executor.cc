@@ -423,6 +423,22 @@ Result<BorrowedRelation> ExecAggregate(const plan::AggregateNode& node,
         Value& acc = state->accumulators[j];
         const size_t col =
             static_cast<size_t>(item_cols[j] < 0 ? 0 : item_cols[j]);
+        // Modes are chosen per chunk, but the accumulator carries state
+        // across chunks: when a column's tag flips mid-relation (int64
+        // chunks followed by double chunks, say), acc no longer matches
+        // the typed arm's assumption. Those rows take the shared oracle
+        // step, which promotes exactly like the row-at-a-time path.
+        const bool acc_typed_as = acc.is_null() ||
+                                  ((modes[j] == Mode::kSumI64 ||
+                                    modes[j] == Mode::kMinI64 ||
+                                    modes[j] == Mode::kMaxI64)
+                                       ? acc.type() == ValueType::kInt64
+                                       : acc.type() == ValueType::kDouble);
+        if (modes[j] != Mode::kCount && modes[j] != Mode::kGeneric &&
+            !acc_typed_as) {
+          accumulate(state, j, chunk.ValueAt(r, col), true);
+          continue;
+        }
         switch (modes[j]) {
           case Mode::kCount:
             acc = Value::Int(acc.AsInt() + 1);

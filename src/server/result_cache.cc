@@ -1,6 +1,7 @@
 #include "server/result_cache.h"
 
 #include <algorithm>
+#include <iterator>
 
 namespace rasql::server {
 
@@ -33,8 +34,34 @@ std::shared_ptr<const CachedResult> ResultCache::Lookup(
   return it->second.result;
 }
 
+std::shared_ptr<const CachedResult> ResultCache::Lookup(
+    const std::string& key, const std::string& plan_key, Outcome* outcome) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    ++hits_;
+    *outcome = Outcome::kHit;
+    lru_.erase(it->second.lru_pos);
+    lru_.push_front(key);
+    it->second.lru_pos = lru_.begin();
+    return it->second.result;
+  }
+  ++misses_;
+  auto plan_it = by_plan_.find(plan_key);
+  if (plan_it != by_plan_.end() && plan_it->second != key) {
+    // Same plan, different (older) version vector: the caller should
+    // recompute — warm-started by the engine when eligible — and
+    // re-memoize; Insert will purge the stale predecessor.
+    ++refreshes_;
+    *outcome = Outcome::kRefresh;
+  } else {
+    *outcome = Outcome::kMiss;
+  }
+  return nullptr;
+}
+
 std::shared_ptr<const CachedResult> ResultCache::Insert(
-    std::string key, CachedResult result,
+    std::string key, const std::string& plan_key, CachedResult result,
     const std::vector<std::string>& tables) {
   auto shared = std::make_shared<const CachedResult>(std::move(result));
   std::lock_guard<std::mutex> lock(mu_);
@@ -45,8 +72,17 @@ std::shared_ptr<const CachedResult> ResultCache::Insert(
     // already being served.
     return it->second.result;
   }
+  auto plan_it = by_plan_.find(plan_key);
+  if (plan_it != by_plan_.end()) {
+    // A stale entry for this plan under an older version vector: versions
+    // are monotone, so it can never hit again. Replace it.
+    auto stale = entries_.find(plan_it->second);
+    if (stale != entries_.end()) EraseLocked(stale);
+  }
   lru_.push_front(key);
-  entries_.emplace(std::move(key), Slot{shared, tables, lru_.begin()});
+  by_plan_[plan_key] = key;
+  entries_.emplace(std::move(key),
+                   Slot{shared, plan_key, tables, lru_.begin()});
   EvictLocked();
   return shared;
 }
@@ -57,8 +93,9 @@ size_t ResultCache::InvalidateTable(const std::string& table) {
   for (auto it = entries_.begin(); it != entries_.end();) {
     const std::vector<std::string>& tables = it->second.tables;
     if (std::find(tables.begin(), tables.end(), table) != tables.end()) {
-      lru_.erase(it->second.lru_pos);
-      it = entries_.erase(it);
+      auto next = std::next(it);
+      EraseLocked(it);
+      it = next;
       ++dropped;
     } else {
       ++it;
@@ -70,10 +107,20 @@ size_t ResultCache::InvalidateTable(const std::string& table) {
 
 void ResultCache::EvictLocked() {
   while (entries_.size() > capacity_ && !lru_.empty()) {
-    entries_.erase(lru_.back());
-    lru_.pop_back();
+    auto it = entries_.find(lru_.back());
+    if (it != entries_.end()) EraseLocked(it);
     ++evictions_;
   }
+}
+
+void ResultCache::EraseLocked(
+    std::unordered_map<std::string, Slot>::iterator it) {
+  lru_.erase(it->second.lru_pos);
+  auto plan_it = by_plan_.find(it->second.plan_key);
+  if (plan_it != by_plan_.end() && plan_it->second == it->first) {
+    by_plan_.erase(plan_it);
+  }
+  entries_.erase(it);
 }
 
 ResultCache::Stats ResultCache::stats() const {
@@ -83,6 +130,7 @@ ResultCache::Stats ResultCache::stats() const {
   stats.misses = misses_;
   stats.evictions = evictions_;
   stats.invalidations = invalidations_;
+  stats.refreshes = refreshes_;
   stats.entries = entries_.size();
   return stats;
 }

@@ -38,6 +38,14 @@ struct CachedResult {
 /// bounded by entry count. DESIGN.md §12.
 class ResultCache {
  public:
+  /// What a keyed lookup found. Besides hit and miss there is a third
+  /// outcome, *refresh*: no entry matches the full version-suffixed key,
+  /// but an entry for the same normalized plan exists under an older
+  /// version vector. The caller then recomputes (the engine warm-starts
+  /// internally when eligible) and re-memoizes under the new vector;
+  /// Insert purges the stale predecessor. DESIGN.md §14.
+  enum class Outcome { kHit, kMiss, kRefresh };
+
   explicit ResultCache(size_t capacity) : capacity_(capacity) {}
 
   /// Builds the composite cache key.
@@ -47,10 +55,21 @@ class ResultCache {
 
   std::shared_ptr<const CachedResult> Lookup(const std::string& key);
 
+  /// Lookup that also classifies the miss: when `key` is absent but some
+  /// entry was inserted under the same `plan_key` (necessarily with a
+  /// different — older — version vector, since versions are monotone),
+  /// reports Outcome::kRefresh and counts it. Returns the cached result
+  /// only on kHit; the stale entry's rows are never served.
+  std::shared_ptr<const CachedResult> Lookup(const std::string& key,
+                                             const std::string& plan_key,
+                                             Outcome* outcome);
+
   /// Inserts (or refreshes) an entry; `tables` are the lowercased base
-  /// tables the entry depends on, for eager purging.
+  /// tables the entry depends on, for eager purging. Any entry previously
+  /// inserted under the same `plan_key` with a different full key is
+  /// purged — monotone table versions make it unreachable forever.
   std::shared_ptr<const CachedResult> Insert(
-      std::string key, CachedResult result,
+      std::string key, const std::string& plan_key, CachedResult result,
       const std::vector<std::string>& tables);
 
   /// Eagerly drops every entry depending on `table` (lowercased). The
@@ -63,6 +82,7 @@ class ResultCache {
     uint64_t misses = 0;
     uint64_t evictions = 0;
     uint64_t invalidations = 0;  ///< entries purged by InvalidateTable
+    uint64_t refreshes = 0;      ///< misses classified as Outcome::kRefresh
     uint64_t entries = 0;
   };
   Stats stats() const;
@@ -70,20 +90,27 @@ class ResultCache {
  private:
   struct Slot {
     std::shared_ptr<const CachedResult> result;
+    std::string plan_key;  ///< normalized plan component of the full key
     std::vector<std::string> tables;
     std::list<std::string>::iterator lru_pos;
   };
 
   void EvictLocked();
+  /// Drops one entry by iterator, keeping lru_/by_plan_ consistent.
+  void EraseLocked(std::unordered_map<std::string, Slot>::iterator it);
 
   const size_t capacity_;
   mutable std::mutex mu_;
   std::list<std::string> lru_;  ///< most-recent first
   std::unordered_map<std::string, Slot> entries_;
+  /// plan_key → full key of the (unique) entry holding it. Insert purges
+  /// same-plan predecessors, so one plan never holds two entries.
+  std::unordered_map<std::string, std::string> by_plan_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
   uint64_t evictions_ = 0;
   uint64_t invalidations_ = 0;
+  uint64_t refreshes_ = 0;
 };
 
 }  // namespace rasql::server

@@ -480,7 +480,14 @@ void Server::RunCached(const std::shared_ptr<Session>& session,
   std::shared_ptr<const CachedResult> cached;
   bool hit = false;
   if (options_.enable_result_cache) {
-    cached = result_cache_.Lookup(key);
+    // The outcome-aware lookup classifies version-vector misses: kRefresh
+    // means a stale same-plan entry exists, i.e. the base tables moved
+    // since that run converged. The recompute below is then incremental
+    // whenever the engine runs with `incremental` set and the clique is
+    // warm-eligible — the engine's own warm-state store carries the
+    // converged rows; the cache only re-memoizes under the new versions.
+    ResultCache::Outcome outcome = ResultCache::Outcome::kMiss;
+    cached = result_cache_.Lookup(key, entry->plan_key, &outcome);
     hit = cached != nullptr;
   }
   if (cached == nullptr) {
@@ -508,7 +515,8 @@ void Server::RunCached(const std::shared_ptr<Session>& session,
       }
     }
     if (options_.enable_result_cache && versions_stable) {
-      cached = result_cache_.Insert(key, std::move(cold), entry->tables);
+      cached = result_cache_.Insert(key, entry->plan_key, std::move(cold),
+                                    entry->tables);
     } else {
       cached = std::make_shared<const CachedResult>(std::move(cold));
     }
@@ -543,7 +551,11 @@ void Server::HandleQuery(const std::shared_ptr<Session>& session,
   // Multi-statement or writing script: run it whole (the context serializes
   // writers exclusively), then purge result-cache entries depending on any
   // written table. The version-suffixed keys are already unreachable; the
-  // purge frees the memory eagerly.
+  // purge frees the memory eagerly. Exception: under `--incremental`,
+  // entries stale only through INSERTs are kept — the next same-plan query
+  // classifies them as a *refresh*, recomputes (warm-started by the engine
+  // when eligible) and replaces them. CREATE VIEW rewrites the relation
+  // wholesale, so those entries are purged either way.
   Result<engine::ExecutionResult> result = ctx_->Execute(sql);
   if (!result.ok()) {
     SendError(session, MapStatus(result.status()), result.status().message());
@@ -553,7 +565,8 @@ void Server::HandleQuery(const std::shared_ptr<Session>& session,
     if (statement.kind == sql::Statement::Kind::kCreateView) {
       result_cache_.InvalidateTable(
           storage::ToLower(statement.create_view->name));
-    } else if (statement.kind == sql::Statement::Kind::kInsert) {
+    } else if (statement.kind == sql::Statement::Kind::kInsert &&
+               !ctx_->config().incremental) {
       result_cache_.InvalidateTable(storage::ToLower(statement.insert->table));
     }
   }

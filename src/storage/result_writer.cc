@@ -31,8 +31,24 @@ void AppendCsvCell(const std::string& cell, char delimiter,
   *out += '"';
 }
 
-/// "%g" rendering — matches Value::ToString for doubles.
+/// "%g" rendering — matches Value::ToString for doubles, including the
+/// pinned non-finite tokens "inf"/"-inf"/"nan" (never the platform's own
+/// spelling, e.g. "-nan"): ParseCsv's strtod accepts exactly these, so
+/// CSV and text cells round-trip for every double. JSON is the documented
+/// exception — it has no non-finite literals, so those render as null.
 void AppendDouble(double v, std::string* out) {
+  if (v != v) {
+    *out += "nan";
+    return;
+  }
+  if (v == __builtin_huge_val()) {
+    *out += "inf";
+    return;
+  }
+  if (v == -__builtin_huge_val()) {
+    *out += "-inf";
+    return;
+  }
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%g", v);
   *out += buf;
@@ -83,6 +99,12 @@ void CsvResultWriter::WriteChunk(const ColumnChunk& chunk) {
         const Value& v = col.boxed[r];
         if (v.type() == ValueType::kString) {
           AppendCsvCell(v.AsString(), options_.delimiter, out_);
+        } else if (v.type() == ValueType::kDouble) {
+          // Through AppendDouble, not ToString, so the canonical
+          // non-finite tokens are guaranteed on the boxed path too.
+          std::string cell;
+          AppendDouble(v.AsDouble(), &cell);
+          AppendCsvCell(cell, options_.delimiter, out_);
         } else {
           AppendCsvCell(v.ToString(), options_.delimiter, out_);
         }

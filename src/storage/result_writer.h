@@ -35,6 +35,10 @@ class ResultWriter {
 
 /// RFC 4180: NULL renders as a bare empty cell, an empty string is always
 /// quoted, numerics use Value::ToString formatting (%g for doubles).
+/// Non-finite doubles are pinned to "inf"/"-inf"/"nan" — the tokens
+/// ParseCsv's strtod reads back — across CSV and text alike; JSON, which
+/// has no non-finite literals, renders them as null (the one documented
+/// divergence between the three formats).
 class CsvResultWriter final : public ResultWriter {
  public:
   CsvResultWriter(std::string* out, CsvOptions options = {})

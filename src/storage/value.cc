@@ -86,6 +86,13 @@ std::string Value::ToString() const {
     case ValueType::kInt64:
       return std::to_string(i64_);
     case ValueType::kDouble: {
+      // Non-finite doubles render as the canonical tokens "inf"/"-inf"/
+      // "nan" — never the platform's %g spelling ("-nan", "1.#INF", ...)
+      // — so every writer that delegates here emits cells strtod can
+      // parse back (result_writer.h pins the same contract).
+      if (f64_ != f64_) return "nan";
+      if (f64_ == __builtin_huge_val()) return "inf";
+      if (f64_ == -__builtin_huge_val()) return "-inf";
       char buf[32];
       std::snprintf(buf, sizeof(buf), "%g", f64_);
       return buf;

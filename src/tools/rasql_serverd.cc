@@ -6,7 +6,7 @@
 //   rasql_serverd [--port=N] [--port-file=PATH]
 //                 [--io-slots=N] [--exec-slots=N] [--max-queue=N]
 //                 [--engine-threads=N] [--plan-cache=N] [--result-cache=N]
-//                 [--no-result-cache]
+//                 [--no-result-cache] [--incremental]
 //                 [--gen-rmat=<table>:<vertices>] [--load=<table>:<file>]
 //                 [--setup=<script.sql>] [--distributed] [--workers=N]
 //
@@ -73,6 +73,8 @@ int Main(int argc, char** argv) {
       options.enable_result_cache = false;
     } else if (arg == "--distributed") {
       config.distributed = true;
+    } else if (arg == "--incremental") {
+      config.incremental = true;
     } else if (arg.rfind("--setup=", 0) == 0) {
       setup_path = arg.substr(8);
     } else if (arg.rfind("--gen-rmat=", 0) == 0) {
@@ -151,7 +153,8 @@ int Main(int argc, char** argv) {
   std::fprintf(stderr,
                "sessions=%llu queries=%llu prepares=%llu executes=%llu "
                "errors=%llu rejected=%llu plan_cache{hit=%llu miss=%llu} "
-               "result_cache{hit=%llu miss=%llu invalidated=%llu}\n",
+               "result_cache{hit=%llu miss=%llu invalidated=%llu "
+               "refreshed=%llu}\n",
                static_cast<unsigned long long>(stats.sessions_opened),
                static_cast<unsigned long long>(stats.queries),
                static_cast<unsigned long long>(stats.prepares),
@@ -163,7 +166,8 @@ int Main(int argc, char** argv) {
                static_cast<unsigned long long>(stats.result_cache.hits),
                static_cast<unsigned long long>(stats.result_cache.misses),
                static_cast<unsigned long long>(
-                   stats.result_cache.invalidations));
+                   stats.result_cache.invalidations),
+               static_cast<unsigned long long>(stats.result_cache.refreshes));
   return 0;
 }
 

@@ -5,7 +5,7 @@
 // Usage:
 //   rasql [--distributed] [--workers N] [--threads N] [--async-shuffle]
 //         [--morsel-rows=N] [--batch-rows=N] [--lint] [--werror-lint]
-//         [--verify-stages] [script.sql]
+//         [--verify-stages] [--incremental] [script.sql]
 //
 // --threads=N runs the task closures of every distributed stage AND the
 // local fixpoint path's partitioned semi-naive/naive evaluation on a
@@ -24,6 +24,10 @@
 // --lint runs the static PreM/monotonicity analyzer before every query
 // and refuses error-level queries; --werror-lint also refuses
 // warning-level ones.
+// --incremental retains each converged recursive clique's state and
+// warm-starts the fixpoint from the appended rows after INSERTs into its
+// base tables (lint-proven queries only; everything else recomputes cold).
+// Warm results are bit-identical to cold ones (DESIGN.md §14).
 //
 // Dot-commands inside the shell:
 //   .load <table> <file.csv>   register a CSV/TSV file as a table
@@ -230,6 +234,11 @@ class Shell {
           stats.iterations, stats.total_delta_rows, stats.plan_executions,
           stats.used_semi_naive, stats.used_decomposed,
           stats.hit_iteration_limit);
+      if (ctx_.config().incremental) {
+        std::printf("warm_starts=%d seed_delta_rows=%zu iterations_saved=%d\n",
+                    stats.warm_starts, stats.seed_delta_rows,
+                    stats.iterations_saved);
+      }
       if (ctx_.config().distributed) {
         std::printf("%s\n", last_.job_metrics.Summary().c_str());
       }
@@ -320,6 +329,8 @@ int Main(int argc, char** argv) {
       config.lint.werror = true;
     } else if (std::strcmp(argv[i], "--verify-stages") == 0) {
       config.runtime.verify_stages = true;
+    } else if (std::strcmp(argv[i], "--incremental") == 0) {
+      config.incremental = true;
     } else if (std::strncmp(argv[i], "--format=", 9) == 0) {
       auto parsed = storage::ParseResultFormat(argv[i] + 9);
       if (!parsed.ok()) {
@@ -338,7 +349,8 @@ int Main(int argc, char** argv) {
       std::printf(
           "usage: rasql [--distributed] [--workers N] [--threads N] "
           "[--async-shuffle] [--morsel-rows=N] [--batch-rows=N] [--lint] "
-          "[--werror-lint] [--verify-stages] [--format=csv|json|text] "
+          "[--werror-lint] [--verify-stages] [--incremental] "
+          "[--format=csv|json|text] "
           "[--serve [--port=N] [--port-file=PATH]] [script]\n");
       PrintHelp();
       return 0;

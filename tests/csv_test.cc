@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 
 #include "storage/csv.h"
 #include "storage/result_format.h"
@@ -83,6 +85,63 @@ TEST(CsvTest, ToCsvRendering) {
                            {"Score", ValueType::kDouble}})};
   rel.Add({Value::String("bob"), Value::Double(1.5)});
   EXPECT_EQ(ToCsv(rel), "Name,Score\nbob,1.5\n");
+}
+
+TEST(CsvTest, NonFiniteDoublesRoundTripCsv) {
+  const double inf = std::numeric_limits<double>::infinity();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  Relation rel{Schema::Of({{"Id", ValueType::kInt64},
+                           {"Cost", ValueType::kDouble}})};
+  rel.Add({Value::Int(1), Value::Double(inf)});
+  rel.Add({Value::Int(2), Value::Double(-inf)});
+  rel.Add({Value::Int(3), Value::Double(nan)});
+  rel.Add({Value::Int(4), Value::Double(1.5)});
+  rel.Add({Value::Int(5), Value::Null()});
+
+  // The pinned spellings — canonical tokens, never the platform's %g
+  // output for a negative NaN or the like.
+  EXPECT_EQ(ToCsv(rel), "Id,Cost\n1,inf\n2,-inf\n3,nan\n4,1.5\n5,\n");
+
+  auto loaded = ParseCsv(ToCsv(rel));
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->size(), 5u);
+  EXPECT_EQ(loaded->schema().column(1).type, ValueType::kDouble);
+  EXPECT_EQ(loaded->row(0)[1].AsDouble(), inf);
+  EXPECT_EQ(loaded->row(1)[1].AsDouble(), -inf);
+  EXPECT_TRUE(std::isnan(loaded->row(2)[1].AsDouble()));
+  EXPECT_EQ(loaded->row(3)[1].AsDouble(), 1.5);
+  EXPECT_TRUE(loaded->row(4)[1].is_null());
+}
+
+TEST(CsvTest, NonFiniteDoublesOnBoxedColumnsUseCanonicalTokens) {
+  // A mixed int/double column stores boxed Values (the variant chunk
+  // path); the writer must pin the same tokens there.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  Relation rel{Schema::Of({{"V", ValueType::kDouble}})};
+  rel.Add({Value::Int(7)});
+  rel.Add({Value::Double(-nan)});  // negative NaN: %g would say "-nan"
+  rel.Add({Value::Double(-std::numeric_limits<double>::infinity())});
+  EXPECT_EQ(ToCsv(rel), "V\n7\nnan\n-inf\n");
+
+  auto loaded = ParseCsv(ToCsv(rel));
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_TRUE(std::isnan(loaded->row(1)[0].AsDouble()));
+}
+
+TEST(ResultFormatTest, NonFiniteDoublesAcrossFormats) {
+  const double inf = std::numeric_limits<double>::infinity();
+  Relation rel{Schema::Of({{"Cost", ValueType::kDouble}})};
+  rel.Add({Value::Double(inf)});
+  rel.Add({Value::Double(std::numeric_limits<double>::quiet_NaN())});
+  // CSV and text carry the parseable tokens; JSON — which has no
+  // non-finite literals — renders null (the documented divergence).
+  EXPECT_EQ(FormatRelation(rel, ResultFormat::kCsv), "Cost\ninf\nnan\n");
+  const std::string text = FormatRelation(rel, ResultFormat::kText);
+  EXPECT_NE(text.find("inf\n"), std::string::npos);
+  EXPECT_NE(text.find("nan\n"), std::string::npos);
+  const std::string json = FormatRelation(rel, ResultFormat::kJson);
+  EXPECT_NE(json.find("\"Cost\": null"), std::string::npos);
+  EXPECT_EQ(json.find("inf"), std::string::npos);
 }
 
 TEST(CsvTest, QuotedCellsParse) {

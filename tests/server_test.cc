@@ -55,8 +55,9 @@ Relation WeightedEdges() {
   return rel;
 }
 
-std::unique_ptr<engine::RaSqlContext> MakeSeededContext() {
-  auto ctx = std::make_unique<engine::RaSqlContext>();
+std::unique_ptr<engine::RaSqlContext> MakeSeededContext(
+    engine::EngineConfig config = {}) {
+  auto ctx = std::make_unique<engine::RaSqlContext>(std::move(config));
   EXPECT_TRUE(ctx->RegisterTable("edge", WeightedEdges()).ok());
   return ctx;
 }
@@ -64,8 +65,9 @@ std::unique_ptr<engine::RaSqlContext> MakeSeededContext() {
 /// A server on an ephemeral port over its own context, torn down on
 /// destruction.
 struct TestServer {
-  explicit TestServer(ServerOptions options = {}) {
-    ctx = MakeSeededContext();
+  explicit TestServer(ServerOptions options = {},
+                      engine::EngineConfig config = {}) {
+    ctx = MakeSeededContext(std::move(config));
     options.port = 0;
     server = std::make_unique<Server>(ctx.get(), options);
     auto status = server->Start();
@@ -202,15 +204,51 @@ TEST(ResultCacheTest, KeyChangesWithVersions) {
 TEST(ResultCacheTest, InvalidateTablePurgesDependents) {
   ResultCache cache(8);
   CachedResult r1;
-  cache.Insert(ResultCache::MakeKey("p1", {{"edge", 1}}), std::move(r1),
+  cache.Insert(ResultCache::MakeKey("p1", {{"edge", 1}}), "p1", std::move(r1),
                {"edge"});
   CachedResult r2;
-  cache.Insert(ResultCache::MakeKey("p2", {{"other", 1}}), std::move(r2),
-               {"other"});
+  cache.Insert(ResultCache::MakeKey("p2", {{"other", 1}}), "p2",
+               std::move(r2), {"other"});
   EXPECT_EQ(cache.InvalidateTable("edge"), 1u);
   EXPECT_EQ(cache.Lookup(ResultCache::MakeKey("p1", {{"edge", 1}})), nullptr);
   EXPECT_NE(cache.Lookup(ResultCache::MakeKey("p2", {{"other", 1}})),
             nullptr);
+}
+
+TEST(ResultCacheTest, RefreshOutcomeOnStaleSamePlanEntry) {
+  ResultCache cache(8);
+  CachedResult r1;
+  cache.Insert(ResultCache::MakeKey("plan", {{"edge", 1}}), "plan",
+               std::move(r1), {"edge"});
+
+  // Exact key → hit.
+  ResultCache::Outcome outcome = ResultCache::Outcome::kMiss;
+  EXPECT_NE(cache.Lookup(ResultCache::MakeKey("plan", {{"edge", 1}}), "plan",
+                         &outcome),
+            nullptr);
+  EXPECT_EQ(outcome, ResultCache::Outcome::kHit);
+
+  // Same plan, bumped version (an INSERT landed) → refresh, no rows served.
+  EXPECT_EQ(cache.Lookup(ResultCache::MakeKey("plan", {{"edge", 2}}), "plan",
+                         &outcome),
+            nullptr);
+  EXPECT_EQ(outcome, ResultCache::Outcome::kRefresh);
+
+  // Unrelated plan → plain miss.
+  EXPECT_EQ(cache.Lookup(ResultCache::MakeKey("other", {{"edge", 2}}),
+                         "other", &outcome),
+            nullptr);
+  EXPECT_EQ(outcome, ResultCache::Outcome::kMiss);
+
+  // Re-memoizing under the new version vector purges the stale
+  // predecessor: entry count stays 1 and the old key is gone for good.
+  CachedResult r2;
+  cache.Insert(ResultCache::MakeKey("plan", {{"edge", 2}}), "plan",
+               std::move(r2), {"edge"});
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_EQ(cache.Lookup(ResultCache::MakeKey("plan", {{"edge", 1}})),
+            nullptr);
+  EXPECT_EQ(cache.stats().refreshes, 1u);
 }
 
 // ---- End-to-end serving ----
@@ -319,6 +357,85 @@ TEST(ServerTest, InsertInvalidatesCacheAndHitsMatchColdAgain) {
   EXPECT_TRUE(rewarmed->cache_hit);
   EXPECT_EQ(rewarmed->body, after->body);
   EXPECT_GE(ts.server->stats().result_cache.invalidations, 1u);
+}
+
+TEST(ServerTest, MixedCaseWritesInvalidateNormalizedEntries) {
+  // Regression for the table-name normalization chain: plan keys, the
+  // result cache's dependency lists (sql::ReferencedTables), the version
+  // counters, and both InvalidateTable call sites must all agree on
+  // lowercase, so a write spelled in a different case still purges (and
+  // never resurrects) entries cached under another spelling.
+  TestServer ts;
+  Client client = ts.Connect();
+  auto before = client.Query(kTc);
+  ASSERT_TRUE(before.ok()) << before.status();
+
+  // A textually different spelling of the same table reuses the entry —
+  // the key is the normalized plan, never the raw SQL.
+  const std::string upper_tc = R"(
+    WITH recursive tc (Src, Dst) AS
+      (SELECT Src, Dst FROM EDGE) UNION
+      (SELECT tc.Src, EDGE.Dst FROM tc, EDGE WHERE tc.Dst = EDGE.Src)
+    SELECT Src, Dst FROM tc)";
+  auto aliased = client.Query(upper_tc);
+  ASSERT_TRUE(aliased.ok()) << aliased.status();
+  EXPECT_TRUE(aliased->cache_hit);
+  EXPECT_EQ(aliased->body, before->body);
+
+  // The write names the table in yet another case; the cached entry
+  // (keyed and dep-listed lowercase) must still be purged.
+  auto insert = client.Query("INSERT INTO Edge VALUES (6, 1, 1.0)");
+  ASSERT_TRUE(insert.ok()) << insert.status();
+  EXPECT_GE(ts.server->stats().result_cache.invalidations, 1u);
+
+  auto after = client.Query(kTc);
+  ASSERT_TRUE(after.ok()) << after.status();
+  EXPECT_FALSE(after->cache_hit);
+  EXPECT_NE(after->body, before->body);
+}
+
+TEST(ServerTest, IncrementalServerRefreshesInsteadOfInvalidating) {
+  // Under --incremental the INSERT purge is skipped: the next same-plan
+  // query classifies the stale entry as a *refresh*, recomputes (the
+  // engine warm-starts internally) and re-memoizes under the new version
+  // vector — and the served bytes are bit-identical to a cold context
+  // that saw the same insert.
+  engine::EngineConfig config;
+  config.incremental = true;
+  TestServer ts(ServerOptions{}, config);
+  Client client = ts.Connect();
+  auto before = client.Query(kTc);
+  ASSERT_TRUE(before.ok()) << before.status();
+  EXPECT_GE(ts.ctx->WarmStateEntries(), 1u);
+
+  auto insert = client.Query("INSERT INTO edge VALUES (6, 1, 1.0)");
+  ASSERT_TRUE(insert.ok()) << insert.status();
+  EXPECT_EQ(ts.server->stats().result_cache.invalidations, 0u);
+
+  auto refreshed = client.Query(kTc);
+  ASSERT_TRUE(refreshed.ok()) << refreshed.status();
+  EXPECT_FALSE(refreshed->cache_hit);
+  EXPECT_EQ(ts.server->stats().result_cache.refreshes, 1u);
+  {
+    auto cold_ctx = MakeSeededContext();
+    auto inserted = cold_ctx->Execute("INSERT INTO edge VALUES (6, 1, 1.0)");
+    ASSERT_TRUE(inserted.ok()) << inserted.status();
+    auto cold = cold_ctx->Execute(kTc);
+    ASSERT_TRUE(cold.ok()) << cold.status();
+    // Row bytes are bit-identical; iteration counts legitimately differ
+    // (the warm run resumes from the converged state — that is the
+    // speedup being measured, not a divergence).
+    EXPECT_EQ(refreshed->body,
+              storage::FormatRelation(cold->relation, refreshed->format));
+  }
+
+  // The refreshed entry replaced the stale one: next lookup is a hit and
+  // the cache holds one entry for this plan.
+  auto hit = client.Query(kTc);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_TRUE(hit->cache_hit);
+  EXPECT_EQ(hit->body, refreshed->body);
+  EXPECT_EQ(ts.server->stats().result_cache.entries, 1u);
 }
 
 TEST(ServerTest, JsonFormatMatchesShellWriter) {
