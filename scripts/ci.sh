@@ -25,12 +25,14 @@ ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
 RASQL_VERIFY_STAGES=1 \
   ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
 
-# Batch-mode gate under ASan (DESIGN.md §13): the vectorized kernels index
-# raw chunk arrays through selection vectors and fill preallocated probe
-# scratch — exactly the code ASan must see clean. The chunk-layout
-# property suite and the batch-vs-row equality matrix run explicitly so
-# the gate survives suite reorganizations.
+# Batch-mode gate under ASan (DESIGN.md §13, §15): the vectorized kernels
+# index raw chunk arrays through selection vectors and fill preallocated
+# probe scratch — exactly the code ASan must see clean. The chunk-layout
+# property suite, the randomized VecProgram-vs-oracle property suite and
+# the batch-vs-row equality matrix run explicitly so the gate survives
+# suite reorganizations.
 "${BUILD_DIR}/tests/columnar_test"
+"${BUILD_DIR}/tests/vec_program_test"
 "${BUILD_DIR}/tests/morsel_test" --gtest_filter='*MorselMatrix*'
 
 # Parallel-runtime gate: TSan excludes ASan, so the work-stealing executor
@@ -43,7 +45,8 @@ cmake -B "${TSAN_BUILD_DIR}" -S . \
   -DRASQL_ENABLE_TSAN=ON
 cmake --build "${TSAN_BUILD_DIR}" -j "${JOBS}" \
   --target runtime_test dist_test fixpoint_test morsel_test \
-           columnar_test concurrency_test server_test incremental_test
+           columnar_test vec_program_test concurrency_test server_test \
+           incremental_test
 "${TSAN_BUILD_DIR}/tests/runtime_test"
 "${TSAN_BUILD_DIR}/tests/dist_test"
 "${TSAN_BUILD_DIR}/tests/fixpoint_test"
@@ -76,10 +79,11 @@ cmake --build "${TSAN_BUILD_DIR}" -j "${JOBS}" \
   --gtest_filter='*MorselMatrix*:*MorselSplit*'
 
 # Batch-mode matrix under TSan: one BoundPipeline is shared by concurrent
-# morsel tasks whose RunBatch keeps selection vectors and probe scratch on
-# each task's own stack; the batch-vs-row suites re-run against the TSan
-# build to pin that contract.
+# morsel tasks whose RunBatch keeps selection vectors and VecProgram
+# scratch on each task's own stack; the batch-vs-row suites re-run against
+# the TSan build to pin that contract.
 "${TSAN_BUILD_DIR}/tests/columnar_test" --gtest_filter='*BatchPipeline*'
+"${TSAN_BUILD_DIR}/tests/vec_program_test"
 
 # Shared-context matrix under TSan (DESIGN.md §12): session threads
 # interleaving reads with exclusive writers on one RaSqlContext, at engine

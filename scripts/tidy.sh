@@ -34,6 +34,15 @@ if grep -rn '#include "storage/row\.h"' src --include='*.cc' \
        "storage/row.h outside storage/, physical/, expr/ and sql/" >&2
   exit 1
 fi
+# 3. The ad-hoc VecCompare/AnalyzeVecCompare batch filter was replaced by
+#    the expr::VecProgram layer (DESIGN.md §15); nothing may reintroduce
+#    it. Batch predicate kernels live in src/expr/ only.
+if grep -rn 'VecCompare\|AnalyzeVecCompare' src tests bench examples \
+    --include='*.cc' --include='*.h' --include='*.cpp'; then
+  echo "tidy.sh: FAIL — VecCompare was superseded by expr::VecProgram;" \
+       "compile batch predicates through expr/vec_program.h" >&2
+  exit 1
+fi
 echo "tidy.sh: columnar-API grep gates passed"
 
 TIDY_BIN=${TIDY_BIN:-clang-tidy}

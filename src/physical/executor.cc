@@ -6,7 +6,9 @@
 #include <unordered_set>
 
 #include "common/check.h"
+#include "common/hash.h"
 #include "expr/compiled_expr.h"
+#include "expr/vec_program.h"
 #include "physical/pipeline.h"
 
 namespace rasql::physical {
@@ -350,33 +352,45 @@ Result<BorrowedRelation> ExecAggregate(const plan::AggregateNode& node,
     }
   };
 
-  // Vectorized fast path (DESIGN.md §13): when batch mode is on and every
-  // group key / aggregate argument is a plain column reference with no
-  // DISTINCT, keys and arguments read straight from the chunk arrays —
-  // no row materialization, no expression dispatch — and min/max/sum/count
-  // over non-null int64/double columns run as typed loops. Group insertion
-  // order (and therefore output order) is identical to the row path.
+  // Vectorized fast path (DESIGN.md §13, §15): when batch mode is on and
+  // no aggregate is DISTINCT, group keys and aggregate arguments evaluate
+  // column-at-a-time — plain column references read straight from the
+  // chunk arrays, computed expressions run through expr::VecProgram under
+  // interpreter-mirror semantics (this path always interprets its inputs,
+  // never the compiled double program) — and min/max/sum/count over
+  // non-null int64/double lanes run as typed loops. Group insertion order
+  // (and therefore output order) is identical to the row path; a chunk the
+  // kernels cannot mirror exactly drops to interpreted rows, chunk by
+  // chunk.
   bool vectorized = ctx.batch_rows > 0;
-  std::vector<int> group_cols;
-  group_cols.reserve(group_exprs.size());
-  for (const expr::ExprPtr& g : group_exprs) {
-    if (g->kind() != expr::Expr::Kind::kColumnRef) {
-      vectorized = false;
-      break;
+  bool groups_plain = true;
+  std::vector<int> group_cols(group_exprs.size(), -1);
+  std::vector<std::optional<expr::VecProgram>> group_progs(
+      group_exprs.size());
+  for (size_t i = 0; vectorized && i < group_exprs.size(); ++i) {
+    const expr::Expr& g = *group_exprs[i];
+    if (g.kind() == expr::Expr::Kind::kColumnRef) {
+      group_cols[i] = static_cast<const expr::ColumnRefExpr&>(g).index();
+    } else {
+      groups_plain = false;
+      group_progs[i] = expr::VecProgram::Compile(
+          g, expr::VecSemantics::kInterpreterMirror);
+      if (!group_progs[i]) vectorized = false;
     }
-    group_cols.push_back(
-        static_cast<const expr::ColumnRefExpr&>(*g).index());
   }
   std::vector<int> item_cols(items.size(), -1);
+  std::vector<std::optional<expr::VecProgram>> item_progs(items.size());
   for (size_t j = 0; vectorized && j < items.size(); ++j) {
     if (items[j].distinct) vectorized = false;
-    if (items[j].argument == nullptr) continue;
-    if (items[j].argument->kind() != expr::Expr::Kind::kColumnRef) {
-      vectorized = false;
-    } else {
+    if (items[j].argument == nullptr) continue;  // count(*)
+    if (items[j].argument->kind() == expr::Expr::Kind::kColumnRef) {
       item_cols[j] =
           static_cast<const expr::ColumnRefExpr&>(*items[j].argument)
               .index();
+    } else {
+      item_progs[j] = expr::VecProgram::Compile(
+          *items[j].argument, expr::VecSemantics::kInterpreterMirror);
+      if (!item_progs[j]) vectorized = false;
     }
   }
 
@@ -386,11 +400,60 @@ Result<BorrowedRelation> ExecAggregate(const plan::AggregateNode& node,
                       kSumF64, kMinF64, kMaxF64 };
     std::vector<Mode> modes(items.size());
     const Relation& rel = *input.rel;
+    expr::VecProgram::Scratch vec_scratch;
+    std::vector<expr::VecBatch> group_batches(group_exprs.size());
+    std::vector<expr::VecBatch> item_batches(items.size());
+    std::vector<uint32_t> identity;
+
+    // Evaluates every computed group/argument expression over the whole
+    // chunk (identity selection, so batch index r == chunk row r). False
+    // means this chunk takes the interpreted row oracle instead.
+    auto eval_programs = [&](const storage::ColumnChunk& chunk) {
+      const size_t n = chunk.num_rows();
+      for (size_t i = identity.size(); i < n; ++i) {
+        identity.push_back(static_cast<uint32_t>(i));
+      }
+      for (size_t i = 0; i < group_exprs.size(); ++i) {
+        if (group_progs[i] &&
+            !group_progs[i]->EvalChunk(chunk, identity.data(), n,
+                                       &vec_scratch, &group_batches[i])) {
+          return false;
+        }
+      }
+      for (size_t j = 0; j < items.size(); ++j) {
+        if (item_progs[j] &&
+            !item_progs[j]->EvalChunk(chunk, identity.data(), n,
+                                      &vec_scratch, &item_batches[j])) {
+          return false;
+        }
+      }
+      return true;
+    };
     auto compute_modes = [&](const storage::ColumnChunk& chunk) {
       for (size_t j = 0; j < items.size(); ++j) {
         Mode mode = Mode::kGeneric;
-        if (item_cols[j] < 0) {
+        if (items[j].argument == nullptr) {
           mode = Mode::kCount;  // count(*): argument Int(1), never null
+        } else if (item_progs[j]) {
+          // Computed argument: the evaluated batch is the typed lane.
+          const expr::VecBatch& vb = item_batches[j];
+          if (!vb.any_null && (vb.tag == ValueType::kInt64 ||
+                               vb.tag == ValueType::kDouble)) {
+            const bool is_int = vb.tag == ValueType::kInt64;
+            switch (items[j].function) {
+              case AggregateFunction::kCount: mode = Mode::kCount; break;
+              case AggregateFunction::kSum:
+                mode = is_int ? Mode::kSumI64 : Mode::kSumF64;
+                break;
+              case AggregateFunction::kMin:
+                mode = is_int ? Mode::kMinI64 : Mode::kMinF64;
+                break;
+              case AggregateFunction::kMax:
+                mode = is_int ? Mode::kMaxI64 : Mode::kMaxF64;
+                break;
+              default: break;
+            }
+          }
         } else {
           const storage::ColumnChunk::ColumnData& cd =
               chunk.column(static_cast<size_t>(item_cols[j]));
@@ -417,12 +480,32 @@ Result<BorrowedRelation> ExecAggregate(const plan::AggregateNode& node,
         modes[j] = mode;
       }
     };
+    // Raw typed lanes and the generic Value view of aggregate argument j at
+    // chunk row r — from the chunk array (plain refs) or the evaluated
+    // batch (computed expressions).
+    auto arg_i64 = [&](const storage::ColumnChunk& chunk, size_t j,
+                       size_t r) {
+      return item_progs[j]
+                 ? item_batches[j].i64[r]
+                 : chunk.column(static_cast<size_t>(item_cols[j])).i64[r];
+    };
+    auto arg_f64 = [&](const storage::ColumnChunk& chunk, size_t j,
+                       size_t r) {
+      return item_progs[j]
+                 ? item_batches[j].f64[r]
+                 : chunk.column(static_cast<size_t>(item_cols[j])).f64[r];
+    };
+    auto arg_value = [&](const storage::ColumnChunk& chunk, size_t j,
+                         size_t r) {
+      if (items[j].argument == nullptr) return Value::Int(1);
+      return item_progs[j]
+                 ? item_batches[j].ValueAt(r)
+                 : chunk.ValueAt(r, static_cast<size_t>(item_cols[j]));
+    };
     auto accumulate_typed = [&](const storage::ColumnChunk& chunk, size_t r,
                                 GroupState* state) {
       for (size_t j = 0; j < items.size(); ++j) {
         Value& acc = state->accumulators[j];
-        const size_t col =
-            static_cast<size_t>(item_cols[j] < 0 ? 0 : item_cols[j]);
         // Modes are chosen per chunk, but the accumulator carries state
         // across chunks: when a column's tag flips mid-relation (int64
         // chunks followed by double chunks, say), acc no longer matches
@@ -436,7 +519,7 @@ Result<BorrowedRelation> ExecAggregate(const plan::AggregateNode& node,
                                        : acc.type() == ValueType::kDouble);
         if (modes[j] != Mode::kCount && modes[j] != Mode::kGeneric &&
             !acc_typed_as) {
-          accumulate(state, j, chunk.ValueAt(r, col), true);
+          accumulate(state, j, arg_value(chunk, j, r), true);
           continue;
         }
         switch (modes[j]) {
@@ -444,73 +527,91 @@ Result<BorrowedRelation> ExecAggregate(const plan::AggregateNode& node,
             acc = Value::Int(acc.AsInt() + 1);
             break;
           case Mode::kSumI64: {
-            const int64_t raw = chunk.column(col).i64[r];
+            const int64_t raw = arg_i64(chunk, j, r);
             acc = acc.is_null() ? Value::Int(raw)
                                 : Value::Int(acc.AsInt() + raw);
             break;
           }
           case Mode::kMinI64: {
-            const int64_t raw = chunk.column(col).i64[r];
+            const int64_t raw = arg_i64(chunk, j, r);
             if (acc.is_null() || raw < acc.AsInt()) acc = Value::Int(raw);
             break;
           }
           case Mode::kMaxI64: {
-            const int64_t raw = chunk.column(col).i64[r];
+            const int64_t raw = arg_i64(chunk, j, r);
             if (acc.is_null() || raw > acc.AsInt()) acc = Value::Int(raw);
             break;
           }
           case Mode::kSumF64: {
-            const double raw = chunk.column(col).f64[r];
+            const double raw = arg_f64(chunk, j, r);
             acc = acc.is_null() ? Value::Double(raw)
                                 : Value::Double(acc.AsDouble() + raw);
             break;
           }
           case Mode::kMinF64: {
-            const double raw = chunk.column(col).f64[r];
+            const double raw = arg_f64(chunk, j, r);
             if (acc.is_null() || raw < acc.AsDouble()) {
               acc = Value::Double(raw);
             }
             break;
           }
           case Mode::kMaxF64: {
-            const double raw = chunk.column(col).f64[r];
+            const double raw = arg_f64(chunk, j, r);
             if (acc.is_null() || raw > acc.AsDouble()) {
               acc = Value::Double(raw);
             }
             break;
           }
           case Mode::kGeneric:
-            accumulate(state, j,
-                       item_cols[j] < 0 ? Value::Int(1)
-                                        : chunk.ValueAt(r, col),
-                       item_cols[j] >= 0);
+            accumulate(state, j, arg_value(chunk, j, r),
+                       items[j].argument != nullptr);
             break;
         }
       }
     };
-
-    // Single-int64-key fast path: when the (only) group column is a clean
-    // int64 array in every chunk, group lookup runs on the raw integers —
-    // no per-row Row key, no Value hashing. States accumulate in a dense
-    // vector; the keys are then inserted into `groups` in first-seen order,
-    // which is exactly the row path's insertion sequence, so the final
-    // hash-map iteration (and the output row order) is bit-identical.
-    bool int64_key = group_cols.size() == 1;
-    for (size_t ci = 0; int64_key && ci < rel.num_chunks(); ++ci) {
-      const storage::ColumnChunk::ColumnData& cd =
-          rel.chunk(ci).column(static_cast<size_t>(group_cols[0]));
-      if (cd.variant || cd.null_count != 0 ||
-          (rel.chunk(ci).num_rows() > 0 && cd.tag != ValueType::kInt64)) {
-        int64_key = false;
+    // The interpreted oracle step for one materialized row — what a chunk
+    // takes when eval_programs can't mirror it.
+    Row row_scratch;
+    auto accumulate_row = [&](const Row& row, GroupState* state) {
+      for (size_t j = 0; j < items.size(); ++j) {
+        accumulate(state, j,
+                   items[j].argument ? items[j].argument->Eval(row)
+                                     : Value::Int(1),
+                   items[j].argument != nullptr);
       }
-    }
+    };
+
+    // Dense fast paths: when the group columns are plain references over
+    // clean int64 arrays in every chunk, group lookup runs on the raw
+    // integers (one key, or two packed into 128 bits) — no per-row Row
+    // key, no Value hashing. States accumulate in a dense vector; the keys
+    // are then inserted into `groups` in first-seen order, which is
+    // exactly the row path's insertion sequence, so the final hash-map
+    // iteration (and the output row order) is bit-identical.
+    auto clean_int64_group = [&](int gc) {
+      for (size_t ci = 0; ci < rel.num_chunks(); ++ci) {
+        const storage::ColumnChunk::ColumnData& cd =
+            rel.chunk(ci).column(static_cast<size_t>(gc));
+        if (cd.variant || cd.null_count != 0 ||
+            (rel.chunk(ci).num_rows() > 0 && cd.tag != ValueType::kInt64)) {
+          return false;
+        }
+      }
+      return true;
+    };
+    const bool int64_key = groups_plain && group_cols.size() == 1 &&
+                           clean_int64_group(group_cols[0]);
+    const bool int64_key2 = groups_plain && group_cols.size() == 2 &&
+                            clean_int64_group(group_cols[0]) &&
+                            clean_int64_group(group_cols[1]);
     if (int64_key) {
       std::unordered_map<int64_t, uint32_t> index;
       std::vector<GroupState> states;
       std::vector<int64_t> first_seen;
       for (size_t ci = 0; ci < rel.num_chunks(); ++ci) {
         const storage::ColumnChunk& chunk = rel.chunk(ci);
-        compute_modes(chunk);
+        const bool vec_ok = eval_programs(chunk);
+        if (vec_ok) compute_modes(chunk);
         const std::vector<int64_t>& keys =
             chunk.column(static_cast<size_t>(group_cols[0])).i64;
         for (size_t r = 0; r < chunk.num_rows(); ++r) {
@@ -522,27 +623,95 @@ Result<BorrowedRelation> ExecAggregate(const plan::AggregateNode& node,
             init_state(&states.back());
             first_seen.push_back(keys[r]);
           }
-          accumulate_typed(chunk, r, &states[it->second]);
+          if (vec_ok) {
+            accumulate_typed(chunk, r, &states[it->second]);
+          } else {
+            chunk.MaterializeRow(r, &row_scratch);
+            accumulate_row(row_scratch, &states[it->second]);
+          }
         }
       }
       for (size_t g = 0; g < states.size(); ++g) {
         groups.emplace(Row{Value::Int(first_seen[g])},
                        std::move(states[g]));
       }
+    } else if (int64_key2) {
+      // Two-int64 composite keys pack into one 128-bit integer; hashing
+      // mixes both halves. Everything else matches the single-key path.
+      struct PackedHash {
+        size_t operator()(unsigned __int128 k) const {
+          return static_cast<size_t>(common::HashCombine(
+              common::MixHash64(static_cast<uint64_t>(k >> 64)),
+              common::MixHash64(static_cast<uint64_t>(k))));
+        }
+      };
+      std::unordered_map<unsigned __int128, uint32_t, PackedHash> index;
+      std::vector<GroupState> states;
+      std::vector<std::pair<int64_t, int64_t>> first_seen;
+      for (size_t ci = 0; ci < rel.num_chunks(); ++ci) {
+        const storage::ColumnChunk& chunk = rel.chunk(ci);
+        const bool vec_ok = eval_programs(chunk);
+        if (vec_ok) compute_modes(chunk);
+        const std::vector<int64_t>& keys0 =
+            chunk.column(static_cast<size_t>(group_cols[0])).i64;
+        const std::vector<int64_t>& keys1 =
+            chunk.column(static_cast<size_t>(group_cols[1])).i64;
+        for (size_t r = 0; r < chunk.num_rows(); ++r) {
+          const unsigned __int128 packed =
+              (static_cast<unsigned __int128>(
+                   static_cast<uint64_t>(keys0[r]))
+               << 64) |
+              static_cast<uint64_t>(keys1[r]);
+          auto [it, inserted] =
+              index.try_emplace(packed,
+                                static_cast<uint32_t>(states.size()));
+          if (inserted) {
+            states.emplace_back();
+            init_state(&states.back());
+            first_seen.emplace_back(keys0[r], keys1[r]);
+          }
+          if (vec_ok) {
+            accumulate_typed(chunk, r, &states[it->second]);
+          } else {
+            chunk.MaterializeRow(r, &row_scratch);
+            accumulate_row(row_scratch, &states[it->second]);
+          }
+        }
+      }
+      for (size_t g = 0; g < states.size(); ++g) {
+        groups.emplace(Row{Value::Int(first_seen[g].first),
+                           Value::Int(first_seen[g].second)},
+                       std::move(states[g]));
+      }
     } else {
       Row key;
       for (size_t ci = 0; ci < rel.num_chunks(); ++ci) {
         const storage::ColumnChunk& chunk = rel.chunk(ci);
-        compute_modes(chunk);
+        const bool vec_ok = eval_programs(chunk);
+        if (vec_ok) compute_modes(chunk);
         for (size_t r = 0; r < chunk.num_rows(); ++r) {
           key.clear();
-          for (int gc : group_cols) {
-            key.push_back(chunk.ValueAt(r, static_cast<size_t>(gc)));
+          if (vec_ok) {
+            for (size_t gi = 0; gi < group_exprs.size(); ++gi) {
+              key.push_back(group_progs[gi]
+                                ? group_batches[gi].ValueAt(r)
+                                : chunk.ValueAt(
+                                      r, static_cast<size_t>(group_cols[gi])));
+            }
+          } else {
+            chunk.MaterializeRow(r, &row_scratch);
+            for (const expr::ExprPtr& g : group_exprs) {
+              key.push_back(g->Eval(row_scratch));
+            }
           }
           auto [it, inserted] = groups.try_emplace(key);
           GroupState& state = it->second;
           if (inserted) init_state(&state);
-          accumulate_typed(chunk, r, &state);
+          if (vec_ok) {
+            accumulate_typed(chunk, r, &state);
+          } else {
+            accumulate_row(row_scratch, &state);
+          }
         }
       }
     }

@@ -68,78 +68,6 @@ std::optional<PipelineProgram> PipelineProgram::Compile(
   }
 }
 
-namespace {
-
-/// Recognizes `col CMP literal` (either operand order) over numeric static
-/// types — precisely the shape CompiledExpr would compile, so the batch
-/// kernel can mirror its double-comparison semantics bit for bit.
-std::optional<BoundPipeline::VecCompare> AnalyzeVecCompare(
-    const expr::Expr& predicate) {
-  if (predicate.kind() != expr::Expr::Kind::kBinary) return std::nullopt;
-  const auto& bin = static_cast<const expr::BinaryExpr&>(predicate);
-  switch (bin.op()) {
-    case expr::BinaryOp::kEq:
-    case expr::BinaryOp::kNe:
-    case expr::BinaryOp::kLt:
-    case expr::BinaryOp::kLe:
-    case expr::BinaryOp::kGt:
-    case expr::BinaryOp::kGe:
-      break;
-    default:
-      return std::nullopt;
-  }
-  const expr::Expr* col = &bin.lhs();
-  const expr::Expr* lit = &bin.rhs();
-  bool col_on_left = true;
-  if (col->kind() != expr::Expr::Kind::kColumnRef) {
-    std::swap(col, lit);
-    col_on_left = false;
-  }
-  if (col->kind() != expr::Expr::Kind::kColumnRef ||
-      lit->kind() != expr::Expr::Kind::kLiteral) {
-    return std::nullopt;
-  }
-  const auto& ref = static_cast<const expr::ColumnRefExpr&>(*col);
-  const storage::Value& value =
-      static_cast<const expr::LiteralExpr&>(*lit).value();
-  if (ref.output_type() != storage::ValueType::kInt64 &&
-      ref.output_type() != storage::ValueType::kDouble) {
-    return std::nullopt;
-  }
-  if (value.type() != storage::ValueType::kInt64 &&
-      value.type() != storage::ValueType::kDouble) {
-    return std::nullopt;
-  }
-  BoundPipeline::VecCompare vc;
-  vc.col = ref.index();
-  vc.op = bin.op();
-  vc.constant = value.AsNumeric();
-  vc.col_on_left = col_on_left;
-  return vc;
-}
-
-/// The selection-vector comparison, in double like OpCode::kEq..kGe.
-inline bool VecKeep(double lhs, expr::BinaryOp op, double rhs) {
-  switch (op) {
-    case expr::BinaryOp::kEq:
-      return lhs == rhs;
-    case expr::BinaryOp::kNe:
-      return lhs != rhs;
-    case expr::BinaryOp::kLt:
-      return lhs < rhs;
-    case expr::BinaryOp::kLe:
-      return lhs <= rhs;
-    case expr::BinaryOp::kGt:
-      return lhs > rhs;
-    case expr::BinaryOp::kGe:
-      return lhs >= rhs;
-    default:
-      return false;
-  }
-}
-
-}  // namespace
-
 Result<BoundPipeline> PipelineProgram::Bind(const ExecContext& ctx) const {
   RASQL_CHECK(driver_ != nullptr);
   BoundPipeline bound;
@@ -163,11 +91,12 @@ Result<BoundPipeline> PipelineProgram::Bind(const ExecContext& ctx) const {
     switch (step.kind) {
       case Step::Kind::kFilter:
         bs.predicate.emplace(step.filter->predicate(), ctx.use_codegen);
-        // The kernel mirrors compiled-expression semantics; without codegen
-        // the row interpreter's exact Value comparisons are the oracle, so
-        // the batch path must fall back to it too.
-        if (ctx.use_codegen) {
-          bs.vec_compare = AnalyzeVecCompare(step.filter->predicate());
+        // Compile the whole predicate for the batch path, mirroring
+        // whichever scalar engine the row evaluator above will use so both
+        // modes agree bit for bit (expr/vec_program.h).
+        if (ctx.batch_rows > 0) {
+          bs.vec_filter = expr::VecProgram::CompileForFilter(
+              step.filter->predicate(), ctx.use_codegen);
         }
         break;
       case Step::Kind::kProject:
@@ -261,6 +190,7 @@ Status BoundPipeline::RunBatch(RowRange range, std::vector<Row>* sink) const {
   Row row_scratch;
   std::vector<uint32_t> sel;
   sel.reserve(batch_rows_);
+  expr::VecProgram::Scratch vec_scratch;
 
   size_t i = range.begin;
   size_t c;
@@ -279,44 +209,19 @@ Status BoundPipeline::RunBatch(RowRange range, std::vector<Row>* sink) const {
       i += batch_end - local;
       local = batch_end;
 
-      // Leading vectorizable filters run as selection-vector kernels over
-      // the typed arrays. A chunk whose column is boxed, nullable or
-      // non-numeric drops to the row interpreter for the remaining steps —
-      // same result, different engine.
+      // Leading filters run as compiled selection-vector kernels over the
+      // chunk's typed arrays — any predicate shape, through the vectorized
+      // expression layer. A chunk the kernels cannot mirror exactly drops
+      // to the row interpreter for the remaining steps — same result,
+      // different engine.
       size_t s = 0;
       for (; s < steps_.size() && !sel.empty(); ++s) {
         const BoundStep& bs = steps_[s];
         if (bs.kind != PipelineProgram::Step::Kind::kFilter ||
-            !bs.vec_compare) {
+            !bs.vec_filter) {
           break;
         }
-        const VecCompare& vc = *bs.vec_compare;
-        const storage::ColumnChunk::ColumnData& cd =
-            chunk.column(static_cast<size_t>(vc.col));
-        if (cd.variant || cd.null_count != 0 ||
-            (cd.tag != storage::ValueType::kInt64 &&
-             cd.tag != storage::ValueType::kDouble)) {
-          break;
-        }
-        size_t kept = 0;
-        if (cd.tag == storage::ValueType::kInt64) {
-          const int64_t* data = cd.i64.data();
-          for (const uint32_t r : sel) {
-            const double v = static_cast<double>(data[r]);
-            const bool keep = vc.col_on_left ? VecKeep(v, vc.op, vc.constant)
-                                             : VecKeep(vc.constant, vc.op, v);
-            if (keep) sel[kept++] = r;
-          }
-        } else {
-          const double* data = cd.f64.data();
-          for (const uint32_t r : sel) {
-            const double v = data[r];
-            const bool keep = vc.col_on_left ? VecKeep(v, vc.op, vc.constant)
-                                             : VecKeep(vc.constant, vc.op, v);
-            if (keep) sel[kept++] = r;
-          }
-        }
-        sel.resize(kept);
+        if (!bs.vec_filter->FilterChunk(chunk, &sel, &vec_scratch)) break;
       }
       if (sel.empty()) continue;
 

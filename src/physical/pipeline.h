@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "expr/vec_program.h"
 #include "physical/executor.h"
 #include "plan/logical_plan.h"
 #include "storage/relation.h"
@@ -68,15 +69,17 @@ class PipelineProgram {
 /// BoundPipeline may be shared by concurrent morsel tasks evaluating
 /// disjoint RowRanges of the same driver.
 ///
-/// Two execution modes share the Run() entry point (DESIGN.md §13). The
-/// interpreted mode materializes each driver row and pushes it through the
-/// steps. Batch mode (ExecContext::batch_rows > 0) walks the driver's
-/// column chunks directly: leading filters evaluate as selection vectors
-/// over the typed arrays (simple column-vs-literal comparisons; anything
-/// else falls back to the row interpreter mid-pipeline), and a leading
-/// hash-probe extracts its key column-wise, materializing a row only when
-/// the build side matches. Both modes emit identical rows in identical
-/// order — the interpreter is the row-for-row oracle.
+/// Two execution modes share the Run() entry point (DESIGN.md §13, §15).
+/// The interpreted mode materializes each driver row and pushes it through
+/// the steps. Batch mode (ExecContext::batch_rows > 0) walks the driver's
+/// column chunks directly: leading filters run arbitrary predicates —
+/// conjunctions, col-vs-col, arithmetic subexpressions, dictionary-aware
+/// string equality — as expr::VecProgram selection-vector kernels (a chunk
+/// the kernels cannot mirror exactly falls back to the row interpreter
+/// mid-pipeline), and a leading hash-probe extracts its key column-wise,
+/// materializing a row only when the build side matches. Both modes emit
+/// identical rows in identical order — the interpreter is the row-for-row
+/// oracle.
 class BoundPipeline {
  public:
   BoundPipeline() = default;
@@ -97,23 +100,14 @@ class BoundPipeline {
     return Run(storage::RowRange{0, driver_rows()}, sink);
   }
 
-  /// A filter of the form `col CMP literal` (either operand order) over a
-  /// numeric column — evaluable as a selection-vector kernel on the typed
-  /// chunk arrays. Comparison runs in double like the compiled expression
-  /// program, so batch and row mode agree bit for bit.
-  struct VecCompare {
-    int col = 0;
-    expr::BinaryOp op = expr::BinaryOp::kEq;
-    double constant = 0.0;
-    bool col_on_left = true;
-  };
-
  private:
   friend class PipelineProgram;
   struct BoundStep {
     PipelineProgram::Step::Kind kind;
     std::optional<PredicateEvaluator> predicate;  // kFilter
-    std::optional<VecCompare> vec_compare;  // kFilter batch kernel
+    /// kFilter batch kernel: the predicate compiled for whichever scalar
+    /// engine the row path uses, so batch and row mode agree bit for bit.
+    std::optional<expr::VecProgram> vec_filter;
     std::optional<ProjectionEvaluator> projector;  // kProject
     // kHashProbe: materialized build side + its hash table. The table
     // points into `build.rel`, which is stable under moves (borrowed

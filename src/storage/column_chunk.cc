@@ -246,6 +246,52 @@ bool ColumnChunk::CellsEqual(const ColumnChunk& a, size_t a_row, size_t a_col,
   return false;
 }
 
+int32_t ColumnChunk::FindDictCode(size_t col, const std::string& s) const {
+  const ColumnData& c = columns_[col];
+  if (c.variant || c.tag != ValueType::kString) return -1;
+  const auto index_it = dict_index_.find(col);
+  if (index_it != dict_index_.end()) {
+    const auto it = index_it->second.find(s);
+    return it != index_it->second.end() ? it->second : -1;
+  }
+  // No interning index (e.g. a column whose dictionary arrived by copy):
+  // fall back to a scan — callers do this once per chunk, not per row.
+  for (size_t i = 0; i < c.dict.size(); ++i) {
+    if (c.dict[i] == s) return static_cast<int32_t>(i);
+  }
+  return -1;
+}
+
+void ColumnChunk::GatherI64(size_t col, const uint32_t* sel, size_t n,
+                            int64_t* out) const {
+  const int64_t* data = columns_[col].i64.data();
+  for (size_t i = 0; i < n; ++i) out[i] = data[sel[i]];
+}
+
+void ColumnChunk::GatherF64(size_t col, const uint32_t* sel, size_t n,
+                            double* out) const {
+  const double* data = columns_[col].f64.data();
+  for (size_t i = 0; i < n; ++i) out[i] = data[sel[i]];
+}
+
+void ColumnChunk::GatherCodes(size_t col, const uint32_t* sel, size_t n,
+                              int32_t* out) const {
+  const int32_t* data = columns_[col].codes.data();
+  for (size_t i = 0; i < n; ++i) out[i] = data[sel[i]];
+}
+
+bool ColumnChunk::GatherNulls(size_t col, const uint32_t* sel, size_t n,
+                              uint8_t* out) const {
+  const ColumnData& c = columns_[col];
+  bool any = false;
+  for (size_t i = 0; i < n; ++i) {
+    const bool null = c.IsNull(sel[i]);
+    out[i] = null ? 1 : 0;
+    any |= null;
+  }
+  return any;
+}
+
 size_t ColumnChunk::ByteSize() const {
   size_t n = 0;
   for (const ColumnData& c : columns_) {

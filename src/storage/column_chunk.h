@@ -111,6 +111,28 @@ class ColumnChunk {
   /// Columnar memory footprint: typed arrays + null bitmaps + dictionary.
   size_t ByteSize() const;
 
+  /// Dictionary code of `s` in string column `col`, or -1 when the value
+  /// (or the dictionary itself) is absent. Lets equality filters on
+  /// dictionary-encoded strings compare codes instead of materialized
+  /// strings (vectorized kernels, DESIGN.md §15).
+  int32_t FindDictCode(size_t col, const std::string& s) const;
+
+  /// Selection-vector gathers into caller-provided dense arrays: `out`
+  /// receives the payload of rows `sel[0..n)` of column `col`. The column
+  /// must carry the matching typed payload (null placeholders come along
+  /// as stored: 0 / 0.0 / -1).
+  void GatherI64(size_t col, const uint32_t* sel, size_t n,
+                 int64_t* out) const;
+  void GatherF64(size_t col, const uint32_t* sel, size_t n,
+                 double* out) const;
+  void GatherCodes(size_t col, const uint32_t* sel, size_t n,
+                   int32_t* out) const;
+
+  /// Gathers the null bits of rows `sel[0..n)` (1 = NULL) into `out`;
+  /// returns true when any selected row is null.
+  bool GatherNulls(size_t col, const uint32_t* sel, size_t n,
+                   uint8_t* out) const;
+
  private:
   void AppendCell(ColumnData* col, const Value& v);
   void MigrateToBoxed(ColumnData* col);

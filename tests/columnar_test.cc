@@ -500,6 +500,138 @@ TEST(BatchPipelineTest, AllNullValueChunksAggregate) {
   ExpectAggMatchesRowMode(*MinMaxSumCountOver(rel, 0, 1), rel, "all-null");
 }
 
+TEST(BatchPipelineTest, DictStringFiltersMatchInterpreter) {
+  // String =/!= filters run on dictionary codes: one code lookup per chunk,
+  // integer compares per row. The relation mixes clean dictionary chunks, a
+  // chunk whose string column contains nulls, and a boxed chunk (a stray
+  // int64 in the string column) — every shape must match the interpreter
+  // row for row, vectorized or falling back.
+  Relation rel(Schema::Of({{"Name", ValueType::kString},
+                           {"V", ValueType::kInt64}}));
+  const char* pool[] = {"alpha", "beta", "gamma", "delta"};
+  for (size_t i = 0; i < kChunkRows + 100; ++i) {
+    rel.AppendRow({Value::String(pool[i % 4]), Value::Int(int64_t(i))});
+  }
+  for (size_t i = 0; i < 200; ++i) {
+    rel.AppendRow({i % 9 == 0 ? Value::Null() : Value::String(pool[i % 3]),
+                   Value::Int(int64_t(i))});
+  }
+  // A stray int64 boxes the open chunk's string column: those rows must
+  // fall back to the interpreter while the clean dictionary chunks above
+  // keep their code-compare kernel.
+  for (size_t i = 0; i < 100; ++i) {
+    rel.AppendRow({i == 50 ? Value::Int(-1) : Value::String(pool[i % 4]),
+                   Value::Int(int64_t(i))});
+  }
+  for (BinaryOp op : {BinaryOp::kEq, BinaryOp::kNe}) {
+    for (const char* needle : {"beta", "not-in-dictionary", ""}) {
+      PlanPtr plan = std::make_unique<FilterNode>(
+          std::make_unique<TableScanNode>("edge", rel.schema()),
+          expr::MakeBinary(op,
+                           expr::MakeColumnRef(0, ValueType::kString),
+                           expr::MakeLiteral(Value::String(needle))));
+      ExpectBatchMatchesRowMode(plan, rel, /*use_codegen=*/true,
+                                "dict-filter");
+      ExpectBatchMatchesRowMode(plan, rel, /*use_codegen=*/false,
+                                "dict-filter");
+    }
+  }
+  // Column-vs-column equality within one dictionary-coded relation.
+  Relation pairs(Schema::Of({{"A", ValueType::kString},
+                             {"B", ValueType::kString}}));
+  for (size_t i = 0; i < 3000; ++i) {
+    pairs.AppendRow({Value::String(pool[i % 4]),
+                     Value::String(pool[(i / 2) % 4])});
+  }
+  PlanPtr colcol = std::make_unique<FilterNode>(
+      std::make_unique<TableScanNode>("edge", pairs.schema()),
+      expr::MakeBinary(BinaryOp::kEq,
+                       expr::MakeColumnRef(0, ValueType::kString),
+                       expr::MakeColumnRef(1, ValueType::kString)));
+  ExpectBatchMatchesRowMode(colcol, pairs, /*use_codegen=*/true,
+                            "dict-col-col");
+}
+
+TEST(BatchPipelineTest, TwoKeyDenseAggregateMatchesRowOrder) {
+  // Two int64 group columns take the packed-128-bit dense path; the output
+  // must keep the row path's first-seen insertion order even with negative
+  // and extreme keys, and agree on every accumulator.
+  Relation rel(Schema::Of({{"G1", ValueType::kInt64},
+                           {"G2", ValueType::kInt64},
+                           {"V", ValueType::kInt64}}));
+  const int64_t k1[] = {-1, INT64_MIN, 0, INT64_MAX, 7};
+  const int64_t k2[] = {INT64_MAX, -1, 3, INT64_MIN, -4096, 11, 0};
+  for (int64_t i = 0; i < 4000; ++i) {
+    rel.AppendRow({Value::Int(k1[i % 5]), Value::Int(k2[i % 7]),
+                   Value::Int((i * 13) % 201 - 100)});
+  }
+  auto item = [](expr::AggregateFunction fn, int col, const char* name) {
+    plan::AggregateItem it;
+    it.function = fn;
+    if (col >= 0) it.argument = expr::MakeColumnRef(col, ValueType::kInt64);
+    it.output_name = name;
+    return it;
+  };
+  std::vector<plan::AggregateItem> items;
+  items.push_back(item(expr::AggregateFunction::kMin, 2, "Mn"));
+  items.push_back(item(expr::AggregateFunction::kSum, 2, "Sm"));
+  items.push_back(item(expr::AggregateFunction::kCount, -1, "Ct"));
+  std::vector<expr::ExprPtr> groups;
+  groups.push_back(expr::MakeColumnRef(0, ValueType::kInt64));
+  groups.push_back(expr::MakeColumnRef(1, ValueType::kInt64));
+  auto agg = std::make_unique<plan::AggregateNode>(
+      std::make_unique<TableScanNode>("t", rel.schema()), std::move(groups),
+      std::move(items),
+      Schema::Of({{"G1", ValueType::kInt64},
+                  {"G2", ValueType::kInt64},
+                  {"Mn", ValueType::kInt64},
+                  {"Sm", ValueType::kInt64},
+                  {"Ct", ValueType::kInt64}}));
+  ExpectAggMatchesRowMode(*agg, rel, "two-key-dense");
+}
+
+TEST(BatchPipelineTest, ComputedAggregateInputsVectorize) {
+  // GROUP BY g%4 over sum(v*2 + 1): both the group key and the aggregate
+  // argument are computed expressions, evaluated through the vectorized
+  // layer in batch mode, and must match the row interpreter exactly.
+  Relation rel(Schema::Of({{"G", ValueType::kInt64},
+                           {"V", ValueType::kInt64},
+                           {"D", ValueType::kDouble}}));
+  for (int64_t i = 0; i < 3000; ++i) {
+    rel.AppendRow({Value::Int(i % 29), Value::Int(i % 83 - 41),
+                   Value::Double(0.5 * double(i % 19))});
+  }
+  auto computed = [](BinaryOp op, int col, ValueType t, Value lit) {
+    return expr::MakeBinary(op, expr::MakeColumnRef(col, t),
+                            expr::MakeLiteral(std::move(lit)));
+  };
+  std::vector<plan::AggregateItem> items;
+  plan::AggregateItem sum;
+  sum.function = expr::AggregateFunction::kSum;
+  sum.argument = expr::MakeBinary(
+      BinaryOp::kAdd,
+      computed(BinaryOp::kMul, 1, ValueType::kInt64, Value::Int(2)),
+      expr::MakeLiteral(Value::Int(1)));
+  sum.output_name = "Sm";
+  items.push_back(std::move(sum));
+  plan::AggregateItem mx;
+  mx.function = expr::AggregateFunction::kMax;
+  mx.argument =
+      computed(BinaryOp::kMul, 2, ValueType::kDouble, Value::Double(-1.5));
+  mx.output_name = "Mx";
+  items.push_back(std::move(mx));
+  std::vector<expr::ExprPtr> groups;
+  groups.push_back(
+      computed(BinaryOp::kDiv, 0, ValueType::kInt64, Value::Int(4)));
+  auto agg = std::make_unique<plan::AggregateNode>(
+      std::make_unique<TableScanNode>("t", rel.schema()), std::move(groups),
+      std::move(items),
+      Schema::Of({{"G4", ValueType::kInt64},
+                  {"Sm", ValueType::kInt64},
+                  {"Mx", ValueType::kDouble}}));
+  ExpectAggMatchesRowMode(*agg, rel, "computed-agg-inputs");
+}
+
 TEST(BatchPipelineTest, NaNFilterKernelsMatchInterpreter) {
   // NaN in `col CMP literal` filters: every comparison except != is false
   // for NaN, and the vectorized kernel must agree with the interpreter on
